@@ -1,0 +1,109 @@
+// Command dityco runs one DiTyCO node (paper Fig. 4): a pool of sites,
+// the TyCOd communication daemon over TCP, and the TyCOi submission
+// daemon for tycosh. Deploy one per machine:
+//
+//	tyconame -listen :7070 &
+//	dityco -node 1 -listen :7101 -ioport :7201 -ns localhost:7070 -peers 2=host2:7102 &
+//	dityco -node 2 -listen :7102 -ioport :7202 -ns localhost:7070 -peers 1=host1:7101 &
+//	tycosh -node localhost:7201 -site server server.ty
+//	tycosh -node localhost:7202 -site client client.ty
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		nodeID  = flag.Uint("node", 1, "node identifier (unique across the network)")
+		listen  = flag.String("listen", ":7101", "TyCOd transport listen address")
+		ioport  = flag.String("ioport", ":7201", "TyCOi submission listen address")
+		nsAddr  = flag.String("ns", "localhost:7070", "name service address(es), comma-separated for the replicated service")
+		peerStr = flag.String("peers", "", "comma-separated peer list: id=host:port,…")
+	)
+	flag.Parse()
+
+	peers := map[uint32]string{}
+	if *peerStr != "" {
+		for _, p := range strings.Split(*peerStr, ",") {
+			eq := strings.IndexByte(p, '=')
+			if eq < 0 {
+				fatal(fmt.Errorf("bad peer %q (want id=host:port)", p))
+			}
+			id, err := strconv.ParseUint(p[:eq], 10, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad peer id in %q: %v", p, err))
+			}
+			peers[uint32(id)] = p[eq+1:]
+		}
+	}
+
+	// One address: the centralized service of the paper's first
+	// implementation. Several: the replicated future-work variant —
+	// registrations go to a quorum, lookups race the replicas.
+	var ns nameservice.Service
+	addrs := strings.Split(*nsAddr, ",")
+	if len(addrs) == 1 {
+		cli, err := nameservice.Dial(addrs[0])
+		if err != nil {
+			fatal(fmt.Errorf("name service at %s: %w", addrs[0], err))
+		}
+		defer cli.Close()
+		ns = cli
+	} else {
+		replicas := make([]nameservice.Service, 0, len(addrs))
+		for _, a := range addrs {
+			cli, err := nameservice.Dial(strings.TrimSpace(a))
+			if err != nil {
+				fatal(fmt.Errorf("name service replica at %s: %w", a, err))
+			}
+			defer cli.Close()
+			replicas = append(replicas, cli)
+		}
+		rep, err := nameservice.NewReplicated(replicas...)
+		if err != nil {
+			fatal(err)
+		}
+		ns = rep
+	}
+
+	tr, err := transport.NewTCP(uint32(*nodeID), *listen, peers)
+	if err != nil {
+		fatal(err)
+	}
+	n := node.New(node.Config{
+		ID:        uint32(*nodeID),
+		NS:        ns,
+		Transport: tr,
+		Out:       os.Stdout,
+	})
+	ti, err := n.ServeTyCOi(*ioport)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("dityco: node %d up — transport %s, submissions %s, name service %s\n",
+		*nodeID, tr.Addr(), ti.Addr(), *nsAddr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\ndityco: shutting down")
+	ti.Close()
+	n.Stop()
+	tr.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dityco:", err)
+	os.Exit(1)
+}

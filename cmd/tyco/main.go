@@ -1,0 +1,101 @@
+// Command tyco compiles and runs a single-site DiTyCO program: the
+// local TyCO experience (parse → type-check → byte-code → virtual
+// machine). It is the fastest way to try the language:
+//
+//	tyco prog.ty              # run
+//	tyco -S prog.ty           # show virtual-machine assembly
+//	tyco -check prog.ty       # type-check only
+//	tyco -stats prog.ty       # run and dump machine statistics
+//	tyco -e 'println(1 + 2)'  # run inline source
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/syntax"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		showAsm   = flag.Bool("S", false, "print virtual-machine assembly instead of running")
+		checkOnly = flag.Bool("check", false, "type-check only")
+		stats     = flag.Bool("stats", false, "print machine statistics after the run")
+		timeout   = flag.Duration("timeout", 60*time.Second, "execution timeout")
+		expr      = flag.String("e", "", "inline source instead of a file")
+	)
+	flag.Parse()
+
+	var src, name string
+	switch {
+	case *expr != "":
+		src, name = *expr, "inline"
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src, name = string(data), flag.Arg(0)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tyco [-S] [-check] [-stats] [-e src] [file.ty]")
+		os.Exit(2)
+	}
+
+	proc, err := syntax.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	if _, err := types.Check(proc); err != nil {
+		fatal(err)
+	}
+	if *checkOnly {
+		fmt.Println("ok")
+		return
+	}
+	if *showAsm {
+		unit, err := compiler.Compile(proc, name)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(asm.Disassemble(unit))
+		return
+	}
+
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 1, Out: os.Stdout})
+	if err != nil {
+		fatal(err)
+	}
+	defer cl.Stop()
+	// Site names are lowercase identifiers; the file path is only a
+	// diagnostic, so run under a fixed site name.
+	s, err := cl.Submit(0, "main", src, os.Stdout)
+	if err != nil {
+		fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		fatal(err)
+	}
+	if *stats {
+		m := s.Machine().Stats
+		fmt.Fprintf(os.Stderr, "instructions:    %d\n", m.Instructions)
+		fmt.Fprintf(os.Stderr, "threads:         %d\n", m.Threads)
+		fmt.Fprintf(os.Stderr, "reductions:      %d comm, %d inst\n", m.Communications, m.Instantiations)
+		fmt.Fprintf(os.Stderr, "channels:        %d\n", m.ChannelsMade)
+		fmt.Fprintf(os.Stderr, "context switches: %d\n", m.ContextSwitches)
+	}
+	_ = name
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tyco:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Command tycoasm works with TyCO byte-code units: compile source to
+// the hardware-independent binary format, disassemble binaries, and
+// verify untrusted units (the check sites run on mobile code).
+//
+//	tycoasm -c prog.ty -o prog.tyco   # compile to byte-code
+//	tycoasm -d prog.tyco              # disassemble
+//	tycoasm -verify prog.tyco         # structural verification
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/syntax"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		compile = flag.String("c", "", "compile a source file to byte-code")
+		out     = flag.String("o", "", "output path (default: source with .tyco suffix)")
+		disasm  = flag.String("d", "", "disassemble a byte-code file")
+		verify  = flag.String("verify", "", "verify a byte-code file")
+	)
+	flag.Parse()
+
+	switch {
+	case *compile != "":
+		data, err := os.ReadFile(*compile)
+		if err != nil {
+			fatal(err)
+		}
+		proc, err := syntax.Parse(string(data))
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := types.Check(proc); err != nil {
+			fatal(err)
+		}
+		unit, err := compiler.Compile(proc, *compile)
+		if err != nil {
+			fatal(err)
+		}
+		dst := *out
+		if dst == "" {
+			dst = strings.TrimSuffix(*compile, ".ty") + ".tyco"
+		}
+		if err := os.WriteFile(dst, asm.Encode(unit), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tycoasm: wrote %s (%s)\n", dst, unit.Stats())
+
+	case *disasm != "":
+		unit := load(*disasm)
+		fmt.Print(asm.Disassemble(unit))
+
+	case *verify != "":
+		unit := load(*verify)
+		if err := asm.Verify(unit); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("tycoasm: %s verifies (%s)\n", *verify, unit.Stats())
+
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tycoasm [-c src.ty [-o out.tyco]] [-d unit.tyco] [-verify unit.tyco]")
+		os.Exit(2)
+	}
+}
+
+func load(path string) *asm.Unit {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	unit, err := asm.Decode(data)
+	if err != nil {
+		fatal(err)
+	}
+	return unit
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tycoasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Command tycobench regenerates every experiment table in
+// EXPERIMENTS.md (the evaluation this paper's prototype never
+// published — see DESIGN.md for the substitution rationale).
+//
+//	tycobench            # run everything at full scale
+//	tycobench -quick     # CI-sized workloads
+//	tycobench -e e1,e4   # selected experiments
+//	tycobench -list      # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		quick = flag.Bool("quick", false, "shrink workloads (CI mode)")
+		list  = flag.Bool("list", false, "list experiments and exit")
+		sel   = flag.String("e", "", "comma-separated experiment ids (default: all)")
+	)
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+	want := map[string]bool{}
+	if *sel != "" {
+		for _, id := range strings.Split(*sel, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	opts := experiments.Options{Quick: *quick}
+	failed := false
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Printf("== %s: %s ==\n", strings.ToUpper(r.ID), r.Name)
+		start := time.Now()
+		table, err := r.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n\n", r.ID, err)
+			failed = true
+			continue
+		}
+		fmt.Print(table.Render())
+		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,37 @@
+// Command tyconame runs the centralized Network Name Service (paper
+// section 5: "the network name service is centralized and all sites
+// know its location in advance"). DiTyCO nodes connect to it to
+// register sites and resolve export/import identifiers.
+//
+//	tyconame -listen :7070
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/nameservice"
+)
+
+func main() {
+	listen := flag.String("listen", ":7070", "address to serve the name service on")
+	flag.Parse()
+
+	svc := nameservice.NewCentral()
+	srv, err := nameservice.NewServer(svc, *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tyconame:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("tyconame: serving on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\ntyconame: shutting down")
+	fmt.Print(svc.Dump())
+	srv.Close()
+}

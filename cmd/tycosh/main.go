@@ -1,0 +1,66 @@
+// Command tycosh submits DiTyCO programs to a running node (the shell
+// of paper section 5: "Users submit new programs for execution in a
+// node using a shell program called TyCOsh"). It streams the site's
+// output until interrupted; disconnecting leaves the site running.
+//
+//	tycosh -node localhost:7201 -site server server.ty
+//	tycosh -node localhost:7201 -site client -e 'import chat from server in chat!["hi"]'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+
+	"repro/internal/node"
+)
+
+func main() {
+	var (
+		addr = flag.String("node", "localhost:7201", "node TyCOi address")
+		site = flag.String("site", "", "site name (required; lowercase identifier)")
+		expr = flag.String("e", "", "inline source instead of a file")
+	)
+	flag.Parse()
+
+	if *site == "" {
+		fmt.Fprintln(os.Stderr, "tycosh: -site is required")
+		os.Exit(2)
+	}
+	var src string
+	switch {
+	case *expr != "":
+		src = *expr
+	case flag.NArg() == 1:
+		data, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tycosh -node host:port -site name [file.ty | -e src]")
+		os.Exit(2)
+	}
+
+	conn, err := net.Dial("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	if err := node.WriteString(conn, *site); err != nil {
+		fatal(err)
+	}
+	if err := node.WriteString(conn, src); err != nil {
+		fatal(err)
+	}
+	if _, err := io.Copy(os.Stdout, conn); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tycosh:", err)
+	os.Exit(1)
+}

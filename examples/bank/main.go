@@ -1,0 +1,113 @@
+// Bank: a small distributed application written against the public
+// API — account objects live at one site, teller sites at other nodes
+// transfer money concurrently through synchronous method calls (the
+// let sugar), and the main program checks conservation of money at the
+// end. Demonstrates: stateful objects, cross-site synchronization,
+// multiple concurrent writers, and global termination detection.
+//
+//	go run ./examples/bank
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+const bankSite = `
+export new alice bob (
+  def Account(self, bal) =
+    self ? { deposit(n, k)  = k![] | Account[self, bal + n],
+             withdraw(n, k) = k![] | Account[self, bal - n],
+             balance(r)     = r![bal] | Account[self, bal] }
+  in Account[alice, 100] | Account[bob, 50]
+)
+`
+
+// teller transfers amount from one imported account to another,
+// sequentially: withdraw, then deposit, then announce.
+func teller(from, to string, amount int) string {
+	return fmt.Sprintf(`
+import %s from bank in
+import %s from bank in
+new k1 (%s!withdraw[%d, k1] |
+  k1?() = new k2 (%s!deposit[%d, k2] |
+    k2?() = println("transferred %d from %s to %s")))`,
+		from, to, from, amount, to, amount, amount, from, to)
+}
+
+const auditor = `
+import alice from bank in
+import bob from bank in
+let a = alice!balance[] in
+let b = bob!balance[] in
+println("alice:", a, "bob:", b, "total:", a + b)
+`
+
+func main() {
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 3, Link: transport.Myrinet})
+	if err != nil {
+		fail(err)
+	}
+	defer cl.Stop()
+
+	var mu sync.Mutex
+	outs := map[string]*strings.Builder{}
+	submit := func(node int, site, src string) {
+		mu.Lock()
+		b := &strings.Builder{}
+		outs[site] = b
+		mu.Unlock()
+		if _, err := cl.Submit(node, site, src, &lockedWriter{mu: &mu, w: b}); err != nil {
+			fail(err)
+		}
+	}
+
+	submit(0, "bank", bankSite)
+	submit(1, "teller1", teller("alice", "bob", 30))
+	submit(2, "teller2", teller("bob", "alice", 20))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		fail(err)
+	}
+	// Both transfers are done; audit the final state.
+	submit(0, "auditor", auditor)
+	if err := cl.Wait(ctx); err != nil {
+		fail(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for _, site := range []string{"teller1", "teller2", "auditor"} {
+		fmt.Printf("%-8s %s", site, outs[site].String())
+	}
+	if !strings.Contains(outs["auditor"].String(), "total: 150") {
+		fail(fmt.Errorf("money was not conserved: %s", outs["auditor"].String()))
+	}
+	fmt.Println("-- conservation check passed (100 + 50 = 150 across any interleaving)")
+}
+
+// lockedWriter serializes site output against the final read.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "bank:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,132 @@
+// Faults: the paper's future-work facilities in action (§7): "We want
+// to be able to detect site failures, reconfigure the computation
+// topology and to try to terminate computations cleanly."
+//
+// Three nodes run heartbeat failure detectors over the control
+// channel, a distributed termination coordinator watches a worker
+// computation finish, and then node 3 "crashes" — the survivors
+// suspect it and reconfigure their view of the cluster.
+//
+//	go run ./examples/faults
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/termination"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+func main() {
+	ns := nameservice.NewCentral()
+	fabric := transport.NewFabric(transport.Myrinet)
+	defer fabric.Close()
+
+	ids := []uint32{1, 2, 3}
+	nodes := map[uint32]*node.Node{}
+	coords := map[uint32]*termination.Coordinator{}
+	for _, id := range ids {
+		id := id
+		tr, err := fabric.Attach(id)
+		if err != nil {
+			fail(err)
+		}
+		nodes[id] = node.New(node.Config{
+			ID: id, NS: ns, Transport: tr, Out: os.Stdout,
+			OnControl: func(ft wire.FrameType, src uint32, payload []byte) {
+				if ft == wire.FTerm {
+					if c := coords[id]; c != nil {
+						c.HandleControl(src, payload)
+					}
+				}
+			},
+		})
+	}
+	probes := func(n *node.Node) func() []termination.Probe {
+		return func() []termination.Probe {
+			var out []termination.Probe
+			for _, s := range n.Sites() {
+				sent, recv, idle := s.ControlState()
+				out = append(out, termination.Probe{Sent: sent, Recv: recv, Idle: idle})
+			}
+			return out
+		}
+	}
+	for _, id := range ids {
+		id := id
+		coords[id] = termination.NewCoordinator(id, ids,
+			func(dst uint32, payload []byte) error {
+				return nodes[id].SendControl(wire.FTerm, dst, payload)
+			}, probes(nodes[id]))
+		coords[id].Interval = time.Millisecond
+	}
+
+	// Failure detectors with a reconfiguration hook.
+	detectors := map[uint32]*failure.Detector{}
+	for _, id := range ids {
+		id := id
+		detectors[id] = nodes[id].AttachFailureDetector(ids, 5*time.Millisecond, func(e failure.Event) {
+			if e.Suspected {
+				fmt.Printf("node %d SUSPECTS node %d — reconfiguring (alive: %v)\n",
+					id, e.Node, detectors[id].Alive())
+			} else {
+				fmt.Printf("node %d trusts node %d again\n", id, e.Node)
+			}
+		})
+	}
+
+	// Phase 1: run a small distributed computation and detect its
+	// termination with the distributed coordinator on node 1.
+	submit := func(id uint32, site, src string) {
+		prog, err := node.CompileSubmission(site, src)
+		if err != nil {
+			fail(err)
+		}
+		if _, err := nodes[id].Spawn(site, prog, os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	submit(1, "server", `def Serve(p) = p?(x, r) = (r![x * 2] | Serve[p]) in export new p Serve[p]`)
+	submit(2, "clienta", `import p from server in let v = p![10] in println("clienta got", v)`)
+	submit(3, "clientb", `import p from server in let v = p![20] in println("clientb got", v)`)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := coords[1].Wait(ctx); err != nil {
+		fail(fmt.Errorf("termination detection: %w", err))
+	}
+	fmt.Printf("-- distributed termination detected by node 1 after %v\n",
+		time.Since(start).Round(time.Millisecond))
+
+	// Phase 2: crash node 3 and watch the survivors notice.
+	fmt.Println("-- crashing node 3")
+	detectors[3].Stop()
+	nodes[3].Stop()
+	deadline := time.After(10 * time.Second)
+	for !detectors[1].Suspected(3) || !detectors[2].Suspected(3) {
+		select {
+		case <-deadline:
+			fail(fmt.Errorf("survivors never suspected node 3"))
+		case <-time.After(time.Millisecond):
+		}
+	}
+	fmt.Printf("-- node 1 sees alive: %v; node 2 sees alive: %v\n",
+		detectors[1].Alive(), detectors[2].Alive())
+	for _, id := range []uint32{1, 2} {
+		detectors[id].Stop()
+		nodes[id].Stop()
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "faults:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// RPC: the remote-procedure-call encoding of paper section 3. A
+// synchronous call is two asynchronous ship steps — the request
+// message moves to the server's site carrying a client-local reply
+// name, and the reply moves back. This example measures the
+// round-trip under the stock link models, showing the Myrinet /
+// Fast-Ethernet gap that motivates the paper's hardware platform.
+//
+//	go run ./examples/rpc -calls 200
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+const server = `
+def Serve(p) = p?(x, r) = (r![x * x] | Serve[p])
+in export new p Serve[p]
+`
+
+// The client chains calls sequentially so the elapsed time divided by
+// the call count is the mean round-trip.
+const clientTemplate = `
+import p from server in
+def Call(n) =
+  if n == 0 then println("done")
+  else let y = p![n] in Call[n - 1]
+in Call[%d]
+`
+
+func main() {
+	calls := flag.Int("calls", 200, "sequential RPC round-trips")
+	flag.Parse()
+
+	for _, profile := range []string{"ideal", "myrinet", "fastether"} {
+		model, _ := transport.Profile(profile)
+		rtt, err := measure(*calls, model)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%-10s mean round-trip %10v over %d calls\n", profile, rtt.Round(time.Microsecond), *calls)
+	}
+}
+
+func measure(calls int, model transport.LinkModel) (time.Duration, error) {
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2, Link: model})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Stop()
+	if _, err := cl.Submit(0, "server", server, io.Discard); err != nil {
+		return 0, err
+	}
+	var out strings.Builder
+	start := time.Now()
+	if _, err := cl.Submit(1, "client", fmt.Sprintf(clientTemplate, calls), &out); err != nil {
+		return 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		return 0, err
+	}
+	if !strings.Contains(out.String(), "done") {
+		return 0, fmt.Errorf("client did not finish: %q", out.String())
+	}
+	return time.Since(start) / time.Duration(calls), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rpc:", err)
+	os.Exit(1)
+}

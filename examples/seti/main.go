@@ -1,0 +1,91 @@
+// Seti: the paper's SETI@home-style example (section 4) scaled to many
+// workers. One command downloads the Install/Go classes from the seti
+// site; each worker then loops "forever" (here: a bounded number of
+// chunks) crunching data served by the seti database, with every chunk
+// request shipping back to the server site and every reply shipping to
+// the worker.
+//
+//	go run ./examples/seti -workers 4 -chunks 25 -link myrinet
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+const setiServer = `
+new database (
+  def Data(self, next) =
+    self ? { newChunk(r) = r![next] | Data[self, next + 1] }
+  in Data[database, 1] |
+
+  export def Install(limit) = Go[limit, 0]
+  and Go(n, acc) =
+    if n == 0 then println("worker done, checksum", acc)
+    else let data = database!newChunk[] in
+         {- "number crunching": fold the chunk into a checksum -}
+         Go[n - 1, (acc * 31 + data) % 1000003]
+  in inaction
+)
+`
+
+func main() {
+	var (
+		workers = flag.Int("workers", 4, "number of worker sites")
+		chunks  = flag.Int("chunks", 25, "chunks processed per worker")
+		link    = flag.String("link", "ideal", "interconnect profile: ideal, myrinet, fastether")
+	)
+	flag.Parse()
+
+	model, ok := transport.Profile(*link)
+	if !ok {
+		fail(fmt.Errorf("unknown link profile %q", *link))
+	}
+	// One node for the seti site, one per worker (Fig. 2 topology).
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 1 + *workers, Link: model})
+	if err != nil {
+		fail(err)
+	}
+	defer cl.Stop()
+
+	server, err := cl.Submit(0, "seti", setiServer, io.Discard)
+	if err != nil {
+		fail(err)
+	}
+	outs := make([]*strings.Builder, *workers)
+	start := time.Now()
+	for i := 0; i < *workers; i++ {
+		outs[i] = &strings.Builder{}
+		src := fmt.Sprintf(`import Install from seti in Install[%d]`, *chunks)
+		if _, err := cl.Submit(1+i, fmt.Sprintf("worker%d", i), src, outs[i]); err != nil {
+			fail(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		fail(err)
+	}
+	elapsed := time.Since(start)
+
+	for i, b := range outs {
+		fmt.Printf("worker%d: %s", i, b.String())
+	}
+	total := *workers * *chunks
+	st := server.Machine().Stats
+	fmt.Printf("-- %d chunks served over %s in %v (%.0f chunks/s); server handled %d communications\n",
+		total, *link, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), st.Communications)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "seti:", err)
+	os.Exit(1)
+}

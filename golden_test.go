@@ -1,0 +1,74 @@
+package repro
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/core"
+	"repro/internal/syntax"
+	"repro/internal/types"
+)
+
+// TestGoldenPrograms runs every program in testdata/programs on the
+// full pipeline (cluster runtime) and on the reference interpreter,
+// comparing both against the recorded golden output. Line order is
+// canonicalized: parallel composition is unordered.
+func TestGoldenPrograms(t *testing.T) {
+	sources, err := filepath.Glob("testdata/programs/*.ty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sources) < 5 {
+		t.Fatalf("suspiciously few golden programs: %v", sources)
+	}
+	for _, srcPath := range sources {
+		srcPath := srcPath
+		name := strings.TrimSuffix(filepath.Base(srcPath), ".ty")
+		t.Run(name, func(t *testing.T) {
+			src, err := os.ReadFile(srcPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			golden, err := os.ReadFile(strings.TrimSuffix(srcPath, ".ty") + ".out")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := canon(string(golden))
+
+			// Full pipeline: compile to byte-code, run on a site.
+			var out strings.Builder
+			if err := core.RunLocal(name, string(src), &out); err != nil {
+				t.Fatalf("runtime: %v", err)
+			}
+			if got := canon(out.String()); got != want {
+				t.Errorf("runtime output:\n got: %q\nwant: %q", got, want)
+			}
+
+			// Reference interpreter.
+			p, err := syntax.Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := types.Check(p); err != nil {
+				t.Fatalf("typecheck: %v", err)
+			}
+			iout, _, err := calc.RunString(p, calc.Config{})
+			if err != nil {
+				t.Fatalf("interpreter: %v", err)
+			}
+			if got := canon(iout); got != want {
+				t.Errorf("interpreter output:\n got: %q\nwant: %q", got, want)
+			}
+		})
+	}
+}
+
+func canon(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,93 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a unit as readable virtual-machine assembly (the
+// "intermediate virtual machine assembly" of paper section 5, whose
+// mapping to byte-code is almost one-to-one).
+func Disassemble(u *Unit) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".unit %q entry=%d\n", u.Name, u.Entry)
+	if len(u.Imports) > 0 {
+		for i, im := range u.Imports {
+			kind := "name"
+			if im.IsClass {
+				kind = "class"
+			}
+			fmt.Fprintf(&b, ".import %d %s %s from %s\n", i, kind, im.Name, im.Site)
+		}
+	}
+	for i, t := range u.Tables {
+		fmt.Fprintf(&b, ".table %d {", i)
+		for j := range t.Labels {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s→b%d", u.Labels[t.Labels[j]], t.Blocks[j])
+		}
+		b.WriteString("}\n")
+	}
+	for i, g := range u.Groups {
+		fmt.Fprintf(&b, ".group %d free=%d {", i, g.NFree)
+		for j, c := range g.Classes {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "%s/%d→b%d", c.Name, c.NParams, c.Block)
+		}
+		b.WriteString("}\n")
+	}
+	for i := range u.Blocks {
+		blk := &u.Blocks[i]
+		fmt.Fprintf(&b, ".block %d %q free=%d params=%d locals=%d\n", i, blk.Name, blk.NFree, blk.NParams, blk.NLocals)
+		for pc, in := range blk.Code {
+			fmt.Fprintf(&b, "  %3d  %s", pc, in)
+			b.WriteString(annotate(u, in))
+			b.WriteString("\n")
+		}
+	}
+	return b.String()
+}
+
+// annotate adds a human-readable comment for pool references.
+func annotate(u *Unit, in Instr) string {
+	switch in.Op {
+	case LdS, ExpName, ExpClass:
+		if int(in.A) < len(u.Strings) {
+			return fmt.Sprintf("  ; %q", u.Strings[in.A])
+		}
+	case LdF:
+		if int(in.A) < len(u.Floats) {
+			return fmt.Sprintf("  ; %g", u.Floats[in.A])
+		}
+	case LdIC:
+		if int(in.A) < len(u.Ints) {
+			return fmt.Sprintf("  ; %d", u.Ints[in.A])
+		}
+	case Send:
+		if int(in.A) < len(u.Labels) {
+			return fmt.Sprintf("  ; !%s", u.Labels[in.A])
+		}
+	case Spawn:
+		if int(in.A) < len(u.Blocks) {
+			return fmt.Sprintf("  ; %s", u.Blocks[in.A].Name)
+		}
+	case LdImp:
+		if int(in.A) < len(u.Imports) {
+			im := u.Imports[in.A]
+			return fmt.Sprintf("  ; %s from %s", im.Name, im.Site)
+		}
+	case LdK:
+		if int(in.A) < len(u.Consts) {
+			k := u.Consts[in.A]
+			if k.IsClass {
+				return fmt.Sprintf("  ; class %s @ site %d node %d", k.Name, k.Site, k.Node)
+			}
+			return fmt.Sprintf("  ; (heap %d, site %d, node %d)", k.Heap, k.Site, k.Node)
+		}
+	}
+	return ""
+}

@@ -1,0 +1,156 @@
+// Package asm defines the instruction set and code representation of
+// the TyCO virtual machine (paper section 5, Fig. 3): programs are
+// collections of small byte-code blocks whose nested structure mirrors
+// the source program, enabling "the efficient dynamic selection of
+// byte-code blocks that have to be moved between sites". A Unit is
+// the self-contained shippable artifact: blocks plus constant pools,
+// method tables, class (def-group) descriptors and import references.
+//
+// The package also provides a binary encoding for units (the
+// hardware-independent byte-code of the paper), a verifier, and a
+// disassembler.
+package asm
+
+import "fmt"
+
+// Opcode is a VM instruction opcode.
+type Opcode uint8
+
+// Instruction opcodes. Stack effects are written [before] -> [after].
+const (
+	// Nop does nothing.
+	Nop Opcode = iota
+	// LdLoc A: [] -> [frame[A]].
+	LdLoc
+	// StLoc A: [v] -> []; frame[A] = v.
+	StLoc
+	// Drop: [v] -> [].
+	Drop
+	// LdI A: [] -> [int(A)] (small immediate).
+	LdI
+	// LdIC A: [] -> [Ints[A]].
+	LdIC
+	// LdF A: [] -> [Floats[A]].
+	LdF
+	// LdS A: [] -> [Strings[A]].
+	LdS
+	// LdB A: [] -> [A != 0].
+	LdB
+	// NewC: [] -> [fresh channel] (paper: heap allocation of a name).
+	NewC
+	// Arithmetic/logic, dynamically typed over the builtin types:
+	// binary ops are [a b] -> [a op b], unary [a] -> [op a].
+	Add
+	Sub
+	Mul
+	Div
+	Mod
+	Neg
+	Not
+	And
+	Or
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+	// Jmp A: unconditional jump to pc A within the block.
+	Jmp
+	// JmpF A: [cond] -> []; jump to A when cond is false.
+	JmpF
+	// Send A=label B=nargs: [target a1 … an] -> []. The paper's
+	// trmsg: reduce with a waiting object at target, queue the
+	// message otherwise, or — when target is a network reference —
+	// package the message for the outgoing queue (rule SHIPM).
+	Send
+	// Obj A=table B=nfree: [target f1 … fn] -> []. The paper's
+	// trobj: reduce with a waiting message, queue the object
+	// closure otherwise, or migrate the object when target is a
+	// network reference (rule SHIPO).
+	Obj
+	// MkDef A=group B=nfree: [f1 … fn] -> [class1 … classk].
+	// Creates the mutually recursive class closures of def-group A.
+	MkDef
+	// InstV A=nargs: [class a1 … an] -> []. The paper's instof: run
+	// a local instance, or — for a fetched/imported class — request
+	// the byte-code from the defining site (rule FETCH) and park the
+	// instantiation until the code is linked.
+	InstV
+	// Spawn A=block B=nfree: [f1 … fn] -> []; enqueue a new thread.
+	Spawn
+	// Print A=nargs, Println A=nargs: [a1 … an] -> [].
+	Print
+	Println
+	// ExpName A=string: [chan] -> []; register the channel with the
+	// network name service under Strings[A] (paper's export).
+	ExpName
+	// ExpClass A=string B=local: []; register the class closure in
+	// frame[B] for remote fetching under Strings[A].
+	ExpClass
+	// LdImp A=import: [] -> [value of import slot A], resolved at
+	// load time through the name service (paper's import).
+	LdImp
+	// LdK A: [] -> [Consts[A]]. Network-reference constants arise
+	// when a site links a unit: resolved imports are rewritten to
+	// LdK, and mobile code carries remote references baked in by
+	// the σ-translation as constants.
+	LdK
+	// Halt ends the current thread.
+	Halt
+
+	opcodeCount
+)
+
+var opNames = [...]string{
+	Nop: "nop", LdLoc: "ldloc", StLoc: "stloc", Drop: "drop",
+	LdI: "ldi", LdIC: "ldic", LdF: "ldf", LdS: "lds", LdB: "ldb",
+	NewC: "newc",
+	Add:  "add", Sub: "sub", Mul: "mul", Div: "div", Mod: "mod",
+	Neg: "neg", Not: "not", And: "and", Or: "or",
+	CmpEq: "eq", CmpNe: "ne", CmpLt: "lt", CmpLe: "le", CmpGt: "gt", CmpGe: "ge",
+	Jmp: "jmp", JmpF: "jmpf",
+	Send: "send", Obj: "obj", MkDef: "mkdef", InstV: "instv", Spawn: "spawn",
+	Print: "print", Println: "println",
+	ExpName: "expname", ExpClass: "expclass", LdImp: "ldimp", LdK: "ldk",
+	Halt: "halt",
+}
+
+func (o Opcode) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Opcode) Valid() bool { return o < opcodeCount }
+
+// operands reports how many operands each opcode uses (0, 1 or 2).
+func (o Opcode) operands() int {
+	switch o {
+	case LdLoc, StLoc, LdI, LdIC, LdF, LdS, LdB, Jmp, JmpF, Print, Println, ExpName, LdImp, LdK, InstV:
+		return 1
+	case Send, Obj, MkDef, Spawn, ExpClass:
+		return 2
+	default:
+		return 0
+	}
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op   Opcode
+	A, B int32
+}
+
+func (i Instr) String() string {
+	switch i.Op.operands() {
+	case 0:
+		return i.Op.String()
+	case 1:
+		return fmt.Sprintf("%s %d", i.Op, i.A)
+	default:
+		return fmt.Sprintf("%s %d %d", i.Op, i.A, i.B)
+	}
+}

@@ -1,0 +1,224 @@
+package asm
+
+import "fmt"
+
+// Verify checks a unit for internal consistency: every pool, block,
+// table, group and import reference must be in range, jumps must stay
+// inside their block, and declared frame sizes must cover every local
+// access. Sites verify every unit that arrives over the network
+// before linking it (mobile code is untrusted input).
+func Verify(u *Unit) error {
+	if u.Entry != -1 && (u.Entry < 0 || u.Entry >= len(u.Blocks)) {
+		return fmt.Errorf("asm: entry block %d out of range", u.Entry)
+	}
+	if u.Entry >= 0 {
+		if e := &u.Blocks[u.Entry]; e.NFree != 0 || e.NParams != 0 {
+			return fmt.Errorf("asm: entry block must take no free variables or parameters")
+		}
+	}
+	for ti := range u.Tables {
+		t := &u.Tables[ti]
+		if len(t.Labels) != len(t.Blocks) {
+			return fmt.Errorf("asm: table %d: label/block length mismatch", ti)
+		}
+		seen := map[int]bool{}
+		for i := range t.Labels {
+			if t.Labels[i] < 0 || t.Labels[i] >= len(u.Labels) {
+				return fmt.Errorf("asm: table %d: label %d out of range", ti, t.Labels[i])
+			}
+			if seen[t.Labels[i]] {
+				return fmt.Errorf("asm: table %d: duplicate label %q", ti, u.Labels[t.Labels[i]])
+			}
+			seen[t.Labels[i]] = true
+			if t.Blocks[i] < 0 || t.Blocks[i] >= len(u.Blocks) {
+				return fmt.Errorf("asm: table %d: block %d out of range", ti, t.Blocks[i])
+			}
+		}
+	}
+	for gi := range u.Groups {
+		g := &u.Groups[gi]
+		if g.NFree < 0 {
+			return fmt.Errorf("asm: group %d: negative free count", gi)
+		}
+		for ci, c := range g.Classes {
+			if c.Block < 0 || c.Block >= len(u.Blocks) {
+				return fmt.Errorf("asm: group %d class %d: block %d out of range", gi, ci, c.Block)
+			}
+			b := &u.Blocks[c.Block]
+			if b.NParams != c.NParams {
+				return fmt.Errorf("asm: group %d class %q: declares %d params but block has %d", gi, c.Name, c.NParams, b.NParams)
+			}
+			if want := g.NFree + len(g.Classes); b.NFree != want {
+				return fmt.Errorf("asm: group %d class %q: block free section %d, group frame is %d", gi, c.Name, b.NFree, want)
+			}
+		}
+	}
+	for bi := range u.Blocks {
+		if err := verifyBlock(u, bi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyBlock checks instruction operands and simulates the stack
+// depth to guarantee the block never pops an empty stack. Because the
+// compiler only emits forward jumps with matching depths, a simple
+// single-pass check with a per-target expected depth suffices.
+func verifyBlock(u *Unit, bi int) error {
+	b := &u.Blocks[bi]
+	frame := b.FrameSize()
+	depthAt := map[int]int{} // jump target -> required depth
+	depth := 0
+	bad := func(pc int, format string, args ...any) error {
+		return fmt.Errorf("asm: block %d (%s) pc %d: %s", bi, b.Name, pc, fmt.Sprintf(format, args...))
+	}
+	for pc, in := range b.Code {
+		if want, ok := depthAt[pc]; ok && want != depth {
+			// A jump target reached with two different depths.
+			return bad(pc, "inconsistent stack depth %d vs %d", depth, want)
+		}
+		pop := 0
+		push := 0
+		switch in.Op {
+		case Nop, Halt:
+		case LdLoc:
+			if in.A < 0 || int(in.A) >= frame {
+				return bad(pc, "local %d out of frame %d", in.A, frame)
+			}
+			push = 1
+		case StLoc:
+			if in.A < 0 || int(in.A) >= frame {
+				return bad(pc, "local %d out of frame %d", in.A, frame)
+			}
+			pop = 1
+		case Drop:
+			pop = 1
+		case LdI:
+			push = 1
+		case LdIC:
+			if in.A < 0 || int(in.A) >= len(u.Ints) {
+				return bad(pc, "int pool %d out of range", in.A)
+			}
+			push = 1
+		case LdF:
+			if in.A < 0 || int(in.A) >= len(u.Floats) {
+				return bad(pc, "float pool %d out of range", in.A)
+			}
+			push = 1
+		case LdS:
+			if in.A < 0 || int(in.A) >= len(u.Strings) {
+				return bad(pc, "string pool %d out of range", in.A)
+			}
+			push = 1
+		case LdB:
+			push = 1
+		case NewC:
+			push = 1
+		case Add, Sub, Mul, Div, Mod, And, Or, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe:
+			pop, push = 2, 1
+		case Neg, Not:
+			pop, push = 1, 1
+		case Jmp, JmpF:
+			if in.A < 0 || int(in.A) > len(b.Code) {
+				return bad(pc, "jump target %d out of block", in.A)
+			}
+			if in.Op == JmpF {
+				pop = 1
+			}
+			target := int(in.A)
+			after := depth - pop
+			if want, ok := depthAt[target]; ok && want != after {
+				return bad(pc, "jump target depth mismatch: %d vs %d", after, want)
+			}
+			depthAt[target] = after
+		case Send:
+			if in.A < 0 || int(in.A) >= len(u.Labels) {
+				return bad(pc, "label %d out of range", in.A)
+			}
+			if in.B < 0 {
+				return bad(pc, "negative argument count")
+			}
+			pop = int(in.B) + 1
+		case Obj:
+			if in.A < 0 || int(in.A) >= len(u.Tables) {
+				return bad(pc, "table %d out of range", in.A)
+			}
+			if in.B < 0 {
+				return bad(pc, "negative capture count")
+			}
+			pop = int(in.B) + 1
+		case MkDef:
+			if in.A < 0 || int(in.A) >= len(u.Groups) {
+				return bad(pc, "group %d out of range", in.A)
+			}
+			g := &u.Groups[in.A]
+			if int(in.B) != g.NFree {
+				return bad(pc, "mkdef captures %d but group declares %d", in.B, g.NFree)
+			}
+			pop = g.NFree
+			push = len(g.Classes)
+		case InstV:
+			if in.A < 0 {
+				return bad(pc, "negative argument count")
+			}
+			pop = int(in.A) + 1
+		case Spawn:
+			if in.A < 0 || int(in.A) >= len(u.Blocks) {
+				return bad(pc, "block %d out of range", in.A)
+			}
+			if in.B < 0 {
+				return bad(pc, "negative capture count")
+			}
+			t := &u.Blocks[in.A]
+			if t.NFree != int(in.B) || t.NParams != 0 {
+				return bad(pc, "spawn of block with %d free/%d params, captured %d", t.NFree, t.NParams, in.B)
+			}
+			pop = int(in.B)
+		case Print, Println:
+			if in.A < 0 {
+				return bad(pc, "negative argument count")
+			}
+			pop = int(in.A)
+		case ExpName:
+			if in.A < 0 || int(in.A) >= len(u.Strings) {
+				return bad(pc, "string pool %d out of range", in.A)
+			}
+			pop = 1
+		case ExpClass:
+			if in.A < 0 || int(in.A) >= len(u.Strings) {
+				return bad(pc, "string pool %d out of range", in.A)
+			}
+			if in.B < 0 || int(in.B) >= frame {
+				return bad(pc, "local %d out of frame %d", in.B, frame)
+			}
+		case LdImp:
+			if in.A < 0 || int(in.A) >= len(u.Imports) {
+				return bad(pc, "import %d out of range", in.A)
+			}
+			push = 1
+		case LdK:
+			if in.A < 0 || int(in.A) >= len(u.Consts) {
+				return bad(pc, "const %d out of range", in.A)
+			}
+			push = 1
+		default:
+			return bad(pc, "invalid opcode %d", in.Op)
+		}
+		if depth < pop {
+			return bad(pc, "stack underflow: depth %d, pops %d", depth, pop)
+		}
+		depth = depth - pop + push
+		if in.Op == Jmp {
+			// Execution does not fall through; the next pc's depth
+			// is whatever a jump to it establishes.
+			if want, ok := depthAt[pc+1]; ok {
+				depth = want
+			} else {
+				depth = 0
+				depthAt[pc+1] = 0
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,336 @@
+// Package calc defines the abstract syntax of the TyCO process calculus
+// extended with the DiTyCO distribution constructs (export/import and
+// located identifiers), together with the operations the rest of the
+// system needs: free-name computation, capture-avoiding substitution,
+// structural-congruence normalization and a small-step reference
+// interpreter.
+//
+// The grammar follows section 2 of the paper:
+//
+//	P ::= 0 | P|P | new x… P | x!l[v…] | x?{l1(x…)=P1,…} | X[v…]
+//	    | def X1(x…)=P1 and … in P
+//
+// plus the DiTyCO surface constructs of section 4:
+//
+//	export new x P | export def D in P
+//	import x from s in P | import X from s in P
+//
+// and two conveniences present in the TyCO language ([22] in the
+// paper): conditionals and the `let x = a!l[v…] in P` synchronous-call
+// sugar. Identifiers may be located (`s.x`, `s.X`) as in section 3;
+// the parser never produces located identifiers (the paper's surface
+// syntax has none), but the network semantics in package netcalc and
+// the σ-translations introduce them.
+package calc
+
+import "fmt"
+
+// Pos is a source position. The zero Pos means "unknown".
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string {
+	if p.Line == 0 {
+		return "<unknown>"
+	}
+	return fmt.Sprintf("%d:%d", p.Line, p.Col)
+}
+
+// Ident is a possibly located identifier: Site=="" means a plain
+// identifier bound by the usual scoping rules; Site!="" means the
+// identifier is lexically bound at that site (paper section 3).
+type Ident struct {
+	Site string
+	Name string
+}
+
+// Loc reports whether the identifier is located (carries a site).
+func (id Ident) Loc() bool { return id.Site != "" }
+
+func (id Ident) String() string {
+	if id.Site == "" {
+		return id.Name
+	}
+	return id.Site + "." + id.Name
+}
+
+// Proc is a process term.
+type Proc interface {
+	isProc()
+	Pos() Pos
+}
+
+// Expr is a value expression occurring in message/instantiation
+// argument position or in conditionals. TyCO proper passes only
+// names; the TyCO language adds builtin literals and operators.
+type Expr interface {
+	isExpr()
+	Pos() Pos
+}
+
+// ---------------------------------------------------------------------------
+// Processes
+
+// Nil is the terminated process 0.
+type Nil struct{ At Pos }
+
+// Par is parallel composition P | Q.
+type Par struct {
+	At          Pos
+	Left, Right Proc
+}
+
+// New is channel creation: new x1 … xn P.
+type New struct {
+	At    Pos
+	Names []string
+	Body  Proc
+}
+
+// Msg is an asynchronous labelled message x!l[v…].
+type Msg struct {
+	At     Pos
+	Target Ident
+	Label  string
+	Args   []Expr
+}
+
+// Method is one branch l(x…) = P of an object.
+type Method struct {
+	At     Pos
+	Label  string
+	Params []string
+	Body   Proc
+}
+
+// Object is x?{l1(x…)=P1, …, ln(x…)=Pn}.
+type Object struct {
+	At      Pos
+	Target  Ident
+	Methods []Method
+}
+
+// Inst is class instantiation X[v…].
+type Inst struct {
+	At    Pos
+	Class Ident // Name is the class variable; Site, if set, locates it
+	Args  []Expr
+}
+
+// ClassDef is one definition X(x…) = P inside a def.
+type ClassDef struct {
+	At     Pos
+	Name   string
+	Params []string
+	Body   Proc
+}
+
+// Def is def D1 and … and Dn in P. The definitions are mutually
+// recursive: each body may instantiate any class in the group.
+type Def struct {
+	At   Pos
+	Defs []ClassDef
+	Body Proc
+}
+
+// If is the conditional process of the TyCO language.
+type If struct {
+	At         Pos
+	Cond       Expr
+	Then, Else Proc
+}
+
+// Let is the synchronous-call sugar of section 4:
+//
+//	let x = a!l[v…] in P  ≡  new r (a!l[v…,r] | r?(x)=P)
+//
+// It is kept in the AST (rather than desugared by the parser) so the
+// pretty printer can reproduce the source and the type checker can
+// report errors in source terms; Desugar removes it.
+type Let struct {
+	At     Pos
+	Var    string
+	Target Ident
+	Label  string
+	Args   []Expr
+	Body   Proc
+}
+
+// ExportNew is export new x1…xn P (section 4): creates names at this
+// site and registers them with the network name service.
+type ExportNew struct {
+	At    Pos
+	Names []string
+	Body  Proc
+}
+
+// ExportDef is export def D in P: defines classes at this site and
+// registers them for remote fetching.
+type ExportDef struct {
+	At   Pos
+	Defs []ClassDef
+	Body Proc
+}
+
+// ImportName is import x from s in P: binds x to the name exported
+// under the same lexeme by site s (code-shipping semantics).
+type ImportName struct {
+	At   Pos
+	Name string
+	Site string
+	Body Proc
+}
+
+// ImportClass is import X from s in P: binds X to the class exported
+// by site s (code-fetching semantics).
+type ImportClass struct {
+	At    Pos
+	Class string
+	Site  string
+	Body  Proc
+}
+
+// Print is the builtin output process print(e…) / println(e…). The
+// TyCO language does I/O through builtin channels; we expose it as a
+// primitive process for convenience, as the paper does informally
+// with print(w) in section 2.
+type Print struct {
+	At      Pos
+	Args    []Expr
+	Newline bool
+}
+
+func (*Nil) isProc()         {}
+func (*Par) isProc()         {}
+func (*New) isProc()         {}
+func (*Msg) isProc()         {}
+func (*Object) isProc()      {}
+func (*Inst) isProc()        {}
+func (*Def) isProc()         {}
+func (*If) isProc()          {}
+func (*Let) isProc()         {}
+func (*ExportNew) isProc()   {}
+func (*ExportDef) isProc()   {}
+func (*ImportName) isProc()  {}
+func (*ImportClass) isProc() {}
+func (*Print) isProc()       {}
+
+func (p *Nil) Pos() Pos         { return p.At }
+func (p *Par) Pos() Pos         { return p.At }
+func (p *New) Pos() Pos         { return p.At }
+func (p *Msg) Pos() Pos         { return p.At }
+func (p *Object) Pos() Pos      { return p.At }
+func (p *Inst) Pos() Pos        { return p.At }
+func (p *Def) Pos() Pos         { return p.At }
+func (p *If) Pos() Pos          { return p.At }
+func (p *Let) Pos() Pos         { return p.At }
+func (p *ExportNew) Pos() Pos   { return p.At }
+func (p *ExportDef) Pos() Pos   { return p.At }
+func (p *ImportName) Pos() Pos  { return p.At }
+func (p *ImportClass) Pos() Pos { return p.At }
+func (p *Print) Pos() Pos       { return p.At }
+
+// ---------------------------------------------------------------------------
+// Expressions
+
+// Var is an identifier used in value position (a channel name or a
+// let/parameter binding).
+type Var struct {
+	At Pos
+	Id Ident
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	At    Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	At    Pos
+	Value float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	At    Pos
+	Value string
+}
+
+// BoolLit is true or false.
+type BoolLit struct {
+	At    Pos
+	Value bool
+}
+
+// Op enumerates the builtin operators of the TyCO language.
+type Op int
+
+// Builtin operators.
+const (
+	OpAdd Op = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpMod
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpAnd
+	OpOr
+	OpNot
+	OpNeg
+)
+
+var opNames = [...]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpMod: "%",
+	OpEq: "==", OpNe: "!=", OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=",
+	OpAnd: "&&", OpOr: "||", OpNot: "not", OpNeg: "-",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Binary is a binary operator application.
+type Binary struct {
+	At   Pos
+	Op   Op
+	L, R Expr
+}
+
+// Unary is a unary operator application (negation, logical not).
+type Unary struct {
+	At Pos
+	Op Op
+	E  Expr
+}
+
+func (*Var) isExpr()      {}
+func (*IntLit) isExpr()   {}
+func (*FloatLit) isExpr() {}
+func (*StrLit) isExpr()   {}
+func (*BoolLit) isExpr()  {}
+func (*Binary) isExpr()   {}
+func (*Unary) isExpr()    {}
+
+func (e *Var) Pos() Pos      { return e.At }
+func (e *IntLit) Pos() Pos   { return e.At }
+func (e *FloatLit) Pos() Pos { return e.At }
+func (e *StrLit) Pos() Pos   { return e.At }
+func (e *BoolLit) Pos() Pos  { return e.At }
+func (e *Binary) Pos() Pos   { return e.At }
+func (e *Unary) Pos() Pos    { return e.At }
+
+// ValLabel is the distinguished label used by the x![v…] / x?(y…)=P
+// abbreviations of section 2.
+const ValLabel = "val"

@@ -1,0 +1,798 @@
+package calc
+
+import (
+	"sort"
+	"strings"
+)
+
+// Structural congruence (paper section 2/3): the least relation
+// satisfying the monoid laws for parallel composition (associativity,
+// commutativity, 0 as identity), α-conversion of bound names, and the
+// garbage-collection rules for unused restrictions and definitions
+// (GcN/GcD). This file implements a decision procedure for the
+// fragment without scope extrusion: terms are compared after
+// flattening parallel compositions, dropping 0, garbage-collecting
+// dead binders, and sorting parallel components, with binders compared
+// positionally (de Bruijn style) so α-equivalent terms are equal.
+//
+// Scope extrusion (ExN/ExD) changes where a binder sits relative to a
+// composition and is deliberately not normalized here: it is the rule
+// that the SHIP reductions exploit dynamically, and deciding
+// congruence modulo extrusion is not needed by the engine (the
+// interpreter works up to the rules above).
+
+// StructCongruent reports whether p and q are structurally congruent
+// (α-conversion + par monoid laws + garbage collection of unused new
+// and def binders).
+func StructCongruent(p, q Proc) bool {
+	return cmpProc(normalize(p, &binders{}), normalize(q, &binders{}), &binders{}, &binders{}) == 0
+}
+
+// AlphaEquivalent reports whether p and q differ only by bound-name
+// renaming.
+func AlphaEquivalent(p, q Proc) bool {
+	return cmpProc(p, q, &binders{}, &binders{}) == 0
+}
+
+// GarbageCollect removes new-binders whose names are unused and defs
+// none of whose classes are instantiated (rules GcN and GcD), and
+// drops 0 from parallel compositions (rule Nil). The result is
+// structurally congruent to the input.
+func GarbageCollect(p Proc) Proc { return normalize(p, &binders{}) }
+
+// binders maps bound names to their binding depth, for positional
+// comparison.
+type binders struct {
+	names  map[string]int
+	klass  map[string]int
+	nNames int
+	nKlass int
+}
+
+func (b *binders) pushNames(names []string) *binders {
+	nb := &binders{names: make(map[string]int, len(b.names)+len(names)), klass: b.klass,
+		nNames: b.nNames, nKlass: b.nKlass}
+	for k, v := range b.names {
+		nb.names[k] = v
+	}
+	for _, n := range names {
+		nb.names[n] = nb.nNames
+		nb.nNames++
+	}
+	return nb
+}
+
+func (b *binders) pushClasses(names []string) *binders {
+	nb := &binders{names: b.names, klass: make(map[string]int, len(b.klass)+len(names)),
+		nNames: b.nNames, nKlass: b.nKlass}
+	for k, v := range b.klass {
+		nb.klass[k] = v
+	}
+	for _, n := range names {
+		nb.klass[n] = nb.nKlass
+		nb.nKlass++
+	}
+	return nb
+}
+
+// normalize rewrites p into the canonical representative used by the
+// comparison: parallel compositions flattened and sorted, 0 dropped,
+// dead binders collected. Sorting uses a canonical string key that is
+// α-invariant: bound names (including those bound by enclosing
+// binders, threaded through env) print as their binding depth.
+func normalize(p Proc, env *binders) Proc {
+	switch p := p.(type) {
+	case *Nil:
+		return p
+	case *Par:
+		parts := []Proc{}
+		for _, q := range flattenPar(p) {
+			nq := normalize(q, env)
+			if _, isNil := nq.(*Nil); !isNil {
+				parts = append(parts, nq)
+			}
+		}
+		switch len(parts) {
+		case 0:
+			return &Nil{At: p.At}
+		case 1:
+			return parts[0]
+		}
+		sort.SliceStable(parts, func(i, j int) bool {
+			return canonKey(parts[i], env) < canonKey(parts[j], env)
+		})
+		out := parts[len(parts)-1]
+		for i := len(parts) - 2; i >= 0; i-- {
+			out = &Par{At: p.At, Left: parts[i], Right: out}
+		}
+		return out
+	case *New:
+		body := normalize(p.Body, env.pushNames(p.Names))
+		free := FreeNames(body)
+		var used []string
+		for _, n := range p.Names {
+			if free[n] {
+				used = append(used, n)
+			}
+		}
+		if len(used) == 0 {
+			return body
+		}
+		return &New{At: p.At, Names: used, Body: body}
+	case *ExportNew:
+		return &ExportNew{At: p.At, Names: p.Names, Body: normalize(p.Body, env.pushNames(p.Names))}
+	case *Msg, *Inst, *Print:
+		return p
+	case *Object:
+		ms := make([]Method, len(p.Methods))
+		copy(ms, p.Methods)
+		sort.SliceStable(ms, func(i, j int) bool { return ms[i].Label < ms[j].Label })
+		for i := range ms {
+			ms[i].Body = normalize(ms[i].Body, env.pushNames(ms[i].Params))
+		}
+		return &Object{At: p.At, Target: p.Target, Methods: ms}
+	case *Def:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner := env.pushClasses(names)
+		body := normalize(p.Body, inner)
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: d.Params, Body: normalize(d.Body, inner.pushNames(d.Params))}
+		}
+		// GcD: drop the whole def when no class of the group is
+		// instantiated by the continuation (a group only reachable
+		// from itself is dead).
+		used := FreeClassVars(body)
+		live := false
+		for _, d := range ds {
+			if used[d.Name] {
+				live = true
+				break
+			}
+		}
+		if !live {
+			return body
+		}
+		return &Def{At: p.At, Defs: ds, Body: body}
+	case *ExportDef:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner := env.pushClasses(names)
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: d.Params, Body: normalize(d.Body, inner.pushNames(d.Params))}
+		}
+		return &ExportDef{At: p.At, Defs: ds, Body: normalize(p.Body, inner)}
+	case *If:
+		return &If{At: p.At, Cond: p.Cond, Then: normalize(p.Then, env), Else: normalize(p.Else, env)}
+	case *Let:
+		return &Let{At: p.At, Var: p.Var, Target: p.Target, Label: p.Label, Args: p.Args,
+			Body: normalize(p.Body, env.pushNames([]string{p.Var}))}
+	case *ImportName:
+		return &ImportName{At: p.At, Name: p.Name, Site: p.Site, Body: normalize(p.Body, env.pushNames([]string{p.Name}))}
+	case *ImportClass:
+		return &ImportClass{At: p.At, Class: p.Class, Site: p.Site, Body: normalize(p.Body, env.pushClasses([]string{p.Class}))}
+	default:
+		return p
+	}
+}
+
+// canonKey prints a process with binders replaced by their binding
+// depth, giving an α-invariant sort key under env.
+func canonKey(p Proc, env *binders) string {
+	var b strings.Builder
+	writeCanon(&b, p, env)
+	return b.String()
+}
+
+func writeCanon(b *strings.Builder, p Proc, env *binders) {
+	writeId := func(id Ident) {
+		if id.Loc() {
+			b.WriteString(id.Site)
+			b.WriteString(".")
+			b.WriteString(id.Name)
+			return
+		}
+		if i, ok := env.names[id.Name]; ok {
+			b.WriteString("β")
+			b.WriteString(itoa(i))
+			return
+		}
+		b.WriteString(id.Name)
+	}
+	switch p := p.(type) {
+	case *Nil:
+		b.WriteString("0")
+	case *Par:
+		b.WriteString("(")
+		writeCanon(b, p.Left, env)
+		b.WriteString("|")
+		writeCanon(b, p.Right, env)
+		b.WriteString(")")
+	case *New:
+		b.WriteString("ν")
+		b.WriteString(itoa(len(p.Names)))
+		b.WriteString(".")
+		writeCanon(b, p.Body, env.pushNames(p.Names))
+	case *Msg:
+		writeId(p.Target)
+		b.WriteString("!")
+		b.WriteString(p.Label)
+		b.WriteString("[")
+		for i, a := range p.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			writeCanonExpr(b, a, env)
+		}
+		b.WriteString("]")
+	case *Object:
+		writeId(p.Target)
+		b.WriteString("?{")
+		for i, m := range p.Methods {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(m.Label)
+			b.WriteString("/")
+			b.WriteString(itoa(len(m.Params)))
+			b.WriteString("=")
+			writeCanon(b, m.Body, env.pushNames(m.Params))
+		}
+		b.WriteString("}")
+	case *Inst:
+		if p.Class.Loc() {
+			b.WriteString(p.Class.Site)
+			b.WriteString(".")
+			b.WriteString(p.Class.Name)
+		} else if i, ok := env.klass[p.Class.Name]; ok {
+			b.WriteString("Κ")
+			b.WriteString(itoa(i))
+		} else {
+			b.WriteString(p.Class.Name)
+		}
+		b.WriteString("[")
+		for i, a := range p.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			writeCanonExpr(b, a, env)
+		}
+		b.WriteString("]")
+	case *Def:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner := env.pushClasses(names)
+		b.WriteString("μ{")
+		for i, d := range p.Defs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(itoa(len(d.Params)))
+			b.WriteString("=")
+			writeCanon(b, d.Body, inner.pushNames(d.Params))
+		}
+		b.WriteString("}.")
+		writeCanon(b, p.Body, inner)
+	case *If:
+		b.WriteString("if ")
+		writeCanonExpr(b, p.Cond, env)
+		b.WriteString(" then ")
+		writeCanon(b, p.Then, env)
+		b.WriteString(" else ")
+		writeCanon(b, p.Else, env)
+	case *Let:
+		b.WriteString("let=")
+		writeId(p.Target)
+		b.WriteString("!")
+		b.WriteString(p.Label)
+		b.WriteString("[")
+		for i, a := range p.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			writeCanonExpr(b, a, env)
+		}
+		b.WriteString("].")
+		writeCanon(b, p.Body, env.pushNames([]string{p.Var}))
+	case *ExportNew:
+		b.WriteString("exportν")
+		for _, n := range p.Names {
+			b.WriteString(" ")
+			b.WriteString(n) // export names are global interface, not α-convertible
+		}
+		b.WriteString(".")
+		writeCanon(b, p.Body, env.pushNames(p.Names))
+	case *ExportDef:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner := env.pushClasses(names)
+		b.WriteString("exportμ{")
+		for i, d := range p.Defs {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(d.Name)
+			b.WriteString("/")
+			b.WriteString(itoa(len(d.Params)))
+			b.WriteString("=")
+			writeCanon(b, d.Body, inner.pushNames(d.Params))
+		}
+		b.WriteString("}.")
+		writeCanon(b, p.Body, inner)
+	case *ImportName:
+		b.WriteString("importn ")
+		b.WriteString(p.Site)
+		b.WriteString(".")
+		b.WriteString(p.Name)
+		b.WriteString(".")
+		writeCanon(b, p.Body, env.pushNames([]string{p.Name}))
+	case *ImportClass:
+		b.WriteString("importc ")
+		b.WriteString(p.Site)
+		b.WriteString(".")
+		b.WriteString(p.Class)
+		b.WriteString(".")
+		writeCanon(b, p.Body, env.pushClasses([]string{p.Class}))
+	case *Print:
+		if p.Newline {
+			b.WriteString("println[")
+		} else {
+			b.WriteString("print[")
+		}
+		for i, a := range p.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			writeCanonExpr(b, a, env)
+		}
+		b.WriteString("]")
+	}
+}
+
+func writeCanonExpr(b *strings.Builder, e Expr, env *binders) {
+	switch e := e.(type) {
+	case *Var:
+		if !e.Id.Loc() {
+			if i, ok := env.names[e.Id.Name]; ok {
+				b.WriteString("β")
+				b.WriteString(itoa(i))
+				return
+			}
+		}
+		b.WriteString(e.Id.String())
+	case *IntLit:
+		b.WriteString(itoa64(e.Value))
+	case *FloatLit:
+		var tmp strings.Builder
+		writeExpr(&tmp, e, 0)
+		b.WriteString(tmp.String())
+	case *StrLit:
+		var tmp strings.Builder
+		writeExpr(&tmp, e, 0)
+		b.WriteString(tmp.String())
+	case *BoolLit:
+		if e.Value {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case *Binary:
+		b.WriteString("(")
+		writeCanonExpr(b, e.L, env)
+		b.WriteString(e.Op.String())
+		writeCanonExpr(b, e.R, env)
+		b.WriteString(")")
+	case *Unary:
+		b.WriteString(e.Op.String())
+		b.WriteString("(")
+		writeCanonExpr(b, e.E, env)
+		b.WriteString(")")
+	}
+}
+
+// cmpProc compares two (normalized, for congruence) processes with
+// binders identified positionally.
+func cmpProc(p, q Proc, pe, qe *binders) int {
+	kp, kq := procKind(p), procKind(q)
+	if kp != kq {
+		return cmpInt(kp, kq)
+	}
+	switch p := p.(type) {
+	case *Nil:
+		return 0
+	case *Par:
+		q := q.(*Par)
+		if c := cmpProc(p.Left, q.Left, pe, qe); c != 0 {
+			return c
+		}
+		return cmpProc(p.Right, q.Right, pe, qe)
+	case *New:
+		q := q.(*New)
+		if c := cmpInt(len(p.Names), len(q.Names)); c != 0 {
+			return c
+		}
+		return cmpProc(p.Body, q.Body, pe.pushNames(p.Names), qe.pushNames(q.Names))
+	case *Msg:
+		q := q.(*Msg)
+		if c := cmpIdent(p.Target, q.Target, pe, qe); c != 0 {
+			return c
+		}
+		if c := strings.Compare(p.Label, q.Label); c != 0 {
+			return c
+		}
+		return cmpExprs(p.Args, q.Args, pe, qe)
+	case *Object:
+		q := q.(*Object)
+		if c := cmpIdent(p.Target, q.Target, pe, qe); c != 0 {
+			return c
+		}
+		if c := cmpInt(len(p.Methods), len(q.Methods)); c != 0 {
+			return c
+		}
+		for i := range p.Methods {
+			mp, mq := p.Methods[i], q.Methods[i]
+			if c := strings.Compare(mp.Label, mq.Label); c != 0 {
+				return c
+			}
+			if c := cmpInt(len(mp.Params), len(mq.Params)); c != 0 {
+				return c
+			}
+			if c := cmpProc(mp.Body, mq.Body, pe.pushNames(mp.Params), qe.pushNames(mq.Params)); c != 0 {
+				return c
+			}
+		}
+		return 0
+	case *Inst:
+		q := q.(*Inst)
+		if c := cmpClassIdent(p.Class, q.Class, pe, qe); c != 0 {
+			return c
+		}
+		return cmpExprs(p.Args, q.Args, pe, qe)
+	case *Def:
+		q := q.(*Def)
+		if c := cmpInt(len(p.Defs), len(q.Defs)); c != 0 {
+			return c
+		}
+		pn := make([]string, len(p.Defs))
+		qn := make([]string, len(q.Defs))
+		for i := range p.Defs {
+			pn[i], qn[i] = p.Defs[i].Name, q.Defs[i].Name
+		}
+		pi, qi := pe.pushClasses(pn), qe.pushClasses(qn)
+		for i := range p.Defs {
+			dp, dq := p.Defs[i], q.Defs[i]
+			if c := cmpInt(len(dp.Params), len(dq.Params)); c != 0 {
+				return c
+			}
+			if c := cmpProc(dp.Body, dq.Body, pi.pushNames(dp.Params), qi.pushNames(dq.Params)); c != 0 {
+				return c
+			}
+		}
+		return cmpProc(p.Body, q.Body, pi, qi)
+	case *If:
+		q := q.(*If)
+		if c := cmpExpr(p.Cond, q.Cond, pe, qe); c != 0 {
+			return c
+		}
+		if c := cmpProc(p.Then, q.Then, pe, qe); c != 0 {
+			return c
+		}
+		return cmpProc(p.Else, q.Else, pe, qe)
+	case *Let:
+		q := q.(*Let)
+		if c := cmpIdent(p.Target, q.Target, pe, qe); c != 0 {
+			return c
+		}
+		if c := strings.Compare(p.Label, q.Label); c != 0 {
+			return c
+		}
+		if c := cmpExprs(p.Args, q.Args, pe, qe); c != 0 {
+			return c
+		}
+		return cmpProc(p.Body, q.Body, pe.pushNames([]string{p.Var}), qe.pushNames([]string{q.Var}))
+	case *ExportNew:
+		q := q.(*ExportNew)
+		// Exported lexemes are the site's public interface: compared
+		// literally, not up to α.
+		if c := cmpStrings(p.Names, q.Names); c != 0 {
+			return c
+		}
+		return cmpProc(p.Body, q.Body, pe.pushNames(p.Names), qe.pushNames(q.Names))
+	case *ExportDef:
+		q := q.(*ExportDef)
+		if c := cmpInt(len(p.Defs), len(q.Defs)); c != 0 {
+			return c
+		}
+		pn := make([]string, len(p.Defs))
+		qn := make([]string, len(q.Defs))
+		for i := range p.Defs {
+			pn[i], qn[i] = p.Defs[i].Name, q.Defs[i].Name
+		}
+		if c := cmpStrings(pn, qn); c != 0 {
+			return c
+		}
+		pi, qi := pe.pushClasses(pn), qe.pushClasses(qn)
+		for i := range p.Defs {
+			dp, dq := p.Defs[i], q.Defs[i]
+			if c := cmpInt(len(dp.Params), len(dq.Params)); c != 0 {
+				return c
+			}
+			if c := cmpProc(dp.Body, dq.Body, pi.pushNames(dp.Params), qi.pushNames(dq.Params)); c != 0 {
+				return c
+			}
+		}
+		return cmpProc(p.Body, q.Body, pi, qi)
+	case *ImportName:
+		q := q.(*ImportName)
+		if c := strings.Compare(p.Site, q.Site); c != 0 {
+			return c
+		}
+		if c := strings.Compare(p.Name, q.Name); c != 0 {
+			return c
+		}
+		return cmpProc(p.Body, q.Body, pe.pushNames([]string{p.Name}), qe.pushNames([]string{q.Name}))
+	case *ImportClass:
+		q := q.(*ImportClass)
+		if c := strings.Compare(p.Site, q.Site); c != 0 {
+			return c
+		}
+		if c := strings.Compare(p.Class, q.Class); c != 0 {
+			return c
+		}
+		return cmpProc(p.Body, q.Body, pe.pushClasses([]string{p.Class}), qe.pushClasses([]string{q.Class}))
+	case *Print:
+		q := q.(*Print)
+		if p.Newline != q.Newline {
+			if p.Newline {
+				return 1
+			}
+			return -1
+		}
+		return cmpExprs(p.Args, q.Args, pe, qe)
+	default:
+		return 0
+	}
+}
+
+func procKind(p Proc) int {
+	switch p.(type) {
+	case *Nil:
+		return 0
+	case *Msg:
+		return 1
+	case *Object:
+		return 2
+	case *Inst:
+		return 3
+	case *Print:
+		return 4
+	case *If:
+		return 5
+	case *Let:
+		return 6
+	case *New:
+		return 7
+	case *Def:
+		return 8
+	case *Par:
+		return 9
+	case *ExportNew:
+		return 10
+	case *ExportDef:
+		return 11
+	case *ImportName:
+		return 12
+	case *ImportClass:
+		return 13
+	default:
+		return 14
+	}
+}
+
+func cmpInt(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpStrings(a, b []string) int {
+	if c := cmpInt(len(a), len(b)); c != 0 {
+		return c
+	}
+	for i := range a {
+		if c := strings.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// cmpIdent compares identifiers positionally: two bound names are
+// equal iff bound at the same depth; bound sorts before free; free and
+// located names compare literally.
+func cmpIdent(p, q Ident, pe, qe *binders) int {
+	pi, pok := -1, false
+	qi, qok := -1, false
+	if !p.Loc() {
+		pi, pok = pe.names[p.Name], mapHas(pe.names, p.Name)
+	}
+	if !q.Loc() {
+		qi, qok = qe.names[q.Name], mapHas(qe.names, q.Name)
+	}
+	switch {
+	case pok && qok:
+		return cmpInt(pi, qi)
+	case pok:
+		return -1
+	case qok:
+		return 1
+	default:
+		if c := strings.Compare(p.Site, q.Site); c != 0 {
+			return c
+		}
+		return strings.Compare(p.Name, q.Name)
+	}
+}
+
+func cmpClassIdent(p, q Ident, pe, qe *binders) int {
+	pi, pok := -1, false
+	qi, qok := -1, false
+	if !p.Loc() {
+		pi, pok = pe.klass[p.Name], mapHas(pe.klass, p.Name)
+	}
+	if !q.Loc() {
+		qi, qok = qe.klass[q.Name], mapHas(qe.klass, q.Name)
+	}
+	switch {
+	case pok && qok:
+		return cmpInt(pi, qi)
+	case pok:
+		return -1
+	case qok:
+		return 1
+	default:
+		if c := strings.Compare(p.Site, q.Site); c != 0 {
+			return c
+		}
+		return strings.Compare(p.Name, q.Name)
+	}
+}
+
+func mapHas(m map[string]int, k string) bool {
+	_, ok := m[k]
+	return ok
+}
+
+func cmpExprs(a, b []Expr, pe, qe *binders) int {
+	if c := cmpInt(len(a), len(b)); c != 0 {
+		return c
+	}
+	for i := range a {
+		if c := cmpExpr(a[i], b[i], pe, qe); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+func cmpExpr(a, b Expr, pe, qe *binders) int {
+	ka, kb := exprKind(a), exprKind(b)
+	if ka != kb {
+		return cmpInt(ka, kb)
+	}
+	switch a := a.(type) {
+	case *Var:
+		return cmpIdent(a.Id, b.(*Var).Id, pe, qe)
+	case *IntLit:
+		return cmpInt64(a.Value, b.(*IntLit).Value)
+	case *FloatLit:
+		bf := b.(*FloatLit)
+		switch {
+		case a.Value < bf.Value:
+			return -1
+		case a.Value > bf.Value:
+			return 1
+		default:
+			return 0
+		}
+	case *StrLit:
+		return strings.Compare(a.Value, b.(*StrLit).Value)
+	case *BoolLit:
+		bb := b.(*BoolLit)
+		if a.Value == bb.Value {
+			return 0
+		}
+		if !a.Value {
+			return -1
+		}
+		return 1
+	case *Binary:
+		bb := b.(*Binary)
+		if c := cmpInt(int(a.Op), int(bb.Op)); c != 0 {
+			return c
+		}
+		if c := cmpExpr(a.L, bb.L, pe, qe); c != 0 {
+			return c
+		}
+		return cmpExpr(a.R, bb.R, pe, qe)
+	case *Unary:
+		bu := b.(*Unary)
+		if c := cmpInt(int(a.Op), int(bu.Op)); c != 0 {
+			return c
+		}
+		return cmpExpr(a.E, bu.E, pe, qe)
+	default:
+		return 0
+	}
+}
+
+func exprKind(e Expr) int {
+	switch e.(type) {
+	case *Var:
+		return 0
+	case *IntLit:
+		return 1
+	case *FloatLit:
+		return 2
+	case *StrLit:
+		return 3
+	case *BoolLit:
+		return 4
+	case *Binary:
+		return 5
+	case *Unary:
+		return 6
+	default:
+		return 7
+	}
+}
+
+func cmpInt64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func itoa(i int) string { return itoa64(int64(i)) }
+
+func itoa64(i int64) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}

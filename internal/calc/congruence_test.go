@@ -1,0 +1,153 @@
+package calc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/syntax"
+)
+
+func mp(t *testing.T, src string) calc.Proc {
+	t.Helper()
+	p, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return p
+}
+
+func TestCongruenceMonoidLaws(t *testing.T) {
+	cases := []struct{ a, b string }{
+		// 0 is an identity.
+		{`new x (x![] | inaction)`, `new x x![]`},
+		{`new x (inaction | x![])`, `new x x![]`},
+		// Commutativity.
+		{`new x new y (x![] | y![])`, `new x new y (y![] | x![])`},
+		// Associativity (flattening).
+		{`new x new y new z ((x![] | y![]) | z![])`, `new x new y new z (x![] | (y![] | z![]))`},
+		// α-conversion.
+		{`new x x!go[1]`, `new y y!go[1]`},
+		{`new a (a?(u) = u![])`, `new b (b?(w) = w![])`},
+		// GcN: unused restriction.
+		{`new x new dead x![]`, `new x x![]`},
+		// GcD: dead definition.
+		{`def A() = inaction in new x x![]`, `new x x![]`},
+		// Method order is irrelevant in printing but objects are
+		// compared after label sorting.
+		{`new x (x?{ m() = inaction, go() = inaction })`, `new x (x?{ go() = inaction, m() = inaction })`},
+	}
+	for _, c := range cases {
+		if !calc.StructCongruent(mp(t, c.a), mp(t, c.b)) {
+			t.Errorf("expected congruent:\n  %s\n  %s", c.a, c.b)
+		}
+	}
+}
+
+func TestCongruenceDistinguishes(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{`new x x!go[1]`, `new x x!go[2]`},
+		{`new x x!go[]`, `new x x!stop[]`},
+		{`new x x![]`, `new x (x![] | x![])`},
+		// Different binding structure is not α-equivalent.
+		{`new x new y (x![] | y![1])`, `new x new y (y![] | x![1])`},
+		// Free names compare literally.
+		{`new x x![]`, `inaction`},
+		// Live defs are kept and compared.
+		{`def A() = inaction in A[]`, `def A() = new x x![] in A[]`},
+	}
+	for _, c := range cases {
+		if calc.StructCongruent(mp(t, c.a), mp(t, c.b)) {
+			t.Errorf("expected NOT congruent:\n  %s\n  %s", c.a, c.b)
+		}
+	}
+}
+
+func TestAlphaEquivalentBasics(t *testing.T) {
+	if !calc.AlphaEquivalent(mp(t, `new x x![]`), mp(t, `new y y![]`)) {
+		t.Error("α-equivalence failed on renamed binder")
+	}
+	if calc.AlphaEquivalent(mp(t, `new x (x![] | inaction)`), mp(t, `new x x![]`)) {
+		t.Error("α-equivalence must not absorb 0 (that is congruence)")
+	}
+}
+
+// Property: the par monoid laws hold for random terms.
+func TestCongruencePropertyMonoid(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	g := &calc.Gen{R: r, MaxDepth: 4}
+	for i := 0; i < 200; i++ {
+		p := g.Proc()
+		q := g.Proc()
+		s := g.Proc()
+		par := func(a, b calc.Proc) calc.Proc { return &calc.Par{Left: a, Right: b} }
+		if !calc.StructCongruent(par(p, &calc.Nil{}), p) {
+			t.Fatalf("P|0 ≢ P for P=%s", calc.String(p))
+		}
+		if !calc.StructCongruent(par(p, q), par(q, p)) {
+			t.Fatalf("P|Q ≢ Q|P for\nP=%s\nQ=%s", calc.String(p), calc.String(q))
+		}
+		if !calc.StructCongruent(par(par(p, q), s), par(p, par(q, s))) {
+			t.Fatalf("associativity failed for\nP=%s\nQ=%s\nR=%s", calc.String(p), calc.String(q), calc.String(s))
+		}
+	}
+}
+
+// Property: renaming a fresh binder preserves congruence.
+func TestCongruencePropertyAlpha(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	g := &calc.Gen{R: r, MaxDepth: 4}
+	var fresh calc.FreshNames
+	for i := 0; i < 200; i++ {
+		body := g.Proc()
+		p := &calc.New{Names: []string{"x"}, Body: body}
+		renamed := calc.SubstProc(body, calc.Subst{"x": calc.Ident{Name: "renamed$q"}}, &fresh)
+		q := &calc.New{Names: []string{"renamed$q"}, Body: renamed}
+		if !calc.StructCongruent(p, q) {
+			t.Fatalf("α-renaming broke congruence for body=%s", calc.String(body))
+		}
+	}
+}
+
+// Property: GarbageCollect output is congruent to its input and
+// idempotent.
+func TestGarbageCollectProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	g := &calc.Gen{R: r, MaxDepth: 4}
+	for i := 0; i < 200; i++ {
+		p := g.Proc()
+		gc := calc.GarbageCollect(p)
+		if !calc.StructCongruent(p, gc) {
+			t.Fatalf("GC changed meaning of %s -> %s", calc.String(p), calc.String(gc))
+		}
+		gc2 := calc.GarbageCollect(gc)
+		if !calc.AlphaEquivalent(gc, gc2) {
+			t.Fatalf("GC not idempotent on %s", calc.String(p))
+		}
+	}
+}
+
+// Property: congruence is symmetric and transitive over a pool of
+// random terms and their randomized variants.
+func TestCongruenceEquivalenceRelation(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	g := &calc.Gen{R: r, MaxDepth: 3}
+	var fresh calc.FreshNames
+	variant := func(p calc.Proc) calc.Proc {
+		// A congruent variant: drop in a 0 and rename a binder.
+		q := &calc.Par{Left: p, Right: &calc.Nil{}}
+		renamed := calc.SubstProc(q, calc.Subst{"x": calc.Ident{Name: fresh.Fresh("v")}}, &fresh)
+		return renamed
+	}
+	for i := 0; i < 100; i++ {
+		a := g.Proc()
+		b := variant(a)
+		c := variant(b)
+		if !calc.StructCongruent(a, b) || !calc.StructCongruent(b, a) {
+			t.Fatalf("symmetry broken for %s", calc.String(a))
+		}
+		if !calc.StructCongruent(a, c) {
+			t.Fatalf("transitivity broken for %s", calc.String(a))
+		}
+	}
+}

@@ -1,0 +1,627 @@
+package calc
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// The reference interpreter executes TyCO terms directly, following
+// the reduction semantics of section 2 (COMMUNICATION and
+// INSTANTIATION). It exists to pin down the semantics: the compiler +
+// virtual machine pipeline is differential-tested against it.
+//
+// The interpreter is single-site: export/import degrade to their local
+// readings (export new ≡ new, export def ≡ def); cross-site programs
+// are interpreted by package netcalc, which layers the network
+// semantics of section 3 on top of this machine.
+
+// VKind tags interpreter values.
+type VKind uint8
+
+// Interpreter value kinds.
+const (
+	VInt VKind = iota
+	VFloat
+	VBool
+	VStr
+	VChan
+)
+
+// Value is a runtime value of the reference interpreter.
+type Value struct {
+	Kind VKind
+	I    int64
+	F    float64
+	S    string
+	Ch   *Chan
+}
+
+// IntValue constructs an integer value.
+func IntValue(i int64) Value { return Value{Kind: VInt, I: i} }
+
+// BoolValue constructs a boolean value.
+func BoolValue(b bool) Value {
+	var i int64
+	if b {
+		i = 1
+	}
+	return Value{Kind: VBool, I: i}
+}
+
+// FloatValue constructs a float value.
+func FloatValue(f float64) Value { return Value{Kind: VFloat, F: f} }
+
+// StrValue constructs a string value.
+func StrValue(s string) Value { return Value{Kind: VStr, S: s} }
+
+// ChanValue constructs a channel value.
+func ChanValue(c *Chan) Value { return Value{Kind: VChan, Ch: c} }
+
+// Bool reports the truth of a boolean value.
+func (v Value) Bool() bool { return v.I != 0 }
+
+func (v Value) String() string {
+	switch v.Kind {
+	case VInt:
+		return strconv.FormatInt(v.I, 10)
+	case VFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case VBool:
+		if v.I != 0 {
+			return "true"
+		}
+		return "false"
+	case VStr:
+		return v.S
+	case VChan:
+		return fmt.Sprintf("#%d", v.Ch.ID)
+	default:
+		return "?"
+	}
+}
+
+// Equal compares two values; channels compare by identity.
+func (v Value) Equal(w Value) bool {
+	if v.Kind != w.Kind {
+		return false
+	}
+	switch v.Kind {
+	case VInt, VBool:
+		return v.I == w.I
+	case VFloat:
+		return v.F == w.F
+	case VStr:
+		return v.S == w.S
+	case VChan:
+		return v.Ch == w.Ch
+	default:
+		return false
+	}
+}
+
+// Chan is a heap channel: a rendez-vous point holding either queued
+// messages or queued objects (never both — a pending message and a
+// pending object immediately reduce).
+type Chan struct {
+	ID   int
+	Msgs []PendingMsg
+	Objs []PendingObj
+}
+
+// PendingMsg is a message queued at a channel.
+type PendingMsg struct {
+	Label string
+	Args  []Value
+}
+
+// PendingObj is an object (a method suite closure) queued at a channel.
+type PendingObj struct {
+	Methods []Method
+	Env     *Env
+	Classes *ClassEnv
+}
+
+// Env is a chained variable environment.
+type Env struct {
+	vars map[string]Value
+	next *Env
+}
+
+// Bind extends e with the given bindings and returns the new frame.
+func (e *Env) Bind(names []string, vals []Value) *Env {
+	m := make(map[string]Value, len(names))
+	for i, n := range names {
+		m[n] = vals[i]
+	}
+	return &Env{vars: m, next: e}
+}
+
+// Bind1 extends e with a single binding.
+func (e *Env) Bind1(name string, v Value) *Env {
+	return &Env{vars: map[string]Value{name: v}, next: e}
+}
+
+// Lookup finds a variable binding.
+func (e *Env) Lookup(name string) (Value, bool) {
+	for f := e; f != nil; f = f.next {
+		if v, ok := f.vars[name]; ok {
+			return v, true
+		}
+	}
+	return Value{}, false
+}
+
+// ClassClosure is a class definition together with the environments it
+// was defined in (its lexical context).
+type ClassClosure struct {
+	Def     ClassDef
+	Env     *Env
+	Classes *ClassEnv // the def-group frame, enabling mutual recursion
+}
+
+// ClassEnv is a chained class-variable environment.
+type ClassEnv struct {
+	classes map[string]*ClassClosure
+	next    *ClassEnv
+}
+
+// Lookup finds a class binding.
+func (e *ClassEnv) Lookup(name string) (*ClassClosure, bool) {
+	for f := e; f != nil; f = f.next {
+		if c, ok := f.classes[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+// bindDefs creates the mutually recursive frame for a def group.
+func (e *ClassEnv) bindDefs(defs []ClassDef, env *Env) *ClassEnv {
+	frame := &ClassEnv{classes: make(map[string]*ClassClosure, len(defs)), next: e}
+	for _, d := range defs {
+		frame.classes[d.Name] = &ClassClosure{Def: d, Env: env, Classes: frame}
+	}
+	return frame
+}
+
+// thread is a runnable unit: a process with its environments.
+type thread struct {
+	proc    Proc
+	env     *Env
+	classes *ClassEnv
+}
+
+// RuntimeError is an execution error with a source position.
+type RuntimeError struct {
+	At  Pos
+	Msg string
+}
+
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("runtime error at %s: %s", e.At, e.Msg)
+}
+
+// ErrMaxSteps is returned when the interpreter exceeds its step budget.
+var ErrMaxSteps = errors.New("calc: step budget exhausted")
+
+// Config configures an interpreter run.
+type Config struct {
+	// Output receives print/println output; nil discards it.
+	Output io.Writer
+	// MaxSteps bounds the number of scheduler steps; 0 means a
+	// large default (10 million).
+	MaxSteps int
+	// Seed, when nonzero, makes the scheduler pick runnable threads
+	// pseudo-randomly (to exercise nondeterminism in tests); zero
+	// keeps FIFO order.
+	Seed int64
+}
+
+// Stats reports what an interpreter run did.
+type Stats struct {
+	Steps          int // scheduler steps (threads executed)
+	Communications int // COMM reductions
+	Instantiations int // INST reductions
+	Channels       int // channels allocated
+}
+
+// Interp is a single-site reference interpreter instance.
+type Interp struct {
+	cfg    Config
+	fresh  FreshNames
+	queue  []thread
+	nextCh int
+	rng    *rand.Rand
+	out    io.Writer
+	stats  Stats
+}
+
+// NewInterp creates an interpreter with the given configuration.
+func NewInterp(cfg Config) *Interp {
+	in := &Interp{cfg: cfg, out: cfg.Output}
+	if in.out == nil {
+		in.out = io.Discard
+	}
+	if cfg.Seed != 0 {
+		in.rng = rand.New(rand.NewSource(cfg.Seed))
+	}
+	return in
+}
+
+// NewChan allocates a fresh channel.
+func (in *Interp) NewChan() *Chan {
+	in.nextCh++
+	in.stats.Channels++
+	return &Chan{ID: in.nextCh}
+}
+
+// Spawn adds a process to the run queue under the given environments.
+func (in *Interp) Spawn(p Proc, env *Env, classes *ClassEnv) {
+	in.queue = append(in.queue, thread{proc: p, env: env, classes: classes})
+}
+
+// Run executes p to quiescence (empty run queue) and returns the
+// statistics. Processes blocked on channels with no partner simply
+// remain queued at their channels — that is quiescence, not an error
+// (an asynchronous calculus has no deadlock notion at this level).
+func (in *Interp) Run(p Proc) (Stats, error) {
+	in.Spawn(Desugar(p, &in.fresh), nil, nil)
+	max := in.cfg.MaxSteps
+	if max == 0 {
+		max = 10_000_000
+	}
+	for len(in.queue) > 0 {
+		if in.stats.Steps >= max {
+			return in.stats, ErrMaxSteps
+		}
+		in.stats.Steps++
+		var t thread
+		if in.rng != nil {
+			i := in.rng.Intn(len(in.queue))
+			t = in.queue[i]
+			in.queue[i] = in.queue[len(in.queue)-1]
+			in.queue = in.queue[:len(in.queue)-1]
+		} else {
+			t = in.queue[0]
+			in.queue = in.queue[1:]
+		}
+		if err := in.step(t); err != nil {
+			return in.stats, err
+		}
+	}
+	return in.stats, nil
+}
+
+// RunString is a convenience for tests: run and capture print output.
+func RunString(p Proc, cfg Config) (string, Stats, error) {
+	var b strings.Builder
+	cfg.Output = &b
+	in := NewInterp(cfg)
+	st, err := in.Run(p)
+	return b.String(), st, err
+}
+
+func (in *Interp) step(t thread) error {
+	switch p := t.proc.(type) {
+	case *Nil:
+		return nil
+	case *Par:
+		in.Spawn(p.Left, t.env, t.classes)
+		in.Spawn(p.Right, t.env, t.classes)
+		return nil
+	case *New, *ExportNew:
+		var names []string
+		var body Proc
+		if n, ok := p.(*New); ok {
+			names, body = n.Names, n.Body
+		} else {
+			e := p.(*ExportNew)
+			names, body = e.Names, e.Body
+		}
+		vals := make([]Value, len(names))
+		for i := range names {
+			vals[i] = ChanValue(in.NewChan())
+		}
+		in.Spawn(body, t.env.Bind(names, vals), t.classes)
+		return nil
+	case *Msg:
+		ch, err := in.lookupChan(p.Target, p.Pos(), t.env)
+		if err != nil {
+			return err
+		}
+		args, err := in.evalExprs(p.Args, t.env)
+		if err != nil {
+			return err
+		}
+		if len(ch.Objs) > 0 {
+			obj := ch.Objs[0]
+			ch.Objs = ch.Objs[1:]
+			return in.reduce(ch, PendingMsg{Label: p.Label, Args: args}, obj, p.Pos())
+		}
+		ch.Msgs = append(ch.Msgs, PendingMsg{Label: p.Label, Args: args})
+		return nil
+	case *Object:
+		ch, err := in.lookupChan(p.Target, p.Pos(), t.env)
+		if err != nil {
+			return err
+		}
+		obj := PendingObj{Methods: p.Methods, Env: t.env, Classes: t.classes}
+		if len(ch.Msgs) > 0 {
+			msg := ch.Msgs[0]
+			ch.Msgs = ch.Msgs[1:]
+			return in.reduce(ch, msg, obj, p.Pos())
+		}
+		ch.Objs = append(ch.Objs, obj)
+		return nil
+	case *Inst:
+		if p.Class.Loc() {
+			return &RuntimeError{At: p.Pos(), Msg: fmt.Sprintf("located class %s cannot be instantiated by the single-site interpreter", p.Class)}
+		}
+		cc, ok := t.classes.Lookup(p.Class.Name)
+		if !ok {
+			return &RuntimeError{At: p.Pos(), Msg: fmt.Sprintf("unbound class %s", p.Class.Name)}
+		}
+		args, err := in.evalExprs(p.Args, t.env)
+		if err != nil {
+			return err
+		}
+		if len(args) != len(cc.Def.Params) {
+			return &RuntimeError{At: p.Pos(), Msg: fmt.Sprintf("class %s expects %d arguments, got %d", p.Class.Name, len(cc.Def.Params), len(args))}
+		}
+		in.stats.Instantiations++
+		in.Spawn(cc.Def.Body, cc.Env.Bind(cc.Def.Params, args), cc.Classes)
+		return nil
+	case *Def:
+		in.Spawn(p.Body, t.env, t.classes.bindDefs(p.Defs, t.env))
+		return nil
+	case *ExportDef:
+		in.Spawn(p.Body, t.env, t.classes.bindDefs(p.Defs, t.env))
+		return nil
+	case *If:
+		c, err := in.evalExpr(p.Cond, t.env)
+		if err != nil {
+			return err
+		}
+		if c.Kind != VBool {
+			return &RuntimeError{At: p.Pos(), Msg: "condition is not a boolean"}
+		}
+		if c.Bool() {
+			in.Spawn(p.Then, t.env, t.classes)
+		} else {
+			in.Spawn(p.Else, t.env, t.classes)
+		}
+		return nil
+	case *Print:
+		args, err := in.evalExprs(p.Args, t.env)
+		if err != nil {
+			return err
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.String()
+		}
+		if p.Newline {
+			fmt.Fprintln(in.out, strings.Join(parts, " "))
+		} else {
+			fmt.Fprint(in.out, strings.Join(parts, " "))
+		}
+		return nil
+	case *ImportName, *ImportClass:
+		return &RuntimeError{At: t.proc.Pos(), Msg: "import is not supported by the single-site interpreter (use netcalc)"}
+	case *Let:
+		in.Spawn(Desugar(p, &in.fresh), t.env, t.classes)
+		return nil
+	default:
+		return &RuntimeError{At: t.proc.Pos(), Msg: fmt.Sprintf("unknown process %T", p)}
+	}
+}
+
+// reduce performs one COMMUNICATION step: select the method named by
+// the message in the object and run its body with the arguments bound.
+func (in *Interp) reduce(ch *Chan, msg PendingMsg, obj PendingObj, at Pos) error {
+	for _, m := range obj.Methods {
+		if m.Label != msg.Label {
+			continue
+		}
+		if len(m.Params) != len(msg.Args) {
+			return &RuntimeError{At: at, Msg: fmt.Sprintf("method %s on #%d expects %d arguments, got %d", m.Label, ch.ID, len(m.Params), len(msg.Args))}
+		}
+		in.stats.Communications++
+		in.Spawn(m.Body, obj.Env.Bind(m.Params, msg.Args), obj.Classes)
+		return nil
+	}
+	return &RuntimeError{At: at, Msg: fmt.Sprintf("channel #%d: object does not understand label %q", ch.ID, msg.Label)}
+}
+
+func (in *Interp) lookupChan(id Ident, at Pos, env *Env) (*Chan, error) {
+	if id.Loc() {
+		return nil, &RuntimeError{At: at, Msg: fmt.Sprintf("located name %s cannot be used by the single-site interpreter", id)}
+	}
+	v, ok := env.Lookup(id.Name)
+	if !ok {
+		return nil, &RuntimeError{At: at, Msg: fmt.Sprintf("unbound name %s", id.Name)}
+	}
+	if v.Kind != VChan {
+		return nil, &RuntimeError{At: at, Msg: fmt.Sprintf("%s is not a channel (it is %s)", id.Name, v)}
+	}
+	return v.Ch, nil
+}
+
+func (in *Interp) evalExprs(es []Expr, env *Env) ([]Value, error) {
+	return EvalExprs(es, env)
+}
+
+func (in *Interp) evalExpr(e Expr, env *Env) (Value, error) {
+	return EvalExpr(e, env)
+}
+
+// EvalExprs evaluates a list of expressions under env.
+func EvalExprs(es []Expr, env *Env) ([]Value, error) {
+	out := make([]Value, len(es))
+	for i, e := range es {
+		v, err := EvalExpr(e, env)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// EvalExpr evaluates one expression under env. Expressions are pure:
+// they never allocate channels or reduce, so evaluation is shared
+// between the local interpreter and the network semantics in package
+// netcalc.
+func EvalExpr(e Expr, env *Env) (Value, error) {
+	switch e := e.(type) {
+	case *Var:
+		if e.Id.Loc() {
+			return Value{}, &RuntimeError{At: e.Pos(), Msg: fmt.Sprintf("located name %s in expression", e.Id)}
+		}
+		v, ok := env.Lookup(e.Id.Name)
+		if !ok {
+			return Value{}, &RuntimeError{At: e.Pos(), Msg: fmt.Sprintf("unbound name %s", e.Id.Name)}
+		}
+		return v, nil
+	case *IntLit:
+		return IntValue(e.Value), nil
+	case *FloatLit:
+		return FloatValue(e.Value), nil
+	case *StrLit:
+		return StrValue(e.Value), nil
+	case *BoolLit:
+		return BoolValue(e.Value), nil
+	case *Unary:
+		v, err := EvalExpr(e.E, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyUnary(e.Op, v, e.Pos())
+	case *Binary:
+		l, err := EvalExpr(e.L, env)
+		if err != nil {
+			return Value{}, err
+		}
+		r, err := EvalExpr(e.R, env)
+		if err != nil {
+			return Value{}, err
+		}
+		return applyBinary(e.Op, l, r, e.Pos())
+	default:
+		return Value{}, &RuntimeError{At: e.Pos(), Msg: fmt.Sprintf("unknown expression %T", e)}
+	}
+}
+
+func applyUnary(op Op, v Value, at Pos) (Value, error) {
+	switch op {
+	case OpNeg:
+		switch v.Kind {
+		case VInt:
+			return IntValue(-v.I), nil
+		case VFloat:
+			return FloatValue(-v.F), nil
+		}
+	case OpNot:
+		if v.Kind == VBool {
+			return BoolValue(!v.Bool()), nil
+		}
+	}
+	return Value{}, &RuntimeError{At: at, Msg: fmt.Sprintf("operator %s not applicable to %s", op, v)}
+}
+
+func applyBinary(op Op, l, r Value, at Pos) (Value, error) {
+	bad := func() (Value, error) {
+		return Value{}, &RuntimeError{At: at, Msg: fmt.Sprintf("operator %s not applicable to %s and %s", op, l, r)}
+	}
+	switch op {
+	case OpAdd:
+		switch {
+		case l.Kind == VInt && r.Kind == VInt:
+			return IntValue(l.I + r.I), nil
+		case l.Kind == VFloat && r.Kind == VFloat:
+			return FloatValue(l.F + r.F), nil
+		case l.Kind == VStr && r.Kind == VStr:
+			return StrValue(l.S + r.S), nil
+		}
+		return bad()
+	case OpSub, OpMul, OpDiv, OpMod:
+		switch {
+		case l.Kind == VInt && r.Kind == VInt:
+			switch op {
+			case OpSub:
+				return IntValue(l.I - r.I), nil
+			case OpMul:
+				return IntValue(l.I * r.I), nil
+			case OpDiv:
+				if r.I == 0 {
+					return Value{}, &RuntimeError{At: at, Msg: "integer division by zero"}
+				}
+				return IntValue(l.I / r.I), nil
+			case OpMod:
+				if r.I == 0 {
+					return Value{}, &RuntimeError{At: at, Msg: "integer modulo by zero"}
+				}
+				return IntValue(l.I % r.I), nil
+			}
+		case l.Kind == VFloat && r.Kind == VFloat:
+			switch op {
+			case OpSub:
+				return FloatValue(l.F - r.F), nil
+			case OpMul:
+				return FloatValue(l.F * r.F), nil
+			case OpDiv:
+				return FloatValue(l.F / r.F), nil
+			}
+		}
+		return bad()
+	case OpEq:
+		return BoolValue(l.Equal(r)), nil
+	case OpNe:
+		return BoolValue(!l.Equal(r)), nil
+	case OpLt, OpLe, OpGt, OpGe:
+		var c int
+		switch {
+		case l.Kind == VInt && r.Kind == VInt:
+			switch {
+			case l.I < r.I:
+				c = -1
+			case l.I > r.I:
+				c = 1
+			}
+		case l.Kind == VFloat && r.Kind == VFloat:
+			switch {
+			case l.F < r.F:
+				c = -1
+			case l.F > r.F:
+				c = 1
+			}
+		case l.Kind == VStr && r.Kind == VStr:
+			c = strings.Compare(l.S, r.S)
+		default:
+			return bad()
+		}
+		switch op {
+		case OpLt:
+			return BoolValue(c < 0), nil
+		case OpLe:
+			return BoolValue(c <= 0), nil
+		case OpGt:
+			return BoolValue(c > 0), nil
+		default:
+			return BoolValue(c >= 0), nil
+		}
+	case OpAnd, OpOr:
+		if l.Kind == VBool && r.Kind == VBool {
+			if op == OpAnd {
+				return BoolValue(l.Bool() && r.Bool()), nil
+			}
+			return BoolValue(l.Bool() || r.Bool()), nil
+		}
+		return bad()
+	}
+	return bad()
+}

@@ -1,0 +1,181 @@
+package calc_test
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/syntax"
+)
+
+func runSrc(t *testing.T, src string, cfg calc.Config) (string, calc.Stats) {
+	t.Helper()
+	out, st, err := calc.RunString(syntax.MustParse(src), cfg)
+	if err != nil {
+		t.Fatalf("run %q: %v", src, err)
+	}
+	return out, st
+}
+
+func TestEvalArithmetic(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{`println(1 + 2 * 3)`, "7\n"},
+		{`println(10 / 3, 10 % 3)`, "3 1\n"},
+		{`println(2.5 + 0.25)`, "2.75\n"},
+		{`println("a" + "b")`, "ab\n"},
+		{`println(1 < 2, 2 <= 2, 3 > 4, "a" < "b")`, "true true false true\n"},
+		{`println(true && false, true || false, not true)`, "false true false\n"},
+		{`println(1 == 1, 1 != 2, "x" == "x")`, "true true true\n"},
+		{`println(-5, -2.5)`, "-5 -2.5\n"},
+		{`if 1 + 1 == 2 then println("yes") else println("no")`, "yes\n"},
+	}
+	for _, c := range cases {
+		if out, _ := runSrc(t, c.src, calc.Config{}); out != c.want {
+			t.Errorf("%s => %q, want %q", c.src, out, c.want)
+		}
+	}
+}
+
+func TestEvalRuntimeErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{`println(1 / 0)`, "division by zero"},
+		{`println(1 % 0)`, "modulo by zero"},
+		{`println(1 + true)`, "not applicable"},
+		{`if 3 then inaction else inaction`, "not a boolean"},
+		{`new x (x!miss[] | x?{ hit() = inaction })`, "does not understand"},
+		{`new x (x!go[1, 2] | x?{ go(a) = inaction })`, "expects 1 arguments"},
+		{`def A(x) = inaction in A[1, 2]`, "expects 1 arguments"},
+		{`new x x![1 + "a"]`, "not applicable"},
+	}
+	for _, c := range cases {
+		_, _, err := calc.RunString(syntax.MustParse(c.src), calc.Config{})
+		if err == nil {
+			t.Errorf("%s: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: error %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestEvalStepBudget(t *testing.T) {
+	src := `def Loop() = Loop[] in Loop[]`
+	_, _, err := calc.RunString(syntax.MustParse(src), calc.Config{MaxSteps: 1000})
+	if err != calc.ErrMaxSteps {
+		t.Fatalf("want ErrMaxSteps, got %v", err)
+	}
+}
+
+func TestEvalMessageBeforeObject(t *testing.T) {
+	// Asynchrony: the message can be queued before any object exists.
+	out, st := runSrc(t, `new x (x![5] | x?(v) = println(v))`, calc.Config{})
+	if out != "5\n" || st.Communications != 1 {
+		t.Fatalf("out=%q stats=%+v", out, st)
+	}
+	// And the other way round.
+	out2, _ := runSrc(t, `new x ((x?(v) = println(v)) | x![6])`, calc.Config{})
+	if out2 != "6\n" {
+		t.Fatalf("out=%q", out2)
+	}
+}
+
+func TestEvalAllMessagesConsumed(t *testing.T) {
+	// Three racing messages, three successive receivers: every
+	// message is consumed exactly once (the order is scheduler
+	// dependent — parallel composition is unordered).
+	src := `
+new x (x![1] | x![2] | x![3] |
+  def Drain(n) = if n == 0 then inaction else (x?(v) = println(v) | Drain[n - 1])
+  in Drain[3])`
+	out, st := runSrc(t, src, calc.Config{})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	sort.Strings(lines)
+	if got := strings.Join(lines, ","); got != "1,2,3" {
+		t.Fatalf("out=%q", out)
+	}
+	if st.Communications != 3 {
+		t.Fatalf("communications = %d, want 3", st.Communications)
+	}
+}
+
+func TestEvalDeterministicProgramsAgreeAcrossSchedules(t *testing.T) {
+	// A confluent program must print the same multiset of lines under
+	// any scheduling; this one even the same single line.
+	src := `
+def Fib(n, r) = if n < 2 then r![n]
+                else new a new b (Fib[n - 1, a] | Fib[n - 2, b] |
+                     a?(x) = b?(y) = r![x + y])
+in new r (Fib[12, r] | r?(v) = println(v))`
+	want, _ := runSrc(t, src, calc.Config{})
+	if want != "144\n" {
+		t.Fatalf("fib(12) = %q", want)
+	}
+	for seed := int64(1); seed <= 20; seed++ {
+		got, _ := runSrc(t, src, calc.Config{Seed: seed})
+		if got != want {
+			t.Fatalf("seed %d: got %q want %q", seed, got, want)
+		}
+	}
+}
+
+func TestEvalNondeterminismIsReal(t *testing.T) {
+	// Two messages race for one object: different schedules must be
+	// able to produce different winners (this is the calculus's
+	// nondeterminism, not a bug).
+	src := `new x (x!["first"] | x!["second"] | x?(v) = println(v))`
+	seen := map[string]bool{}
+	for seed := int64(1); seed <= 64; seed++ {
+		got, _ := runSrc(t, src, calc.Config{Seed: seed})
+		seen[got] = true
+	}
+	if !seen["first\n"] || !seen["second\n"] {
+		t.Fatalf("expected both outcomes across seeds, saw %v", seen)
+	}
+}
+
+func TestEvalPolymorphicCellBothTypes(t *testing.T) {
+	src := `
+def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+in new x new y (Cell[x, 9] | Cell[y, true] |
+   new r1 (x!read[r1] | r1?(a) = println(a)) |
+   new r2 (y!read[r2] | r2?(b) = println(b)))`
+	out, _ := runSrc(t, src, calc.Config{})
+	if out != "9\ntrue\n" && out != "true\n9\n" {
+		t.Fatalf("out=%q", out)
+	}
+}
+
+func TestEvalStatsCounters(t *testing.T) {
+	_, st := runSrc(t, `
+def A() = inaction in (A[] | A[] | new x new y (x![] | x?() = inaction))`, calc.Config{})
+	if st.Instantiations != 2 {
+		t.Fatalf("instantiations = %d, want 2", st.Instantiations)
+	}
+	if st.Communications != 1 {
+		t.Fatalf("communications = %d, want 1", st.Communications)
+	}
+	if st.Channels != 2 {
+		t.Fatalf("channels = %d, want 2", st.Channels)
+	}
+}
+
+func TestEvalExportDegradesLocally(t *testing.T) {
+	// Single-site interpretation: export new ≡ new, export def ≡ def.
+	out, _ := runSrc(t, `export new x (x![7] | x?(v) = println(v))`, calc.Config{})
+	if out != "7\n" {
+		t.Fatalf("out=%q", out)
+	}
+	out2, _ := runSrc(t, `export def A(v) = println(v) in A[8]`, calc.Config{})
+	if out2 != "8\n" {
+		t.Fatalf("out=%q", out2)
+	}
+}
+
+func TestEvalImportRejected(t *testing.T) {
+	_, _, err := calc.RunString(syntax.MustParse(`import x from s in x![]`), calc.Config{})
+	if err == nil || !strings.Contains(err.Error(), "netcalc") {
+		t.Fatalf("import should direct to netcalc, got %v", err)
+	}
+}

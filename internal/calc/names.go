@@ -1,0 +1,506 @@
+package calc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+)
+
+// FreshNames generates names guaranteed not to clash with any source
+// identifier: source identifiers never contain '$'.
+type FreshNames struct{ n atomic.Uint64 }
+
+// Fresh returns a new unique name derived from hint.
+func (f *FreshNames) Fresh(hint string) string {
+	if hint == "" {
+		hint = "x"
+	}
+	if i := strings.IndexByte(hint, '$'); i >= 0 {
+		hint = hint[:i]
+	}
+	return fmt.Sprintf("%s$%d", hint, f.n.Add(1))
+}
+
+// FreeNames returns the set of free plain names of p. Located
+// identifiers are constants of the calculus (section 3) and are never
+// collected.
+func FreeNames(p Proc) map[string]bool {
+	out := map[string]bool{}
+	freeNames(p, map[string]bool{}, out)
+	return out
+}
+
+// SortedFreeNames returns the free names of p in lexical order — a
+// deterministic form of FreeNames for callers that need stable output
+// (diagnostics, tests).
+func SortedFreeNames(p Proc) []string {
+	set := FreeNames(p)
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func freeExpr(e Expr, bound, out map[string]bool) {
+	switch e := e.(type) {
+	case *Var:
+		if !e.Id.Loc() && !bound[e.Id.Name] {
+			out[e.Id.Name] = true
+		}
+	case *Binary:
+		freeExpr(e.L, bound, out)
+		freeExpr(e.R, bound, out)
+	case *Unary:
+		freeExpr(e.E, bound, out)
+	}
+}
+
+func withBound(bound map[string]bool, names []string) map[string]bool {
+	if len(names) == 0 {
+		return bound
+	}
+	next := make(map[string]bool, len(bound)+len(names))
+	for k := range bound {
+		next[k] = true
+	}
+	for _, n := range names {
+		next[n] = true
+	}
+	return next
+}
+
+func freeNames(p Proc, bound, out map[string]bool) {
+	switch p := p.(type) {
+	case *Nil:
+	case *Par:
+		freeNames(p.Left, bound, out)
+		freeNames(p.Right, bound, out)
+	case *New:
+		freeNames(p.Body, withBound(bound, p.Names), out)
+	case *Msg:
+		if !p.Target.Loc() && !bound[p.Target.Name] {
+			out[p.Target.Name] = true
+		}
+		for _, a := range p.Args {
+			freeExpr(a, bound, out)
+		}
+	case *Object:
+		if !p.Target.Loc() && !bound[p.Target.Name] {
+			out[p.Target.Name] = true
+		}
+		for _, m := range p.Methods {
+			freeNames(m.Body, withBound(bound, m.Params), out)
+		}
+	case *Inst:
+		for _, a := range p.Args {
+			freeExpr(a, bound, out)
+		}
+	case *Def:
+		for _, d := range p.Defs {
+			freeNames(d.Body, withBound(bound, d.Params), out)
+		}
+		freeNames(p.Body, bound, out)
+	case *If:
+		freeExpr(p.Cond, bound, out)
+		freeNames(p.Then, bound, out)
+		freeNames(p.Else, bound, out)
+	case *Let:
+		if !p.Target.Loc() && !bound[p.Target.Name] {
+			out[p.Target.Name] = true
+		}
+		for _, a := range p.Args {
+			freeExpr(a, bound, out)
+		}
+		freeNames(p.Body, withBound(bound, []string{p.Var}), out)
+	case *ExportNew:
+		freeNames(p.Body, withBound(bound, p.Names), out)
+	case *ExportDef:
+		for _, d := range p.Defs {
+			freeNames(d.Body, withBound(bound, d.Params), out)
+		}
+		freeNames(p.Body, bound, out)
+	case *ImportName:
+		freeNames(p.Body, withBound(bound, []string{p.Name}), out)
+	case *ImportClass:
+		freeNames(p.Body, bound, out)
+	case *Print:
+		for _, a := range p.Args {
+			freeExpr(a, bound, out)
+		}
+	default:
+		panic(fmt.Sprintf("calc: unknown process %T", p))
+	}
+}
+
+// FreeClassVars returns the free class variables of p (plain ones;
+// located class variables are constants at the calculus level).
+func FreeClassVars(p Proc) map[string]bool {
+	out := map[string]bool{}
+	freeClassVars(p, map[string]bool{}, out)
+	return out
+}
+
+func freeClassVars(p Proc, bound, out map[string]bool) {
+	switch p := p.(type) {
+	case *Nil, *Msg, *Print:
+	case *Par:
+		freeClassVars(p.Left, bound, out)
+		freeClassVars(p.Right, bound, out)
+	case *New:
+		freeClassVars(p.Body, bound, out)
+	case *Object:
+		for _, m := range p.Methods {
+			freeClassVars(m.Body, bound, out)
+		}
+	case *Inst:
+		if !p.Class.Loc() && !bound[p.Class.Name] {
+			out[p.Class.Name] = true
+		}
+	case *Def:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner := withBound(bound, names)
+		for _, d := range p.Defs {
+			freeClassVars(d.Body, inner, out)
+		}
+		freeClassVars(p.Body, inner, out)
+	case *If:
+		freeClassVars(p.Then, bound, out)
+		freeClassVars(p.Else, bound, out)
+	case *Let:
+		freeClassVars(p.Body, bound, out)
+	case *ExportNew:
+		freeClassVars(p.Body, bound, out)
+	case *ExportDef:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner := withBound(bound, names)
+		for _, d := range p.Defs {
+			freeClassVars(d.Body, inner, out)
+		}
+		freeClassVars(p.Body, inner, out)
+	case *ImportName:
+		freeClassVars(p.Body, bound, out)
+	case *ImportClass:
+		freeClassVars(p.Body, withBound(bound, []string{p.Class}), out)
+	default:
+		panic(fmt.Sprintf("calc: unknown process %T", p))
+	}
+}
+
+// Subst is a finite map from plain identifiers to identifiers
+// (possibly located). It implements the substitutions P{v̄/x̄} of the
+// paper as well as the σ-translations of section 3, which map plain
+// names to located names and vice versa.
+type Subst map[string]Ident
+
+// ApplyIdent applies s to one identifier occurrence.
+func (s Subst) ApplyIdent(id Ident) Ident {
+	if id.Loc() {
+		return id
+	}
+	if to, ok := s[id.Name]; ok {
+		return to
+	}
+	return id
+}
+
+// restrict returns s minus the given binders; it reports whether the
+// result is empty (in which case substitution below the binder is a
+// no-op).
+func (s Subst) restrict(names []string) (Subst, bool) {
+	hit := false
+	for _, n := range names {
+		if _, ok := s[n]; ok {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return s, len(s) == 0
+	}
+	next := make(Subst, len(s))
+	for k, v := range s {
+		next[k] = v
+	}
+	for _, n := range names {
+		delete(next, n)
+	}
+	return next, len(next) == 0
+}
+
+// rangeNames returns the set of plain names occurring in the range of
+// s; these are the names at risk of capture.
+func (s Subst) rangeNames() map[string]bool {
+	out := map[string]bool{}
+	for _, v := range s {
+		if !v.Loc() {
+			out[v.Name] = true
+		}
+	}
+	return out
+}
+
+// SubstProc applies substitution s to p, renaming binders as needed to
+// avoid capture (fresh names come from fr). SubstProc never mutates p.
+func SubstProc(p Proc, s Subst, fr *FreshNames) Proc {
+	if len(s) == 0 {
+		return p
+	}
+	rng := s.rangeNames()
+	return substProc(p, s, rng, fr)
+}
+
+// freshenBinders renames the binders in names that would capture a
+// name in rng, extending s with the renamings. It returns the new
+// binder list and substitution (or the originals when no renaming is
+// needed).
+func freshenBinders(names []string, s Subst, rng map[string]bool, fr *FreshNames) ([]string, Subst) {
+	clash := false
+	for _, n := range names {
+		if rng[n] {
+			clash = true
+			break
+		}
+	}
+	s, empty := s.restrict(names)
+	if !clash {
+		if empty {
+			return names, nil
+		}
+		return names, s
+	}
+	out := make([]string, len(names))
+	next := make(Subst, len(s)+len(names))
+	for k, v := range s {
+		next[k] = v
+	}
+	for i, n := range names {
+		if rng[n] {
+			f := fr.Fresh(n)
+			out[i] = f
+			next[n] = Ident{Name: f}
+		} else {
+			out[i] = n
+		}
+	}
+	return out, next
+}
+
+func substExpr(e Expr, s Subst) Expr {
+	switch e := e.(type) {
+	case *Var:
+		if to := s.ApplyIdent(e.Id); to != e.Id {
+			return &Var{At: e.At, Id: to}
+		}
+		return e
+	case *Binary:
+		return &Binary{At: e.At, Op: e.Op, L: substExpr(e.L, s), R: substExpr(e.R, s)}
+	case *Unary:
+		return &Unary{At: e.At, Op: e.Op, E: substExpr(e.E, s)}
+	default:
+		return e
+	}
+}
+
+func substExprs(es []Expr, s Subst) []Expr {
+	if len(es) == 0 {
+		return es
+	}
+	out := make([]Expr, len(es))
+	for i, e := range es {
+		out[i] = substExpr(e, s)
+	}
+	return out
+}
+
+func substProc(p Proc, s Subst, rng map[string]bool, fr *FreshNames) Proc {
+	if len(s) == 0 {
+		return p
+	}
+	switch p := p.(type) {
+	case *Nil:
+		return p
+	case *Par:
+		return &Par{At: p.At, Left: substProc(p.Left, s, rng, fr), Right: substProc(p.Right, s, rng, fr)}
+	case *New:
+		names, inner := freshenBinders(p.Names, s, rng, fr)
+		return &New{At: p.At, Names: names, Body: substProc(p.Body, inner, rng, fr)}
+	case *Msg:
+		return &Msg{At: p.At, Target: s.ApplyIdent(p.Target), Label: p.Label, Args: substExprs(p.Args, s)}
+	case *Object:
+		ms := make([]Method, len(p.Methods))
+		for i, m := range p.Methods {
+			params, inner := freshenBinders(m.Params, s, rng, fr)
+			ms[i] = Method{At: m.At, Label: m.Label, Params: params, Body: substProc(m.Body, inner, rng, fr)}
+		}
+		return &Object{At: p.At, Target: s.ApplyIdent(p.Target), Methods: ms}
+	case *Inst:
+		return &Inst{At: p.At, Class: p.Class, Args: substExprs(p.Args, s)}
+	case *Def:
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			params, inner := freshenBinders(d.Params, s, rng, fr)
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: params, Body: substProc(d.Body, inner, rng, fr)}
+		}
+		return &Def{At: p.At, Defs: ds, Body: substProc(p.Body, s, rng, fr)}
+	case *If:
+		return &If{At: p.At, Cond: substExpr(p.Cond, s), Then: substProc(p.Then, s, rng, fr), Else: substProc(p.Else, s, rng, fr)}
+	case *Let:
+		vars, inner := freshenBinders([]string{p.Var}, s, rng, fr)
+		return &Let{At: p.At, Var: vars[0], Target: s.ApplyIdent(p.Target), Label: p.Label,
+			Args: substExprs(p.Args, s), Body: substProc(p.Body, inner, rng, fr)}
+	case *ExportNew:
+		names, inner := freshenBinders(p.Names, s, rng, fr)
+		return &ExportNew{At: p.At, Names: names, Body: substProc(p.Body, inner, rng, fr)}
+	case *ExportDef:
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			params, inner := freshenBinders(d.Params, s, rng, fr)
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: params, Body: substProc(d.Body, inner, rng, fr)}
+		}
+		return &ExportDef{At: p.At, Defs: ds, Body: substProc(p.Body, s, rng, fr)}
+	case *ImportName:
+		names, inner := freshenBinders([]string{p.Name}, s, rng, fr)
+		return &ImportName{At: p.At, Name: names[0], Site: p.Site, Body: substProc(p.Body, inner, rng, fr)}
+	case *ImportClass:
+		return &ImportClass{At: p.At, Class: p.Class, Site: p.Site, Body: substProc(p.Body, s, rng, fr)}
+	case *Print:
+		return &Print{At: p.At, Args: substExprs(p.Args, s), Newline: p.Newline}
+	default:
+		panic(fmt.Sprintf("calc: unknown process %T", p))
+	}
+}
+
+// SubstClass applies a class-variable substitution to p (used by the
+// import elaboration of section 4 and the FETCH translation of
+// section 3). Class binders shadow as usual.
+func SubstClass(p Proc, s Subst) Proc {
+	if len(s) == 0 {
+		return p
+	}
+	switch p := p.(type) {
+	case *Nil, *Msg, *Print:
+		return p
+	case *Par:
+		return &Par{At: p.At, Left: SubstClass(p.Left, s), Right: SubstClass(p.Right, s)}
+	case *New:
+		return &New{At: p.At, Names: p.Names, Body: SubstClass(p.Body, s)}
+	case *Object:
+		ms := make([]Method, len(p.Methods))
+		for i, m := range p.Methods {
+			ms[i] = Method{At: m.At, Label: m.Label, Params: m.Params, Body: SubstClass(m.Body, s)}
+		}
+		return &Object{At: p.At, Target: p.Target, Methods: ms}
+	case *Inst:
+		return &Inst{At: p.At, Class: s.ApplyIdent(p.Class), Args: p.Args}
+	case *Def:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner, empty := s.restrict(names)
+		if empty {
+			return p
+		}
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: d.Params, Body: SubstClass(d.Body, inner)}
+		}
+		return &Def{At: p.At, Defs: ds, Body: SubstClass(p.Body, inner)}
+	case *If:
+		return &If{At: p.At, Cond: p.Cond, Then: SubstClass(p.Then, s), Else: SubstClass(p.Else, s)}
+	case *Let:
+		return &Let{At: p.At, Var: p.Var, Target: p.Target, Label: p.Label, Args: p.Args, Body: SubstClass(p.Body, s)}
+	case *ExportNew:
+		return &ExportNew{At: p.At, Names: p.Names, Body: SubstClass(p.Body, s)}
+	case *ExportDef:
+		names := make([]string, len(p.Defs))
+		for i, d := range p.Defs {
+			names[i] = d.Name
+		}
+		inner, empty := s.restrict(names)
+		if empty {
+			return p
+		}
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: d.Params, Body: SubstClass(d.Body, inner)}
+		}
+		return &ExportDef{At: p.At, Defs: ds, Body: SubstClass(p.Body, inner)}
+	case *ImportName:
+		return &ImportName{At: p.At, Name: p.Name, Site: p.Site, Body: SubstClass(p.Body, s)}
+	case *ImportClass:
+		inner, empty := s.restrict([]string{p.Class})
+		if empty {
+			return p
+		}
+		return &ImportClass{At: p.At, Class: p.Class, Site: p.Site, Body: SubstClass(p.Body, inner)}
+	default:
+		panic(fmt.Sprintf("calc: unknown process %T", p))
+	}
+}
+
+// Desugar removes the Let abbreviation:
+//
+//	let x = a!l[v…] in P  →  new r (a!l[v…,r] | r?val(x)=P)
+//
+// matching the definition in section 4 of the paper ("the process
+// let z = a!l[ṽ] in P abbreviates new r a!l[ṽ r] | r?z = P").
+func Desugar(p Proc, fr *FreshNames) Proc {
+	switch p := p.(type) {
+	case *Nil, *Msg, *Print:
+		return p
+	case *Par:
+		return &Par{At: p.At, Left: Desugar(p.Left, fr), Right: Desugar(p.Right, fr)}
+	case *New:
+		return &New{At: p.At, Names: p.Names, Body: Desugar(p.Body, fr)}
+	case *Object:
+		ms := make([]Method, len(p.Methods))
+		for i, m := range p.Methods {
+			ms[i] = Method{At: m.At, Label: m.Label, Params: m.Params, Body: Desugar(m.Body, fr)}
+		}
+		return &Object{At: p.At, Target: p.Target, Methods: ms}
+	case *Inst:
+		return p
+	case *Def:
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: d.Params, Body: Desugar(d.Body, fr)}
+		}
+		return &Def{At: p.At, Defs: ds, Body: Desugar(p.Body, fr)}
+	case *If:
+		return &If{At: p.At, Cond: p.Cond, Then: Desugar(p.Then, fr), Else: Desugar(p.Else, fr)}
+	case *Let:
+		r := fr.Fresh("r")
+		args := make([]Expr, len(p.Args), len(p.Args)+1)
+		copy(args, p.Args)
+		args = append(args, &Var{At: p.At, Id: Ident{Name: r}})
+		reply := &Object{At: p.At, Target: Ident{Name: r}, Methods: []Method{{
+			At: p.At, Label: ValLabel, Params: []string{p.Var}, Body: Desugar(p.Body, fr),
+		}}}
+		send := &Msg{At: p.At, Target: p.Target, Label: p.Label, Args: args}
+		return &New{At: p.At, Names: []string{r}, Body: &Par{At: p.At, Left: send, Right: reply}}
+	case *ExportNew:
+		return &ExportNew{At: p.At, Names: p.Names, Body: Desugar(p.Body, fr)}
+	case *ExportDef:
+		ds := make([]ClassDef, len(p.Defs))
+		for i, d := range p.Defs {
+			ds[i] = ClassDef{At: d.At, Name: d.Name, Params: d.Params, Body: Desugar(d.Body, fr)}
+		}
+		return &ExportDef{At: p.At, Defs: ds, Body: Desugar(p.Body, fr)}
+	case *ImportName:
+		return &ImportName{At: p.At, Name: p.Name, Site: p.Site, Body: Desugar(p.Body, fr)}
+	case *ImportClass:
+		return &ImportClass{At: p.At, Class: p.Class, Site: p.Site, Body: Desugar(p.Body, fr)}
+	default:
+		panic(fmt.Sprintf("calc: unknown process %T", p))
+	}
+}

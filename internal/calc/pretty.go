@@ -1,0 +1,271 @@
+package calc
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders a process in concrete DiTyCO syntax. The output
+// parses back to an equal term (modulo positions); the parser tests
+// rely on this round trip.
+func String(p Proc) string {
+	var b strings.Builder
+	writeProc(&b, p, 0)
+	return b.String()
+}
+
+// ExprString renders an expression in concrete syntax.
+func ExprString(e Expr) string {
+	var b strings.Builder
+	writeExpr(&b, e, 0)
+	return b.String()
+}
+
+// parenProc reports whether p needs parentheses when used as an
+// operand of parallel composition or as a binder body followed by
+// more text.
+func parenProc(p Proc) bool {
+	switch p.(type) {
+	case *Par:
+		return true
+	default:
+		return false
+	}
+}
+
+// prefixForm reports whether p is a prefix construct whose scope
+// extends maximally right: as a non-final operand of '|', it must be
+// parenthesized or it would swallow the rest of the composition on
+// reparse.
+func prefixForm(p Proc) bool {
+	switch p.(type) {
+	case *New, *Def, *If, *Let, *ExportNew, *ExportDef, *ImportName, *ImportClass:
+		return true
+	default:
+		// Objects always print in the brace form, which is
+		// self-delimiting, so they need no parentheses.
+		return false
+	}
+}
+
+func writeProc(b *strings.Builder, p Proc, depth int) {
+	switch p := p.(type) {
+	case *Nil:
+		b.WriteString("inaction")
+	case *Par:
+		// Flatten nested parallel compositions for readability. All
+		// non-final operands that are prefix forms are parenthesized
+		// so their maximal-right scope cannot swallow the rest.
+		parts := flattenPar(p)
+		for i, q := range parts {
+			if i > 0 {
+				b.WriteString(" | ")
+			}
+			if parenProc(q) || (i < len(parts)-1 && prefixForm(q)) {
+				b.WriteString("(")
+				writeProc(b, q, depth)
+				b.WriteString(")")
+			} else {
+				writeProc(b, q, depth)
+			}
+		}
+	case *New:
+		b.WriteString("new ")
+		b.WriteString(strings.Join(p.Names, " "))
+		b.WriteString(" ")
+		writeBinderBody(b, p.Body, depth)
+	case *Msg:
+		b.WriteString(p.Target.String())
+		b.WriteString("!")
+		if p.Label != ValLabel {
+			b.WriteString(p.Label)
+		}
+		writeArgs(b, p.Args)
+	case *Object:
+		b.WriteString(p.Target.String())
+		b.WriteString("?")
+		writeMethods(b, p.Methods, depth)
+	case *Inst:
+		b.WriteString(p.Class.String())
+		writeArgs(b, p.Args)
+	case *Def:
+		b.WriteString("def ")
+		writeDefs(b, p.Defs, depth)
+		b.WriteString(" in ")
+		writeBinderBody(b, p.Body, depth)
+	case *If:
+		b.WriteString("if ")
+		writeExpr(b, p.Cond, 0)
+		b.WriteString(" then ")
+		writeBinderBody(b, p.Then, depth)
+		b.WriteString(" else ")
+		writeBinderBody(b, p.Else, depth)
+	case *Let:
+		b.WriteString("let ")
+		b.WriteString(p.Var)
+		b.WriteString(" = ")
+		b.WriteString(p.Target.String())
+		b.WriteString("!")
+		if p.Label != ValLabel {
+			b.WriteString(p.Label)
+		}
+		writeArgs(b, p.Args)
+		b.WriteString(" in ")
+		writeBinderBody(b, p.Body, depth)
+	case *ExportNew:
+		b.WriteString("export new ")
+		b.WriteString(strings.Join(p.Names, " "))
+		b.WriteString(" ")
+		writeBinderBody(b, p.Body, depth)
+	case *ExportDef:
+		b.WriteString("export def ")
+		writeDefs(b, p.Defs, depth)
+		b.WriteString(" in ")
+		writeBinderBody(b, p.Body, depth)
+	case *ImportName:
+		fmt.Fprintf(b, "import %s from %s in ", p.Name, p.Site)
+		writeBinderBody(b, p.Body, depth)
+	case *ImportClass:
+		fmt.Fprintf(b, "import %s from %s in ", p.Class, p.Site)
+		writeBinderBody(b, p.Body, depth)
+	case *Print:
+		if p.Newline {
+			b.WriteString("println")
+		} else {
+			b.WriteString("print")
+		}
+		b.WriteString("(")
+		for i, a := range p.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			writeExpr(b, a, 0)
+		}
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "<?%T>", p)
+	}
+}
+
+// writeBinderBody parenthesizes parallel compositions under binders so
+// that the binder scope is unambiguous in the printed form.
+func writeBinderBody(b *strings.Builder, p Proc, depth int) {
+	if parenProc(p) {
+		b.WriteString("(")
+		writeProc(b, p, depth)
+		b.WriteString(")")
+		return
+	}
+	writeProc(b, p, depth)
+}
+
+func flattenPar(p Proc) []Proc {
+	if par, ok := p.(*Par); ok {
+		return append(flattenPar(par.Left), flattenPar(par.Right)...)
+	}
+	return []Proc{p}
+}
+
+func writeArgs(b *strings.Builder, args []Expr) {
+	b.WriteString("[")
+	for i, a := range args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writeExpr(b, a, 0)
+	}
+	b.WriteString("]")
+}
+
+func writeMethods(b *strings.Builder, ms []Method, depth int) {
+	b.WriteString("{ ")
+	for i, m := range ms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(m.Label)
+		b.WriteString("(")
+		b.WriteString(strings.Join(m.Params, ", "))
+		b.WriteString(") = ")
+		writeBinderBody(b, m.Body, depth+1)
+	}
+	b.WriteString(" }")
+}
+
+func writeDefs(b *strings.Builder, ds []ClassDef, depth int) {
+	for i, d := range ds {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		b.WriteString(d.Name)
+		b.WriteString("(")
+		b.WriteString(strings.Join(d.Params, ", "))
+		b.WriteString(") = ")
+		writeBinderBody(b, d.Body, depth+1)
+	}
+}
+
+// Operator precedence levels for expression printing; higher binds
+// tighter. Matches the parser's precedence table.
+func opPrec(op Op) int {
+	switch op {
+	case OpOr:
+		return 1
+	case OpAnd:
+		return 2
+	case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+		return 3
+	case OpAdd, OpSub:
+		return 4
+	case OpMul, OpDiv, OpMod:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func writeExpr(b *strings.Builder, e Expr, prec int) {
+	switch e := e.(type) {
+	case *Var:
+		b.WriteString(e.Id.String())
+	case *IntLit:
+		b.WriteString(strconv.FormatInt(e.Value, 10))
+	case *FloatLit:
+		s := strconv.FormatFloat(e.Value, 'g', -1, 64)
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		b.WriteString(s)
+	case *StrLit:
+		b.WriteString(strconv.Quote(e.Value))
+	case *BoolLit:
+		if e.Value {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case *Binary:
+		p := opPrec(e.Op)
+		if p < prec {
+			b.WriteString("(")
+		}
+		writeExpr(b, e.L, p)
+		b.WriteString(" ")
+		b.WriteString(e.Op.String())
+		b.WriteString(" ")
+		writeExpr(b, e.R, p+1)
+		if p < prec {
+			b.WriteString(")")
+		}
+	case *Unary:
+		if e.Op == OpNot {
+			b.WriteString("not ")
+		} else {
+			b.WriteString("-")
+		}
+		writeExpr(b, e.E, 6)
+	default:
+		fmt.Fprintf(b, "<?%T>", e)
+	}
+}

@@ -1,0 +1,198 @@
+package calc
+
+import "math/rand"
+
+// Random term generation for property-based tests: terms follow the
+// language's lexical conventions (lowercase names, uppercase class
+// variables, no reserved words) so they survive the pretty-printer ↔
+// parser round trip, and all identifiers are properly bound so they
+// survive the compiler's capture analysis.
+
+// Gen configures random term generation.
+type Gen struct {
+	R *rand.Rand
+	// MaxDepth bounds the nesting (default 5).
+	MaxDepth int
+	// AllowDistrib enables export/import/located constructs.
+	AllowDistrib bool
+}
+
+var genNames = []string{"a", "b", "c", "x", "y", "z", "u", "v", "w"}
+var genLabels = []string{"val", "go", "stop", "put", "take", "m"}
+var genClasses = []string{"A", "B", "C", "K"}
+var genSites = []string{"alpha", "beta"}
+
+type genScope struct {
+	names   []string
+	classes []string
+}
+
+// Proc generates a random process.
+func (g *Gen) Proc() Proc {
+	if g.MaxDepth == 0 {
+		g.MaxDepth = 5
+	}
+	sc := &genScope{}
+	return g.proc(g.MaxDepth, sc)
+}
+
+func (g *Gen) pick(ss []string) string { return ss[g.R.Intn(len(ss))] }
+
+func (g *Gen) freshName(sc *genScope) (string, *genScope) {
+	n := g.pick(genNames)
+	return n, &genScope{names: append(append([]string{}, sc.names...), n), classes: sc.classes}
+}
+
+func (g *Gen) freshClass(sc *genScope) (string, *genScope) {
+	c := g.pick(genClasses)
+	return c, &genScope{names: sc.names, classes: append(append([]string{}, sc.classes...), c)}
+}
+
+func (g *Gen) proc(depth int, sc *genScope) Proc {
+	if depth <= 0 {
+		return g.leaf(sc)
+	}
+	switch g.R.Intn(10) {
+	case 0:
+		return &Nil{}
+	case 1:
+		return &Par{Left: g.proc(depth-1, sc), Right: g.proc(depth-1, sc)}
+	case 2:
+		n, inner := g.freshName(sc)
+		return &New{Names: []string{n}, Body: g.proc(depth-1, inner)}
+	case 3:
+		if len(sc.names) == 0 {
+			return g.leaf(sc)
+		}
+		return g.msg(sc)
+	case 4:
+		if len(sc.names) == 0 {
+			n, inner := g.freshName(sc)
+			return &New{Names: []string{n}, Body: g.object(depth-1, inner)}
+		}
+		return g.object(depth-1, sc)
+	case 5:
+		c, inner := g.freshClass(sc)
+		nparams := g.R.Intn(3)
+		params := make([]string, nparams)
+		bodyScope := inner
+		for i := range params {
+			params[i], bodyScope = g.freshName(bodyScope)
+		}
+		def := ClassDef{Name: c, Params: params, Body: g.proc(depth-1, bodyScope)}
+		return &Def{Defs: []ClassDef{def}, Body: g.proc(depth-1, inner)}
+	case 6:
+		if len(sc.classes) == 0 {
+			return g.leaf(sc)
+		}
+		return g.inst(sc)
+	case 7:
+		return &If{Cond: g.boolExpr(sc), Then: g.proc(depth-1, sc), Else: g.proc(depth-1, sc)}
+	case 8:
+		if len(sc.names) == 0 {
+			return g.leaf(sc)
+		}
+		v, inner := g.freshName(sc)
+		return &Let{Var: v, Target: Ident{Name: g.pick(sc.names)}, Label: g.pick(genLabels),
+			Args: g.exprs(sc), Body: g.proc(depth-1, inner)}
+	default:
+		if g.AllowDistrib {
+			switch g.R.Intn(3) {
+			case 0:
+				n, inner := g.freshName(sc)
+				return &ExportNew{Names: []string{n}, Body: g.proc(depth-1, inner)}
+			case 1:
+				n := g.pick(genNames)
+				inner := &genScope{names: append(append([]string{}, sc.names...), n), classes: sc.classes}
+				return &ImportName{Name: n, Site: g.pick(genSites), Body: g.proc(depth-1, inner)}
+			default:
+				c := g.pick(genClasses)
+				inner := &genScope{names: sc.names, classes: append(append([]string{}, sc.classes...), c)}
+				return &ImportClass{Class: c, Site: g.pick(genSites), Body: g.proc(depth-1, inner)}
+			}
+		}
+		return &Print{Args: g.exprs(sc), Newline: g.R.Intn(2) == 0}
+	}
+}
+
+func (g *Gen) leaf(sc *genScope) Proc {
+	switch {
+	case len(sc.names) > 0 && g.R.Intn(2) == 0:
+		return g.msg(sc)
+	case len(sc.classes) > 0 && g.R.Intn(2) == 0:
+		return g.inst(sc)
+	default:
+		return &Nil{}
+	}
+}
+
+func (g *Gen) msg(sc *genScope) Proc {
+	return &Msg{Target: Ident{Name: g.pick(sc.names)}, Label: g.pick(genLabels), Args: g.exprs(sc)}
+}
+
+func (g *Gen) inst(sc *genScope) Proc {
+	return &Inst{Class: Ident{Name: g.pick(sc.classes)}, Args: g.exprs(sc)}
+}
+
+func (g *Gen) object(depth int, sc *genScope) Proc {
+	n := 1 + g.R.Intn(2)
+	seen := map[string]bool{}
+	var methods []Method
+	for i := 0; i < n; i++ {
+		l := g.pick(genLabels)
+		if seen[l] {
+			continue
+		}
+		seen[l] = true
+		nparams := g.R.Intn(3)
+		params := make([]string, nparams)
+		inner := sc
+		for j := range params {
+			params[j], inner = g.freshName(inner)
+		}
+		methods = append(methods, Method{Label: l, Params: params, Body: g.proc(depth-1, inner)})
+	}
+	return &Object{Target: Ident{Name: g.pick(sc.names)}, Methods: methods}
+}
+
+func (g *Gen) exprs(sc *genScope) []Expr {
+	n := g.R.Intn(3)
+	out := make([]Expr, n)
+	for i := range out {
+		out[i] = g.expr(2, sc)
+	}
+	return out
+}
+
+func (g *Gen) expr(depth int, sc *genScope) Expr {
+	if depth <= 0 || g.R.Intn(3) == 0 {
+		switch g.R.Intn(5) {
+		case 0:
+			if len(sc.names) > 0 {
+				return &Var{Id: Ident{Name: g.pick(sc.names)}}
+			}
+			return &IntLit{Value: int64(g.R.Intn(100))}
+		case 1:
+			return &IntLit{Value: int64(g.R.Intn(1000)) - 500}
+		case 2:
+			return &BoolLit{Value: g.R.Intn(2) == 0}
+		case 3:
+			return &StrLit{Value: "s" + string(rune('a'+g.R.Intn(26)))}
+		default:
+			return &FloatLit{Value: float64(g.R.Intn(100)) / 4}
+		}
+	}
+	ops := []Op{OpAdd, OpSub, OpMul, OpEq, OpLt, OpAnd, OpOr}
+	return &Binary{Op: ops[g.R.Intn(len(ops))], L: g.expr(depth-1, sc), R: g.expr(depth-1, sc)}
+}
+
+func (g *Gen) boolExpr(sc *genScope) Expr {
+	switch g.R.Intn(3) {
+	case 0:
+		return &BoolLit{Value: g.R.Intn(2) == 0}
+	case 1:
+		return &Binary{Op: OpLt, L: g.expr(1, sc), R: g.expr(1, sc)}
+	default:
+		return &Unary{Op: OpNot, E: &BoolLit{Value: g.R.Intn(2) == 0}}
+	}
+}

@@ -1,0 +1,37 @@
+package calc_test
+
+import (
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/syntax"
+)
+
+func TestSmokeCell(t *testing.T) {
+	src := `
+def Cell(self, v) =
+  self ? { read(r) = r![v] | Cell[self, v],
+           write(u) = Cell[self, u] }
+in new x (Cell[x, 9] |
+   new z (x!read[z] | z?(w) = println(w)))
+`
+	p, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("pretty: %s", calc.String(p))
+	out, st, err := calc.RunString(p, calc.Config{MaxSteps: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "9\n" {
+		t.Fatalf("out=%q stats=%+v", out, st)
+	}
+	p2, err := syntax.Parse(calc.String(p))
+	if err != nil {
+		t.Fatalf("round trip parse: %v", err)
+	}
+	if calc.String(p2) != calc.String(p) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", calc.String(p), calc.String(p2))
+	}
+}

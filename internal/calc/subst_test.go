@@ -1,0 +1,262 @@
+package calc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/calc"
+)
+
+func ident(n string) calc.Ident { return calc.Ident{Name: n} }
+
+func TestSubstBasic(t *testing.T) {
+	var fr calc.FreshNames
+	p := mp(t, `x!go[x, y]`)
+	q := calc.SubstProc(p, calc.Subst{"x": ident("z")}, &fr)
+	if got := calc.String(q); got != "z!go[z, y]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	var fr calc.FreshNames
+	// The inner binder shadows: x under `new x` must not be replaced.
+	p := mp(t, `x![] | new x x!go[]`)
+	q := calc.SubstProc(p, calc.Subst{"x": ident("z")}, &fr)
+	if got := calc.String(q); got != "z![] | new x x!go[]" {
+		t.Fatalf("got %s", got)
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	var fr calc.FreshNames
+	// Substituting y for x under `new y` must rename the binder y.
+	p := mp(t, `new y (x![] | y!go[])`)
+	q := calc.SubstProc(p, calc.Subst{"x": ident("y")}, &fr)
+	nw, ok := q.(*calc.New)
+	if !ok {
+		t.Fatalf("got %T", q)
+	}
+	if nw.Names[0] == "y" {
+		t.Fatalf("binder not renamed: %s", calc.String(q))
+	}
+	// The free occurrence became y; the bound occurrences follow the
+	// fresh binder.
+	want := mp(t, `new w (y![] | w!go[])`)
+	if !calc.AlphaEquivalent(q, want) {
+		t.Fatalf("capture-avoidance wrong: %s", calc.String(q))
+	}
+}
+
+func TestSubstToLocated(t *testing.T) {
+	var fr calc.FreshNames
+	// The import elaboration: P{s.x/x}.
+	p := mp(t, `x!go[x]`)
+	q := calc.SubstProc(p, calc.Subst{"x": calc.Ident{Site: "srv", Name: "x"}}, &fr)
+	if got := calc.String(q); got != "srv.x!go[srv.x]" {
+		t.Fatalf("got %s", got)
+	}
+	// Located identifiers are constants: substitution never touches
+	// them (there is no binder for located names in the calculus).
+	q2 := calc.SubstProc(q, calc.Subst{"x": ident("y")}, &fr)
+	if !calc.AlphaEquivalent(q, q2) {
+		t.Fatalf("located identifier was substituted: %s", calc.String(q2))
+	}
+}
+
+func TestSubstClassShadowing(t *testing.T) {
+	p := mp(t, `A[] | def A() = inaction in A[]`)
+	q := calc.SubstClass(p, calc.Subst{"A": calc.Ident{Site: "srv", Name: "A"}})
+	par := q.(*calc.Par)
+	if got := par.Left.(*calc.Inst).Class; got.Site != "srv" {
+		t.Fatalf("free class occurrence not substituted: %s", calc.String(q))
+	}
+	inner := par.Right.(*calc.Def).Body.(*calc.Inst)
+	if inner.Class.Loc() {
+		t.Fatalf("bound class occurrence substituted: %s", calc.String(q))
+	}
+}
+
+// Property: substituting a fresh name and then substituting back is
+// the identity (up to α).
+func TestSubstPropertyInvertible(t *testing.T) {
+	r := rand.New(rand.NewSource(37))
+	g := &calc.Gen{R: r, MaxDepth: 4}
+	var fr calc.FreshNames
+	for i := 0; i < 300; i++ {
+		p := g.Proc()
+		fresh := fr.Fresh("inv")
+		q := calc.SubstProc(p, calc.Subst{"x": ident(fresh)}, &fr)
+		back := calc.SubstProc(q, calc.Subst{fresh: ident("x")}, &fr)
+		if !calc.AlphaEquivalent(p, back) {
+			t.Fatalf("subst not invertible:\np    = %s\nq    = %s\nback = %s",
+				calc.String(p), calc.String(q), calc.String(back))
+		}
+	}
+}
+
+// Property: after substitution x∉fn(P{y/x}) when y≠x.
+func TestSubstPropertyRemovesFree(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	g := &calc.Gen{R: r, MaxDepth: 4}
+	var fr calc.FreshNames
+	for i := 0; i < 300; i++ {
+		p := g.Proc()
+		q := calc.SubstProc(p, calc.Subst{"x": ident("freshname")}, &fr)
+		if calc.FreeNames(q)["x"] {
+			t.Fatalf("x still free after substitution in %s", calc.String(q))
+		}
+	}
+}
+
+func TestFreeNames(t *testing.T) {
+	cases := []struct {
+		src  string
+		free []string
+		not  []string
+	}{
+		{`x!go[y]`, []string{"x", "y"}, nil},
+		{`new x x!go[y]`, []string{"y"}, []string{"x"}},
+		{`x?(y) = y![z]`, []string{"x", "z"}, []string{"y"}},
+		{`def A(u) = u![v] in A[w]`, []string{"v", "w"}, []string{"u"}},
+		{`let q = a!m[] in q![b]`, []string{"a", "b"}, []string{"q"}},
+		{`import c from s in c![d]`, []string{"d"}, []string{"c"}},
+		{`if x == 1 then y![] else z![]`, []string{"x", "y", "z"}, nil},
+	}
+	for _, c := range cases {
+		fn := calc.FreeNames(mp(t, c.src))
+		for _, n := range c.free {
+			if !fn[n] {
+				t.Errorf("%s: %q should be free (got %v)", c.src, n, fn)
+			}
+		}
+		for _, n := range c.not {
+			if fn[n] {
+				t.Errorf("%s: %q should be bound (got %v)", c.src, n, fn)
+			}
+		}
+	}
+}
+
+func TestFreeClassVars(t *testing.T) {
+	fn := calc.FreeClassVars(mp(t, `A[] | def B() = A[] | C[] in B[]`))
+	if !fn["A"] || !fn["C"] || fn["B"] {
+		t.Fatalf("free class vars = %v", fn)
+	}
+}
+
+func TestDesugarLet(t *testing.T) {
+	var fr calc.FreshNames
+	p := calc.Desugar(mp(t, `let v = a!m[1] in println(v)`), &fr)
+	nw, ok := p.(*calc.New)
+	if !ok {
+		t.Fatalf("desugar should introduce new, got %T", p)
+	}
+	par := nw.Body.(*calc.Par)
+	msg := par.Left.(*calc.Msg)
+	if msg.Label != "m" || len(msg.Args) != 2 {
+		t.Fatalf("call message wrong: %s", calc.String(p))
+	}
+	// The last argument is the fresh reply channel.
+	last := msg.Args[len(msg.Args)-1].(*calc.Var)
+	if last.Id.Name != nw.Names[0] {
+		t.Fatalf("reply channel mismatch: %s", calc.String(p))
+	}
+	obj := par.Right.(*calc.Object)
+	if obj.Methods[0].Label != calc.ValLabel || obj.Methods[0].Params[0] != "v" {
+		t.Fatalf("reply object wrong: %s", calc.String(p))
+	}
+}
+
+// Property: desugaring leaves let-free terms alone and removes every
+// Let otherwise.
+func TestDesugarProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	g := &calc.Gen{R: r, MaxDepth: 4}
+	var fr calc.FreshNames
+	var hasLet func(p calc.Proc) bool
+	hasLet = func(p calc.Proc) bool {
+		found := false
+		var walk func(q calc.Proc)
+		walk = func(q calc.Proc) {
+			switch q := q.(type) {
+			case *calc.Let:
+				found = true
+			case *calc.Par:
+				walk(q.Left)
+				walk(q.Right)
+			case *calc.New:
+				walk(q.Body)
+			case *calc.Object:
+				for _, m := range q.Methods {
+					walk(m.Body)
+				}
+			case *calc.Def:
+				for _, d := range q.Defs {
+					walk(d.Body)
+				}
+				walk(q.Body)
+			case *calc.ExportDef:
+				for _, d := range q.Defs {
+					walk(d.Body)
+				}
+				walk(q.Body)
+			case *calc.If:
+				walk(q.Then)
+				walk(q.Else)
+			case *calc.ExportNew:
+				walk(q.Body)
+			case *calc.ImportName:
+				walk(q.Body)
+			case *calc.ImportClass:
+				walk(q.Body)
+			}
+		}
+		walk(p)
+		return found
+	}
+	for i := 0; i < 300; i++ {
+		p := g.Proc()
+		d := calc.Desugar(p, &fr)
+		if hasLet(d) {
+			t.Fatalf("let survived desugaring: %s", calc.String(d))
+		}
+	}
+}
+
+func TestFreshNamesNeverCollide(t *testing.T) {
+	var fr calc.FreshNames
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		n := fr.Fresh("x")
+		if seen[n] {
+			t.Fatalf("duplicate fresh name %q", n)
+		}
+		seen[n] = true
+	}
+	// Fresh from a fresh name must not grow unboundedly.
+	n := fr.Fresh(fr.Fresh("hint"))
+	if len(n) > 20 {
+		t.Fatalf("fresh name grew: %q", n)
+	}
+}
+
+func TestSortedFreeNames(t *testing.T) {
+	got := calc.SortedFreeNames(mp(t, `z!go[a] | b![] | new q q![m]`))
+	want := []string{"a", "b", "m", "z"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := mp(t, `println((1 + 2) * 3 == 9)`).(*calc.Print).Args[0]
+	if got := calc.ExprString(e); got != "(1 + 2) * 3 == 9" {
+		t.Fatalf("got %q", got)
+	}
+}

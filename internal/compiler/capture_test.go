@@ -1,0 +1,134 @@
+package compiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/syntax"
+)
+
+// run compiles and executes src, returning print output (thin wrapper
+// over the differential helper with no thread cap).
+func run(t *testing.T, src string) string {
+	t.Helper()
+	p := syntax.MustParse(src)
+	out, done, err := runVM(t, p, 0)
+	if err != nil {
+		t.Fatalf("run: %v\nsrc: %s", err, src)
+	}
+	if !done {
+		t.Fatalf("did not quiesce: %s", src)
+	}
+	return out
+}
+
+func TestCaptureSharedAcrossMethods(t *testing.T) {
+	// Both methods capture the same free channel; one is also a
+	// parameter name in the other method (shadowing).
+	out := run(t, `
+new shared (
+  (shared?(v) = println("shared", v)) |
+  new obj (
+    obj?{ a() = shared![1],
+          b(shared) = shared![2] } |
+    obj!a[] ))`)
+	if out != "shared 1\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCaptureParamShadowsOuter(t *testing.T) {
+	// The method parameter x shadows the outer binding inside the
+	// method only.
+	out := run(t, `
+new x (x![10] |
+  new y (y![99] |
+    x?(x) = y?(z) = println(x + z)))`)
+	if out != "109\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCaptureThroughNestedSpawns(t *testing.T) {
+	// A value threads through three levels of parallel branches.
+	out := run(t, `
+new a (a![7] |
+  (a?(v) =
+    new b (b![v + 1] |
+      (b?(w) =
+        new c (c![w + 1] | c?(u) = println(u))))))`)
+	if out != "9\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCaptureClassInsideObject(t *testing.T) {
+	// An object method instantiates a class captured from its lexical
+	// context (the class closure is a frame value).
+	out := run(t, `
+def Helper(r) = r!["helped"]
+in new obj (
+  obj?{ go() = new r (Helper[r] | r?(s) = println(s)) } |
+  obj!go[])`)
+	if out != "helped\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCaptureClassCapturesClass(t *testing.T) {
+	// An inner def's body instantiates an outer def's class: the
+	// outer closure must be captured in the inner group frame.
+	out := run(t, `
+def Outer(r) = r![1]
+in def Inner(r2) = new q (Outer[q] | q?(v) = r2![v + 1])
+in new r (Inner[r] | r?(v) = println(v))`)
+	if out != "2\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCaptureDefGroupSharedFrame(t *testing.T) {
+	// Mutually recursive classes capture one free channel between
+	// them; both must see the same channel through the group frame.
+	out := run(t, `
+new log (
+  (log?(v) = println("log", v)) |
+  def Ping(n) = if n == 0 then log![0] else Pong[n - 1]
+  and Pong(n) = if n == 0 then log![1] else Ping[n - 1]
+  in Ping[5])`)
+	if out != "log 1\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCaptureLetVariable(t *testing.T) {
+	// The let-bound variable is in scope in the body, and the reply
+	// channel never leaks.
+	out := run(t, `
+new p ((p?(x, r) = r![x * 2]) |
+  let a = p![4] in
+  new q ((q?(y, r2) = r2![y + a]) |
+    let b = q![1] in println(a, b)))`)
+	if out != "8 9\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestCompileErrorsUnbound(t *testing.T) {
+	// The compiler reports unbound identifiers defensively even
+	// without a type check.
+	for _, src := range []string{
+		`ghost![1]`,
+		`Ghost[1]`,
+		`new x (x?(y) = ghost![y])`,
+		`def A() = Ghost[] in A[]`,
+	} {
+		p := syntax.MustParse(src)
+		if _, err := compiler.Compile(p, "unbound"); err == nil {
+			t.Errorf("expected compile error for %s", src)
+		} else if !strings.Contains(err.Error(), "unbound") {
+			t.Errorf("error for %s = %v", src, err)
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package core is the DiTyCO programming environment — the paper's
+// contribution assembled into an API. It compiles DiTyCO source
+// (parse → Damas–Milner type inference → byte-code), assembles
+// clusters of nodes over a chosen interconnect (the in-process fabric
+// with Myrinet/Fast-Ethernet link models, or TCP via the cmd tools),
+// submits programs as sites, and detects global termination.
+//
+// The quickstart mirrors the paper's workflow:
+//
+//	cl, _ := core.NewCluster(core.ClusterConfig{Nodes: 2})
+//	defer cl.Stop()
+//	cl.Submit(0, "server", serverSrc, os.Stdout)
+//	cl.Submit(1, "client", clientSrc, os.Stdout)
+//	cl.Wait(ctx)
+package core
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/site"
+	"repro/internal/syntax"
+	"repro/internal/termination"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Program is a compiled DiTyCO program ready to run as a site.
+type Program struct {
+	Name string
+	Unit *asm.Unit
+	Info *types.Info
+}
+
+// Compile parses, type-checks and compiles DiTyCO source.
+func Compile(name, src string) (*Program, error) {
+	p, err := syntax.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	info, err := types.Check(p)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	u, err := compiler.Compile(p, name)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	return &Program{Name: name, Unit: u, Info: info}, nil
+}
+
+// SiteProgram converts a compiled program into the site loader's form,
+// carrying the signatures for export registration and the dynamic
+// import checks.
+func (p *Program) SiteProgram() *site.Program {
+	nameSigs, classSigs := p.Info.ExportSigs()
+	importSigs := map[types.ImportKey]string{}
+	for _, use := range p.Info.ImportedNameSigs() {
+		importSigs[use.Key] = use.Sig
+	}
+	return &site.Program{
+		Unit:            p.Unit,
+		ExportNameSigs:  nameSigs,
+		ExportClassSigs: classSigs,
+		ImportSigs:      importSigs,
+	}
+}
+
+// ClusterConfig configures an in-process cluster.
+type ClusterConfig struct {
+	// Nodes is the number of nodes (default 1).
+	Nodes int
+	// Link is the interconnect model (default Ideal).
+	Link transport.LinkModel
+	// ForceMarshalLocal disables the same-node fast path (ablation).
+	ForceMarshalLocal bool
+	// Out is the default I/O port for sites (default: discard).
+	Out io.Writer
+	// NS overrides the name service (default: a fresh Central).
+	NS nameservice.Service
+}
+
+// Cluster is an in-process DiTyCO network: N nodes on a switch fabric
+// sharing a name service — the architecture of paper Fig. 2 scaled
+// into one process.
+type Cluster struct {
+	ns     nameservice.Service
+	fabric *transport.Fabric
+	nodes  []*node.Node
+	det    *termination.Detector
+}
+
+// NewCluster assembles a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1
+	}
+	ns := cfg.NS
+	if ns == nil {
+		ns = nameservice.NewCentral()
+	}
+	fabric := transport.NewFabric(cfg.Link)
+	c := &Cluster{ns: ns, fabric: fabric}
+	for i := 0; i < cfg.Nodes; i++ {
+		tr, err := fabric.Attach(uint32(i + 1))
+		if err != nil {
+			return nil, err
+		}
+		n := node.New(node.Config{
+			ID:                uint32(i + 1),
+			NS:                ns,
+			Transport:         tr,
+			Out:               cfg.Out,
+			ForceMarshalLocal: cfg.ForceMarshalLocal,
+		})
+		c.nodes = append(c.nodes, n)
+	}
+	c.det = termination.New(c.probes)
+	return c, nil
+}
+
+// NS returns the cluster's name service.
+func (c *Cluster) NS() nameservice.Service { return c.ns }
+
+// Node returns the i-th node (0-based).
+func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+
+// Nodes returns the node count.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Submit compiles src and starts it as a site named siteName on node
+// i, with out as the site's I/O port.
+func (c *Cluster) Submit(i int, siteName, src string, out io.Writer, opts ...node.SiteOption) (*site.Site, error) {
+	prog, err := Compile(siteName, src)
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitProgram(i, prog, out, opts...)
+}
+
+// SubmitProgram starts a pre-compiled program as a site on node i.
+func (c *Cluster) SubmitProgram(i int, prog *Program, out io.Writer, opts ...node.SiteOption) (*site.Site, error) {
+	if i < 0 || i >= len(c.nodes) {
+		return nil, fmt.Errorf("core: node %d out of range", i)
+	}
+	return c.nodes[i].Spawn(prog.Name, prog.SiteProgram(), out, opts...)
+}
+
+// probes snapshots every site's control state for the termination
+// detector.
+func (c *Cluster) probes() []termination.Probe {
+	var out []termination.Probe
+	for _, n := range c.nodes {
+		for _, s := range n.Sites() {
+			sent, recv, idle := s.ControlState()
+			out = append(out, termination.Probe{Sent: sent, Recv: recv, Idle: idle})
+		}
+	}
+	return out
+}
+
+// Wait blocks until the computation has globally terminated (every
+// site idle and no messages in flight, confirmed by two consistent
+// snapshot rounds) or ctx expires. It also surfaces the first site or
+// node error.
+func (c *Cluster) Wait(ctx context.Context) error {
+	return c.det.Wait(ctx, func() error { return c.Err() })
+}
+
+// Err returns the first error any site or node hit.
+func (c *Cluster) Err() error {
+	for _, n := range c.nodes {
+		if err := n.Err(); err != nil {
+			return err
+		}
+		for _, s := range n.Sites() {
+			if err := s.Err(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stop tears the cluster down.
+func (c *Cluster) Stop() {
+	for _, n := range c.nodes {
+		n.Stop()
+	}
+	c.fabric.Close()
+}
+
+// RunLocal compiles and runs a single-site program to termination,
+// returning nothing but the error; print output goes to out. It is
+// the engine of the tyco command and of many tests.
+func RunLocal(name, src string, out io.Writer) error {
+	cl, err := NewCluster(ClusterConfig{Nodes: 1, Out: out})
+	if err != nil {
+		return err
+	}
+	defer cl.Stop()
+	if _, err := cl.Submit(0, name, src, out); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	return cl.Wait(ctx)
+}

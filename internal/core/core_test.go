@@ -1,0 +1,166 @@
+package core_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// collect runs a set of (node, site, source) programs on a fresh
+// cluster and returns each site's output.
+type prog struct {
+	node int
+	site string
+	src  string
+}
+
+func runCluster(t *testing.T, nodes int, progs []prog) map[string]string {
+	t.Helper()
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: nodes})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	outs := map[string]*strings.Builder{}
+	for _, p := range progs {
+		var b strings.Builder
+		outs[p.site] = &b
+		if _, err := cl.Submit(p.node, p.site, p.src, &b); err != nil {
+			t.Fatalf("submit %s: %v", p.site, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("wait: %v (cluster err: %v)", err, cl.Err())
+	}
+	res := map[string]string{}
+	for k, b := range outs {
+		res[k] = b.String()
+	}
+	return res
+}
+
+func TestRemoteMessage(t *testing.T) {
+	out := runCluster(t, 2, []prog{
+		{0, "server", `export new chat (chat?(v) = println("got", v))`},
+		{1, "client", `import chat from server in chat![42]`},
+	})
+	if out["server"] != "got 42\n" {
+		t.Fatalf("server out = %q", out["server"])
+	}
+}
+
+func TestRemoteRPC(t *testing.T) {
+	// Paper section 3: the client invokes a remote procedure with a
+	// local reply channel; the reply ships back (two SHIPM steps).
+	out := runCluster(t, 2, []prog{
+		{0, "server", `
+def Serve(p) = p?(x, r) = (r![x * x] | Serve[p])
+in export new p Serve[p]`},
+		{1, "client", `
+import p from server in
+let y = p![7] in println("rpc result", y)`},
+	})
+	if out["client"] != "rpc result 49\n" {
+		t.Fatalf("client out = %q", out["client"])
+	}
+}
+
+func TestAppletFetch(t *testing.T) {
+	// Paper section 4, first applet server: the client fetches the
+	// class's byte-code and instantiates locally — the print happens
+	// at the *client* site.
+	out := runCluster(t, 2, []prog{
+		{0, "server", `export def Applet(x) = println("applet running", x) in inaction`},
+		{1, "client", `import Applet from server in Applet[7]`},
+	})
+	if out["client"] != "applet running 7\n" {
+		t.Fatalf("client out = %q (server %q)", out["client"], out["server"])
+	}
+	if out["server"] != "" {
+		t.Fatalf("server printed %q; applet should run at the client", out["server"])
+	}
+}
+
+func TestAppletShip(t *testing.T) {
+	// Paper section 4, second applet server: invoking a method ships
+	// the applet object to the client-provided name.
+	out := runCluster(t, 2, []prog{
+		{0, "server", `
+def AppletServer(self) =
+  self ? { applet(p) = (p?(x) = println("shipped applet got", x)) | AppletServer[self] }
+in export new appletserver AppletServer[appletserver]`},
+		{1, "client", `
+import appletserver from server in
+new p (appletserver!applet[p] | p![99])`},
+	})
+	if out["client"] != "shipped applet got 99\n" {
+		t.Fatalf("client out = %q (server %q)", out["client"], out["server"])
+	}
+}
+
+func TestSeti(t *testing.T) {
+	// Paper section 4: the SETI client fetches the Install/Go classes
+	// and crunches chunks served by the remote database.
+	out := runCluster(t, 2, []prog{
+		{0, "seti", `
+new database (
+  def Data(self, next) = self ? { newChunk(r) = r![next] | Data[self, next + 1] }
+  in Data[database, 1] |
+  export def Install(limit) = Go[limit]
+  and Go(n) = if n == 0 then inaction
+              else let data = database!newChunk[] in (println("processed", data) | Go[n - 1])
+  in inaction
+)`},
+		{1, "client", `import Install from seti in Install[3]`},
+	})
+	if out["client"] != "processed 1\nprocessed 2\nprocessed 3\n" {
+		t.Fatalf("client out = %q", out["client"])
+	}
+}
+
+func TestThreeSitesOneNode(t *testing.T) {
+	// Multiple sites on one node exercise the local fast path.
+	out := runCluster(t, 1, []prog{
+		{0, "hub", `export new bus (def Pump(self) = self?(v) = (println("hub", v) | Pump[self]) in Pump[bus])`},
+		{0, "a", `import bus from hub in bus![1]`},
+		{0, "b", `import bus from hub in bus![2]`},
+	})
+	got := out["hub"]
+	if !strings.Contains(got, "hub 1") || !strings.Contains(got, "hub 2") {
+		t.Fatalf("hub out = %q", got)
+	}
+}
+
+func TestDynamicProtocolError(t *testing.T) {
+	// The importer uses a method the exporter does not provide: the
+	// dynamic check must fail the import (paper's combined
+	// static/dynamic checking).
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	if _, err := cl.Submit(0, "server", `export new chat (chat?{ good(v) = inaction })`, nil); err != nil {
+		t.Fatal(err)
+	}
+	s, err := cl.Submit(1, "client", `import chat from server in chat!bogus[1]`, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for s.Err() == nil {
+		select {
+		case <-deadline:
+			t.Fatal("client never reported a protocol error")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if !strings.Contains(s.Err().Error(), "protocol error") {
+		t.Fatalf("unexpected error: %v", s.Err())
+	}
+}

@@ -1,0 +1,61 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// Example demonstrates the smallest distributed DiTyCO program: a
+// server exports a channel, a client on another node imports it and
+// sends a message, and the cluster is run to global termination.
+func Example() {
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2, Link: transport.Myrinet})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer cl.Stop()
+
+	var serverOut strings.Builder
+	cl.Submit(0, "server", `export new chat (chat?(v) = println("got", v))`, &serverOut)
+	cl.Submit(1, "client", `import chat from server in chat![42]`, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Print(serverOut.String())
+	// Output: got 42
+}
+
+// Example_codeMobility shows the paper's applet pattern: the class's
+// byte-code is fetched by the client and runs at the client's site.
+func Example_codeMobility() {
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 2})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	defer cl.Stop()
+
+	var clientOut strings.Builder
+	cl.Submit(0, "server", `export def Applet(x) = println("applet ran with", x) in inaction`, nil)
+	cl.Submit(1, "client", `import Applet from server in Applet[7]`, &clientOut)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return
+	}
+	fmt.Print(clientOut.String())
+	// Output: applet ran with 7
+}

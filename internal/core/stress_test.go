@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestStressAllToAll floods a cluster: every site imports every other
+// site's inbox and sends it a burst, while serving its own inbox.
+// Exercises queue backpressure, concurrent import resolution, the
+// local fast path and the transport simultaneously.
+func TestStressAllToAll(t *testing.T) {
+	const sites = 6
+	const burst = 40
+	// Spread the sites over 3 nodes so both local and remote paths
+	// are hit.
+	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	outs := make([]*countingWriter, sites)
+	for i := 0; i < sites; i++ {
+		var b strings.Builder
+		// Program for site i: export inbox, serve it forever, and
+		// send a burst to every other site's inbox.
+		b.WriteString(fmt.Sprintf("export new inbox%d (\n", i))
+		b.WriteString(fmt.Sprintf("def Serve(self) = self?(v) = (println(v) | Serve[self]) in Serve[inbox%d]\n", i))
+		for j := 0; j < sites; j++ {
+			if j == i {
+				continue
+			}
+			b.WriteString(fmt.Sprintf(" | import inbox%d from s%d in Blast%d[inbox%d]\n", j, j, j, j))
+		}
+		b.WriteString(")")
+		// Blast classes (one per target to keep imports lexical).
+		var defs strings.Builder
+		for j := 0; j < sites; j++ {
+			if j == i {
+				continue
+			}
+			defs.WriteString(fmt.Sprintf("def Blast%d(tgt) = Go%d[tgt, %d] and Go%d(tgt, n) = if n == 0 then inaction else (tgt![n] | Go%d[tgt, n - 1]) in ", j, j, burst, j, j))
+		}
+		src := defs.String() + b.String()
+		outs[i] = &countingWriter{}
+		if _, err := cl.Submit(i%3, fmt.Sprintf("s%d", i), src, outs[i]); err != nil {
+			t.Fatalf("submit s%d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("wait: %v", err)
+	}
+	// Every site must have received (sites-1) × burst messages.
+	want := (sites - 1) * burst
+	for i, out := range outs {
+		if got := out.Lines(); got != want {
+			t.Errorf("site %d received %d messages, want %d", i, got, want)
+		}
+	}
+}
+
+// countingWriter counts newline-terminated lines concurrently.
+type countingWriter struct {
+	mu    sync.Mutex
+	lines int
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, b := range p {
+		if b == '\n' {
+			c.lines++
+		}
+	}
+	return len(p), nil
+}
+
+func (c *countingWriter) Lines() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.lines
+}

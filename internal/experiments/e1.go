@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+const e1Server = `
+def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p])
+in export new p Serve[p]
+`
+
+// e1Client builds a client with w concurrent callers, each performing
+// c sequential remote calls. One caller leaves the round-trip latency
+// fully exposed; more callers overlap their waits — the paper's
+// latency hiding through fast context switches between fine-grained
+// threads.
+func e1Client(w, c int) string {
+	var b strings.Builder
+	b.WriteString("import p from server in\n")
+	b.WriteString("def Caller(n) = if n == 0 then inaction else let y = p![n] in Caller[n - 1]\nin ")
+	parts := make([]string, w)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("Caller[%d]", c)
+	}
+	b.WriteString(strings.Join(parts, " | "))
+	return b.String()
+}
+
+// E1 — latency hiding & interconnect profiles (Fig. 1 rationale).
+//
+// Sweep the number of concurrent caller threads per client site under
+// each link profile and report aggregate remote invocations per
+// second. Expected shape: with one caller, throughput ≈ 1/RTT and the
+// profiles differ by their latency gap; with enough callers the waits
+// overlap and throughput converges toward the software-limited rate,
+// i.e. concurrency hides the interconnect latency.
+func E1(o Options) (*Table, error) {
+	calls := o.scale(400, 60)
+	windows := []int{1, 2, 4, 8, 16, 32}
+	if o.Quick {
+		windows = []int{1, 4, 16}
+	}
+	profiles := []string{"ideal", "myrinet", "fastether"}
+
+	t := &Table{
+		ID:     "E1",
+		Title:  "remote invocation throughput (calls/s) vs concurrent callers",
+		Header: append([]string{"callers"}, profiles...),
+		Notes: []string{
+			fmt.Sprintf("%d sequential calls per caller; 2 nodes; server is one sequential site", calls),
+			"shape: column ratios shrink as callers grow — concurrency hides link latency",
+		},
+	}
+	for _, w := range windows {
+		row := []string{fmt.Sprintf("%d", w)}
+		for _, prof := range profiles {
+			elapsed, cl, err := runWorkload(core.ClusterConfig{Nodes: 2, Link: mustProfile(prof)}, []workloadProgram{
+				{node: 0, site: "server", src: e1Server},
+				{node: 1, site: "client", src: e1Client(w, calls)},
+			}, 5*time.Minute)
+			if err != nil {
+				return nil, fmt.Errorf("E1 w=%d %s: %w", w, prof, err)
+			}
+			cl.Stop()
+			row = append(row, rate(w*calls, elapsed))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// E2 — communication locality (Figs. 2/4) and the marshalling
+// ablation.
+//
+// The same sequential ping-pong runs in four placements:
+//
+//	same-site        both endpoints inside one site (pure VM reduction)
+//	same-node        two sites on one node: TyCOd fast path, no byte
+//	                 marshalling ("local interactions are optimized
+//	                 using shared memory")
+//	same-node+marshal the ablation: local traffic is encoded/decoded
+//	                 as if it crossed the network
+//	cross-node       two nodes over the ideal link (pure software
+//	                 remote path)
+//	cross-node+myrinet  with the modelled switch latency
+//
+// Expected shape: same-site ≪ same-node < same-node+marshal <
+// cross-node < cross-node+myrinet; the marshal ablation isolates the
+// byte-encoding cost the fast path saves.
+func E2(o Options) (*Table, error) {
+	rounds := o.scale(2000, 200)
+
+	sameSite := fmt.Sprintf(`
+def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p])
+and Call(p, n) = if n == 0 then inaction else let y = p![n] in Call[p, n - 1]
+in new p (Serve[p] | Call[p, %d])`, rounds)
+
+	server := `
+def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p])
+in export new p Serve[p]`
+	client := fmt.Sprintf(`
+import p from server in
+def Call(n) = if n == 0 then inaction else let y = p![n] in Call[n - 1]
+in Call[%d]`, rounds)
+
+	type config struct {
+		name    string
+		nodes   int
+		marshal bool
+		link    string
+		split   bool // client and server on different sites
+	}
+	configs := []config{
+		{"same-site", 1, false, "ideal", false},
+		{"same-node", 1, false, "ideal", true},
+		{"same-node+marshal", 1, true, "ideal", true},
+		{"cross-node", 2, false, "ideal", true},
+		{"cross-node+myrinet", 2, false, "myrinet", true},
+	}
+
+	t := &Table{
+		ID:     "E2",
+		Title:  "ping-pong cost by placement",
+		Header: []string{"placement", "rounds", "total", "us/round"},
+		Notes: []string{
+			"same-node saves the byte marshalling (σ-translation still runs)",
+			"shape: same-site << same-node < same-node+marshal <= cross-node < +myrinet",
+		},
+	}
+	for _, cfg := range configs {
+		var progs []workloadProgram
+		if cfg.split {
+			clientNode := 0
+			if cfg.nodes > 1 {
+				clientNode = 1
+			}
+			progs = []workloadProgram{
+				{node: 0, site: "server", src: server},
+				{node: clientNode, site: "client", src: client},
+			}
+		} else {
+			progs = []workloadProgram{{node: 0, site: "solo", src: sameSite}}
+		}
+		elapsed, cl, err := runWorkload(core.ClusterConfig{
+			Nodes:             cfg.nodes,
+			Link:              mustProfile(cfg.link),
+			ForceMarshalLocal: cfg.marshal,
+		}, progs, 5*time.Minute)
+		if err != nil {
+			return nil, fmt.Errorf("E2 %s: %w", cfg.name, err)
+		}
+		cl.Stop()
+		t.Rows = append(t.Rows, []string{
+			cfg.name,
+			fmt.Sprintf("%d", rounds),
+			elapsed.Round(time.Microsecond).String(),
+			us(elapsed / time.Duration(rounds)),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+)
+
+// e6Server serves numbered chunks; crunch controls the per-chunk
+// computation the fetched worker performs (a recursive arithmetic
+// loop, i.e. interpreted "number crunching").
+func e6Server(crunch int) string {
+	return fmt.Sprintf(`
+new database (
+  def Data(self, next) =
+    self ? { newChunk(r) = r![next] | Data[self, next + 1] }
+  in Data[database, 1] |
+
+  export def Install(limit) = Go[limit]
+  and Go(n) =
+    if n == 0 then inaction
+    else let data = database!newChunk[] in
+         new r (Crunch[%d, data, r] | r?(v) = Go[n - 1])
+  and Crunch(k, acc, r) =
+    if k == 0 then r![acc]
+    else Crunch[k - 1, (acc * 31 + 7) %% 1000003, r]
+  in inaction
+)`, crunch)
+}
+
+// E6 — the SETI master/worker workload (§4): speedup with worker
+// sites and the communication/computation crossover.
+//
+// Expected shape: with heavy per-chunk computation the workers scale
+// near-linearly (the fetched code runs independently at each client,
+// only chunk requests cross the network); with trivial computation the
+// single sequential database site saturates and speedup flattens —
+// the crossover where communication dominates.
+func E6(o Options) (*Table, error) {
+	chunks := o.scale(60, 10) // per worker
+	workerCounts := []int{1, 2, 4, 8}
+	if o.Quick {
+		workerCounts = []int{1, 2, 4}
+	}
+	crunches := []int{0, 400}
+	if !o.Quick {
+		crunches = []int{0, 100, 1000}
+	}
+
+	t := &Table{
+		ID:     "E6",
+		Title:  "SETI master/worker: chunk throughput vs workers and per-chunk compute",
+		Header: []string{"crunch", "workers", "chunks", "total", "chunks/s", "speedup"},
+		Notes: []string{
+			"each worker fetches Install/Go/Crunch and loops; chunk requests ship to the seti site",
+			"shape: near-linear speedup when compute-bound; flattens when the database serializes",
+		},
+	}
+	for _, crunch := range crunches {
+		var base float64
+		for _, w := range workerCounts {
+			progs := []workloadProgram{{node: 0, site: "seti", src: e6Server(crunch), out: io.Discard}}
+			for i := 0; i < w; i++ {
+				progs = append(progs, workloadProgram{
+					node: 1 + i,
+					site: fmt.Sprintf("worker%d", i),
+					src:  fmt.Sprintf(`import Install from seti in Install[%d]`, chunks),
+				})
+			}
+			elapsed, cl, err := runWorkload(core.ClusterConfig{Nodes: 1 + w, Link: mustProfile("myrinet")}, progs, 10*time.Minute)
+			if err != nil {
+				return nil, fmt.Errorf("E6 crunch=%d w=%d: %w", crunch, w, err)
+			}
+			cl.Stop()
+			total := w * chunks
+			thr := float64(total) / elapsed.Seconds()
+			if w == workerCounts[0] {
+				base = thr
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", crunch),
+				fmt.Sprintf("%d", w),
+				fmt.Sprintf("%d", total),
+				elapsed.Round(time.Millisecond).String(),
+				fmt.Sprintf("%.0f", thr),
+				fmt.Sprintf("%.2fx", thr/base*float64(1)),
+			})
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/syntax"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// E7 — the wire format and mobile code machinery (§5): marshal and
+// unmarshal throughput for messages and code units, i.e. the software
+// cost the export tables and the hardware-independent byte-code impose
+// on every remote interaction.
+func E7(o Options) (*Table, error) {
+	iters := o.scale(200000, 5000)
+
+	t := &Table{
+		ID:     "E7",
+		Title:  "wire format throughput",
+		Header: []string{"payload", "bytes", "encode ns", "decode ns", "MB/s rt"},
+	}
+
+	// Messages with growing argument counts.
+	for _, nargs := range []int{1, 8, 64} {
+		args := make([]wire.Value, nargs)
+		for i := range args {
+			switch i % 3 {
+			case 0:
+				args[i] = wire.Value{Kind: wire.WInt, I: int64(i)}
+			case 1:
+				args[i] = wire.Value{Kind: wire.WNet, Net: vm.NetRef{Heap: uint32(i), Site: 3, Node: 2}}
+			default:
+				args[i] = wire.Value{Kind: wire.WStr, S: "payload"}
+			}
+		}
+		msg := &wire.Msg{To: vm.NetRef{Heap: 1, Site: 2, Node: 3}, Label: "work", Args: args}
+		encoded := msg.Encode()
+		encNs, decNs, err := timeCodec(iters,
+			func() []byte { return msg.Encode() },
+			func() error { _, err := wire.DecodeMsg(encoded); return err })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, codecRow(fmt.Sprintf("msg/%d args", nargs), len(encoded), encNs, decNs))
+	}
+
+	// Code units of growing size (the applet bodies of E4).
+	for _, sz := range []int{8, 128, 1024} {
+		src := fmt.Sprintf(`export def Applet(n, r) = %s in inaction`, appletBody(sz))
+		unit, err := compiler.Compile(syntax.MustParse(src), "probe")
+		if err != nil {
+			return nil, err
+		}
+		encoded := asm.Encode(unit)
+		n := iters / 50
+		if n == 0 {
+			n = 1
+		}
+		encNs, decNs, err := timeCodec(n,
+			func() []byte { return asm.Encode(unit) },
+			func() error { _, err := asm.Decode(encoded); return err })
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, codecRow(fmt.Sprintf("unit/sz=%d", sz), len(encoded), encNs, decNs))
+	}
+	t.Notes = append(t.Notes, "MB/s rt = bytes through encode+decode per second")
+	return t, nil
+}
+
+func timeCodec(iters int, enc func() []byte, dec func() error) (encNs, decNs float64, err error) {
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		_ = enc()
+	}
+	encNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	start = time.Now()
+	for i := 0; i < iters; i++ {
+		if err := dec(); err != nil {
+			return 0, 0, err
+		}
+	}
+	decNs = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return encNs, decNs, nil
+}
+
+func codecRow(name string, size int, encNs, decNs float64) []string {
+	rt := encNs + decNs
+	mbs := 0.0
+	if rt > 0 {
+		mbs = float64(size) / rt * 1e9 / 1e6
+	}
+	return []string{
+		name,
+		fmt.Sprintf("%d", size),
+		fmt.Sprintf("%.0f", encNs),
+		fmt.Sprintf("%.0f", decNs),
+		fmt.Sprintf("%.1f", mbs),
+	}
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+)
+
+// E8 — the control services the paper names as future work (§7):
+// termination-detection latency as the cluster grows, and
+// failure-detection time as a function of the heartbeat period.
+func E8(o Options) (*Table, error) {
+	t := &Table{
+		ID:     "E8",
+		Title:  "termination detection latency and failure detection time",
+		Header: []string{"measure", "parameter", "value"},
+	}
+
+	// Termination detection: sites that finish a small burst of work;
+	// measured time is from the moment the cluster is actually idle
+	// (workload is trivial) to Wait returning — detector overhead.
+	siteCounts := []int{2, 8, 32}
+	if o.Quick {
+		siteCounts = []int{2, 8}
+	}
+	for _, k := range siteCounts {
+		cl, err := core.NewCluster(core.ClusterConfig{Nodes: 1})
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < k; i++ {
+			if _, err := cl.Submit(0, fmt.Sprintf("s%d", i), `println("x")`, nil); err != nil {
+				cl.Stop()
+				return nil, err
+			}
+		}
+		// First wait absorbs the actual work; the measured second
+		// wait is pure detection latency on an idle cluster.
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		if err := cl.Wait(ctx); err != nil {
+			cancel()
+			cl.Stop()
+			return nil, err
+		}
+		start := time.Now()
+		if err := cl.Wait(ctx); err != nil {
+			cancel()
+			cl.Stop()
+			return nil, err
+		}
+		detect := time.Since(start)
+		cancel()
+		cl.Stop()
+		t.Rows = append(t.Rows, []string{"termination detect", fmt.Sprintf("%d sites", k), detect.Round(10 * time.Microsecond).String()})
+	}
+
+	// Failure detection: two in-process detectors exchanging
+	// heartbeats through function calls; node 2's heartbeats stop and
+	// we time until node 1 suspects it.
+	periods := []time.Duration{2 * time.Millisecond, 10 * time.Millisecond}
+	if o.Quick {
+		periods = []time.Duration{2 * time.Millisecond}
+	}
+	for _, period := range periods {
+		d, err := measureFailureDetection(period)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{"failure detect", fmt.Sprintf("period %v", period), d.Round(100 * time.Microsecond).String()})
+	}
+	t.Notes = append(t.Notes,
+		"failure detection time ≈ SuspectAfter (4 × period) + up to one check period")
+	return t, nil
+}
+
+// measureFailureDetection wires two detectors back to back, kills one,
+// and times the other's suspicion.
+func measureFailureDetection(period time.Duration) (time.Duration, error) {
+	var d1, d2 *failure.Detector
+	suspected := make(chan time.Time, 1)
+	var once sync.Once
+
+	d1 = failure.New(failure.Config{
+		Self: 1, Peers: []uint32{1, 2}, Period: period,
+		Send: func(dst uint32, payload []byte) error {
+			if dst == 2 && d2 != nil {
+				d2.Observe(payload)
+			}
+			return nil
+		},
+		OnEvent: func(e failure.Event) {
+			if e.Suspected && e.Node == 2 {
+				once.Do(func() { suspected <- time.Now() })
+			}
+		},
+	})
+	d2 = failure.New(failure.Config{
+		Self: 2, Peers: []uint32{1, 2}, Period: period,
+		Send: func(dst uint32, payload []byte) error {
+			if dst == 1 {
+				d1.Observe(payload)
+			}
+			return nil
+		},
+	})
+	d1.Start()
+	d2.Start()
+	// Let the pair exchange a few beats, then "crash" node 2.
+	time.Sleep(3 * period)
+	killed := time.Now()
+	d2.Stop()
+	select {
+	case at := <-suspected:
+		d1.Stop()
+		return at.Sub(killed), nil
+	case <-time.After(100*period + time.Second):
+		d1.Stop()
+		return 0, fmt.Errorf("failure never detected (period %v)", period)
+	}
+}

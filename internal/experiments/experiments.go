@@ -1,0 +1,161 @@
+// Package experiments implements the evaluation harness of
+// EXPERIMENTS.md. The paper itself publishes no measured tables (its
+// prototype was "in the final stages of the implementation"), so each
+// experiment here validates one architectural claim or figure from the
+// paper: E1 latency hiding and the Myrinet/Fast-Ethernet platform
+// rationale (Fig. 1), E2 the node-local optimization (Figs. 2/4), E3
+// the VM granularity claims (Fig. 3), E4 the two applet-delivery
+// strategies (§4), E5 the two-step RPC structure (§3), E6 the SETI
+// master/worker workload (§4), E7 the wire/export-table machinery
+// (§5), and E8 the future-work control services (§7).
+//
+// Every experiment returns a Table that cmd/tycobench prints; the
+// bench_test.go targets at the repository root wrap the same
+// workloads in testing.B form.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// Table is one experiment's result in printable form.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options scales the experiments.
+type Options struct {
+	// Quick shrinks every workload (CI mode).
+	Quick bool
+}
+
+// scale picks between the full and quick parameter.
+func (o Options) scale(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(o Options) (*Table, error)
+}
+
+// All lists every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"e1", "latency hiding & interconnect profiles (Fig. 1)", E1},
+		{"e2", "communication locality & marshalling ablation (Figs. 2/4)", E2},
+		{"e3", "virtual machine granularity (Fig. 3)", E3},
+		{"e4", "applet delivery: fetch vs ship (§4)", E4},
+		{"e5", "RPC structure: two ship steps (§3)", E5},
+		{"e6", "SETI master/worker speedup (§4)", E6},
+		{"e7", "wire format & mobile code sizes (§5)", E7},
+		{"e8", "termination & failure detection (§7)", E8},
+	}
+}
+
+// runWorkload stands up a cluster, submits the programs, waits for
+// global termination and returns the elapsed wall-clock time.
+type workloadProgram struct {
+	node int
+	site string
+	src  string
+	out  io.Writer
+	opts []node.SiteOption
+}
+
+func runWorkload(cfg core.ClusterConfig, progs []workloadProgram, timeout time.Duration) (time.Duration, *core.Cluster, error) {
+	cl, err := core.NewCluster(cfg)
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	for _, p := range progs {
+		if _, err := cl.Submit(p.node, p.site, p.src, p.out, p.opts...); err != nil {
+			cl.Stop()
+			return 0, nil, fmt.Errorf("submit %s: %w", p.site, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		cl.Stop()
+		return 0, nil, fmt.Errorf("wait: %w (cluster: %v)", err, cl.Err())
+	}
+	return time.Since(start), cl, nil
+}
+
+// mustProfile resolves a stock link model.
+func mustProfile(name string) transport.LinkModel {
+	m, ok := transport.Profile(name)
+	if !ok {
+		panic("unknown profile " + name)
+	}
+	return m
+}
+
+func us(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d.Nanoseconds())/1e3)
+}
+
+func rate(n int, d time.Duration) string {
+	if d <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", float64(n)/d.Seconds())
+}

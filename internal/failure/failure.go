@@ -1,0 +1,231 @@
+// Package failure implements site/node failure detection — the
+// fault-tolerance facility the paper lists as future work ("We want to
+// be able to detect site failures, reconfigure the computation
+// topology and to try to terminate computations cleanly").
+//
+// The detector is a heartbeat scheme: every node broadcasts a
+// monotonically increasing heartbeat on a fixed period; a peer is
+// suspected when no heartbeat arrives within a configurable multiple
+// of the period, and trusted again if one shows up later (eventually
+// perfect in the usual partially-synchronous sense). Suspicion events
+// feed a reconfiguration callback: the paper's "reconfigure the
+// computation topology" hook.
+package failure
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Clock abstracts time for deterministic tests.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+// Event is a change in a peer's suspicion status.
+type Event struct {
+	Node      uint32
+	Suspected bool
+	At        time.Time
+}
+
+// Config configures a detector.
+type Config struct {
+	// Self is this node's id.
+	Self uint32
+	// Peers are the node ids to watch (self is ignored if present).
+	Peers []uint32
+	// Period is the heartbeat interval (default 50ms).
+	Period time.Duration
+	// SuspectAfter is how long without a heartbeat before suspecting
+	// a peer (default 4 × Period).
+	SuspectAfter time.Duration
+	// Send broadcasts one heartbeat payload to a peer.
+	Send func(dst uint32, payload []byte) error
+	// OnEvent receives suspicion changes.
+	OnEvent func(Event)
+	// Clock overrides time (tests); nil means real time.
+	Clock Clock
+}
+
+// Detector is a heartbeat failure detector for one node.
+type Detector struct {
+	cfg Config
+
+	mu        sync.Mutex
+	lastSeen  map[uint32]time.Time
+	lastSeq   map[uint32]uint64
+	suspected map[uint32]bool
+	seq       uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// New creates a detector; Start launches its loops.
+func New(cfg Config) *Detector {
+	if cfg.Period <= 0 {
+		cfg.Period = 50 * time.Millisecond
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 4 * cfg.Period
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	d := &Detector{
+		cfg:       cfg,
+		lastSeen:  map[uint32]time.Time{},
+		lastSeq:   map[uint32]uint64{},
+		suspected: map[uint32]bool{},
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	now := cfg.Clock.Now()
+	for _, p := range cfg.Peers {
+		if p != cfg.Self {
+			d.lastSeen[p] = now
+		}
+	}
+	return d
+}
+
+// EncodeHeartbeat builds a heartbeat payload.
+func EncodeHeartbeat(node uint32, seq uint64) []byte {
+	var w wire.Writer
+	w.U(uint64(node))
+	w.U(seq)
+	return w.Bytes()
+}
+
+// DecodeHeartbeat parses a heartbeat payload.
+func DecodeHeartbeat(payload []byte) (node uint32, seq uint64, err error) {
+	r := wire.NewReader(payload)
+	n, err := r.U()
+	if err != nil {
+		return 0, 0, err
+	}
+	s, err := r.U()
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(n), s, nil
+}
+
+// Start launches the broadcast and check loops.
+func (d *Detector) Start() {
+	go func() {
+		defer close(d.done)
+		ticker := time.NewTicker(d.cfg.Period)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				d.beat()
+				d.check()
+			case <-d.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop halts the detector.
+func (d *Detector) Stop() {
+	select {
+	case <-d.stop:
+	default:
+		close(d.stop)
+	}
+	<-d.done
+}
+
+// beat broadcasts one heartbeat.
+func (d *Detector) beat() {
+	d.mu.Lock()
+	d.seq++
+	seq := d.seq
+	d.mu.Unlock()
+	payload := EncodeHeartbeat(d.cfg.Self, seq)
+	for _, p := range d.cfg.Peers {
+		if p == d.cfg.Self {
+			continue
+		}
+		_ = d.cfg.Send(p, payload) // transient send failures are what heartbeats exist to tolerate
+	}
+}
+
+// Observe records a received heartbeat; the node adapter calls it from
+// its control handler.
+func (d *Detector) Observe(payload []byte) {
+	node, seq, err := DecodeHeartbeat(payload)
+	if err != nil {
+		return
+	}
+	now := d.cfg.Clock.Now()
+	d.mu.Lock()
+	if seq <= d.lastSeq[node] && d.lastSeq[node] != 0 {
+		d.mu.Unlock()
+		return // stale or duplicated heartbeat
+	}
+	d.lastSeq[node] = seq
+	d.lastSeen[node] = now
+	wasSuspected := d.suspected[node]
+	if wasSuspected {
+		d.suspected[node] = false
+	}
+	cb := d.cfg.OnEvent
+	d.mu.Unlock()
+	if wasSuspected && cb != nil {
+		cb(Event{Node: node, Suspected: false, At: now})
+	}
+}
+
+// check scans for peers whose heartbeats stopped.
+func (d *Detector) check() {
+	now := d.cfg.Clock.Now()
+	var events []Event
+	d.mu.Lock()
+	for node, seen := range d.lastSeen {
+		if d.suspected[node] {
+			continue
+		}
+		if now.Sub(seen) > d.cfg.SuspectAfter {
+			d.suspected[node] = true
+			events = append(events, Event{Node: node, Suspected: true, At: now})
+		}
+	}
+	cb := d.cfg.OnEvent
+	d.mu.Unlock()
+	if cb != nil {
+		for _, e := range events {
+			cb(e)
+		}
+	}
+}
+
+// Suspected reports whether a peer is currently suspected.
+func (d *Detector) Suspected(node uint32) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.suspected[node]
+}
+
+// Alive lists the peers not currently suspected.
+func (d *Detector) Alive() []uint32 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []uint32
+	for _, p := range d.cfg.Peers {
+		if p != d.cfg.Self && !d.suspected[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}

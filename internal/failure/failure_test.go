@@ -1,0 +1,155 @@
+package failure_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+)
+
+// pair wires two detectors back-to-back through function calls.
+type pair struct {
+	mu       sync.Mutex
+	d1, d2   *failure.Detector
+	drop1to2 bool
+	drop2to1 bool
+	events   chan failure.Event
+}
+
+func newPair(period time.Duration) *pair {
+	p := &pair{events: make(chan failure.Event, 64)}
+	p.d1 = failure.New(failure.Config{
+		Self: 1, Peers: []uint32{1, 2}, Period: period,
+		Send: func(dst uint32, payload []byte) error {
+			p.mu.Lock()
+			drop := p.drop1to2
+			d2 := p.d2
+			p.mu.Unlock()
+			if !drop && dst == 2 && d2 != nil {
+				d2.Observe(payload)
+			}
+			return nil
+		},
+		OnEvent: func(e failure.Event) { p.events <- e },
+	})
+	p.d2 = failure.New(failure.Config{
+		Self: 2, Peers: []uint32{1, 2}, Period: period,
+		Send: func(dst uint32, payload []byte) error {
+			p.mu.Lock()
+			drop := p.drop2to1
+			d1 := p.d1
+			p.mu.Unlock()
+			if !drop && dst == 1 && d1 != nil {
+				d1.Observe(payload)
+			}
+			return nil
+		},
+	})
+	return p
+}
+
+func TestHeartbeatCodec(t *testing.T) {
+	payload := failure.EncodeHeartbeat(7, 42)
+	node, seq, err := failure.DecodeHeartbeat(payload)
+	if err != nil || node != 7 || seq != 42 {
+		t.Fatalf("codec: %d %d %v", node, seq, err)
+	}
+	if _, _, err := failure.DecodeHeartbeat([]byte{0xFF}); err == nil {
+		t.Fatal("truncated heartbeat accepted")
+	}
+}
+
+func TestNoFalseSuspicionWhileAlive(t *testing.T) {
+	p := newPair(2 * time.Millisecond)
+	p.d1.Start()
+	p.d2.Start()
+	defer p.d1.Stop()
+	defer p.d2.Stop()
+	time.Sleep(30 * time.Millisecond)
+	select {
+	case e := <-p.events:
+		t.Fatalf("false suspicion: %+v", e)
+	default:
+	}
+	if p.d1.Suspected(2) {
+		t.Fatal("healthy peer suspected")
+	}
+}
+
+func TestDetectsSilentPeer(t *testing.T) {
+	p := newPair(2 * time.Millisecond)
+	p.d1.Start()
+	p.d2.Start()
+	defer p.d1.Stop()
+	time.Sleep(10 * time.Millisecond)
+	p.d2.Stop() // crash node 2
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case e := <-p.events:
+			if e.Suspected && e.Node == 2 {
+				if !p.d1.Suspected(2) {
+					t.Fatal("event fired but Suspected() disagrees")
+				}
+				if alive := p.d1.Alive(); len(alive) != 0 {
+					t.Fatalf("alive = %v", alive)
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("silent peer never suspected")
+		}
+	}
+}
+
+func TestRecoveryClearsSuspicion(t *testing.T) {
+	p := newPair(2 * time.Millisecond)
+	p.d1.Start()
+	p.d2.Start()
+	defer p.d1.Stop()
+	defer p.d2.Stop()
+	// Partition 2→1, wait for suspicion, then heal.
+	p.mu.Lock()
+	p.drop2to1 = true
+	p.mu.Unlock()
+	waitEvent(t, p.events, true)
+	p.mu.Lock()
+	p.drop2to1 = false
+	p.mu.Unlock()
+	waitEvent(t, p.events, false)
+	if p.d1.Suspected(2) {
+		t.Fatal("suspicion not cleared after recovery")
+	}
+}
+
+func waitEvent(t *testing.T, ch chan failure.Event, suspected bool) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case e := <-ch:
+			if e.Suspected == suspected && e.Node == 2 {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("event suspected=%v never arrived", suspected)
+		}
+	}
+}
+
+func TestStaleHeartbeatsIgnored(t *testing.T) {
+	d := failure.New(failure.Config{
+		Self: 1, Peers: []uint32{1, 2}, Period: time.Millisecond,
+		Send: func(uint32, []byte) error { return nil },
+	})
+	// Sequence 5 then a replayed 3: the replay must not refresh.
+	d.Observe(failure.EncodeHeartbeat(2, 5))
+	d.Observe(failure.EncodeHeartbeat(2, 3)) // ignored
+	d.Observe(failure.EncodeHeartbeat(2, 6)) // accepted
+	// No crash, no event machinery needed — this is a pure logic check
+	// that Observe tolerates replays.
+	if d.Suspected(2) {
+		t.Fatal("fresh peer suspected")
+	}
+}

@@ -1,0 +1,208 @@
+// Package nameservice implements the paper's Network Name Service
+// (section 5): a registry that maps site names to (SiteId, IpAddress)
+// pairs and exported identifiers to heap ids,
+//
+//	SiteTable: SiteName → SiteId × IpAddress
+//	IdTable:   SiteName × IdName → HeapId
+//
+// plus a class table for exported class definitions. Lookups block
+// until the corresponding export arrives, which is how an importing
+// site waits for its exporter ("import consults the network name
+// service to find the network reference for an imported identifier").
+//
+// The paper notes the first implementation is centralized with a
+// location known in advance, and names a distributed service as future
+// work "for reasons of both redundancy (for failure recovery) and
+// performance"; Central is the former, Replicated the latter.
+//
+// Every registration carries a protocol signature (method labels and
+// arities for names, parameter count for classes). Importers verify
+// their intended use against it — the dynamic half of the paper's
+// combined static/dynamic type checking scheme.
+package nameservice
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/vm"
+)
+
+// Service is the name-service interface sites use.
+type Service interface {
+	// RegisterSite enters a site into the SiteTable.
+	RegisterSite(name string, site, node uint32) error
+	// LookupSite blocks until the site is registered.
+	LookupSite(ctx context.Context, name string) (site, node uint32, err error)
+	// RegisterName enters an exported identifier into the IdTable.
+	// sig is the exporter's protocol signature (see Signature).
+	RegisterName(siteName, id string, heap uint32, sig string) error
+	// LookupName blocks until the identifier is exported and returns
+	// its network reference and signature.
+	LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error)
+	// RegisterClass enters an exported class into the class table.
+	RegisterClass(siteName, class string, sig string) error
+	// LookupClass blocks until the class is exported.
+	LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error)
+}
+
+type siteEntry struct {
+	site uint32
+	node uint32
+}
+
+type idKey struct {
+	site string
+	id   string
+}
+
+type nameEntry struct {
+	heap uint32
+	sig  string
+}
+
+type classEntry struct {
+	sig string
+}
+
+// Central is the centralized name service: one instance shared (via
+// pointer or via the TCP protocol in this package) by every node.
+type Central struct {
+	mu      sync.Mutex
+	gen     chan struct{} // closed and replaced on every registration
+	sites   map[string]siteEntry
+	names   map[idKey]nameEntry
+	classes map[idKey]classEntry
+}
+
+var _ Service = (*Central)(nil)
+
+// NewCentral creates an empty name service.
+func NewCentral() *Central {
+	return &Central{
+		gen:     make(chan struct{}),
+		sites:   map[string]siteEntry{},
+		names:   map[idKey]nameEntry{},
+		classes: map[idKey]classEntry{},
+	}
+}
+
+// bump wakes all blocked lookups so they can re-check.
+func (c *Central) bump() {
+	close(c.gen)
+	c.gen = make(chan struct{})
+}
+
+// RegisterSite implements Service.
+func (c *Central) RegisterSite(name string, site, node uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if prev, dup := c.sites[name]; dup {
+		if prev.site == site && prev.node == node {
+			return nil // idempotent re-registration
+		}
+		return fmt.Errorf("nameservice: site %q already registered at s%d/n%d", name, prev.site, prev.node)
+	}
+	c.sites[name] = siteEntry{site: site, node: node}
+	c.bump()
+	return nil
+}
+
+// LookupSite implements Service.
+func (c *Central) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.sites[name]; ok {
+			c.mu.Unlock()
+			return e.site, e.node, nil
+		}
+		gen := c.gen
+		c.mu.Unlock()
+		select {
+		case <-gen:
+		case <-ctx.Done():
+			return 0, 0, fmt.Errorf("nameservice: lookup site %q: %w", name, ctx.Err())
+		}
+	}
+}
+
+// RegisterName implements Service.
+func (c *Central) RegisterName(siteName, id string, heap uint32, sig string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := idKey{site: siteName, id: id}
+	if prev, dup := c.names[k]; dup && prev.heap != heap {
+		return fmt.Errorf("nameservice: identifier %s.%s already exported", siteName, id)
+	}
+	c.names[k] = nameEntry{heap: heap, sig: sig}
+	c.bump()
+	return nil
+}
+
+// LookupName implements Service.
+func (c *Central) LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error) {
+	for {
+		c.mu.Lock()
+		e, okName := c.names[idKey{site: siteName, id: id}]
+		s, okSite := c.sites[siteName]
+		gen := c.gen
+		c.mu.Unlock()
+		if okName && okSite {
+			return vm.NetRef{Heap: e.heap, Site: s.site, Node: s.node}, e.sig, nil
+		}
+		select {
+		case <-gen:
+		case <-ctx.Done():
+			return vm.NetRef{}, "", fmt.Errorf("nameservice: lookup %s.%s: %w", siteName, id, ctx.Err())
+		}
+	}
+}
+
+// RegisterClass implements Service.
+func (c *Central) RegisterClass(siteName, class string, sig string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	k := idKey{site: siteName, id: class}
+	c.classes[k] = classEntry{sig: sig}
+	c.bump()
+	return nil
+}
+
+// LookupClass implements Service.
+func (c *Central) LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error) {
+	for {
+		c.mu.Lock()
+		e, okClass := c.classes[idKey{site: siteName, id: class}]
+		s, okSite := c.sites[siteName]
+		gen := c.gen
+		c.mu.Unlock()
+		if okClass && okSite {
+			return vm.NetClass{Name: class, Site: s.site, Node: s.node}, e.sig, nil
+		}
+		select {
+		case <-gen:
+		case <-ctx.Done():
+			return vm.NetClass{}, "", fmt.Errorf("nameservice: lookup class %s.%s: %w", siteName, class, ctx.Err())
+		}
+	}
+}
+
+// Dump returns a human-readable table listing (for tycosh and tests).
+func (c *Central) Dump() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := "sites:\n"
+	for n, e := range c.sites {
+		out += fmt.Sprintf("  %s -> s%d/n%d\n", n, e.site, e.node)
+	}
+	out += "names:\n"
+	for k, e := range c.names {
+		out += fmt.Sprintf("  %s.%s -> heap %d  sig %q\n", k.site, k.id, e.heap, e.sig)
+	}
+	out += "classes:\n"
+	for k, e := range c.classes {
+		out += fmt.Sprintf("  %s.%s  sig %q\n", k.site, k.id, e.sig)
+	}
+	return out
+}

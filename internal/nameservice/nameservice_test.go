@@ -1,0 +1,298 @@
+package nameservice_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/nameservice"
+	"repro/internal/vm"
+)
+
+func TestCentralBasics(t *testing.T) {
+	ns := nameservice.NewCentral()
+	if err := ns.RegisterSite("server", 7, 2); err != nil {
+		t.Fatal(err)
+	}
+	site, node, err := ns.LookupSite(context.Background(), "server")
+	if err != nil || site != 7 || node != 2 {
+		t.Fatalf("lookup site: %d %d %v", site, node, err)
+	}
+	if err := ns.RegisterName("server", "chat", 41, "val/1 ..."); err != nil {
+		t.Fatal(err)
+	}
+	ref, sig, err := ns.LookupName(context.Background(), "server", "chat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref != (vm.NetRef{Heap: 41, Site: 7, Node: 2}) || sig != "val/1 ..." {
+		t.Fatalf("ref=%v sig=%q", ref, sig)
+	}
+	if err := ns.RegisterClass("server", "Applet", "class/2"); err != nil {
+		t.Fatal(err)
+	}
+	nc, csig, err := ns.LookupClass(context.Background(), "server", "Applet")
+	if err != nil || nc.Name != "Applet" || nc.Site != 7 || nc.Node != 2 || csig != "class/2" {
+		t.Fatalf("class lookup: %v %q %v", nc, csig, err)
+	}
+}
+
+func TestCentralBlockingLookup(t *testing.T) {
+	ns := nameservice.NewCentral()
+	done := make(chan vm.NetRef, 1)
+	go func() {
+		ref, _, err := ns.LookupName(context.Background(), "late", "x")
+		if err == nil {
+			done <- ref
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	select {
+	case <-done:
+		t.Fatal("lookup returned before export")
+	default:
+	}
+	if err := ns.RegisterName("late", "x", 9, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterSite("late", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ref := <-done:
+		if ref.Heap != 9 {
+			t.Fatalf("ref = %v", ref)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("lookup never unblocked")
+	}
+}
+
+func TestCentralLookupContextCancel(t *testing.T) {
+	ns := nameservice.NewCentral()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, _, err := ns.LookupName(ctx, "ghost", "x"); err == nil {
+		t.Fatal("lookup should time out")
+	}
+}
+
+func TestCentralConflicts(t *testing.T) {
+	ns := nameservice.NewCentral()
+	if err := ns.RegisterSite("s", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterSite("s", 1, 1); err != nil {
+		t.Fatal("idempotent re-registration should pass:", err)
+	}
+	if err := ns.RegisterSite("s", 2, 1); err == nil {
+		t.Fatal("conflicting site registration accepted")
+	}
+	if err := ns.RegisterName("s", "x", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterName("s", "x", 2, ""); err == nil {
+		t.Fatal("conflicting name registration accepted")
+	}
+}
+
+func TestCentralConcurrentExportImport(t *testing.T) {
+	// Many concurrent importers and exporters: every importer must
+	// see exactly the value its exporter registered.
+	ns := nameservice.NewCentral()
+	if err := ns.RegisterSite("hub", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ref, _, err := ns.LookupName(context.Background(), "hub", name(i))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if int(ref.Heap) != i {
+				errs <- errMismatch(i, int(ref.Heap))
+			}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_ = ns.RegisterName("hub", name(i), uint32(i), "")
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+func name(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+type errMismatchT struct{ want, got int }
+
+func errMismatch(w, g int) error { return errMismatchT{w, g} }
+func (e errMismatchT) Error() string {
+	return "heap mismatch"
+}
+
+func TestTCPProtocol(t *testing.T) {
+	central := nameservice.NewCentral()
+	srv, err := nameservice.NewServer(central, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := nameservice.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	if err := cli.RegisterSite("remote", 3, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.RegisterName("remote", "p", 11, "val/2 ..."); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.RegisterClass("remote", "K", "class/1"); err != nil {
+		t.Fatal(err)
+	}
+	ref, sig, err := cli.LookupName(context.Background(), "remote", "p")
+	if err != nil || ref != (vm.NetRef{Heap: 11, Site: 3, Node: 4}) || sig != "val/2 ..." {
+		t.Fatalf("lookup over tcp: %v %q %v", ref, sig, err)
+	}
+	nc, csig, err := cli.LookupClass(context.Background(), "remote", "K")
+	if err != nil || nc.Site != 3 || csig != "class/1" {
+		t.Fatalf("class lookup over tcp: %v %q %v", nc, csig, err)
+	}
+	s, n, err := cli.LookupSite(context.Background(), "remote")
+	if err != nil || s != 3 || n != 4 {
+		t.Fatalf("site lookup over tcp: %d %d %v", s, n, err)
+	}
+}
+
+func TestTCPBlockingLookupAcrossClients(t *testing.T) {
+	central := nameservice.NewCentral()
+	srv, err := nameservice.NewServer(central, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	importer, err := nameservice.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer importer.Close()
+	exporter, err := nameservice.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exporter.Close()
+
+	got := make(chan vm.NetRef, 1)
+	go func() {
+		ref, _, err := importer.LookupName(context.Background(), "s", "x")
+		if err == nil {
+			got <- ref
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := exporter.RegisterSite("s", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := exporter.RegisterName("s", "x", 5, ""); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ref := <-got:
+		if ref.Heap != 5 {
+			t.Fatalf("ref = %v", ref)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked TCP lookup never completed")
+	}
+}
+
+func TestTCPLookupErrorPropagates(t *testing.T) {
+	central := nameservice.NewCentral()
+	srv, err := nameservice.NewServer(central, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := nameservice.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, _, err := cli.LookupName(ctx, "nobody", "x"); err == nil {
+		t.Fatal("expected timeout error")
+	}
+}
+
+func TestReplicatedFailover(t *testing.T) {
+	// Three replicas; one permanently fails. Registrations reach a
+	// quorum and lookups succeed via the survivors.
+	r1 := nameservice.NewCentral()
+	r2 := nameservice.NewCentral()
+	bad := &failingService{}
+	rep, err := nameservice.NewReplicated(r1, bad, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.RegisterSite("s", 1, 1); err != nil {
+		t.Fatalf("quorum write failed: %v", err)
+	}
+	if err := rep.RegisterName("s", "x", 3, "sig"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ref, _, err := rep.LookupName(ctx, "s", "x")
+	if err != nil || ref.Heap != 3 {
+		t.Fatalf("lookup: %v %v", ref, err)
+	}
+}
+
+func TestReplicatedQuorumFailure(t *testing.T) {
+	bad1, bad2 := &failingService{}, &failingService{}
+	ok := nameservice.NewCentral()
+	rep, err := nameservice.NewReplicated(bad1, ok, bad2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.RegisterSite("s", 1, 1); err == nil {
+		t.Fatal("1/3 acks must not be a quorum")
+	}
+}
+
+// failingService errors on everything (a crashed replica).
+type failingService struct{}
+
+func (f *failingService) RegisterSite(string, uint32, uint32) error { return errDown }
+func (f *failingService) LookupSite(ctx context.Context, _ string) (uint32, uint32, error) {
+	return 0, 0, errDown
+}
+func (f *failingService) RegisterName(string, string, uint32, string) error { return errDown }
+func (f *failingService) LookupName(ctx context.Context, _, _ string) (vm.NetRef, string, error) {
+	return vm.NetRef{}, "", errDown
+}
+func (f *failingService) RegisterClass(string, string, string) error { return errDown }
+func (f *failingService) LookupClass(ctx context.Context, _, _ string) (vm.NetClass, string, error) {
+	return vm.NetClass{}, "", errDown
+}
+
+type downError struct{}
+
+func (downError) Error() string { return "replica down" }
+
+var errDown = downError{}

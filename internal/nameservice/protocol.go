@@ -1,0 +1,468 @@
+package nameservice
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// TCP protocol: length-prefixed frames, each a request or reply.
+// Requests carry a client-chosen id; replies echo it. Blocking
+// lookups block on the server side, so a reply may arrive long after
+// the request and out of order with other replies.
+
+type nsOp uint8
+
+const (
+	opRegisterSite nsOp = iota + 1
+	opLookupSite
+	opRegisterName
+	opLookupName
+	opRegisterClass
+	opLookupClass
+	opReply
+)
+
+const maxNSFrame = 1 << 20
+
+func writeFrame(conn net.Conn, mu *sync.Mutex, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	mu.Lock()
+	defer mu.Unlock()
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+func readFrame(conn net.Conn) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxNSFrame {
+		return nil, fmt.Errorf("nameservice: oversized frame (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Server exposes a Service (normally a Central) over TCP.
+type Server struct {
+	svc Service
+	ln  net.Listener
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewServer starts serving svc on addr.
+func NewServer(svc Service, addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{svc: svc, ln: ln}
+	s.wg.Add(1)
+	go s.accept()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.ln.Close()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) accept() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	var wmu sync.Mutex
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		op, err := r.Byte()
+		if err != nil {
+			return
+		}
+		id, err := r.U()
+		if err != nil {
+			return
+		}
+		reply := func(build func(w *wire.Writer), rpcErr error) {
+			var w wire.Writer
+			w.Byte(byte(opReply))
+			w.U(id)
+			if rpcErr != nil {
+				w.S(rpcErr.Error())
+			} else {
+				w.S("")
+				if build != nil {
+					build(&w)
+				}
+			}
+			_ = writeFrame(conn, &wmu, w.Bytes())
+		}
+		switch nsOp(op) {
+		case opRegisterSite:
+			name, _ := r.S()
+			site, _ := r.U()
+			node, err2 := r.U()
+			if err2 != nil {
+				return
+			}
+			reply(nil, s.svc.RegisterSite(name, uint32(site), uint32(node)))
+		case opRegisterName:
+			siteName, _ := r.S()
+			idName, _ := r.S()
+			heap, _ := r.U()
+			sig, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			reply(nil, s.svc.RegisterName(siteName, idName, uint32(heap), sig))
+		case opRegisterClass:
+			siteName, _ := r.S()
+			class, _ := r.S()
+			sig, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			reply(nil, s.svc.RegisterClass(siteName, class, sig))
+		case opLookupSite:
+			name, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				site, node, err3 := s.svc.LookupSite(ctx, name)
+				reply(func(w *wire.Writer) {
+					w.U(uint64(site))
+					w.U(uint64(node))
+				}, err3)
+			}()
+		case opLookupName:
+			siteName, _ := r.S()
+			idName, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				ref, sig, err3 := s.svc.LookupName(ctx, siteName, idName)
+				reply(func(w *wire.Writer) {
+					w.U(uint64(ref.Heap))
+					w.U(uint64(ref.Site))
+					w.U(uint64(ref.Node))
+					w.S(sig)
+				}, err3)
+			}()
+		case opLookupClass:
+			siteName, _ := r.S()
+			class, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				nc, sig, err3 := s.svc.LookupClass(ctx, siteName, class)
+				reply(func(w *wire.Writer) {
+					w.S(nc.Name)
+					w.U(uint64(nc.Site))
+					w.U(uint64(nc.Node))
+					w.S(sig)
+				}, err3)
+			}()
+		default:
+			return
+		}
+	}
+}
+
+// Client is a Service backed by a remote Server.
+type Client struct {
+	addr string
+
+	mu      sync.Mutex
+	conn    net.Conn
+	wmu     sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan *wire.Reader
+	closed  bool
+}
+
+var _ Service = (*Client)(nil)
+
+// Dial connects to a name-service server.
+func Dial(addr string) (*Client, error) {
+	c := &Client{addr: addr, pending: map[uint64]chan *wire.Reader{}}
+	if err := c.connect(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *Client) connect() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+	go c.readLoop(conn)
+	return nil
+}
+
+// Close shuts the client down.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.conn != nil {
+		return c.conn.Close()
+	}
+	return nil
+}
+
+func (c *Client) readLoop(conn net.Conn) {
+	for {
+		frame, err := readFrame(conn)
+		if err != nil {
+			c.mu.Lock()
+			for id, ch := range c.pending {
+				close(ch)
+				delete(c.pending, id)
+			}
+			c.mu.Unlock()
+			return
+		}
+		r := wire.NewReader(frame)
+		op, err := r.Byte()
+		if err != nil || nsOp(op) != opReply {
+			continue
+		}
+		id, err := r.U()
+		if err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[id]
+		delete(c.pending, id)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- r
+		}
+	}
+}
+
+// call sends a request and waits for its reply.
+func (c *Client) call(ctx context.Context, build func(w *wire.Writer, id uint64)) (*wire.Reader, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, errors.New("nameservice: client closed")
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan *wire.Reader, 1)
+	c.pending[id] = ch
+	conn := c.conn
+	c.mu.Unlock()
+
+	var w wire.Writer
+	build(&w, id)
+	if err := writeFrame(conn, &c.wmu, w.Bytes()); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	select {
+	case r, ok := <-ch:
+		if !ok {
+			return nil, errors.New("nameservice: connection lost")
+		}
+		msg, err := r.S()
+		if err != nil {
+			return nil, err
+		}
+		if msg != "" {
+			return nil, errors.New(msg)
+		}
+		return r, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// RegisterSite implements Service.
+func (c *Client) RegisterSite(name string, site, node uint32) error {
+	_, err := c.call(context.Background(), func(w *wire.Writer, id uint64) {
+		w.Byte(byte(opRegisterSite))
+		w.U(id)
+		w.S(name)
+		w.U(uint64(site))
+		w.U(uint64(node))
+	})
+	return err
+}
+
+// LookupSite implements Service.
+func (c *Client) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
+	r, err := c.call(ctx, func(w *wire.Writer, id uint64) {
+		w.Byte(byte(opLookupSite))
+		w.U(id)
+		w.S(name)
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	site, err := r.U()
+	if err != nil {
+		return 0, 0, err
+	}
+	node, err := r.U()
+	if err != nil {
+		return 0, 0, err
+	}
+	return uint32(site), uint32(node), nil
+}
+
+// RegisterName implements Service.
+func (c *Client) RegisterName(siteName, id string, heap uint32, sig string) error {
+	_, err := c.call(context.Background(), func(w *wire.Writer, rid uint64) {
+		w.Byte(byte(opRegisterName))
+		w.U(rid)
+		w.S(siteName)
+		w.S(id)
+		w.U(uint64(heap))
+		w.S(sig)
+	})
+	return err
+}
+
+// LookupName implements Service.
+func (c *Client) LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error) {
+	r, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
+		w.Byte(byte(opLookupName))
+		w.U(rid)
+		w.S(siteName)
+		w.S(id)
+	})
+	if err != nil {
+		return vm.NetRef{}, "", err
+	}
+	h, err := r.U()
+	if err != nil {
+		return vm.NetRef{}, "", err
+	}
+	s, err := r.U()
+	if err != nil {
+		return vm.NetRef{}, "", err
+	}
+	n, err := r.U()
+	if err != nil {
+		return vm.NetRef{}, "", err
+	}
+	sig, err := r.S()
+	if err != nil {
+		return vm.NetRef{}, "", err
+	}
+	return vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, sig, nil
+}
+
+// RegisterClass implements Service.
+func (c *Client) RegisterClass(siteName, class string, sig string) error {
+	_, err := c.call(context.Background(), func(w *wire.Writer, rid uint64) {
+		w.Byte(byte(opRegisterClass))
+		w.U(rid)
+		w.S(siteName)
+		w.S(class)
+		w.S(sig)
+	})
+	return err
+}
+
+// LookupClass implements Service.
+func (c *Client) LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error) {
+	r, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
+		w.Byte(byte(opLookupClass))
+		w.U(rid)
+		w.S(siteName)
+		w.S(class)
+	})
+	if err != nil {
+		return vm.NetClass{}, "", err
+	}
+	name, err := r.S()
+	if err != nil {
+		return vm.NetClass{}, "", err
+	}
+	s, err := r.U()
+	if err != nil {
+		return vm.NetClass{}, "", err
+	}
+	n, err := r.U()
+	if err != nil {
+		return vm.NetClass{}, "", err
+	}
+	sig, err := r.S()
+	if err != nil {
+		return vm.NetClass{}, "", err
+	}
+	return vm.NetClass{Name: name, Site: uint32(s), Node: uint32(n)}, sig, nil
+}

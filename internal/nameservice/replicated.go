@@ -1,0 +1,148 @@
+package nameservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/vm"
+)
+
+// Replicated is the distributed name service the paper names as
+// future work ("This will change, as the system matures, into a
+// distributed network name service … for reasons of both redundancy
+// (for failure recovery) and performance").
+//
+// The design is primary-less full replication: registrations are
+// written to every reachable replica (succeeding if a majority
+// accepts — registrations are idempotent, so retried or duplicated
+// writes are harmless), and lookups race all replicas, returning the
+// first success. Because exports in DiTyCO are write-once (a name is
+// exported by exactly one site and never rebound), replicas can never
+// disagree about a value — replication here buys availability, not
+// consistency headaches.
+type Replicated struct {
+	replicas []Service
+}
+
+var _ Service = (*Replicated)(nil)
+
+// NewReplicated builds a replicated service over the given replicas.
+func NewReplicated(replicas ...Service) (*Replicated, error) {
+	if len(replicas) == 0 {
+		return nil, errors.New("nameservice: replicated service needs at least one replica")
+	}
+	return &Replicated{replicas: replicas}, nil
+}
+
+// writeAll applies a registration to every replica, requiring a
+// majority of successes.
+func (r *Replicated) writeAll(op func(s Service) error) error {
+	var firstErr error
+	acks := 0
+	for _, s := range r.replicas {
+		if err := op(s); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		acks++
+	}
+	if acks*2 > len(r.replicas) {
+		return nil
+	}
+	if firstErr == nil {
+		firstErr = errors.New("nameservice: no replica accepted the registration")
+	}
+	return fmt.Errorf("nameservice: quorum failed (%d/%d): %w", acks, len(r.replicas), firstErr)
+}
+
+// raceLookups runs the lookup against every replica and returns the
+// first success; it fails only when every replica fails.
+func raceLookups[T any](ctx context.Context, replicas []Service, lookup func(ctx context.Context, s Service) (T, error)) (T, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, len(replicas))
+	var wg sync.WaitGroup
+	for _, s := range replicas {
+		wg.Add(1)
+		go func(s Service) {
+			defer wg.Done()
+			v, err := lookup(ctx, s)
+			ch <- result{v: v, err: err}
+		}(s)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	var lastErr error
+	for res := range ch {
+		if res.err == nil {
+			return res.v, nil
+		}
+		lastErr = res.err
+	}
+	var zero T
+	if lastErr == nil {
+		lastErr = errors.New("nameservice: no replicas")
+	}
+	return zero, lastErr
+}
+
+// RegisterSite implements Service.
+func (r *Replicated) RegisterSite(name string, site, node uint32) error {
+	return r.writeAll(func(s Service) error { return s.RegisterSite(name, site, node) })
+}
+
+// LookupSite implements Service.
+func (r *Replicated) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
+	type pair struct{ site, node uint32 }
+	p, err := raceLookups(ctx, r.replicas, func(ctx context.Context, s Service) (pair, error) {
+		site, node, err := s.LookupSite(ctx, name)
+		return pair{site, node}, err
+	})
+	return p.site, p.node, err
+}
+
+// RegisterName implements Service.
+func (r *Replicated) RegisterName(siteName, id string, heap uint32, sig string) error {
+	return r.writeAll(func(s Service) error { return s.RegisterName(siteName, id, heap, sig) })
+}
+
+// LookupName implements Service.
+func (r *Replicated) LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error) {
+	type res struct {
+		ref vm.NetRef
+		sig string
+	}
+	v, err := raceLookups(ctx, r.replicas, func(ctx context.Context, s Service) (res, error) {
+		ref, sig, err := s.LookupName(ctx, siteName, id)
+		return res{ref, sig}, err
+	})
+	return v.ref, v.sig, err
+}
+
+// RegisterClass implements Service.
+func (r *Replicated) RegisterClass(siteName, class string, sig string) error {
+	return r.writeAll(func(s Service) error { return s.RegisterClass(siteName, class, sig) })
+}
+
+// LookupClass implements Service.
+func (r *Replicated) LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error) {
+	type res struct {
+		nc  vm.NetClass
+		sig string
+	}
+	v, err := raceLookups(ctx, r.replicas, func(ctx context.Context, s Service) (res, error) {
+		nc, sig, err := s.LookupClass(ctx, siteName, class)
+		return res{nc, sig}, err
+	})
+	return v.nc, v.sig, err
+}

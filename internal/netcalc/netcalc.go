@@ -1,0 +1,420 @@
+// Package netcalc implements the network layer of the DiTyCO calculus
+// (paper section 3) as a reference interpreter: located processes
+// s[P], located identifiers, and the reduction rules LOC (local
+// reduction), SHIPM (remote method invocation: the message moves to
+// the target's site), SHIPO (object migration: the code moves to the
+// name's site) and FETCH (class download: the definition moves to the
+// instantiating site).
+//
+// The representation makes the σ-translations implicit: channels and
+// class closures carry their owning site, so lexical bindings follow
+// values automatically — exactly the invariant σ maintains
+// syntactically. What the rules add over the local calculus is
+// bookkeeping of *where* each reduction happens and *which* inter-site
+// movements occur; that bookkeeping is this package's observable
+// output, and the runtime (packages site/node/core) is tested against
+// it: same per-site print output, same movement counts.
+package netcalc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/calc"
+)
+
+// Stats counts network-level activity.
+type Stats struct {
+	Steps      int
+	LocalComms int // COMM reductions (all are local after SHIP steps)
+	Insts      int // INSTANTIATION reductions
+	ShipM      int // SHIPM: messages that crossed sites
+	ShipO      int // SHIPO: objects that crossed sites
+	Fetches    int // FETCH: class definitions downloaded
+}
+
+// Rule names the reduction rule applied at a step, matching the
+// paper's axioms (section 3).
+type Rule string
+
+// Reduction rules observable through the trace hook.
+const (
+	RuleComm  Rule = "COMM"  // local communication (rendez-vous)
+	RuleInst  Rule = "INST"  // local instantiation
+	RuleShipM Rule = "SHIPM" // message ships to the target's site
+	RuleShipO Rule = "SHIPO" // object migrates to the name's site
+	RuleFetch Rule = "FETCH" // class definition downloaded
+)
+
+// TraceEvent describes one rule application for the trace hook.
+type TraceEvent struct {
+	Rule Rule
+	// Site is where the rule's effect lands: the reducing site for
+	// COMM/INST, the destination site for SHIPM/SHIPO, the
+	// downloading site for FETCH.
+	Site string
+	// From is the origin site for the movement rules (empty for
+	// local rules).
+	From string
+	// Detail is a short human-readable description (label or class).
+	Detail string
+}
+
+// classClosure is a class with its lexical context and defining site.
+type classClosure struct {
+	def     calc.ClassDef
+	env     *calc.Env
+	classes *classEnv
+	site    string
+}
+
+type classEnv struct {
+	classes map[string]*classClosure
+	next    *classEnv
+}
+
+func (e *classEnv) lookup(name string) (*classClosure, bool) {
+	for f := e; f != nil; f = f.next {
+		if c, ok := f.classes[name]; ok {
+			return c, true
+		}
+	}
+	return nil, false
+}
+
+func (e *classEnv) bindDefs(defs []calc.ClassDef, env *calc.Env, site string) *classEnv {
+	frame := &classEnv{classes: make(map[string]*classClosure, len(defs)), next: e}
+	for _, d := range defs {
+		frame.classes[d.Name] = &classClosure{def: d, env: env, classes: frame, site: site}
+	}
+	return frame
+}
+
+// pendingObj is an object queued at a channel; site is where the
+// object now resides (the channel's owner — rule SHIPO moved it there).
+type pendingObj struct {
+	methods []calc.Method
+	env     *calc.Env
+	classes *classEnv
+	site    string
+}
+
+type pendingMsg struct {
+	label string
+	args  []calc.Value
+}
+
+type channel struct {
+	id    int
+	owner string
+	msgs  []pendingMsg
+	objs  []pendingObj
+}
+
+type thread struct {
+	site    string
+	proc    calc.Proc
+	env     *calc.Env
+	classes *classEnv
+}
+
+type exportKey struct {
+	site string
+	name string
+}
+
+// Net is a network of located processes.
+type Net struct {
+	fresh   calc.FreshNames
+	queue   []thread
+	nextCh  int
+	owners  map[*calc.Chan]*channel
+	exports map[exportKey]calc.Value    // exported names
+	classes map[exportKey]*classClosure // exported classes
+	waiting map[exportKey][]thread      // imports blocked on exports
+	outs    map[string]*strings.Builder
+	stats   Stats
+	maxStep int
+
+	// Trace, when non-nil, receives every rule application — the
+	// derivation sequences of paper section 3 as data.
+	Trace func(TraceEvent)
+}
+
+// New creates an empty network. maxSteps bounds execution (0 = 10M).
+func New(maxSteps int) *Net {
+	if maxSteps == 0 {
+		maxSteps = 10_000_000
+	}
+	return &Net{
+		owners:  map[*calc.Chan]*channel{},
+		exports: map[exportKey]calc.Value{},
+		classes: map[exportKey]*classClosure{},
+		waiting: map[exportKey][]thread{},
+		outs:    map[string]*strings.Builder{},
+		maxStep: maxSteps,
+	}
+}
+
+// Add places program p at site s: the located process s[P].
+func (n *Net) Add(site string, p calc.Proc) {
+	if _, ok := n.outs[site]; !ok {
+		n.outs[site] = &strings.Builder{}
+	}
+	n.queue = append(n.queue, thread{site: site, proc: calc.Desugar(p, &n.fresh), env: nil, classes: nil})
+}
+
+// Output returns the print output produced at a site.
+func (n *Net) Output(site string) string {
+	b, ok := n.outs[site]
+	if !ok {
+		return ""
+	}
+	return b.String()
+}
+
+// Sites lists the sites with located processes, sorted.
+func (n *Net) Sites() []string {
+	out := make([]string, 0, len(n.outs))
+	for s := range n.outs {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns the accumulated counters.
+func (n *Net) Stats() Stats { return n.stats }
+
+// Run reduces the network to quiescence. Threads blocked on imports
+// whose exports never appear simply remain parked (like channels with
+// no partner).
+func (n *Net) Run() error {
+	for len(n.queue) > 0 {
+		if n.stats.Steps >= n.maxStep {
+			return calc.ErrMaxSteps
+		}
+		n.stats.Steps++
+		t := n.queue[0]
+		n.queue = n.queue[1:]
+		if err := n.step(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Net) newChan(owner string) *calc.Chan {
+	n.nextCh++
+	ch := &calc.Chan{ID: n.nextCh}
+	n.owners[ch] = &channel{id: n.nextCh, owner: owner}
+	return ch
+}
+
+func (n *Net) step(t thread) error {
+	switch p := t.proc.(type) {
+	case *calc.Nil:
+		return nil
+	case *calc.Par:
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Left, env: t.env, classes: t.classes})
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Right, env: t.env, classes: t.classes})
+		return nil
+	case *calc.New:
+		vals := make([]calc.Value, len(p.Names))
+		for i := range p.Names {
+			vals[i] = calc.ChanValue(n.newChan(t.site))
+		}
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Body, env: t.env.Bind(p.Names, vals), classes: t.classes})
+		return nil
+	case *calc.ExportNew:
+		vals := make([]calc.Value, len(p.Names))
+		for i, name := range p.Names {
+			vals[i] = calc.ChanValue(n.newChan(t.site))
+			n.register(exportKey{site: t.site, name: name}, vals[i], nil)
+		}
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Body, env: t.env.Bind(p.Names, vals), classes: t.classes})
+		return nil
+	case *calc.Msg:
+		chv, err := n.lookupChan(p.Target, p.Pos(), t.env)
+		if err != nil {
+			return err
+		}
+		args, err := calc.EvalExprs(p.Args, t.env)
+		if err != nil {
+			return err
+		}
+		st := n.owners[chv]
+		if st.owner != t.site {
+			// Rule SHIPM: the message moves to the channel's site.
+			n.stats.ShipM++
+			n.trace(TraceEvent{Rule: RuleShipM, Site: st.owner, From: t.site, Detail: p.Label})
+		}
+		if len(st.objs) > 0 {
+			obj := st.objs[0]
+			st.objs = st.objs[1:]
+			return n.reduce(st, pendingMsg{label: p.Label, args: args}, obj, p.Pos())
+		}
+		st.msgs = append(st.msgs, pendingMsg{label: p.Label, args: args})
+		return nil
+	case *calc.Object:
+		chv, err := n.lookupChan(p.Target, p.Pos(), t.env)
+		if err != nil {
+			return err
+		}
+		st := n.owners[chv]
+		if st.owner != t.site {
+			// Rule SHIPO: the object's code migrates to the
+			// channel's site; it lives there from now on.
+			n.stats.ShipO++
+			n.trace(TraceEvent{Rule: RuleShipO, Site: st.owner, From: t.site, Detail: p.Target.Name})
+		}
+		obj := pendingObj{methods: p.Methods, env: t.env, classes: t.classes, site: st.owner}
+		if len(st.msgs) > 0 {
+			msg := st.msgs[0]
+			st.msgs = st.msgs[1:]
+			return n.reduce(st, msg, obj, p.Pos())
+		}
+		st.objs = append(st.objs, obj)
+		return nil
+	case *calc.Inst:
+		cc, ok := t.classes.lookup(p.Class.Name)
+		if !ok {
+			return &calc.RuntimeError{At: p.Pos(), Msg: fmt.Sprintf("unbound class %s", p.Class.Name)}
+		}
+		args, err := calc.EvalExprs(p.Args, t.env)
+		if err != nil {
+			return err
+		}
+		if len(args) != len(cc.def.Params) {
+			return &calc.RuntimeError{At: p.Pos(), Msg: fmt.Sprintf("class %s expects %d arguments, got %d", p.Class.Name, len(cc.def.Params), len(args))}
+		}
+		if cc.site != t.site {
+			// Rule FETCH: the definition is downloaded from its
+			// site; the instance then runs locally.
+			n.stats.Fetches++
+			n.trace(TraceEvent{Rule: RuleFetch, Site: t.site, From: cc.site, Detail: p.Class.Name})
+		}
+		n.stats.Insts++
+		n.trace(TraceEvent{Rule: RuleInst, Site: t.site, Detail: p.Class.Name})
+		n.queue = append(n.queue, thread{site: t.site, proc: cc.def.Body, env: cc.env.Bind(cc.def.Params, args), classes: cc.classes})
+		return nil
+	case *calc.Def:
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Body, env: t.env, classes: t.classes.bindDefs(p.Defs, t.env, t.site)})
+		return nil
+	case *calc.ExportDef:
+		frame := t.classes.bindDefs(p.Defs, t.env, t.site)
+		for _, d := range p.Defs {
+			cc, _ := frame.lookup(d.Name)
+			n.register(exportKey{site: t.site, name: d.Name}, calc.Value{}, cc)
+		}
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Body, env: t.env, classes: frame})
+		return nil
+	case *calc.ImportName:
+		key := exportKey{site: p.Site, name: p.Name}
+		v, ok := n.exports[key]
+		if !ok {
+			n.waiting[key] = append(n.waiting[key], t)
+			return nil
+		}
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Body, env: t.env.Bind1(p.Name, v), classes: t.classes})
+		return nil
+	case *calc.ImportClass:
+		key := exportKey{site: p.Site, name: p.Class}
+		cc, ok := n.classes[key]
+		if !ok {
+			n.waiting[key] = append(n.waiting[key], t)
+			return nil
+		}
+		frame := &classEnv{classes: map[string]*classClosure{p.Class: cc}, next: t.classes}
+		n.queue = append(n.queue, thread{site: t.site, proc: p.Body, env: t.env, classes: frame})
+		return nil
+	case *calc.If:
+		c, err := calc.EvalExpr(p.Cond, t.env)
+		if err != nil {
+			return err
+		}
+		if c.Kind != calc.VBool {
+			return &calc.RuntimeError{At: p.Pos(), Msg: "condition is not a boolean"}
+		}
+		next := p.Else
+		if c.Bool() {
+			next = p.Then
+		}
+		n.queue = append(n.queue, thread{site: t.site, proc: next, env: t.env, classes: t.classes})
+		return nil
+	case *calc.Print:
+		args, err := calc.EvalExprs(p.Args, t.env)
+		if err != nil {
+			return err
+		}
+		parts := make([]string, len(args))
+		for i, a := range args {
+			parts[i] = a.String()
+		}
+		out := n.outs[t.site]
+		if p.Newline {
+			fmt.Fprintln(out, strings.Join(parts, " "))
+		} else {
+			fmt.Fprint(out, strings.Join(parts, " "))
+		}
+		return nil
+	case *calc.Let:
+		n.queue = append(n.queue, thread{site: t.site, proc: calc.Desugar(p, &n.fresh), env: t.env, classes: t.classes})
+		return nil
+	default:
+		return &calc.RuntimeError{At: t.proc.Pos(), Msg: fmt.Sprintf("unknown process %T", p)}
+	}
+}
+
+// register publishes an export and wakes blocked importers.
+func (n *Net) register(key exportKey, v calc.Value, cc *classClosure) {
+	if cc != nil {
+		n.classes[key] = cc
+	} else {
+		n.exports[key] = v
+	}
+	if ts := n.waiting[key]; len(ts) > 0 {
+		delete(n.waiting, key)
+		n.queue = append(n.queue, ts...)
+	}
+}
+
+// reduce selects the method and runs its body at the object's site
+// (the COMM reduction — always local after shipping).
+func (n *Net) reduce(st *channel, msg pendingMsg, obj pendingObj, at calc.Pos) error {
+	for _, m := range obj.methods {
+		if m.Label != msg.label {
+			continue
+		}
+		if len(m.Params) != len(msg.args) {
+			return &calc.RuntimeError{At: at, Msg: fmt.Sprintf("method %s expects %d arguments, got %d", m.Label, len(m.Params), len(msg.args))}
+		}
+		n.stats.LocalComms++
+		n.trace(TraceEvent{Rule: RuleComm, Site: obj.site, Detail: m.Label})
+		n.queue = append(n.queue, thread{site: obj.site, proc: m.Body, env: obj.env.Bind(m.Params, msg.args), classes: obj.classes})
+		return nil
+	}
+	return &calc.RuntimeError{At: at, Msg: fmt.Sprintf("channel #%d: object does not understand label %q", st.id, msg.label)}
+}
+
+// trace fires the hook when installed.
+func (n *Net) trace(e TraceEvent) {
+	if n.Trace != nil {
+		n.Trace(e)
+	}
+}
+
+func (n *Net) lookupChan(id calc.Ident, at calc.Pos, env *calc.Env) (*calc.Chan, error) {
+	if id.Loc() {
+		return nil, &calc.RuntimeError{At: at, Msg: fmt.Sprintf("explicit located name %s (use import)", id)}
+	}
+	v, ok := env.Lookup(id.Name)
+	if !ok {
+		return nil, &calc.RuntimeError{At: at, Msg: fmt.Sprintf("unbound name %s", id.Name)}
+	}
+	if v.Kind != calc.VChan {
+		return nil, &calc.RuntimeError{At: at, Msg: fmt.Sprintf("%s is not a channel", id.Name)}
+	}
+	return v.Ch, nil
+}

@@ -1,0 +1,188 @@
+package netcalc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/netcalc"
+	"repro/internal/syntax"
+	"repro/internal/types"
+)
+
+func run2(t *testing.T, siteA, srcA, siteB, srcB string) *netcalc.Net {
+	t.Helper()
+	n := netcalc.New(0)
+	n.Add(siteA, syntax.MustParse(srcA))
+	n.Add(siteB, syntax.MustParse(srcB))
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestShipM(t *testing.T) {
+	n := run2(t,
+		"server", `export new chat (chat?(v) = println("got", v))`,
+		"client", `import chat from server in chat![42]`)
+	if got := n.Output("server"); got != "got 42\n" {
+		t.Fatalf("server out = %q", got)
+	}
+	st := n.Stats()
+	if st.ShipM != 1 {
+		t.Fatalf("expected 1 SHIPM, got %+v", st)
+	}
+}
+
+func TestRPCIsTwoShipSteps(t *testing.T) {
+	// Paper section 3: "a remote communication involves two reduction
+	// steps" — the request ships out, the reply ships back.
+	n := run2(t,
+		"server", `export new p (p?(x, r) = r![x * x])`,
+		"client", `import p from server in let y = p![7] in println("got", y)`)
+	if got := n.Output("client"); got != "got 49\n" {
+		t.Fatalf("client out = %q", got)
+	}
+	st := n.Stats()
+	if st.ShipM != 2 {
+		t.Fatalf("expected exactly 2 SHIPM steps for one RPC, got %+v", st)
+	}
+	if st.ShipO != 0 || st.Fetches != 0 {
+		t.Fatalf("unexpected movements: %+v", st)
+	}
+}
+
+func TestShipO(t *testing.T) {
+	// The applet-shipping example: the server places an object at a
+	// client-owned name.
+	n := run2(t,
+		"server", `
+def AppletServer(self) =
+  self ? { applet(p) = (p?(x) = println("applet", x)) | AppletServer[self] }
+in export new appletserver AppletServer[appletserver]`,
+		"client", `
+import appletserver from server in
+new p (appletserver!applet[p] | p![5])`)
+	if got := n.Output("client"); got != "applet 5\n" {
+		t.Fatalf("client out = %q (server %q)", got, n.Output("server"))
+	}
+	st := n.Stats()
+	if st.ShipO != 1 {
+		t.Fatalf("expected 1 SHIPO, got %+v", st)
+	}
+}
+
+func TestFetch(t *testing.T) {
+	// The applet-fetching example: the class's code is downloaded and
+	// the print happens at the client.
+	n := run2(t,
+		"server", `export def Applet(x) = println("applet running", x) in inaction`,
+		"client", `import Applet from server in Applet[7]`)
+	if got := n.Output("client"); got != "applet running 7\n" {
+		t.Fatalf("client out = %q", got)
+	}
+	if got := n.Output("server"); got != "" {
+		t.Fatalf("server printed %q", got)
+	}
+	st := n.Stats()
+	if st.Fetches != 1 {
+		t.Fatalf("expected 1 FETCH, got %+v", st)
+	}
+}
+
+func TestSetiChunksFlowBack(t *testing.T) {
+	n := run2(t,
+		"seti", `
+new database (
+  def Data(self, next) = self ? { newChunk(r) = r![next] | Data[self, next + 1] }
+  in Data[database, 1] |
+  export def Install(limit) = Go[limit]
+  and Go(n) = if n == 0 then inaction
+              else let data = database!newChunk[] in (println("processed", data) | Go[n - 1])
+  in inaction
+)`,
+		"client", `import Install from seti in Install[3]`)
+	if got := n.Output("client"); got != "processed 1\nprocessed 2\nprocessed 3\n" {
+		t.Fatalf("client out = %q", got)
+	}
+	st := n.Stats()
+	// Every newChunk request ships to the seti site and every reply
+	// ships back: 3 chunks → 6 SHIPM.
+	if st.ShipM != 6 {
+		t.Fatalf("expected 6 SHIPM, got %+v", st)
+	}
+	if st.Fetches == 0 {
+		t.Fatalf("expected FETCH steps, got %+v", st)
+	}
+}
+
+func TestImportBlocksUntilExport(t *testing.T) {
+	// Submission order must not matter: the importer parks until the
+	// exporter registers.
+	n := netcalc.New(0)
+	n.Add("client", syntax.MustParse(`import chat from server in chat!["hi"]`))
+	n.Add("server", syntax.MustParse(`export new chat (chat?(v) = println(v))`))
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Output("server"); got != "hi\n" {
+		t.Fatalf("server out = %q", got)
+	}
+}
+
+func TestLocalProgramNoShips(t *testing.T) {
+	n := netcalc.New(0)
+	n.Add("solo", syntax.MustParse(`
+def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+in new x (Cell[x, 9] | new z (x!read[z] | z?(w) = println(w)))`))
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Output("solo"); got != "9\n" {
+		t.Fatalf("out = %q", got)
+	}
+	st := n.Stats()
+	if st.ShipM+st.ShipO+st.Fetches != 0 {
+		t.Fatalf("local program moved code: %+v", st)
+	}
+}
+
+// Property: on a single site, the network semantics coincide exactly
+// with the local reference interpreter (same FIFO scheduling, same
+// output, no code movements) for random well-typed programs.
+func TestSingleSiteAgreesWithCalc(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	g := &calc.Gen{R: r, MaxDepth: 5}
+	accepted := 0
+	for tries := 0; accepted < 120 && tries < 20000; tries++ {
+		p := g.Proc()
+		if _, err := types.Check(p); err != nil {
+			continue
+		}
+		accepted++
+		localOut, _, lerr := calc.RunString(p, calc.Config{MaxSteps: 20000})
+		n := netcalc.New(20000)
+		n.Add("solo", p)
+		nerr := n.Run()
+		if (lerr == nil) != (nerr == nil) {
+			// Both must agree on the step budget too.
+			if lerr == calc.ErrMaxSteps && nerr == calc.ErrMaxSteps {
+				continue
+			}
+			t.Fatalf("error disagreement: calc=%v netcalc=%v\nsrc: %s", lerr, nerr, calc.String(p))
+		}
+		if lerr != nil {
+			continue
+		}
+		if got := n.Output("solo"); got != localOut {
+			t.Fatalf("output disagreement:\ncalc:    %q\nnetcalc: %q\nsrc: %s", localOut, got, calc.String(p))
+		}
+		st := n.Stats()
+		if st.ShipM+st.ShipO+st.Fetches != 0 {
+			t.Fatalf("single-site program moved code: %+v\nsrc: %s", st, calc.String(p))
+		}
+	}
+	if accepted < 40 {
+		t.Fatalf("too few accepted programs: %d", accepted)
+	}
+}

@@ -1,0 +1,74 @@
+package netcalc_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/netcalc"
+	"repro/internal/syntax"
+)
+
+// TestTraceRPCDerivation reproduces the derivation of paper section 3:
+// a remote procedure call reduces by SHIPM (request out), COMM at the
+// server, SHIPM (reply back), COMM at the client — in that order.
+func TestTraceRPCDerivation(t *testing.T) {
+	n := netcalc.New(0)
+	var got []string
+	n.Trace = func(e netcalc.TraceEvent) {
+		if e.Rule == netcalc.RuleShipM || e.Rule == netcalc.RuleComm {
+			if e.From != "" {
+				got = append(got, fmt.Sprintf("%s %s->%s", e.Rule, e.From, e.Site))
+			} else {
+				got = append(got, fmt.Sprintf("%s @%s", e.Rule, e.Site))
+			}
+		}
+	}
+	n.Add("r", syntax.MustParse(`export new p (p?(x, a) = a![x])`))
+	n.Add("s", syntax.MustParse(`import p from r in let y = p![7] in println(y)`))
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"SHIPM s->r", // request moves to r (first SHIPM of the paper's derivation)
+		"COMM @r",    // rendez-vous at r
+		"SHIPM r->s", // reply moves back to s
+		"COMM @s",    // rendez-vous at s
+	}
+	if strings.Join(got, ";") != strings.Join(want, ";") {
+		t.Fatalf("derivation:\n got %v\nwant %v", got, want)
+	}
+	if out := n.Output("s"); out != "7\n" {
+		t.Fatalf("client out = %q", out)
+	}
+}
+
+// TestTraceFetchDerivation reproduces the section 3 FETCH example: the
+// code moves with SHIPO, then the class downloads with FETCH, then the
+// instance runs locally.
+func TestTraceFetchDerivation(t *testing.T) {
+	n := netcalc.New(0)
+	var rules []netcalc.Rule
+	n.Trace = func(e netcalc.TraceEvent) { rules = append(rules, e.Rule) }
+	// Site r defines X and ships an object to s whose body instantiates X.
+	n.Add("r", syntax.MustParse(`
+export def X(k) = k![] in
+import a from s in (a?() = new done (X[done] | done?() = println("x ran")))`))
+	n.Add("s", syntax.MustParse(`export new a a![]`))
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The object ships r→s; the instantiation at s fetches X from r.
+	var seq []string
+	for _, r := range rules {
+		if r == netcalc.RuleShipO || r == netcalc.RuleFetch {
+			seq = append(seq, string(r))
+		}
+	}
+	if strings.Join(seq, ";") != "SHIPO;FETCH" {
+		t.Fatalf("rules = %v (movement subsequence %v)", rules, seq)
+	}
+	if out := n.Output("r"); out != "" {
+		t.Fatalf("r printed %q", out)
+	}
+}

@@ -1,0 +1,42 @@
+package node
+
+import (
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/wire"
+)
+
+// AttachFailureDetector starts a heartbeat failure detector for this
+// node over the FHeartbeat control channel (the fault-tolerance
+// facility of paper §7). peers lists every node id in the network;
+// onEvent receives suspicion changes — the hook for "reconfigure the
+// computation topology".
+//
+// The detector must be attached before other OnControl consumers need
+// heartbeats: it chains onto the node's existing OnControl handler, so
+// attach order composes.
+func (n *Node) AttachFailureDetector(peers []uint32, period time.Duration, onEvent func(failure.Event)) *failure.Detector {
+	d := failure.New(failure.Config{
+		Self:    n.cfg.ID,
+		Peers:   peers,
+		Period:  period,
+		OnEvent: onEvent,
+		Send: func(dst uint32, payload []byte) error {
+			return n.SendControl(wire.FHeartbeat, dst, payload)
+		},
+	})
+	prev := n.control()
+	chained := func(t wire.FrameType, src uint32, payload []byte) {
+		if t == wire.FHeartbeat {
+			d.Observe(payload)
+			return
+		}
+		if prev != nil {
+			prev(t, src, payload)
+		}
+	}
+	n.onControl.Store(&chained)
+	d.Start()
+	return d
+}

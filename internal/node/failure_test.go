@@ -1,0 +1,94 @@
+package node_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// TestNodeFailureDetection kills a node and checks its peer suspects
+// it through the heartbeat control channel.
+func TestNodeFailureDetection(t *testing.T) {
+	ns := nameservice.NewCentral()
+	fabric := transport.NewFabric(transport.Ideal)
+	t1, _ := fabric.Attach(1)
+	t2, _ := fabric.Attach(2)
+	n1 := node.New(node.Config{ID: 1, NS: ns, Transport: t1})
+	n2 := node.New(node.Config{ID: 2, NS: ns, Transport: t2})
+	defer func() { n1.Stop(); fabric.Close() }()
+
+	events := make(chan failure.Event, 16)
+	period := 2 * time.Millisecond
+	d1 := n1.AttachFailureDetector([]uint32{1, 2}, period, func(e failure.Event) { events <- e })
+	d2 := n2.AttachFailureDetector([]uint32{1, 2}, period, nil)
+	defer d1.Stop()
+
+	// Healthy phase: no suspicion.
+	time.Sleep(20 * time.Millisecond)
+	select {
+	case e := <-events:
+		t.Fatalf("false suspicion: %+v", e)
+	default:
+	}
+
+	// Crash node 2 (detector and node).
+	d2.Stop()
+	n2.Stop()
+
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case e := <-events:
+			if e.Suspected && e.Node == 2 {
+				if !d1.Suspected(2) {
+					t.Fatal("Suspected() disagrees with event")
+				}
+				return
+			}
+		case <-deadline:
+			t.Fatal("crashed node never suspected")
+		}
+	}
+}
+
+// TestNodeFailureDetectorCoexistsWithControl verifies handler
+// chaining: heartbeats are consumed by the detector while other
+// control frames still reach the original handler.
+func TestNodeFailureDetectorCoexistsWithControl(t *testing.T) {
+	ns := nameservice.NewCentral()
+	fabric := transport.NewFabric(transport.Ideal)
+	t1, _ := fabric.Attach(1)
+	t2, _ := fabric.Attach(2)
+	defer fabric.Close()
+	got := make(chan string, 4)
+	n1 := node.New(node.Config{ID: 1, NS: ns, Transport: t1,
+		OnControl: func(ft wire.FrameType, src uint32, payload []byte) {
+			got <- string(payload)
+		}})
+	n2 := node.New(node.Config{ID: 2, NS: ns, Transport: t2})
+	defer n1.Stop()
+	defer n2.Stop()
+	d1 := n1.AttachFailureDetector([]uint32{1, 2}, time.Millisecond, nil)
+	defer d1.Stop()
+
+	if err := n2.SendControl(wire.FTerm, 1, []byte("term-frame")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case p := <-got:
+			if p == "term-frame" {
+				return // FTerm passed through the chained handler
+			}
+			t.Fatalf("unexpected payload %q (heartbeats must not leak through)", p)
+		case <-deadline:
+			t.Fatal("FTerm frame swallowed by the detector chain")
+		}
+	}
+}

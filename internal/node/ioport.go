@@ -1,0 +1,191 @@
+package node
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/site"
+	"repro/internal/syntax"
+	"repro/internal/types"
+)
+
+// TyCOi is the node's user-interface daemon (paper Fig. 4): it accepts
+// program submissions from the TyCOsh shell over TCP, compiles them,
+// spawns a site, and streams the site's I/O port back to the shell.
+//
+// Protocol (all strings length-prefixed with a 4-byte big-endian
+// size): client sends site name then source text; the server replies
+// with a stream of output bytes. A leading "!" line reports a
+// compile/spawn error, after which the connection closes.
+type TyCOi struct {
+	node *Node
+	ln   net.Listener
+	wg   sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ServeTyCOi starts the user-interface daemon on addr.
+func (n *Node) ServeTyCOi(addr string) (*TyCOi, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &TyCOi{node: n, ln: ln}
+	t.wg.Add(1)
+	go t.accept()
+	return t, nil
+}
+
+// Addr returns the daemon's bound address.
+func (t *TyCOi) Addr() string { return t.ln.Addr().String() }
+
+// Close stops the daemon (running sites are unaffected).
+func (t *TyCOi) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.ln.Close()
+	t.wg.Wait()
+	return nil
+}
+
+func (t *TyCOi) accept() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			t.mu.Lock()
+			closed := t.closed
+			t.mu.Unlock()
+			if closed {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		t.wg.Add(1)
+		go t.serve(conn)
+	}
+}
+
+func readString(conn net.Conn) (string, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return "", err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > 16<<20 {
+		return "", fmt.Errorf("tycoi: oversized submission (%d bytes)", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(conn, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// WriteString sends one length-prefixed string (exported for TyCOsh).
+func WriteString(conn io.Writer, s string) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(s)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := io.WriteString(conn, s)
+	return err
+}
+
+// CompileSubmission compiles source text into a site program (shared
+// by the TyCOi daemon and the in-process tools).
+func CompileSubmission(name, src string) (*site.Program, error) {
+	proc, err := syntax.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := types.Check(proc)
+	if err != nil {
+		return nil, err
+	}
+	unit, err := compiler.Compile(proc, name)
+	if err != nil {
+		return nil, err
+	}
+	nameSigs, classSigs := info.ExportSigs()
+	importSigs := map[types.ImportKey]string{}
+	for _, use := range info.ImportedNameSigs() {
+		importSigs[use.Key] = use.Sig
+	}
+	return &site.Program{
+		Unit:            unit,
+		ExportNameSigs:  nameSigs,
+		ExportClassSigs: classSigs,
+		ImportSigs:      importSigs,
+	}, nil
+}
+
+// lockedWriter serializes writes to the submission connection (the
+// site goroutine writes output while serve watches for errors).
+type lockedWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.conn.Write(p)
+}
+
+func (t *TyCOi) serve(conn net.Conn) {
+	defer t.wg.Done()
+	defer conn.Close()
+	siteName, err := readString(conn)
+	if err != nil {
+		return
+	}
+	src, err := readString(conn)
+	if err != nil {
+		return
+	}
+	prog, err := CompileSubmission(siteName, src)
+	if err != nil {
+		fmt.Fprintf(conn, "! %v\n", err)
+		return
+	}
+	out := &lockedWriter{conn: conn}
+	s, err := t.node.Spawn(siteName, prog, out)
+	if err != nil {
+		fmt.Fprintf(conn, "! %v\n", err)
+		return
+	}
+	fmt.Fprintf(out, "; site %s started (id %d on node %d)\n", siteName, s.ID(), t.node.ID())
+	// Stream until the site stops (error) or the client disconnects.
+	// Poll the connection with zero-byte reads to notice disconnects.
+	disconnect := make(chan struct{})
+	go func() {
+		var one [1]byte
+		for {
+			if _, err := conn.Read(one[:]); err != nil {
+				close(disconnect)
+				return
+			}
+		}
+	}()
+	select {
+	case <-s.Done():
+		if err := s.Err(); err != nil {
+			fmt.Fprintf(out, "! site %s failed: %v\n", siteName, err)
+		} else {
+			fmt.Fprintf(out, "; site %s stopped\n", siteName)
+		}
+	case <-disconnect:
+		// Shell detached; the site keeps running.
+	}
+}

@@ -1,0 +1,338 @@
+// Package node implements DiTyCO nodes (paper section 5, Fig. 4): "a
+// pool of sites running concurrently, a dedicated communication daemon
+// (TyCOd), and a user interface daemon (TyCOi)", one node per IP node.
+// Sites, the TyCOd and the TyCOi run as goroutines sharing the node's
+// address space, exactly as the paper's threads share a Unix process.
+//
+// The TyCOd implements the three-step remote interaction of the paper
+// (outgoing queue → daemon → remote daemon → incoming queue) and the
+// local fast path: "Local interactions are optimized using shared
+// memory" — same-node traffic skips the transport and the byte-level
+// marshalling, handing decoded structures directly to the destination
+// site's incoming queue (σ-translation still applies, because each
+// site owns a private heap).
+package node
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/asm"
+	"repro/internal/nameservice"
+	"repro/internal/site"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// siteIDBits partitions global site identifiers: the high bits are the
+// node id, the low bits a per-node counter, so sites are unique
+// network-wide without coordination.
+const siteIDBits = 16
+
+// Config configures a node.
+type Config struct {
+	ID        uint32
+	NS        nameservice.Service
+	Transport transport.Transport
+	// Out is the default I/O port for sites without their own.
+	Out io.Writer
+	// ForceMarshalLocal disables the shared-memory fast path: local
+	// deliveries are encoded and decoded as if they crossed the
+	// network (ablation for experiment E2).
+	ForceMarshalLocal bool
+	// OnControl receives FTerm/FHeartbeat payloads (termination and
+	// failure detectors register here).
+	OnControl func(t wire.FrameType, src uint32, payload []byte)
+}
+
+// Node is one DiTyCO node.
+type Node struct {
+	cfg Config
+
+	mu       sync.Mutex
+	sites    map[uint32]*site.Site
+	byName   map[string]*site.Site
+	nextSite uint32
+	err      error
+
+	stop chan struct{}
+	done chan struct{}
+
+	// onControl holds the live control-frame handler.
+	onControl atomic.Pointer[func(wire.FrameType, uint32, []byte)]
+
+	// Daemon statistics.
+	localDeliveries  atomic.Uint64
+	remoteDeliveries atomic.Uint64
+}
+
+// LocalDeliveries reports same-node deliveries handled by the daemon.
+func (n *Node) LocalDeliveries() uint64 { return n.localDeliveries.Load() }
+
+// RemoteDeliveries reports deliveries that arrived via the transport.
+func (n *Node) RemoteDeliveries() uint64 { return n.remoteDeliveries.Load() }
+
+// New creates a node; its TyCOd starts immediately.
+func New(cfg Config) *Node {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	n := &Node{
+		cfg:    cfg,
+		sites:  map[uint32]*site.Site{},
+		byName: map[string]*site.Site{},
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+	n.onControl.Store(&cfg.OnControl)
+	go n.tycod()
+	return n
+}
+
+// control reads the current control-frame handler (handlers may be
+// chained at runtime, e.g. by AttachFailureDetector).
+func (n *Node) control() func(wire.FrameType, uint32, []byte) {
+	if h := n.onControl.Load(); h != nil {
+		return *h
+	}
+	return nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() uint32 { return n.cfg.ID }
+
+// Err returns the first daemon-level error.
+func (n *Node) Err() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.err
+}
+
+func (n *Node) setErr(err error) {
+	n.mu.Lock()
+	if n.err == nil {
+		n.err = err
+	}
+	n.mu.Unlock()
+}
+
+// Spawn creates a site for a program and starts it: the TyCOi path
+// ("New sites are created when a new program is submitted for
+// execution"). out overrides the node's default I/O port when non-nil.
+func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ...SiteOption) (*site.Site, error) {
+	n.mu.Lock()
+	if _, dup := n.byName[siteName]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("node %d: site %q already running", n.cfg.ID, siteName)
+	}
+	n.nextSite++
+	id := n.cfg.ID<<siteIDBits | n.nextSite
+	n.mu.Unlock()
+
+	if out == nil {
+		out = n.cfg.Out
+	}
+	cfg := site.Config{
+		Name:   siteName,
+		ID:     id,
+		NodeID: n.cfg.ID,
+		NS:     n.cfg.NS,
+		Router: n,
+		Out:    out,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := site.New(cfg)
+	if err := s.Load(prog); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.sites[id] = s
+	n.byName[siteName] = s
+	n.mu.Unlock()
+	go s.Run()
+	return s, nil
+}
+
+// SiteOption tweaks a spawned site's configuration.
+type SiteOption func(*site.Config)
+
+// WithFetchCacheDisabled turns off the fetched-class cache.
+func WithFetchCacheDisabled() SiteOption {
+	return func(c *site.Config) { c.DisableFetchCache = true }
+}
+
+// WithPollInterval sets the site's scheduler slice length.
+func WithPollInterval(k int) SiteOption {
+	return func(c *site.Config) { c.PollInterval = k }
+}
+
+// Site returns a running site by id.
+func (n *Node) Site(id uint32) (*site.Site, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.sites[id]
+	return s, ok
+}
+
+// SiteByName returns a running site by source lexeme.
+func (n *Node) SiteByName(name string) (*site.Site, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s, ok := n.byName[name]
+	return s, ok
+}
+
+// Sites snapshots the running sites.
+func (n *Node) Sites() []*site.Site {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]*site.Site, 0, len(n.sites))
+	for _, s := range n.sites {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Stop shuts down the node: all sites, then the daemon.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	sites := make([]*site.Site, 0, len(n.sites))
+	for _, s := range n.sites {
+		sites = append(sites, s)
+	}
+	n.mu.Unlock()
+	for _, s := range sites {
+		s.Stop()
+	}
+	for _, s := range sites {
+		<-s.Done()
+	}
+	select {
+	case <-n.stop:
+	default:
+		close(n.stop)
+	}
+	<-n.done
+}
+
+// SendControl ships a control payload (termination, heartbeat) to
+// another node; dst == self loops back through OnControl directly.
+func (n *Node) SendControl(t wire.FrameType, dst uint32, payload []byte) error {
+	if dst == n.cfg.ID {
+		if h := n.control(); h != nil {
+			h(t, n.cfg.ID, payload)
+		}
+		return nil
+	}
+	env := &wire.Envelope{Type: t, SrcNode: n.cfg.ID, DstNode: dst, Payload: payload}
+	return n.cfg.Transport.Send(dst, env.Encode())
+}
+
+// tycod is the communication daemon: it drains the transport and
+// routes frames to site incoming queues.
+func (n *Node) tycod() {
+	defer close(n.done)
+	recv := n.cfg.Transport.Recv()
+	for {
+		select {
+		case frame, ok := <-recv:
+			if !ok {
+				return
+			}
+			if err := n.dispatch(frame); err != nil {
+				n.setErr(err)
+			}
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// dispatch decodes one transport frame and delivers it.
+func (n *Node) dispatch(frame []byte) error {
+	env, err := wire.DecodeEnvelope(frame)
+	if err != nil {
+		return fmt.Errorf("node %d: bad frame: %w", n.cfg.ID, err)
+	}
+	switch env.Type {
+	case wire.FMsg:
+		m, err := wire.DecodeMsg(env.Payload)
+		if err != nil {
+			return err
+		}
+		return n.toSite(m.To.Site, site.Delivery{Msg: &site.MsgDelivery{Heap: m.To.Heap, Label: m.Label, Args: m.Args}})
+	case wire.FObj:
+		o, err := wire.DecodeObj(env.Payload)
+		if err != nil {
+			return err
+		}
+		u, err := asm.Decode(o.Unit)
+		if err != nil {
+			return fmt.Errorf("node %d: migrated object: %w", n.cfg.ID, err)
+		}
+		return n.toSite(o.To.Site, site.Delivery{Obj: &site.ObjDelivery{Heap: o.To.Heap, Unit: u, Table: o.Table, Frame: o.Frame}})
+	case wire.FFetchReq:
+		f, err := wire.DecodeFetchReq(env.Payload)
+		if err != nil {
+			return err
+		}
+		return n.toSite(f.OwnerSite, site.Delivery{Fetch: &site.FetchDelivery{
+			Class: f.Class, ReqID: f.ReqID,
+			Reply: site.Addr{Site: f.ReplySite, Node: f.ReplyNode},
+		}})
+	case wire.FFetchRep:
+		f, err := wire.DecodeFetchRep(env.Payload)
+		if err != nil {
+			return err
+		}
+		var u *asm.Unit
+		if f.Err == "" {
+			if u, err = asm.Decode(f.Unit); err != nil {
+				return fmt.Errorf("node %d: fetched class: %w", n.cfg.ID, err)
+			}
+		}
+		return n.toSite(f.DstSite, site.Delivery{FetchRep: &site.FetchRepDelivery{
+			ReqID: f.ReqID, Err: f.Err, Class: f.Class,
+			Unit: u, Group: f.Group, Index: f.Index, Captured: f.Captured,
+		}})
+	case wire.FTerm, wire.FHeartbeat:
+		if h := n.control(); h != nil {
+			h(env.Type, env.SrcNode, env.Payload)
+		}
+		return nil
+	default:
+		return fmt.Errorf("node %d: unknown frame type %s", n.cfg.ID, env.Type)
+	}
+}
+
+// toSite delivers to a local site's incoming queue.
+func (n *Node) toSite(siteID uint32, d site.Delivery) error {
+	n.mu.Lock()
+	s, ok := n.sites[siteID]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("node %d: frame for unknown site %d", n.cfg.ID, siteID)
+	}
+	n.remoteDeliveries.Add(1)
+	return s.Deliver(d)
+}
+
+// toLocal delivers same-node traffic via the shared-memory fast path
+// (or the forced marshalling ablation).
+func (n *Node) toLocal(siteID uint32, d site.Delivery, reencode func() site.Delivery) error {
+	n.mu.Lock()
+	s, ok := n.sites[siteID]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("node %d: delivery for unknown local site %d", n.cfg.ID, siteID)
+	}
+	if n.cfg.ForceMarshalLocal && reencode != nil {
+		d = reencode()
+	}
+	n.localDeliveries.Add(1)
+	return s.Deliver(d)
+}

@@ -1,0 +1,431 @@
+package site
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/types"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// WireVal is the marshalled form of a machine value (σ-translated:
+// local references appear as network references).
+type WireVal = wire.Value
+
+// This file implements the vm.External interface — the re-engineered
+// communication instructions of paper section 5 — and the code
+// mobility machinery: extraction + σ egress on the way out, dynamic
+// linking + σ ingress on the way in.
+
+var _ vm.External = (*Site)(nil)
+
+// exportID returns (allocating if needed) the exported heap id of a
+// local channel: "an export table is needed … for all local variables
+// that leave the site". The table is written only by the site
+// goroutine, but read by stats accessors from outside, hence the lock.
+func (s *Site) exportID(chanIdx int) uint32 {
+	s.expMu.Lock()
+	defer s.expMu.Unlock()
+	if id, ok := s.exp[chanIdx]; ok {
+		return id
+	}
+	s.nextHeap++
+	id := s.nextHeap
+	s.exp[chanIdx] = id
+	s.expRev[id] = chanIdx
+	return id
+}
+
+// lookupExport resolves an exported heap id back to the local channel.
+func (s *Site) lookupExport(heap uint32) (int, bool) {
+	s.expMu.Lock()
+	defer s.expMu.Unlock()
+	idx, ok := s.expRev[heap]
+	return idx, ok
+}
+
+// ExportTableSize reports the number of exported locals (stats).
+func (s *Site) ExportTableSize() int {
+	s.expMu.Lock()
+	defer s.expMu.Unlock()
+	return len(s.exp)
+}
+
+// egressVal σ-translates one machine value for the wire: local
+// channels become network references bound to this site; class
+// closures are encoded against the extraction relocation ctx (nil ctx
+// forbids them, e.g. in message arguments).
+func (s *Site) egressVal(v vm.Value, ctx *asm.Relocation) (wire.Value, error) {
+	switch v.Kind {
+	case vm.KInt:
+		return wire.Value{Kind: wire.WInt, I: v.I}, nil
+	case vm.KBool:
+		return wire.Value{Kind: wire.WBool, I: v.I}, nil
+	case vm.KFloat:
+		return wire.Value{Kind: wire.WFloat, F: v.F}, nil
+	case vm.KStr:
+		return wire.Value{Kind: wire.WStr, S: v.S}, nil
+	case vm.KChan:
+		ref := vm.NetRef{Heap: s.exportID(int(v.I)), Site: s.cfg.ID, Node: s.cfg.NodeID}
+		return wire.Value{Kind: wire.WNet, Net: ref}, nil
+	case vm.KNet:
+		return wire.Value{Kind: wire.WNet, Net: v.Net}, nil
+	case vm.KNetClass:
+		return wire.Value{Kind: wire.WNetClass, S: v.S, Net: v.Net}, nil
+	case vm.KClass:
+		if ctx == nil {
+			return wire.Value{}, fmt.Errorf("site %s: class closure in message arguments", s.cfg.Name)
+		}
+		gi, ci := v.ClassID()
+		ug, ok := ctx.Groups[gi]
+		if !ok {
+			return wire.Value{}, fmt.Errorf("site %s: class group %d not in shipped unit", s.cfg.Name, gi)
+		}
+		nfree := s.prog.Groups[gi].NFree
+		captured, err := s.egressVals(v.Frame[:nfree], ctx)
+		if err != nil {
+			return wire.Value{}, err
+		}
+		return wire.Value{Kind: wire.WClass, Group: ug, Class: ci, Captured: captured}, nil
+	default:
+		return wire.Value{}, fmt.Errorf("site %s: cannot marshal %s value", s.cfg.Name, v.Kind)
+	}
+}
+
+func (s *Site) egressVals(vs []vm.Value, ctx *asm.Relocation) ([]wire.Value, error) {
+	out := make([]wire.Value, len(vs))
+	for i, v := range vs {
+		w, err := s.egressVal(v, ctx)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// egressConst σ-translates a program constant during extraction.
+func (s *Site) egressConst(v vm.Value) (asm.Const, error) {
+	switch v.Kind {
+	case vm.KChan:
+		return asm.Const{Heap: s.exportID(int(v.I)), Site: s.cfg.ID, Node: s.cfg.NodeID}, nil
+	case vm.KNet:
+		return asm.Const{Heap: v.Net.Heap, Site: v.Net.Site, Node: v.Net.Node}, nil
+	case vm.KNetClass:
+		return asm.Const{IsClass: true, Name: v.S, Site: v.Net.Site, Node: v.Net.Node}, nil
+	default:
+		return asm.Const{}, fmt.Errorf("site %s: constant of kind %s cannot ship", s.cfg.Name, v.Kind)
+	}
+}
+
+// ingressConst σ-translates an arriving constant: references to this
+// site become local heap pointers.
+func (s *Site) ingressConst(k asm.Const) (vm.Value, error) {
+	if k.IsClass {
+		return vm.NetClassVal(vm.NetClass{Name: k.Name, Site: k.Site, Node: k.Node}), nil
+	}
+	if k.Site == s.cfg.ID && k.Node == s.cfg.NodeID {
+		local, ok := s.lookupExport(k.Heap)
+		if !ok {
+			return vm.Value{}, fmt.Errorf("site %s: incoming code references unknown local heap id %d", s.cfg.Name, k.Heap)
+		}
+		return vm.Chan(local), nil
+	}
+	return vm.Net(vm.NetRef{Heap: k.Heap, Site: k.Site, Node: k.Node}), nil
+}
+
+// ingressVal σ-translates one arriving value. linked is the placement
+// of the accompanying code unit (required for class closures).
+func (s *Site) ingressVal(w wire.Value, linked *vm.Linked) (vm.Value, error) {
+	switch w.Kind {
+	case wire.WInt:
+		return vm.Int(w.I), nil
+	case wire.WBool:
+		return vm.Value{Kind: vm.KBool, I: w.I}, nil
+	case wire.WFloat:
+		return vm.Float(w.F), nil
+	case wire.WStr:
+		return vm.Str(w.S), nil
+	case wire.WNet:
+		if w.Net.Site == s.cfg.ID && w.Net.Node == s.cfg.NodeID {
+			local, ok := s.lookupExport(w.Net.Heap)
+			if !ok {
+				return vm.Value{}, fmt.Errorf("site %s: incoming reference to unknown local heap id %d", s.cfg.Name, w.Net.Heap)
+			}
+			return vm.Chan(local), nil
+		}
+		return vm.Net(w.Net), nil
+	case wire.WNetClass:
+		return vm.NetClassVal(vm.NetClass{Name: w.S, Site: w.Net.Site, Node: w.Net.Node}), nil
+	case wire.WClass:
+		if linked == nil {
+			return vm.Value{}, fmt.Errorf("site %s: class closure arrived without code unit", s.cfg.Name)
+		}
+		gi, ok := linked.Reloc.Groups[w.Group]
+		if !ok {
+			return vm.Value{}, fmt.Errorf("site %s: incoming class references missing group %d", s.cfg.Name, w.Group)
+		}
+		g := &s.prog.Groups[gi]
+		if w.Class < 0 || w.Class >= len(g.Classes) {
+			return vm.Value{}, fmt.Errorf("site %s: incoming class index %d out of range", s.cfg.Name, w.Class)
+		}
+		if len(w.Captured) != g.NFree {
+			return vm.Value{}, fmt.Errorf("site %s: incoming class has %d captured values, group needs %d", s.cfg.Name, len(w.Captured), g.NFree)
+		}
+		captured, err := s.ingressVals(w.Captured, linked)
+		if err != nil {
+			return vm.Value{}, err
+		}
+		frame := s.m.MakeGroupFrame(gi, captured)
+		return frame[g.NFree+w.Class], nil
+	default:
+		return vm.Value{}, fmt.Errorf("site %s: unknown wire value kind %d", s.cfg.Name, w.Kind)
+	}
+}
+
+func (s *Site) ingressVals(ws []wire.Value, linked *vm.Linked) ([]vm.Value, error) {
+	out := make([]vm.Value, len(ws))
+	for i, w := range ws {
+		v, err := s.ingressVal(w, linked)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// linkIncoming verifies and links a mobile code unit, translating its
+// constants on the way in.
+func (s *Site) linkIncoming(u *asm.Unit) (*vm.Linked, error) {
+	if err := asm.Verify(u); err != nil {
+		return nil, fmt.Errorf("site %s: rejecting mobile code: %w", s.cfg.Name, err)
+	}
+	if len(u.Imports) != 0 {
+		return nil, fmt.Errorf("site %s: mobile code with unresolved imports", s.cfg.Name)
+	}
+	consts := make([]vm.Value, len(u.Consts))
+	for i, k := range u.Consts {
+		v, err := s.ingressConst(k)
+		if err != nil {
+			return nil, err
+		}
+		consts[i] = v
+	}
+	linked, err := s.prog.Link(u, nil, consts)
+	if err != nil {
+		return nil, err
+	}
+	s.UnitsLinked++
+	return linked, nil
+}
+
+// classGroups collects the program def-groups referenced by class
+// closures inside a frame, so extraction can include their code.
+func (s *Site) classGroups(frame []vm.Value, into map[int]bool) {
+	for _, v := range frame {
+		if v.Kind != vm.KClass {
+			continue
+		}
+		gi, _ := v.ClassID()
+		if into[gi] {
+			continue
+		}
+		into[gi] = true
+		nfree := s.prog.Groups[gi].NFree
+		s.classGroups(v.Frame[:nfree], into)
+	}
+}
+
+// RemoteSend implements rule SHIPM: package the message with
+// σ-translated arguments and hand it to the outgoing queue.
+func (s *Site) RemoteSend(ref vm.NetRef, label string, args []vm.Value) error {
+	ws, err := s.egressVals(args, nil)
+	if err != nil {
+		return err
+	}
+	s.ctrlSent.Add(1)
+	return s.cfg.Router.RouteMsg(s, ref, label, ws)
+}
+
+// RemoteObj implements rule SHIPO: extract the object's code
+// (method-table closure plus any class groups captured in its frame),
+// σ-translate the frame, and ship both.
+func (s *Site) RemoteObj(ref vm.NetRef, table int, frame []vm.Value) error {
+	groups := map[int]bool{}
+	s.classGroups(frame, groups)
+	rootGroups := make([]int, 0, len(groups))
+	for g := range groups {
+		rootGroups = append(rootGroups, g)
+	}
+	unit, reloc, err := s.prog.Extract([]int{table}, rootGroups, s.egressConst)
+	if err != nil {
+		return err
+	}
+	wf, err := s.egressVals(frame, reloc)
+	if err != nil {
+		return err
+	}
+	s.ctrlSent.Add(1)
+	return s.cfg.Router.RouteObj(s, ref, unit, reloc.Tables[table], wf)
+}
+
+// RemoteInst implements rule FETCH from the requesting side: resolve
+// locally when possible (the class came home, or we fetched it
+// before), otherwise request the byte-code from the owning site and
+// park the instantiation.
+func (s *Site) RemoteInst(class vm.NetClass, args []vm.Value) error {
+	// Dynamic arity check against the signature registered by the
+	// exporter (the other half of the paper's checking scheme).
+	if sig, ok := s.classSigs[class]; ok {
+		if err := types.CheckClassCompatible(len(args), sig); err != nil {
+			return err
+		}
+	} else if sig, ok := s.expClassSigs[class.Name]; ok && class.Site == s.cfg.ID {
+		if err := types.CheckClassCompatible(len(args), sig); err != nil {
+			return err
+		}
+	}
+	if class.Site == s.cfg.ID && class.Node == s.cfg.NodeID {
+		// The class is ours: instantiate directly.
+		v, ok := s.expNames[class.Name]
+		if !ok {
+			return fmt.Errorf("site %s: instantiation of unknown local class %q", s.cfg.Name, class.Name)
+		}
+		return s.m.Instantiate(v, args)
+	}
+	if !s.cfg.DisableFetchCache {
+		if v, ok := s.fetchCache[class]; ok {
+			s.FetchCacheHits++
+			return s.m.Instantiate(v, args)
+		}
+	}
+	// Coalesce with an in-flight fetch of the same class.
+	if id, ok := s.fetchByClass[class]; ok {
+		p := s.pendingFetch[id]
+		p.calls = append(p.calls, args)
+		return nil
+	}
+	s.nextReq++
+	id := s.nextReq
+	s.pendingFetch[id] = &fetchPending{class: class, calls: [][]vm.Value{args}}
+	s.fetchByClass[class] = id
+	s.ctrlSent.Add(1)
+	return s.cfg.Router.RouteFetch(s, Addr{Site: class.Site, Node: class.Node}, class.Name, id)
+}
+
+// serveFetch answers a class-code request: extract the class's group
+// closure, σ-translate its captured values, reply.
+func (s *Site) serveFetch(f *FetchDelivery) error {
+	fail := func(msg string) error {
+		s.ctrlSent.Add(1)
+		return s.cfg.Router.RouteFetchRep(s, f.Reply, &FetchRepDelivery{ReqID: f.ReqID, Err: msg})
+	}
+	v, ok := s.expNames[f.Class]
+	if !ok || v.Kind != vm.KClass {
+		return fail(fmt.Sprintf("site %s exports no class %q", s.cfg.Name, f.Class))
+	}
+	gi, ci := v.ClassID()
+	nfree := s.prog.Groups[gi].NFree
+	captured := v.Frame[:nfree]
+	groups := map[int]bool{gi: true}
+	s.classGroups(captured, groups)
+	rootGroups := make([]int, 0, len(groups))
+	for g := range groups {
+		rootGroups = append(rootGroups, g)
+	}
+	unit, reloc, err := s.prog.Extract(nil, rootGroups, s.egressConst)
+	if err != nil {
+		return fail(err.Error())
+	}
+	wc, err := s.egressVals(captured, reloc)
+	if err != nil {
+		return fail(err.Error())
+	}
+	s.ctrlSent.Add(1)
+	return s.cfg.Router.RouteFetchRep(s, f.Reply, &FetchRepDelivery{
+		ReqID:    f.ReqID,
+		Class:    f.Class,
+		Unit:     unit,
+		Group:    reloc.Groups[gi],
+		Index:    ci,
+		Captured: wc,
+	})
+}
+
+// handleFetchRep links arriving class code and runs the parked
+// instantiations.
+func (s *Site) handleFetchRep(rep *FetchRepDelivery) error {
+	p, ok := s.pendingFetch[rep.ReqID]
+	if !ok {
+		return nil // duplicate or stale reply
+	}
+	delete(s.pendingFetch, rep.ReqID)
+	delete(s.fetchByClass, p.class)
+	if rep.Err != "" {
+		return fmt.Errorf("site %s: fetch of %s failed: %s", s.cfg.Name, p.class, rep.Err)
+	}
+	linked, err := s.linkIncoming(rep.Unit)
+	if err != nil {
+		return err
+	}
+	gi, ok := linked.Reloc.Groups[rep.Group]
+	if !ok {
+		return fmt.Errorf("site %s: fetched unit missing group %d", s.cfg.Name, rep.Group)
+	}
+	g := &s.prog.Groups[gi]
+	if rep.Index < 0 || rep.Index >= len(g.Classes) {
+		return fmt.Errorf("site %s: fetched class index %d out of range", s.cfg.Name, rep.Index)
+	}
+	captured, err := s.ingressVals(rep.Captured, linked)
+	if err != nil {
+		return err
+	}
+	frame := s.m.MakeGroupFrame(gi, captured)
+	class := frame[g.NFree+rep.Index]
+	if !s.cfg.DisableFetchCache {
+		s.fetchCache[p.class] = class
+	}
+	s.ClassesFetched++
+	for _, args := range p.calls {
+		if err := s.m.Instantiate(class, args); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExportName implements the export instruction for names: allocate a
+// network reference and register it with the name service.
+func (s *Site) ExportName(name string, v vm.Value) error {
+	if v.Kind != vm.KChan {
+		return fmt.Errorf("site %s: export %q: not a local channel", s.cfg.Name, name)
+	}
+	s.expNames[name] = v
+	heap := s.exportID(int(v.I))
+	sig := s.expNameSigs[name]
+	// Registration is asynchronous: importers block at the name
+	// service, not here, and the VM keeps running.
+	go func() {
+		if err := s.cfg.NS.RegisterName(s.cfg.Name, name, heap, sig); err != nil {
+			s.setErr(fmt.Errorf("site %s: register name %q: %w", s.cfg.Name, name, err))
+		}
+	}()
+	return nil
+}
+
+// ExportClass implements the export instruction for classes.
+func (s *Site) ExportClass(name string, v vm.Value) error {
+	if v.Kind != vm.KClass {
+		return fmt.Errorf("site %s: export class %q: not a class closure", s.cfg.Name, name)
+	}
+	s.expNames[name] = v
+	sig := s.expClassSigs[name]
+	go func() {
+		if err := s.cfg.NS.RegisterClass(s.cfg.Name, name, sig); err != nil {
+			s.setErr(fmt.Errorf("site %s: register class %q: %w", s.cfg.Name, name, err))
+		}
+	}()
+	return nil
+}

@@ -1,0 +1,493 @@
+// Package site implements DiTyCO sites: "the basic units of the
+// implementation … implemented as threads, each running a
+// re-engineered TyCO virtual machine" (paper section 5, Fig. 3). A
+// Site wraps a vm.Machine with everything the paper's extension list
+// demands:
+//
+//   - local vs network references, with an export table mapping local
+//     heap pointers to hardware-independent network references;
+//   - the export/import instructions backed by the network name
+//     service (import resolution overlaps with computation: threads
+//     touching an unresolved import park and the site context-switches);
+//   - re-implemented trmsg/trobj/instof handling network references:
+//     code shipping for messages and objects (rules SHIPM/SHIPO) and
+//     code fetching with dynamic linking for classes (rule FETCH);
+//   - incoming/outgoing queues serviced by the node's communication
+//     daemon (TyCOd);
+//   - an I/O port (the site's print output).
+//
+// A site runs as one goroutine; everything that touches the machine
+// happens on that goroutine. The node feeds the incoming queue and
+// drains the outgoing queue concurrently.
+package site
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/nameservice"
+	"repro/internal/types"
+	"repro/internal/vm"
+)
+
+// Addr locates a site in the network.
+type Addr struct {
+	Site uint32
+	Node uint32
+}
+
+// Delivery is one item of a site's incoming queue. Exactly one field
+// group is set. Local (same-node) deliveries carry pre-decoded units
+// (the paper's shared-memory optimization); remote ones carry the wire
+// forms decoded by the TyCOd.
+type Delivery struct {
+	// Msg: a remote method invocation to a local channel.
+	Msg *MsgDelivery
+	// Obj: a migrating object.
+	Obj *ObjDelivery
+	// Fetch: another site requests one of our exported classes.
+	Fetch *FetchDelivery
+	// FetchRep: code arriving in answer to our fetch request.
+	FetchRep *FetchRepDelivery
+	// Resolved: an import resolution completed.
+	Resolved *ResolvedImport
+}
+
+// MsgDelivery is an incoming message (already σ-ingressed by Decode,
+// or built directly by a same-node sender).
+type MsgDelivery struct {
+	Heap  uint32 // exported heap id of the destination channel
+	Label string
+	Args  []WireVal
+}
+
+// ObjDelivery is an incoming object migration.
+type ObjDelivery struct {
+	Heap  uint32
+	Unit  *asm.Unit
+	Table int // table index within Unit
+	Frame []WireVal
+}
+
+// FetchDelivery is an incoming class-code request.
+type FetchDelivery struct {
+	Class string
+	ReqID uint64
+	Reply Addr
+}
+
+// FetchRepDelivery is incoming class code.
+type FetchRepDelivery struct {
+	ReqID    uint64
+	Err      string
+	Class    string
+	Unit     *asm.Unit
+	Group    int
+	Index    int
+	Captured []WireVal
+}
+
+// ResolvedImport carries a completed name-service lookup.
+type ResolvedImport struct {
+	ConstIdx int
+	Value    vm.Value
+	ClassSig string // exporter's signature for class imports
+	Err      error
+}
+
+// Router is how a site hands outgoing traffic to its node's TyCOd.
+type Router interface {
+	// RouteMsg ships a message to the channel ref.
+	RouteMsg(from *Site, ref vm.NetRef, label string, args []WireVal) error
+	// RouteObj ships a migrated object.
+	RouteObj(from *Site, ref vm.NetRef, unit *asm.Unit, table int, frame []WireVal) error
+	// RouteFetch ships a class-code request to the owning site.
+	RouteFetch(from *Site, owner Addr, class string, reqID uint64) error
+	// RouteFetchRep ships class code back to the requester.
+	RouteFetchRep(from *Site, to Addr, rep *FetchRepDelivery) error
+}
+
+// Config configures a site.
+type Config struct {
+	Name   string // lexeme identifying the site in source programs
+	ID     uint32
+	NodeID uint32
+	NS     nameservice.Service
+	Router Router
+	// Out is the site's I/O port for print output.
+	Out io.Writer
+	// DisableFetchCache turns off caching of fetched classes
+	// (ablation for experiment E4).
+	DisableFetchCache bool
+	// PollInterval is how many threads run between incoming-queue
+	// polls; 0 means 8 (the paper's "read periodically").
+	PollInterval int
+	// ImportTimeout bounds name-service resolution; 0 means 30s.
+	ImportTimeout time.Duration
+}
+
+// Site is one DiTyCO site.
+type Site struct {
+	cfg  Config
+	m    *vm.Machine
+	prog *vm.Program
+
+	in   chan Delivery
+	stop chan struct{}
+	done chan struct{}
+
+	// Export table (paper section 5): local heap index ↔ exported
+	// heap id, for every local variable that leaves the site. The
+	// mutex covers cross-goroutine stats reads; mutation happens on
+	// the site goroutine only.
+	expMu        sync.Mutex
+	exp          map[int]uint32
+	expRev       map[uint32]int
+	nextHeap     uint32
+	expNames     map[string]vm.Value
+	expNameSigs  map[string]string
+	expClassSigs map[string]string
+	// classSigs records the exporter-declared signature of every
+	// imported class, checked at instantiation time.
+	classSigs map[vm.NetClass]string
+
+	// Import bookkeeping.
+	waiting map[int][]vm.Thread // const index -> parked threads
+
+	// Fetch bookkeeping.
+	nextReq      uint64
+	pendingFetch map[uint64]*fetchPending
+	fetchByClass map[vm.NetClass]uint64 // coalesce concurrent fetches
+	fetchCache   map[vm.NetClass]vm.Value
+
+	// Control-plane counters for termination detection: messages
+	// sent to and received from other sites.
+	ctrlSent atomic.Uint64
+	ctrlRecv atomic.Uint64
+	idle     atomic.Bool
+
+	runErr error
+	errMu  sync.Mutex
+
+	// Stats beyond the machine's.
+	UnitsLinked    uint64
+	ClassesFetched uint64
+	FetchCacheHits uint64
+}
+
+type fetchPending struct {
+	class vm.NetClass
+	calls [][]vm.Value
+}
+
+// New creates a site. Call Run (usually via go) to start it.
+func New(cfg Config) *Site {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 8
+	}
+	if cfg.ImportTimeout <= 0 {
+		cfg.ImportTimeout = 30 * time.Second
+	}
+	prog := vm.NewProgram()
+	s := &Site{
+		cfg:          cfg,
+		prog:         prog,
+		in:           make(chan Delivery, 1024),
+		stop:         make(chan struct{}),
+		done:         make(chan struct{}),
+		exp:          map[int]uint32{},
+		expRev:       map[uint32]int{},
+		expNames:     map[string]vm.Value{},
+		expNameSigs:  map[string]string{},
+		expClassSigs: map[string]string{},
+		classSigs:    map[vm.NetClass]string{},
+		waiting:      map[int][]vm.Thread{},
+		pendingFetch: map[uint64]*fetchPending{},
+		fetchByClass: map[vm.NetClass]uint64{},
+		fetchCache:   map[vm.NetClass]vm.Value{},
+	}
+	s.m = vm.NewMachine(prog, cfg.Out, s)
+	s.m.OnPending = func(t vm.Thread, constIdx int) {
+		s.waiting[constIdx] = append(s.waiting[constIdx], t)
+	}
+	return s
+}
+
+// Name returns the site's source-program lexeme.
+func (s *Site) Name() string { return s.cfg.Name }
+
+// ID returns the site identifier.
+func (s *Site) ID() uint32 { return s.cfg.ID }
+
+// NodeID returns the identifier of the node hosting the site.
+func (s *Site) NodeID() uint32 { return s.cfg.NodeID }
+
+// Addr returns the site's network address.
+func (s *Site) Addr() Addr { return Addr{Site: s.cfg.ID, Node: s.cfg.NodeID} }
+
+// Machine exposes the underlying VM (benchmarks and tests).
+func (s *Site) Machine() *vm.Machine { return s.m }
+
+// Deliver places an item on the site's incoming queue. It is safe to
+// call from any goroutine; it blocks when the queue is full
+// (backpressure toward the TyCOd).
+func (s *Site) Deliver(d Delivery) error {
+	select {
+	case s.in <- d:
+		return nil
+	case <-s.done:
+		return fmt.Errorf("site %s: stopped", s.cfg.Name)
+	}
+}
+
+// countRecv notes a processed cross-site delivery for termination
+// accounting. It must run when the delivery is handled, not when it
+// is enqueued: a message waiting in the incoming queue has to keep the
+// global sent/received counters unequal, or the termination detector
+// could declare quiescence with work still queued.
+func (s *Site) countRecv() { s.ctrlRecv.Add(1) }
+
+// ControlState reports (sent, received, idle) for the termination
+// detector. Idle is meaningful only between scheduler slices; the
+// detector's two-round protocol absorbs the race.
+func (s *Site) ControlState() (sent, recv uint64, idle bool) {
+	return s.ctrlSent.Load(), s.ctrlRecv.Load(), s.idle.Load()
+}
+
+// Err returns the site's terminal error, if any.
+func (s *Site) Err() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.runErr
+}
+
+func (s *Site) setErr(err error) {
+	s.errMu.Lock()
+	if s.runErr == nil {
+		s.runErr = err
+	}
+	s.errMu.Unlock()
+}
+
+// Stop asks the site to exit its run loop.
+func (s *Site) Stop() {
+	select {
+	case <-s.stop:
+	default:
+		close(s.stop)
+	}
+}
+
+// Done is closed when the run loop has exited.
+func (s *Site) Done() <-chan struct{} { return s.done }
+
+// Program is the site's program metadata: the compiled unit plus the
+// signatures the type checker derived, used for export registration
+// and the dynamic protocol checks on imports.
+type Program struct {
+	Unit *asm.Unit
+	// ExportNameSigs / ExportClassSigs come from types.Info.
+	ExportNameSigs  map[string]string
+	ExportClassSigs map[string]string
+	// ImportSigs is the required interface per imported name.
+	ImportSigs map[types.ImportKey]string
+}
+
+// Load registers the site with the name service, links the program
+// unit (imports become pending constants resolved concurrently), and
+// queues the entry thread. Call before Run.
+func (s *Site) Load(p *Program) error {
+	if err := s.cfg.NS.RegisterSite(s.cfg.Name, s.cfg.ID, s.cfg.NodeID); err != nil {
+		return fmt.Errorf("site %s: register: %w", s.cfg.Name, err)
+	}
+	for name, sig := range p.ExportNameSigs {
+		s.expNameSigs[name] = sig
+	}
+	for name, sig := range p.ExportClassSigs {
+		s.expClassSigs[name] = sig
+	}
+
+	u := p.Unit
+	imports := make([]vm.Value, len(u.Imports))
+	consts := make([]vm.Value, len(u.Consts))
+	for i, k := range u.Consts {
+		v, err := s.ingressConst(k)
+		if err != nil {
+			return err
+		}
+		consts[i] = v
+	}
+	// Imports start pending; resolver goroutines fill them in while
+	// the program runs (threads touching them park).
+	for i := range imports {
+		imports[i] = vm.Pending(i)
+	}
+	linked, err := s.prog.Link(u, imports, consts)
+	if err != nil {
+		return err
+	}
+	s.UnitsLinked++
+	// The imports' program-level constant indices follow the reloc.
+	for i, imp := range u.Imports {
+		constIdx := linked.Reloc.Imports[i]
+		s.prog.Consts[constIdx] = vm.Pending(constIdx)
+		go s.resolveImport(imp, constIdx, p.ImportSigs)
+	}
+	if linked.Entry >= 0 {
+		s.m.Spawn(linked.Entry, nil)
+	}
+	return nil
+}
+
+// resolveImport performs the blocking name-service lookup for one
+// import and posts the result to the incoming queue.
+func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, sigs map[types.ImportKey]string) {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
+	defer cancel()
+	var v vm.Value
+	var classSig string
+	var err error
+	if imp.IsClass {
+		var nc vm.NetClass
+		nc, classSig, err = s.cfg.NS.LookupClass(ctx, imp.Site, imp.Name)
+		if err == nil {
+			v = vm.NetClassVal(nc)
+		}
+	} else {
+		var ref vm.NetRef
+		var sig string
+		ref, sig, err = s.cfg.NS.LookupName(ctx, imp.Site, imp.Name)
+		if err == nil {
+			if required, ok := sigs[types.ImportKey{Site: imp.Site, Name: imp.Name}]; ok {
+				err = types.CheckNameCompatible(required, sig)
+			}
+			if ref.Site == s.cfg.ID {
+				// σ ingress: a reference to ourselves is a local
+				// heap pointer.
+				if local, ok := s.lookupExport(ref.Heap); ok {
+					v = vm.Chan(local)
+				} else {
+					err = fmt.Errorf("site %s: import %s.%s resolved to unknown local heap id %d", s.cfg.Name, imp.Site, imp.Name, ref.Heap)
+				}
+			} else {
+				v = vm.Net(ref)
+			}
+		}
+	}
+	_ = s.Deliver(Delivery{Resolved: &ResolvedImport{ConstIdx: constIdx, Value: v, ClassSig: classSig, Err: err}})
+}
+
+// Run is the site's scheduler loop: drain the incoming queue, run a
+// slice of threads, and block when idle. It returns when Stop is
+// called or the machine faults.
+func (s *Site) Run() {
+	defer close(s.done)
+	for {
+		// Drain everything already queued.
+		for {
+			select {
+			case d := <-s.in:
+				if err := s.handle(d); err != nil {
+					s.setErr(err)
+					return
+				}
+				continue
+			default:
+			}
+			break
+		}
+		// Run a slice of threads.
+		n, err := s.m.RunSlice(s.cfg.PollInterval)
+		if err != nil {
+			s.setErr(err)
+			return
+		}
+		if n > 0 {
+			continue
+		}
+		// Nothing runnable: block until input or stop. "Idle" for
+		// the termination detector additionally means no thread is
+		// parked on an import and no fetch is in flight.
+		s.idle.Store(len(s.waiting) == 0 && len(s.pendingFetch) == 0)
+		select {
+		case d := <-s.in:
+			s.idle.Store(false)
+			if err := s.handle(d); err != nil {
+				s.setErr(err)
+				return
+			}
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// handle processes one incoming-queue item on the site goroutine.
+func (s *Site) handle(d Delivery) error {
+	if d.Resolved == nil {
+		s.countRecv()
+	}
+	switch {
+	case d.Msg != nil:
+		local, ok := s.lookupExport(d.Msg.Heap)
+		if !ok {
+			return fmt.Errorf("site %s: message for unknown heap id %d", s.cfg.Name, d.Msg.Heap)
+		}
+		args, err := s.ingressVals(d.Msg.Args, nil)
+		if err != nil {
+			return err
+		}
+		return s.m.DeliverMsg(local, s.prog.LabelIndex(d.Msg.Label), args)
+
+	case d.Obj != nil:
+		local, ok := s.lookupExport(d.Obj.Heap)
+		if !ok {
+			return fmt.Errorf("site %s: object for unknown heap id %d", s.cfg.Name, d.Obj.Heap)
+		}
+		linked, err := s.linkIncoming(d.Obj.Unit)
+		if err != nil {
+			return err
+		}
+		frame, err := s.ingressVals(d.Obj.Frame, linked)
+		if err != nil {
+			return err
+		}
+		table, ok := linked.Reloc.Tables[d.Obj.Table]
+		if !ok {
+			return fmt.Errorf("site %s: migrated object references missing table %d", s.cfg.Name, d.Obj.Table)
+		}
+		return s.m.DeliverObj(local, table, frame)
+
+	case d.Fetch != nil:
+		return s.serveFetch(d.Fetch)
+
+	case d.FetchRep != nil:
+		return s.handleFetchRep(d.FetchRep)
+
+	case d.Resolved != nil:
+		r := d.Resolved
+		if r.Err != nil {
+			return fmt.Errorf("site %s: import resolution: %w", s.cfg.Name, r.Err)
+		}
+		s.prog.Consts[r.ConstIdx] = r.Value
+		if r.Value.Kind == vm.KNetClass && r.ClassSig != "" {
+			s.classSigs[r.Value.AsNetClass()] = r.ClassSig
+		}
+		for _, t := range s.waiting[r.ConstIdx] {
+			s.m.Requeue(t)
+		}
+		delete(s.waiting, r.ConstIdx)
+		return nil
+
+	default:
+		return fmt.Errorf("site %s: empty delivery", s.cfg.Name)
+	}
+}

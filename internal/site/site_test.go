@@ -1,0 +1,227 @@
+package site_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/site"
+	"repro/internal/testutil"
+	"repro/internal/vm"
+)
+
+// fakeRouter records outgoing traffic without delivering it.
+type fakeRouter struct {
+	mu      sync.Mutex
+	msgs    []string
+	fetches []string
+}
+
+func (f *fakeRouter) nMsgs() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.msgs)
+}
+
+func (f *fakeRouter) nFetches() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.fetches)
+}
+
+func (f *fakeRouter) RouteMsg(from *site.Site, ref vm.NetRef, label string, args []site.WireVal) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.msgs = append(f.msgs, label)
+	return nil
+}
+func (f *fakeRouter) RouteObj(from *site.Site, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
+	return nil
+}
+func (f *fakeRouter) RouteFetch(from *site.Site, owner site.Addr, class string, reqID uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fetches = append(f.fetches, class)
+	return nil
+}
+func (f *fakeRouter) RouteFetchRep(from *site.Site, to site.Addr, rep *site.FetchRepDelivery) error {
+	return nil
+}
+
+func newSite(t *testing.T, name string, src string, out *testutil.Buf, router site.Router) *site.Site {
+	t.Helper()
+	ns := nameservice.NewCentral()
+	prog, err := node.CompileSubmission(name, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := site.New(site.Config{
+		Name: name, ID: 1, NodeID: 1,
+		NS: ns, Router: router, Out: out,
+		ImportTimeout: 200 * time.Millisecond,
+	})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run()
+	return s
+}
+
+func waitSite(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for !cond() {
+		select {
+		case <-deadline:
+			t.Fatal("condition never became true")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}
+
+func TestSiteRunsLocalProgram(t *testing.T) {
+	var out testutil.Buf
+	s := newSite(t, "solo", `new x (x![4] | x?(v) = println(v * v))`, &out, &fakeRouter{})
+	defer func() { s.Stop(); <-s.Done() }()
+	waitSite(t, func() bool { return out.String() == "16\n" })
+}
+
+func TestSiteImportTimeoutSurfacesError(t *testing.T) {
+	// Importing from a site that never registers: the resolution times
+	// out and the site reports the failure.
+	s := newSite(t, "orphan", `import ghost from nowhere in ghost![]`, &testutil.Buf{}, &fakeRouter{})
+	defer func() { s.Stop(); <-s.Done() }()
+	waitSite(t, func() bool { return s.Err() != nil })
+	if !strings.Contains(s.Err().Error(), "import resolution") {
+		t.Fatalf("err = %v", s.Err())
+	}
+}
+
+func TestSiteRejectsUnknownHeapID(t *testing.T) {
+	s := newSite(t, "strict", `inaction`, &testutil.Buf{}, &fakeRouter{})
+	defer func() { <-s.Done() }()
+	// A message for a heap id that was never exported is a protocol
+	// violation and must fault the site (not crash the process).
+	if err := s.Deliver(site.Delivery{Msg: &site.MsgDelivery{Heap: 999, Label: "x"}}); err != nil {
+		t.Fatal(err)
+	}
+	waitSite(t, func() bool { return s.Err() != nil })
+	if !strings.Contains(s.Err().Error(), "unknown heap id") {
+		t.Fatalf("err = %v", s.Err())
+	}
+}
+
+func TestSiteRejectsInvalidMobileCode(t *testing.T) {
+	s := newSite(t, "careful", `export new p (p?(v) = inaction)`, &testutil.Buf{}, &fakeRouter{})
+	defer func() { <-s.Done() }()
+	// Wait for the export to register so heap id 1 exists.
+	waitSite(t, func() bool { return s.ExportTableSize() > 0 })
+	// A migrated object with structurally invalid code must be
+	// rejected by the verifier.
+	bad := &asm.Unit{Name: "evil", Entry: -1,
+		Blocks: []asm.Block{{Name: "b", Code: []asm.Instr{{Op: asm.LdLoc, A: 999}}}},
+		Tables: []asm.MethodTable{{Labels: []int{0}, Blocks: []int{0}}},
+		Labels: []string{"val"}}
+	if err := s.Deliver(site.Delivery{Obj: &site.ObjDelivery{Heap: 1, Unit: bad, Table: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	waitSite(t, func() bool { return s.Err() != nil })
+	if !strings.Contains(s.Err().Error(), "rejecting mobile code") {
+		t.Fatalf("err = %v", s.Err())
+	}
+}
+
+func TestSiteExportTableGrowsOnEgress(t *testing.T) {
+	fr := &fakeRouter{}
+	// The client sends a locally created reply channel to a remote
+	// ref: that channel must enter the export table.
+	ns := nameservice.NewCentral()
+	if err := ns.RegisterSite("far", 9, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterName("far", "svc", 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := node.CompileSubmission("client", `
+import svc from far in new r (svc!call[r])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := site.New(site.Config{Name: "client", ID: 1, NodeID: 1, NS: ns, Router: fr})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run()
+	defer func() { s.Stop(); <-s.Done() }()
+	waitSite(t, func() bool { return fr.nMsgs() == 1 && s.ExportTableSize() == 1 })
+}
+
+func TestSiteFetchCoalescing(t *testing.T) {
+	fr := &fakeRouter{}
+	ns := nameservice.NewCentral()
+	if err := ns.RegisterSite("lib", 9, 9); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterClass("lib", "K", "class/1"); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := node.CompileSubmission("client", `
+import K from lib in (K[1] | K[2] | K[3])`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := site.New(site.Config{Name: "client", ID: 1, NodeID: 1, NS: ns, Router: fr})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run()
+	defer func() { s.Stop(); <-s.Done() }()
+	// Three instantiations of the same remote class must coalesce
+	// into one outstanding fetch.
+	waitSite(t, func() bool { return fr.nFetches() >= 1 })
+	time.Sleep(10 * time.Millisecond)
+	if fr.nFetches() != 1 {
+		t.Fatalf("fetches = %d (should coalesce)", fr.nFetches())
+	}
+}
+
+func TestSiteDynamicClassArityCheck(t *testing.T) {
+	fr := &fakeRouter{}
+	ns := nameservice.NewCentral()
+	if err := ns.RegisterSite("lib", 9, 9); err != nil {
+		t.Fatal(err)
+	}
+	// Exporter declares K with 2 parameters; the client instantiates
+	// with 1 — the dynamic check must fault the client site.
+	if err := ns.RegisterClass("lib", "K", "class/2"); err != nil {
+		t.Fatal(err)
+	}
+	prog, err := node.CompileSubmission("client", `import K from lib in K[1]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := site.New(site.Config{Name: "client", ID: 1, NodeID: 1, NS: ns, Router: fr})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run()
+	defer func() { s.Stop(); <-s.Done() }()
+	waitSite(t, func() bool { return s.Err() != nil })
+	if !strings.Contains(s.Err().Error(), "protocol error") {
+		t.Fatalf("err = %v", s.Err())
+	}
+	if fr.nFetches() != 0 {
+		t.Fatal("arity-mismatched instantiation still fetched code")
+	}
+}
+
+func TestSiteStopIsIdempotent(t *testing.T) {
+	s := newSite(t, "stopper", `inaction`, &testutil.Buf{}, &fakeRouter{})
+	s.Stop()
+	s.Stop()
+	<-s.Done()
+}

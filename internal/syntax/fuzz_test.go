@@ -1,0 +1,45 @@
+package syntax_test
+
+import (
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/syntax"
+)
+
+// FuzzParse checks the parser never panics and that accepted inputs
+// survive the print → reparse round trip. The seed corpus covers
+// every construct; `go test -fuzz=FuzzParse ./internal/syntax` digs
+// deeper.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		`inaction`,
+		`new x (x![1] | x?(v) = println(v))`,
+		`def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v] } in new x Cell[x, 9]`,
+		`export def A(x) = println(x) in inaction`,
+		`import A from server in A[1]`,
+		`let y = a!m[1, "s", 2.5] in println(y)`,
+		`if 1 < 2 && true then inaction else new q q![]`,
+		`{- comment -} println("x") -- trailing`,
+		`new a b c (a![b] | c?{ m(x, y) = inaction, n() = inaction })`,
+		"\x00\xff garbage",
+		`new x x![`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := syntax.Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := calc.String(p)
+		q, err := syntax.Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted input did not reparse: %v\nsrc: %q\nprinted: %q", err, src, printed)
+		}
+		if !calc.StructCongruent(p, q) {
+			t.Fatalf("round trip changed term\nsrc: %q", src)
+		}
+	})
+}

@@ -1,0 +1,307 @@
+package syntax
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// Lexer turns source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer creates a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) errf(line, col int, format string, args ...any) error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (lx *Lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peekByteAt(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+// skipSpace skips whitespace and comments ('--' line comments and
+// nested '{- -}' block comments).
+func (lx *Lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '-' && lx.peekByteAt(1) == '-':
+			for lx.pos < len(lx.src) && lx.peekByte() != '\n' {
+				lx.advance()
+			}
+		case c == '{' && lx.peekByteAt(1) == '-':
+			line, col := lx.line, lx.col
+			lx.advance()
+			lx.advance()
+			depth := 1
+			for depth > 0 {
+				if lx.pos >= len(lx.src) {
+					return lx.errf(line, col, "unterminated block comment")
+				}
+				if lx.peekByte() == '{' && lx.peekByteAt(1) == '-' {
+					lx.advance()
+					lx.advance()
+					depth++
+				} else if lx.peekByte() == '-' && lx.peekByteAt(1) == '}' {
+					lx.advance()
+					lx.advance()
+					depth--
+				} else {
+					lx.advance()
+				}
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || r == '$' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return Token{}, err
+	}
+	line, col := lx.line, lx.col
+	if lx.pos >= len(lx.src) {
+		return Token{Kind: EOF, Line: line, Col: col}, nil
+	}
+	c := lx.peekByte()
+	switch {
+	case c >= '0' && c <= '9':
+		return lx.lexNumber(line, col)
+	case c == '"':
+		return lx.lexString(line, col)
+	}
+	r, _ := utf8.DecodeRuneInString(lx.src[lx.pos:])
+	if isIdentStart(r) {
+		return lx.lexIdent(line, col)
+	}
+	mk := func(k Kind, n int) (Token, error) {
+		for i := 0; i < n; i++ {
+			lx.advance()
+		}
+		return Token{Kind: k, Line: line, Col: col}, nil
+	}
+	switch c {
+	case '!':
+		if lx.peekByteAt(1) == '=' {
+			return mk(NE, 2)
+		}
+		return mk(BANG, 1)
+	case '?':
+		return mk(QUERY, 1)
+	case '[':
+		return mk(LBRACK, 1)
+	case ']':
+		return mk(RBRACK, 1)
+	case '(':
+		return mk(LPAREN, 1)
+	case ')':
+		return mk(RPAREN, 1)
+	case '{':
+		return mk(LBRACE, 1)
+	case '}':
+		return mk(RBRACE, 1)
+	case ',':
+		return mk(COMMA, 1)
+	case '=':
+		if lx.peekByteAt(1) == '=' {
+			return mk(EQ, 2)
+		}
+		return mk(ASSIGN, 1)
+	case '|':
+		if lx.peekByteAt(1) == '|' {
+			return mk(OROR, 2)
+		}
+		return mk(BAR, 1)
+	case '.':
+		return mk(DOT, 1)
+	case '+':
+		return mk(PLUS, 1)
+	case '-':
+		return mk(MINUS, 1)
+	case '*':
+		return mk(STAR, 1)
+	case '/':
+		return mk(SLASH, 1)
+	case '%':
+		return mk(PERCENT, 1)
+	case '<':
+		if lx.peekByteAt(1) == '=' {
+			return mk(LE, 2)
+		}
+		return mk(LT, 1)
+	case '>':
+		if lx.peekByteAt(1) == '=' {
+			return mk(GE, 2)
+		}
+		return mk(GT, 1)
+	case '&':
+		if lx.peekByteAt(1) == '&' {
+			return mk(ANDAND, 2)
+		}
+	}
+	return Token{}, lx.errf(line, col, "unexpected character %q", string(rune(c)))
+}
+
+func (lx *Lexer) lexIdent(line, col int) (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) {
+		r, sz := utf8.DecodeRuneInString(lx.src[lx.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		for i := 0; i < sz; i++ {
+			lx.advance()
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if k, ok := keywords[text]; ok {
+		return Token{Kind: k, Text: text, Line: line, Col: col}, nil
+	}
+	return Token{Kind: IDENT, Text: text, Line: line, Col: col}, nil
+}
+
+func (lx *Lexer) lexNumber(line, col int) (Token, error) {
+	start := lx.pos
+	for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+		lx.advance()
+	}
+	isFloat := false
+	// A '.' followed by a digit continues a float; a '.' followed by
+	// anything else is the located-identifier dot and is left alone.
+	if lx.peekByte() == '.' && lx.peekByteAt(1) >= '0' && lx.peekByteAt(1) <= '9' {
+		isFloat = true
+		lx.advance()
+		for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+			lx.advance()
+		}
+	}
+	if e := lx.peekByte(); e == 'e' || e == 'E' {
+		j := 1
+		if s := lx.peekByteAt(1); s == '+' || s == '-' {
+			j = 2
+		}
+		if d := lx.peekByteAt(j); d >= '0' && d <= '9' {
+			isFloat = true
+			for i := 0; i < j; i++ {
+				lx.advance()
+			}
+			for lx.pos < len(lx.src) && lx.peekByte() >= '0' && lx.peekByte() <= '9' {
+				lx.advance()
+			}
+		}
+	}
+	text := lx.src[start:lx.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, lx.errf(line, col, "invalid float literal %q", text)
+		}
+		return Token{Kind: FLOAT, Flt: f, Line: line, Col: col}, nil
+	}
+	n, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		return Token{}, lx.errf(line, col, "invalid integer literal %q", text)
+	}
+	return Token{Kind: INT, Int: n, Line: line, Col: col}, nil
+}
+
+func (lx *Lexer) lexString(line, col int) (Token, error) {
+	lx.advance() // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return Token{}, lx.errf(line, col, "unterminated string literal")
+		}
+		c := lx.advance()
+		switch c {
+		case '"':
+			return Token{Kind: STRING, Text: b.String(), Line: line, Col: col}, nil
+		case '\n':
+			return Token{}, lx.errf(line, col, "newline in string literal")
+		case '\\':
+			if lx.pos >= len(lx.src) {
+				return Token{}, lx.errf(line, col, "unterminated string literal")
+			}
+			e := lx.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case '0':
+				b.WriteByte(0)
+			default:
+				return Token{}, lx.errf(lx.line, lx.col, "unknown escape \\%c", e)
+			}
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// Tokenize lexes all of src, mainly for tests.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,744 @@
+package syntax
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/calc"
+)
+
+// Parser is a recursive-descent parser with two tokens of lookahead.
+type Parser struct {
+	lx   *Lexer
+	buf  [2]Token
+	nbuf int
+}
+
+// Parse parses a complete DiTyCO program.
+func Parse(src string) (calc.Proc, error) {
+	p := &Parser{lx: NewLexer(src)}
+	proc, err := p.parseProc()
+	if err != nil {
+		return nil, err
+	}
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind != EOF {
+		return nil, p.errAt(t, "expected end of input, found %s", t)
+	}
+	return proc, nil
+}
+
+// MustParse parses src and panics on error; for tests and examples.
+func MustParse(src string) calc.Proc {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Parser) errAt(t Token, format string, args ...any) error {
+	return &Error{Line: t.Line, Col: t.Col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *Parser) fill(n int) error {
+	for p.nbuf <= n {
+		t, err := p.lx.Next()
+		if err != nil {
+			return err
+		}
+		p.buf[p.nbuf] = t
+		p.nbuf++
+	}
+	return nil
+}
+
+func (p *Parser) peek() (Token, error) {
+	if err := p.fill(0); err != nil {
+		return Token{}, err
+	}
+	return p.buf[0], nil
+}
+
+func (p *Parser) peek2() (Token, error) {
+	if err := p.fill(1); err != nil {
+		return Token{}, err
+	}
+	return p.buf[1], nil
+}
+
+func (p *Parser) next() (Token, error) {
+	if err := p.fill(0); err != nil {
+		return Token{}, err
+	}
+	t := p.buf[0]
+	p.buf[0] = p.buf[1]
+	p.nbuf--
+	return t, nil
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t, err := p.next()
+	if err != nil {
+		return Token{}, err
+	}
+	if t.Kind != k {
+		return Token{}, p.errAt(t, "expected %s, found %s", k, t)
+	}
+	return t, nil
+}
+
+func pos(t Token) calc.Pos { return calc.Pos{Line: t.Line, Col: t.Col} }
+
+// isClassName reports whether an identifier denotes a class variable
+// (uppercase first letter, per the paper's convention).
+func isClassName(s string) bool {
+	r, _ := utf8.DecodeRuneInString(s)
+	return unicode.IsUpper(r)
+}
+
+// parseIdent parses a possibly located identifier: `x` or `site.x`.
+func (p *Parser) parseIdent() (calc.Ident, Token, error) {
+	t, err := p.expect(IDENT)
+	if err != nil {
+		return calc.Ident{}, t, err
+	}
+	nx, err := p.peek()
+	if err != nil {
+		return calc.Ident{}, t, err
+	}
+	if nx.Kind == DOT {
+		if _, err := p.next(); err != nil {
+			return calc.Ident{}, t, err
+		}
+		n2, err := p.expect(IDENT)
+		if err != nil {
+			return calc.Ident{}, t, err
+		}
+		if isClassName(t.Text) {
+			return calc.Ident{}, t, p.errAt(t, "site name %q must be lowercase", t.Text)
+		}
+		return calc.Ident{Site: t.Text, Name: n2.Text}, t, nil
+	}
+	return calc.Ident{Name: t.Text}, t, nil
+}
+
+// parseProc parses a parallel composition of prefix terms.
+func (p *Parser) parseProc() (calc.Proc, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != BAR {
+			return left, nil
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = &calc.Par{At: pos(t), Left: left, Right: right}
+	}
+}
+
+// parseTerm parses one process term. Prefix constructs extend
+// maximally to the right; their bodies are full parseProc parses.
+func (p *Parser) parseTerm() (calc.Proc, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case KWINACTION:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		return &calc.Nil{At: pos(t)}, nil
+	case LPAREN:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		inner, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return inner, nil
+	case KWNEW:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		return p.parseNewTail(t, false)
+	case KWDEF:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		return p.parseDefTail(t, false)
+	case KWEXPORT:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		nt, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch nt.Kind {
+		case KWNEW:
+			return p.parseNewTail(t, true)
+		case KWDEF:
+			return p.parseDefTail(t, true)
+		default:
+			return nil, p.errAt(nt, "expected 'new' or 'def' after 'export', found %s", nt)
+		}
+	case KWIMPORT:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWFROM); err != nil {
+			return nil, err
+		}
+		site, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if isClassName(site.Text) {
+			return nil, p.errAt(site, "site name %q must be lowercase", site.Text)
+		}
+		if _, err := p.expect(KWIN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		if isClassName(id.Text) {
+			return &calc.ImportClass{At: pos(t), Class: id.Text, Site: site.Text, Body: body}, nil
+		}
+		return &calc.ImportName{At: pos(t), Name: id.Text, Site: site.Text, Body: body}, nil
+	case KWIF:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWTHEN); err != nil {
+			return nil, err
+		}
+		then, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWELSE); err != nil {
+			return nil, err
+		}
+		els, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		return &calc.If{At: pos(t), Cond: cond, Then: then, Else: els}, nil
+	case KWLET:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		v, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if isClassName(v.Text) {
+			return nil, p.errAt(v, "let binds a name; %q is a class variable", v.Text)
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		target, tt, err := p.parseIdent()
+		if err != nil {
+			return nil, err
+		}
+		if isClassName(target.Name) {
+			return nil, p.errAt(tt, "let calls a method on a name; %q is a class variable", target.Name)
+		}
+		if _, err := p.expect(BANG); err != nil {
+			return nil, err
+		}
+		label, err := p.parseOptLabel()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(KWIN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		return &calc.Let{At: pos(t), Var: v.Text, Target: target, Label: label, Args: args, Body: body}, nil
+	case KWPRINT, KWPRINTLN:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		args, err := p.parseExprList(RPAREN)
+		if err != nil {
+			return nil, err
+		}
+		return &calc.Print{At: pos(t), Args: args, Newline: t.Kind == KWPRINTLN}, nil
+	case IDENT:
+		return p.parseIdentTerm()
+	default:
+		return nil, p.errAt(t, "expected a process, found %s", t)
+	}
+}
+
+// parseNewTail parses `x1 … xn P` after a (export) new keyword.
+func (p *Parser) parseNewTail(kw Token, exported bool) (calc.Proc, error) {
+	var names []string
+	first, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	if isClassName(first.Text) {
+		return nil, p.errAt(first, "new binds names; %q is a class variable", first.Text)
+	}
+	names = append(names, first.Text)
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != IDENT || isClassName(t.Text) {
+			break
+		}
+		// An identifier followed by '!', '?', '.' or '[' starts the
+		// body process rather than continuing the binder list.
+		t2, err := p.peek2()
+		if err != nil {
+			return nil, err
+		}
+		if t2.Kind == BANG || t2.Kind == QUERY || t2.Kind == DOT || t2.Kind == LBRACK {
+			break
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		names = append(names, t.Text)
+	}
+	body, err := p.parseProc()
+	if err != nil {
+		return nil, err
+	}
+	if exported {
+		return &calc.ExportNew{At: pos(kw), Names: names, Body: body}, nil
+	}
+	return &calc.New{At: pos(kw), Names: names, Body: body}, nil
+}
+
+// parseDefTail parses `D1 and … and Dn in P` after a (export) def.
+func (p *Parser) parseDefTail(kw Token, exported bool) (calc.Proc, error) {
+	var defs []calc.ClassDef
+	for {
+		d, err := p.parseClassDef()
+		if err != nil {
+			return nil, err
+		}
+		defs = append(defs, d)
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind != KWAND {
+			break
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(KWIN); err != nil {
+		return nil, err
+	}
+	body, err := p.parseProc()
+	if err != nil {
+		return nil, err
+	}
+	if exported {
+		return &calc.ExportDef{At: pos(kw), Defs: defs, Body: body}, nil
+	}
+	return &calc.Def{At: pos(kw), Defs: defs, Body: body}, nil
+}
+
+func (p *Parser) parseClassDef() (calc.ClassDef, error) {
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return calc.ClassDef{}, err
+	}
+	if !isClassName(name.Text) {
+		return calc.ClassDef{}, p.errAt(name, "class name %q must start with an uppercase letter", name.Text)
+	}
+	params, err := p.parseParams()
+	if err != nil {
+		return calc.ClassDef{}, err
+	}
+	if _, err := p.expect(ASSIGN); err != nil {
+		return calc.ClassDef{}, err
+	}
+	body, err := p.parseProc()
+	if err != nil {
+		return calc.ClassDef{}, err
+	}
+	return calc.ClassDef{At: pos(name), Name: name.Text, Params: params, Body: body}, nil
+}
+
+// parseParams parses `( x1, …, xn )`; the list may be empty.
+func (p *Parser) parseParams() ([]string, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var params []string
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == RPAREN {
+		_, err := p.next()
+		return params, err
+	}
+	for {
+		id, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if isClassName(id.Text) {
+			return nil, p.errAt(id, "parameter %q must be a name (lowercase)", id.Text)
+		}
+		params = append(params, id.Text)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case COMMA:
+		case RPAREN:
+			return params, nil
+		default:
+			return nil, p.errAt(t, "expected ',' or ')', found %s", t)
+		}
+	}
+}
+
+// parseIdentTerm parses a term beginning with an identifier: a message
+// x!l[v…], an object x?{…} / x?(y…)=P, or an instantiation X[v…] /
+// s.X[v…].
+func (p *Parser) parseIdentTerm() (calc.Proc, error) {
+	id, first, err := p.parseIdent()
+	if err != nil {
+		return nil, err
+	}
+	if isClassName(id.Name) {
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &calc.Inst{At: pos(first), Class: id, Args: args}, nil
+	}
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case BANG:
+		label, err := p.parseOptLabel()
+		if err != nil {
+			return nil, err
+		}
+		args, err := p.parseArgs()
+		if err != nil {
+			return nil, err
+		}
+		return &calc.Msg{At: pos(first), Target: id, Label: label, Args: args}, nil
+	case QUERY:
+		nt, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		switch nt.Kind {
+		case LBRACE:
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			methods, err := p.parseMethods()
+			if err != nil {
+				return nil, err
+			}
+			return &calc.Object{At: pos(first), Target: id, Methods: methods}, nil
+		case LPAREN:
+			params, err := p.parseParams()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(ASSIGN); err != nil {
+				return nil, err
+			}
+			body, err := p.parseProc()
+			if err != nil {
+				return nil, err
+			}
+			m := calc.Method{At: pos(nt), Label: calc.ValLabel, Params: params, Body: body}
+			return &calc.Object{At: pos(first), Target: id, Methods: []calc.Method{m}}, nil
+		default:
+			return nil, p.errAt(nt, "expected '{' or '(' after '?', found %s", nt)
+		}
+	default:
+		return nil, p.errAt(t, "expected '!' or '?' after name %q, found %s", id, t)
+	}
+}
+
+// parseOptLabel parses the optional method label after '!'. A missing
+// label (message of the form x![v…]) means the distinguished label
+// 'val'.
+func (p *Parser) parseOptLabel() (string, error) {
+	t, err := p.peek()
+	if err != nil {
+		return "", err
+	}
+	if t.Kind == IDENT {
+		if isClassName(t.Text) {
+			return "", p.errAt(t, "method label %q must be lowercase", t.Text)
+		}
+		if _, err := p.next(); err != nil {
+			return "", err
+		}
+		return t.Text, nil
+	}
+	return calc.ValLabel, nil
+}
+
+// parseArgs parses `[ e1, …, en ]`.
+func (p *Parser) parseArgs() ([]calc.Expr, error) {
+	if _, err := p.expect(LBRACK); err != nil {
+		return nil, err
+	}
+	return p.parseExprList(RBRACK)
+}
+
+// parseExprList parses a comma-separated expression list ending at
+// close (which is consumed).
+func (p *Parser) parseExprList(close Kind) ([]calc.Expr, error) {
+	var args []calc.Expr
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.Kind == close {
+		_, err := p.next()
+		return args, err
+	}
+	for {
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, e)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case COMMA:
+		case close:
+			return args, nil
+		default:
+			return nil, p.errAt(t, "expected ',' or %s, found %s", close, t)
+		}
+	}
+}
+
+// parseMethods parses `l1(x…) = P1, …` up to and including '}'.
+func (p *Parser) parseMethods() ([]calc.Method, error) {
+	var methods []calc.Method
+	for {
+		label, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		if isClassName(label.Text) {
+			return nil, p.errAt(label, "method label %q must be lowercase", label.Text)
+		}
+		params, err := p.parseParams()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(ASSIGN); err != nil {
+			return nil, err
+		}
+		body, err := p.parseProc()
+		if err != nil {
+			return nil, err
+		}
+		methods = append(methods, calc.Method{At: pos(label), Label: label.Text, Params: params, Body: body})
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch t.Kind {
+		case COMMA:
+		case RBRACE:
+			return methods, nil
+		default:
+			return nil, p.errAt(t, "expected ',' or '}', found %s", t)
+		}
+	}
+}
+
+// Expression parsing: precedence climbing.
+
+var binOps = map[Kind]struct {
+	op   calc.Op
+	prec int
+}{
+	OROR:    {calc.OpOr, 1},
+	ANDAND:  {calc.OpAnd, 2},
+	EQ:      {calc.OpEq, 3},
+	NE:      {calc.OpNe, 3},
+	LT:      {calc.OpLt, 3},
+	LE:      {calc.OpLe, 3},
+	GT:      {calc.OpGt, 3},
+	GE:      {calc.OpGe, 3},
+	PLUS:    {calc.OpAdd, 4},
+	MINUS:   {calc.OpSub, 4},
+	STAR:    {calc.OpMul, 5},
+	SLASH:   {calc.OpDiv, 5},
+	PERCENT: {calc.OpMod, 5},
+}
+
+func (p *Parser) parseExpr(minPrec int) (calc.Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		info, ok := binOps[t.Kind]
+		if !ok || info.prec < minPrec {
+			return left, nil
+		}
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseExpr(info.prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		left = &calc.Binary{At: pos(t), Op: info.op, L: left, R: right}
+	}
+}
+
+func (p *Parser) parseUnary() (calc.Expr, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case MINUS:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(*calc.IntLit); ok {
+			return &calc.IntLit{At: pos(t), Value: -lit.Value}, nil
+		}
+		if lit, ok := e.(*calc.FloatLit); ok {
+			return &calc.FloatLit{At: pos(t), Value: -lit.Value}, nil
+		}
+		return &calc.Unary{At: pos(t), Op: calc.OpNeg, E: e}, nil
+	case KWNOT:
+		if _, err := p.next(); err != nil {
+			return nil, err
+		}
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &calc.Unary{At: pos(t), Op: calc.OpNot, E: e}, nil
+	default:
+		return p.parseAtom()
+	}
+}
+
+func (p *Parser) parseAtom() (calc.Expr, error) {
+	t, err := p.next()
+	if err != nil {
+		return nil, err
+	}
+	switch t.Kind {
+	case INT:
+		return &calc.IntLit{At: pos(t), Value: t.Int}, nil
+	case FLOAT:
+		return &calc.FloatLit{At: pos(t), Value: t.Flt}, nil
+	case STRING:
+		return &calc.StrLit{At: pos(t), Value: t.Text}, nil
+	case KWTRUE:
+		return &calc.BoolLit{At: pos(t), Value: true}, nil
+	case KWFALSE:
+		return &calc.BoolLit{At: pos(t), Value: false}, nil
+	case IDENT:
+		if isClassName(t.Text) {
+			return nil, p.errAt(t, "class variable %q cannot appear in an expression", t.Text)
+		}
+		nx, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if nx.Kind == DOT {
+			if _, err := p.next(); err != nil {
+				return nil, err
+			}
+			n2, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			return &calc.Var{At: pos(t), Id: calc.Ident{Site: t.Text, Name: n2.Text}}, nil
+		}
+		return &calc.Var{At: pos(t), Id: calc.Ident{Name: t.Text}}, nil
+	case LPAREN:
+		e, err := p.parseExpr(0)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errAt(t, "expected an expression, found %s", t)
+	}
+}

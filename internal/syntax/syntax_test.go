@@ -1,0 +1,230 @@
+package syntax_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/calc"
+	"repro/internal/syntax"
+)
+
+func TestTokenizeBasics(t *testing.T) {
+	toks, err := syntax.Tokenize(`new x x!put[1, 2.5, "hi\n", true] -- comment
+{- block {- nested -} -} inaction`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]syntax.Kind, len(toks))
+	for i, tk := range toks {
+		kinds[i] = tk.Kind
+	}
+	want := []syntax.Kind{
+		syntax.KWNEW, syntax.IDENT, syntax.IDENT, syntax.BANG, syntax.IDENT,
+		syntax.LBRACK, syntax.INT, syntax.COMMA, syntax.FLOAT, syntax.COMMA,
+		syntax.STRING, syntax.COMMA, syntax.KWTRUE, syntax.RBRACK,
+		syntax.KWINACTION, syntax.EOF,
+	}
+	if len(kinds) != len(want) {
+		t.Fatalf("got %d tokens %v, want %d", len(kinds), kinds, len(want))
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("token %d: got %v want %v", i, kinds[i], want[i])
+		}
+	}
+	if toks[6].Int != 1 || toks[8].Flt != 2.5 || toks[10].Text != "hi\n" {
+		t.Fatalf("literal values wrong: %v", toks)
+	}
+}
+
+func TestTokenizeOperators(t *testing.T) {
+	toks, err := syntax.Tokenize(`== != <= >= < > && || + - * / % = | . !`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []syntax.Kind{
+		syntax.EQ, syntax.NE, syntax.LE, syntax.GE, syntax.LT, syntax.GT,
+		syntax.ANDAND, syntax.OROR, syntax.PLUS, syntax.MINUS, syntax.STAR,
+		syntax.SLASH, syntax.PERCENT, syntax.ASSIGN, syntax.BAR, syntax.DOT,
+		syntax.BANG, syntax.EOF,
+	}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Fatalf("token %d: got %v want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestTokenizeErrors(t *testing.T) {
+	for _, src := range []string{
+		`"unterminated`,
+		`"newline
+		"`,
+		`{- never closed`,
+		`"bad \q escape"`,
+		"@",
+		"&",
+	} {
+		if _, err := syntax.Tokenize(src); err == nil {
+			t.Errorf("expected lex error for %q", src)
+		}
+	}
+}
+
+func TestFloatVsLocatedDot(t *testing.T) {
+	// "1.5" is a float; "s.x" is a located identifier; "1." is not a
+	// float (int then dot).
+	toks, err := syntax.Tokenize(`1.5 s.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != syntax.FLOAT || toks[0].Flt != 1.5 {
+		t.Fatalf("want float 1.5, got %v", toks[0])
+	}
+	if toks[1].Kind != syntax.IDENT || toks[2].Kind != syntax.DOT || toks[3].Kind != syntax.IDENT {
+		t.Fatalf("want ident dot ident, got %v %v %v", toks[1], toks[2], toks[3])
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ src, wantSub string }{
+		{`new X inaction`, "binds names"},
+		{`def lower() = inaction in inaction`, "uppercase"},
+		{`x`, "unbound"}, // actually a parse error: bare name
+		{`new x x!Go[]`, "lowercase"},
+		{`new x (x![]`, "expected"},
+		{`import x from Server in inaction`, "lowercase"},
+		{`let X = a![] in inaction`, "class variable"},
+		{`new x x?{ m() = inaction, m() = inaction } `, ""}, // duplicate labels caught by types, parse ok
+	}
+	for _, c := range cases {
+		_, err := syntax.Parse(c.src)
+		if c.wantSub == "" {
+			continue
+		}
+		if err == nil {
+			t.Errorf("expected parse error for %q", c.src)
+			continue
+		}
+		if c.wantSub != "unbound" && !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("error for %q = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestParsePrefixScope(t *testing.T) {
+	// Prefixes extend maximally right: the object body swallows the
+	// trailing composition.
+	p := syntax.MustParse(`new x (x?(y) = y![] | x![])`)
+	nw := p.(*calc.New)
+	obj, ok := nw.Body.(*calc.Object)
+	if !ok {
+		t.Fatalf("body is %T, want object (maximal-right scope)", nw.Body)
+	}
+	if _, ok := obj.Methods[0].Body.(*calc.Par); !ok {
+		t.Fatalf("method body is %T, want the parallel composition", obj.Methods[0].Body)
+	}
+	// Parenthesized, the composition splits.
+	p2 := syntax.MustParse(`new x ((x?(y) = y![]) | x![])`)
+	if _, ok := p2.(*calc.New).Body.(*calc.Par); !ok {
+		t.Fatalf("parenthesized form should be Par, got %T", p2.(*calc.New).Body)
+	}
+}
+
+func TestParseValSugar(t *testing.T) {
+	p := syntax.MustParse(`new x (x![1] | x?(v) = println(v))`)
+	par := p.(*calc.New).Body.(*calc.Par)
+	msg := par.Left.(*calc.Msg)
+	if msg.Label != calc.ValLabel {
+		t.Fatalf("x![1] label = %q, want %q", msg.Label, calc.ValLabel)
+	}
+	obj := par.Right.(*calc.Object)
+	if obj.Methods[0].Label != calc.ValLabel {
+		t.Fatalf("x?(v) label = %q, want %q", obj.Methods[0].Label, calc.ValLabel)
+	}
+}
+
+func TestParseOperatorPrecedence(t *testing.T) {
+	p := syntax.MustParse(`if 1 + 2 * 3 == 7 && true then inaction else inaction`)
+	cond := p.(*calc.If).Cond.(*calc.Binary)
+	if cond.Op != calc.OpAnd {
+		t.Fatalf("top op = %v, want &&", cond.Op)
+	}
+	eq := cond.L.(*calc.Binary)
+	if eq.Op != calc.OpEq {
+		t.Fatalf("left of && = %v, want ==", eq.Op)
+	}
+	sum := eq.L.(*calc.Binary)
+	if sum.Op != calc.OpAdd {
+		t.Fatalf("left of == = %v, want +", sum.Op)
+	}
+	if sum.R.(*calc.Binary).Op != calc.OpMul {
+		t.Fatalf("right of + should be *")
+	}
+}
+
+func TestParseNewBinderList(t *testing.T) {
+	p := syntax.MustParse(`new a b c (a![] | b![] | c![])`)
+	nw := p.(*calc.New)
+	if len(nw.Names) != 3 {
+		t.Fatalf("binder list = %v, want 3 names", nw.Names)
+	}
+	// A name followed by ! stops the binder list.
+	p2 := syntax.MustParse(`new a b b![]`)
+	nw2 := p2.(*calc.New)
+	if len(nw2.Names) != 2 {
+		t.Fatalf("binder list = %v, want [a b]", nw2.Names)
+	}
+	if _, ok := nw2.Body.(*calc.Msg); !ok {
+		t.Fatalf("body should be the message, got %T", nw2.Body)
+	}
+}
+
+// Property: pretty-printing then reparsing yields an α-equal term.
+func TestRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	g := &calc.Gen{R: r, MaxDepth: 5, AllowDistrib: true}
+	for i := 0; i < 500; i++ {
+		p := g.Proc()
+		printed := calc.String(p)
+		q, err := syntax.Parse(printed)
+		if err != nil {
+			t.Fatalf("reparse failed: %v\nterm: %s", err, printed)
+		}
+		// Parallel composition reparses left-nested; compare up to
+		// structural congruence (Par is associative-commutative).
+		if !calc.StructCongruent(p, q) {
+			t.Fatalf("round trip changed term:\nbefore: %s\nafter:  %s", printed, calc.String(q))
+		}
+		// And printing is a fixed point after one trip.
+		if calc.String(q) != printed {
+			t.Fatalf("printing not stable:\n%s\n%s", printed, calc.String(q))
+		}
+	}
+}
+
+// Property: every paper example parses and round-trips.
+func TestPaperExamplesRoundTrip(t *testing.T) {
+	examples := []string{
+		`def Cell(self, v) = self?{ read(r) = r![v] | Cell[self, v], write(u) = Cell[self, u] }
+		 in new x (Cell[x, 9] | new y Cell[y, true])`,
+		`export def Applet(x) = println(x) in inaction`,
+		`import Applet from server in Applet[7]`,
+		`import appletserver from server in new p (appletserver!applet[p] | p![5])`,
+		`new s (let z = s!read[] in println(z))`,
+	}
+	for _, src := range examples {
+		p, err := syntax.Parse(src)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, src)
+		}
+		q, err := syntax.Parse(calc.String(p))
+		if err != nil {
+			t.Fatalf("reparse: %v\n%s", err, calc.String(p))
+		}
+		if !calc.AlphaEquivalent(p, q) {
+			t.Fatalf("round trip not α-equal for %s", src)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package syntax implements the concrete DiTyCO source language: a
+// lexer and a recursive-descent parser producing calc terms, following
+// the syntax used throughout the paper (sections 2 and 4) plus the
+// conveniences of the TyCO language report: expressions over builtin
+// integers/floats/booleans/strings, conditionals, the let sugar for
+// synchronous calls, and print/println.
+//
+// Grammar notes:
+//   - Prefix constructs (new, def…in, if…then…else, let…in, export…,
+//     import…in) extend as far right as possible; parallel composition
+//     under a prefix therefore belongs to the prefix body. Use
+//     parentheses to limit a prefix's scope.
+//   - Channel names and labels begin with a lowercase letter; class
+//     variables begin with an uppercase letter (the paper's
+//     convention, enforced by the parser).
+//   - `x![v…]` abbreviates `x!val[v…]`; `x?(y…) = P` abbreviates
+//     `x?{ val(y…) = P }` (section 2).
+//   - Comments: `--` to end of line, or nested `{- … -}` blocks.
+package syntax
+
+import "fmt"
+
+// Kind is a lexical token kind.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INT
+	FLOAT
+	STRING
+
+	// Punctuation and operators.
+	BANG    // !
+	QUERY   // ?
+	LBRACK  // [
+	RBRACK  // ]
+	LPAREN  // (
+	RPAREN  // )
+	LBRACE  // {
+	RBRACE  // }
+	COMMA   // ,
+	ASSIGN  // =
+	BAR     // |
+	DOT     // .
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	EQ      // ==
+	NE      // !=
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	ANDAND  // &&
+	OROR    // ||
+
+	// Keywords.
+	KWINACTION
+	KWNEW
+	KWDEF
+	KWAND
+	KWIN
+	KWIF
+	KWTHEN
+	KWELSE
+	KWLET
+	KWEXPORT
+	KWIMPORT
+	KWFROM
+	KWPRINT
+	KWPRINTLN
+	KWTRUE
+	KWFALSE
+	KWNOT
+)
+
+var kindNames = map[Kind]string{
+	EOF: "end of input", IDENT: "identifier", INT: "integer", FLOAT: "float", STRING: "string",
+	BANG: "'!'", QUERY: "'?'", LBRACK: "'['", RBRACK: "']'", LPAREN: "'('", RPAREN: "')'",
+	LBRACE: "'{'", RBRACE: "'}'", COMMA: "','", ASSIGN: "'='", BAR: "'|'", DOT: "'.'",
+	PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'", PERCENT: "'%'",
+	EQ: "'=='", NE: "'!='", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	ANDAND: "'&&'", OROR: "'||'",
+	KWINACTION: "'inaction'", KWNEW: "'new'", KWDEF: "'def'", KWAND: "'and'", KWIN: "'in'",
+	KWIF: "'if'", KWTHEN: "'then'", KWELSE: "'else'", KWLET: "'let'",
+	KWEXPORT: "'export'", KWIMPORT: "'import'", KWFROM: "'from'",
+	KWPRINT: "'print'", KWPRINTLN: "'println'", KWTRUE: "'true'", KWFALSE: "'false'", KWNOT: "'not'",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"inaction": KWINACTION,
+	"new":      KWNEW,
+	"def":      KWDEF,
+	"and":      KWAND,
+	"in":       KWIN,
+	"if":       KWIF,
+	"then":     KWTHEN,
+	"else":     KWELSE,
+	"let":      KWLET,
+	"export":   KWEXPORT,
+	"import":   KWIMPORT,
+	"from":     KWFROM,
+	"print":    KWPRINT,
+	"println":  KWPRINTLN,
+	"true":     KWTRUE,
+	"false":    KWFALSE,
+	"not":      KWNOT,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string  // identifier or string contents
+	Int  int64   // INT value
+	Flt  float64 // FLOAT value
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case IDENT:
+		return fmt.Sprintf("identifier %q", t.Text)
+	case INT:
+		return fmt.Sprintf("integer %d", t.Int)
+	case FLOAT:
+		return fmt.Sprintf("float %g", t.Flt)
+	case STRING:
+		return fmt.Sprintf("string %q", t.Text)
+	default:
+		return t.Kind.String()
+	}
+}
+
+// Error is a lexical or syntactic error with position information.
+type Error struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg)
+}

@@ -1,0 +1,208 @@
+package termination
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Distributed termination detection for multi-process deployments:
+// the in-process Detector reads site counters directly, which only
+// works inside one address space. Across nodes, a coordinator
+// broadcasts probe requests as FTerm control frames; every node
+// answers with its aggregated site snapshot; the coordinator applies
+// the same two-round four-counter rule over the collected snapshots.
+//
+// Frame payloads (wire varints):
+//
+//	probe request:  0x01, round
+//	probe reply:    0x02, round, sent, recv, allIdle, sites
+
+const (
+	termProbe = 0x01
+	termReply = 0x02
+)
+
+// EncodeProbe builds a probe-request payload.
+func EncodeProbe(round uint64) []byte {
+	var w wire.Writer
+	w.Byte(termProbe)
+	w.U(round)
+	return w.Bytes()
+}
+
+// EncodeReply builds a probe-reply payload.
+func EncodeReply(round uint64, s Snapshot) []byte {
+	var w wire.Writer
+	w.Byte(termReply)
+	w.U(round)
+	w.U(s.Sent)
+	w.U(s.Recv)
+	if s.AllIdle {
+		w.U(1)
+	} else {
+		w.U(0)
+	}
+	w.U(uint64(s.Sites))
+	return w.Bytes()
+}
+
+// decodePayload parses either frame kind.
+func decodePayload(payload []byte) (kind byte, round uint64, snap Snapshot, err error) {
+	r := wire.NewReader(payload)
+	kind, err = r.Byte()
+	if err != nil {
+		return 0, 0, Snapshot{}, err
+	}
+	round, err = r.U()
+	if err != nil {
+		return 0, 0, Snapshot{}, err
+	}
+	if kind == termProbe {
+		return kind, round, Snapshot{}, nil
+	}
+	if kind != termReply {
+		return 0, 0, Snapshot{}, fmt.Errorf("termination: unknown frame kind %d", kind)
+	}
+	sent, err := r.U()
+	if err != nil {
+		return 0, 0, Snapshot{}, err
+	}
+	recv, err := r.U()
+	if err != nil {
+		return 0, 0, Snapshot{}, err
+	}
+	idle, err := r.U()
+	if err != nil {
+		return 0, 0, Snapshot{}, err
+	}
+	sites, err := r.U()
+	if err != nil {
+		return 0, 0, Snapshot{}, err
+	}
+	return kind, round, Snapshot{Sent: sent, Recv: recv, AllIdle: idle != 0, Sites: int(sites)}, nil
+}
+
+// Coordinator drives the distributed protocol from one node. Wire it
+// to a node by forwarding FTerm control frames into HandleControl and
+// providing Send (usually node.SendControl with wire.FTerm).
+type Coordinator struct {
+	Self  uint32
+	Peers []uint32 // every node in the computation, including Self
+	// Send ships an FTerm payload to a node.
+	Send func(dst uint32, payload []byte) error
+	// Local snapshots this node's sites.
+	Local func() []Probe
+	// Interval between rounds (default 10ms — remote rounds are
+	// network-priced).
+	Interval time.Duration
+
+	mu      sync.Mutex
+	round   uint64
+	replies map[uint32]Snapshot
+	wake    chan struct{}
+}
+
+// NewCoordinator creates a distributed coordinator.
+func NewCoordinator(self uint32, peers []uint32, send func(uint32, []byte) error, local func() []Probe) *Coordinator {
+	return &Coordinator{
+		Self: self, Peers: peers, Send: send, Local: local,
+		Interval: 10 * time.Millisecond,
+		replies:  map[uint32]Snapshot{},
+		wake:     make(chan struct{}, 1),
+	}
+}
+
+// HandleControl processes an incoming FTerm payload on any node
+// (participants answer probes; the coordinator collects replies).
+func (c *Coordinator) HandleControl(src uint32, payload []byte) {
+	kind, round, snap, err := decodePayload(payload)
+	if err != nil {
+		return
+	}
+	switch kind {
+	case termProbe:
+		_ = c.Send(src, EncodeReply(round, Collect(c.Local())))
+	case termReply:
+		c.mu.Lock()
+		if round == c.round {
+			c.replies[src] = snap
+		}
+		c.mu.Unlock()
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// runRound broadcasts a probe and gathers every node's snapshot
+// (including the local one); it returns the global aggregate, or ok
+// false when some node did not answer before the deadline.
+func (c *Coordinator) runRound(ctx context.Context) (Snapshot, bool) {
+	c.mu.Lock()
+	c.round++
+	round := c.round
+	c.replies = map[uint32]Snapshot{c.Self: Collect(c.Local())}
+	c.mu.Unlock()
+	for _, p := range c.Peers {
+		if p != c.Self {
+			_ = c.Send(p, EncodeProbe(round))
+		}
+	}
+	deadline := time.NewTimer(50 * c.Interval)
+	defer deadline.Stop()
+	for {
+		c.mu.Lock()
+		done := len(c.replies) == len(c.Peers)
+		c.mu.Unlock()
+		if done {
+			break
+		}
+		select {
+		case <-c.wake:
+		case <-deadline.C:
+			return Snapshot{}, false
+		case <-ctx.Done():
+			return Snapshot{}, false
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total Snapshot
+	total.AllIdle = true
+	for _, s := range c.replies {
+		total.Sent += s.Sent
+		total.Recv += s.Recv
+		total.AllIdle = total.AllIdle && s.AllIdle
+		total.Sites += s.Sites
+	}
+	return total, true
+}
+
+// Wait blocks until distributed termination is detected or ctx ends.
+func (c *Coordinator) Wait(ctx context.Context) error {
+	var prev Snapshot
+	havePrev := false
+	ticker := time.NewTicker(c.Interval)
+	defer ticker.Stop()
+	for {
+		cur, ok := c.runRound(ctx)
+		if ok {
+			if havePrev && Terminated(prev, cur) {
+				return nil
+			}
+			prev, havePrev = cur, true
+		} else {
+			havePrev = false // a lost round invalidates the pair
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package termination_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/termination"
+)
+
+func TestCollect(t *testing.T) {
+	s := termination.Collect([]termination.Probe{
+		{Sent: 3, Recv: 2, Idle: true},
+		{Sent: 1, Recv: 2, Idle: true},
+	})
+	if s.Sent != 4 || s.Recv != 4 || !s.AllIdle || s.Sites != 2 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	s2 := termination.Collect([]termination.Probe{{Idle: true}, {Idle: false}})
+	if s2.AllIdle {
+		t.Fatal("one busy site must spoil AllIdle")
+	}
+}
+
+func TestTerminatedRequiresAgreement(t *testing.T) {
+	idle := termination.Snapshot{Sent: 5, Recv: 5, AllIdle: true, Sites: 2}
+	busy := termination.Snapshot{Sent: 5, Recv: 5, AllIdle: false, Sites: 2}
+	inflight := termination.Snapshot{Sent: 6, Recv: 5, AllIdle: true, Sites: 2}
+	moved := termination.Snapshot{Sent: 7, Recv: 7, AllIdle: true, Sites: 2}
+	if !termination.Terminated(idle, idle) {
+		t.Fatal("two identical idle snapshots must terminate")
+	}
+	if termination.Terminated(idle, busy) || termination.Terminated(busy, idle) {
+		t.Fatal("busy snapshot must block termination")
+	}
+	if termination.Terminated(inflight, inflight) {
+		t.Fatal("sent != recv means a message is in flight")
+	}
+	if termination.Terminated(idle, moved) {
+		t.Fatal("counters moved between rounds: not terminated")
+	}
+	empty := termination.Snapshot{AllIdle: true}
+	if termination.Terminated(empty, empty) {
+		t.Fatal("zero sites is not a terminated computation")
+	}
+}
+
+func TestDetectorSafety(t *testing.T) {
+	// A system that is never simultaneously idle must never be
+	// declared terminated: site 0 and site 1 alternate activity.
+	var mu sync.Mutex
+	flip := false
+	det := termination.New(func() []termination.Probe {
+		mu.Lock()
+		defer mu.Unlock()
+		flip = !flip
+		return []termination.Probe{
+			{Sent: 1, Recv: 1, Idle: flip},
+			{Sent: 1, Recv: 1, Idle: !flip},
+		}
+	})
+	det.Interval = 100 * time.Microsecond
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := det.Wait(ctx, nil); err == nil {
+		t.Fatal("detector declared a live system terminated")
+	}
+}
+
+func TestDetectorProgress(t *testing.T) {
+	// Once the system quiesces, detection completes.
+	var mu sync.Mutex
+	sent, recv := uint64(3), uint64(2)
+	det := termination.New(func() []termination.Probe {
+		mu.Lock()
+		defer mu.Unlock()
+		return []termination.Probe{{Sent: sent, Recv: recv, Idle: sent == recv}}
+	})
+	det.Interval = 100 * time.Microsecond
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		mu.Lock()
+		recv = sent // the last message lands
+		mu.Unlock()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := det.Wait(ctx, nil); err != nil {
+		t.Fatalf("detector never fired: %v", err)
+	}
+}
+
+func TestDetectorInFlightMessageBlocks(t *testing.T) {
+	// Classic hazard: both sites idle but a message is in the queue
+	// (sent counted, recv not). Termination must not fire.
+	det := termination.New(func() []termination.Probe {
+		return []termination.Probe{
+			{Sent: 10, Recv: 9, Idle: true},
+			{Sent: 0, Recv: 0, Idle: true},
+		}
+	})
+	det.Interval = 100 * time.Microsecond
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := det.Wait(ctx, nil); err == nil {
+		t.Fatal("in-flight message ignored")
+	}
+}
+
+func TestDetectorErrorPropagation(t *testing.T) {
+	det := termination.New(func() []termination.Probe {
+		return []termination.Probe{{Idle: false}}
+	})
+	det.Interval = 100 * time.Microsecond
+	wantErr := context.DeadlineExceeded
+	err := det.Wait(context.Background(), func() error { return wantErr })
+	if err != wantErr {
+		t.Fatalf("check error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,48 @@
+// Package testutil holds small helpers shared by the test suites.
+package testutil
+
+import (
+	"sync"
+	"time"
+)
+
+// Buf is a goroutine-safe output buffer: sites write to it from their
+// own goroutines while tests poll String.
+type Buf struct {
+	mu sync.Mutex
+	b  []byte
+}
+
+// Write implements io.Writer.
+func (s *Buf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.b = append(s.b, p...)
+	return len(p), nil
+}
+
+// String snapshots the contents.
+func (s *Buf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return string(s.b)
+}
+
+// Len reports the current size.
+func (s *Buf) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.b)
+}
+
+// Eventually polls cond until it holds or the deadline passes.
+func Eventually(cond func() bool, d time.Duration) bool {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return true
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return cond()
+}

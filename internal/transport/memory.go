@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Fabric is an in-process switch connecting memory transports. Each
+// directed (src,dst) pair is an independent link with the fabric's
+// link model: frames serialize onto the link in FIFO order (bandwidth)
+// and arrive one latency later, preserving per-link ordering — the
+// behaviour of a cut-through switch port.
+//
+// Delivery timing matters: the stock profiles have microsecond-scale
+// latencies, far below OS timer resolution, so the fabric runs a
+// delivery pump that coarse-sleeps until close to a frame's arrival
+// time and then busy-spins to the deadline.
+type Fabric struct {
+	model LinkModel
+
+	mu    sync.Mutex
+	nodes map[NodeID]*Mem
+	// nextFree tracks, per directed link, when its transmitter is
+	// available again (token-bucket style serialization).
+	nextFree map[[2]NodeID]time.Time
+	pq       deliveryQueue
+	seq      uint64
+	closed   bool
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+}
+
+type delivery struct {
+	at     time.Time
+	seq    uint64 // FIFO tie-break for equal arrival times
+	target *Mem
+	frame  []byte
+}
+
+type deliveryQueue []delivery
+
+func (q deliveryQueue) Len() int { return len(q) }
+func (q deliveryQueue) Less(i, j int) bool {
+	if !q[i].at.Equal(q[j].at) {
+		return q[i].at.Before(q[j].at)
+	}
+	return q[i].seq < q[j].seq
+}
+func (q deliveryQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *deliveryQueue) Push(x any)   { *q = append(*q, x.(delivery)) }
+func (q *deliveryQueue) Pop() (out any) {
+	old := *q
+	n := len(old)
+	out = old[n-1]
+	*q = old[:n-1]
+	return
+}
+
+// NewFabric creates a fabric with the given link model.
+func NewFabric(model LinkModel) *Fabric {
+	f := &Fabric{
+		model:    model,
+		nodes:    map[NodeID]*Mem{},
+		nextFree: map[[2]NodeID]time.Time{},
+		wake:     make(chan struct{}, 1),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	if model != (LinkModel{}) {
+		go f.pump()
+	} else {
+		close(f.done)
+	}
+	return f
+}
+
+// Attach connects a node to the fabric.
+func (f *Fabric) Attach(id NodeID) (*Mem, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errors.New("transport: fabric closed")
+	}
+	if _, dup := f.nodes[id]; dup {
+		return nil, fmt.Errorf("transport: node %d already attached", id)
+	}
+	m := &Mem{
+		fabric: f,
+		id:     id,
+		recv:   make(chan []byte, 4096),
+	}
+	f.nodes[id] = m
+	return m, nil
+}
+
+// Close shuts down the fabric and all attached transports.
+func (f *Fabric) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	for _, m := range f.nodes {
+		m.closeLocked()
+	}
+	f.mu.Unlock()
+	if f.model != (LinkModel{}) {
+		close(f.stop)
+	}
+	<-f.done
+	return nil
+}
+
+// deliver computes the arrival time for a frame and schedules it.
+func (f *Fabric) deliver(src, dst NodeID, frame []byte) error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return errors.New("transport: fabric closed")
+	}
+	target, ok := f.nodes[dst]
+	if !ok || target.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("transport: node %d not attached", dst)
+	}
+	if f.model == (LinkModel{}) {
+		f.mu.Unlock()
+		target.push(frame)
+		return nil
+	}
+	now := time.Now()
+	link := [2]NodeID{src, dst}
+	free := f.nextFree[link]
+	if free.Before(now) {
+		free = now
+	}
+	free = free.Add(f.model.PerMessage + f.model.TransmitTime(len(frame)))
+	f.nextFree[link] = free
+	f.seq++
+	heap.Push(&f.pq, delivery{at: free.Add(f.model.Latency), seq: f.seq, target: target, frame: frame})
+	f.mu.Unlock()
+	select {
+	case f.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// pump delivers queued frames at their arrival times: coarse timer
+// sleep while far out, busy-spin (yielding) inside the final window so
+// microsecond latencies are honoured.
+func (f *Fabric) pump() {
+	defer close(f.done)
+	const spinWindow = 500 * time.Microsecond
+	for {
+		f.mu.Lock()
+		if len(f.pq) == 0 {
+			f.mu.Unlock()
+			select {
+			case <-f.wake:
+				continue
+			case <-f.stop:
+				return
+			}
+		}
+		next := f.pq[0]
+		now := time.Now()
+		if wait := next.at.Sub(now); wait > spinWindow {
+			f.mu.Unlock()
+			t := time.NewTimer(wait - spinWindow/2)
+			select {
+			case <-t.C:
+			case <-f.wake:
+				t.Stop()
+			case <-f.stop:
+				t.Stop()
+				return
+			}
+			continue
+		}
+		heap.Pop(&f.pq)
+		f.mu.Unlock()
+		for time.Now().Before(next.at) {
+			runtime.Gosched()
+		}
+		next.target.push(next.frame)
+	}
+}
+
+// Mem is a memory transport endpoint.
+type Mem struct {
+	fabric *Fabric
+	id     NodeID
+	recv   chan []byte
+	stats  statsCell
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*Mem)(nil)
+
+// Self returns the node id.
+func (m *Mem) Self() NodeID { return m.id }
+
+// Send queues a frame for delivery.
+func (m *Mem) Send(dst NodeID, frame []byte) error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return errors.New("transport: closed")
+	}
+	m.mu.Unlock()
+	m.stats.sentFrames.Add(1)
+	m.stats.sentBytes.Add(uint64(len(frame)))
+	return m.fabric.deliver(m.id, dst, frame)
+}
+
+// Recv returns the incoming frame stream.
+func (m *Mem) Recv() <-chan []byte { return m.recv }
+
+// Stats returns transport counters.
+func (m *Mem) Stats() Stats { return m.stats.snapshot() }
+
+// push delivers a frame, dropping it if the endpoint closed.
+func (m *Mem) push(frame []byte) {
+	m.mu.Lock()
+	closed := m.closed
+	m.mu.Unlock()
+	if closed {
+		return
+	}
+	defer func() {
+		// The endpoint may close concurrently with a scheduled
+		// delivery; a send on the closed channel is translated into
+		// a silent drop, which is what a real NIC does.
+		_ = recover()
+	}()
+	m.stats.recvFrames.Add(1)
+	m.stats.recvBytes.Add(uint64(len(frame)))
+	m.recv <- frame
+}
+
+// Close detaches the endpoint.
+func (m *Mem) Close() error {
+	m.fabric.mu.Lock()
+	defer m.fabric.mu.Unlock()
+	m.closeLocked()
+	delete(m.fabric.nodes, m.id)
+	return nil
+}
+
+func (m *Mem) closeLocked() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	close(m.recv)
+}

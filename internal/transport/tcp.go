@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// maxTCPFrame bounds a single frame read from a socket.
+const maxTCPFrame = 64 << 20
+
+// TCP is a socket transport for multi-process deployment: one
+// listener per node, lazily dialed outgoing connections, 4-byte
+// big-endian length-prefixed frames. Peers are identified by NodeID
+// and located through a static address table — the paper's "static IP
+// topology" of nodes.
+type TCP struct {
+	self     NodeID
+	listener net.Listener
+	peers    map[NodeID]string
+	recv     chan []byte
+	stats    statsCell
+
+	mu    sync.Mutex
+	conns map[NodeID]*tcpPeer
+	// open tracks every live socket so Close can unblock the reader
+	// and writer goroutines.
+	open map[net.Conn]bool
+	done chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+type tcpPeer struct {
+	out chan []byte
+}
+
+var _ Transport = (*TCP)(nil)
+
+// NewTCP creates a TCP transport listening on listenAddr. peers maps
+// every other node's id to its listen address.
+func NewTCP(self NodeID, listenAddr string, peers map[NodeID]string) (*TCP, error) {
+	ln, err := net.Listen("tcp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", listenAddr, err)
+	}
+	t := &TCP{
+		self:     self,
+		listener: ln,
+		peers:    peers,
+		recv:     make(chan []byte, 4096),
+		conns:    map[NodeID]*tcpPeer{},
+		open:     map[net.Conn]bool{},
+		done:     make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCP) Addr() string { return t.listener.Addr().String() }
+
+// Self returns the node id.
+func (t *TCP) Self() NodeID { return t.self }
+
+// Recv returns the incoming frame stream.
+func (t *TCP) Recv() <-chan []byte { return t.recv }
+
+// Stats returns transport counters.
+func (t *TCP) Stats() Stats { return t.stats.snapshot() }
+
+// Send queues a frame for dst, dialing the peer if necessary.
+func (t *TCP) Send(dst NodeID, frame []byte) error {
+	t.mu.Lock()
+	p, ok := t.conns[dst]
+	if !ok {
+		addr, known := t.peers[dst]
+		if !known {
+			t.mu.Unlock()
+			return fmt.Errorf("transport: unknown node %d", dst)
+		}
+		p = &tcpPeer{out: make(chan []byte, 4096)}
+		t.conns[dst] = p
+		t.wg.Add(1)
+		go t.sendLoop(dst, addr, p)
+	}
+	t.mu.Unlock()
+	t.stats.sentFrames.Add(1)
+	t.stats.sentBytes.Add(uint64(len(frame)))
+	select {
+	case p.out <- frame:
+		return nil
+	case <-t.done:
+		return errors.New("transport: closed")
+	}
+}
+
+// Close shuts the transport down. It is idempotent.
+func (t *TCP) Close() error {
+	t.once.Do(func() {
+		close(t.done)
+		t.listener.Close()
+		t.mu.Lock()
+		for c := range t.open {
+			c.Close()
+		}
+		t.mu.Unlock()
+		t.wg.Wait()
+		close(t.recv)
+	})
+	return nil
+}
+
+// track registers a live socket; it reports false (and closes the
+// socket) when the transport is already shutting down.
+func (t *TCP) track(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	select {
+	case <-t.done:
+		c.Close()
+		return false
+	default:
+	}
+	t.open[c] = true
+	return true
+}
+
+// untrack forgets a closed socket.
+func (t *TCP) untrack(c net.Conn) {
+	t.mu.Lock()
+	delete(t.open, c)
+	t.mu.Unlock()
+}
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			select {
+			case <-t.done:
+				return
+			default:
+			}
+			// Transient accept failure: back off briefly.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		if !t.track(conn) {
+			return
+		}
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrack(conn)
+	defer conn.Close()
+	var hdr [4]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		n := binary.BigEndian.Uint32(hdr[:])
+		if n > maxTCPFrame {
+			return // protocol violation: drop the connection
+		}
+		frame := make([]byte, n)
+		if _, err := io.ReadFull(conn, frame); err != nil {
+			return
+		}
+		t.stats.recvFrames.Add(1)
+		t.stats.recvBytes.Add(uint64(n))
+		select {
+		case t.recv <- frame:
+		case <-t.done:
+			return
+		}
+	}
+}
+
+// sendLoop owns the outgoing connection to one peer, reconnecting
+// with backoff on failure. Frames queued while disconnected are
+// retained (bounded by the channel buffer).
+func (t *TCP) sendLoop(dst NodeID, addr string, p *tcpPeer) {
+	defer t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			t.untrack(conn)
+			conn.Close()
+		}
+	}()
+	backoff := 10 * time.Millisecond
+	var pending []byte
+	for {
+		if pending == nil {
+			select {
+			case f := <-p.out:
+				pending = f
+			case <-t.done:
+				return
+			}
+		}
+		if conn == nil {
+			c, err := net.DialTimeout("tcp", addr, 2*time.Second)
+			if err != nil {
+				select {
+				case <-time.After(backoff):
+				case <-t.done:
+					return
+				}
+				if backoff < time.Second {
+					backoff *= 2
+				}
+				continue
+			}
+			if !t.track(c) {
+				return
+			}
+			conn = c
+			backoff = 10 * time.Millisecond
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(pending)))
+		if _, err := conn.Write(hdr[:]); err != nil {
+			t.untrack(conn)
+			conn.Close()
+			conn = nil
+			continue
+		}
+		if _, err := conn.Write(pending); err != nil {
+			t.untrack(conn)
+			conn.Close()
+			conn = nil
+			continue
+		}
+		pending = nil
+	}
+}

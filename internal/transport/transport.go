@@ -1,0 +1,108 @@
+// Package transport moves opaque frames between DiTyCO nodes. Two
+// implementations are provided:
+//
+//   - Fabric/Mem: an in-process switch with a parametric link model
+//     (one-way latency, bandwidth, per-message overhead). The stock
+//     profiles model the paper's hardware platform (Fig. 1): a 1 Gb/s
+//     Myrinet switch for the compute interconnect and 100 Mb/s Fast
+//     Ethernet for the external network. Point-to-point links are
+//     independent, as in a switch ("packets do not have to hop through
+//     several intermediate nodes").
+//
+//   - TCP: real sockets for multi-process deployment (cmd/dityco).
+//
+// Frames are the byte encodings of wire.Envelope; the transport never
+// inspects them.
+package transport
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NodeID identifies a DiTyCO node (the role the IP address plays in
+// the paper's network references).
+type NodeID = uint32
+
+// Transport is a node's connection to the interconnect.
+type Transport interface {
+	// Self returns this node's id.
+	Self() NodeID
+	// Send queues a frame for asynchronous delivery to dst.
+	Send(dst NodeID, frame []byte) error
+	// Recv returns the stream of incoming frames. The channel is
+	// closed when the transport closes.
+	Recv() <-chan []byte
+	// Close releases resources; pending deliveries may be dropped.
+	Close() error
+}
+
+// Stats counts transport activity.
+type Stats struct {
+	SentFrames uint64
+	SentBytes  uint64
+	RecvFrames uint64
+	RecvBytes  uint64
+}
+
+type statsCell struct {
+	sentFrames atomic.Uint64
+	sentBytes  atomic.Uint64
+	recvFrames atomic.Uint64
+	recvBytes  atomic.Uint64
+}
+
+func (s *statsCell) snapshot() Stats {
+	return Stats{
+		SentFrames: s.sentFrames.Load(),
+		SentBytes:  s.sentBytes.Load(),
+		RecvFrames: s.recvFrames.Load(),
+		RecvBytes:  s.recvBytes.Load(),
+	}
+}
+
+// LinkModel describes a point-to-point link.
+type LinkModel struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BytesPerSec is the link bandwidth; 0 means infinite.
+	BytesPerSec float64
+	// PerMessage is a fixed per-frame processing overhead (daemon and
+	// NIC handling).
+	PerMessage time.Duration
+}
+
+// TransmitTime returns the serialization time of n bytes.
+func (l LinkModel) TransmitTime(n int) time.Duration {
+	if l.BytesPerSec <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / l.BytesPerSec * float64(time.Second))
+}
+
+// Stock link profiles. The numbers follow the paper's platform: a
+// 1 Gb/s Myrinet switch with microsecond-scale latency versus 100 Mb/s
+// Fast Ethernet with protocol-stack latencies two orders larger.
+var (
+	// Ideal is an infinitely fast interconnect (pure software cost).
+	Ideal = LinkModel{}
+	// Myrinet models the 1 Gb/s low-latency switch.
+	Myrinet = LinkModel{Latency: 10 * time.Microsecond, BytesPerSec: 125e6, PerMessage: 2 * time.Microsecond}
+	// FastEthernet models the 100 Mb/s commodity network.
+	FastEthernet = LinkModel{Latency: 100 * time.Microsecond, BytesPerSec: 12.5e6, PerMessage: 20 * time.Microsecond}
+)
+
+// Profile returns a stock link model by name ("ideal", "myrinet",
+// "fastether"); ok is false for unknown names.
+func Profile(name string) (LinkModel, bool) {
+	switch name {
+	case "ideal":
+		return Ideal, true
+	case "myrinet":
+		return Myrinet, true
+	case "fastether", "fastethernet", "ethernet":
+		return FastEthernet, true
+	default:
+		return LinkModel{}, false
+	}
+}

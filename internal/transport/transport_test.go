@@ -1,0 +1,282 @@
+package transport_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+func TestMemBasicDelivery(t *testing.T) {
+	f := transport.NewFabric(transport.Ideal)
+	defer f.Close()
+	a, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(2, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.Recv():
+		if string(got) != "hello" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("frame never arrived")
+	}
+	st := a.Stats()
+	if st.SentFrames != 1 || st.SentBytes != 5 {
+		t.Fatalf("sender stats %+v", st)
+	}
+	if st := b.Stats(); st.RecvFrames != 1 {
+		t.Fatalf("receiver stats %+v", st)
+	}
+}
+
+func TestMemPerLinkOrdering(t *testing.T) {
+	f := transport.NewFabric(transport.Myrinet)
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case got := <-b.Recv():
+			if got[0] != byte(i) {
+				t.Fatalf("frame %d arrived out of order (got %d)", i, got[0])
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}
+
+func TestMemLatencyModel(t *testing.T) {
+	model := transport.LinkModel{Latency: 2 * time.Millisecond}
+	f := transport.NewFabric(model)
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	start := time.Now()
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	<-b.Recv()
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("frame arrived after %v, before the modelled latency", elapsed)
+	}
+}
+
+func TestMemBandwidthSerializes(t *testing.T) {
+	// 10 KB/s: a 100-byte frame takes 10ms to transmit; five frames
+	// back to back must take ≥ 40ms beyond the first arrival.
+	model := transport.LinkModel{BytesPerSec: 10_000}
+	f := transport.NewFabric(model)
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	payload := make([]byte, 100)
+	start := time.Now()
+	for i := 0; i < 5; i++ {
+		if err := a.Send(2, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		<-b.Recv()
+	}
+	if elapsed := time.Since(start); elapsed < 45*time.Millisecond {
+		t.Fatalf("5×100B over 10KB/s took only %v", elapsed)
+	}
+}
+
+func TestMemIndependentLinks(t *testing.T) {
+	// A slow transfer on link 1→2 must not delay 3→2 (switch
+	// semantics: point-to-point links are independent).
+	model := transport.LinkModel{BytesPerSec: 10_000}
+	f := transport.NewFabric(model)
+	defer f.Close()
+	a, _ := f.Attach(1)
+	b, _ := f.Attach(2)
+	c, _ := f.Attach(3)
+	if err := a.Send(2, make([]byte, 2000)); err != nil { // 200ms transmit on 1→2
+		t.Fatal(err)
+	}
+	time.Sleep(time.Millisecond)
+	start := time.Now()
+	if err := c.Send(2, []byte("quick")); err != nil {
+		t.Fatal(err)
+	}
+	got := <-b.Recv()
+	if string(got) != "quick" {
+		t.Fatalf("expected the quick frame first, got %d bytes", len(got))
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("independent link was delayed %v", elapsed)
+	}
+}
+
+func TestMemUnknownNode(t *testing.T) {
+	f := transport.NewFabric(transport.Ideal)
+	defer f.Close()
+	a, _ := f.Attach(1)
+	if err := a.Send(99, []byte("x")); err == nil {
+		t.Fatal("send to unknown node should fail")
+	}
+}
+
+func TestMemDuplicateAttach(t *testing.T) {
+	f := transport.NewFabric(transport.Ideal)
+	defer f.Close()
+	if _, err := f.Attach(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Attach(1); err == nil {
+		t.Fatal("duplicate attach should fail")
+	}
+}
+
+func TestMemCloseStopsDelivery(t *testing.T) {
+	f := transport.NewFabric(transport.Ideal)
+	a, _ := f.Attach(1)
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(1, []byte("x")); err == nil {
+		t.Fatal("send after close should fail")
+	}
+}
+
+func TestProfiles(t *testing.T) {
+	for _, name := range []string{"ideal", "myrinet", "fastether"} {
+		if _, ok := transport.Profile(name); !ok {
+			t.Errorf("profile %q missing", name)
+		}
+	}
+	if _, ok := transport.Profile("carrier-pigeon"); ok {
+		t.Error("unknown profile accepted")
+	}
+	if tt := transport.Myrinet.TransmitTime(125); tt != time.Microsecond {
+		t.Errorf("125B on 125MB/s = %v, want 1µs", tt)
+	}
+	if tt := transport.Ideal.TransmitTime(1 << 20); tt != 0 {
+		t.Errorf("ideal transmit time = %v", tt)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	t1, err := transport.NewTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := transport.NewTCP(2, "127.0.0.1:0", map[uint32]string{1: t1.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+
+	if err := t2.Send(1, []byte("over tcp")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-t1.Recv():
+		if string(got) != "over tcp" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("frame never arrived over TCP")
+	}
+}
+
+func TestTCPManyFramesOrdered(t *testing.T) {
+	t1, err := transport.NewTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	t2, err := transport.NewTCP(2, "127.0.0.1:0", map[uint32]string{1: t1.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+	const n = 500
+	go func() {
+		for i := 0; i < n; i++ {
+			_ = t2.Send(1, []byte(fmt.Sprintf("frame-%04d", i)))
+		}
+	}()
+	for i := 0; i < n; i++ {
+		select {
+		case got := <-t1.Recv():
+			if string(got) != fmt.Sprintf("frame-%04d", i) {
+				t.Fatalf("frame %d out of order: %q", i, got)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("frame %d never arrived", i)
+		}
+	}
+}
+
+func TestTCPUnknownPeer(t *testing.T) {
+	t1, err := transport.NewTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1.Close()
+	if err := t1.Send(42, []byte("x")); err == nil {
+		t.Fatal("send to unknown peer should fail")
+	}
+}
+
+func TestTCPReconnect(t *testing.T) {
+	// The receiving endpoint restarts; the sender must reconnect and
+	// deliver queued frames.
+	t1, err := transport.NewTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := t1.Addr()
+	t2, err := transport.NewTCP(2, "127.0.0.1:0", map[uint32]string{1: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t2.Close()
+
+	if err := t2.Send(1, []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	<-t1.Recv()
+	t1.Close()
+
+	// Queue a frame while the peer is down, then bring it back on the
+	// same address.
+	if err := t2.Send(1, []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(50 * time.Millisecond)
+	t1b, err := transport.NewTCP(1, addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer t1b.Close()
+	select {
+	case got := <-t1b.Recv():
+		if string(got) != "second" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame lost across reconnect")
+	}
+}

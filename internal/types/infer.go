@@ -1,0 +1,532 @@
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/calc"
+)
+
+// Info is the result of a successful check: the signatures of the
+// identifiers the program exports. Sites register these with the name
+// service so that remote interactions can be checked dynamically (the
+// dynamic half of the paper's checking scheme).
+type Info struct {
+	ExportedNames   map[string]Type
+	ExportedClasses map[string]*Scheme
+	// importedNames accumulates the inferred channel type of every
+	// import occurrence, keyed by (site, name); ImportedNameSigs
+	// turns them into protocol signatures for the dynamic check.
+	importedNames map[ImportKey][]Type
+}
+
+// Check type-checks a program. Lets are desugared first so the
+// checker sees only core constructs (plus conditionals and print).
+func Check(p calc.Proc) (*Info, error) {
+	var fr calc.FreshNames
+	p = calc.Desugar(p, &fr)
+	c := &checker{
+		info: &Info{
+			ExportedNames:   map[string]Type{},
+			ExportedClasses: map[string]*Scheme{},
+			importedNames:   map[ImportKey][]Type{},
+		},
+	}
+	if err := c.proc(p, nil, nil); err != nil {
+		return nil, err
+	}
+	if err := c.resolveConstraints(); err != nil {
+		return nil, err
+	}
+	return c.info, nil
+}
+
+// venv is a chained value environment.
+type venv struct {
+	name string
+	t    Type
+	next *venv
+}
+
+func (e *venv) bind(name string, t Type) *venv {
+	return &venv{name: name, t: t, next: e}
+}
+
+func (e *venv) lookup(name string) (Type, bool) {
+	for f := e; f != nil; f = f.next {
+		if f.name == name {
+			return f.t, true
+		}
+	}
+	return nil, false
+}
+
+// cenv is a chained class environment.
+type cenv struct {
+	name   string
+	scheme *Scheme
+	next   *cenv
+}
+
+func (e *cenv) bind(name string, s *Scheme) *cenv {
+	return &cenv{name: name, scheme: s, next: e}
+}
+
+func (e *cenv) lookup(name string) (*Scheme, bool) {
+	for f := e; f != nil; f = f.next {
+		if f.name == name {
+			return f.scheme, true
+		}
+	}
+	return nil, false
+}
+
+// constraintKind classifies the deferred builtin-operator constraints.
+type constraintKind int
+
+const (
+	cNum constraintKind = iota // int or float
+	cOrd                       // int, float or string
+	cAdd                       // int, float or string (+)
+)
+
+type constraint struct {
+	kind constraintKind
+	t    Type
+	at   calc.Pos
+}
+
+type checker struct {
+	u           unifier
+	info        *Info
+	constraints []constraint
+}
+
+// constrainedVars is the set of variables mentioned by pending
+// constraints; they are kept monomorphic (never generalized) so that
+// later unifications can still pin them down, OCaml-weak-variable
+// style, before final defaulting.
+func (c *checker) constrainedVars() map[*Var]bool {
+	out := map[*Var]bool{}
+	for _, con := range c.constraints {
+		if v, ok := Resolve(con.t).(*Var); ok {
+			out[v] = true
+		}
+	}
+	return out
+}
+
+// resolveConstraints defaults still-unbound constrained variables to
+// int and verifies every constraint.
+func (c *checker) resolveConstraints() error {
+	for _, con := range c.constraints {
+		t := Resolve(con.t)
+		if v, ok := t.(*Var); ok {
+			v.Ref = Int
+			t = Int
+		}
+		b, ok := t.(Basic)
+		if !ok {
+			return errf(con.at, "operator requires a basic type, got %s", String(t))
+		}
+		switch con.kind {
+		case cNum:
+			if b != Int && b != Float {
+				return errf(con.at, "operator requires int or float, got %s", String(b))
+			}
+		case cOrd, cAdd:
+			if b != Int && b != Float && b != Str {
+				return errf(con.at, "operator requires int, float or string, got %s", String(b))
+			}
+		}
+	}
+	c.constraints = nil
+	return nil
+}
+
+func (c *checker) proc(p calc.Proc, vars *venv, classes *cenv) error {
+	switch p := p.(type) {
+	case *calc.Nil:
+		return nil
+	case *calc.Par:
+		if err := c.proc(p.Left, vars, classes); err != nil {
+			return err
+		}
+		return c.proc(p.Right, vars, classes)
+	case *calc.New:
+		return c.checkNew(p.Names, p.Body, p.Pos(), vars, classes, false)
+	case *calc.ExportNew:
+		return c.checkNew(p.Names, p.Body, p.Pos(), vars, classes, true)
+	case *calc.Msg:
+		target, err := c.lookupName(p.Target, p.Pos(), vars)
+		if err != nil {
+			return err
+		}
+		args := make([]Type, len(p.Args))
+		for i, a := range p.Args {
+			t, err := c.expr(a, vars)
+			if err != nil {
+				return err
+			}
+			args[i] = t
+		}
+		want := &Chan{Methods: map[string][]Type{p.Label: args}, Rest: c.u.freshRow()}
+		return c.u.Unify(target, want, p.Pos())
+	case *calc.Object:
+		target, err := c.lookupName(p.Target, p.Pos(), vars)
+		if err != nil {
+			return err
+		}
+		methods := map[string][]Type{}
+		for _, m := range p.Methods {
+			if _, dup := methods[m.Label]; dup {
+				return errf(m.At, "duplicate method label %q", m.Label)
+			}
+			params := make([]Type, len(m.Params))
+			inner := vars
+			for i, name := range m.Params {
+				params[i] = c.u.freshVar()
+				inner = inner.bind(name, params[i])
+			}
+			methods[m.Label] = params
+			if err := c.proc(m.Body, inner, classes); err != nil {
+				return err
+			}
+		}
+		// The object fixes the channel's full method suite: closed row.
+		return c.u.Unify(target, &Chan{Methods: methods}, p.Pos())
+	case *calc.Inst:
+		if p.Class.Loc() {
+			return errf(p.Pos(), "located class %s in source program (use import)", p.Class)
+		}
+		scheme, ok := classes.lookup(p.Class.Name)
+		if !ok {
+			return errf(p.Pos(), "unbound class %s", p.Class.Name)
+		}
+		args := make([]Type, len(p.Args))
+		for i, a := range p.Args {
+			t, err := c.expr(a, vars)
+			if err != nil {
+				return err
+			}
+			args[i] = t
+		}
+		if scheme.Dynamic {
+			// Imported class: signature unknown until fetched;
+			// arity and argument types are checked dynamically.
+			return nil
+		}
+		params := c.instantiate(scheme)
+		if len(params) != len(args) {
+			return errf(p.Pos(), "class %s expects %d arguments, got %d", p.Class.Name, len(params), len(args))
+		}
+		for i := range args {
+			if err := c.u.Unify(params[i], args[i], p.Pos()); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *calc.Def:
+		inner, err := c.checkDefs(p.Defs, vars, classes, false)
+		if err != nil {
+			return err
+		}
+		return c.proc(p.Body, vars, inner)
+	case *calc.ExportDef:
+		inner, err := c.checkDefs(p.Defs, vars, classes, true)
+		if err != nil {
+			return err
+		}
+		return c.proc(p.Body, vars, inner)
+	case *calc.If:
+		t, err := c.expr(p.Cond, vars)
+		if err != nil {
+			return err
+		}
+		if err := c.u.Unify(t, Bool, p.Pos()); err != nil {
+			return err
+		}
+		if err := c.proc(p.Then, vars, classes); err != nil {
+			return err
+		}
+		return c.proc(p.Else, vars, classes)
+	case *calc.ImportName:
+		// The imported name is a channel with an as-yet unknown
+		// interface; uses constrain it, and the site checks the
+		// accumulated interface against the exporter's at link time.
+		t := &Chan{Methods: map[string][]Type{}, Rest: c.u.freshRow()}
+		k := ImportKey{Site: p.Site, Name: p.Name}
+		c.info.importedNames[k] = append(c.info.importedNames[k], t)
+		return c.proc(p.Body, vars.bind(p.Name, t), classes)
+	case *calc.ImportClass:
+		return c.proc(p.Body, vars, classes.bind(p.Class, &Scheme{Dynamic: true}))
+	case *calc.Print:
+		for _, a := range p.Args {
+			if _, err := c.expr(a, vars); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *calc.Let:
+		return errf(p.Pos(), "internal: let not desugared before type checking")
+	default:
+		return errf(p.Pos(), "internal: unknown process %T", p)
+	}
+}
+
+func (c *checker) checkNew(names []string, body calc.Proc, at calc.Pos, vars *venv, classes *cenv, export bool) error {
+	binds := make([]Type, len(names))
+	for i, n := range names {
+		t := &Chan{Methods: map[string][]Type{}, Rest: c.u.freshRow()}
+		binds[i] = t
+		vars = vars.bind(n, t)
+	}
+	if err := c.proc(body, vars, classes); err != nil {
+		return err
+	}
+	if export {
+		for i, n := range names {
+			if _, dup := c.info.ExportedNames[n]; dup {
+				return errf(at, "name %q exported more than once", n)
+			}
+			c.info.ExportedNames[n] = binds[i]
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkDefs(defs []calc.ClassDef, vars *venv, classes *cenv, export bool) (*cenv, error) {
+	// Monomorphic recursion inside the group: bind each class to a
+	// scheme with no generic variables while checking the bodies.
+	c.u.level++
+	paramTypes := make([][]Type, len(defs))
+	group := classes
+	for i, d := range defs {
+		params := make([]Type, len(d.Params))
+		for j := range d.Params {
+			params[j] = c.u.freshVar()
+		}
+		paramTypes[i] = params
+		group = group.bind(d.Name, &Scheme{Params: params})
+	}
+	for i, d := range defs {
+		inner := vars
+		seen := map[string]bool{}
+		for j, name := range d.Params {
+			if seen[name] {
+				return nil, errf(d.At, "duplicate parameter %q in class %s", name, d.Name)
+			}
+			seen[name] = true
+			inner = inner.bind(name, paramTypes[i][j])
+		}
+		if err := c.proc(d.Body, inner, group); err != nil {
+			return nil, err
+		}
+	}
+	c.u.level--
+	// Generalize: rebind each class to its quantified scheme.
+	out := classes
+	weak := c.constrainedVars()
+	for i, d := range defs {
+		s := c.generalize(paramTypes[i], weak)
+		out = out.bind(d.Name, s)
+		if export {
+			if _, dup := c.info.ExportedClasses[d.Name]; dup {
+				return nil, errf(d.At, "class %q exported more than once", d.Name)
+			}
+			c.info.ExportedClasses[d.Name] = s
+		}
+	}
+	return out, nil
+}
+
+// generalize quantifies the variables of params deeper than the
+// current level, excluding weak (constrained) variables.
+func (c *checker) generalize(params []Type, weak map[*Var]bool) *Scheme {
+	s := &Scheme{Params: params}
+	seenV := map[*Var]bool{}
+	seenR := map[*RowVar]bool{}
+	var walk func(t Type)
+	walk = func(t Type) {
+		switch t := Resolve(t).(type) {
+		case *Var:
+			if t.Level > c.u.level && !weak[t] && !seenV[t] {
+				seenV[t] = true
+				s.Generic = append(s.Generic, t)
+			}
+		case *Chan:
+			ch := resolveChan(t)
+			for _, args := range ch.Methods {
+				for _, a := range args {
+					walk(a)
+				}
+			}
+			if ch.Rest != nil && ch.Rest.Level > c.u.level && !seenR[ch.Rest] {
+				seenR[ch.Rest] = true
+				s.RowGen = append(s.RowGen, ch.Rest)
+			}
+		}
+	}
+	for _, p := range params {
+		walk(p)
+	}
+	return s
+}
+
+// instantiate takes a fresh copy of a scheme's parameter types,
+// replacing generic variables with fresh ones.
+func (c *checker) instantiate(s *Scheme) []Type {
+	if len(s.Generic) == 0 && len(s.RowGen) == 0 {
+		return s.Params
+	}
+	vmap := make(map[*Var]*Var, len(s.Generic))
+	for _, g := range s.Generic {
+		vmap[g] = c.u.freshVar()
+	}
+	rmap := make(map[*RowVar]*RowVar, len(s.RowGen))
+	for _, g := range s.RowGen {
+		rmap[g] = c.u.freshRow()
+	}
+	var cp func(t Type) Type
+	cp = func(t Type) Type {
+		switch t := Resolve(t).(type) {
+		case *Var:
+			if f, ok := vmap[t]; ok {
+				return f
+			}
+			return t
+		case *Chan:
+			ch := resolveChan(t)
+			changed := false
+			methods := make(map[string][]Type, len(ch.Methods))
+			for l, args := range ch.Methods {
+				out := make([]Type, len(args))
+				for i, a := range args {
+					out[i] = cp(a)
+					if out[i] != Resolve(a) {
+						changed = true
+					}
+				}
+				methods[l] = out
+			}
+			rest := ch.Rest
+			if rest != nil {
+				if f, ok := rmap[rest]; ok {
+					rest = f
+					changed = true
+				}
+			}
+			if !changed {
+				return ch
+			}
+			return &Chan{Methods: methods, Rest: rest}
+		default:
+			return t
+		}
+	}
+	out := make([]Type, len(s.Params))
+	for i, p := range s.Params {
+		out[i] = cp(p)
+	}
+	return out
+}
+
+func (c *checker) lookupName(id calc.Ident, at calc.Pos, vars *venv) (Type, error) {
+	if id.Loc() {
+		return nil, errf(at, "located name %s in source program (use import)", id)
+	}
+	t, ok := vars.lookup(id.Name)
+	if !ok {
+		return nil, errf(at, "unbound name %s", id.Name)
+	}
+	return t, nil
+}
+
+func (c *checker) expr(e calc.Expr, vars *venv) (Type, error) {
+	switch e := e.(type) {
+	case *calc.Var:
+		return c.lookupName(e.Id, e.Pos(), vars)
+	case *calc.IntLit:
+		return Int, nil
+	case *calc.FloatLit:
+		return Float, nil
+	case *calc.StrLit:
+		return Str, nil
+	case *calc.BoolLit:
+		return Bool, nil
+	case *calc.Unary:
+		t, err := c.expr(e.E, vars)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case calc.OpNot:
+			if err := c.u.Unify(t, Bool, e.Pos()); err != nil {
+				return nil, err
+			}
+			return Bool, nil
+		case calc.OpNeg:
+			c.constraints = append(c.constraints, constraint{kind: cNum, t: t, at: e.Pos()})
+			return t, nil
+		}
+		return nil, errf(e.Pos(), "internal: unknown unary operator %s", e.Op)
+	case *calc.Binary:
+		l, err := c.expr(e.L, vars)
+		if err != nil {
+			return nil, err
+		}
+		r, err := c.expr(e.R, vars)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case calc.OpAdd:
+			if err := c.u.Unify(l, r, e.Pos()); err != nil {
+				return nil, err
+			}
+			c.constraints = append(c.constraints, constraint{kind: cAdd, t: l, at: e.Pos()})
+			return l, nil
+		case calc.OpSub, calc.OpMul, calc.OpDiv:
+			if err := c.u.Unify(l, r, e.Pos()); err != nil {
+				return nil, err
+			}
+			c.constraints = append(c.constraints, constraint{kind: cNum, t: l, at: e.Pos()})
+			return l, nil
+		case calc.OpMod:
+			if err := c.u.Unify(l, Int, e.Pos()); err != nil {
+				return nil, err
+			}
+			if err := c.u.Unify(r, Int, e.Pos()); err != nil {
+				return nil, err
+			}
+			return Int, nil
+		case calc.OpEq, calc.OpNe:
+			if err := c.u.Unify(l, r, e.Pos()); err != nil {
+				return nil, err
+			}
+			return Bool, nil
+		case calc.OpLt, calc.OpLe, calc.OpGt, calc.OpGe:
+			if err := c.u.Unify(l, r, e.Pos()); err != nil {
+				return nil, err
+			}
+			c.constraints = append(c.constraints, constraint{kind: cOrd, t: l, at: e.Pos()})
+			return Bool, nil
+		case calc.OpAnd, calc.OpOr:
+			if err := c.u.Unify(l, Bool, e.Pos()); err != nil {
+				return nil, err
+			}
+			if err := c.u.Unify(r, Bool, e.Pos()); err != nil {
+				return nil, err
+			}
+			return Bool, nil
+		}
+		return nil, errf(e.Pos(), "internal: unknown binary operator %s", e.Op)
+	default:
+		return nil, errf(e.Pos(), "internal: unknown expression %T", e)
+	}
+}
+
+// CheckSource is a convenience: parse errors and type errors share a
+// formatting path in the tools.
+func (i *Info) String() string {
+	return fmt.Sprintf("exports: %d names, %d classes", len(i.ExportedNames), len(i.ExportedClasses))
+}

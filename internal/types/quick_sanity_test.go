@@ -1,0 +1,50 @@
+package types_test
+
+import (
+	"testing"
+
+	"repro/internal/syntax"
+	"repro/internal/types"
+)
+
+func check(t *testing.T, src string) error {
+	t.Helper()
+	p, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = types.Check(p)
+	return err
+}
+
+func TestSanityPolymorphicCell(t *testing.T) {
+	src := `
+def Cell(self, v) =
+  self ? { read(r) = r![v] | Cell[self, v],
+           write(u) = Cell[self, u] }
+in new x new y (Cell[x, 9] | Cell[y, true] |
+   new z (x!read[z] | z?(w) = println(w + 1)) |
+   new q (y!read[q] | q?(b) = if b then println("yes") else println("no")))
+`
+	if err := check(t, src); err != nil {
+		t.Fatalf("expected well-typed, got %v", err)
+	}
+}
+
+func TestSanityLabelMismatch(t *testing.T) {
+	src := `new x (x!read[] | x?{ write(u) = inaction })`
+	if err := check(t, src); err == nil {
+		t.Fatal("expected type error for missing method")
+	} else {
+		t.Log(err)
+	}
+}
+
+func TestSanityArithMismatch(t *testing.T) {
+	src := `println(1 + "a")`
+	if err := check(t, src); err == nil {
+		t.Fatal("expected type error for 1 + \"a\"")
+	} else {
+		t.Log(err)
+	}
+}

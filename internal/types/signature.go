@@ -1,0 +1,192 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Protocol signatures are the wire-level summary of a type used by the
+// dynamic half of the paper's checking scheme: when identifiers cross
+// site boundaries, the importer's intended use is checked against the
+// exporter's declared interface. A name signature lists the methods
+// and arities of a channel ("read/1 write/2"); a class signature is
+// its parameter count ("class/3"). The empty signature means
+// "unknown" and is compatible with anything (fully dynamic fallback).
+
+// NameSignature renders a channel type's method suite.
+func NameSignature(t Type) string {
+	c, ok := Resolve(t).(*Chan)
+	if !ok {
+		return ""
+	}
+	c = resolveChan(c)
+	parts := make([]string, 0, len(c.Methods))
+	for l, args := range c.Methods {
+		parts = append(parts, l+"/"+strconv.Itoa(len(args)))
+	}
+	sort.Strings(parts)
+	s := strings.Join(parts, " ")
+	if c.Rest != nil {
+		// Open row: the importer may only rely on the listed
+		// methods; mark it partial.
+		if s != "" {
+			s += " "
+		}
+		s += "..."
+	}
+	return s
+}
+
+// ClassSignature renders a class scheme's arity.
+func ClassSignature(s *Scheme) string {
+	if s == nil || s.Dynamic {
+		return ""
+	}
+	return "class/" + strconv.Itoa(len(s.Params))
+}
+
+// parseSig parses "l/2 m/0 [...]" into a method→arity map and an
+// open-row flag.
+func parseSig(sig string) (map[string]int, bool, error) {
+	methods := map[string]int{}
+	open := false
+	for _, part := range strings.Fields(sig) {
+		if part == "..." {
+			open = true
+			continue
+		}
+		slash := strings.LastIndexByte(part, '/')
+		if slash < 0 {
+			return nil, false, fmt.Errorf("types: malformed signature element %q", part)
+		}
+		n, err := strconv.Atoi(part[slash+1:])
+		if err != nil {
+			return nil, false, fmt.Errorf("types: malformed arity in %q", part)
+		}
+		methods[part[:slash]] = n
+	}
+	return methods, open, nil
+}
+
+// CheckNameCompatible verifies that a use described by required (the
+// importer's inferred interface, typically an open row) is served by
+// provided (the exporter's declared interface). Empty signatures are
+// fully dynamic and always pass.
+func CheckNameCompatible(required, provided string) error {
+	if required == "" || provided == "" {
+		return nil
+	}
+	req, _, err := parseSig(required)
+	if err != nil {
+		return err
+	}
+	prov, provOpen, err := parseSig(provided)
+	if err != nil {
+		return err
+	}
+	for l, n := range req {
+		pn, ok := prov[l]
+		if !ok {
+			if provOpen {
+				continue // exporter interface not fully known
+			}
+			return fmt.Errorf("types: remote protocol error: exporter provides no method %q (has: %s)", l, provided)
+		}
+		if pn != n {
+			return fmt.Errorf("types: remote protocol error: method %q has arity %d at exporter, used with %d", l, pn, n)
+		}
+	}
+	return nil
+}
+
+// CheckClassCompatible verifies an imported class use against the
+// exporter's signature: nargs is how many arguments an instantiation
+// supplies; provided is the exporter's "class/N" signature.
+func CheckClassCompatible(nargs int, provided string) error {
+	if provided == "" {
+		return nil
+	}
+	var n int
+	if _, err := fmt.Sscanf(provided, "class/%d", &n); err != nil {
+		return fmt.Errorf("types: malformed class signature %q", provided)
+	}
+	if nargs != n {
+		return fmt.Errorf("types: remote protocol error: class expects %d arguments, instantiated with %d", n, nargs)
+	}
+	return nil
+}
+
+// ImportKey identifies an imported identifier.
+type ImportKey struct {
+	Site string
+	Name string
+}
+
+// ImportUse records the interface a program requires of an import.
+type ImportUse struct {
+	Key ImportKey
+	Sig string
+}
+
+// ImportedNameSigs extracts, after Check, the accumulated interface of
+// every imported name (merging multiple imports of the same
+// identifier).
+func (i *Info) ImportedNameSigs() []ImportUse {
+	merged := map[ImportKey]map[string]int{}
+	for k, ts := range i.importedNames {
+		m := merged[k]
+		if m == nil {
+			m = map[string]int{}
+			merged[k] = m
+		}
+		for _, t := range ts {
+			c, ok := Resolve(t).(*Chan)
+			if !ok {
+				continue
+			}
+			c = resolveChan(c)
+			for l, args := range c.Methods {
+				m[l] = len(args)
+			}
+		}
+	}
+	out := make([]ImportUse, 0, len(merged))
+	for k, m := range merged {
+		parts := make([]string, 0, len(m))
+		for l, n := range m {
+			parts = append(parts, l+"/"+strconv.Itoa(n))
+		}
+		sort.Strings(parts)
+		sig := strings.Join(parts, " ")
+		if sig != "" {
+			sig += " "
+		}
+		sig += "..." // importer rows are always partial knowledge
+		out = append(out, ImportUse{Key: k, Sig: sig})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Key.Site != out[b].Key.Site {
+			return out[a].Key.Site < out[b].Key.Site
+		}
+		return out[a].Key.Name < out[b].Key.Name
+	})
+	return out
+}
+
+// ExportSigs renders the exported interfaces as signatures keyed by
+// exported name (names and classes share the namespace of exports in
+// the name service's IdTable, so collisions are the exporter's
+// responsibility).
+func (i *Info) ExportSigs() (names map[string]string, classes map[string]string) {
+	names = make(map[string]string, len(i.ExportedNames))
+	for n, t := range i.ExportedNames {
+		names[n] = NameSignature(t)
+	}
+	classes = make(map[string]string, len(i.ExportedClasses))
+	for n, s := range i.ExportedClasses {
+		classes[n] = ClassSignature(s)
+	}
+	return names, classes
+}

@@ -1,0 +1,200 @@
+// Package types implements the Damas–Milner polymorphic type system of
+// TyCO (paper section 2: "TyCO features a (Damas-Milner) polymorphic
+// type-system"). Channel types are row-polymorphic method records
+// ^{l1:(T…), …}: a message x!l[v…] requires the channel to carry at
+// least method l (an open row), while an object x?{…} determines the
+// channel's full method suite (a closed row). Class definitions are
+// generalized; instantiations take fresh instances — this is what
+// makes the paper's Cell example polymorphic in the cell contents.
+//
+// The package is the static half of the checking scheme announced in
+// the paper's conclusions ("a type checking scheme that ensures that
+// no type mismatch or protocol errors occur in remote interactions.
+// The scheme combines both static and dynamic type checking"): the
+// dynamic half lives in internal/site, which checks signatures when
+// identifiers and classes cross site boundaries.
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is a TyCO type.
+type Type interface {
+	isType()
+}
+
+// Basic is a builtin base type.
+type Basic int
+
+// Base types.
+const (
+	Int Basic = iota
+	Float
+	Bool
+	Str
+)
+
+func (Basic) isType() {}
+
+func (b Basic) String() string {
+	switch b {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case Bool:
+		return "bool"
+	case Str:
+		return "string"
+	default:
+		return fmt.Sprintf("basic(%d)", int(b))
+	}
+}
+
+// Var is a unifiable type variable.
+type Var struct {
+	ID  int
+	Ref Type // non-nil when bound
+	// Level is the let-nesting level at which the variable was
+	// created; generalization only quantifies variables deeper than
+	// the current level (the standard efficient Damas–Milner).
+	Level int
+}
+
+func (*Var) isType() {}
+
+// Chan is a channel (object) type: a record of method signatures.
+type Chan struct {
+	// Methods maps each label to its argument types.
+	Methods map[string][]Type
+	// Rest is nil for a closed row (the full method suite is known,
+	// e.g. from an object), or a row variable that may acquire more
+	// methods (e.g. a channel only used for sends).
+	Rest *RowVar
+}
+
+func (*Chan) isType() {}
+
+// RowVar is a unifiable row variable: the "rest" of a method record.
+type RowVar struct {
+	ID    int
+	Ref   *Chan // non-nil when bound to more fields (and a new rest)
+	Level int
+}
+
+// Scheme is a polymorphic type scheme for a class: parameters
+// quantified over the generic variables. Dynamic schemes come from
+// imported classes, whose signature is only known once the code is
+// fetched; their instantiations are checked dynamically (paper §7).
+type Scheme struct {
+	Params  []Type
+	Generic []*Var
+	RowGen  []*RowVar
+	Dynamic bool
+}
+
+// Resolve follows variable bindings to the representative type.
+func Resolve(t Type) Type {
+	for {
+		v, ok := t.(*Var)
+		if !ok || v.Ref == nil {
+			return t
+		}
+		t = v.Ref
+	}
+}
+
+// resolveChan normalizes a channel type by flattening bound row
+// variables into the method map.
+func resolveChan(c *Chan) *Chan {
+	if c.Rest == nil || c.Rest.Ref == nil {
+		return c
+	}
+	out := &Chan{Methods: map[string][]Type{}}
+	cur := c
+	for {
+		for l, ts := range cur.Methods {
+			out.Methods[l] = ts
+		}
+		if cur.Rest == nil {
+			out.Rest = nil
+			return out
+		}
+		if cur.Rest.Ref == nil {
+			out.Rest = cur.Rest
+			return out
+		}
+		cur = cur.Rest.Ref
+	}
+}
+
+// String renders a type for error messages.
+func String(t Type) string {
+	var b strings.Builder
+	write(&b, t, map[*Var]string{}, map[*RowVar]string{}, new(int))
+	return b.String()
+}
+
+func write(b *strings.Builder, t Type, names map[*Var]string, rows map[*RowVar]string, n *int) {
+	t = Resolve(t)
+	switch t := t.(type) {
+	case Basic:
+		b.WriteString(t.String())
+	case *Var:
+		name, ok := names[t]
+		if !ok {
+			name = varName(*n)
+			*n++
+			names[t] = name
+		}
+		b.WriteString(name)
+	case *Chan:
+		t = resolveChan(t)
+		b.WriteString("^{")
+		labels := make([]string, 0, len(t.Methods))
+		for l := range t.Methods {
+			labels = append(labels, l)
+		}
+		sort.Strings(labels)
+		for i, l := range labels {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(l)
+			b.WriteString(": (")
+			for j, a := range t.Methods[l] {
+				if j > 0 {
+					b.WriteString(", ")
+				}
+				write(b, a, names, rows, n)
+			}
+			b.WriteString(")")
+		}
+		if t.Rest != nil {
+			if len(t.Methods) > 0 {
+				b.WriteString(", ")
+			}
+			name, ok := rows[t.Rest]
+			if !ok {
+				name = "…" + varName(*n)
+				*n++
+				rows[t.Rest] = name
+			}
+			b.WriteString(name)
+		}
+		b.WriteString("}")
+	default:
+		fmt.Fprintf(b, "<?%T>", t)
+	}
+}
+
+func varName(i int) string {
+	s := string(rune('a' + i%26))
+	if i >= 26 {
+		s += fmt.Sprint(i / 26)
+	}
+	return "'" + s
+}

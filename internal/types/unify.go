@@ -1,0 +1,235 @@
+package types
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/calc"
+)
+
+// TypeError is a static typing error with a source position.
+type TypeError struct {
+	At  calc.Pos
+	Msg string
+}
+
+func (e *TypeError) Error() string {
+	return fmt.Sprintf("type error at %s: %s", e.At, e.Msg)
+}
+
+func errf(at calc.Pos, format string, args ...any) error {
+	return &TypeError{At: at, Msg: fmt.Sprintf(format, args...)}
+}
+
+// unifier carries the fresh-variable supply shared by unification and
+// inference.
+type unifier struct {
+	nextVar int
+	nextRow int
+	level   int
+}
+
+func (u *unifier) freshVar() *Var {
+	u.nextVar++
+	return &Var{ID: u.nextVar, Level: u.level}
+}
+
+func (u *unifier) freshRow() *RowVar {
+	u.nextRow++
+	return &RowVar{ID: u.nextRow, Level: u.level}
+}
+
+// occurs reports whether v occurs in t; it also performs the standard
+// level adjustment so generalization stays sound.
+func (u *unifier) occurs(v *Var, t Type) bool {
+	switch t := Resolve(t).(type) {
+	case *Var:
+		if t == v {
+			return true
+		}
+		if t.Level > v.Level {
+			t.Level = v.Level
+		}
+		return false
+	case *Chan:
+		t = resolveChan(t)
+		for _, args := range t.Methods {
+			for _, a := range args {
+				if u.occurs(v, a) {
+					return true
+				}
+			}
+		}
+		if t.Rest != nil && t.Rest.Level > v.Level {
+			t.Rest.Level = v.Level
+		}
+		return false
+	default:
+		return false
+	}
+}
+
+// occursRow reports whether row variable r occurs in channel type c.
+func (u *unifier) occursRow(r *RowVar, c *Chan) bool {
+	c = resolveChan(c)
+	if c.Rest == r {
+		return true
+	}
+	for _, args := range c.Methods {
+		for _, a := range args {
+			if ch, ok := Resolve(a).(*Chan); ok && u.occursRow(r, ch) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Unify makes a and b equal, binding variables as needed.
+func (u *unifier) Unify(a, b Type, at calc.Pos) error {
+	a, b = Resolve(a), Resolve(b)
+	if a == b {
+		return nil
+	}
+	if av, ok := a.(*Var); ok {
+		if u.occurs(av, b) {
+			return errf(at, "infinite type: %s occurs in %s", String(a), String(b))
+		}
+		av.Ref = b
+		return nil
+	}
+	if _, ok := b.(*Var); ok {
+		return u.Unify(b, a, at)
+	}
+	switch a := a.(type) {
+	case Basic:
+		if bb, ok := b.(Basic); ok && a == bb {
+			return nil
+		}
+	case *Chan:
+		if bc, ok := b.(*Chan); ok {
+			return u.unifyChans(a, bc, at)
+		}
+	}
+	return errf(at, "cannot unify %s with %s", String(a), String(b))
+}
+
+// unifyChans unifies two method records with row polymorphism.
+func (u *unifier) unifyChans(a, b *Chan, at calc.Pos) error {
+	a, b = resolveChan(a), resolveChan(b)
+	// Unify common methods.
+	for l, argsA := range a.Methods {
+		argsB, ok := b.Methods[l]
+		if !ok {
+			continue
+		}
+		if len(argsA) != len(argsB) {
+			return errf(at, "method %s has %d parameters in %s but %d in %s", l, len(argsA), String(a), len(argsB), String(b))
+		}
+		for i := range argsA {
+			if err := u.Unify(argsA[i], argsB[i], at); err != nil {
+				return err
+			}
+		}
+	}
+	onlyA := missingFrom(a, b) // methods in a absent from b
+	onlyB := missingFrom(b, a) // methods in b absent from a
+	// b must absorb onlyA via its row; a must absorb onlyB.
+	if len(onlyA) > 0 && b.Rest == nil {
+		return errf(at, "object type %s does not provide method(s) %s required by %s", String(b), labelList(onlyA), String(a))
+	}
+	if len(onlyB) > 0 && a.Rest == nil {
+		return errf(at, "object type %s does not provide method(s) %s required by %s", String(a), labelList(onlyB), String(b))
+	}
+	switch {
+	case a.Rest == nil && b.Rest == nil:
+		return nil
+	case a.Rest != nil && b.Rest == nil:
+		// a's rest is exactly b's extra methods, closed.
+		return u.bindRow(a.Rest, &Chan{Methods: onlyB}, at)
+	case a.Rest == nil && b.Rest != nil:
+		return u.bindRow(b.Rest, &Chan{Methods: onlyA}, at)
+	default:
+		if a.Rest == b.Rest {
+			if len(onlyA) > 0 || len(onlyB) > 0 {
+				return errf(at, "row mismatch between %s and %s", String(a), String(b))
+			}
+			return nil
+		}
+		// Both open: introduce a common tail.
+		lvl := a.Rest.Level
+		if b.Rest.Level < lvl {
+			lvl = b.Rest.Level
+		}
+		u.nextRow++
+		tail := &RowVar{ID: u.nextRow, Level: lvl}
+		if err := u.bindRow(a.Rest, &Chan{Methods: onlyB, Rest: tail}, at); err != nil {
+			return err
+		}
+		return u.bindRow(b.Rest, &Chan{Methods: onlyA, Rest: tail}, at)
+	}
+}
+
+func (u *unifier) bindRow(r *RowVar, c *Chan, at calc.Pos) error {
+	if c.Rest == r {
+		if len(c.Methods) == 0 {
+			return nil
+		}
+		return errf(at, "infinite row while unifying channel types")
+	}
+	if u.occursRow(r, c) {
+		return errf(at, "infinite row while unifying channel types")
+	}
+	// Propagate levels into the absorbed fields so generalization
+	// never quantifies a variable that escaped into an outer row.
+	for _, args := range c.Methods {
+		for _, a := range args {
+			adjustLevel(a, r.Level)
+		}
+	}
+	if c.Rest != nil && c.Rest.Level > r.Level {
+		c.Rest.Level = r.Level
+	}
+	r.Ref = c
+	return nil
+}
+
+// adjustLevel lowers the level of every variable in t to at most lvl.
+func adjustLevel(t Type, lvl int) {
+	switch t := Resolve(t).(type) {
+	case *Var:
+		if t.Level > lvl {
+			t.Level = lvl
+		}
+	case *Chan:
+		c := resolveChan(t)
+		for _, args := range c.Methods {
+			for _, a := range args {
+				adjustLevel(a, lvl)
+			}
+		}
+		if c.Rest != nil && c.Rest.Level > lvl {
+			c.Rest.Level = lvl
+		}
+	}
+}
+
+func missingFrom(a, b *Chan) map[string][]Type {
+	out := map[string][]Type{}
+	for l, args := range a.Methods {
+		if _, ok := b.Methods[l]; !ok {
+			out[l] = args
+		}
+	}
+	return out
+}
+
+func labelList(m map[string][]Type) string {
+	out := make([]string, 0, len(m))
+	for l := range m {
+		out = append(out, l)
+	}
+	sort.Strings(out) // deterministic error messages
+	return strings.Join(out, ", ")
+}

@@ -1,0 +1,148 @@
+package vm
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+)
+
+// Extract builds a self-contained, shippable unit from the program
+// area: the transitive closure of blocks reachable from the given
+// method tables and def groups, with every pool reference relocated
+// into the fresh unit. This is the paper's "efficient dynamic
+// selection of byte-code blocks that have to be moved between sites":
+// because the compiler keeps the source nesting, the reachable set of
+// an object or class is exactly the code that must travel.
+//
+// Program constants (resolved imports and previously ingressed remote
+// references) cannot ship as-is: local channel references must leave
+// as network references. egressConst performs that σ-translation; it
+// is supplied by the site, which owns the export table.
+func (p *Program) Extract(rootTables, rootGroups []int, egressConst func(Value) (asm.Const, error)) (*asm.Unit, *asm.Relocation, error) {
+	u := &asm.Unit{Name: "mobile", Entry: -1}
+	r := asm.NewRelocation() // program index -> unit index
+	var blockQueue []int
+
+	needBlock := func(b int) {
+		if _, ok := r.Blocks[b]; ok {
+			return
+		}
+		r.Blocks[b] = len(r.Blocks)
+		blockQueue = append(blockQueue, b)
+	}
+	var needTable func(ti int)
+	var needGroup func(gi int)
+	needTable = func(ti int) {
+		if _, ok := r.Tables[ti]; ok {
+			return
+		}
+		r.Tables[ti] = len(r.Tables)
+		for _, b := range p.Tables[ti].Blocks {
+			needBlock(b)
+		}
+	}
+	needGroup = func(gi int) {
+		if _, ok := r.Groups[gi]; ok {
+			return
+		}
+		r.Groups[gi] = len(r.Groups)
+		for _, c := range p.Groups[gi].Classes {
+			needBlock(c.Block)
+		}
+	}
+	for _, t := range rootTables {
+		needTable(t)
+	}
+	for _, g := range rootGroups {
+		needGroup(g)
+	}
+
+	// Walk blocks breadth-first, discovering references.
+	for qi := 0; qi < len(blockQueue); qi++ {
+		bi := blockQueue[qi]
+		for _, in := range p.Blocks[bi].Code {
+			switch in.Op {
+			case asm.Spawn:
+				needBlock(int(in.A))
+			case asm.Obj:
+				needTable(int(in.A))
+			case asm.MkDef:
+				needGroup(int(in.A))
+			case asm.Send:
+				if _, ok := r.Labels[int(in.A)]; !ok {
+					r.Labels[int(in.A)] = u.LabelIndex(p.Labels[in.A])
+				}
+			case asm.LdS, asm.ExpName, asm.ExpClass:
+				if _, ok := r.Strings[int(in.A)]; !ok {
+					r.Strings[int(in.A)] = u.StringIndex(p.Strings[in.A])
+				}
+			case asm.LdF:
+				if _, ok := r.Floats[int(in.A)]; !ok {
+					r.Floats[int(in.A)] = u.FloatIndex(p.Floats[in.A])
+				}
+			case asm.LdIC:
+				if _, ok := r.Ints[int(in.A)]; !ok {
+					r.Ints[int(in.A)] = u.IntIndex(p.Ints[in.A])
+				}
+			case asm.LdK:
+				if _, ok := r.Consts[int(in.A)]; !ok {
+					k, err := egressConst(p.Consts[in.A])
+					if err != nil {
+						return nil, nil, fmt.Errorf("vm: extract: const %d: %w", in.A, err)
+					}
+					r.Consts[int(in.A)] = len(u.Consts)
+					u.Consts = append(u.Consts, k)
+				}
+			case asm.LdImp:
+				return nil, nil, fmt.Errorf("vm: extract: block %d contains unresolved import", bi)
+			}
+		}
+	}
+	// Table labels also reference the label pool.
+	for ti := range r.Tables {
+		for _, l := range p.Tables[ti].Labels {
+			if _, ok := r.Labels[l]; !ok {
+				r.Labels[l] = u.LabelIndex(p.Labels[l])
+			}
+		}
+	}
+
+	// Emit blocks in their unit order.
+	u.Blocks = make([]asm.Block, len(r.Blocks))
+	for from, to := range r.Blocks {
+		src := &p.Blocks[from]
+		blk := asm.Block{Name: src.Name, NFree: src.NFree, NParams: src.NParams, NLocals: src.NLocals,
+			Code: make([]asm.Instr, len(src.Code))}
+		for pc, in := range src.Code {
+			out, err := asm.RelocateInstr(in, r)
+			if err != nil {
+				return nil, nil, fmt.Errorf("vm: extract block %d pc %d: %w", from, pc, err)
+			}
+			blk.Code[pc] = out
+		}
+		u.Blocks[to] = blk
+	}
+	u.Tables = make([]asm.MethodTable, len(r.Tables))
+	for from, to := range r.Tables {
+		src := &p.Tables[from]
+		t := asm.MethodTable{Labels: make([]int, len(src.Labels)), Blocks: make([]int, len(src.Blocks))}
+		for i := range src.Labels {
+			t.Labels[i] = r.Labels[src.Labels[i]]
+			t.Blocks[i] = r.Blocks[src.Blocks[i]]
+		}
+		u.Tables[to] = t
+	}
+	u.Groups = make([]asm.DefGroup, len(r.Groups))
+	for from, to := range r.Groups {
+		src := &p.Groups[from]
+		g := asm.DefGroup{NFree: src.NFree, Classes: make([]asm.ClassInfo, len(src.Classes))}
+		for i, c := range src.Classes {
+			g.Classes[i] = asm.ClassInfo{Name: c.Name, Block: r.Blocks[c.Block], NParams: c.NParams}
+		}
+		u.Groups[to] = g
+	}
+	if err := asm.Verify(u); err != nil {
+		return nil, nil, fmt.Errorf("vm: extracted unit invalid: %w", err)
+	}
+	return u, r, nil
+}

@@ -1,0 +1,164 @@
+package vm_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compiler"
+	"repro/internal/syntax"
+	"repro/internal/types"
+	"repro/internal/vm"
+)
+
+// runLocal compiles and runs a single-site program, returning its
+// print output.
+func runLocal(t *testing.T, src string) (string, *vm.Machine) {
+	t.Helper()
+	p, err := syntax.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := types.Check(p); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	u, err := compiler.Compile(p, "test")
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	if err := asm.Verify(u); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	prog := vm.NewProgram()
+	linked, err := prog.Link(u, nil, nil)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	var out strings.Builder
+	m := vm.NewMachine(prog, &out, nil)
+	m.Spawn(linked.Entry, nil)
+	if err := m.RunToQuiescence(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return out.String(), m
+}
+
+func TestPipelineCell(t *testing.T) {
+	out, m := runLocal(t, `
+def Cell(self, v) =
+  self ? { read(r) = r![v] | Cell[self, v],
+           write(u) = Cell[self, u] }
+in new x (Cell[x, 9] |
+   new z (x!read[z] | z?(w) = println(w)))
+`)
+	if out != "9\n" {
+		t.Fatalf("out = %q", out)
+	}
+	if m.Stats.Communications == 0 || m.Stats.Instantiations == 0 {
+		t.Fatalf("stats = %+v", m.Stats)
+	}
+}
+
+func TestPipelineWriteThenRead(t *testing.T) {
+	out, _ := runLocal(t, `
+def Cell(self, v) =
+  self ? { read(r) = r![v] | Cell[self, v],
+           write(u, k) = k![] | Cell[self, u] }
+in new x (Cell[x, 1] |
+   new done (x!write[42, done] |
+     done?() = new z (x!read[z] | z?(w) = println(w))))
+`)
+	if out != "42\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineLetSugarRPC(t *testing.T) {
+	// The RPC encoding of paper section 3, single-site variant.
+	out, _ := runLocal(t, `
+new p (
+  (p?(x, r) = r![x * x]) |
+  let y = p![7] in println(y)
+)
+`)
+	if out != "49\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineIfAndArith(t *testing.T) {
+	out, _ := runLocal(t, `
+def Fact(n, r) =
+  if n <= 1 then r![1]
+  else new r2 (Fact[n - 1, r2] | r2?(m) = r![n * m])
+in new r (Fact[10, r] | r?(v) = println(v))
+`)
+	if out != "3628800\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineMutualRecursion(t *testing.T) {
+	out, _ := runLocal(t, `
+def Even(n, r) = if n == 0 then r![true] else Odd[n - 1, r]
+and Odd(n, r)  = if n == 0 then r![false] else Even[n - 1, r]
+in new r (Even[9, r] | r?(b) = println(b))
+`)
+	if out != "false\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineCapturedFreeNameInClass(t *testing.T) {
+	// A class whose body uses a channel created before the def —
+	// the SETI pattern (free names in exported classes).
+	out, _ := runLocal(t, `
+new log (
+  (log?(v) = println("logged", v)) |
+  def Worker(n) = log![n * 2]
+  in Worker[21]
+)
+`)
+	if out != "logged 42\n" {
+		t.Fatalf("out = %q", out)
+	}
+}
+
+func TestPipelineEncodeDecodeRoundTrip(t *testing.T) {
+	src := `
+def Cell(self, v) =
+  self ? { read(r) = r![v] | Cell[self, v],
+           write(u) = Cell[self, u] }
+in new x (Cell[x, 9] | new z (x!read[z] | z?(w) = println(w)))
+`
+	p := syntax.MustParse(src)
+	u, err := compiler.Compile(p, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := asm.Encode(u)
+	u2, err := asm.Decode(data)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if err := asm.Verify(u2); err != nil {
+		t.Fatalf("verify decoded: %v", err)
+	}
+	if asm.Disassemble(u) != asm.Disassemble(u2) {
+		t.Fatalf("disassembly differs after round trip:\n%s\n---\n%s", asm.Disassemble(u), asm.Disassemble(u2))
+	}
+	prog := vm.NewProgram()
+	linked, err := prog.Link(u2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m := vm.NewMachine(prog, &out, nil)
+	m.Spawn(linked.Entry, nil)
+	if err := m.RunToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "9\n" {
+		t.Fatalf("out = %q", out.String())
+	}
+}

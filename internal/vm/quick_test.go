@@ -1,0 +1,60 @@
+package vm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+)
+
+// testing/quick properties on the machine's core data structures.
+
+func TestQuickClassIDPacking(t *testing.T) {
+	f := func(group, class uint32) bool {
+		g := int(group % (1 << 20))
+		c := int(class % (1 << 20))
+		v := vm.Class(g, c, nil)
+		gg, gc := v.ClassID()
+		return gg == g && gc == c
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValueEqualityReflexive(t *testing.T) {
+	f := func(i int64, fl float64, s string, kind uint8) bool {
+		var v vm.Value
+		switch kind % 5 {
+		case 0:
+			v = vm.Int(i)
+		case 1:
+			v = vm.Float(fl)
+		case 2:
+			v = vm.Str(s)
+		case 3:
+			v = vm.Bool(i%2 == 0)
+		default:
+			v = vm.Net(vm.NetRef{Heap: uint32(i), Site: uint32(i >> 16), Node: uint32(i >> 32)})
+		}
+		return v.Equal(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHeapIndicesAreDense(t *testing.T) {
+	f := func(n uint8) bool {
+		m := vm.NewMachine(vm.NewProgram(), nil, nil)
+		for i := 0; i <= int(n); i++ {
+			if m.NewChan() != i {
+				return false
+			}
+		}
+		return m.HeapSize() == int(n)+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

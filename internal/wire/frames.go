@@ -1,0 +1,300 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/vm"
+)
+
+// FrameType discriminates the payloads exchanged between TyCOd
+// daemons.
+type FrameType uint8
+
+// Frame types.
+const (
+	// FMsg delivers a remote method invocation (rule SHIPM).
+	FMsg FrameType = iota + 1
+	// FObj migrates an object: code unit + captured frame (SHIPO).
+	FObj
+	// FFetchReq asks the owning site for a class's byte-code (FETCH).
+	FFetchReq
+	// FFetchRep answers a fetch request.
+	FFetchRep
+	// FTerm carries a termination-detection control payload.
+	FTerm
+	// FHeartbeat carries a failure-detector heartbeat.
+	FHeartbeat
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FMsg:
+		return "msg"
+	case FObj:
+		return "obj"
+	case FFetchReq:
+		return "fetchreq"
+	case FFetchRep:
+		return "fetchrep"
+	case FTerm:
+		return "term"
+	case FHeartbeat:
+		return "heartbeat"
+	default:
+		return fmt.Sprintf("frame(%d)", uint8(t))
+	}
+}
+
+// Envelope is the unit handed to the transport: a typed payload
+// routed between nodes by the TyCOd daemons.
+type Envelope struct {
+	Type    FrameType
+	SrcNode uint32
+	DstNode uint32
+	Payload []byte
+}
+
+// Encode serializes the envelope.
+func (e *Envelope) Encode() []byte {
+	var w Writer
+	w.Byte(byte(e.Type))
+	w.U(uint64(e.SrcNode))
+	w.U(uint64(e.DstNode))
+	w.B(e.Payload)
+	return w.Bytes()
+}
+
+// DecodeEnvelope parses an envelope.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	if len(data) > MaxFrame {
+		return nil, fmt.Errorf("wire: envelope of %d bytes exceeds limit", len(data))
+	}
+	r := NewReader(data)
+	t, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	src, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("wire: trailing bytes in envelope")
+	}
+	return &Envelope{Type: FrameType(t), SrcNode: uint32(src), DstNode: uint32(dst), Payload: payload}, nil
+}
+
+// Msg is a packaged remote method invocation.
+type Msg struct {
+	To    vm.NetRef // destination channel (its site resolves the heap id)
+	Label string
+	Args  []Value
+}
+
+// Encode serializes the message payload.
+func (m *Msg) Encode() []byte {
+	var w Writer
+	w.U(uint64(m.To.Heap))
+	w.U(uint64(m.To.Site))
+	w.U(uint64(m.To.Node))
+	w.S(m.Label)
+	EncodeValues(&w, m.Args)
+	return w.Bytes()
+}
+
+// DecodeMsg parses a message payload.
+func DecodeMsg(data []byte) (*Msg, error) {
+	r := NewReader(data)
+	h, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	s, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	label, err := r.S()
+	if err != nil {
+		return nil, err
+	}
+	args, err := DecodeValues(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Msg{To: vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, Label: label, Args: args}, nil
+}
+
+// Obj is a migrating object: the byte-code unit containing its method
+// suite (and everything reachable), the table index within that unit,
+// and the σ-translated captured frame.
+type Obj struct {
+	To    vm.NetRef
+	Unit  []byte // asm.Encode of the extracted unit
+	Table int
+	Frame []Value
+}
+
+// Encode serializes the object payload.
+func (o *Obj) Encode() []byte {
+	var w Writer
+	w.U(uint64(o.To.Heap))
+	w.U(uint64(o.To.Site))
+	w.U(uint64(o.To.Node))
+	w.B(o.Unit)
+	w.U(uint64(o.Table))
+	EncodeValues(&w, o.Frame)
+	return w.Bytes()
+}
+
+// DecodeObj parses an object payload.
+func DecodeObj(data []byte) (*Obj, error) {
+	r := NewReader(data)
+	h, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	s, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	unit, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	table, err := r.Count("table")
+	if err != nil {
+		return nil, err
+	}
+	frame, err := DecodeValues(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &Obj{To: vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, Unit: unit, Table: table, Frame: frame}, nil
+}
+
+// FetchReq asks the class's owning site for its byte-code.
+type FetchReq struct {
+	Class     string
+	OwnerSite uint32
+	ReqID     uint64
+	ReplySite uint32
+	ReplyNode uint32
+}
+
+// Encode serializes the fetch request.
+func (f *FetchReq) Encode() []byte {
+	var w Writer
+	w.S(f.Class)
+	w.U(uint64(f.OwnerSite))
+	w.U(f.ReqID)
+	w.U(uint64(f.ReplySite))
+	w.U(uint64(f.ReplyNode))
+	return w.Bytes()
+}
+
+// DecodeFetchReq parses a fetch request.
+func DecodeFetchReq(data []byte) (*FetchReq, error) {
+	r := NewReader(data)
+	class, err := r.S()
+	if err != nil {
+		return nil, err
+	}
+	owner, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	id, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	rs, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	rn, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	return &FetchReq{Class: class, OwnerSite: uint32(owner), ReqID: id, ReplySite: uint32(rs), ReplyNode: uint32(rn)}, nil
+}
+
+// FetchRep answers a fetch: the code unit plus the class's identity
+// within it and its σ-translated captured values.
+type FetchRep struct {
+	ReqID    uint64
+	DstSite  uint32 // requesting site (routing key at the destination node)
+	Err      string // non-empty on failure
+	Class    string
+	Unit     []byte
+	Group    int
+	Index    int // class index within the group
+	Captured []Value
+}
+
+// Encode serializes the fetch reply.
+func (f *FetchRep) Encode() []byte {
+	var w Writer
+	w.U(f.ReqID)
+	w.U(uint64(f.DstSite))
+	w.S(f.Err)
+	w.S(f.Class)
+	w.B(f.Unit)
+	w.U(uint64(f.Group))
+	w.U(uint64(f.Index))
+	EncodeValues(&w, f.Captured)
+	return w.Bytes()
+}
+
+// DecodeFetchRep parses a fetch reply.
+func DecodeFetchRep(data []byte) (*FetchRep, error) {
+	r := NewReader(data)
+	id, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	dst, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	errs, err := r.S()
+	if err != nil {
+		return nil, err
+	}
+	class, err := r.S()
+	if err != nil {
+		return nil, err
+	}
+	unit, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	g, err := r.Count("group")
+	if err != nil {
+		return nil, err
+	}
+	ix, err := r.Count("class")
+	if err != nil {
+		return nil, err
+	}
+	captured, err := DecodeValues(r, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &FetchRep{ReqID: id, DstSite: uint32(dst), Err: errs, Class: class, Unit: unit, Group: g, Index: ix, Captured: captured}, nil
+}

@@ -1,0 +1,88 @@
+package wire_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// testing/quick property: primitive wire codecs are inverse pairs for
+// arbitrary generated inputs.
+
+func TestQuickVarintRoundTrip(t *testing.T) {
+	f := func(u uint64, v int64, s string, b []byte) bool {
+		var w wire.Writer
+		w.U(u)
+		w.V(v)
+		w.S(s)
+		w.B(b)
+		r := wire.NewReader(w.Bytes())
+		gu, err := r.U()
+		if err != nil || gu != u {
+			return false
+		}
+		gv, err := r.V()
+		if err != nil || gv != v {
+			return false
+		}
+		gs, err := r.S()
+		if err != nil || gs != s {
+			return false
+		}
+		gb, err := r.B()
+		if err != nil || string(gb) != string(b) {
+			return false
+		}
+		return r.Done()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMsgRoundTrip(t *testing.T) {
+	f := func(heap, site, nodeID uint32, label string, ints []int64, strs []string) bool {
+		args := make([]wire.Value, 0, len(ints)+len(strs))
+		for _, i := range ints {
+			args = append(args, wire.Value{Kind: wire.WInt, I: i})
+		}
+		for _, s := range strs {
+			args = append(args, wire.Value{Kind: wire.WStr, S: s})
+		}
+		m := &wire.Msg{To: vm.NetRef{Heap: heap, Site: site, Node: nodeID}, Label: label, Args: args}
+		got, err := wire.DecodeMsg(m.Encode())
+		if err != nil {
+			return false
+		}
+		if got.To != m.To || got.Label != label || len(got.Args) != len(args) {
+			return false
+		}
+		for i := range args {
+			if got.Args[i].Kind != args[i].Kind || got.Args[i].I != args[i].I || got.Args[i].S != args[i].S {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickEnvelopeRoundTrip(t *testing.T) {
+	f := func(kind uint8, src, dst uint32, payload []byte) bool {
+		ft := wire.FrameType(kind%6 + 1)
+		e := &wire.Envelope{Type: ft, SrcNode: src, DstNode: dst, Payload: payload}
+		got, err := wire.DecodeEnvelope(e.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Type == ft && got.SrcNode == src && got.DstNode == dst &&
+			string(got.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}

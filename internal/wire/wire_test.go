@@ -1,0 +1,225 @@
+package wire_test
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+func randValue(r *rand.Rand, depth int) wire.Value {
+	k := r.Intn(7)
+	if depth > 2 && k == 6 {
+		k = r.Intn(6)
+	}
+	switch k {
+	case 0:
+		return wire.Value{Kind: wire.WInt, I: r.Int63() - r.Int63()}
+	case 1:
+		return wire.Value{Kind: wire.WFloat, F: r.NormFloat64() * 1e6}
+	case 2:
+		return wire.Value{Kind: wire.WBool, I: int64(r.Intn(2))}
+	case 3:
+		return wire.Value{Kind: wire.WStr, S: string(rune('a'+r.Intn(26))) + "payload"}
+	case 4:
+		return wire.Value{Kind: wire.WNet, Net: vm.NetRef{Heap: r.Uint32(), Site: r.Uint32(), Node: r.Uint32()}}
+	case 5:
+		return wire.Value{Kind: wire.WNetClass, S: "Klass", Net: vm.NetRef{Site: r.Uint32(), Node: r.Uint32()}}
+	default:
+		n := r.Intn(3)
+		capt := make([]wire.Value, n)
+		for i := range capt {
+			capt[i] = randValue(r, depth+1)
+		}
+		return wire.Value{Kind: wire.WClass, Group: r.Intn(10), Class: r.Intn(4), Captured: capt}
+	}
+}
+
+func randValues(r *rand.Rand, n int) []wire.Value {
+	out := make([]wire.Value, n)
+	for i := range out {
+		out[i] = randValue(r, 0)
+	}
+	return out
+}
+
+// normalizeNilSlices makes empty and nil Captured compare equal.
+func normalizeNilSlices(vs []wire.Value) {
+	for i := range vs {
+		if len(vs[i].Captured) == 0 {
+			vs[i].Captured = nil
+		} else {
+			normalizeNilSlices(vs[i].Captured)
+		}
+	}
+}
+
+func TestValueRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	for i := 0; i < 500; i++ {
+		vals := randValues(r, r.Intn(8))
+		var w wire.Writer
+		wire.EncodeValues(&w, vals)
+		got, err := wire.DecodeValues(wire.NewReader(w.Bytes()), 0)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		normalizeNilSlices(vals)
+		normalizeNilSlices(got)
+		if len(got) == 0 && len(vals) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(vals, got) {
+			t.Fatalf("round trip changed values:\nin:  %v\nout: %v", vals, got)
+		}
+	}
+}
+
+func TestMsgRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for i := 0; i < 200; i++ {
+		m := &wire.Msg{
+			To:    vm.NetRef{Heap: r.Uint32(), Site: r.Uint32(), Node: r.Uint32()},
+			Label: "work",
+			Args:  randValues(r, r.Intn(5)),
+		}
+		got, err := wire.DecodeMsg(m.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeNilSlices(m.Args)
+		normalizeNilSlices(got.Args)
+		if got.To != m.To || got.Label != m.Label || !reflect.DeepEqual(nonNil(got.Args), nonNil(m.Args)) {
+			t.Fatalf("msg round trip: %+v vs %+v", m, got)
+		}
+	}
+}
+
+func nonNil(v []wire.Value) []wire.Value {
+	if v == nil {
+		return []wire.Value{}
+	}
+	return v
+}
+
+func TestObjRoundTrip(t *testing.T) {
+	o := &wire.Obj{
+		To:    vm.NetRef{Heap: 3, Site: 2, Node: 1},
+		Unit:  []byte{1, 2, 3, 4, 5},
+		Table: 7,
+		Frame: []wire.Value{{Kind: wire.WInt, I: 42}},
+	}
+	got, err := wire.DecodeObj(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.To != o.To || got.Table != o.Table || string(got.Unit) != string(o.Unit) || got.Frame[0].I != 42 {
+		t.Fatalf("obj round trip: %+v", got)
+	}
+}
+
+func TestFetchFramesRoundTrip(t *testing.T) {
+	req := &wire.FetchReq{Class: "Applet", OwnerSite: 9, ReqID: 77, ReplySite: 5, ReplyNode: 4}
+	gotReq, err := wire.DecodeFetchReq(req.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotReq != *req {
+		t.Fatalf("fetchreq: %+v vs %+v", req, gotReq)
+	}
+	rep := &wire.FetchRep{ReqID: 77, DstSite: 5, Class: "Applet", Unit: []byte{9, 9},
+		Group: 1, Index: 2, Captured: []wire.Value{{Kind: wire.WStr, S: "cap"}}}
+	gotRep, err := wire.DecodeFetchRep(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRep.ReqID != 77 || gotRep.DstSite != 5 || gotRep.Group != 1 || gotRep.Index != 2 ||
+		gotRep.Captured[0].S != "cap" || string(gotRep.Unit) != string(rep.Unit) {
+		t.Fatalf("fetchrep: %+v", gotRep)
+	}
+	repErr := &wire.FetchRep{ReqID: 1, DstSite: 2, Err: "no such class"}
+	gotErr, err := wire.DecodeFetchRep(repErr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotErr.Err != "no such class" {
+		t.Fatalf("error reply lost: %+v", gotErr)
+	}
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	e := &wire.Envelope{Type: wire.FObj, SrcNode: 3, DstNode: 9, Payload: []byte("payload")}
+	got, err := wire.DecodeEnvelope(e.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != wire.FObj || got.SrcNode != 3 || got.DstNode != 9 || string(got.Payload) != "payload" {
+		t.Fatalf("envelope: %+v", got)
+	}
+}
+
+func TestDecodeCorruptionIsSafe(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	m := &wire.Msg{To: vm.NetRef{Heap: 1, Site: 2, Node: 3}, Label: "l",
+		Args: []wire.Value{{Kind: wire.WClass, Group: 1, Captured: []wire.Value{{Kind: wire.WInt, I: 5}}}}}
+	data := m.Encode()
+	for i := 0; i < 2000; i++ {
+		mut := append([]byte(nil), data...)
+		switch r.Intn(3) {
+		case 0:
+			mut[r.Intn(len(mut))] ^= byte(1 + r.Intn(255))
+		case 1:
+			mut = mut[:r.Intn(len(mut))]
+		case 2:
+			mut = append(mut, byte(r.Intn(256)))
+		}
+		_, _ = wire.DecodeMsg(mut)      // must not panic
+		_, _ = wire.DecodeEnvelope(mut) // must not panic
+	}
+}
+
+func TestValueNestingDepthLimit(t *testing.T) {
+	// A maliciously deep class-capture chain must be rejected.
+	v := wire.Value{Kind: wire.WClass}
+	for i := 0; i < 100; i++ {
+		v = wire.Value{Kind: wire.WClass, Captured: []wire.Value{v}}
+	}
+	var w wire.Writer
+	wire.EncodeValue(&w, v)
+	if _, err := wire.DecodeValue(wire.NewReader(w.Bytes()), 0); err == nil {
+		t.Fatal("unbounded nesting accepted")
+	}
+}
+
+func TestReaderPrimitives(t *testing.T) {
+	var w wire.Writer
+	w.U(300)
+	w.V(-5)
+	w.S("hello")
+	w.B([]byte{1, 2})
+	w.Byte(0xFF)
+	r := wire.NewReader(w.Bytes())
+	if u, _ := r.U(); u != 300 {
+		t.Fatal("U")
+	}
+	if v, _ := r.V(); v != -5 {
+		t.Fatal("V")
+	}
+	if s, _ := r.S(); s != "hello" {
+		t.Fatal("S")
+	}
+	if b, _ := r.B(); len(b) != 2 || b[1] != 2 {
+		t.Fatal("B")
+	}
+	if by, _ := r.Byte(); by != 0xFF {
+		t.Fatal("Byte")
+	}
+	if !r.Done() {
+		t.Fatal("Done")
+	}
+	if _, err := r.Byte(); err == nil {
+		t.Fatal("read past end should error")
+	}
+}
