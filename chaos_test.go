@@ -1,0 +1,248 @@
+// Chaos integration tests: the SETI master/worker workload of paper §4
+// driven over a lossy, partitionable fabric with a mid-run worker
+// crash. With the reliable delivery layer and failure detection on, the
+// computation completes and the dead worker's chunks are reassigned;
+// without them, the same fault schedule visibly loses chunks.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/transport"
+)
+
+// chaosSetiServer serves chunk c as a deterministic "crunch" result, so
+// the harness can verify every reply end to end.
+const chaosSetiServer = `def Serve(db) = db?(c, r) = (r![(c * 7919 + 17) % 1000003] | Serve[db]) in export new db Serve[db]`
+
+func chunkValue(c int) int { return (c*7919 + 17) % 1000003 }
+
+// chaosWorkerSrc unrolls a chunk list into a sequential RPC chain:
+// each chunk ships to the seti site and the reply is printed.
+func chaosWorkerSrc(chunks []int) string {
+	var b strings.Builder
+	b.WriteString("import db from seti in\n")
+	for i, c := range chunks {
+		fmt.Fprintf(&b, "let v%d = db![%d] in ( println(\"chunk\", %d, v%d) |\n", i, c, c, i)
+	}
+	b.WriteString("inaction")
+	b.WriteString(strings.Repeat(" )", len(chunks)))
+	return b.String()
+}
+
+// lockedWriter is a goroutine-safe output sink for worker sites.
+type lockedWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *lockedWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *lockedWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// parseChunks extracts "chunk <c> <v>" lines, verifying each value.
+func parseChunks(t *testing.T, outs ...*lockedWriter) map[int]bool {
+	t.Helper()
+	done := map[int]bool{}
+	for _, o := range outs {
+		for _, line := range strings.Split(o.String(), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "chunk ") {
+				continue
+			}
+			var c, v int
+			if _, err := fmt.Sscanf(line, "chunk %d %d", &c, &v); err != nil {
+				t.Fatalf("unparsable output line %q: %v", line, err)
+			}
+			if v != chunkValue(c) {
+				t.Fatalf("chunk %d: value %d, want %d", c, v, chunkValue(c))
+			}
+			done[c] = true
+		}
+	}
+	return done
+}
+
+// TestSetiSurvivesChaosAndWorkerCrash is the headline robustness
+// scenario: 20% frame drop (plus duplication and reordering) on every
+// link, and one worker crashed mid-run. The failure detector reports
+// the death, the master requeues the dead worker's chunks on a
+// survivor, and the whole computation terminates cleanly with every
+// chunk processed.
+func TestSetiSurvivesChaosAndWorkerCrash(t *testing.T) {
+	const workers = 3
+	// Chunk plan: two light workers and one heavily loaded victim whose
+	// list cannot complete before the crash.
+	assign := [][]int{chunkRange(0, 5), chunkRange(5, 10), chunkRange(10, 50)}
+	victim := 2 // worker index; node index victim+1, node ID victim+2
+	total := 50
+
+	var susMu sync.Mutex
+	suspectedBy := map[uint32][]uint32{} // victim node ID -> observers
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:       1 + workers,
+		Chaos:       &transport.ChaosConfig{Seed: 42, Drop: 0.2, Dup: 0.1, Reorder: 0.1},
+		Reliability: &transport.ReliableConfig{},
+		Detect:      &core.DetectConfig{Period: 10 * time.Millisecond, SuspectAfter: 80 * time.Millisecond},
+		OnSuspect: func(observer uint32, e failure.Event) {
+			if e.Suspected {
+				susMu.Lock()
+				suspectedBy[e.Node] = append(suspectedBy[e.Node], observer)
+				susMu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	serverOut := &lockedWriter{}
+	if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]*lockedWriter, workers)
+	for i := 0; i < workers; i++ {
+		outs[i] = &lockedWriter{}
+		if _, err := cl.Submit(1+i, fmt.Sprintf("worker%d", i), chaosWorkerSrc(assign[i]), outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crash the victim mid-run: its node blackholes, its sites die with
+	// chunks unprocessed.
+	time.Sleep(30 * time.Millisecond)
+	cl.Crash(1 + victim)
+	victimID := uint32(2 + victim)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("survivors never terminated: %v (cluster: %v)", err, cl.Err())
+	}
+
+	// The failure detector must have reported the crash to the hook.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		susMu.Lock()
+		observers := len(suspectedBy[victimID])
+		susMu.Unlock()
+		if observers > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no surviving node ever suspected crashed node %d", victimID)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Reassign: whatever the victim didn't finish goes to a survivor.
+	done := parseChunks(t, outs...)
+	var missing []int
+	for c := 0; c < total; c++ {
+		if !done[c] {
+			missing = append(missing, c)
+		}
+	}
+	if len(missing) == 0 {
+		t.Fatalf("victim finished all %d chunks before the crash — scenario did not exercise reassignment", len(assign[victim]))
+	}
+	t.Logf("crash left %d/%d chunks unprocessed; reassigning to worker0's node", len(missing), total)
+	rescueOut := &lockedWriter{}
+	if _, err := cl.Submit(1, "rescue", chaosWorkerSrc(missing), rescueOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("rescue round never terminated: %v (cluster: %v)", err, cl.Err())
+	}
+
+	done = parseChunks(t, append(outs, rescueOut)...)
+	for c := 0; c < total; c++ {
+		if !done[c] {
+			t.Errorf("chunk %d never processed", c)
+		}
+	}
+
+	// The reliable layer had to work for this: the fault schedule
+	// guarantees drops, so a clean run implies retransmissions.
+	var retransmits uint64
+	for i := 0; i < cl.Nodes(); i++ {
+		if i == 1+victim {
+			continue
+		}
+		retransmits += cl.Node(i).Reliable().Stats().Retransmits
+	}
+	if retransmits == 0 {
+		t.Error("no retransmissions recorded — chaos was not in the path")
+	}
+}
+
+// TestSetiWithoutReliabilityLosesChunksUnderChaos is the control: the
+// identical fault schedule with the reliable layer off. Dropped frames
+// strand workers mid-RPC, so the run times out and chunks go missing —
+// the failure mode the tentpole exists to prevent.
+func TestSetiWithoutReliabilityLosesChunksUnderChaos(t *testing.T) {
+	const workers = 3
+	assign := [][]int{chunkRange(0, 5), chunkRange(5, 10), chunkRange(10, 50)}
+	total := 50
+
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes: 1 + workers,
+		Chaos: &transport.ChaosConfig{Seed: 42, Drop: 0.2, Dup: 0.1, Reorder: 0.1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	serverOut := &lockedWriter{}
+	if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]*lockedWriter, workers)
+	for i := 0; i < workers; i++ {
+		outs[i] = &lockedWriter{}
+		if _, err := cl.Submit(1+i, fmt.Sprintf("worker%d", i), chaosWorkerSrc(assign[i]), outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	waitErr := cl.Wait(ctx)
+
+	done := parseChunks(t, outs...)
+	var missing int
+	for c := 0; c < total; c++ {
+		if !done[c] {
+			missing++
+		}
+	}
+	if waitErr == nil && missing == 0 {
+		t.Fatalf("unreliable run completed all %d chunks over a 20%% drop link — chaos was not in the path", total)
+	}
+	t.Logf("unreliable control: wait error %v, %d/%d chunks missing", waitErr, missing, total)
+}
+
+func chunkRange(lo, hi int) []int {
+	out := make([]int, 0, hi-lo)
+	for c := lo; c < hi; c++ {
+		out = append(out, c)
+	}
+	return out
+}

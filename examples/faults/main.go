@@ -4,8 +4,10 @@
 //
 // Three nodes run heartbeat failure detectors over the control
 // channel, a distributed termination coordinator watches a worker
-// computation finish, and then node 3 "crashes" — the survivors
-// suspect it and reconfigure their view of the cluster.
+// computation finish, a transient partition cuts node 2 off (suspicion
+// rises, then clears when the link heals), and finally node 3
+// "crashes" — the survivors suspect it and reconfigure their view of
+// the cluster.
 //
 //	go run ./examples/faults
 package main
@@ -28,6 +30,10 @@ func main() {
 	ns := nameservice.NewCentral()
 	fabric := transport.NewFabric(transport.Myrinet)
 	defer fabric.Close()
+	// A fault controller on every link (no background faults — it is
+	// driven explicitly for the partition phase below).
+	chaos := transport.NewChaos(transport.ChaosConfig{Seed: 7})
+	defer chaos.Close()
 
 	ids := []uint32{1, 2, 3}
 	nodes := map[uint32]*node.Node{}
@@ -39,7 +45,7 @@ func main() {
 			fail(err)
 		}
 		nodes[id] = node.New(node.Config{
-			ID: id, NS: ns, Transport: tr, Out: os.Stdout,
+			ID: id, NS: ns, Transport: chaos.Wrap(tr), Out: os.Stdout,
 			OnControl: func(ft wire.FrameType, src uint32, payload []byte) {
 				if ft == wire.FTerm {
 					if c := coords[id]; c != nil {
@@ -106,7 +112,33 @@ func main() {
 	fmt.Printf("-- distributed termination detected by node 1 after %v\n",
 		time.Since(start).Round(time.Millisecond))
 
-	// Phase 2: crash node 3 and watch the survivors notice.
+	// Phase 2: a transient partition — node 2 drops off the network,
+	// the others suspect it, the link heals, trust returns. Nothing
+	// died; suspicion is a view of connectivity, not a verdict.
+	fmt.Println("-- partitioning node 2 from nodes 1 and 3")
+	chaos.Partition(1, 2)
+	chaos.Partition(2, 3)
+	waitFor := func(what string, cond func() bool) {
+		deadline := time.After(10 * time.Second)
+		for !cond() {
+			select {
+			case <-deadline:
+				fail(fmt.Errorf("timed out waiting for %s", what))
+			case <-time.After(time.Millisecond):
+			}
+		}
+	}
+	waitFor("suspicion of node 2", func() bool {
+		return detectors[1].Suspected(2) && detectors[3].Suspected(2)
+	})
+	fmt.Println("-- healing the partition")
+	chaos.Heal(1, 2)
+	chaos.Heal(2, 3)
+	waitFor("trust in node 2", func() bool {
+		return !detectors[1].Suspected(2) && !detectors[3].Suspected(2)
+	})
+
+	// Phase 3: crash node 3 and watch the survivors notice.
 	fmt.Println("-- crashing node 3")
 	detectors[3].Stop()
 	nodes[3].Stop()

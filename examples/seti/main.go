@@ -6,6 +6,14 @@
 // the worker.
 //
 //	go run ./examples/seti -workers 4 -chunks 25 -link myrinet
+//
+// The robustness knobs turn the same run into a fault drill: -drop
+// makes every link lossy (which switches on the reliable delivery
+// layer and failure detection), and -crash kills a worker mid-run —
+// the survivors finish, the failure detector reports the death, and a
+// rescue worker re-runs the victim's quota.
+//
+//	go run ./examples/seti -workers 4 -chunks 25 -drop 0.2 -crash 3
 package main
 
 import (
@@ -13,11 +21,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/failure"
 	"repro/internal/transport"
 )
 
@@ -42,6 +52,9 @@ func main() {
 		workers = flag.Int("workers", 4, "number of worker sites")
 		chunks  = flag.Int("chunks", 25, "chunks processed per worker")
 		link    = flag.String("link", "ideal", "interconnect profile: ideal, myrinet, fastether")
+		drop    = flag.Float64("drop", 0, "per-frame drop probability in [0,1); enables chaos + reliable delivery")
+		seed    = flag.Uint64("seed", 1, "chaos fault-schedule seed")
+		crash   = flag.Int("crash", -1, "worker index to crash mid-run (enables chaos + failure detection)")
 	)
 	flag.Parse()
 
@@ -50,7 +63,30 @@ func main() {
 		fail(fmt.Errorf("unknown link profile %q", *link))
 	}
 	// One node for the seti site, one per worker (Fig. 2 topology).
-	cl, err := core.NewCluster(core.ClusterConfig{Nodes: 1 + *workers, Link: model})
+	cfg := core.ClusterConfig{Nodes: 1 + *workers, Link: model}
+	if *drop > 0 || *crash >= 0 {
+		cfg.Chaos = &transport.ChaosConfig{Seed: *seed, Drop: *drop, Dup: *drop / 2, Reorder: *drop / 2}
+		cfg.Reliability = &transport.ReliableConfig{}
+		// Heartbeats are best-effort, so SuspectAfter must outlast any
+		// plausible run of consecutive losses at this drop rate — a
+		// false suspicion fail-fasts real work. Size it so the chance
+		// of that run is below 1e-6.
+		period := 10 * time.Millisecond
+		suspect := 8 * period
+		if *drop > 0 {
+			k := time.Duration(math.Ceil(math.Log(1e-6) / math.Log(*drop)))
+			if d := k * period; d > suspect {
+				suspect = d
+			}
+		}
+		cfg.Detect = &core.DetectConfig{Period: period, SuspectAfter: suspect}
+		cfg.OnSuspect = func(observer uint32, e failure.Event) {
+			if e.Suspected {
+				fmt.Printf("-- node %d suspects node %d\n", observer, e.Node)
+			}
+		}
+	}
+	cl, err := core.NewCluster(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -69,10 +105,31 @@ func main() {
 			fail(err)
 		}
 	}
+	if *crash >= 0 && *crash < *workers {
+		time.AfterFunc(50*time.Millisecond, func() {
+			fmt.Printf("-- crashing worker%d (node %d)\n", *crash, 2+*crash)
+			cl.Crash(1 + *crash)
+		})
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
 	if err := cl.Wait(ctx); err != nil {
 		fail(err)
+	}
+	if *crash >= 0 && *crash < *workers {
+		// Reassign the victim's quota to a fresh rescue site on the
+		// first worker node; the database keeps serving where it
+		// left off.
+		rescue := &strings.Builder{}
+		outs = append(outs, rescue)
+		fmt.Printf("-- survivors done; rescuing worker%d's quota\n", *crash)
+		src := fmt.Sprintf(`import Install from seti in Install[%d]`, *chunks)
+		if _, err := cl.Submit(1, "rescue", src, rescue); err != nil {
+			fail(err)
+		}
+		if err := cl.Wait(ctx); err != nil {
+			fail(err)
+		}
 	}
 	elapsed := time.Since(start)
 
@@ -83,6 +140,11 @@ func main() {
 	st := server.Machine().Stats
 	fmt.Printf("-- %d chunks served over %s in %v (%.0f chunks/s); server handled %d communications\n",
 		total, *link, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds(), st.Communications)
+	if cl.Node(0).Reliable() != nil {
+		rs := cl.Node(0).Reliable().Stats()
+		fmt.Printf("-- server reliability: %d data, %d retransmits, %d dup-drops, %d fail-fasts\n",
+			rs.DataSent, rs.Retransmits, rs.DupDrops, rs.FailFasts)
+	}
 }
 
 func fail(err error) {

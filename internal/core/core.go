@@ -18,10 +18,12 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/asm"
 	"repro/internal/compiler"
+	"repro/internal/failure"
 	"repro/internal/nameservice"
 	"repro/internal/node"
 	"repro/internal/site"
@@ -72,6 +74,16 @@ func (p *Program) SiteProgram() *site.Program {
 	}
 }
 
+// DetectConfig configures the per-node heartbeat failure detectors of
+// a cluster.
+type DetectConfig struct {
+	// Period is the heartbeat interval (default 50ms).
+	Period time.Duration
+	// SuspectAfter is how long without a heartbeat before suspicion
+	// (default 4 × Period; raise it on lossy links).
+	SuspectAfter time.Duration
+}
+
 // ClusterConfig configures an in-process cluster.
 type ClusterConfig struct {
 	// Nodes is the number of nodes (default 1).
@@ -84,16 +96,36 @@ type ClusterConfig struct {
 	Out io.Writer
 	// NS overrides the name service (default: a fresh Central).
 	NS nameservice.Service
+	// Chaos, when non-nil, interposes a deterministic fault model
+	// between every node and the fabric (drops, duplication,
+	// reordering, partitions, crashes). Reach it via Cluster.Chaos.
+	Chaos *transport.ChaosConfig
+	// Reliability, when non-nil, runs the ack/retransmit delivery layer
+	// on every node — required for computations to survive a chaotic
+	// fabric.
+	Reliability *transport.ReliableConfig
+	// Detect, when non-nil, attaches a heartbeat failure detector to
+	// every node (feeding the reliable layer's peer-down state).
+	Detect *DetectConfig
+	// OnSuspect receives every detector suspicion change, tagged with
+	// the observing node. The reconfiguration hook: a SETI-style master
+	// requeues a crashed worker's chunks from here.
+	OnSuspect func(observer uint32, e failure.Event)
 }
 
 // Cluster is an in-process DiTyCO network: N nodes on a switch fabric
 // sharing a name service — the architecture of paper Fig. 2 scaled
 // into one process.
 type Cluster struct {
-	ns     nameservice.Service
-	fabric *transport.Fabric
-	nodes  []*node.Node
-	det    *termination.Detector
+	ns        nameservice.Service
+	fabric    *transport.Fabric
+	chaos     *transport.Chaos
+	nodes     []*node.Node
+	detectors []*failure.Detector
+	det       *termination.Detector
+
+	deadMu sync.Mutex
+	dead   map[uint32]bool
 }
 
 // NewCluster assembles a cluster.
@@ -106,23 +138,93 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		ns = nameservice.NewCentral()
 	}
 	fabric := transport.NewFabric(cfg.Link)
-	c := &Cluster{ns: ns, fabric: fabric}
+	c := &Cluster{ns: ns, fabric: fabric, dead: map[uint32]bool{}}
+	if cfg.Chaos != nil {
+		c.chaos = transport.NewChaos(*cfg.Chaos)
+	}
 	for i := 0; i < cfg.Nodes; i++ {
 		tr, err := fabric.Attach(uint32(i + 1))
 		if err != nil {
 			return nil, err
 		}
+		var t transport.Transport = tr
+		if c.chaos != nil {
+			t = c.chaos.Wrap(tr)
+		}
 		n := node.New(node.Config{
 			ID:                uint32(i + 1),
 			NS:                ns,
-			Transport:         tr,
+			Transport:         t,
 			Out:               cfg.Out,
 			ForceMarshalLocal: cfg.ForceMarshalLocal,
+			Reliability:       cfg.Reliability,
 		})
 		c.nodes = append(c.nodes, n)
 	}
+	if cfg.Detect != nil {
+		peers := make([]uint32, cfg.Nodes)
+		for i := range peers {
+			peers[i] = uint32(i + 1)
+		}
+		for _, n := range c.nodes {
+			observer := n.ID()
+			c.detectors = append(c.detectors, n.AttachFailureDetectorWith(failure.Config{
+				Peers:        peers,
+				Period:       cfg.Detect.Period,
+				SuspectAfter: cfg.Detect.SuspectAfter,
+				OnEvent: func(e failure.Event) {
+					if cfg.OnSuspect != nil {
+						cfg.OnSuspect(observer, e)
+					}
+				},
+			}))
+		}
+	}
 	c.det = termination.New(c.probes)
+	c.det.Collector = func(ps []termination.Probe) termination.Snapshot {
+		return termination.CollectAlive(ps, c.aliveFn())
+	}
 	return c, nil
+}
+
+// Chaos returns the cluster's fault controller (nil without the Chaos
+// knob): the handle for partitions, heals, and crash/blackhole.
+func (c *Cluster) Chaos() *transport.Chaos { return c.chaos }
+
+// Crash kills node i: its network presence is blackholed (when chaos is
+// wired), its sites are stopped, and it is excluded from termination
+// accounting and error collection from here on. This models fail-stop —
+// there is no Revive for a crashed node's computation state.
+func (c *Cluster) Crash(i int) {
+	if i < 0 || i >= len(c.nodes) {
+		return
+	}
+	id := c.nodes[i].ID()
+	c.deadMu.Lock()
+	already := c.dead[id]
+	c.dead[id] = true
+	c.deadMu.Unlock()
+	if already {
+		return
+	}
+	if c.chaos != nil {
+		c.chaos.Crash(id)
+	}
+	if i < len(c.detectors) {
+		c.detectors[i].Stop()
+	}
+	c.nodes[i].Stop()
+}
+
+// aliveFn snapshots the dead set into a membership predicate.
+func (c *Cluster) aliveFn() func(uint32) bool {
+	c.deadMu.Lock()
+	defer c.deadMu.Unlock()
+	dead := make(map[uint32]bool, len(c.dead))
+	for k, v := range c.dead {
+		dead[k] = v
+	}
+	return func(n uint32) bool { return !dead[n] }
 }
 
 // NS returns the cluster's name service.
@@ -158,8 +260,16 @@ func (c *Cluster) probes() []termination.Probe {
 	var out []termination.Probe
 	for _, n := range c.nodes {
 		for _, s := range n.Sites() {
-			sent, recv, idle := s.ControlState()
-			out = append(out, termination.Probe{Sent: sent, Recv: recv, Idle: idle})
+			sentTo, recvFrom, idle := s.ControlVectors()
+			sent, recv, _ := s.ControlState()
+			out = append(out, termination.Probe{
+				Node:     n.ID(),
+				Sent:     sent,
+				Recv:     recv,
+				SentTo:   sentTo,
+				RecvFrom: recvFrom,
+				Idle:     idle,
+			})
 		}
 	}
 	return out
@@ -173,9 +283,14 @@ func (c *Cluster) Wait(ctx context.Context) error {
 	return c.det.Wait(ctx, func() error { return c.Err() })
 }
 
-// Err returns the first error any site or node hit.
+// Err returns the first error any site or node hit. Nodes killed via
+// Crash are skipped: a crashed node's sites die mid-flight by design.
 func (c *Cluster) Err() error {
+	alive := c.aliveFn()
 	for _, n := range c.nodes {
+		if !alive(n.ID()) {
+			continue
+		}
 		if err := n.Err(); err != nil {
 			return err
 		}
@@ -190,8 +305,14 @@ func (c *Cluster) Err() error {
 
 // Stop tears the cluster down.
 func (c *Cluster) Stop() {
+	for _, d := range c.detectors {
+		d.Stop()
+	}
 	for _, n := range c.nodes {
 		n.Stop()
+	}
+	if c.chaos != nil {
+		c.chaos.Close()
 	}
 	c.fabric.Close()
 }

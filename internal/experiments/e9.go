@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// E9 — reliable delivery under chaos. The paper assumes the network
+// delivers (§5 sits directly on TCP); this experiment measures what the
+// ack/retransmit layer costs to uphold that assumption on a lossy
+// fabric: goodput as the drop rate climbs, and time to complete when a
+// mid-run partition severs the master/worker link.
+func E9(o Options) (*Table, error) {
+	chunks := o.scale(40, 10)
+	drops := []float64{0, 0.1, 0.2, 0.3}
+	if o.Quick {
+		drops = []float64{0, 0.2}
+	}
+	parts := []time.Duration{50 * time.Millisecond, 150 * time.Millisecond}
+	if o.Quick {
+		parts = []time.Duration{50 * time.Millisecond}
+	}
+
+	t := &Table{
+		ID:     "E9",
+		Title:  "reliable delivery under chaos: goodput vs drop rate, recovery vs partition",
+		Header: []string{"scenario", "parameter", "chunks", "total", "chunks/s", "retransmits", "dup-drops", "acks", "fail-fasts"},
+		Notes: []string{
+			"workload: E6's SETI pair (1 worker, crunch 0) — every chunk is a request/reply across the chaotic link",
+			"dup/reorder rates ride at half the drop rate; seed fixed, so each row replays the same fault schedule",
+			"partition rows: the link is cut mid-run for the given length; total includes the outage plus retransmit recovery",
+		},
+	}
+
+	for _, drop := range drops {
+		row, err := e9Run(fmt.Sprintf("%.0f%% drop", drop*100), chunks, transport.ChaosConfig{
+			Seed:    9,
+			Drop:    drop,
+			Dup:     drop / 2,
+			Reorder: drop / 2,
+		}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("E9 drop=%.2f: %w", drop, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	for _, d := range parts {
+		row, err := e9Run(fmt.Sprintf("partition %v", d), chunks, transport.ChaosConfig{Seed: 9}, d)
+		if err != nil {
+			return nil, fmt.Errorf("E9 partition=%v: %w", d, err)
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// e9Run drives the SETI pair over a chaotic fabric with the reliable
+// layer on, optionally cutting the link mid-run, and reports goodput
+// plus the cluster-wide reliability counters.
+func e9Run(scenario string, chunks int, chaos transport.ChaosConfig, partition time.Duration) ([]string, error) {
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:       2,
+		Chaos:       &chaos,
+		Reliability: &transport.ReliableConfig{},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Stop()
+	if partition > 0 {
+		// The link is down from the first frame; heal after the given
+		// outage. Total time = outage + retransmit-backoff recovery, so
+		// the row measures how fast the layer resynchronises.
+		cl.Chaos().Partition(1, 2)
+		time.AfterFunc(partition, func() { cl.Chaos().Heal(1, 2) })
+	}
+	start := time.Now()
+	if _, err := cl.Submit(0, "seti", e6Server(0), io.Discard); err != nil {
+		return nil, err
+	}
+	if _, err := cl.Submit(1, "worker0", fmt.Sprintf(`import Install from seti in Install[%d]`, chunks), nil); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		return nil, fmt.Errorf("wait: %w (cluster: %v)", err, cl.Err())
+	}
+	elapsed := time.Since(start)
+
+	c := stats.NewCounter()
+	for i := 0; i < cl.Nodes(); i++ {
+		CollectReliability(c, fmt.Sprintf("node%d", i+1), cl.Node(i).Reliable().Stats())
+	}
+	return []string{
+		scenario,
+		fmt.Sprintf("seed %d", chaos.Seed),
+		fmt.Sprintf("%d", chunks),
+		elapsed.Round(time.Millisecond).String(),
+		rate(chunks, elapsed),
+		fmt.Sprintf("%d", c.Get("retransmits")),
+		fmt.Sprintf("%d", c.Get("dup-drops")),
+		fmt.Sprintf("%d", c.Get("acks")),
+		fmt.Sprintf("%d", c.Get("fail-fasts")),
+	}, nil
+}
+
+// CollectReliability folds one node's reliable-layer counters into a
+// stats.Counter, both per node (prefixed) and cluster-wide (bare), so
+// experiment tables can print either granularity.
+func CollectReliability(c *stats.Counter, prefix string, s transport.ReliableStats) {
+	add := func(label string, v uint64) {
+		c.Add(label, v)
+		c.Add(prefix+"/"+label, v)
+	}
+	add("data-sent", s.DataSent)
+	add("retransmits", s.Retransmits)
+	add("acks", s.AcksSent)
+	add("dup-drops", s.DupDrops)
+	add("fail-fasts", s.FailFasts)
+	add("raw-sent", s.RawSent)
+}

@@ -106,6 +106,7 @@ func All() []Runner {
 		{"e6", "SETI master/worker speedup (§4)", E6},
 		{"e7", "wire format & mobile code sizes (§5)", E7},
 		{"e8", "termination & failure detection (§7)", E8},
+		{"e9", "reliable delivery under chaos (drop, dup, partition)", E9},
 	}
 }
 

@@ -46,6 +46,11 @@ type Config struct {
 	// SuspectAfter is how long without a heartbeat before suspecting
 	// a peer (default 4 × Period).
 	SuspectAfter time.Duration
+	// Epoch distinguishes incarnations of this node: a restarted node
+	// must not have its fresh heartbeats (seq restarting at 1) discarded
+	// as replays of its previous life. 0 means derive one from the clock
+	// at construction time.
+	Epoch uint64
 	// Send broadcasts one heartbeat payload to a peer.
 	Send func(dst uint32, payload []byte) error
 	// OnEvent receives suspicion changes.
@@ -60,7 +65,7 @@ type Detector struct {
 
 	mu        sync.Mutex
 	lastSeen  map[uint32]time.Time
-	lastSeq   map[uint32]uint64
+	lastHB    map[uint32]hbStamp
 	suspected map[uint32]bool
 	seq       uint64
 
@@ -79,10 +84,13 @@ func New(cfg Config) *Detector {
 	if cfg.Clock == nil {
 		cfg.Clock = realClock{}
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = uint64(cfg.Clock.Now().UnixNano())
+	}
 	d := &Detector{
 		cfg:       cfg,
 		lastSeen:  map[uint32]time.Time{},
-		lastSeq:   map[uint32]uint64{},
+		lastHB:    map[uint32]hbStamp{},
 		suspected: map[uint32]bool{},
 		stop:      make(chan struct{}),
 		done:      make(chan struct{}),
@@ -96,26 +104,47 @@ func New(cfg Config) *Detector {
 	return d
 }
 
+// hbStamp is the freshest (epoch, seq) observed from a peer. Within an
+// epoch seq orders heartbeats; a larger epoch is a newer incarnation
+// and outranks any seq from an older one.
+type hbStamp struct {
+	epoch uint64
+	seq   uint64
+}
+
+// newerThan reports whether s supersedes old.
+func (s hbStamp) newerThan(old hbStamp) bool {
+	if s.epoch != old.epoch {
+		return s.epoch > old.epoch
+	}
+	return s.seq > old.seq
+}
+
 // EncodeHeartbeat builds a heartbeat payload.
-func EncodeHeartbeat(node uint32, seq uint64) []byte {
+func EncodeHeartbeat(node uint32, epoch, seq uint64) []byte {
 	var w wire.Writer
 	w.U(uint64(node))
+	w.U(epoch)
 	w.U(seq)
 	return w.Bytes()
 }
 
 // DecodeHeartbeat parses a heartbeat payload.
-func DecodeHeartbeat(payload []byte) (node uint32, seq uint64, err error) {
+func DecodeHeartbeat(payload []byte) (node uint32, epoch, seq uint64, err error) {
 	r := wire.NewReader(payload)
 	n, err := r.U()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
+	}
+	e, err := r.U()
+	if err != nil {
+		return 0, 0, 0, err
 	}
 	s, err := r.U()
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, 0, err
 	}
-	return uint32(n), s, nil
+	return uint32(n), e, s, nil
 }
 
 // Start launches the broadcast and check loops.
@@ -152,7 +181,7 @@ func (d *Detector) beat() {
 	d.seq++
 	seq := d.seq
 	d.mu.Unlock()
-	payload := EncodeHeartbeat(d.cfg.Self, seq)
+	payload := EncodeHeartbeat(d.cfg.Self, d.cfg.Epoch, seq)
 	for _, p := range d.cfg.Peers {
 		if p == d.cfg.Self {
 			continue
@@ -164,17 +193,22 @@ func (d *Detector) beat() {
 // Observe records a received heartbeat; the node adapter calls it from
 // its control handler.
 func (d *Detector) Observe(payload []byte) {
-	node, seq, err := DecodeHeartbeat(payload)
+	node, epoch, seq, err := DecodeHeartbeat(payload)
 	if err != nil {
 		return
 	}
 	now := d.cfg.Clock.Now()
+	stamp := hbStamp{epoch: epoch, seq: seq}
 	d.mu.Lock()
-	if seq <= d.lastSeq[node] && d.lastSeq[node] != 0 {
+	// Explicit first-seen handling: the zero hbStamp is not a sentinel —
+	// the map lookup's second value is. A heartbeat is stale only if a
+	// strictly fresher one from the same peer was already recorded; a
+	// new epoch (peer restart) always supersedes the old incarnation.
+	if last, seen := d.lastHB[node]; seen && !stamp.newerThan(last) {
 		d.mu.Unlock()
-		return // stale or duplicated heartbeat
+		return // stale, duplicated, or replayed heartbeat
 	}
-	d.lastSeq[node] = seq
+	d.lastHB[node] = stamp
 	d.lastSeen[node] = now
 	wasSuspected := d.suspected[node]
 	if wasSuspected {
@@ -186,6 +220,11 @@ func (d *Detector) Observe(payload []byte) {
 		cb(Event{Node: node, Suspected: false, At: now})
 	}
 }
+
+// CheckNow runs one suspicion scan immediately. The periodic loop does
+// this every Period; deterministic tests driving a fake Clock call it
+// directly instead of waiting out real time.
+func (d *Detector) CheckNow() { d.check() }
 
 // check scans for peers whose heartbeats stopped.
 func (d *Detector) check() {

@@ -1,0 +1,100 @@
+package failure_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/failure"
+	"repro/internal/transport"
+)
+
+// chaosDetector runs a detector whose heartbeats traverse a chaos
+// fabric, pumping received frames into Observe.
+type chaosDetector struct {
+	d    *failure.Detector
+	tr   transport.Transport
+	done chan struct{}
+}
+
+func startChaosDetector(t *testing.T, f *transport.Fabric, chaos *transport.Chaos, self uint32, peers []uint32, clk failure.Clock, events chan failure.Event) *chaosDetector {
+	t.Helper()
+	m, err := f.Attach(self)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := chaos.Wrap(m)
+	cd := &chaosDetector{tr: tr, done: make(chan struct{})}
+	cd.d = failure.New(failure.Config{
+		Self: self, Peers: peers,
+		Period:       2 * time.Millisecond,
+		SuspectAfter: 20 * time.Millisecond,
+		Clock:        clk,
+		Send:         func(dst uint32, payload []byte) error { return tr.Send(dst, payload) },
+		OnEvent: func(e failure.Event) {
+			if events != nil {
+				events <- e
+			}
+		},
+	})
+	go func() {
+		defer close(cd.done)
+		for frame := range tr.Recv() {
+			cd.d.Observe(frame)
+		}
+	}()
+	cd.d.Start()
+	return cd
+}
+
+func (cd *chaosDetector) stop() {
+	cd.d.Stop()
+	cd.tr.Close()
+	<-cd.done
+}
+
+// TestSuspicionFollowsPartitionAndHeal drives the detector's view of
+// time with a fake clock while heartbeats cross a chaos fabric: a
+// partition must raise suspicion once (fake) time passes SuspectAfter,
+// and healing must clear it.
+func TestSuspicionFollowsPartitionAndHeal(t *testing.T) {
+	fab := transport.NewFabric(transport.Ideal)
+	defer fab.Close()
+	chaos := transport.NewChaos(transport.ChaosConfig{Seed: 9})
+	defer chaos.Close()
+	clk := newFakeClock()
+	events := make(chan failure.Event, 64)
+	peers := []uint32{1, 2}
+	d1 := startChaosDetector(t, fab, chaos, 1, peers, clk, events)
+	defer d1.stop()
+	d2 := startChaosDetector(t, fab, chaos, 2, peers, clk, nil)
+	defer d2.stop()
+
+	// Healthy phase: let several heartbeat rounds land, nudging the fake
+	// clock along so lastSeen values are not all identical.
+	for i := 0; i < 5; i++ {
+		time.Sleep(4 * time.Millisecond)
+		clk.advance(4 * time.Millisecond)
+	}
+	if d1.d.Suspected(2) {
+		t.Fatal("healthy peer suspected")
+	}
+
+	// Partition: heartbeats stop arriving; once fake time outruns
+	// SuspectAfter the next periodic check must suspect.
+	chaos.Partition(1, 2)
+	// Let heartbeats already buffered in the recv channels drain before
+	// jumping the clock, so none of them refresh liveness afterwards.
+	time.Sleep(10 * time.Millisecond)
+	clk.advance(50 * time.Millisecond)
+	waitEvent(t, events, true)
+	if alive := d1.d.Alive(); len(alive) != 0 {
+		t.Fatalf("alive across a partition: %v", alive)
+	}
+
+	// Heal: the first heartbeat through clears suspicion.
+	chaos.Heal(1, 2)
+	waitEvent(t, events, false)
+	if d1.d.Suspected(2) {
+		t.Fatal("suspicion survived the heal")
+	}
+}

@@ -50,12 +50,12 @@ func newPair(period time.Duration) *pair {
 }
 
 func TestHeartbeatCodec(t *testing.T) {
-	payload := failure.EncodeHeartbeat(7, 42)
-	node, seq, err := failure.DecodeHeartbeat(payload)
-	if err != nil || node != 7 || seq != 42 {
-		t.Fatalf("codec: %d %d %v", node, seq, err)
+	payload := failure.EncodeHeartbeat(7, 9, 42)
+	node, epoch, seq, err := failure.DecodeHeartbeat(payload)
+	if err != nil || node != 7 || epoch != 9 || seq != 42 {
+		t.Fatalf("codec: %d %d %d %v", node, epoch, seq, err)
 	}
-	if _, _, err := failure.DecodeHeartbeat([]byte{0xFF}); err == nil {
+	if _, _, _, err := failure.DecodeHeartbeat([]byte{0xFF}); err == nil {
 		t.Fatal("truncated heartbeat accepted")
 	}
 }
@@ -138,18 +138,88 @@ func waitEvent(t *testing.T, ch chan failure.Event, suspected bool) {
 	}
 }
 
+// fakeClock is a manually advanced Clock for deterministic suspicion
+// timing.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(1000, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
 func TestStaleHeartbeatsIgnored(t *testing.T) {
+	clk := newFakeClock()
 	d := failure.New(failure.Config{
 		Self: 1, Peers: []uint32{1, 2}, Period: time.Millisecond,
+		SuspectAfter: 10 * time.Millisecond, Clock: clk,
 		Send: func(uint32, []byte) error { return nil },
 	})
-	// Sequence 5 then a replayed 3: the replay must not refresh.
-	d.Observe(failure.EncodeHeartbeat(2, 5))
-	d.Observe(failure.EncodeHeartbeat(2, 3)) // ignored
-	d.Observe(failure.EncodeHeartbeat(2, 6)) // accepted
-	// No crash, no event machinery needed — this is a pure logic check
-	// that Observe tolerates replays.
+	const epoch = 77
+	// Sequence 5 then a replayed 5 and 3: the replays must not refresh
+	// lastSeen — otherwise an attacker of one replayed frame per period
+	// keeps a dead peer looking alive.
+	d.Observe(failure.EncodeHeartbeat(2, epoch, 5))
+	clk.advance(6 * time.Millisecond)
+	d.Observe(failure.EncodeHeartbeat(2, epoch, 5)) // replay: ignored
+	d.Observe(failure.EncodeHeartbeat(2, epoch, 3)) // stale: ignored
+	clk.advance(6 * time.Millisecond)
+	// 12ms since the only accepted heartbeat: past SuspectAfter.
+	d.CheckNow()
+	if !d.Suspected(2) {
+		t.Fatal("replayed heartbeats refreshed liveness")
+	}
+	d.Observe(failure.EncodeHeartbeat(2, epoch, 6)) // genuinely fresh
 	if d.Suspected(2) {
-		t.Fatal("fresh peer suspected")
+		t.Fatal("fresh heartbeat did not clear suspicion")
+	}
+}
+
+func TestRestartedPeerNewEpochAccepted(t *testing.T) {
+	clk := newFakeClock()
+	var events []failure.Event
+	d := failure.New(failure.Config{
+		Self: 1, Peers: []uint32{1, 2}, Period: time.Millisecond,
+		SuspectAfter: 10 * time.Millisecond, Clock: clk,
+		Send:    func(uint32, []byte) error { return nil },
+		OnEvent: func(e failure.Event) { events = append(events, e) },
+	})
+	// Old incarnation got far into its sequence space, then died.
+	d.Observe(failure.EncodeHeartbeat(2, 100, 5000))
+	clk.advance(20 * time.Millisecond)
+	d.CheckNow()
+	if !d.Suspected(2) {
+		t.Fatal("dead peer not suspected")
+	}
+	// The restarted peer begins again at seq 1 — under the old
+	// seq-only check every one of its heartbeats read as a replay and
+	// the peer stayed suspected forever.
+	d.Observe(failure.EncodeHeartbeat(2, 101, 1))
+	if d.Suspected(2) {
+		t.Fatal("restarted peer (new epoch, low seq) still suspected")
+	}
+	// And the old incarnation's straggler cannot un-suspect anyone now.
+	clk.advance(20 * time.Millisecond)
+	d.CheckNow()
+	if !d.Suspected(2) {
+		t.Fatal("peer should be suspected again")
+	}
+	d.Observe(failure.EncodeHeartbeat(2, 100, 6000))
+	if !d.Suspected(2) {
+		t.Fatal("stale-epoch heartbeat cleared suspicion")
+	}
+	if len(events) < 3 {
+		t.Fatalf("events: %+v", events)
 	}
 }

@@ -229,17 +229,29 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
-// Client is a Service backed by a remote Server.
+// Client is a Service backed by a remote Server. A lost connection is
+// redialed in the background with exponential backoff, and calls that
+// fail in transit (write error, reply channel closed, not yet
+// reconnected) are retried until their context expires — server-side
+// errors (unknown name, signature clash) stay terminal.
 type Client struct {
 	addr string
 
-	mu      sync.Mutex
-	conn    net.Conn
-	wmu     sync.Mutex
-	nextID  uint64
-	pending map[uint64]chan *wire.Reader
-	closed  bool
+	mu        sync.Mutex
+	conn      net.Conn
+	redialing bool
+	wmu       sync.Mutex
+	nextID    uint64
+	pending   map[uint64]chan *wire.Reader
+	closed    bool
 }
+
+// Transient call failures — safe to retry because the request either
+// never reached the server or its (idempotent) reply was lost.
+var (
+	errNotConnected = errors.New("nameservice: not connected")
+	errConnLost     = errors.New("nameservice: connection lost")
+)
 
 var _ Service = (*Client)(nil)
 
@@ -284,7 +296,17 @@ func (c *Client) readLoop(conn net.Conn) {
 				close(ch)
 				delete(c.pending, id)
 			}
+			if c.conn == conn {
+				c.conn = nil
+			}
+			redial := !c.closed && !c.redialing
+			if redial {
+				c.redialing = true
+			}
 			c.mu.Unlock()
+			if redial {
+				go c.redialLoop()
+			}
 			return
 		}
 		r := wire.NewReader(frame)
@@ -306,18 +328,82 @@ func (c *Client) readLoop(conn net.Conn) {
 	}
 }
 
-// call sends a request and waits for its reply.
+// redialLoop re-establishes the connection with exponential backoff.
+func (c *Client) redialLoop() {
+	backoff := 50 * time.Millisecond
+	for {
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if closed {
+			return
+		}
+		conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+		if err == nil {
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				conn.Close()
+				return
+			}
+			c.conn = conn
+			c.redialing = false
+			c.mu.Unlock()
+			go c.readLoop(conn)
+			return
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 2*time.Second {
+			backoff = 2 * time.Second
+		}
+	}
+}
+
+// call sends a request and waits for its reply, retrying transient
+// transport failures with backoff until ctx expires.
 func (c *Client) call(ctx context.Context, build func(w *wire.Writer, id uint64)) (*wire.Reader, error) {
+	backoff := 25 * time.Millisecond
+	for {
+		r, err := c.callOnce(ctx, build)
+		if err == nil || !isTransient(err) {
+			return r, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > time.Second {
+			backoff = time.Second
+		}
+	}
+}
+
+func isTransient(err error) bool {
+	if errors.Is(err, errNotConnected) || errors.Is(err, errConnLost) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) || errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed)
+}
+
+// callOnce sends a request over the current connection and waits for
+// its reply.
+func (c *Client) callOnce(ctx context.Context, build func(w *wire.Writer, id uint64)) (*wire.Reader, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
 		return nil, errors.New("nameservice: client closed")
 	}
+	conn := c.conn
+	if conn == nil {
+		c.mu.Unlock()
+		return nil, errNotConnected
+	}
 	c.nextID++
 	id := c.nextID
 	ch := make(chan *wire.Reader, 1)
 	c.pending[id] = ch
-	conn := c.conn
 	c.mu.Unlock()
 
 	var w wire.Writer
@@ -331,7 +417,7 @@ func (c *Client) call(ctx context.Context, build func(w *wire.Writer, id uint64)
 	select {
 	case r, ok := <-ch:
 		if !ok {
-			return nil, errors.New("nameservice: connection lost")
+			return nil, errConnLost
 		}
 		msg, err := r.S()
 		if err != nil {
@@ -349,9 +435,17 @@ func (c *Client) call(ctx context.Context, build func(w *wire.Writer, id uint64)
 	}
 }
 
+// registerCtx bounds register calls: they retry through reconnects but
+// must not hang a site launch forever against a dead server.
+func registerCtx() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
 // RegisterSite implements Service.
 func (c *Client) RegisterSite(name string, site, node uint32) error {
-	_, err := c.call(context.Background(), func(w *wire.Writer, id uint64) {
+	ctx, cancel := registerCtx()
+	defer cancel()
+	_, err := c.call(ctx, func(w *wire.Writer, id uint64) {
 		w.Byte(byte(opRegisterSite))
 		w.U(id)
 		w.S(name)
@@ -384,7 +478,9 @@ func (c *Client) LookupSite(ctx context.Context, name string) (uint32, uint32, e
 
 // RegisterName implements Service.
 func (c *Client) RegisterName(siteName, id string, heap uint32, sig string) error {
-	_, err := c.call(context.Background(), func(w *wire.Writer, rid uint64) {
+	ctx, cancel := registerCtx()
+	defer cancel()
+	_, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
 		w.Byte(byte(opRegisterName))
 		w.U(rid)
 		w.S(siteName)
@@ -427,7 +523,9 @@ func (c *Client) LookupName(ctx context.Context, siteName, id string) (vm.NetRef
 
 // RegisterClass implements Service.
 func (c *Client) RegisterClass(siteName, class string, sig string) error {
-	_, err := c.call(context.Background(), func(w *wire.Writer, rid uint64) {
+	ctx, cancel := registerCtx()
+	defer cancel()
+	_, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
 		w.Byte(byte(opRegisterClass))
 		w.U(rid)
 		w.S(siteName)

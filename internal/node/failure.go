@@ -17,15 +17,34 @@ import (
 // heartbeats: it chains onto the node's existing OnControl handler, so
 // attach order composes.
 func (n *Node) AttachFailureDetector(peers []uint32, period time.Duration, onEvent func(failure.Event)) *failure.Detector {
-	d := failure.New(failure.Config{
-		Self:    n.cfg.ID,
-		Peers:   peers,
-		Period:  period,
-		OnEvent: onEvent,
-		Send: func(dst uint32, payload []byte) error {
-			return n.SendControl(wire.FHeartbeat, dst, payload)
-		},
-	})
+	return n.AttachFailureDetectorWith(failure.Config{Peers: peers, Period: period, OnEvent: onEvent})
+}
+
+// AttachFailureDetectorWith is AttachFailureDetector with the full
+// detector configuration exposed (SuspectAfter in particular: lossy
+// links need a larger multiple of the period to avoid false suspicion).
+// Self and Send are owned by the node and overwritten. Suspicion events
+// additionally feed the node's reliable delivery layer, when present:
+// suspected peers fail fast (ErrPeerDown), re-trusted peers resume.
+func (n *Node) AttachFailureDetectorWith(cfg failure.Config) *failure.Detector {
+	cfg.Self = n.cfg.ID
+	cfg.Send = func(dst uint32, payload []byte) error {
+		return n.SendControl(wire.FHeartbeat, dst, payload)
+	}
+	userEvent := cfg.OnEvent
+	cfg.OnEvent = func(e failure.Event) {
+		if n.rel != nil {
+			if e.Suspected {
+				n.rel.SetPeerDown(e.Node)
+			} else {
+				n.rel.SetPeerUp(e.Node)
+			}
+		}
+		if userEvent != nil {
+			userEvent(e)
+		}
+	}
+	d := failure.New(cfg)
 	prev := n.control()
 	chained := func(t wire.FrameType, src uint32, payload []byte) {
 		if t == wire.FHeartbeat {

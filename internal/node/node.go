@@ -14,6 +14,7 @@
 package node
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -45,11 +46,26 @@ type Config struct {
 	// OnControl receives FTerm/FHeartbeat payloads (termination and
 	// failure detectors register here).
 	OnControl func(t wire.FrameType, src uint32, payload []byte)
+	// Reliability, when non-nil, layers ack/retransmit delivery
+	// (transport.Reliable) between the TyCOd and the transport: frames
+	// survive lossy links, and sends to dead peers fail fast instead of
+	// queueing forever. Heartbeats bypass the layer (best-effort) —
+	// their loss IS the failure signal.
+	Reliability *transport.ReliableConfig
+	// OnDeliveryFailure is told about every frame the node gave up
+	// delivering to dst (the peer is down). Envelope content is already
+	// lost at this layer; the callback is a signal for reconfiguration,
+	// not a recovery path.
+	OnDeliveryFailure func(dst uint32, err error)
 }
 
 // Node is one DiTyCO node.
 type Node struct {
 	cfg Config
+	// tr is the effective transport: cfg.Transport, possibly wrapped in
+	// the reliable delivery layer.
+	tr  transport.Transport
+	rel *transport.Reliable
 
 	mu       sync.Mutex
 	sites    map[uint32]*site.Site
@@ -66,6 +82,7 @@ type Node struct {
 	// Daemon statistics.
 	localDeliveries  atomic.Uint64
 	remoteDeliveries atomic.Uint64
+	deliveryFailures atomic.Uint64
 }
 
 // LocalDeliveries reports same-node deliveries handled by the daemon.
@@ -81,14 +98,56 @@ func New(cfg Config) *Node {
 	}
 	n := &Node{
 		cfg:    cfg,
+		tr:     cfg.Transport,
 		sites:  map[uint32]*site.Site{},
 		byName: map[string]*site.Site{},
 		stop:   make(chan struct{}),
 		done:   make(chan struct{}),
 	}
+	if cfg.Reliability != nil {
+		relCfg := *cfg.Reliability
+		userDrop := relCfg.OnDrop
+		relCfg.OnDrop = func(dst transport.NodeID, frame []byte, err error) {
+			n.deliveryFailures.Add(1)
+			if cb := n.cfg.OnDeliveryFailure; cb != nil {
+				cb(dst, err)
+			}
+			if userDrop != nil {
+				userDrop(dst, frame, err)
+			}
+		}
+		n.rel = transport.NewReliable(cfg.Transport, relCfg)
+		n.tr = n.rel
+	}
 	n.onControl.Store(&cfg.OnControl)
 	go n.tycod()
 	return n
+}
+
+// Reliable exposes the node's reliable delivery layer (nil when the
+// Reliability knob is off) — the failure detector feeds peer-down
+// transitions into it, and stats reporting reads its counters.
+func (n *Node) Reliable() *transport.Reliable { return n.rel }
+
+// DeliveryFailures reports frames the node abandoned because their
+// destination was down.
+func (n *Node) DeliveryFailures() uint64 { return n.deliveryFailures.Load() }
+
+// send ships one encoded frame. A destination declared dead is not an
+// error the sender can act on: the frame is dropped (counted, with the
+// OnDeliveryFailure signal) and the site keeps running — failure-aware
+// termination accounting excludes traffic to dead nodes, so the dropped
+// message does not read as forever in flight.
+func (n *Node) send(dst uint32, frame []byte) error {
+	err := n.tr.Send(dst, frame)
+	if errors.Is(err, transport.ErrPeerDown) {
+		n.deliveryFailures.Add(1)
+		if cb := n.cfg.OnDeliveryFailure; cb != nil {
+			cb(dst, err)
+		}
+		return nil
+	}
+	return err
 }
 
 // control reads the current control-frame handler (handlers may be
@@ -217,6 +276,11 @@ func (n *Node) Stop() {
 		close(n.stop)
 	}
 	<-n.done
+	if n.rel != nil {
+		// The node owns the reliable layer it constructed (which in
+		// turn owns the wrapped transport).
+		_ = n.rel.Close()
+	}
 }
 
 // SendControl ships a control payload (termination, heartbeat) to
@@ -229,14 +293,19 @@ func (n *Node) SendControl(t wire.FrameType, dst uint32, payload []byte) error {
 		return nil
 	}
 	env := &wire.Envelope{Type: t, SrcNode: n.cfg.ID, DstNode: dst, Payload: payload}
-	return n.cfg.Transport.Send(dst, env.Encode())
+	if t == wire.FHeartbeat && n.rel != nil {
+		// Heartbeats stay best-effort: retransmitting one to a dead
+		// peer would mask exactly the loss the detector listens for.
+		return n.rel.SendBestEffort(dst, env.Encode())
+	}
+	return n.send(dst, env.Encode())
 }
 
 // tycod is the communication daemon: it drains the transport and
 // routes frames to site incoming queues.
 func (n *Node) tycod() {
 	defer close(n.done)
-	recv := n.cfg.Transport.Recv()
+	recv := n.tr.Recv()
 	for {
 		select {
 		case frame, ok := <-recv:
@@ -264,7 +333,7 @@ func (n *Node) dispatch(frame []byte) error {
 		if err != nil {
 			return err
 		}
-		return n.toSite(m.To.Site, site.Delivery{Msg: &site.MsgDelivery{Heap: m.To.Heap, Label: m.Label, Args: m.Args}})
+		return n.toSite(m.To.Site, site.Delivery{Src: env.SrcNode, Msg: &site.MsgDelivery{Heap: m.To.Heap, Label: m.Label, Args: m.Args}})
 	case wire.FObj:
 		o, err := wire.DecodeObj(env.Payload)
 		if err != nil {
@@ -274,13 +343,13 @@ func (n *Node) dispatch(frame []byte) error {
 		if err != nil {
 			return fmt.Errorf("node %d: migrated object: %w", n.cfg.ID, err)
 		}
-		return n.toSite(o.To.Site, site.Delivery{Obj: &site.ObjDelivery{Heap: o.To.Heap, Unit: u, Table: o.Table, Frame: o.Frame}})
+		return n.toSite(o.To.Site, site.Delivery{Src: env.SrcNode, Obj: &site.ObjDelivery{Heap: o.To.Heap, Unit: u, Table: o.Table, Frame: o.Frame}})
 	case wire.FFetchReq:
 		f, err := wire.DecodeFetchReq(env.Payload)
 		if err != nil {
 			return err
 		}
-		return n.toSite(f.OwnerSite, site.Delivery{Fetch: &site.FetchDelivery{
+		return n.toSite(f.OwnerSite, site.Delivery{Src: env.SrcNode, Fetch: &site.FetchDelivery{
 			Class: f.Class, ReqID: f.ReqID,
 			Reply: site.Addr{Site: f.ReplySite, Node: f.ReplyNode},
 		}})
@@ -295,7 +364,7 @@ func (n *Node) dispatch(frame []byte) error {
 				return fmt.Errorf("node %d: fetched class: %w", n.cfg.ID, err)
 			}
 		}
-		return n.toSite(f.DstSite, site.Delivery{FetchRep: &site.FetchRepDelivery{
+		return n.toSite(f.DstSite, site.Delivery{Src: env.SrcNode, FetchRep: &site.FetchRepDelivery{
 			ReqID: f.ReqID, Err: f.Err, Class: f.Class,
 			Unit: u, Group: f.Group, Index: f.Index, Captured: f.Captured,
 		}})
@@ -333,6 +402,7 @@ func (n *Node) toLocal(siteID uint32, d site.Delivery, reencode func() site.Deli
 	if n.cfg.ForceMarshalLocal && reencode != nil {
 		d = reencode()
 	}
+	d.Src = n.cfg.ID
 	n.localDeliveries.Add(1)
 	return s.Deliver(d)
 }

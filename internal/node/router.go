@@ -31,7 +31,7 @@ func (n *Node) RouteMsg(from *site.Site, ref vm.NetRef, label string, args []sit
 		Type: wire.FMsg, SrcNode: n.cfg.ID, DstNode: ref.Node,
 		Payload: (&wire.Msg{To: ref, Label: label, Args: args}).Encode(),
 	}
-	return n.cfg.Transport.Send(ref.Node, env.Encode())
+	return n.send(ref.Node, env.Encode())
 }
 
 // RouteObj implements site.Router.
@@ -55,7 +55,7 @@ func (n *Node) RouteObj(from *site.Site, ref vm.NetRef, unit *asm.Unit, table in
 		Type: wire.FObj, SrcNode: n.cfg.ID, DstNode: ref.Node,
 		Payload: (&wire.Obj{To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode(),
 	}
-	return n.cfg.Transport.Send(ref.Node, env.Encode())
+	return n.send(ref.Node, env.Encode())
 }
 
 // RouteFetch implements site.Router.
@@ -71,7 +71,7 @@ func (n *Node) RouteFetch(from *site.Site, owner site.Addr, class string, reqID 
 			ReplySite: from.ID(), ReplyNode: n.cfg.ID,
 		}).Encode(),
 	}
-	return n.cfg.Transport.Send(owner.Node, env.Encode())
+	return n.send(owner.Node, env.Encode())
 }
 
 // RouteFetchRep implements site.Router.
@@ -90,5 +90,5 @@ func (n *Node) RouteFetchRep(from *site.Site, to site.Addr, rep *site.FetchRepDe
 			Unit: unitBytes, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
 		}).Encode(),
 	}
-	return n.cfg.Transport.Send(to.Node, env.Encode())
+	return n.send(to.Node, env.Encode())
 }

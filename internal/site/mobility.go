@@ -245,7 +245,7 @@ func (s *Site) RemoteSend(ref vm.NetRef, label string, args []vm.Value) error {
 	if err != nil {
 		return err
 	}
-	s.ctrlSent.Add(1)
+	s.countSent(ref.Node)
 	return s.cfg.Router.RouteMsg(s, ref, label, ws)
 }
 
@@ -267,7 +267,7 @@ func (s *Site) RemoteObj(ref vm.NetRef, table int, frame []vm.Value) error {
 	if err != nil {
 		return err
 	}
-	s.ctrlSent.Add(1)
+	s.countSent(ref.Node)
 	return s.cfg.Router.RouteObj(s, ref, unit, reloc.Tables[table], wf)
 }
 
@@ -311,7 +311,7 @@ func (s *Site) RemoteInst(class vm.NetClass, args []vm.Value) error {
 	id := s.nextReq
 	s.pendingFetch[id] = &fetchPending{class: class, calls: [][]vm.Value{args}}
 	s.fetchByClass[class] = id
-	s.ctrlSent.Add(1)
+	s.countSent(class.Node)
 	return s.cfg.Router.RouteFetch(s, Addr{Site: class.Site, Node: class.Node}, class.Name, id)
 }
 
@@ -319,7 +319,7 @@ func (s *Site) RemoteInst(class vm.NetClass, args []vm.Value) error {
 // closure, σ-translate its captured values, reply.
 func (s *Site) serveFetch(f *FetchDelivery) error {
 	fail := func(msg string) error {
-		s.ctrlSent.Add(1)
+		s.countSent(f.Reply.Node)
 		return s.cfg.Router.RouteFetchRep(s, f.Reply, &FetchRepDelivery{ReqID: f.ReqID, Err: msg})
 	}
 	v, ok := s.expNames[f.Class]
@@ -343,7 +343,7 @@ func (s *Site) serveFetch(f *FetchDelivery) error {
 	if err != nil {
 		return fail(err.Error())
 	}
-	s.ctrlSent.Add(1)
+	s.countSent(f.Reply.Node)
 	return s.cfg.Router.RouteFetchRep(s, f.Reply, &FetchRepDelivery{
 		ReqID:    f.ReqID,
 		Class:    f.Class,

@@ -46,6 +46,9 @@ type Addr struct {
 // (the paper's shared-memory optimization); remote ones carry the wire
 // forms decoded by the TyCOd.
 type Delivery struct {
+	// Src is the node the delivery originated on (this node for local
+	// traffic). Termination accounting keys its received counters on it.
+	Src uint32
 	// Msg: a remote method invocation to a local channel.
 	Msg *MsgDelivery
 	// Obj: a migrating object.
@@ -166,10 +169,15 @@ type Site struct {
 	fetchCache   map[vm.NetClass]vm.Value
 
 	// Control-plane counters for termination detection: messages
-	// sent to and received from other sites.
+	// sent to and received from other sites, with per-peer-node
+	// breakdowns so the detector can discount traffic exchanged with
+	// nodes that later died.
 	ctrlSent atomic.Uint64
 	ctrlRecv atomic.Uint64
 	idle     atomic.Bool
+	ctrlMu   sync.Mutex
+	sentTo   map[uint32]uint64
+	recvFrom map[uint32]uint64
 
 	runErr error
 	errMu  sync.Mutex
@@ -213,6 +221,8 @@ func New(cfg Config) *Site {
 		pendingFetch: map[uint64]*fetchPending{},
 		fetchByClass: map[vm.NetClass]uint64{},
 		fetchCache:   map[vm.NetClass]vm.Value{},
+		sentTo:       map[uint32]uint64{},
+		recvFrom:     map[uint32]uint64{},
 	}
 	s.m = vm.NewMachine(prog, cfg.Out, s)
 	s.m.OnPending = func(t vm.Thread, constIdx int) {
@@ -249,17 +259,48 @@ func (s *Site) Deliver(d Delivery) error {
 }
 
 // countRecv notes a processed cross-site delivery for termination
-// accounting. It must run when the delivery is handled, not when it
-// is enqueued: a message waiting in the incoming queue has to keep the
-// global sent/received counters unequal, or the termination detector
-// could declare quiescence with work still queued.
-func (s *Site) countRecv() { s.ctrlRecv.Add(1) }
+// accounting, keyed by originating node. It must run when the delivery
+// is handled, not when it is enqueued: a message waiting in the
+// incoming queue has to keep the global sent/received counters unequal,
+// or the termination detector could declare quiescence with work still
+// queued.
+func (s *Site) countRecv(src uint32) {
+	s.ctrlRecv.Add(1)
+	s.ctrlMu.Lock()
+	s.recvFrom[src]++
+	s.ctrlMu.Unlock()
+}
+
+// countSent notes an outgoing cross-site message, keyed by destination
+// node.
+func (s *Site) countSent(dst uint32) {
+	s.ctrlSent.Add(1)
+	s.ctrlMu.Lock()
+	s.sentTo[dst]++
+	s.ctrlMu.Unlock()
+}
 
 // ControlState reports (sent, received, idle) for the termination
 // detector. Idle is meaningful only between scheduler slices; the
 // detector's two-round protocol absorbs the race.
 func (s *Site) ControlState() (sent, recv uint64, idle bool) {
 	return s.ctrlSent.Load(), s.ctrlRecv.Load(), s.idle.Load()
+}
+
+// ControlVectors reports the per-peer-node breakdown of the control
+// counters (copies), for failure-aware termination detection.
+func (s *Site) ControlVectors() (sentTo, recvFrom map[uint32]uint64, idle bool) {
+	s.ctrlMu.Lock()
+	defer s.ctrlMu.Unlock()
+	sentTo = make(map[uint32]uint64, len(s.sentTo))
+	for k, v := range s.sentTo {
+		sentTo[k] = v
+	}
+	recvFrom = make(map[uint32]uint64, len(s.recvFrom))
+	for k, v := range s.recvFrom {
+		recvFrom[k] = v
+	}
+	return sentTo, recvFrom, s.idle.Load()
 }
 
 // Err returns the site's terminal error, if any.
@@ -347,38 +388,58 @@ func (s *Site) Load(p *Program) error {
 	return nil
 }
 
-// resolveImport performs the blocking name-service lookup for one
-// import and posts the result to the incoming queue.
+// resolveImport performs the name-service lookup for one import and
+// posts the result to the incoming queue. Lookups run under one overall
+// deadline (ImportTimeout) and are retried with exponential backoff on
+// transient failures — a lost connection to the central service must
+// not kill the site while the exporter is alive and well.
 func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, sigs map[types.ImportKey]string) {
-	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
-	defer cancel()
-	var v vm.Value
-	var classSig string
+	deadline := time.Now().Add(s.cfg.ImportTimeout)
+	backoff := 25 * time.Millisecond
+	var nc vm.NetClass
+	var ref vm.NetRef
+	var classSig, nameSig string
 	var err error
-	if imp.IsClass {
-		var nc vm.NetClass
-		nc, classSig, err = s.cfg.NS.LookupClass(ctx, imp.Site, imp.Name)
-		if err == nil {
-			v = vm.NetClassVal(nc)
+	for {
+		ctx, cancel := context.WithDeadline(context.Background(), deadline)
+		if imp.IsClass {
+			nc, classSig, err = s.cfg.NS.LookupClass(ctx, imp.Site, imp.Name)
+		} else {
+			ref, nameSig, err = s.cfg.NS.LookupName(ctx, imp.Site, imp.Name)
 		}
-	} else {
-		var ref vm.NetRef
-		var sig string
-		ref, sig, err = s.cfg.NS.LookupName(ctx, imp.Site, imp.Name)
-		if err == nil {
+		cancel()
+		if err == nil || !time.Now().Before(deadline) {
+			break
+		}
+		select {
+		case <-time.After(backoff):
+		case <-s.stop:
+			return
+		}
+		if backoff < time.Second {
+			backoff *= 2
+		}
+	}
+	var v vm.Value
+	if err == nil {
+		if imp.IsClass {
+			v = vm.NetClassVal(nc)
+		} else {
 			if required, ok := sigs[types.ImportKey{Site: imp.Site, Name: imp.Name}]; ok {
-				err = types.CheckNameCompatible(required, sig)
+				err = types.CheckNameCompatible(required, nameSig)
 			}
-			if ref.Site == s.cfg.ID {
-				// σ ingress: a reference to ourselves is a local
-				// heap pointer.
-				if local, ok := s.lookupExport(ref.Heap); ok {
-					v = vm.Chan(local)
+			if err == nil {
+				if ref.Site == s.cfg.ID {
+					// σ ingress: a reference to ourselves is a local
+					// heap pointer.
+					if local, ok := s.lookupExport(ref.Heap); ok {
+						v = vm.Chan(local)
+					} else {
+						err = fmt.Errorf("site %s: import %s.%s resolved to unknown local heap id %d", s.cfg.Name, imp.Site, imp.Name, ref.Heap)
+					}
 				} else {
-					err = fmt.Errorf("site %s: import %s.%s resolved to unknown local heap id %d", s.cfg.Name, imp.Site, imp.Name, ref.Heap)
+					v = vm.Net(ref)
 				}
-			} else {
-				v = vm.Net(ref)
 			}
 		}
 	}
@@ -433,7 +494,7 @@ func (s *Site) Run() {
 // handle processes one incoming-queue item on the site goroutine.
 func (s *Site) handle(d Delivery) error {
 	if d.Resolved == nil {
-		s.countRecv()
+		s.countRecv(d.Src)
 	}
 	switch {
 	case d.Msg != nil:

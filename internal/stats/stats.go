@@ -155,6 +155,17 @@ func (c *Counter) Get(label string) uint64 {
 	return c.m[label]
 }
 
+// Rows renders the counter as sorted (label, value) pairs — the shape
+// the experiment tables consume.
+func (c *Counter) Rows() [][2]string {
+	labels := c.Labels()
+	out := make([][2]string, 0, len(labels))
+	for _, l := range labels {
+		out = append(out, [2]string{l, fmt.Sprintf("%d", c.Get(l))})
+	}
+	return out
+}
+
 // Labels returns the sorted label set.
 func (c *Counter) Labels() []string {
 	c.mu.Lock()

@@ -17,11 +17,21 @@ import (
 	"time"
 )
 
-// Probe is one site's control state.
+// Probe is one site's control state. Sent/Recv are totals; SentTo and
+// RecvFrom (when present) break them down by peer node, which is what
+// makes termination detection survivable after node failures: messages
+// exchanged with a crashed node can never balance (its counters died
+// with it), so CollectAlive sums only the traffic between live nodes.
 type Probe struct {
+	// Node is the node hosting the probed site (used by CollectAlive).
+	Node uint32
 	Sent uint64
 	Recv uint64
 	Idle bool
+	// SentTo[d] counts messages this site sent to sites on node d;
+	// RecvFrom[s] counts messages received from sites on node s.
+	SentTo   map[uint32]uint64
+	RecvFrom map[uint32]uint64
 }
 
 // Snapshot aggregates one probing round.
@@ -43,6 +53,41 @@ func Collect(probes []Probe) Snapshot {
 	return s
 }
 
+// CollectAlive aggregates probes restricted to the live part of the
+// network: probes of sites on dead nodes are skipped entirely, and the
+// per-peer vectors are summed only over live counterparts. A message
+// sent to (or received from) a node that later died is thereby excluded
+// from both sides of the sent==recv balance, so a crash cannot wedge
+// the detector — and a fail-fast drop of a frame addressed to a corpse
+// (transport.ErrPeerDown) does not read as a message forever in flight.
+// Probes without vectors fall back to their totals.
+func CollectAlive(probes []Probe, alive func(node uint32) bool) Snapshot {
+	s := Snapshot{AllIdle: true}
+	for _, p := range probes {
+		if !alive(p.Node) {
+			continue
+		}
+		s.Sites++
+		s.AllIdle = s.AllIdle && p.Idle
+		if p.SentTo == nil && p.RecvFrom == nil {
+			s.Sent += p.Sent
+			s.Recv += p.Recv
+			continue
+		}
+		for dst, v := range p.SentTo {
+			if alive(dst) {
+				s.Sent += v
+			}
+		}
+		for src, v := range p.RecvFrom {
+			if alive(src) {
+				s.Recv += v
+			}
+		}
+	}
+	return s
+}
+
 // Terminated reports whether two consecutive snapshots prove global
 // termination.
 func Terminated(a, b Snapshot) bool {
@@ -58,6 +103,9 @@ type Detector struct {
 	// Interval between rounds; defaults to 200µs (local clusters are
 	// fast; the TCP deployment overrides it).
 	Interval time.Duration
+	// Collector aggregates a round's probes; nil means Collect. A
+	// failure-aware deployment installs a CollectAlive closure here.
+	Collector func([]Probe) Snapshot
 }
 
 // New creates a detector over a probe source.
@@ -70,6 +118,10 @@ func New(probe func() []Probe) *Detector {
 func (d *Detector) Wait(ctx context.Context, check func() error) error {
 	var prev Snapshot
 	havePrev := false
+	collect := d.Collector
+	if collect == nil {
+		collect = Collect
+	}
 	ticker := time.NewTicker(d.Interval)
 	defer ticker.Stop()
 	for {
@@ -78,7 +130,7 @@ func (d *Detector) Wait(ctx context.Context, check func() error) error {
 				return err
 			}
 		}
-		cur := Collect(d.probe())
+		cur := collect(d.probe())
 		if havePrev && Terminated(prev, cur) {
 			return nil
 		}

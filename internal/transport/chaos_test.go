@@ -1,0 +1,169 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// chaosNet stands up a two-node fabric behind a chaos controller.
+func chaosNet(t *testing.T, cfg transport.ChaosConfig) (*transport.Chaos, transport.Transport, transport.Transport, func()) {
+	t.Helper()
+	f := transport.NewFabric(transport.Ideal)
+	chaos := transport.NewChaos(cfg)
+	a, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := f.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return chaos, chaos.Wrap(a), chaos.Wrap(b), func() {
+		chaos.Close()
+		f.Close()
+	}
+}
+
+// schedule sends n one-byte frames 1→2 and records which arrive, in
+// order (duplicates included).
+func schedule(t *testing.T, cfg transport.ChaosConfig, n int) []byte {
+	t.Helper()
+	_, a, b, stop := chaosNet(t, cfg)
+	defer stop()
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got []byte
+	for {
+		select {
+		case f := <-b.Recv():
+			got = append(got, f[0])
+		case <-time.After(50 * time.Millisecond):
+			return got
+		}
+	}
+}
+
+func TestChaosDeterministicSchedule(t *testing.T) {
+	cfg := transport.ChaosConfig{Seed: 42, Drop: 0.3, Dup: 0.2, Reorder: 0.2}
+	first := schedule(t, cfg, 200)
+	if len(first) == 200 {
+		t.Fatal("fault model injected no faults at drop=0.3")
+	}
+	for run := 0; run < 3; run++ {
+		again := schedule(t, cfg, 200)
+		if string(again) != string(first) {
+			t.Fatalf("same seed produced different schedules:\n%v\n%v", first, again)
+		}
+	}
+	other := schedule(t, transport.ChaosConfig{Seed: 43, Drop: 0.3, Dup: 0.2, Reorder: 0.2}, 200)
+	if string(other) == string(first) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestChaosDropRate(t *testing.T) {
+	got := schedule(t, transport.ChaosConfig{Seed: 7, Drop: 0.5}, 400)
+	if len(got) < 120 || len(got) > 280 {
+		t.Fatalf("drop=0.5 delivered %d/400 frames", len(got))
+	}
+}
+
+func TestChaosDuplication(t *testing.T) {
+	got := schedule(t, transport.ChaosConfig{Seed: 7, Dup: 0.5}, 200)
+	if len(got) < 240 {
+		t.Fatalf("dup=0.5 delivered only %d frames for 200 sent", len(got))
+	}
+}
+
+func TestChaosReorder(t *testing.T) {
+	got := schedule(t, transport.ChaosConfig{Seed: 7, Reorder: 0.5}, 200)
+	if len(got) != 200 {
+		t.Fatalf("reorder lost frames: %d/200", len(got))
+	}
+	inverted := 0
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			inverted++
+		}
+	}
+	if inverted == 0 {
+		t.Fatal("reorder=0.5 delivered everything in order")
+	}
+}
+
+func TestChaosPartitionAndHeal(t *testing.T) {
+	chaos, a, b, stop := chaosNet(t, transport.ChaosConfig{Seed: 1})
+	defer stop()
+	chaos.Partition(1, 2)
+	if err := a.Send(2, []byte("lost")); err != nil {
+		t.Fatalf("partitioned send must look like a lossy wire, got %v", err)
+	}
+	if err := b.Send(1, []byte("lost too")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("frame %q crossed a partition", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+	chaos.Heal(1, 2)
+	if err := a.Send(2, []byte("after heal")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		if string(f) != "after heal" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("healed link did not deliver")
+	}
+	if st := chaos.Stats(); st.Blackholed != 2 {
+		t.Fatalf("blackholed = %d, want 2", st.Blackholed)
+	}
+}
+
+func TestChaosCrashBlackholesBothDirections(t *testing.T) {
+	chaos, a, b, stop := chaosNet(t, transport.ChaosConfig{Seed: 1})
+	defer stop()
+	chaos.Crash(2)
+	_ = a.Send(2, []byte("to the dead"))
+	_ = b.Send(1, []byte("from the dead"))
+	select {
+	case f := <-a.Recv():
+		t.Fatalf("dead node sent %q", f)
+	case f := <-b.Recv():
+		t.Fatalf("dead node received %q", f)
+	case <-time.After(20 * time.Millisecond):
+	}
+	chaos.Revive(2)
+	if err := a.Send(2, []byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		if string(f) != "back" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("revived node unreachable")
+	}
+}
+
+func TestChaosJitterDelays(t *testing.T) {
+	_, a, b, stop := chaosNet(t, transport.ChaosConfig{Seed: 3, Jitter: 5 * time.Millisecond})
+	defer stop()
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-b.Recv():
+	case <-time.After(time.Second):
+		t.Fatal("jittered frame never arrived")
+	}
+}

@@ -94,6 +94,7 @@ func (f *Fabric) Attach(id NodeID) (*Mem, error) {
 		fabric: f,
 		id:     id,
 		recv:   make(chan []byte, 4096),
+		done:   make(chan struct{}),
 	}
 	f.nodes[id] = m
 	return m, nil
@@ -199,10 +200,12 @@ type Mem struct {
 	fabric *Fabric
 	id     NodeID
 	recv   chan []byte
+	done   chan struct{}
 	stats  statsCell
 
-	mu     sync.Mutex
-	closed bool
+	mu      sync.Mutex
+	closed  bool
+	pushing sync.WaitGroup
 }
 
 var _ Transport = (*Mem)(nil)
@@ -229,23 +232,28 @@ func (m *Mem) Recv() <-chan []byte { return m.recv }
 // Stats returns transport counters.
 func (m *Mem) Stats() Stats { return m.stats.snapshot() }
 
-// push delivers a frame, dropping it if the endpoint closed.
+// push delivers a frame, dropping it (counted) if the endpoint closed.
+// The pushing waitgroup keeps close(m.recv) from racing an in-flight
+// delivery: Close waits for registered pushers before closing.
 func (m *Mem) push(frame []byte) {
 	m.mu.Lock()
-	closed := m.closed
-	m.mu.Unlock()
-	if closed {
+	if m.closed {
+		m.mu.Unlock()
+		m.stats.dropped.Add(1)
 		return
 	}
-	defer func() {
-		// The endpoint may close concurrently with a scheduled
-		// delivery; a send on the closed channel is translated into
-		// a silent drop, which is what a real NIC does.
-		_ = recover()
-	}()
-	m.stats.recvFrames.Add(1)
-	m.stats.recvBytes.Add(uint64(len(frame)))
-	m.recv <- frame
+	m.pushing.Add(1)
+	m.mu.Unlock()
+	defer m.pushing.Done()
+	select {
+	case m.recv <- frame:
+		m.stats.recvFrames.Add(1)
+		m.stats.recvBytes.Add(uint64(len(frame)))
+	case <-m.done:
+		// Closed while the frame was in flight — a counted drop, which
+		// is what a real NIC does.
+		m.stats.dropped.Add(1)
+	}
 }
 
 // Close detaches the endpoint.
@@ -259,10 +267,18 @@ func (m *Mem) Close() error {
 
 func (m *Mem) closeLocked() {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	if m.closed {
+		m.mu.Unlock()
 		return
 	}
 	m.closed = true
-	close(m.recv)
+	close(m.done)
+	m.mu.Unlock()
+	// Close recv only after in-flight pushers have finished (each either
+	// delivered or bailed on done). Receivers keep draining buffered
+	// frames and then see the close.
+	go func() {
+		m.pushing.Wait()
+		close(m.recv)
+	}()
 }

@@ -1,0 +1,467 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// ErrPeerDown is returned by Reliable.Send when the destination has
+// been declared down (by the failure detector via SetPeerDown, or by
+// the retransmitter exhausting its retries). Senders get an immediate
+// error instead of queueing work for a corpse — the fail-fast half of
+// the paper's "detect site failures … and try to terminate computations
+// cleanly".
+var ErrPeerDown = errors.New("transport: peer down")
+
+// errClosed is returned after Close.
+var errClosed = errors.New("transport: reliable layer closed")
+
+// ReliableConfig tunes the reliable delivery layer.
+type ReliableConfig struct {
+	// RetransmitTimeout is the initial ack deadline (default 15ms).
+	RetransmitTimeout time.Duration
+	// RetransmitMax caps the exponential backoff (default 500ms).
+	RetransmitMax time.Duration
+	// MaxRetries is how many retransmissions a frame gets before its
+	// peer is declared down (default 20).
+	MaxRetries int
+	// Window bounds the unacked frames per peer; Send blocks when the
+	// window is full (backpressure toward the sites) (default 256).
+	Window int
+	// DedupWindow bounds the receiver's out-of-order memory per peer
+	// (default 4096). When a sequence gap outlives this many later
+	// frames (its sender abandoned it), the window slides past it.
+	DedupWindow int
+	// OnDrop is invoked (from the retransmit goroutine) for every
+	// frame abandoned because its peer went down. The frame is the
+	// original payload handed to Send.
+	OnDrop func(dst NodeID, frame []byte, err error)
+}
+
+// ReliableStats counts reliable-layer activity.
+type ReliableStats struct {
+	DataSent    uint64 // first transmissions of sequenced frames
+	Retransmits uint64 // backoff retransmissions
+	AcksSent    uint64 // acks emitted by the receive side
+	AcksRecv    uint64 // acks consumed by the send side
+	DupDrops    uint64 // duplicate frames suppressed by the dedup window
+	FailFasts   uint64 // frames abandoned via the peer-down path
+	RawSent     uint64 // best-effort (unsequenced) frames
+}
+
+// Reliable layers ack/retransmit delivery on top of any Transport: the
+// raw fabric guarantees nothing once Chaos (or a real network) is in
+// the path, while everything above the TyCOd assumes frames arrive.
+// The layer gives at-least-once transmission (per-peer monotone
+// sequence numbers, exponential-backoff retransmit with jitter) and
+// exactly-once delivery (receiver-side dedup window); ordering is NOT
+// restored — TyCO's asynchronous semantics never promised it.
+//
+// Both endpoints of a link must run the layer: frames are wrapped in
+// wire.Packet headers (FData/FAck/FRaw) that only another Reliable can
+// unwrap.
+type Reliable struct {
+	inner Transport
+	cfg   ReliableConfig
+	recv  chan []byte
+
+	mu     sync.Mutex
+	sends  map[NodeID]*sendPeer
+	rcvs   map[NodeID]*recvPeer
+	rng    uint64 // backoff jitter; determinism is not needed here
+	closed bool
+
+	stop     chan struct{}
+	loopDone chan struct{}
+	recvDone chan struct{}
+	recvOnce sync.Once
+
+	dataSent    atomic.Uint64
+	retransmits atomic.Uint64
+	acksSent    atomic.Uint64
+	acksRecv    atomic.Uint64
+	dupDrops    atomic.Uint64
+	failFasts   atomic.Uint64
+	rawSent     atomic.Uint64
+}
+
+var _ Transport = (*Reliable)(nil)
+
+// sendPeer is the send-side state for one destination.
+type sendPeer struct {
+	nextSeq  uint64
+	inflight map[uint64]*unacked
+	down     bool
+	space    *sync.Cond // signaled when window space frees or state flips
+}
+
+type unacked struct {
+	packet   []byte // encoded wire.Packet, ready to retransmit
+	payload  []byte // original frame, for OnDrop
+	deadline time.Time
+	retries  int
+}
+
+// recvPeer is the dedup window for one source: floor is the highest
+// sequence number below which everything was delivered; seen holds the
+// delivered sequence numbers above it.
+type recvPeer struct {
+	floor uint64
+	seen  map[uint64]bool
+}
+
+// NewReliable wraps a transport in the reliable delivery layer.
+func NewReliable(inner Transport, cfg ReliableConfig) *Reliable {
+	if cfg.RetransmitTimeout <= 0 {
+		cfg.RetransmitTimeout = 15 * time.Millisecond
+	}
+	if cfg.RetransmitMax <= 0 {
+		cfg.RetransmitMax = 500 * time.Millisecond
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 20
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 256
+	}
+	if cfg.DedupWindow <= 0 {
+		cfg.DedupWindow = 4096
+	}
+	r := &Reliable{
+		inner:    inner,
+		cfg:      cfg,
+		recv:     make(chan []byte, 4096),
+		sends:    map[NodeID]*sendPeer{},
+		rcvs:     map[NodeID]*recvPeer{},
+		rng:      mix64(uint64(inner.Self()) + 1),
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+		recvDone: make(chan struct{}),
+	}
+	go r.retransmitLoop()
+	go r.recvLoop()
+	return r
+}
+
+// Self returns the wrapped node id.
+func (r *Reliable) Self() NodeID { return r.inner.Self() }
+
+// Recv returns the stream of delivered (deduplicated, unwrapped)
+// frames.
+func (r *Reliable) Recv() <-chan []byte { return r.recv }
+
+// Stats snapshots the layer's counters.
+func (r *Reliable) Stats() ReliableStats {
+	return ReliableStats{
+		DataSent:    r.dataSent.Load(),
+		Retransmits: r.retransmits.Load(),
+		AcksSent:    r.acksSent.Load(),
+		AcksRecv:    r.acksRecv.Load(),
+		DupDrops:    r.dupDrops.Load(),
+		FailFasts:   r.failFasts.Load(),
+		RawSent:     r.rawSent.Load(),
+	}
+}
+
+func (r *Reliable) sendPeerLocked(dst NodeID) *sendPeer {
+	p, ok := r.sends[dst]
+	if !ok {
+		p = &sendPeer{inflight: map[uint64]*unacked{}}
+		p.space = sync.NewCond(&r.mu)
+		r.sends[dst] = p
+	}
+	return p
+}
+
+// Send transmits a frame with delivery tracking: it is retransmitted
+// until acked or the peer is declared down. Blocks while the in-flight
+// window is full; fails fast with ErrPeerDown for suspected peers.
+func (r *Reliable) Send(dst NodeID, frame []byte) error {
+	r.mu.Lock()
+	p := r.sendPeerLocked(dst)
+	for !p.down && !r.closed && len(p.inflight) >= r.cfg.Window {
+		p.space.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return errClosed
+	}
+	if p.down {
+		r.mu.Unlock()
+		r.failFasts.Add(1)
+		return ErrPeerDown
+	}
+	p.nextSeq++
+	pkt := (&wire.Packet{Type: wire.FData, Src: r.Self(), Seq: p.nextSeq, Payload: frame}).Encode()
+	p.inflight[p.nextSeq] = &unacked{
+		packet:   pkt,
+		payload:  frame,
+		deadline: time.Now().Add(r.cfg.RetransmitTimeout),
+	}
+	r.mu.Unlock()
+	r.dataSent.Add(1)
+	// Transmission failures are treated as loss: the retransmitter owns
+	// recovery, and the failure detector owns giving up.
+	_ = r.inner.Send(dst, pkt)
+	return nil
+}
+
+// SendBestEffort transmits a frame outside the sequence space: no ack,
+// no retransmit, no dedup. Heartbeats use this — their loss is exactly
+// the signal the failure detector exists to observe, and retransmitting
+// them to a dead peer would be self-defeating.
+func (r *Reliable) SendBestEffort(dst NodeID, frame []byte) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return errClosed
+	}
+	r.mu.Unlock()
+	r.rawSent.Add(1)
+	pkt := (&wire.Packet{Type: wire.FRaw, Src: r.Self(), Payload: frame}).Encode()
+	return r.inner.Send(dst, pkt)
+}
+
+// SetPeerDown declares a peer dead: its in-flight frames are abandoned
+// (reported through OnDrop) and subsequent Sends fail fast with
+// ErrPeerDown. The node's failure detector calls this on suspicion.
+func (r *Reliable) SetPeerDown(dst NodeID) {
+	r.mu.Lock()
+	p := r.sendPeerLocked(dst)
+	failed := r.markDownLocked(p)
+	r.mu.Unlock()
+	r.reportDrops(dst, failed)
+}
+
+// SetPeerUp clears the peer-down state (the failure detector trusts
+// the peer again, e.g. after a partition heals).
+func (r *Reliable) SetPeerUp(dst NodeID) {
+	r.mu.Lock()
+	p := r.sendPeerLocked(dst)
+	p.down = false
+	p.space.Broadcast()
+	r.mu.Unlock()
+}
+
+// PeerDown reports whether dst is currently declared down.
+func (r *Reliable) PeerDown(dst NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.sends[dst]
+	return ok && p.down
+}
+
+// markDownLocked flips a peer down and strips its in-flight frames.
+func (r *Reliable) markDownLocked(p *sendPeer) []*unacked {
+	p.down = true
+	failed := make([]*unacked, 0, len(p.inflight))
+	for _, u := range p.inflight {
+		failed = append(failed, u)
+	}
+	p.inflight = map[uint64]*unacked{}
+	p.space.Broadcast()
+	return failed
+}
+
+func (r *Reliable) reportDrops(dst NodeID, failed []*unacked) {
+	if len(failed) == 0 {
+		return
+	}
+	r.failFasts.Add(uint64(len(failed)))
+	if r.cfg.OnDrop != nil {
+		for _, u := range failed {
+			r.cfg.OnDrop(dst, u.payload, ErrPeerDown)
+		}
+	}
+}
+
+// retransmitLoop scans the in-flight windows and resends frames whose
+// ack deadline passed, with exponential backoff plus jitter; a frame
+// out of retries takes its whole peer down.
+func (r *Reliable) retransmitLoop() {
+	defer close(r.loopDone)
+	tick := r.cfg.RetransmitTimeout / 4
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		type resend struct {
+			dst NodeID
+			pkt []byte
+		}
+		var resends []resend
+		type failure struct {
+			dst    NodeID
+			failed []*unacked
+		}
+		var failures []failure
+		r.mu.Lock()
+		for dst, p := range r.sends {
+			if p.down {
+				continue
+			}
+			exhausted := false
+			for _, u := range p.inflight {
+				if u.deadline.After(now) {
+					continue
+				}
+				if u.retries >= r.cfg.MaxRetries {
+					exhausted = true
+					break
+				}
+				u.retries++
+				backoff := r.cfg.RetransmitTimeout << uint(u.retries)
+				if backoff > r.cfg.RetransmitMax {
+					backoff = r.cfg.RetransmitMax
+				}
+				// Up to 25% jitter decorrelates retransmit storms.
+				r.rng = mix64(r.rng)
+				backoff += time.Duration(r.rng % uint64(backoff/4+1))
+				u.deadline = now.Add(backoff)
+				resends = append(resends, resend{dst: dst, pkt: u.packet})
+			}
+			if exhausted {
+				failures = append(failures, failure{dst: dst, failed: r.markDownLocked(p)})
+			}
+		}
+		r.mu.Unlock()
+		for _, s := range resends {
+			r.retransmits.Add(1)
+			_ = r.inner.Send(s.dst, s.pkt)
+		}
+		for _, f := range failures {
+			r.reportDrops(f.dst, f.failed)
+		}
+	}
+}
+
+// recvLoop unwraps incoming packets: data is acked and deduplicated,
+// acks clear the in-flight window, raw frames pass through.
+func (r *Reliable) recvLoop() {
+	defer close(r.recvDone)
+	defer r.recvOnce.Do(func() { close(r.recv) })
+	in := r.inner.Recv()
+	for {
+		var frame []byte
+		var ok bool
+		select {
+		case frame, ok = <-in:
+			if !ok {
+				return
+			}
+		case <-r.stop:
+			return
+		}
+		pkt, err := wire.DecodePacket(frame)
+		if err != nil {
+			// Not a reliable-layer packet (peer without the layer);
+			// pass it through untouched.
+			if !r.push(frame) {
+				return
+			}
+			continue
+		}
+		switch pkt.Type {
+		case wire.FData:
+			ack := (&wire.Packet{Type: wire.FAck, Src: r.Self(), Seq: pkt.Seq}).Encode()
+			r.acksSent.Add(1)
+			_ = r.inner.Send(pkt.Src, ack)
+			r.mu.Lock()
+			rp, okPeer := r.rcvs[pkt.Src]
+			if !okPeer {
+				rp = &recvPeer{seen: map[uint64]bool{}}
+				r.rcvs[pkt.Src] = rp
+			}
+			dup := pkt.Seq <= rp.floor || rp.seen[pkt.Seq]
+			if !dup {
+				rp.seen[pkt.Seq] = true
+				for rp.seen[rp.floor+1] {
+					delete(rp.seen, rp.floor+1)
+					rp.floor++
+				}
+				if len(rp.seen) > r.cfg.DedupWindow {
+					// A gap outlived the window: its sender gave it
+					// up. Slide past the gap so memory stays bounded.
+					min := pkt.Seq
+					for s := range rp.seen {
+						if s < min {
+							min = s
+						}
+					}
+					rp.floor = min
+					delete(rp.seen, min)
+					for rp.seen[rp.floor+1] {
+						rp.floor++
+						delete(rp.seen, rp.floor)
+					}
+				}
+			}
+			r.mu.Unlock()
+			if dup {
+				r.dupDrops.Add(1)
+				continue
+			}
+			if !r.push(pkt.Payload) {
+				return
+			}
+		case wire.FAck:
+			r.mu.Lock()
+			if p, okPeer := r.sends[pkt.Src]; okPeer {
+				if _, inflight := p.inflight[pkt.Seq]; inflight {
+					delete(p.inflight, pkt.Seq)
+					r.acksRecv.Add(1)
+					p.space.Signal()
+				}
+			}
+			r.mu.Unlock()
+		case wire.FRaw:
+			if !r.push(pkt.Payload) {
+				return
+			}
+		}
+	}
+}
+
+// push hands a delivered frame to the consumer; false means the layer
+// is stopping.
+func (r *Reliable) push(frame []byte) bool {
+	select {
+	case r.recv <- frame:
+		return true
+	case <-r.stop:
+		return false
+	}
+}
+
+// Close stops the layer's goroutines and closes the delivered-frame
+// stream. The wrapped transport is closed too: the layer owns it.
+func (r *Reliable) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	for _, p := range r.sends {
+		p.space.Broadcast()
+	}
+	r.mu.Unlock()
+	close(r.stop)
+	err := r.inner.Close()
+	<-r.loopDone
+	<-r.recvDone
+	r.recvOnce.Do(func() { close(r.recv) })
+	return err
+}

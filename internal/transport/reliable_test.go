@@ -1,0 +1,256 @@
+package transport_test
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// reliablePair builds two reliable endpoints over a chaotic fabric.
+func reliablePair(t *testing.T, chaosCfg transport.ChaosConfig, relCfg transport.ReliableConfig) (*transport.Chaos, *transport.Reliable, *transport.Reliable, func()) {
+	t.Helper()
+	f := transport.NewFabric(transport.Ideal)
+	chaos := transport.NewChaos(chaosCfg)
+	ma, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := f.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := transport.NewReliable(chaos.Wrap(ma), relCfg)
+	b := transport.NewReliable(chaos.Wrap(mb), relCfg)
+	return chaos, a, b, func() {
+		a.Close()
+		b.Close()
+		chaos.Close()
+		f.Close()
+	}
+}
+
+func collectN(t *testing.T, tr transport.Transport, n int, timeout time.Duration) map[string]int {
+	t.Helper()
+	got := map[string]int{}
+	total := 0
+	deadline := time.After(timeout)
+	for total < n {
+		select {
+		case f := <-tr.Recv():
+			got[string(f)]++
+			total++
+		case <-deadline:
+			t.Fatalf("only %d/%d frames delivered before timeout", total, n)
+		}
+	}
+	return got
+}
+
+func TestReliableExactlyOnceUnder30PercentDrop(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: 5 * time.Millisecond}
+	chaos, a, b, stop := reliablePair(t, transport.ChaosConfig{Seed: 11, Drop: 0.3, Dup: 0.1, Reorder: 0.1}, cfg)
+	defer stop()
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte(fmt.Sprintf("frame-%03d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := collectN(t, b, n, 30*time.Second)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("frame-%03d", i)
+		if got[key] != 1 {
+			t.Fatalf("%s delivered %d times", key, got[key])
+		}
+	}
+	if st := a.Stats(); st.Retransmits == 0 {
+		t.Fatalf("30%% drop with zero retransmits: %+v", st)
+	}
+	if st := b.Stats(); st.DupDrops == 0 {
+		t.Fatalf("retransmissions+dup with zero dedup drops: %+v", st)
+	}
+	_ = chaos
+}
+
+func TestReliableBidirectionalUnderDrop(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: 5 * time.Millisecond}
+	_, a, b, stop := reliablePair(t, transport.ChaosConfig{Seed: 5, Drop: 0.25}, cfg)
+	defer stop()
+	const n = 100
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = a.Send(2, []byte(fmt.Sprintf("a%03d", i)))
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			_ = b.Send(1, []byte(fmt.Sprintf("b%03d", i)))
+		}
+	}()
+	wg.Wait()
+	gotB := collectN(t, b, n, 30*time.Second)
+	gotA := collectN(t, a, n, 30*time.Second)
+	if len(gotA) != n || len(gotB) != n {
+		t.Fatalf("distinct frames: a=%d b=%d, want %d", len(gotA), len(gotB), n)
+	}
+}
+
+func TestReliableSurvivesPartitionHeal(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: 5 * time.Millisecond, MaxRetries: 100}
+	chaos, a, b, stop := reliablePair(t, transport.ChaosConfig{Seed: 2}, cfg)
+	defer stop()
+	chaos.Partition(1, 2)
+	if err := a.Send(2, []byte("through the wall")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		t.Fatalf("frame %q crossed the partition", f)
+	case <-time.After(30 * time.Millisecond):
+	}
+	chaos.Heal(1, 2)
+	select {
+	case f := <-b.Recv():
+		if string(f) != "through the wall" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame not retransmitted after heal")
+	}
+}
+
+func TestReliablePeerDownFailsFast(t *testing.T) {
+	var mu sync.Mutex
+	var droppedFrames [][]byte
+	cfg := transport.ReliableConfig{
+		RetransmitTimeout: 5 * time.Millisecond,
+		OnDrop: func(dst transport.NodeID, frame []byte, err error) {
+			mu.Lock()
+			droppedFrames = append(droppedFrames, frame)
+			mu.Unlock()
+		},
+	}
+	chaos, a, _, stop := reliablePair(t, transport.ChaosConfig{Seed: 2}, cfg)
+	defer stop()
+	chaos.Partition(1, 2)
+	if err := a.Send(2, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	a.SetPeerDown(2)
+	if err := a.Send(2, []byte("rejected")); !errors.Is(err, transport.ErrPeerDown) {
+		t.Fatalf("send to down peer: %v, want ErrPeerDown", err)
+	}
+	mu.Lock()
+	nDropped := len(droppedFrames)
+	mu.Unlock()
+	if nDropped != 1 || string(droppedFrames[0]) != "doomed" {
+		t.Fatalf("OnDrop saw %d frames", nDropped)
+	}
+	if !a.PeerDown(2) {
+		t.Fatal("PeerDown not reported")
+	}
+	// Trust again: new sends flow once the partition heals.
+	a.SetPeerUp(2)
+	chaos.Heal(1, 2)
+	if err := a.Send(2, []byte("recovered")); err != nil {
+		t.Fatalf("send after SetPeerUp: %v", err)
+	}
+}
+
+func TestReliableRetriesExhaustedDeclaresPeerDown(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: time.Millisecond, RetransmitMax: 2 * time.Millisecond, MaxRetries: 3}
+	chaos, a, _, stop := reliablePair(t, transport.ChaosConfig{Seed: 2}, cfg)
+	defer stop()
+	chaos.Partition(1, 2)
+	if err := a.Send(2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for !a.PeerDown(2) {
+		select {
+		case <-deadline:
+			t.Fatal("retries exhausted but peer never declared down")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if st := a.Stats(); st.FailFasts == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReliableBestEffortBypassesSequencing(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: 5 * time.Millisecond}
+	_, a, b, stop := reliablePair(t, transport.ChaosConfig{Seed: 2}, cfg)
+	defer stop()
+	if err := a.SendBestEffort(2, []byte("hb")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case f := <-b.Recv():
+		if string(f) != "hb" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("best-effort frame lost on a clean link")
+	}
+	if st := a.Stats(); st.RawSent != 1 || st.DataSent != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestReliableWindowBackpressure(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: 2 * time.Millisecond, Window: 4, MaxRetries: 1000}
+	chaos, a, _, stop := reliablePair(t, transport.ChaosConfig{Seed: 2}, cfg)
+	defer stop()
+	chaos.Partition(1, 2)
+	for i := 0; i < 4; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- a.Send(2, []byte("fifth")) }()
+	select {
+	case err := <-blocked:
+		t.Fatalf("send past the window returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	chaos.Heal(1, 2)
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("blocked send failed after heal: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("send never unblocked after heal")
+	}
+}
+
+func TestReliablePassThroughFromUnwrappedPeer(t *testing.T) {
+	f := transport.NewFabric(transport.Ideal)
+	defer f.Close()
+	ma, _ := f.Attach(1)
+	mb, _ := f.Attach(2)
+	b := transport.NewReliable(mb, transport.ReliableConfig{})
+	defer b.Close()
+	// Node 1 has no reliable layer; its raw frame must still surface.
+	if err := ma.Send(2, []byte{0xFF, 0x01, 0x02}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.Recv():
+		if len(got) != 3 || got[0] != 0xFF {
+			t.Fatalf("got %v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("raw frame from unwrapped peer lost")
+	}
+}

@@ -100,7 +100,9 @@ func (t *TCP) Send(dst NodeID, frame []byte) error {
 	}
 }
 
-// Close shuts the transport down. It is idempotent.
+// Close shuts the transport down. It is idempotent. Frames still
+// queued for unreachable peers cannot be delivered any more; they are
+// counted in Stats.Dropped rather than vanishing unaccounted.
 func (t *TCP) Close() error {
 	t.once.Do(func() {
 		close(t.done)
@@ -111,6 +113,18 @@ func (t *TCP) Close() error {
 		}
 		t.mu.Unlock()
 		t.wg.Wait()
+		t.mu.Lock()
+		for _, p := range t.conns {
+			for drained := true; drained; {
+				select {
+				case <-p.out:
+					t.stats.dropped.Add(1)
+				default:
+					drained = false
+				}
+			}
+		}
+		t.mu.Unlock()
 		close(t.recv)
 	})
 	return nil
@@ -193,14 +207,18 @@ func (t *TCP) readLoop(conn net.Conn) {
 func (t *TCP) sendLoop(dst NodeID, addr string, p *tcpPeer) {
 	defer t.wg.Done()
 	var conn net.Conn
+	var pending []byte
 	defer func() {
 		if conn != nil {
 			t.untrack(conn)
 			conn.Close()
 		}
+		if pending != nil {
+			// The frame we were trying to (re)send dies with the loop.
+			t.stats.dropped.Add(1)
+		}
 	}()
 	backoff := 10 * time.Millisecond
-	var pending []byte
 	for {
 		if pending == nil {
 			select {

@@ -43,6 +43,11 @@ type Stats struct {
 	SentBytes  uint64
 	RecvFrames uint64
 	RecvBytes  uint64
+	// Dropped counts frames the transport accepted but knows it never
+	// delivered (e.g. queued for a peer that stayed unreachable until
+	// Close). A zero Dropped does not prove delivery — networks lose
+	// frames silently — but a non-zero one proves loss.
+	Dropped uint64
 }
 
 type statsCell struct {
@@ -50,6 +55,7 @@ type statsCell struct {
 	sentBytes  atomic.Uint64
 	recvFrames atomic.Uint64
 	recvBytes  atomic.Uint64
+	dropped    atomic.Uint64
 }
 
 func (s *statsCell) snapshot() Stats {
@@ -58,6 +64,7 @@ func (s *statsCell) snapshot() Stats {
 		SentBytes:  s.sentBytes.Load(),
 		RecvFrames: s.recvFrames.Load(),
 		RecvBytes:  s.recvBytes.Load(),
+		Dropped:    s.dropped.Load(),
 	}
 }
 

@@ -24,6 +24,19 @@ const (
 	FTerm
 	// FHeartbeat carries a failure-detector heartbeat.
 	FHeartbeat
+
+	// The following types never appear in an Envelope: they are the
+	// packet headers of the reliable delivery layer
+	// (transport.Reliable), which wraps encoded envelopes below the
+	// TyCOd router. See Packet.
+
+	// FData is a sequenced payload requiring acknowledgement.
+	FData
+	// FAck acknowledges one received FData sequence number.
+	FAck
+	// FRaw is a best-effort payload outside the sequence space
+	// (heartbeats: their loss is the failure detector's signal).
+	FRaw
 )
 
 func (t FrameType) String() string {
@@ -40,6 +53,12 @@ func (t FrameType) String() string {
 		return "term"
 	case FHeartbeat:
 		return "heartbeat"
+	case FData:
+		return "data"
+	case FAck:
+		return "ack"
+	case FRaw:
+		return "raw"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}

@@ -1,0 +1,61 @@
+package wire
+
+import "fmt"
+
+// Packet is the unit exchanged by the reliable delivery layer
+// (transport.Reliable). It sits below Envelope: a data packet's payload
+// is a full encoded envelope; the receiving reliable layer unwraps it
+// before the TyCOd ever sees the frame.
+//
+//	FData: Src is the sender node, Seq its per-(sender,receiver)
+//	       monotone sequence number, Payload the wrapped frame.
+//	FAck:  Src is the acknowledging node, Seq the acknowledged data
+//	       sequence number; Payload is empty.
+//	FRaw:  Src is the sender node; Seq is unused; Payload is the
+//	       wrapped frame, delivered best-effort with no dedup.
+type Packet struct {
+	Type    FrameType
+	Src     uint32
+	Seq     uint64
+	Payload []byte
+}
+
+// Encode serializes the packet.
+func (p *Packet) Encode() []byte {
+	var w Writer
+	w.Byte(byte(p.Type))
+	w.U(uint64(p.Src))
+	w.U(p.Seq)
+	w.B(p.Payload)
+	return w.Bytes()
+}
+
+// DecodePacket parses a reliable-layer packet.
+func DecodePacket(data []byte) (*Packet, error) {
+	r := NewReader(data)
+	t, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	switch FrameType(t) {
+	case FData, FAck, FRaw:
+	default:
+		return nil, fmt.Errorf("wire: frame type %s is not a reliable-layer packet", FrameType(t))
+	}
+	src, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	seq, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	payload, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	if !r.Done() {
+		return nil, fmt.Errorf("wire: trailing bytes in packet")
+	}
+	return &Packet{Type: FrameType(t), Src: uint32(src), Seq: seq, Payload: payload}, nil
+}
