@@ -7,7 +7,10 @@ package repro
 
 import (
 	"context"
+	"flag"
 	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -15,8 +18,32 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/journal"
 	"repro/internal/transport"
 )
+
+// chaosSeed parameterises the fault schedule so a CI matrix can soak
+// the same scenarios under distinct drop/dup/reorder interleavings:
+//
+//	go test -run 'Chaos|Recovery' -args -seed=3
+var chaosSeed = flag.Uint64("seed", 42, "chaos fault-schedule seed")
+
+// journalDir places a test's file journals. Default: a per-test temp
+// dir the harness cleans up. Under the CI soak job TEST_JOURNAL_DIR
+// pins a location that outlives the test, so a failing run's journals
+// can be uploaded as artifacts and replayed during diagnosis.
+func journalDir(t *testing.T) string {
+	t.Helper()
+	base := os.Getenv("TEST_JOURNAL_DIR")
+	if base == "" {
+		return t.TempDir()
+	}
+	dir := filepath.Join(base, fmt.Sprintf("%s-seed%d", t.Name(), *chaosSeed))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
 
 // chaosSetiServer serves chunk c as a deterministic "crunch" result, so
 // the harness can verify every reply end to end.
@@ -96,7 +123,7 @@ func TestSetiSurvivesChaosAndWorkerCrash(t *testing.T) {
 	suspectedBy := map[uint32][]uint32{} // victim node ID -> observers
 	cl, err := core.NewCluster(core.ClusterConfig{
 		Nodes:       1 + workers,
-		Chaos:       &transport.ChaosConfig{Seed: 42, Drop: 0.2, Dup: 0.1, Reorder: 0.1},
+		Chaos:       &transport.ChaosConfig{Seed: *chaosSeed, Drop: 0.2, Dup: 0.1, Reorder: 0.1},
 		Reliability: &transport.ReliableConfig{},
 		Detect:      &core.DetectConfig{Period: 10 * time.Millisecond, SuspectAfter: 80 * time.Millisecond},
 		OnSuspect: func(observer uint32, e failure.Event) {
@@ -237,6 +264,155 @@ func TestSetiWithoutReliabilityLosesChunksUnderChaos(t *testing.T) {
 		t.Fatalf("unreliable run completed all %d chunks over a 20%% drop link — chaos was not in the path", total)
 	}
 	t.Logf("unreliable control: wait error %v, %d/%d chunks missing", waitErr, missing, total)
+}
+
+// countChunks is parseChunks plus multiplicity: it reports how many
+// times each chunk line was printed, so replay-induced duplicates are
+// caught and not just coverage gaps.
+func countChunks(t *testing.T, outs ...*lockedWriter) map[int]int {
+	t.Helper()
+	counts := map[int]int{}
+	for _, o := range outs {
+		for _, line := range strings.Split(o.String(), "\n") {
+			line = strings.TrimSpace(line)
+			if !strings.HasPrefix(line, "chunk ") {
+				continue
+			}
+			var c, v int
+			if _, err := fmt.Sscanf(line, "chunk %d %d", &c, &v); err != nil {
+				t.Fatalf("unparsable output line %q: %v", line, err)
+			}
+			if v != chunkValue(c) {
+				t.Fatalf("chunk %d: value %d, want %d", c, v, chunkValue(c))
+			}
+			counts[c]++
+		}
+	}
+	return counts
+}
+
+// TestSetiSurvivesServerCrashAndRecovery is the tentpole scenario: the
+// node hosting the SETI server — the site every worker's RPCs funnel
+// through — is crashed mid-computation and then recovered from its
+// file-backed journal. The restored incarnation replays to the crash
+// frontier under a new epoch, re-registers its export, and the parked
+// worker traffic flushes into it. The run must finish with every chunk
+// processed EXACTLY once: a lost chunk means the journal dropped an
+// accepted operation, a doubled chunk means replay re-applied one.
+func TestSetiSurvivesServerCrashAndRecovery(t *testing.T) {
+	const workers = 2
+	assign := [][]int{chunkRange(0, 12), chunkRange(12, 24)}
+	total := 24
+
+	jf, err := journal.NewFileFactory(journalDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var susMu sync.Mutex
+	suspected := map[uint32]bool{}
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:           1 + workers,
+		Chaos:           &transport.ChaosConfig{Seed: *chaosSeed, Drop: 0.05, Dup: 0.05, Reorder: 0.1},
+		Reliability:     &transport.ReliableConfig{},
+		Detect:          &core.DetectConfig{Period: 10 * time.Millisecond, SuspectAfter: 80 * time.Millisecond},
+		Journal:         jf,
+		CheckpointEvery: 4,
+		LeaseTTL:        time.Second,
+		Supervise:       true,
+		OnSuspect: func(observer uint32, e failure.Event) {
+			if e.Suspected {
+				susMu.Lock()
+				suspected[e.Node] = true
+				susMu.Unlock()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	serverOut := &lockedWriter{}
+	if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]*lockedWriter, workers)
+	for i := 0; i < workers; i++ {
+		outs[i] = &lockedWriter{}
+		if _, err := cl.Submit(1+i, fmt.Sprintf("worker%d", i), chaosWorkerSrc(assign[i]), outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Let the computation get genuinely mid-flight before the crash so
+	// the journal holds both applied and in-flight operations.
+	waitCond(t, 30*time.Second, func() bool {
+		return len(countChunks(t, outs...)) >= 3
+	})
+	cl.Crash(0)
+	// The workers' detectors must notice the death before recovery, so
+	// the parked-frame flush path (peer down, then up again) is the one
+	// under test rather than a race the crash lost.
+	waitCond(t, 30*time.Second, func() bool {
+		susMu.Lock()
+		defer susMu.Unlock()
+		return suspected[1]
+	})
+	if err := cl.Recover(0); err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("cluster never terminated after recovery: %v (cluster: %v)", err, cl.Err())
+	}
+
+	// The recovered incarnation runs under a bumped epoch.
+	seti, ok := cl.Node(0).SiteByName("seti")
+	if !ok {
+		t.Fatal("seti site missing after recovery")
+	}
+	if seti.Epoch() < 2 {
+		t.Fatalf("recovered seti epoch = %d, want >= 2", seti.Epoch())
+	}
+
+	// Exactly-once: every chunk processed, none twice.
+	counts := countChunks(t, outs...)
+	for c := 0; c < total; c++ {
+		switch counts[c] {
+		case 0:
+			t.Errorf("chunk %d never processed (lost across the crash)", c)
+		case 1:
+		default:
+			t.Errorf("chunk %d processed %d times (replay duplicated it)", c, counts[c])
+		}
+	}
+
+	// The export survived at its old name: a site submitted only after
+	// the crash must still be able to import db from seti.
+	probeOut := &lockedWriter{}
+	if _, err := cl.Submit(1, "probe", chaosWorkerSrc([]int{total}), probeOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("post-recovery probe never terminated: %v (cluster: %v)", err, cl.Err())
+	}
+	if got := countChunks(t, probeOut)[total]; got != 1 {
+		t.Fatalf("post-recovery probe chunk processed %d times, want 1 (out=%q)", got, probeOut.String())
+	}
+}
+
+// waitCond polls cond until it holds or the deadline passes.
+func waitCond(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 func chunkRange(lo, hi int) []int {

@@ -9,9 +9,11 @@
 //
 // The robustness knobs turn the same run into a fault drill: -drop
 // makes every link lossy (which switches on the reliable delivery
-// layer and failure detection), and -crash kills a worker mid-run —
-// the survivors finish, the failure detector reports the death, and a
-// rescue worker re-runs the victim's quota.
+// layer and failure detection), and -crash kills a worker's node
+// mid-run. Every site journals to disk, so the crash is survivable:
+// once the failure detector reports the death, the node is restarted
+// and the victim site replays its journal — it resumes its own quota
+// mid-fold instead of a rescue worker starting over.
 //
 //	go run ./examples/seti -workers 4 -chunks 25 -drop 0.2 -crash 3
 package main
@@ -28,6 +30,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/failure"
+	"repro/internal/journal"
 	"repro/internal/transport"
 )
 
@@ -86,6 +89,20 @@ func main() {
 			}
 		}
 	}
+	if *crash >= 0 {
+		// Crash recovery needs the write-ahead journals on disk.
+		dir, err := os.MkdirTemp("", "seti-journal-")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(dir)
+		jf, err := journal.NewFileFactory(dir)
+		if err != nil {
+			fail(err)
+		}
+		cfg.Journal = jf
+		cfg.Supervise = true
+	}
 	cl, err := core.NewCluster(cfg)
 	if err != nil {
 		fail(err)
@@ -105,31 +122,24 @@ func main() {
 			fail(err)
 		}
 	}
-	if *crash >= 0 && *crash < *workers {
-		time.AfterFunc(50*time.Millisecond, func() {
-			fmt.Printf("-- crashing worker%d (node %d)\n", *crash, 2+*crash)
-			cl.Crash(1 + *crash)
-		})
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
 	defer cancel()
+	if *crash >= 0 && *crash < *workers {
+		// Kill the victim's node mid-run, let the survivors' failure
+		// detectors report the death, then restart it: the worker site
+		// replays its journal and resumes its own quota where the
+		// crash cut it off.
+		time.Sleep(50 * time.Millisecond)
+		fmt.Printf("-- crashing worker%d (node %d)\n", *crash, 2+*crash)
+		cl.Crash(1 + *crash)
+		time.Sleep(cfg.Detect.SuspectAfter + 5*cfg.Detect.Period)
+		fmt.Printf("-- recovering node %d from its journals\n", 2+*crash)
+		if err := cl.Recover(1 + *crash); err != nil {
+			fail(err)
+		}
+	}
 	if err := cl.Wait(ctx); err != nil {
 		fail(err)
-	}
-	if *crash >= 0 && *crash < *workers {
-		// Reassign the victim's quota to a fresh rescue site on the
-		// first worker node; the database keeps serving where it
-		// left off.
-		rescue := &strings.Builder{}
-		outs = append(outs, rescue)
-		fmt.Printf("-- survivors done; rescuing worker%d's quota\n", *crash)
-		src := fmt.Sprintf(`import Install from seti in Install[%d]`, *chunks)
-		if _, err := cl.Submit(1, "rescue", src, rescue); err != nil {
-			fail(err)
-		}
-		if err := cl.Wait(ctx); err != nil {
-			fail(err)
-		}
 	}
 	elapsed := time.Since(start)
 

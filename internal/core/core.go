@@ -24,6 +24,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/compiler"
 	"repro/internal/failure"
+	"repro/internal/journal"
 	"repro/internal/nameservice"
 	"repro/internal/node"
 	"repro/internal/site"
@@ -111,18 +112,51 @@ type ClusterConfig struct {
 	// the observing node. The reconfiguration hook: a SETI-style master
 	// requeues a crashed worker's chunks from here.
 	OnSuspect func(observer uint32, e failure.Event)
+	// Journal, when non-nil, gives every site a write-ahead log:
+	// mobility operations are journaled before acknowledgement, sites
+	// checkpoint periodically, and Cluster.Recover can restart a crashed
+	// node from the logs. Use journal.NewMemFactory for tests (the
+	// factory outlives node restarts) or journal.NewFileFactory for
+	// crash-surviving logs on disk.
+	Journal journal.Factory
+	// CheckpointEvery is the per-site delivery count between compacting
+	// checkpoints (default 64; only meaningful with Journal).
+	CheckpointEvery int
+	// LeaseTTL, when positive and NS is unset, makes the built-in name
+	// service lease-based: registrations expire unless refreshed, so a
+	// dead site's names fail fast instead of blocking importers forever.
+	// Sites refresh at LeaseTTL/3.
+	LeaseTTL time.Duration
+	// Supervise makes every node restart its crashed sites from their
+	// journals (requires Journal).
+	Supervise bool
+}
+
+// spawnRec remembers a submission so Recover can restore the node's
+// site roster.
+type spawnRec struct {
+	name string
+	out  io.Writer
+	opts []node.SiteOption
 }
 
 // Cluster is an in-process DiTyCO network: N nodes on a switch fabric
 // sharing a name service — the architecture of paper Fig. 2 scaled
 // into one process.
 type Cluster struct {
-	ns        nameservice.Service
-	fabric    *transport.Fabric
-	chaos     *transport.Chaos
+	cfg    ClusterConfig
+	ns     nameservice.Service
+	fabric *transport.Fabric
+	chaos  *transport.Chaos
+	det    *termination.Detector
+
+	// mu guards the node roster, which Recover rebuilds in place.
+	mu        sync.Mutex
 	nodes     []*node.Node
 	detectors []*failure.Detector
-	det       *termination.Detector
+	mems      []*transport.Mem
+	epochs    []uint32
+	spawns    [][]spawnRec
 
 	deadMu sync.Mutex
 	dead   map[uint32]bool
@@ -133,51 +167,43 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 1
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 64
+	}
+	if cfg.Journal != nil && cfg.Reliability != nil && !cfg.Reliability.Park {
+		// Parking is load-bearing for recovery: frames for a crashed
+		// peer must be held and re-injected once the supervisor brings
+		// it back, not dropped.
+		rel := *cfg.Reliability
+		rel.Park = true
+		cfg.Reliability = &rel
+	}
 	ns := cfg.NS
 	if ns == nil {
-		ns = nameservice.NewCentral()
+		if cfg.LeaseTTL > 0 {
+			ns = nameservice.NewCentralWithLeases(cfg.LeaseTTL)
+		} else {
+			ns = nameservice.NewCentral()
+		}
 	}
 	fabric := transport.NewFabric(cfg.Link)
-	c := &Cluster{ns: ns, fabric: fabric, dead: map[uint32]bool{}}
+	c := &Cluster{cfg: cfg, ns: ns, fabric: fabric, dead: map[uint32]bool{}}
 	if cfg.Chaos != nil {
 		c.chaos = transport.NewChaos(*cfg.Chaos)
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		tr, err := fabric.Attach(uint32(i + 1))
+		n, mem, err := c.newNode(uint32(i+1), 1)
 		if err != nil {
 			return nil, err
 		}
-		var t transport.Transport = tr
-		if c.chaos != nil {
-			t = c.chaos.Wrap(tr)
-		}
-		n := node.New(node.Config{
-			ID:                uint32(i + 1),
-			NS:                ns,
-			Transport:         t,
-			Out:               cfg.Out,
-			ForceMarshalLocal: cfg.ForceMarshalLocal,
-			Reliability:       cfg.Reliability,
-		})
 		c.nodes = append(c.nodes, n)
+		c.mems = append(c.mems, mem)
+		c.epochs = append(c.epochs, 1)
+		c.spawns = append(c.spawns, nil)
 	}
 	if cfg.Detect != nil {
-		peers := make([]uint32, cfg.Nodes)
-		for i := range peers {
-			peers[i] = uint32(i + 1)
-		}
 		for _, n := range c.nodes {
-			observer := n.ID()
-			c.detectors = append(c.detectors, n.AttachFailureDetectorWith(failure.Config{
-				Peers:        peers,
-				Period:       cfg.Detect.Period,
-				SuspectAfter: cfg.Detect.SuspectAfter,
-				OnEvent: func(e failure.Event) {
-					if cfg.OnSuspect != nil {
-						cfg.OnSuspect(observer, e)
-					}
-				},
-			}))
+			c.detectors = append(c.detectors, c.attachDetector(n))
 		}
 	}
 	c.det = termination.New(c.probes)
@@ -185,6 +211,66 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 		return termination.CollectAlive(ps, c.aliveFn())
 	}
 	return c, nil
+}
+
+// newNode attaches one node to the fabric (wrapping it in the chaos
+// interposer when configured) under the given incarnation epoch.
+func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, error) {
+	mem, err := c.fabric.Attach(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	var t transport.Transport = mem
+	if c.chaos != nil {
+		t = c.chaos.Wrap(mem)
+	}
+	var leaseRefresh time.Duration
+	if c.cfg.LeaseTTL > 0 {
+		leaseRefresh = c.cfg.LeaseTTL / 3
+	}
+	n := node.New(node.Config{
+		ID:                id,
+		NS:                c.ns,
+		Transport:         t,
+		Out:               c.cfg.Out,
+		ForceMarshalLocal: c.cfg.ForceMarshalLocal,
+		Reliability:       c.cfg.Reliability,
+		Epoch:             epoch,
+		Journals:          c.journalsFor(id),
+		CheckpointEvery:   c.cfg.CheckpointEvery,
+		LeaseRefresh:      leaseRefresh,
+		Supervise:         c.cfg.Supervise,
+	})
+	return n, mem, nil
+}
+
+// journalsFor namespaces the cluster's journal factory per node, so
+// same-named sites on different nodes get distinct logs.
+func (c *Cluster) journalsFor(id uint32) journal.Factory {
+	if c.cfg.Journal == nil {
+		return nil
+	}
+	return journal.Scoped(c.cfg.Journal, fmt.Sprintf("n%d", id))
+}
+
+// attachDetector wires a heartbeat failure detector to a node using the
+// cluster's Detect config.
+func (c *Cluster) attachDetector(n *node.Node) *failure.Detector {
+	peers := make([]uint32, c.cfg.Nodes)
+	for i := range peers {
+		peers[i] = uint32(i + 1)
+	}
+	observer := n.ID()
+	return n.AttachFailureDetectorWith(failure.Config{
+		Peers:        peers,
+		Period:       c.cfg.Detect.Period,
+		SuspectAfter: c.cfg.Detect.SuspectAfter,
+		OnEvent: func(e failure.Event) {
+			if c.cfg.OnSuspect != nil {
+				c.cfg.OnSuspect(observer, e)
+			}
+		},
+	})
 }
 
 // Chaos returns the cluster's fault controller (nil without the Chaos
@@ -196,10 +282,18 @@ func (c *Cluster) Chaos() *transport.Chaos { return c.chaos }
 // accounting and error collection from here on. This models fail-stop —
 // there is no Revive for a crashed node's computation state.
 func (c *Cluster) Crash(i int) {
+	c.mu.Lock()
 	if i < 0 || i >= len(c.nodes) {
+		c.mu.Unlock()
 		return
 	}
-	id := c.nodes[i].ID()
+	n := c.nodes[i]
+	var d *failure.Detector
+	if i < len(c.detectors) {
+		d = c.detectors[i]
+	}
+	c.mu.Unlock()
+	id := n.ID()
 	c.deadMu.Lock()
 	already := c.dead[id]
 	c.dead[id] = true
@@ -210,10 +304,76 @@ func (c *Cluster) Crash(i int) {
 	if c.chaos != nil {
 		c.chaos.Crash(id)
 	}
-	if i < len(c.detectors) {
-		c.detectors[i].Stop()
+	if d != nil {
+		d.Stop()
 	}
-	c.nodes[i].Stop()
+	n.Stop()
+}
+
+// Recover restarts a crashed node: a fresh incarnation is attached to
+// the fabric under a higher epoch and every site the node was running
+// is rebuilt from its journal — checkpoint restored, logged deliveries
+// replayed, accepted-but-unhandled operations re-delivered, exports
+// re-registered under the same names. Peers' parked frames flush to the
+// new incarnation. Requires the Journal knob.
+func (c *Cluster) Recover(i int) error {
+	if c.cfg.Journal == nil {
+		return fmt.Errorf("core: Recover needs the Journal knob")
+	}
+	c.mu.Lock()
+	if i < 0 || i >= len(c.nodes) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: node %d out of range", i)
+	}
+	old := c.nodes[i]
+	mem := c.mems[i]
+	epoch := c.epochs[i] + 1
+	spawns := append([]spawnRec(nil), c.spawns[i]...)
+	c.mu.Unlock()
+
+	id := old.ID()
+	c.deadMu.Lock()
+	dead := c.dead[id]
+	c.deadMu.Unlock()
+	if !dead {
+		// Recovering a live node is a restart: kill it first so the old
+		// incarnation cannot race its successor.
+		c.Crash(i)
+	}
+	// The crash path may or may not have closed the fabric endpoint
+	// (node.Stop closes it only when it owns a reliable layer); Close is
+	// idempotent, and a closed endpoint frees the slot for re-Attach.
+	_ = mem.Close()
+	if c.chaos != nil {
+		c.chaos.Revive(id)
+	}
+	n, newMem, err := c.newNode(id, epoch)
+	if err != nil {
+		return fmt.Errorf("core: reattach node %d: %w", id, err)
+	}
+	var det *failure.Detector
+	if c.cfg.Detect != nil {
+		det = c.attachDetector(n)
+	}
+	c.mu.Lock()
+	c.nodes[i] = n
+	c.mems[i] = newMem
+	c.epochs[i] = epoch
+	if det != nil && i < len(c.detectors) {
+		c.detectors[i] = det
+	}
+	c.mu.Unlock()
+	// Back in the membership: termination accounting and Err collection
+	// include the new incarnation again.
+	c.deadMu.Lock()
+	delete(c.dead, id)
+	c.deadMu.Unlock()
+	for _, sp := range spawns {
+		if _, err := n.RecoverSite(sp.name, sp.out, sp.opts...); err != nil {
+			return fmt.Errorf("core: recover site %q on node %d: %w", sp.name, id, err)
+		}
+	}
+	return nil
 }
 
 // aliveFn snapshots the dead set into a membership predicate.
@@ -231,10 +391,25 @@ func (c *Cluster) aliveFn() func(uint32) bool {
 func (c *Cluster) NS() nameservice.Service { return c.ns }
 
 // Node returns the i-th node (0-based).
-func (c *Cluster) Node(i int) *node.Node { return c.nodes[i] }
+func (c *Cluster) Node(i int) *node.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.nodes[i]
+}
 
 // Nodes returns the node count.
-func (c *Cluster) Nodes() int { return len(c.nodes) }
+func (c *Cluster) Nodes() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.nodes)
+}
+
+// snapshotNodes copies the roster for lock-free iteration.
+func (c *Cluster) snapshotNodes() []*node.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*node.Node(nil), c.nodes...)
+}
 
 // Submit compiles src and starts it as a site named siteName on node
 // i, with out as the site's I/O port.
@@ -248,17 +423,28 @@ func (c *Cluster) Submit(i int, siteName, src string, out io.Writer, opts ...nod
 
 // SubmitProgram starts a pre-compiled program as a site on node i.
 func (c *Cluster) SubmitProgram(i int, prog *Program, out io.Writer, opts ...node.SiteOption) (*site.Site, error) {
+	c.mu.Lock()
 	if i < 0 || i >= len(c.nodes) {
+		c.mu.Unlock()
 		return nil, fmt.Errorf("core: node %d out of range", i)
 	}
-	return c.nodes[i].Spawn(prog.Name, prog.SiteProgram(), out, opts...)
+	n := c.nodes[i]
+	c.mu.Unlock()
+	s, err := n.Spawn(prog.Name, prog.SiteProgram(), out, opts...)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.spawns[i] = append(c.spawns[i], spawnRec{name: prog.Name, out: out, opts: opts})
+	c.mu.Unlock()
+	return s, nil
 }
 
 // probes snapshots every site's control state for the termination
 // detector.
 func (c *Cluster) probes() []termination.Probe {
 	var out []termination.Probe
-	for _, n := range c.nodes {
+	for _, n := range c.snapshotNodes() {
 		for _, s := range n.Sites() {
 			sentTo, recvFrom, idle := s.ControlVectors()
 			sent, recv, _ := s.ControlState()
@@ -287,7 +473,7 @@ func (c *Cluster) Wait(ctx context.Context) error {
 // Crash are skipped: a crashed node's sites die mid-flight by design.
 func (c *Cluster) Err() error {
 	alive := c.aliveFn()
-	for _, n := range c.nodes {
+	for _, n := range c.snapshotNodes() {
 		if !alive(n.ID()) {
 			continue
 		}
@@ -305,10 +491,14 @@ func (c *Cluster) Err() error {
 
 // Stop tears the cluster down.
 func (c *Cluster) Stop() {
-	for _, d := range c.detectors {
+	c.mu.Lock()
+	detectors := append([]*failure.Detector(nil), c.detectors...)
+	nodes := append([]*node.Node(nil), c.nodes...)
+	c.mu.Unlock()
+	for _, d := range detectors {
 		d.Stop()
 	}
-	for _, n := range c.nodes {
+	for _, n := range nodes {
 		n.Stop()
 	}
 	if c.chaos != nil {

@@ -107,6 +107,7 @@ func All() []Runner {
 		{"e7", "wire format & mobile code sizes (§5)", E7},
 		{"e8", "termination & failure detection (§7)", E8},
 		{"e9", "reliable delivery under chaos (drop, dup, partition)", E9},
+		{"e10", "crash recovery: journal overhead, checkpoint interval", E10},
 	}
 }
 

@@ -1,0 +1,200 @@
+package journal_test
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/journal"
+)
+
+func roundtrip(t *testing.T, f journal.Factory) {
+	t.Helper()
+	st, err := f.Open("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []journal.Record{
+		{Kind: 1, Data: []byte("program")},
+		{Kind: 3, Data: []byte("delivery-1")},
+		{Kind: 3, Data: nil},
+		{Kind: 4, Data: []byte("accepted")},
+	}
+	for _, r := range recs {
+		if err := st.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+	for i, r := range got {
+		if r.Kind != recs[i].Kind || string(r.Data) != string(recs[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, r, recs[i])
+		}
+	}
+	// Compaction: the new log fully replaces the old one.
+	if err := st.Replace([]journal.Record{{Kind: 5, Data: []byte("checkpoint")}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(journal.Record{Kind: 3, Data: []byte("post-compact")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen through the factory: the recovery path.
+	st2, err := f.Open("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got, err = st2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"checkpoint", "post-compact"}
+	if len(got) != len(want) {
+		t.Fatalf("after compaction: %d records, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if string(r.Data) != want[i] {
+			t.Fatalf("after compaction record %d = %q, want %q", i, r.Data, want[i])
+		}
+	}
+	names, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"alpha"}) {
+		t.Fatalf("List = %v, want [alpha]", names)
+	}
+}
+
+func TestMemStoreRoundtrip(t *testing.T) { roundtrip(t, journal.NewMemFactory()) }
+
+func TestFileStoreRoundtrip(t *testing.T) {
+	f, err := journal.NewFileFactory(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	roundtrip(t, f)
+}
+
+func TestFileStoreDropsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	f, err := journal.NewFileFactory(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Open("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(journal.Record{Kind: 1, Data: []byte("intact")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: a kind byte and a length promising
+	// more data than exists.
+	path := filepath.Join(dir, "crashy.wal")
+	fh, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte{3, 200, 1, 'x'}); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+	st2, err := f.Open("crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	recs, err := st2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != "intact" {
+		t.Fatalf("torn tail not dropped: %+v", recs)
+	}
+}
+
+func TestFileNameEscaping(t *testing.T) {
+	f, err := journal.NewFileFactory(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	weird := "n1/wörk er"
+	st, err := f.Open(weird)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(journal.Record{Kind: 1, Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	names, err := f.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{weird}) {
+		t.Fatalf("List = %q, want [%q]", names, weird)
+	}
+}
+
+func TestScopedFactoryIsolatesNodes(t *testing.T) {
+	base := journal.NewMemFactory()
+	n1 := journal.Scoped(base, "n1")
+	n2 := journal.Scoped(base, "n2")
+	for _, f := range []journal.Factory{n1, n2} {
+		st, err := f.Open("worker")
+		if err != nil {
+			t.Fatal(err)
+		}
+		st.Close()
+	}
+	st, err := n1.Open("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Append(journal.Record{Kind: 1, Data: []byte("n1-only")}); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	st2, err := n2.Open("worker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Close()
+	if len(recs) != 0 {
+		t.Fatalf("n2's log sees n1's records: %+v", recs)
+	}
+	names, err := n1.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(names, []string{"worker"}) {
+		t.Fatalf("scoped List = %v, want [worker]", names)
+	}
+	all, err := base.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(all)
+	if !reflect.DeepEqual(all, []string{"n1/worker", "n2/worker"}) {
+		t.Fatalf("base List = %v", all)
+	}
+}

@@ -19,37 +19,69 @@
 // arities for names, parameter count for classes). Importers verify
 // their intended use against it — the dynamic half of the paper's
 // combined static/dynamic type checking scheme.
+//
+// Registrations are lease-based when the service is built with
+// NewCentralWithLeases: a site entry carries the registering
+// incarnation's epoch and is kept alive by KeepAlive heartbeats.
+// When the lease lapses (the site died), lookups under that site fail
+// with ErrNameExpired instead of resolving to a corpse; a supervised
+// restart re-registers under a higher epoch, atomically superseding
+// the dead incarnation while keeping its exported names (heap ids are
+// stable across deterministic replay, so importers never observe a
+// gap).
 package nameservice
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/vm"
 )
 
-// Service is the name-service interface sites use.
+// ErrNameExpired is returned (wrapped) by lookups whose site's lease
+// has lapsed: the exporter is presumed dead and its entries are fenced
+// until a higher-epoch re-registration revives them. Importers treat
+// it as transient and retry within their deadline — recovery may be
+// in progress.
+var ErrNameExpired = errors.New("nameservice: name lease expired")
+
+// Service is the name-service interface sites use. Registration calls
+// take a context so callers against remote backends (the TCP client)
+// bound how long they block; lookups additionally block until the
+// export arrives or ctx expires.
 type Service interface {
-	// RegisterSite enters a site into the SiteTable.
-	RegisterSite(name string, site, node uint32) error
+	// RegisterSite enters a site into the SiteTable. epoch is the
+	// site incarnation: a higher epoch supersedes a previous
+	// registration of the same name (crash recovery), a lower one is
+	// rejected as a stale ghost.
+	RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error
 	// LookupSite blocks until the site is registered.
 	LookupSite(ctx context.Context, name string) (site, node uint32, err error)
 	// RegisterName enters an exported identifier into the IdTable.
 	// sig is the exporter's protocol signature (see Signature).
-	RegisterName(siteName, id string, heap uint32, sig string) error
+	RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error
 	// LookupName blocks until the identifier is exported and returns
 	// its network reference and signature.
 	LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error)
 	// RegisterClass enters an exported class into the class table.
-	RegisterClass(siteName, class string, sig string) error
+	RegisterClass(ctx context.Context, siteName, class string, sig string) error
 	// LookupClass blocks until the class is exported.
 	LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error)
+	// KeepAlive refreshes a site's lease. It fails for an unknown site
+	// and for an epoch below the registered one (a stale pre-crash
+	// incarnation must not keep its successor's entry alive — and must
+	// learn it has been superseded).
+	KeepAlive(ctx context.Context, siteName string, epoch uint32) error
 }
 
 type siteEntry struct {
-	site uint32
-	node uint32
+	site     uint32
+	node     uint32
+	epoch    uint32
+	lastBeat time.Time
 }
 
 type idKey struct {
@@ -69,6 +101,9 @@ type classEntry struct {
 // Central is the centralized name service: one instance shared (via
 // pointer or via the TCP protocol in this package) by every node.
 type Central struct {
+	leaseTTL time.Duration
+	now      func() time.Time
+
 	mu      sync.Mutex
 	gen     chan struct{} // closed and replaced on every registration
 	sites   map[string]siteEntry
@@ -78,9 +113,12 @@ type Central struct {
 
 var _ Service = (*Central)(nil)
 
-// NewCentral creates an empty name service.
+// NewCentral creates an empty name service without lease expiry
+// (registrations live forever, as in the paper's first
+// implementation).
 func NewCentral() *Central {
 	return &Central{
+		now:     time.Now,
 		gen:     make(chan struct{}),
 		sites:   map[string]siteEntry{},
 		names:   map[idKey]nameEntry{},
@@ -88,23 +126,64 @@ func NewCentral() *Central {
 	}
 }
 
+// NewCentralWithLeases creates a name service whose site entries
+// expire ttl after their last registration or KeepAlive.
+func NewCentralWithLeases(ttl time.Duration) *Central {
+	c := NewCentral()
+	c.leaseTTL = ttl
+	return c
+}
+
+// SetClock overrides the lease clock (tests).
+func (c *Central) SetClock(now func() time.Time) { c.now = now }
+
 // bump wakes all blocked lookups so they can re-check.
 func (c *Central) bump() {
 	close(c.gen)
 	c.gen = make(chan struct{})
 }
 
+// expiredLocked reports whether a site entry's lease has lapsed.
+func (c *Central) expiredLocked(e siteEntry) bool {
+	return c.leaseTTL > 0 && c.now().Sub(e.lastBeat) > c.leaseTTL
+}
+
 // RegisterSite implements Service.
-func (c *Central) RegisterSite(name string, site, node uint32) error {
+func (c *Central) RegisterSite(_ context.Context, name string, site, node, epoch uint32) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if prev, dup := c.sites[name]; dup {
-		if prev.site == site && prev.node == node {
-			return nil // idempotent re-registration
+		switch {
+		case epoch < prev.epoch:
+			return fmt.Errorf("nameservice: site %q re-registration at epoch %d is stale (current epoch %d)", name, epoch, prev.epoch)
+		case epoch == prev.epoch && (prev.site != site || prev.node != node):
+			return fmt.Errorf("nameservice: site %q already registered at s%d/n%d", name, prev.site, prev.node)
 		}
-		return fmt.Errorf("nameservice: site %q already registered at s%d/n%d", name, prev.site, prev.node)
+		// Same identity (idempotent refresh) or a higher epoch: the
+		// recovered incarnation supersedes the dead one atomically.
+		// Its exported names are kept — deterministic replay restores
+		// the same heap ids, so importers resolve without a gap.
 	}
-	c.sites[name] = siteEntry{site: site, node: node}
+	c.sites[name] = siteEntry{site: site, node: node, epoch: epoch, lastBeat: c.now()}
+	c.bump()
+	return nil
+}
+
+// KeepAlive implements Service.
+func (c *Central) KeepAlive(_ context.Context, siteName string, epoch uint32) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.sites[siteName]
+	if !ok {
+		return fmt.Errorf("nameservice: keepalive for unregistered site %q", siteName)
+	}
+	if epoch < e.epoch {
+		return fmt.Errorf("nameservice: keepalive for site %q at epoch %d superseded by epoch %d", siteName, epoch, e.epoch)
+	}
+	e.lastBeat = c.now()
+	c.sites[siteName] = e
+	// A refreshed lease can un-expire entries that blocked lookups saw
+	// as lapsed.
 	c.bump()
 	return nil
 }
@@ -113,12 +192,16 @@ func (c *Central) RegisterSite(name string, site, node uint32) error {
 func (c *Central) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
 	for {
 		c.mu.Lock()
-		if e, ok := c.sites[name]; ok {
+		e, ok := c.sites[name]
+		gen := c.gen
+		if ok && !c.expiredLocked(e) {
 			c.mu.Unlock()
 			return e.site, e.node, nil
 		}
-		gen := c.gen
 		c.mu.Unlock()
+		if ok {
+			return 0, 0, fmt.Errorf("%w: site %q", ErrNameExpired, name)
+		}
 		select {
 		case <-gen:
 		case <-ctx.Done():
@@ -128,7 +211,7 @@ func (c *Central) LookupSite(ctx context.Context, name string) (uint32, uint32, 
 }
 
 // RegisterName implements Service.
-func (c *Central) RegisterName(siteName, id string, heap uint32, sig string) error {
+func (c *Central) RegisterName(_ context.Context, siteName, id string, heap uint32, sig string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := idKey{site: siteName, id: id}
@@ -146,10 +229,14 @@ func (c *Central) LookupName(ctx context.Context, siteName, id string) (vm.NetRe
 		c.mu.Lock()
 		e, okName := c.names[idKey{site: siteName, id: id}]
 		s, okSite := c.sites[siteName]
+		expired := okSite && c.expiredLocked(s)
 		gen := c.gen
 		c.mu.Unlock()
-		if okName && okSite {
+		if okName && okSite && !expired {
 			return vm.NetRef{Heap: e.heap, Site: s.site, Node: s.node}, e.sig, nil
+		}
+		if expired {
+			return vm.NetRef{}, "", fmt.Errorf("%w: %s.%s", ErrNameExpired, siteName, id)
 		}
 		select {
 		case <-gen:
@@ -160,7 +247,7 @@ func (c *Central) LookupName(ctx context.Context, siteName, id string) (vm.NetRe
 }
 
 // RegisterClass implements Service.
-func (c *Central) RegisterClass(siteName, class string, sig string) error {
+func (c *Central) RegisterClass(_ context.Context, siteName, class string, sig string) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	k := idKey{site: siteName, id: class}
@@ -175,10 +262,14 @@ func (c *Central) LookupClass(ctx context.Context, siteName, class string) (vm.N
 		c.mu.Lock()
 		e, okClass := c.classes[idKey{site: siteName, id: class}]
 		s, okSite := c.sites[siteName]
+		expired := okSite && c.expiredLocked(s)
 		gen := c.gen
 		c.mu.Unlock()
-		if okClass && okSite {
+		if okClass && okSite && !expired {
 			return vm.NetClass{Name: class, Site: s.site, Node: s.node}, e.sig, nil
+		}
+		if expired {
+			return vm.NetClass{}, "", fmt.Errorf("%w: class %s.%s", ErrNameExpired, siteName, class)
 		}
 		select {
 		case <-gen:
@@ -186,6 +277,15 @@ func (c *Central) LookupClass(ctx context.Context, siteName, class string) (vm.N
 			return vm.NetClass{}, "", fmt.Errorf("nameservice: lookup class %s.%s: %w", siteName, class, ctx.Err())
 		}
 	}
+}
+
+// SiteEpoch returns the registered epoch of a site (0, false when
+// unregistered) — the supervisor's fencing witness in tests.
+func (c *Central) SiteEpoch(name string) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.sites[name]
+	return e.epoch, ok
 }
 
 // Dump returns a human-readable table listing (for tycosh and tests).

@@ -2,6 +2,7 @@ package nameservice_test
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -12,14 +13,14 @@ import (
 
 func TestCentralBasics(t *testing.T) {
 	ns := nameservice.NewCentral()
-	if err := ns.RegisterSite("server", 7, 2); err != nil {
+	if err := ns.RegisterSite(context.Background(), "server", 7, 2, 1); err != nil {
 		t.Fatal(err)
 	}
 	site, node, err := ns.LookupSite(context.Background(), "server")
 	if err != nil || site != 7 || node != 2 {
 		t.Fatalf("lookup site: %d %d %v", site, node, err)
 	}
-	if err := ns.RegisterName("server", "chat", 41, "val/1 ..."); err != nil {
+	if err := ns.RegisterName(context.Background(), "server", "chat", 41, "val/1 ..."); err != nil {
 		t.Fatal(err)
 	}
 	ref, sig, err := ns.LookupName(context.Background(), "server", "chat")
@@ -29,7 +30,7 @@ func TestCentralBasics(t *testing.T) {
 	if ref != (vm.NetRef{Heap: 41, Site: 7, Node: 2}) || sig != "val/1 ..." {
 		t.Fatalf("ref=%v sig=%q", ref, sig)
 	}
-	if err := ns.RegisterClass("server", "Applet", "class/2"); err != nil {
+	if err := ns.RegisterClass(context.Background(), "server", "Applet", "class/2"); err != nil {
 		t.Fatal(err)
 	}
 	nc, csig, err := ns.LookupClass(context.Background(), "server", "Applet")
@@ -53,10 +54,10 @@ func TestCentralBlockingLookup(t *testing.T) {
 		t.Fatal("lookup returned before export")
 	default:
 	}
-	if err := ns.RegisterName("late", "x", 9, ""); err != nil {
+	if err := ns.RegisterName(context.Background(), "late", "x", 9, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.RegisterSite("late", 1, 1); err != nil {
+	if err := ns.RegisterSite(context.Background(), "late", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -80,19 +81,19 @@ func TestCentralLookupContextCancel(t *testing.T) {
 
 func TestCentralConflicts(t *testing.T) {
 	ns := nameservice.NewCentral()
-	if err := ns.RegisterSite("s", 1, 1); err != nil {
+	if err := ns.RegisterSite(context.Background(), "s", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.RegisterSite("s", 1, 1); err != nil {
+	if err := ns.RegisterSite(context.Background(), "s", 1, 1, 1); err != nil {
 		t.Fatal("idempotent re-registration should pass:", err)
 	}
-	if err := ns.RegisterSite("s", 2, 1); err == nil {
+	if err := ns.RegisterSite(context.Background(), "s", 2, 1, 1); err == nil {
 		t.Fatal("conflicting site registration accepted")
 	}
-	if err := ns.RegisterName("s", "x", 1, ""); err != nil {
+	if err := ns.RegisterName(context.Background(), "s", "x", 1, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.RegisterName("s", "x", 2, ""); err == nil {
+	if err := ns.RegisterName(context.Background(), "s", "x", 2, ""); err == nil {
 		t.Fatal("conflicting name registration accepted")
 	}
 }
@@ -101,7 +102,7 @@ func TestCentralConcurrentExportImport(t *testing.T) {
 	// Many concurrent importers and exporters: every importer must
 	// see exactly the value its exporter registered.
 	ns := nameservice.NewCentral()
-	if err := ns.RegisterSite("hub", 1, 1); err != nil {
+	if err := ns.RegisterSite(context.Background(), "hub", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
 	const n = 50
@@ -123,7 +124,7 @@ func TestCentralConcurrentExportImport(t *testing.T) {
 	}
 	for i := 0; i < n; i++ {
 		go func(i int) {
-			_ = ns.RegisterName("hub", name(i), uint32(i), "")
+			_ = ns.RegisterName(context.Background(), "hub", name(i), uint32(i), "")
 		}(i)
 	}
 	wg.Wait()
@@ -155,13 +156,13 @@ func TestTCPProtocol(t *testing.T) {
 	}
 	defer cli.Close()
 
-	if err := cli.RegisterSite("remote", 3, 4); err != nil {
+	if err := cli.RegisterSite(context.Background(), "remote", 3, 4, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.RegisterName("remote", "p", 11, "val/2 ..."); err != nil {
+	if err := cli.RegisterName(context.Background(), "remote", "p", 11, "val/2 ..."); err != nil {
 		t.Fatal(err)
 	}
-	if err := cli.RegisterClass("remote", "K", "class/1"); err != nil {
+	if err := cli.RegisterClass(context.Background(), "remote", "K", "class/1"); err != nil {
 		t.Fatal(err)
 	}
 	ref, sig, err := cli.LookupName(context.Background(), "remote", "p")
@@ -204,10 +205,10 @@ func TestTCPBlockingLookupAcrossClients(t *testing.T) {
 		}
 	}()
 	time.Sleep(20 * time.Millisecond)
-	if err := exporter.RegisterSite("s", 1, 1); err != nil {
+	if err := exporter.RegisterSite(context.Background(), "s", 1, 1, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := exporter.RegisterName("s", "x", 5, ""); err != nil {
+	if err := exporter.RegisterName(context.Background(), "s", "x", 5, ""); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -249,10 +250,10 @@ func TestReplicatedFailover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rep.RegisterSite("s", 1, 1); err != nil {
+	if err := rep.RegisterSite(context.Background(), "s", 1, 1, 1); err != nil {
 		t.Fatalf("quorum write failed: %v", err)
 	}
-	if err := rep.RegisterName("s", "x", 3, "sig"); err != nil {
+	if err := rep.RegisterName(context.Background(), "s", "x", 3, "sig"); err != nil {
 		t.Fatal(err)
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
@@ -270,7 +271,7 @@ func TestReplicatedQuorumFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := rep.RegisterSite("s", 1, 1); err == nil {
+	if err := rep.RegisterSite(context.Background(), "s", 1, 1, 1); err == nil {
 		t.Fatal("1/3 acks must not be a quorum")
 	}
 }
@@ -278,15 +279,20 @@ func TestReplicatedQuorumFailure(t *testing.T) {
 // failingService errors on everything (a crashed replica).
 type failingService struct{}
 
-func (f *failingService) RegisterSite(string, uint32, uint32) error { return errDown }
+func (f *failingService) RegisterSite(context.Context, string, uint32, uint32, uint32) error {
+	return errDown
+}
 func (f *failingService) LookupSite(ctx context.Context, _ string) (uint32, uint32, error) {
 	return 0, 0, errDown
 }
-func (f *failingService) RegisterName(string, string, uint32, string) error { return errDown }
+func (f *failingService) RegisterName(context.Context, string, string, uint32, string) error {
+	return errDown
+}
 func (f *failingService) LookupName(ctx context.Context, _, _ string) (vm.NetRef, string, error) {
 	return vm.NetRef{}, "", errDown
 }
-func (f *failingService) RegisterClass(string, string, string) error { return errDown }
+func (f *failingService) RegisterClass(context.Context, string, string, string) error { return errDown }
+func (f *failingService) KeepAlive(context.Context, string, uint32) error             { return errDown }
 func (f *failingService) LookupClass(ctx context.Context, _, _ string) (vm.NetClass, string, error) {
 	return vm.NetClass{}, "", errDown
 }
@@ -296,3 +302,105 @@ type downError struct{}
 func (downError) Error() string { return "replica down" }
 
 var errDown = downError{}
+
+// leaseClock is a manually advanced clock for lease tests.
+type leaseClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *leaseClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *leaseClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+func TestLeaseExpiryFailsFast(t *testing.T) {
+	clk := &leaseClock{now: time.Unix(1000, 0)}
+	ns := nameservice.NewCentralWithLeases(time.Minute)
+	ns.SetClock(clk.Now)
+	ctx := context.Background()
+	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterName(ctx, "server", "chat", 41, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ns.LookupName(ctx, "server", "chat"); err != nil {
+		t.Fatalf("fresh lease: %v", err)
+	}
+	clk.Advance(2 * time.Minute)
+	// Expired names fail fast with the typed error instead of blocking
+	// the importer forever: the site behind them is dead.
+	if _, _, err := ns.LookupName(ctx, "server", "chat"); !errors.Is(err, nameservice.ErrNameExpired) {
+		t.Fatalf("lookup after expiry = %v, want ErrNameExpired", err)
+	}
+	if _, _, err := ns.LookupSite(ctx, "server"); !errors.Is(err, nameservice.ErrNameExpired) {
+		t.Fatalf("site lookup after expiry = %v, want ErrNameExpired", err)
+	}
+}
+
+func TestLeaseKeepAliveRefreshes(t *testing.T) {
+	clk := &leaseClock{now: time.Unix(1000, 0)}
+	ns := nameservice.NewCentralWithLeases(time.Minute)
+	ns.SetClock(clk.Now)
+	ctx := context.Background()
+	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeats every 40s keep a 60s lease alive indefinitely.
+	for i := 0; i < 5; i++ {
+		clk.Advance(40 * time.Second)
+		if err := ns.KeepAlive(ctx, "server", 1); err != nil {
+			t.Fatalf("beat %d: %v", i, err)
+		}
+	}
+	if _, _, err := ns.LookupSite(ctx, "server"); err != nil {
+		t.Fatalf("kept-alive site expired: %v", err)
+	}
+	// A heartbeat from a dead incarnation must not resurrect the lease
+	// once a recovered incarnation registered under a higher epoch.
+	if err := ns.RegisterSite(ctx, "server", 7, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.KeepAlive(ctx, "server", 1); err == nil {
+		t.Fatal("stale-epoch keepalive accepted")
+	}
+}
+
+func TestLeaseSupersededByRecoveredEpoch(t *testing.T) {
+	clk := &leaseClock{now: time.Unix(1000, 0)}
+	ns := nameservice.NewCentralWithLeases(time.Minute)
+	ns.SetClock(clk.Now)
+	ctx := context.Background()
+	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ns.RegisterName(ctx, "server", "chat", 41, ""); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(2 * time.Minute)
+	// Recovery: the supervisor re-registers the site under epoch 2. The
+	// exported names are kept — replay restores the same heap ids — so
+	// the lookup resolves again without re-exporting.
+	if err := ns.RegisterSite(ctx, "server", 7, 2, 2); err != nil {
+		t.Fatal(err)
+	}
+	ref, _, err := ns.LookupName(ctx, "server", "chat")
+	if err != nil {
+		t.Fatalf("lookup after recovery: %v", err)
+	}
+	if ref != (vm.NetRef{Heap: 41, Site: 7, Node: 2}) {
+		t.Fatalf("ref after recovery = %v", ref)
+	}
+	// The dead incarnation cannot re-register beneath the survivor.
+	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err == nil {
+		t.Fatal("stale-epoch re-registration accepted")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ const (
 	opRegisterClass
 	opLookupClass
 	opReply
+	opKeepAlive
 )
 
 const maxNSFrame = 1 << 20
@@ -153,11 +155,19 @@ func (s *Server) serveConn(conn net.Conn) {
 		case opRegisterSite:
 			name, _ := r.S()
 			site, _ := r.U()
-			node, err2 := r.U()
+			node, _ := r.U()
+			epoch, err2 := r.U()
 			if err2 != nil {
 				return
 			}
-			reply(nil, s.svc.RegisterSite(name, uint32(site), uint32(node)))
+			reply(nil, s.svc.RegisterSite(ctx, name, uint32(site), uint32(node), uint32(epoch)))
+		case opKeepAlive:
+			siteName, _ := r.S()
+			epoch, err2 := r.U()
+			if err2 != nil {
+				return
+			}
+			reply(nil, s.svc.KeepAlive(ctx, siteName, uint32(epoch)))
 		case opRegisterName:
 			siteName, _ := r.S()
 			idName, _ := r.S()
@@ -166,7 +176,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err2 != nil {
 				return
 			}
-			reply(nil, s.svc.RegisterName(siteName, idName, uint32(heap), sig))
+			reply(nil, s.svc.RegisterName(ctx, siteName, idName, uint32(heap), sig))
 		case opRegisterClass:
 			siteName, _ := r.S()
 			class, _ := r.S()
@@ -174,7 +184,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			if err2 != nil {
 				return
 			}
-			reply(nil, s.svc.RegisterClass(siteName, class, sig))
+			reply(nil, s.svc.RegisterClass(ctx, siteName, class, sig))
 		case opLookupSite:
 			name, err2 := r.S()
 			if err2 != nil {
@@ -424,7 +434,7 @@ func (c *Client) callOnce(ctx context.Context, build func(w *wire.Writer, id uin
 			return nil, err
 		}
 		if msg != "" {
-			return nil, errors.New(msg)
+			return nil, remoteError(msg)
 		}
 		return r, nil
 	case <-ctx.Done():
@@ -435,15 +445,24 @@ func (c *Client) callOnce(ctx context.Context, build func(w *wire.Writer, id uin
 	}
 }
 
+// remoteError rehydrates typed errors that crossed the wire as
+// strings, so errors.Is keeps working against a TCP-backed service.
+func remoteError(msg string) error {
+	if strings.HasPrefix(msg, ErrNameExpired.Error()) {
+		return fmt.Errorf("%w%s", ErrNameExpired, strings.TrimPrefix(msg, ErrNameExpired.Error()))
+	}
+	return errors.New(msg)
+}
+
 // registerCtx bounds register calls: they retry through reconnects but
 // must not hang a site launch forever against a dead server.
-func registerCtx() (context.Context, context.CancelFunc) {
-	return context.WithTimeout(context.Background(), 30*time.Second)
+func registerCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, 30*time.Second)
 }
 
 // RegisterSite implements Service.
-func (c *Client) RegisterSite(name string, site, node uint32) error {
-	ctx, cancel := registerCtx()
+func (c *Client) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	ctx, cancel := registerCtx(ctx)
 	defer cancel()
 	_, err := c.call(ctx, func(w *wire.Writer, id uint64) {
 		w.Byte(byte(opRegisterSite))
@@ -451,6 +470,20 @@ func (c *Client) RegisterSite(name string, site, node uint32) error {
 		w.S(name)
 		w.U(uint64(site))
 		w.U(uint64(node))
+		w.U(uint64(epoch))
+	})
+	return err
+}
+
+// KeepAlive implements Service.
+func (c *Client) KeepAlive(ctx context.Context, siteName string, epoch uint32) error {
+	ctx, cancel := registerCtx(ctx)
+	defer cancel()
+	_, err := c.call(ctx, func(w *wire.Writer, id uint64) {
+		w.Byte(byte(opKeepAlive))
+		w.U(id)
+		w.S(siteName)
+		w.U(uint64(epoch))
 	})
 	return err
 }
@@ -477,8 +510,8 @@ func (c *Client) LookupSite(ctx context.Context, name string) (uint32, uint32, e
 }
 
 // RegisterName implements Service.
-func (c *Client) RegisterName(siteName, id string, heap uint32, sig string) error {
-	ctx, cancel := registerCtx()
+func (c *Client) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	ctx, cancel := registerCtx(ctx)
 	defer cancel()
 	_, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
 		w.Byte(byte(opRegisterName))
@@ -522,8 +555,8 @@ func (c *Client) LookupName(ctx context.Context, siteName, id string) (vm.NetRef
 }
 
 // RegisterClass implements Service.
-func (c *Client) RegisterClass(siteName, class string, sig string) error {
-	ctx, cancel := registerCtx()
+func (c *Client) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	ctx, cancel := registerCtx(ctx)
 	defer cancel()
 	_, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
 		w.Byte(byte(opRegisterClass))

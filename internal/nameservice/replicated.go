@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/vm"
 )
@@ -15,15 +16,19 @@ import (
 // (for failure recovery) and performance").
 //
 // The design is primary-less full replication: registrations are
-// written to every reachable replica (succeeding if a majority
-// accepts — registrations are idempotent, so retried or duplicated
-// writes are harmless), and lookups race all replicas, returning the
-// first success. Because exports in DiTyCO are write-once (a name is
-// exported by exactly one site and never rebound), replicas can never
-// disagree about a value — replication here buys availability, not
-// consistency headaches.
+// written to every reachable replica concurrently (succeeding once a
+// majority accepts — registrations are idempotent, so retried or
+// duplicated writes are harmless), and lookups race all replicas,
+// returning the first success. Because exports in DiTyCO are
+// write-once (a name is exported by exactly one site and never
+// rebound), replicas can never disagree about a value — replication
+// here buys availability, not consistency headaches.
 type Replicated struct {
 	replicas []Service
+	// WriteTimeout bounds each per-replica registration attempt
+	// (default 2s): one slow or dead replica must not stall the
+	// quorum.
+	WriteTimeout time.Duration
 }
 
 var _ Service = (*Replicated)(nil)
@@ -33,37 +38,58 @@ func NewReplicated(replicas ...Service) (*Replicated, error) {
 	if len(replicas) == 0 {
 		return nil, errors.New("nameservice: replicated service needs at least one replica")
 	}
-	return &Replicated{replicas: replicas}, nil
+	return &Replicated{replicas: replicas, WriteTimeout: 2 * time.Second}, nil
 }
 
-// writeAll applies a registration to every replica, requiring a
-// majority of successes.
-func (r *Replicated) writeAll(op func(s Service) error) error {
-	var firstErr error
-	acks := 0
+// writeAll applies a registration to every replica concurrently and
+// returns as soon as a majority acknowledges. Each attempt gets its
+// own context deadline, so a dead replica costs nothing beyond its
+// goroutine's bounded wait — it cannot serialize or stall the others.
+func (r *Replicated) writeAll(ctx context.Context, op func(ctx context.Context, s Service) error) error {
+	results := make(chan error, len(r.replicas))
 	for _, s := range r.replicas {
-		if err := op(s); err != nil {
+		go func(s Service) {
+			wctx := ctx
+			if r.WriteTimeout > 0 {
+				var cancel context.CancelFunc
+				wctx, cancel = context.WithTimeout(ctx, r.WriteTimeout)
+				defer cancel()
+			}
+			results <- op(wctx, s)
+		}(s)
+	}
+	var firstErr error
+	acks, fails := 0, 0
+	for acks*2 <= len(r.replicas) && fails*2 < len(r.replicas) {
+		err := <-results
+		if err != nil {
 			if firstErr == nil {
 				firstErr = err
 			}
+			fails++
 			continue
 		}
 		acks++
 	}
 	if acks*2 > len(r.replicas) {
+		// Quorum reached; stragglers finish (or time out) on their
+		// own — the buffered channel lets their goroutines exit.
 		return nil
 	}
 	if firstErr == nil {
 		firstErr = errors.New("nameservice: no replica accepted the registration")
 	}
-	return fmt.Errorf("nameservice: quorum failed (%d/%d): %w", acks, len(r.replicas), firstErr)
+	return fmt.Errorf("nameservice: quorum failed (%d acks of %d): %w", acks, len(r.replicas), firstErr)
 }
 
 // raceLookups runs the lookup against every replica and returns the
-// first success; it fails only when every replica fails.
+// first success; it fails only when every replica fails. The shared
+// child context is cancelled on return, so the losing goroutines see
+// ctx.Done, abandon their blocking lookups, and exit — the buffered
+// channel absorbs their results without leaking anything.
 func raceLookups[T any](ctx context.Context, replicas []Service, lookup func(ctx context.Context, s Service) (T, error)) (T, error) {
 	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
+	defer cancel() // reap the losers
 	type result struct {
 		v   T
 		err error
@@ -87,7 +113,11 @@ func raceLookups[T any](ctx context.Context, replicas []Service, lookup func(ctx
 		if res.err == nil {
 			return res.v, nil
 		}
-		lastErr = res.err
+		// Prefer the most informative failure: an expired lease beats
+		// a generic timeout from a replica that never saw the export.
+		if lastErr == nil || errors.Is(res.err, ErrNameExpired) {
+			lastErr = res.err
+		}
 	}
 	var zero T
 	if lastErr == nil {
@@ -97,8 +127,10 @@ func raceLookups[T any](ctx context.Context, replicas []Service, lookup func(ctx
 }
 
 // RegisterSite implements Service.
-func (r *Replicated) RegisterSite(name string, site, node uint32) error {
-	return r.writeAll(func(s Service) error { return s.RegisterSite(name, site, node) })
+func (r *Replicated) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	return r.writeAll(ctx, func(ctx context.Context, s Service) error {
+		return s.RegisterSite(ctx, name, site, node, epoch)
+	})
 }
 
 // LookupSite implements Service.
@@ -112,8 +144,10 @@ func (r *Replicated) LookupSite(ctx context.Context, name string) (uint32, uint3
 }
 
 // RegisterName implements Service.
-func (r *Replicated) RegisterName(siteName, id string, heap uint32, sig string) error {
-	return r.writeAll(func(s Service) error { return s.RegisterName(siteName, id, heap, sig) })
+func (r *Replicated) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	return r.writeAll(ctx, func(ctx context.Context, s Service) error {
+		return s.RegisterName(ctx, siteName, id, heap, sig)
+	})
 }
 
 // LookupName implements Service.
@@ -130,8 +164,10 @@ func (r *Replicated) LookupName(ctx context.Context, siteName, id string) (vm.Ne
 }
 
 // RegisterClass implements Service.
-func (r *Replicated) RegisterClass(siteName, class string, sig string) error {
-	return r.writeAll(func(s Service) error { return s.RegisterClass(siteName, class, sig) })
+func (r *Replicated) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	return r.writeAll(ctx, func(ctx context.Context, s Service) error {
+		return s.RegisterClass(ctx, siteName, class, sig)
+	})
 }
 
 // LookupClass implements Service.
@@ -145,4 +181,11 @@ func (r *Replicated) LookupClass(ctx context.Context, siteName, class string) (v
 		return res{nc, sig}, err
 	})
 	return v.nc, v.sig, err
+}
+
+// KeepAlive implements Service.
+func (r *Replicated) KeepAlive(ctx context.Context, siteName string, epoch uint32) error {
+	return r.writeAll(ctx, func(ctx context.Context, s Service) error {
+		return s.KeepAlive(ctx, siteName, epoch)
+	})
 }

@@ -19,8 +19,9 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
-	"repro/internal/asm"
+	"repro/internal/journal"
 	"repro/internal/nameservice"
 	"repro/internal/site"
 	"repro/internal/transport"
@@ -57,7 +58,29 @@ type Config struct {
 	// lost at this layer; the callback is a signal for reconfiguration,
 	// not a recovery path.
 	OnDeliveryFailure func(dst uint32, err error)
+	// Epoch is the node's incarnation number, stamped on reliable-layer
+	// packets. A supervisor restarting a crashed node bumps it so peers
+	// reset their per-sender receive state and fence the dead
+	// incarnation's stragglers.
+	Epoch uint32
+	// Journals, when non-nil, opens a write-ahead log per spawned site:
+	// mobility operations are journaled before they are acknowledged,
+	// and sites checkpoint into the log, enabling supervised restart.
+	Journals journal.Factory
+	// CheckpointEvery is handed to spawned sites (site.Config).
+	CheckpointEvery int
+	// LeaseRefresh is handed to spawned sites: the interval at which
+	// each site renews its name-service lease.
+	LeaseRefresh time.Duration
+	// Supervise restarts sites that crash (panic or internal error),
+	// replaying their journal under an incremented epoch. Requires
+	// Journals.
+	Supervise bool
 }
+
+// maxRestarts bounds supervised restarts per site: a deterministically
+// crashing program must not flap forever.
+const maxRestarts = 3
 
 // Node is one DiTyCO node.
 type Node struct {
@@ -70,6 +93,7 @@ type Node struct {
 	mu       sync.Mutex
 	sites    map[uint32]*site.Site
 	byName   map[string]*site.Site
+	journals map[uint32]*site.Journal
 	nextSite uint32
 	err      error
 
@@ -97,15 +121,17 @@ func New(cfg Config) *Node {
 		cfg.Out = io.Discard
 	}
 	n := &Node{
-		cfg:    cfg,
-		tr:     cfg.Transport,
-		sites:  map[uint32]*site.Site{},
-		byName: map[string]*site.Site{},
-		stop:   make(chan struct{}),
-		done:   make(chan struct{}),
+		cfg:      cfg,
+		tr:       cfg.Transport,
+		sites:    map[uint32]*site.Site{},
+		byName:   map[string]*site.Site{},
+		journals: map[uint32]*site.Journal{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
 	}
 	if cfg.Reliability != nil {
 		relCfg := *cfg.Reliability
+		relCfg.Epoch = cfg.Epoch
 		userDrop := relCfg.OnDrop
 		relCfg.OnDrop = func(dst transport.NodeID, frame []byte, err error) {
 			n.deliveryFailures.Add(1)
@@ -114,6 +140,22 @@ func New(cfg Config) *Node {
 			}
 			if userDrop != nil {
 				userDrop(dst, frame, err)
+			}
+		}
+		if cfg.Journals != nil {
+			// Accept-before-ack: a mobility frame is journaled in its
+			// destination site's log before the ack goes out, so "acked"
+			// implies "survives a crash". A rejected accept withholds the
+			// ack and the sender retransmits.
+			userAccept := relCfg.OnAccept
+			relCfg.OnAccept = func(src transport.NodeID, frame []byte) error {
+				if err := n.acceptFrame(src, frame); err != nil {
+					return err
+				}
+				if userAccept != nil {
+					return userAccept(src, frame)
+				}
+				return nil
 			}
 		}
 		n.rel = transport.NewReliable(cfg.Transport, relCfg)
@@ -132,6 +174,51 @@ func (n *Node) Reliable() *transport.Reliable { return n.rel }
 // DeliveryFailures reports frames the node abandoned because their
 // destination was down.
 func (n *Node) DeliveryFailures() uint64 { return n.deliveryFailures.Load() }
+
+// checkpointGate tells sites when compacting their journal is safe: a
+// checkpoint covers the deliveries behind every past send, so sends
+// still unacked at the reliable layer must hold the checkpoint back —
+// only an acknowledged frame is provably journaled on its receiver.
+// Without a reliable layer, frames are never retransmitted anyway, so
+// there is nothing to wait for.
+func (n *Node) checkpointGate() bool {
+	return n.rel == nil || n.rel.Unacked() == 0
+}
+
+// journalFor returns the destination site's journal handle (nil when
+// the site is unjournaled or unknown).
+func (n *Node) journalFor(siteID uint32) *site.Journal {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.journals[siteID]
+}
+
+// acceptFrame is the reliable layer's pre-ack hook: journal a mobility
+// frame in its destination site's log, or refuse the ack. A frame for a
+// site whose journal is not open yet (the node is mid-recovery) is
+// refused too — the sender retransmits until recovery re-registers the
+// site, so nothing is acknowledged into the void.
+func (n *Node) acceptFrame(src transport.NodeID, frame []byte) error {
+	env, err := wire.DecodeEnvelope(frame)
+	if err != nil {
+		// Undecodable frames are acked; dispatch reports them.
+		return nil
+	}
+	switch env.Type {
+	case wire.FMsg, wire.FObj, wire.FFetchReq, wire.FFetchRep:
+	default:
+		return nil // control traffic is not journaled
+	}
+	op, dstSite, err := wire.PeekOp(env.Payload)
+	if err != nil || op.IsZero() {
+		return nil
+	}
+	jl := n.journalFor(dstSite)
+	if jl == nil {
+		return fmt.Errorf("node %d: no journal open for site %d", n.cfg.ID, dstSite)
+	}
+	return jl.AppendAccepted(env.Type, env.SrcNode, env.Payload)
+}
 
 // send ships one encoded frame. A destination declared dead is not an
 // error the sender can act on: the frame is dropped (counted, with the
@@ -193,25 +280,153 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 	if out == nil {
 		out = n.cfg.Out
 	}
+	var jl *site.Journal
+	if n.cfg.Journals != nil {
+		st, err := n.cfg.Journals.Open(siteName)
+		if err != nil {
+			return nil, fmt.Errorf("node %d: open journal for %q: %w", n.cfg.ID, siteName, err)
+		}
+		jl = site.NewJournal(st)
+	}
 	cfg := site.Config{
-		Name:   siteName,
-		ID:     id,
-		NodeID: n.cfg.ID,
-		NS:     n.cfg.NS,
-		Router: n,
-		Out:    out,
+		Name:            siteName,
+		ID:              id,
+		NodeID:          n.cfg.ID,
+		NS:              n.cfg.NS,
+		Router:          n,
+		Out:             out,
+		Journal:         jl,
+		CheckpointEvery: n.cfg.CheckpointEvery,
+		LeaseRefresh:    n.cfg.LeaseRefresh,
+		CheckpointGate:  n.checkpointGate,
 	}
 	for _, o := range opts {
 		o(&cfg)
 	}
 	s := site.New(cfg)
 	if err := s.Load(prog); err != nil {
+		if jl != nil {
+			_ = jl.Close()
+		}
 		return nil, err
 	}
 	n.mu.Lock()
 	n.sites[id] = s
 	n.byName[siteName] = s
+	if jl != nil {
+		n.journals[id] = jl
+	}
 	n.mu.Unlock()
+	go s.Run()
+	if n.cfg.Supervise && jl != nil {
+		go n.supervise(s, siteName, out, opts...)
+	}
+	return s, nil
+}
+
+// supervise watches a site and restarts it from its journal when it
+// dies with an error, up to maxRestarts times. A clean exit (Stop, or
+// normal completion) ends supervision.
+func (n *Node) supervise(s *site.Site, siteName string, out io.Writer, opts ...SiteOption) {
+	for restarts := 0; ; restarts++ {
+		select {
+		case <-s.Done():
+		case <-n.stop:
+			return
+		}
+		if s.Err() == nil {
+			return
+		}
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		if restarts >= maxRestarts {
+			n.setErr(fmt.Errorf("node %d: site %q crashed %d times, giving up: %w",
+				n.cfg.ID, siteName, restarts+1, s.Err()))
+			return
+		}
+		recovered, err := n.RecoverSite(siteName, out, opts...)
+		if err != nil {
+			n.setErr(fmt.Errorf("node %d: recover site %q: %w", n.cfg.ID, siteName, err))
+			return
+		}
+		s = recovered
+	}
+}
+
+// RecoverSite restarts a site from its journal under an incremented
+// epoch: parse the log, replay checkpoint + deliveries, re-deliver
+// accepted-but-unapplied operations, re-register exports. The recovered
+// site keeps its network-wide id, so references held by remote heaps
+// stay valid.
+func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (*site.Site, error) {
+	if n.cfg.Journals == nil {
+		return nil, fmt.Errorf("node %d: recovery needs a journal factory", n.cfg.ID)
+	}
+	// Reuse the live journal handle when the dead incarnation's is still
+	// registered: the node's accept hook appends to it concurrently, and
+	// two handles over one store would race (the site re-reads the log
+	// itself once registered, so late appends are never lost).
+	n.mu.Lock()
+	var jl *site.Journal
+	if old, ok := n.byName[siteName]; ok {
+		jl = n.journals[old.ID()]
+	}
+	n.mu.Unlock()
+	if jl == nil {
+		st, err := n.cfg.Journals.Open(siteName)
+		if err != nil {
+			return nil, err
+		}
+		jl = site.NewJournal(st)
+	}
+	rec, err := site.LoadJournal(jl)
+	if err != nil {
+		return nil, err
+	}
+	epoch := rec.Epoch() + 1
+	if err := jl.Append(site.RecEpoch, site.EncodeEpoch(epoch)); err != nil {
+		return nil, err
+	}
+	id := rec.SiteID()
+	if out == nil {
+		out = n.cfg.Out
+	}
+	cfg := site.Config{
+		Name:            siteName,
+		ID:              id,
+		NodeID:          n.cfg.ID,
+		NS:              n.cfg.NS,
+		Router:          n,
+		Out:             out,
+		Epoch:           epoch,
+		Journal:         jl,
+		CheckpointEvery: n.cfg.CheckpointEvery,
+		LeaseRefresh:    n.cfg.LeaseRefresh,
+		CheckpointGate:  n.checkpointGate,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	s := site.New(cfg)
+	s.SetRestore(rec)
+	n.mu.Lock()
+	// Retire the dead incarnation and make sure fresh spawns can never
+	// collide with the recovered id.
+	if old, ok := n.byName[siteName]; ok {
+		delete(n.sites, old.ID())
+	}
+	if low := id & (1<<siteIDBits - 1); low > n.nextSite {
+		n.nextSite = low
+	}
+	n.sites[id] = s
+	n.byName[siteName] = s
+	n.journals[id] = jl
+	n.mu.Unlock()
+	// Registered before Run: live traffic buffers in the site's queue
+	// while the journal replays underneath it.
 	go s.Run()
 	return s, nil
 }
@@ -276,6 +491,16 @@ func (n *Node) Stop() {
 		close(n.stop)
 	}
 	<-n.done
+	n.mu.Lock()
+	journals := make([]*site.Journal, 0, len(n.journals))
+	for id, jl := range n.journals {
+		journals = append(journals, jl)
+		delete(n.journals, id)
+	}
+	n.mu.Unlock()
+	for _, jl := range journals {
+		_ = jl.Close()
+	}
 	if n.rel != nil {
 		// The node owns the reliable layer it constructed (which in
 		// turn owns the wrapped transport).
@@ -328,46 +553,12 @@ func (n *Node) dispatch(frame []byte) error {
 		return fmt.Errorf("node %d: bad frame: %w", n.cfg.ID, err)
 	}
 	switch env.Type {
-	case wire.FMsg:
-		m, err := wire.DecodeMsg(env.Payload)
+	case wire.FMsg, wire.FObj, wire.FFetchReq, wire.FFetchRep:
+		d, dstSite, err := site.DecodePayload(env.Type, env.SrcNode, env.Payload)
 		if err != nil {
-			return err
+			return fmt.Errorf("node %d: %w", n.cfg.ID, err)
 		}
-		return n.toSite(m.To.Site, site.Delivery{Src: env.SrcNode, Msg: &site.MsgDelivery{Heap: m.To.Heap, Label: m.Label, Args: m.Args}})
-	case wire.FObj:
-		o, err := wire.DecodeObj(env.Payload)
-		if err != nil {
-			return err
-		}
-		u, err := asm.Decode(o.Unit)
-		if err != nil {
-			return fmt.Errorf("node %d: migrated object: %w", n.cfg.ID, err)
-		}
-		return n.toSite(o.To.Site, site.Delivery{Src: env.SrcNode, Obj: &site.ObjDelivery{Heap: o.To.Heap, Unit: u, Table: o.Table, Frame: o.Frame}})
-	case wire.FFetchReq:
-		f, err := wire.DecodeFetchReq(env.Payload)
-		if err != nil {
-			return err
-		}
-		return n.toSite(f.OwnerSite, site.Delivery{Src: env.SrcNode, Fetch: &site.FetchDelivery{
-			Class: f.Class, ReqID: f.ReqID,
-			Reply: site.Addr{Site: f.ReplySite, Node: f.ReplyNode},
-		}})
-	case wire.FFetchRep:
-		f, err := wire.DecodeFetchRep(env.Payload)
-		if err != nil {
-			return err
-		}
-		var u *asm.Unit
-		if f.Err == "" {
-			if u, err = asm.Decode(f.Unit); err != nil {
-				return fmt.Errorf("node %d: fetched class: %w", n.cfg.ID, err)
-			}
-		}
-		return n.toSite(f.DstSite, site.Delivery{Src: env.SrcNode, FetchRep: &site.FetchRepDelivery{
-			ReqID: f.ReqID, Err: f.Err, Class: f.Class,
-			Unit: u, Group: f.Group, Index: f.Index, Captured: f.Captured,
-		}})
+		return n.toSite(dstSite, d)
 	case wire.FTerm, wire.FHeartbeat:
 		if h := n.control(); h != nil {
 			h(env.Type, env.SrcNode, env.Payload)
@@ -382,8 +573,15 @@ func (n *Node) dispatch(frame []byte) error {
 func (n *Node) toSite(siteID uint32, d site.Delivery) error {
 	n.mu.Lock()
 	s, ok := n.sites[siteID]
+	jl := n.journals[siteID]
 	n.mu.Unlock()
 	if !ok {
+		if jl != nil && !d.Op.IsZero() {
+			// The site is down but its journal already holds the
+			// accepted record (the accept hook ran before the ack);
+			// recovery replays it. Dropping here is not loss.
+			return nil
+		}
 		return fmt.Errorf("node %d: frame for unknown site %d", n.cfg.ID, siteID)
 	}
 	n.remoteDeliveries.Add(1)
@@ -391,16 +589,40 @@ func (n *Node) toSite(siteID uint32, d site.Delivery) error {
 }
 
 // toLocal delivers same-node traffic via the shared-memory fast path
-// (or the forced marshalling ablation).
-func (n *Node) toLocal(siteID uint32, d site.Delivery, reencode func() site.Delivery) error {
+// (or the forced marshalling ablation). payload lazily encodes the
+// operation's wire form: local mobility skips marshalling entirely
+// unless the destination is journaled (the accepted record needs bytes)
+// or the E2 ablation forces it. reencode marks the frame types the
+// ablation round-trips (messages and objects; fetch traffic is exempt,
+// matching the paper's measurement).
+func (n *Node) toLocal(siteID uint32, d site.Delivery, t wire.FrameType, payload func() []byte, reencode bool) error {
 	n.mu.Lock()
 	s, ok := n.sites[siteID]
+	jl := n.journals[siteID]
 	n.mu.Unlock()
+	var encoded []byte
+	if jl != nil && !d.Op.IsZero() && payload != nil {
+		// Same append-before-apply contract as the remote path: once
+		// RouteX returns nil, the operation survives a destination
+		// crash.
+		encoded = payload()
+		if err := jl.AppendAccepted(t, n.cfg.ID, encoded); err != nil {
+			return fmt.Errorf("node %d: journal local delivery: %w", n.cfg.ID, err)
+		}
+	}
 	if !ok {
+		if jl != nil && !d.Op.IsZero() {
+			return nil // journaled above; recovery replays it
+		}
 		return fmt.Errorf("node %d: delivery for unknown local site %d", n.cfg.ID, siteID)
 	}
-	if n.cfg.ForceMarshalLocal && reencode != nil {
-		d = reencode()
+	if n.cfg.ForceMarshalLocal && reencode {
+		if encoded == nil {
+			encoded = payload()
+		}
+		if d2, _, err := site.DecodePayload(t, n.cfg.ID, encoded); err == nil {
+			d = d2
+		}
 	}
 	d.Src = n.cfg.ID
 	n.localDeliveries.Add(1)

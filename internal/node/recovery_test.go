@@ -1,0 +1,115 @@
+package node_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// TestSupervisedSiteRestartsAfterKill kills a journaled site and checks
+// the node's supervisor brings it back: state replayed without
+// duplicate effects, export resolvable at the old name, fresh traffic
+// served by the new incarnation.
+func TestSupervisedSiteRestartsAfterKill(t *testing.T) {
+	ns := nameservice.NewCentral()
+	fabric := transport.NewFabric(transport.Ideal)
+	defer fabric.Close()
+	tr, err := fabric.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := node.New(node.Config{
+		ID: 1, NS: ns, Transport: tr,
+		Journals:  journal.NewMemFactory(),
+		Supervise: true,
+	})
+	defer n.Stop()
+
+	var out testutil.Buf
+	submit(t, n, "svr", `def Loop(p) = p?(v) = (println("got", v) | Loop[p]) in export new p Loop[p]`, &out)
+	submit(t, n, "c1", `import p from svr in (p![1] | p![2])`, &testutil.Buf{})
+	waitFor(t, func() bool {
+		return strings.Contains(out.String(), "got 1") && strings.Contains(out.String(), "got 2")
+	})
+
+	victim, ok := n.SiteByName("svr")
+	if !ok {
+		t.Fatal("svr not running")
+	}
+	victim.Kill(errors.New("injected fault"))
+	<-victim.Done()
+
+	// The supervisor restarts it under epoch 2.
+	waitFor(t, func() bool {
+		s, ok := n.SiteByName("svr")
+		return ok && s != victim && s.Err() == nil && s.Epoch() == 2
+	})
+
+	// The re-registered export serves a fresh importer.
+	submit(t, n, "c2", `import p from svr in p![3]`, &testutil.Buf{})
+	waitFor(t, func() bool { return strings.Contains(out.String(), "got 3") })
+
+	// Replay must not have duplicated the pre-crash effects.
+	for _, want := range []string{"got 1", "got 2", "got 3"} {
+		if c := strings.Count(out.String(), want); c != 1 {
+			t.Errorf("%q printed %d times, want once (out=%q)", want, c, out.String())
+		}
+	}
+	if n.Err() != nil {
+		t.Fatal(n.Err())
+	}
+}
+
+// TestSupervisorGivesUpOnCrashLoop kills every incarnation of a site as
+// soon as it comes up: after maxRestarts the node surfaces the error
+// instead of flapping forever.
+func TestSupervisorGivesUpOnCrashLoop(t *testing.T) {
+	ns := nameservice.NewCentral()
+	fabric := transport.NewFabric(transport.Ideal)
+	defer fabric.Close()
+	tr, err := fabric.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := node.New(node.Config{
+		ID: 1, NS: ns, Transport: tr,
+		Journals:  journal.NewMemFactory(),
+		Supervise: true,
+	})
+	defer n.Stop()
+
+	var out testutil.Buf
+	submit(t, n, "svr", `def Loop(p) = p?(v) = (println("got", v) | Loop[p]) in export new p Loop[p]`, &out)
+	s, _ := n.SiteByName("svr")
+	waitFor(t, func() bool { return s.ExportTableSize() > 0 })
+	submit(t, n, "c1", `import p from svr in p![7]`, &testutil.Buf{})
+	waitFor(t, func() bool { return strings.Contains(out.String(), "got 7") })
+
+	for i := 0; i < 10; i++ {
+		cur, ok := n.SiteByName("svr")
+		if !ok {
+			break
+		}
+		cur.Kill(errors.New("injected fault"))
+		<-cur.Done()
+		if n.Err() != nil {
+			break
+		}
+		waitFor(t, func() bool {
+			next, ok := n.SiteByName("svr")
+			return (ok && next != cur && next.Err() == nil) || n.Err() != nil
+		})
+	}
+	if n.Err() == nil {
+		t.Fatal("supervisor never gave up on a site killed on every incarnation")
+	}
+	if !strings.Contains(n.Err().Error(), "giving up") {
+		t.Fatalf("node error = %v, want a giving-up report", n.Err())
+	}
+}

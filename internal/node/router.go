@@ -10,85 +10,80 @@ import (
 // The node is the Router for its sites: outgoing-queue items either
 // take the local fast path (same node) or are packaged into envelopes
 // for the transport — the three-step remote interaction of paper
-// section 5.
+// section 5. Every mobility operation carries the sender's OpRef so
+// receivers can deduplicate replays and fence dead incarnations.
 
 var _ site.Router = (*Node)(nil)
 
 // RouteMsg implements site.Router.
-func (n *Node) RouteMsg(from *site.Site, ref vm.NetRef, label string, args []site.WireVal) error {
+func (n *Node) RouteMsg(from *site.Site, op wire.OpRef, ref vm.NetRef, label string, args []site.WireVal) error {
+	payload := func() []byte {
+		return (&wire.Msg{Op: op, To: ref, Label: label, Args: args}).Encode()
+	}
 	if ref.Node == n.cfg.ID {
-		d := site.Delivery{Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
-		return n.toLocal(ref.Site, d, func() site.Delivery {
-			payload := (&wire.Msg{To: ref, Label: label, Args: args}).Encode()
-			m, err := wire.DecodeMsg(payload)
-			if err != nil {
-				return d
-			}
-			return site.Delivery{Msg: &site.MsgDelivery{Heap: m.To.Heap, Label: m.Label, Args: m.Args}}
-		})
+		d := site.Delivery{Op: op, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
+		return n.toLocal(ref.Site, d, wire.FMsg, payload, true)
 	}
 	env := &wire.Envelope{
 		Type: wire.FMsg, SrcNode: n.cfg.ID, DstNode: ref.Node,
-		Payload: (&wire.Msg{To: ref, Label: label, Args: args}).Encode(),
+		Payload: payload(),
 	}
 	return n.send(ref.Node, env.Encode())
 }
 
 // RouteObj implements site.Router.
-func (n *Node) RouteObj(from *site.Site, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
+func (n *Node) RouteObj(from *site.Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
+	payload := func() []byte {
+		return (&wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode()
+	}
 	if ref.Node == n.cfg.ID {
-		d := site.Delivery{Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
-		return n.toLocal(ref.Site, d, func() site.Delivery {
-			payload := (&wire.Obj{To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode()
-			o, err := wire.DecodeObj(payload)
-			if err != nil {
-				return d
-			}
-			u, err := asm.Decode(o.Unit)
-			if err != nil {
-				return d
-			}
-			return site.Delivery{Obj: &site.ObjDelivery{Heap: o.To.Heap, Unit: u, Table: o.Table, Frame: o.Frame}}
-		})
+		d := site.Delivery{Op: op, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
+		return n.toLocal(ref.Site, d, wire.FObj, payload, true)
 	}
 	env := &wire.Envelope{
 		Type: wire.FObj, SrcNode: n.cfg.ID, DstNode: ref.Node,
-		Payload: (&wire.Obj{To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode(),
+		Payload: payload(),
 	}
 	return n.send(ref.Node, env.Encode())
 }
 
 // RouteFetch implements site.Router.
-func (n *Node) RouteFetch(from *site.Site, owner site.Addr, class string, reqID uint64) error {
+func (n *Node) RouteFetch(from *site.Site, op wire.OpRef, owner site.Addr, class string, reqID uint64) error {
+	payload := func() []byte {
+		return (&wire.FetchReq{
+			Op: op, Class: class, OwnerSite: owner.Site, ReqID: reqID,
+			ReplySite: from.ID(), ReplyNode: n.cfg.ID,
+		}).Encode()
+	}
 	if owner.Node == n.cfg.ID {
-		d := site.Delivery{Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}}
-		return n.toLocal(owner.Site, d, nil)
+		d := site.Delivery{Op: op, Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}}
+		return n.toLocal(owner.Site, d, wire.FFetchReq, payload, false)
 	}
 	env := &wire.Envelope{
 		Type: wire.FFetchReq, SrcNode: n.cfg.ID, DstNode: owner.Node,
-		Payload: (&wire.FetchReq{
-			Class: class, OwnerSite: owner.Site, ReqID: reqID,
-			ReplySite: from.ID(), ReplyNode: n.cfg.ID,
-		}).Encode(),
+		Payload: payload(),
 	}
 	return n.send(owner.Node, env.Encode())
 }
 
 // RouteFetchRep implements site.Router.
-func (n *Node) RouteFetchRep(from *site.Site, to site.Addr, rep *site.FetchRepDelivery) error {
-	if to.Node == n.cfg.ID {
-		return n.toLocal(to.Site, site.Delivery{FetchRep: rep}, nil)
+func (n *Node) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *site.FetchRepDelivery) error {
+	payload := func() []byte {
+		var unitBytes []byte
+		if rep.Unit != nil {
+			unitBytes = asm.Encode(rep.Unit)
+		}
+		return (&wire.FetchRep{
+			Op: op, ReqID: rep.ReqID, DstSite: to.Site, Err: rep.Err, Class: rep.Class,
+			Unit: unitBytes, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
+		}).Encode()
 	}
-	var unitBytes []byte
-	if rep.Unit != nil {
-		unitBytes = asm.Encode(rep.Unit)
+	if to.Node == n.cfg.ID {
+		return n.toLocal(to.Site, site.Delivery{Op: op, FetchRep: rep}, wire.FFetchRep, payload, false)
 	}
 	env := &wire.Envelope{
 		Type: wire.FFetchRep, SrcNode: n.cfg.ID, DstNode: to.Node,
-		Payload: (&wire.FetchRep{
-			ReqID: rep.ReqID, DstSite: to.Site, Err: rep.Err, Class: rep.Class,
-			Unit: unitBytes, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
-		}).Encode(),
+		Payload: payload(),
 	}
 	return n.send(to.Node, env.Encode())
 }

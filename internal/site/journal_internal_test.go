@@ -1,0 +1,46 @@
+package site
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/journal"
+	"repro/internal/wire"
+)
+
+// TestAppendAcceptedMatchesEncodeAccepted pins the reused-buffer fast
+// path to the reference encoding: a record logged by AppendAccepted
+// must decode to exactly what went in, and consecutive appends must
+// not alias each other through the shared scratch buffer.
+func TestAppendAcceptedMatchesEncodeAccepted(t *testing.T) {
+	f := journal.NewMemFactory()
+	st, err := f.Open("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := NewJournal(st)
+	if err := jl.AppendAccepted(wire.FMsg, 7, []byte("first-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := jl.AppendAccepted(wire.FObj, 9, []byte("xy")); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := jl.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(recs))
+	}
+	want := EncodeAccepted(wire.FMsg, 7, []byte("first-payload"))
+	if !bytes.Equal(recs[0].Data, want) {
+		t.Fatalf("AppendAccepted encoding diverged from EncodeAccepted:\n got %x\nwant %x", recs[0].Data, want)
+	}
+	ft, src, payload, err := decodeAccepted(recs[1].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ft != wire.FObj || src != 9 || string(payload) != "xy" {
+		t.Fatalf("second record decoded to (%v, %d, %q)", ft, src, payload)
+	}
+}

@@ -1,7 +1,9 @@
 package site
 
 import (
+	"context"
 	"fmt"
+	"sort"
 
 	"repro/internal/asm"
 	"repro/internal/types"
@@ -238,6 +240,15 @@ func (s *Site) classGroups(frame []vm.Value, into map[int]bool) {
 	}
 }
 
+// newOp allocates the next operation identity. The counter is part of
+// the checkpoint overlay and its increments replay deterministically,
+// so a recovered incarnation re-issues its pre-crash operations with
+// identical (site, id) pairs — the receiver-side dedup key.
+func (s *Site) newOp() wire.OpRef {
+	s.nextOp++
+	return wire.OpRef{Site: s.cfg.ID, Epoch: s.epoch, ID: s.nextOp}
+}
+
 // RemoteSend implements rule SHIPM: package the message with
 // σ-translated arguments and hand it to the outgoing queue.
 func (s *Site) RemoteSend(ref vm.NetRef, label string, args []vm.Value) error {
@@ -246,7 +257,7 @@ func (s *Site) RemoteSend(ref vm.NetRef, label string, args []vm.Value) error {
 		return err
 	}
 	s.countSent(ref.Node)
-	return s.cfg.Router.RouteMsg(s, ref, label, ws)
+	return s.cfg.Router.RouteMsg(s, s.newOp(), ref, label, ws)
 }
 
 // RemoteObj implements rule SHIPO: extract the object's code
@@ -259,6 +270,9 @@ func (s *Site) RemoteObj(ref vm.NetRef, table int, frame []vm.Value) error {
 	for g := range groups {
 		rootGroups = append(rootGroups, g)
 	}
+	// Deterministic extraction order: replay must produce a
+	// byte-identical unit, and rootGroups comes from a map.
+	sort.Ints(rootGroups)
 	unit, reloc, err := s.prog.Extract([]int{table}, rootGroups, s.egressConst)
 	if err != nil {
 		return err
@@ -268,7 +282,7 @@ func (s *Site) RemoteObj(ref vm.NetRef, table int, frame []vm.Value) error {
 		return err
 	}
 	s.countSent(ref.Node)
-	return s.cfg.Router.RouteObj(s, ref, unit, reloc.Tables[table], wf)
+	return s.cfg.Router.RouteObj(s, s.newOp(), ref, unit, reloc.Tables[table], wf)
 }
 
 // RemoteInst implements rule FETCH from the requesting side: resolve
@@ -312,7 +326,7 @@ func (s *Site) RemoteInst(class vm.NetClass, args []vm.Value) error {
 	s.pendingFetch[id] = &fetchPending{class: class, calls: [][]vm.Value{args}}
 	s.fetchByClass[class] = id
 	s.countSent(class.Node)
-	return s.cfg.Router.RouteFetch(s, Addr{Site: class.Site, Node: class.Node}, class.Name, id)
+	return s.cfg.Router.RouteFetch(s, s.newOp(), Addr{Site: class.Site, Node: class.Node}, class.Name, id)
 }
 
 // serveFetch answers a class-code request: extract the class's group
@@ -320,7 +334,7 @@ func (s *Site) RemoteInst(class vm.NetClass, args []vm.Value) error {
 func (s *Site) serveFetch(f *FetchDelivery) error {
 	fail := func(msg string) error {
 		s.countSent(f.Reply.Node)
-		return s.cfg.Router.RouteFetchRep(s, f.Reply, &FetchRepDelivery{ReqID: f.ReqID, Err: msg})
+		return s.cfg.Router.RouteFetchRep(s, s.newOp(), f.Reply, &FetchRepDelivery{ReqID: f.ReqID, Err: msg})
 	}
 	v, ok := s.expNames[f.Class]
 	if !ok || v.Kind != vm.KClass {
@@ -335,6 +349,9 @@ func (s *Site) serveFetch(f *FetchDelivery) error {
 	for g := range groups {
 		rootGroups = append(rootGroups, g)
 	}
+	// Sorted for the same reason as in RemoteObj: replayed extractions
+	// must be byte-identical.
+	sort.Ints(rootGroups)
 	unit, reloc, err := s.prog.Extract(nil, rootGroups, s.egressConst)
 	if err != nil {
 		return fail(err.Error())
@@ -344,7 +361,7 @@ func (s *Site) serveFetch(f *FetchDelivery) error {
 		return fail(err.Error())
 	}
 	s.countSent(f.Reply.Node)
-	return s.cfg.Router.RouteFetchRep(s, f.Reply, &FetchRepDelivery{
+	return s.cfg.Router.RouteFetchRep(s, s.newOp(), f.Reply, &FetchRepDelivery{
 		ReqID:    f.ReqID,
 		Class:    f.Class,
 		Unit:     unit,
@@ -408,7 +425,9 @@ func (s *Site) ExportName(name string, v vm.Value) error {
 	// Registration is asynchronous: importers block at the name
 	// service, not here, and the VM keeps running.
 	go func() {
-		if err := s.cfg.NS.RegisterName(s.cfg.Name, name, heap, sig); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
+		defer cancel()
+		if err := s.cfg.NS.RegisterName(ctx, s.cfg.Name, name, heap, sig); err != nil {
 			s.setErr(fmt.Errorf("site %s: register name %q: %w", s.cfg.Name, name, err))
 		}
 	}()
@@ -423,7 +442,9 @@ func (s *Site) ExportClass(name string, v vm.Value) error {
 	s.expNames[name] = v
 	sig := s.expClassSigs[name]
 	go func() {
-		if err := s.cfg.NS.RegisterClass(s.cfg.Name, name, sig); err != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
+		defer cancel()
+		if err := s.cfg.NS.RegisterClass(ctx, s.cfg.Name, name, sig); err != nil {
 			s.setErr(fmt.Errorf("site %s: register class %q: %w", s.cfg.Name, name, err))
 		}
 	}()

@@ -1,6 +1,7 @@
 package site_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/site"
 	"repro/internal/testutil"
 	"repro/internal/vm"
+	"repro/internal/wire"
 )
 
 // loopRouter connects sites directly (an in-package stand-in for the
@@ -22,21 +24,21 @@ type loopRouter struct {
 
 func (l *loopRouter) add(s *site.Site) { l.sites[s.ID()] = s }
 
-func (l *loopRouter) RouteMsg(from *site.Site, ref vm.NetRef, label string, args []site.WireVal) error {
+func (l *loopRouter) RouteMsg(from *site.Site, op wire.OpRef, ref vm.NetRef, label string, args []site.WireVal) error {
 	dst := l.sites[ref.Site]
-	return dst.Deliver(site.Delivery{Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}})
+	return dst.Deliver(site.Delivery{Op: op, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}})
 }
-func (l *loopRouter) RouteObj(from *site.Site, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
+func (l *loopRouter) RouteObj(from *site.Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
 	dst := l.sites[ref.Site]
-	return dst.Deliver(site.Delivery{Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}})
+	return dst.Deliver(site.Delivery{Op: op, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}})
 }
-func (l *loopRouter) RouteFetch(from *site.Site, owner site.Addr, class string, reqID uint64) error {
+func (l *loopRouter) RouteFetch(from *site.Site, op wire.OpRef, owner site.Addr, class string, reqID uint64) error {
 	dst := l.sites[owner.Site]
-	return dst.Deliver(site.Delivery{Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}})
+	return dst.Deliver(site.Delivery{Op: op, Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}})
 }
-func (l *loopRouter) RouteFetchRep(from *site.Site, to site.Addr, rep *site.FetchRepDelivery) error {
+func (l *loopRouter) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *site.FetchRepDelivery) error {
 	dst := l.sites[to.Site]
-	return dst.Deliver(site.Delivery{FetchRep: rep})
+	return dst.Deliver(site.Delivery{Op: op, FetchRep: rep})
 }
 
 // twoSites stands up a connected pair running the given programs.
@@ -193,7 +195,7 @@ func TestMobilityFetchUnknownClassFaults(t *testing.T) {
 	defer func() { a.Stop(); <-a.Done() }()
 	// Forge a class registration that the site never made, then
 	// import it: the fetch must fail cleanly at the requester.
-	if err := ns.RegisterClass("alpha", "Ghost", ""); err != nil {
+	if err := ns.RegisterClass(context.Background(), "alpha", "Ghost", ""); err != nil {
 		t.Fatal(err)
 	}
 	progB, err := node.CompileSubmission("beta", `import Ghost from alpha in Ghost[]`)

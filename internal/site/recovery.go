@@ -1,0 +1,1080 @@
+// Crash recovery for sites: the write-ahead journal records, the
+// checkpoint overlay, and the deterministic replay that rebuilds a
+// crashed site's exact state under a new epoch (DESIGN.md §9).
+//
+// The protocol in one paragraph: a site journals its program when it
+// loads, every delivery it handles (stamped with the machine's
+// context-switch count at handling time), and — via the node, before
+// the transport acknowledgement — every mobility operation accepted on
+// its behalf. Periodically, at a stable idle point, the log is
+// compacted to a snapshot of the machine plus the site overlay.
+// Recovery restores the last checkpoint (or re-links the recorded
+// program), replays each journaled delivery at exactly the recorded
+// context-switch count, runs the machine to quiescence to reproduce
+// the sends past the last record (receivers deduplicate the re-sent
+// operations by (site, id)), applies accepted-but-unapplied
+// operations through the normal path, re-registers exports under the
+// incremented epoch, and respawns resolvers for still-pending imports.
+package site
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/journal"
+	"repro/internal/vm"
+	"repro/internal/wire"
+)
+
+// Journal record kinds. The payload formats are private to this file;
+// the journal package stores them opaquely.
+const (
+	// RecProgram: the site's identity and linked program unit — enough
+	// to rebuild the site from nothing.
+	RecProgram journal.Kind = 1
+	// RecEpoch: an incarnation number; appended at first load and at
+	// every supervised restart. The live epoch is the maximum.
+	RecEpoch journal.Kind = 2
+	// RecDelivery: one handled delivery, stamped with the machine's
+	// context-switch count at handling time (the replay alignment).
+	RecDelivery journal.Kind = 3
+	// RecAccepted: a mobility operation the node accepted (and
+	// acknowledged) for this site — possibly not yet handled.
+	RecAccepted journal.Kind = 4
+	// RecCheckpoint: a full machine + site-overlay snapshot; compaction
+	// drops everything the snapshot covers.
+	RecCheckpoint journal.Kind = 5
+)
+
+// resolvedKind tags a Resolved delivery in a RecDelivery record; the
+// four mobility kinds reuse their wire.FrameType values.
+const resolvedKind byte = 0
+
+// Journal is the site-side handle on a journal.Store. It serializes
+// the site's appends and compactions against the node's accepted-op
+// appends: compaction reads and atomically replaces the log under the
+// same lock the node appends under, so an operation accepted during
+// compaction cannot be lost.
+type Journal struct {
+	mu      sync.Mutex
+	st      journal.Store
+	scratch []byte // reused accepted-record encode buffer, guarded by mu
+}
+
+// NewJournal wraps a store.
+func NewJournal(st journal.Store) *Journal { return &Journal{st: st} }
+
+// Append adds one record.
+func (j *Journal) Append(k journal.Kind, data []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Append(journal.Record{Kind: k, Data: data})
+}
+
+// AppendAccepted logs a RecAccepted record, encoding it into a buffer
+// reused across calls — this sits on the pre-ack path of every
+// mobility frame, so it must not allocate per operation. The encoding
+// matches EncodeAccepted byte for byte (stores copy what they keep).
+func (j *Journal) AppendAccepted(t wire.FrameType, srcNode uint32, payload []byte) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	b := append(j.scratch[:0], byte(t))
+	b = binary.AppendUvarint(b, uint64(srcNode))
+	b = binary.AppendUvarint(b, uint64(len(payload)))
+	b = append(b, payload...)
+	j.scratch = b
+	return j.st.Append(journal.Record{Kind: RecAccepted, Data: b})
+}
+
+// Records returns the current log.
+func (j *Journal) Records() ([]journal.Record, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Records()
+}
+
+// Compact atomically rewrites the log: build receives the current
+// records and returns their replacement. No append can interleave.
+func (j *Journal) Compact(build func(old []journal.Record) ([]journal.Record, error)) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	old, err := j.st.Records()
+	if err != nil {
+		return err
+	}
+	fresh, err := build(old)
+	if err != nil {
+		return err
+	}
+	return j.st.Replace(fresh)
+}
+
+// Close releases the underlying store.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.st.Close()
+}
+
+// ---------------------------------------------------------- records
+
+// EncodeEpoch builds a RecEpoch payload.
+func EncodeEpoch(epoch uint32) []byte {
+	var w wire.Writer
+	w.U(uint64(epoch))
+	return w.Bytes()
+}
+
+func decodeEpoch(data []byte) (uint32, error) {
+	r := wire.NewReader(data)
+	e, err := r.U()
+	return uint32(e), err
+}
+
+// EncodeAccepted builds a RecAccepted payload from an envelope's
+// pieces (the node calls this from the transport's accept hook).
+func EncodeAccepted(t wire.FrameType, srcNode uint32, payload []byte) []byte {
+	var w wire.Writer
+	w.Byte(byte(t))
+	w.U(uint64(srcNode))
+	w.B(payload)
+	return w.Bytes()
+}
+
+func decodeAccepted(data []byte) (wire.FrameType, uint32, []byte, error) {
+	r := wire.NewReader(data)
+	t, err := r.Byte()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	src, err := r.U()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	payload, err := r.B()
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return wire.FrameType(t), uint32(src), payload, nil
+}
+
+// programRecord is the decoded RecProgram payload.
+type programRecord struct {
+	name       string
+	siteID     uint32
+	nodeID     uint32
+	unit       *asm.Unit
+	nameSigs   map[string]string
+	classSigs  map[string]string
+	importSigs []string // aligned with unit.Imports
+}
+
+func encodeProgramRecord(w *wire.Writer, name string, siteID, nodeID uint32, unit *asm.Unit, nameSigs, classSigs map[string]string, importSigs []string) {
+	w.S(name)
+	w.U(uint64(siteID))
+	w.U(uint64(nodeID))
+	w.B(asm.Encode(unit))
+	encodeStringMap(w, nameSigs)
+	encodeStringMap(w, classSigs)
+	w.U(uint64(len(importSigs)))
+	for _, s := range importSigs {
+		w.S(s)
+	}
+}
+
+func decodeProgramRecord(data []byte) (*programRecord, error) {
+	r := wire.NewReader(data)
+	p := &programRecord{}
+	var err error
+	if p.name, err = r.S(); err != nil {
+		return nil, err
+	}
+	sid, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	nid, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	p.siteID, p.nodeID = uint32(sid), uint32(nid)
+	ub, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	if p.unit, err = asm.Decode(ub); err != nil {
+		return nil, err
+	}
+	if p.nameSigs, err = decodeStringMap(r); err != nil {
+		return nil, err
+	}
+	if p.classSigs, err = decodeStringMap(r); err != nil {
+		return nil, err
+	}
+	n, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	p.importSigs = make([]string, n)
+	for i := range p.importSigs {
+		if p.importSigs[i], err = r.S(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func encodeStringMap(w *wire.Writer, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U(uint64(len(keys)))
+	for _, k := range keys {
+		w.S(k)
+		w.S(m[k])
+	}
+}
+
+func decodeStringMap(r *wire.Reader) (map[string]string, error) {
+	n, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[string]string, n)
+	for i := uint64(0); i < n; i++ {
+		k, err := r.S()
+		if err != nil {
+			return nil, err
+		}
+		v, err := r.S()
+		if err != nil {
+			return nil, err
+		}
+		m[k] = v
+	}
+	return m, nil
+}
+
+// deliveryRecord is a decoded RecDelivery payload: the machine's
+// context-switch count at handling time, plus the delivery itself in
+// wire form.
+type deliveryRecord struct {
+	steps uint64
+	src   uint32
+	kind  byte
+	body  []byte
+}
+
+// encodeDelivery turns one handled delivery into a RecDelivery
+// payload. Mobility deliveries reuse the wire payload codecs;
+// Resolved uses a private format (the resolved value is post-ingress,
+// so only channel/net/net-class kinds occur).
+func (s *Site) encodeDelivery(d Delivery) ([]byte, error) {
+	var w wire.Writer
+	w.U(s.m.Stats.ContextSwitches)
+	w.U(uint64(d.Src))
+	self := vm.NetRef{Site: s.cfg.ID, Node: s.cfg.NodeID}
+	switch {
+	case d.Msg != nil:
+		w.Byte(byte(wire.FMsg))
+		to := self
+		to.Heap = d.Msg.Heap
+		w.B((&wire.Msg{Op: d.Op, To: to, Label: d.Msg.Label, Args: d.Msg.Args}).Encode())
+	case d.Obj != nil:
+		w.Byte(byte(wire.FObj))
+		to := self
+		to.Heap = d.Obj.Heap
+		w.B((&wire.Obj{Op: d.Op, To: to, Unit: asm.Encode(d.Obj.Unit), Table: d.Obj.Table, Frame: d.Obj.Frame}).Encode())
+	case d.Fetch != nil:
+		w.Byte(byte(wire.FFetchReq))
+		w.B((&wire.FetchReq{
+			Op: d.Op, Class: d.Fetch.Class, OwnerSite: s.cfg.ID, ReqID: d.Fetch.ReqID,
+			ReplySite: d.Fetch.Reply.Site, ReplyNode: d.Fetch.Reply.Node,
+		}).Encode())
+	case d.FetchRep != nil:
+		rep := d.FetchRep
+		var ub []byte
+		if rep.Unit != nil {
+			ub = asm.Encode(rep.Unit)
+		}
+		w.Byte(byte(wire.FFetchRep))
+		w.B((&wire.FetchRep{
+			Op: d.Op, ReqID: rep.ReqID, DstSite: s.cfg.ID, Err: rep.Err, Class: rep.Class,
+			Unit: ub, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
+		}).Encode())
+	case d.Resolved != nil:
+		w.Byte(resolvedKind)
+		var rb wire.Writer
+		rb.U(uint64(d.Resolved.ConstIdx))
+		rb.S(d.Resolved.ClassSig)
+		encodeResolvedValue(&rb, d.Resolved.Value)
+		w.B(rb.Bytes())
+	default:
+		return nil, fmt.Errorf("site %s: journal: empty delivery", s.cfg.Name)
+	}
+	return w.Bytes(), nil
+}
+
+func decodeDeliveryRecord(data []byte) (*deliveryRecord, error) {
+	r := wire.NewReader(data)
+	steps, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	src, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	kind, err := r.Byte()
+	if err != nil {
+		return nil, err
+	}
+	body, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	return &deliveryRecord{steps: steps, src: uint32(src), kind: kind, body: body}, nil
+}
+
+// delivery rebuilds the Delivery a record describes.
+func (rec *deliveryRecord) delivery() (Delivery, error) {
+	if rec.kind == resolvedKind {
+		r := wire.NewReader(rec.body)
+		idx, err := r.U()
+		if err != nil {
+			return Delivery{}, err
+		}
+		sig, err := r.S()
+		if err != nil {
+			return Delivery{}, err
+		}
+		v, err := decodeResolvedValue(r)
+		if err != nil {
+			return Delivery{}, err
+		}
+		return Delivery{Src: rec.src, Resolved: &ResolvedImport{ConstIdx: int(idx), Value: v, ClassSig: sig}}, nil
+	}
+	d, _, err := DecodePayload(wire.FrameType(rec.kind), rec.src, rec.body)
+	return d, err
+}
+
+// encodeResolvedValue serializes a resolved import value. Resolution
+// is post-σ-ingress, so only local channels, network references and
+// network classes occur.
+func encodeResolvedValue(w *wire.Writer, v vm.Value) {
+	w.Byte(byte(v.Kind))
+	switch v.Kind {
+	case vm.KChan:
+		w.U(uint64(v.I))
+	case vm.KNet:
+		w.U(uint64(v.Net.Heap))
+		w.U(uint64(v.Net.Site))
+		w.U(uint64(v.Net.Node))
+	case vm.KNetClass:
+		w.S(v.S)
+		w.U(uint64(v.Net.Site))
+		w.U(uint64(v.Net.Node))
+	}
+}
+
+func decodeResolvedValue(r *wire.Reader) (vm.Value, error) {
+	k, err := r.Byte()
+	if err != nil {
+		return vm.Value{}, err
+	}
+	switch vm.Kind(k) {
+	case vm.KChan:
+		i, err := r.U()
+		return vm.Chan(int(i)), err
+	case vm.KNet:
+		h, err := r.U()
+		if err != nil {
+			return vm.Value{}, err
+		}
+		st, err := r.U()
+		if err != nil {
+			return vm.Value{}, err
+		}
+		nd, err := r.U()
+		return vm.Net(vm.NetRef{Heap: uint32(h), Site: uint32(st), Node: uint32(nd)}), err
+	case vm.KNetClass:
+		s, err := r.S()
+		if err != nil {
+			return vm.Value{}, err
+		}
+		st, err := r.U()
+		if err != nil {
+			return vm.Value{}, err
+		}
+		nd, err := r.U()
+		return vm.NetClassVal(vm.NetClass{Name: s, Site: uint32(st), Node: uint32(nd)}), err
+	default:
+		return vm.Value{}, fmt.Errorf("site: journal: resolved value of kind %d", k)
+	}
+}
+
+// DecodePayload decodes one mobility wire payload into a Delivery,
+// returning the destination site id alongside. The node's dispatcher
+// and journal replay share it.
+func DecodePayload(t wire.FrameType, srcNode uint32, payload []byte) (Delivery, uint32, error) {
+	switch t {
+	case wire.FMsg:
+		m, err := wire.DecodeMsg(payload)
+		if err != nil {
+			return Delivery{}, 0, err
+		}
+		return Delivery{Src: srcNode, Op: m.Op, Msg: &MsgDelivery{Heap: m.To.Heap, Label: m.Label, Args: m.Args}}, m.To.Site, nil
+	case wire.FObj:
+		o, err := wire.DecodeObj(payload)
+		if err != nil {
+			return Delivery{}, 0, err
+		}
+		u, err := asm.Decode(o.Unit)
+		if err != nil {
+			return Delivery{}, 0, fmt.Errorf("migrated object: %w", err)
+		}
+		return Delivery{Src: srcNode, Op: o.Op, Obj: &ObjDelivery{Heap: o.To.Heap, Unit: u, Table: o.Table, Frame: o.Frame}}, o.To.Site, nil
+	case wire.FFetchReq:
+		f, err := wire.DecodeFetchReq(payload)
+		if err != nil {
+			return Delivery{}, 0, err
+		}
+		return Delivery{Src: srcNode, Op: f.Op, Fetch: &FetchDelivery{
+			Class: f.Class, ReqID: f.ReqID,
+			Reply: Addr{Site: f.ReplySite, Node: f.ReplyNode},
+		}}, f.OwnerSite, nil
+	case wire.FFetchRep:
+		f, err := wire.DecodeFetchRep(payload)
+		if err != nil {
+			return Delivery{}, 0, err
+		}
+		var u *asm.Unit
+		if f.Err == "" {
+			if u, err = asm.Decode(f.Unit); err != nil {
+				return Delivery{}, 0, fmt.Errorf("fetched class: %w", err)
+			}
+		}
+		return Delivery{Src: srcNode, Op: f.Op, FetchRep: &FetchRepDelivery{
+			ReqID: f.ReqID, Err: f.Err, Class: f.Class,
+			Unit: u, Group: f.Group, Index: f.Index, Captured: f.Captured,
+		}}, f.DstSite, nil
+	default:
+		return Delivery{}, 0, fmt.Errorf("site: payload of frame type %s", t)
+	}
+}
+
+// ------------------------------------------------------ loaded logs
+
+// acceptedRecord is a decoded RecAccepted payload.
+type acceptedRecord struct {
+	t       wire.FrameType
+	srcNode uint32
+	payload []byte
+}
+
+// RecoveredLog is a parsed journal, ready to drive a restart.
+type RecoveredLog struct {
+	prog       *programRecord
+	epoch      uint32 // highest recorded incarnation
+	checkpoint []byte // last snapshot, nil if none
+	deliveries []*deliveryRecord
+	accepted   []*acceptedRecord
+}
+
+// SiteID returns the recorded site identifier.
+func (l *RecoveredLog) SiteID() uint32 { return l.prog.siteID }
+
+// SiteName returns the recorded site name.
+func (l *RecoveredLog) SiteName() string { return l.prog.name }
+
+// Epoch returns the highest incarnation number in the log.
+func (l *RecoveredLog) Epoch() uint32 { return l.epoch }
+
+// LoadJournal parses a site's journal. Deliveries before the last
+// checkpoint are dropped (the snapshot covers them); accepted records
+// are kept in order and filtered against the applied set at replay.
+func LoadJournal(j *Journal) (*RecoveredLog, error) {
+	recs, err := j.Records()
+	if err != nil {
+		return nil, err
+	}
+	l := &RecoveredLog{}
+	for _, rec := range recs {
+		switch rec.Kind {
+		case RecProgram:
+			p, err := decodeProgramRecord(rec.Data)
+			if err != nil {
+				return nil, fmt.Errorf("site: journal program record: %w", err)
+			}
+			l.prog = p
+		case RecEpoch:
+			e, err := decodeEpoch(rec.Data)
+			if err != nil {
+				return nil, fmt.Errorf("site: journal epoch record: %w", err)
+			}
+			if e > l.epoch {
+				l.epoch = e
+			}
+		case RecDelivery:
+			d, err := decodeDeliveryRecord(rec.Data)
+			if err != nil {
+				return nil, fmt.Errorf("site: journal delivery record: %w", err)
+			}
+			l.deliveries = append(l.deliveries, d)
+		case RecAccepted:
+			t, src, payload, err := decodeAccepted(rec.Data)
+			if err != nil {
+				return nil, fmt.Errorf("site: journal accepted record: %w", err)
+			}
+			l.accepted = append(l.accepted, &acceptedRecord{t: t, srcNode: src, payload: payload})
+		case RecCheckpoint:
+			l.checkpoint = rec.Data
+			l.deliveries = nil // covered by the snapshot
+		default:
+			return nil, fmt.Errorf("site: journal record of unknown kind %d", rec.Kind)
+		}
+	}
+	if l.prog == nil {
+		return nil, fmt.Errorf("site: journal has no program record")
+	}
+	return l, nil
+}
+
+// ------------------------------------------------------- checkpoint
+
+// maybeCheckpoint compacts the journal to a snapshot when the site is
+// at a stable idle point and enough deliveries accumulated. Stable
+// means: run-queue empty, no thread parked on an import, no fetch in
+// flight — everything the snapshot skips is provably absent.
+//
+// The returned flag is true when a checkpoint is due and the site is
+// stable but the transport gate refused it (outbound frames still
+// unacked). That is the one blocker that clears without this site
+// receiving anything — the caller should re-poll shortly instead of
+// blocking until the next delivery, or a site that always has one
+// request in flight would never compact.
+func (s *Site) maybeCheckpoint() (gated bool) {
+	if s.jl == nil || s.sinceCkpt < s.cfg.CheckpointEvery {
+		return false
+	}
+	if !s.m.Idle() || len(s.waiting) != 0 || len(s.pendingFetch) != 0 {
+		return false
+	}
+	if s.cfg.CheckpointGate != nil && !s.cfg.CheckpointGate() {
+		return true
+	}
+	if err := s.checkpoint(); err != nil {
+		s.setErr(fmt.Errorf("site %s: checkpoint: %w", s.cfg.Name, err))
+		return false
+	}
+	s.sinceCkpt = 0
+	s.Checkpoints++
+	return false
+}
+
+// checkpoint snapshots machine + overlay and compacts the journal down
+// to [program, epoch, checkpoint, accepted-but-unapplied...].
+func (s *Site) checkpoint() error {
+	w := vm.NewSnapWriter()
+	s.m.EncodeSnapshot(w)
+	s.encodeOverlay(w)
+	snap := w.Finish()
+	return s.jl.Compact(func(old []journal.Record) ([]journal.Record, error) {
+		fresh := make([]journal.Record, 0, 8)
+		for _, rec := range old {
+			if rec.Kind == RecProgram {
+				fresh = append(fresh, rec)
+				break
+			}
+		}
+		fresh = append(fresh,
+			journal.Record{Kind: RecEpoch, Data: EncodeEpoch(s.epoch)},
+			journal.Record{Kind: RecCheckpoint, Data: snap},
+		)
+		for _, rec := range old {
+			if rec.Kind != RecAccepted {
+				continue
+			}
+			_, _, payload, err := decodeAccepted(rec.Data)
+			if err != nil {
+				return nil, err
+			}
+			op, _, err := wire.PeekOp(payload)
+			if err != nil {
+				return nil, err
+			}
+			if !s.applied[op.Site][op.ID] {
+				fresh = append(fresh, rec)
+			}
+		}
+		return fresh, nil
+	})
+}
+
+// encodeOverlay appends the site's own state to a machine snapshot.
+// All map iterations are sorted: a checkpoint of a given state must be
+// byte-identical regardless of map layout, so replayed incarnations
+// compact to comparable logs.
+func (s *Site) encodeOverlay(w *vm.SnapWriter) {
+	s.expMu.Lock()
+	w.U(uint64(s.nextHeap))
+	chans := make([]int, 0, len(s.exp))
+	for c := range s.exp {
+		chans = append(chans, c)
+	}
+	sort.Ints(chans)
+	w.U(uint64(len(chans)))
+	for _, c := range chans {
+		w.V(int64(c))
+		w.U(uint64(s.exp[c]))
+	}
+	s.expMu.Unlock()
+
+	names := sortedKeys(s.expNames)
+	w.U(uint64(len(names)))
+	for _, k := range names {
+		w.S(k)
+		w.Value(s.expNames[k])
+	}
+	writeStringMap(w, s.expNameSigs)
+	writeStringMap(w, s.expClassSigs)
+
+	ncs := make([]vm.NetClass, 0, len(s.classSigs))
+	for nc := range s.classSigs {
+		ncs = append(ncs, nc)
+	}
+	sortNetClasses(ncs)
+	w.U(uint64(len(ncs)))
+	for _, nc := range ncs {
+		writeNetClass(w, nc)
+		w.S(s.classSigs[nc])
+	}
+
+	fcs := make([]vm.NetClass, 0, len(s.fetchCache))
+	for nc := range s.fetchCache {
+		fcs = append(fcs, nc)
+	}
+	sortNetClasses(fcs)
+	w.U(uint64(len(fcs)))
+	for _, nc := range fcs {
+		writeNetClass(w, nc)
+		w.Value(s.fetchCache[nc])
+	}
+
+	w.U(s.nextReq)
+	w.U(s.nextOp)
+
+	sites := make([]uint32, 0, len(s.applied))
+	for st := range s.applied {
+		sites = append(sites, st)
+	}
+	sortU32(sites)
+	w.U(uint64(len(sites)))
+	for _, st := range sites {
+		ids := make([]uint64, 0, len(s.applied[st]))
+		for id := range s.applied[st] {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		w.U(uint64(st))
+		w.U(uint64(len(ids)))
+		for _, id := range ids {
+			w.U(id)
+		}
+	}
+	epochs := make([]uint32, 0, len(s.maxEpoch))
+	for st := range s.maxEpoch {
+		epochs = append(epochs, st)
+	}
+	sortU32(epochs)
+	w.U(uint64(len(epochs)))
+	for _, st := range epochs {
+		w.U(uint64(st))
+		w.U(uint64(s.maxEpoch[st]))
+	}
+
+	w.U(s.ctrlSent.Load())
+	w.U(s.ctrlRecv.Load())
+	s.ctrlMu.Lock()
+	writeU64Map(w, s.sentTo)
+	writeU64Map(w, s.recvFrom)
+	s.ctrlMu.Unlock()
+
+	w.U(s.UnitsLinked)
+	w.U(s.ClassesFetched)
+	w.U(s.FetchCacheHits)
+	w.U(s.DupDrops)
+	w.U(s.StaleDrops)
+
+	idxs := make([]int, 0, len(s.pendingImports))
+	for i := range s.pendingImports {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	w.U(uint64(len(idxs)))
+	for _, i := range idxs {
+		pi := s.pendingImports[i]
+		w.V(int64(i))
+		w.S(pi.imp.Site)
+		w.S(pi.imp.Name)
+		w.Bool(pi.imp.IsClass)
+		w.S(pi.sig)
+	}
+}
+
+// decodeOverlay restores the site state written by encodeOverlay.
+func (s *Site) decodeOverlay(r *vm.SnapReader) error {
+	s.expMu.Lock()
+	s.nextHeap = uint32(r.U())
+	s.exp = map[int]uint32{}
+	s.expRev = map[uint32]int{}
+	for i, n := 0, r.Count("exports"); i < n; i++ {
+		c := int(r.V())
+		id := uint32(r.U())
+		s.exp[c] = id
+		s.expRev[id] = c
+	}
+	s.expMu.Unlock()
+
+	s.expNames = map[string]vm.Value{}
+	for i, n := 0, r.Count("expNames"); i < n; i++ {
+		k := r.S()
+		s.expNames[k] = r.Value()
+	}
+	s.expNameSigs = readStringMap(r, "expNameSigs")
+	s.expClassSigs = readStringMap(r, "expClassSigs")
+
+	s.classSigs = map[vm.NetClass]string{}
+	for i, n := 0, r.Count("classSigs"); i < n; i++ {
+		nc := readNetClass(r)
+		s.classSigs[nc] = r.S()
+	}
+	s.fetchCache = map[vm.NetClass]vm.Value{}
+	for i, n := 0, r.Count("fetchCache"); i < n; i++ {
+		nc := readNetClass(r)
+		s.fetchCache[nc] = r.Value()
+	}
+
+	s.nextReq = r.U()
+	s.nextOp = r.U()
+
+	s.applied = map[uint32]map[uint64]bool{}
+	for i, n := 0, r.Count("appliedSites"); i < n; i++ {
+		st := uint32(r.U())
+		ids := map[uint64]bool{}
+		for j, m := 0, r.Count("appliedOps"); j < m; j++ {
+			ids[r.U()] = true
+		}
+		s.applied[st] = ids
+	}
+	s.maxEpoch = map[uint32]uint32{}
+	for i, n := 0, r.Count("maxEpoch"); i < n; i++ {
+		st := uint32(r.U())
+		s.maxEpoch[st] = uint32(r.U())
+	}
+
+	s.ctrlSent.Store(r.U())
+	s.ctrlRecv.Store(r.U())
+	s.ctrlMu.Lock()
+	s.sentTo = readU64Map(r, "sentTo")
+	s.recvFrom = readU64Map(r, "recvFrom")
+	s.ctrlMu.Unlock()
+
+	s.UnitsLinked = r.U()
+	s.ClassesFetched = r.U()
+	s.FetchCacheHits = r.U()
+	s.DupDrops = r.U()
+	s.StaleDrops = r.U()
+
+	s.pendingImports = map[int]pendingImport{}
+	for i, n := 0, r.Count("pendingImports"); i < n; i++ {
+		idx := int(r.V())
+		var pi pendingImport
+		pi.imp.Site = r.S()
+		pi.imp.Name = r.S()
+		pi.imp.IsClass = r.Bool()
+		pi.sig = r.S()
+		s.pendingImports[idx] = pi
+	}
+	return r.Err()
+}
+
+func sortedKeys(m map[string]vm.Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortU32(xs []uint32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+func sortNetClasses(ncs []vm.NetClass) {
+	sort.Slice(ncs, func(i, j int) bool {
+		a, b := ncs[i], ncs[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		return a.Node < b.Node
+	})
+}
+
+func writeNetClass(w *vm.SnapWriter, nc vm.NetClass) {
+	w.S(nc.Name)
+	w.U(uint64(nc.Site))
+	w.U(uint64(nc.Node))
+}
+
+func readNetClass(r *vm.SnapReader) vm.NetClass {
+	return vm.NetClass{Name: r.S(), Site: uint32(r.U()), Node: uint32(r.U())}
+}
+
+func writeStringMap(w *vm.SnapWriter, m map[string]string) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.U(uint64(len(keys)))
+	for _, k := range keys {
+		w.S(k)
+		w.S(m[k])
+	}
+}
+
+func readStringMap(r *vm.SnapReader, what string) map[string]string {
+	m := map[string]string{}
+	for i, n := 0, r.Count(what); i < n; i++ {
+		k := r.S()
+		m[k] = r.S()
+	}
+	return m
+}
+
+func writeU64Map(w *vm.SnapWriter, m map[uint32]uint64) {
+	keys := make([]uint32, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortU32(keys)
+	w.U(uint64(len(keys)))
+	for _, k := range keys {
+		w.U(uint64(k))
+		w.U(m[k])
+	}
+}
+
+func readU64Map(r *vm.SnapReader, what string) map[uint32]uint64 {
+	m := map[uint32]uint64{}
+	for i, n := 0, r.Count(what); i < n; i++ {
+		k := uint32(r.U())
+		m[k] = r.U()
+	}
+	return m
+}
+
+// ---------------------------------------------------------- restore
+
+// SetRestore arms the site to rebuild itself from a recovered log
+// when Run starts. Must be called before Run; the site's configured
+// Epoch must exceed every epoch in the log.
+func (s *Site) SetRestore(l *RecoveredLog) { s.restoreLog = l }
+
+// restore rebuilds the pre-crash state on the site goroutine: restore
+// the checkpoint (or re-link the recorded program), replay journaled
+// deliveries at their recorded context-switch counts, run to
+// quiescence to reproduce the sends past the journal frontier, then
+// hand accepted-but-unapplied operations to the normal path and
+// re-register everything with the name service. Output produced
+// during replay is suppressed — it already happened.
+func (s *Site) restore(l *RecoveredLog) error {
+	// Re-parse the journal on this side of site registration: the node
+	// keeps appending accepted records for us while recovery is being
+	// set up, and any record appended before we were re-registered in
+	// the dispatch maps would otherwise be missed (its frame was dropped
+	// at dispatch, its record absent from the supervisor's earlier
+	// parse). Records() is serialized with Append, so everything
+	// journaled before this moment is in the fresh parse; frames arriving
+	// after registration reach us live instead.
+	if s.jl != nil {
+		fresh, err := LoadJournal(s.jl)
+		if err != nil {
+			return fmt.Errorf("re-parse journal: %w", err)
+		}
+		l = fresh
+	}
+	// Re-register first: importers blocked at the name service resolve
+	// against the kept entries while we replay, and the higher epoch
+	// fences any stale keepalive from the dead incarnation.
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
+	err := s.cfg.NS.RegisterSite(ctx, s.cfg.Name, s.cfg.ID, s.cfg.NodeID, s.epoch)
+	cancel()
+	if err != nil {
+		return fmt.Errorf("re-register: %w", err)
+	}
+
+	s.replaying = true
+	savedOut := s.m.Out
+	s.m.Out = io.Discard
+	if l.checkpoint != nil {
+		r, err := vm.NewSnapReader(l.checkpoint)
+		if err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := s.m.DecodeSnapshot(r); err != nil {
+			return fmt.Errorf("checkpoint: %w", err)
+		}
+		if err := s.decodeOverlay(r); err != nil {
+			return fmt.Errorf("checkpoint overlay: %w", err)
+		}
+	} else {
+		if err := s.loadRecorded(l.prog); err != nil {
+			return fmt.Errorf("relink: %w", err)
+		}
+	}
+
+	for i, rec := range l.deliveries {
+		if err := s.replayTo(rec.steps); err != nil {
+			return fmt.Errorf("replay record %d: %w", i, err)
+		}
+		d, err := rec.delivery()
+		if err != nil {
+			return fmt.Errorf("replay record %d: %w", i, err)
+		}
+		if err := s.handle(d); err != nil {
+			return fmt.Errorf("replay record %d: %w", i, err)
+		}
+	}
+	// Epilogue: reproduce everything the machine did after the last
+	// journaled delivery. Re-sent operations carry the same (site, id)
+	// as before the crash, so receivers drop the duplicates.
+	if err := s.m.RunToQuiescence(); err != nil {
+		return fmt.Errorf("replay epilogue: %w", err)
+	}
+	s.m.Out = savedOut
+	s.replaying = false
+
+	// Operations the node accepted (and acknowledged — the sender will
+	// never retransmit them) but the dead incarnation never handled:
+	// apply through the normal path, so they are journaled and counted.
+	for _, a := range l.accepted {
+		d, _, err := DecodePayload(a.t, a.srcNode, a.payload)
+		if err != nil {
+			return fmt.Errorf("accepted replay: %w", err)
+		}
+		if !d.Op.IsZero() && s.applied[d.Op.Site][d.Op.ID] {
+			continue
+		}
+		if err := s.handle(d); err != nil {
+			return fmt.Errorf("accepted replay: %w", err)
+		}
+	}
+
+	if err := s.reregisterExports(); err != nil {
+		return err
+	}
+	// Imports whose resolution never completed: resolve them afresh.
+	for idx, pi := range s.pendingImports {
+		go s.resolveImport(pi.imp, idx, pi.sig)
+	}
+	return nil
+}
+
+// replayTo advances the machine to exactly the recorded context-switch
+// count. Falling idle early or overshooting means the replay diverged
+// from the recorded run — a bug, not a recoverable condition.
+func (s *Site) replayTo(steps uint64) error {
+	for s.m.Stats.ContextSwitches < steps {
+		ran, err := s.m.Step()
+		if err != nil {
+			return err
+		}
+		if !ran {
+			return fmt.Errorf("replay diverged: machine idle at %d context switches, record expects %d", s.m.Stats.ContextSwitches, steps)
+		}
+	}
+	if s.m.Stats.ContextSwitches > steps {
+		return fmt.Errorf("replay diverged: machine at %d context switches, record expects %d", s.m.Stats.ContextSwitches, steps)
+	}
+	return nil
+}
+
+// loadRecorded re-links the journaled program exactly as Load did, but
+// without touching the name service and without spawning resolvers —
+// journaled Resolved deliveries replay the resolutions; restore
+// respawns resolvers for whatever is still pending afterwards.
+func (s *Site) loadRecorded(p *programRecord) error {
+	for name, sig := range p.nameSigs {
+		s.expNameSigs[name] = sig
+	}
+	for name, sig := range p.classSigs {
+		s.expClassSigs[name] = sig
+	}
+	u := p.unit
+	imports := make([]vm.Value, len(u.Imports))
+	consts := make([]vm.Value, len(u.Consts))
+	for i, k := range u.Consts {
+		v, err := s.ingressConst(k)
+		if err != nil {
+			return err
+		}
+		consts[i] = v
+	}
+	for i := range imports {
+		imports[i] = vm.Pending(i)
+	}
+	linked, err := s.prog.Link(u, imports, consts)
+	if err != nil {
+		return err
+	}
+	s.UnitsLinked++
+	for i, imp := range u.Imports {
+		constIdx := linked.Reloc.Imports[i]
+		s.prog.Consts[constIdx] = vm.Pending(constIdx)
+		var sig string
+		if i < len(p.importSigs) {
+			sig = p.importSigs[i]
+		}
+		s.pendingImports[constIdx] = pendingImport{imp: imp, sig: sig}
+	}
+	if linked.Entry >= 0 {
+		s.m.Spawn(linked.Entry, nil)
+	}
+	return nil
+}
+
+// reregisterExports replays the name-service registrations of every
+// exported name and class. Heap ids are stable under deterministic
+// replay, so these re-registrations are idempotent refreshes.
+func (s *Site) reregisterExports() error {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
+	defer cancel()
+	for _, name := range sortedKeys(s.expNames) {
+		v := s.expNames[name]
+		switch v.Kind {
+		case vm.KChan:
+			heap := s.exportID(int(v.I))
+			if err := s.cfg.NS.RegisterName(ctx, s.cfg.Name, name, heap, s.expNameSigs[name]); err != nil {
+				return fmt.Errorf("re-register name %q: %w", name, err)
+			}
+		case vm.KClass:
+			if err := s.cfg.NS.RegisterClass(ctx, s.cfg.Name, name, s.expClassSigs[name]); err != nil {
+				return fmt.Errorf("re-register class %q: %w", name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package site_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/journal"
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/site"
+	"repro/internal/testutil"
+	"repro/internal/wire"
+)
+
+// loopSrc is a persistent receiver: each val message prints and the
+// receiver reinstalls itself, so the site accumulates deliveries
+// without terminating.
+const loopSrc = `def Loop(p) = p?(v) = (println("got", v) | Loop[p]) in export new p Loop[p]`
+
+// valMsg builds a journaled-style delivery of p![v] carrying an
+// explicit operation identity.
+func valMsg(op wire.OpRef, v int64) site.Delivery {
+	return site.Delivery{
+		Op:  op,
+		Src: 1,
+		Msg: &site.MsgDelivery{Heap: 1, Label: "val", Args: []site.WireVal{{Kind: wire.WInt, I: v}}},
+	}
+}
+
+func TestEpochFencingAndDedup(t *testing.T) {
+	var out testutil.Buf
+	s := newSite(t, "svr", loopSrc, &out, &fakeRouter{})
+	waitSite(t, func() bool { return s.ExportTableSize() > 0 })
+
+	ops := []struct {
+		op   wire.OpRef
+		v    int64
+		want string
+	}{
+		{wire.OpRef{Site: 9, Epoch: 2, ID: 1}, 7, "got 7\n"},               // applied
+		{wire.OpRef{Site: 9, Epoch: 2, ID: 1}, 7, "got 7\n"},               // duplicate id: dropped
+		{wire.OpRef{Site: 9, Epoch: 1, ID: 2}, 66, "got 7\n"},              // dead incarnation: fenced
+		{wire.OpRef{Site: 9, Epoch: 2, ID: 3}, 8, "got 7\ngot 8\n"},        // applied
+		{wire.OpRef{Site: 9, Epoch: 3, ID: 3}, 8, "got 7\ngot 8\n"},        // re-shipped after recovery: still a dup
+		{wire.OpRef{Site: 9, Epoch: 3, ID: 4}, 9, "got 7\ngot 8\ngot 9\n"}, // applied under the new epoch
+	}
+	for i, step := range ops {
+		if err := s.Deliver(valMsg(step.op, step.v)); err != nil {
+			t.Fatal(err)
+		}
+		want := step.want
+		waitSite(t, func() bool { return out.String() == want })
+		if out.String() != want {
+			t.Fatalf("after op %d: output %q, want %q", i, out.String(), want)
+		}
+	}
+	s.Stop()
+	<-s.Done()
+	if s.Err() != nil {
+		t.Fatal(s.Err())
+	}
+	if s.DupDrops != 2 {
+		t.Errorf("DupDrops = %d, want 2", s.DupDrops)
+	}
+	if s.StaleDrops != 1 {
+		t.Errorf("StaleDrops = %d, want 1", s.StaleDrops)
+	}
+}
+
+// recoverSite rebuilds a killed site from its journal under the next
+// epoch, the way a node supervisor does.
+func recoverSite(t *testing.T, f journal.Factory, ns nameservice.Service, name string, out *testutil.Buf, ckptEvery int) *site.Site {
+	t.Helper()
+	st, err := f.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl := site.NewJournal(st)
+	rec, err := site.LoadJournal(jl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	epoch := rec.Epoch() + 1
+	if err := jl.Append(site.RecEpoch, site.EncodeEpoch(epoch)); err != nil {
+		t.Fatal(err)
+	}
+	s := site.New(site.Config{
+		Name: rec.SiteName(), ID: rec.SiteID(), NodeID: 1,
+		NS: ns, Router: &fakeRouter{}, Out: out,
+		ImportTimeout: 2 * time.Second,
+		Epoch:         epoch, Journal: jl, CheckpointEvery: ckptEvery,
+	})
+	s.SetRestore(rec)
+	go s.Run()
+	return s
+}
+
+// journalRecovery is the shared scenario: run, absorb deliveries, die,
+// restore, verify no duplicate effects and continued service. With
+// ckptEvery high the restore replays the recorded program + delivery
+// log; with ckptEvery 1 it starts from a heap snapshot.
+func journalRecovery(t *testing.T, ckptEvery int) {
+	f := journal.NewMemFactory()
+	st, err := f.Open("svr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := nameservice.NewCentral()
+	prog, err := node.CompileSubmission("svr", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testutil.Buf
+	s := site.New(site.Config{
+		Name: "svr", ID: 1, NodeID: 1,
+		NS: ns, Router: &fakeRouter{}, Out: &out,
+		ImportTimeout: 2 * time.Second,
+		Journal:       site.NewJournal(st), CheckpointEvery: ckptEvery,
+	})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run()
+	waitSite(t, func() bool { return s.ExportTableSize() > 0 })
+	for i := int64(1); i <= 3; i++ {
+		if err := s.Deliver(valMsg(wire.OpRef{Site: 9, Epoch: 1, ID: uint64(i)}, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSite(t, func() bool { return out.String() == "got 1\ngot 2\ngot 3\n" })
+	s.Kill(errors.New("injected fault"))
+	<-s.Done()
+
+	var out2 testutil.Buf
+	r := recoverSite(t, f, ns, "svr", &out2, ckptEvery)
+	defer func() {
+		r.Stop()
+		<-r.Done()
+		if r.Err() != nil {
+			t.Fatal(r.Err())
+		}
+	}()
+	if got := r.Epoch(); got != 2 {
+		t.Fatalf("recovered epoch = %d, want 2", got)
+	}
+	// A recovered sender re-ships its pre-crash ops (same ids, higher
+	// epoch): all three must read as duplicates, not re-print.
+	for i := int64(1); i <= 3; i++ {
+		if err := r.Deliver(valMsg(wire.OpRef{Site: 9, Epoch: 2, ID: uint64(i)}, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fresh traffic keeps flowing.
+	if err := r.Deliver(valMsg(wire.OpRef{Site: 9, Epoch: 2, ID: 4}, 4)); err != nil {
+		t.Fatal(err)
+	}
+	waitSite(t, func() bool { return strings.Contains(out2.String(), "got 4") })
+	// Replayed output was suppressed and the dups were dropped: the
+	// post-recovery buffer holds exactly the one new effect.
+	if got := out2.String(); got != "got 4\n" {
+		t.Fatalf("post-recovery output %q, want %q", got, "got 4\n")
+	}
+	// The export is resolvable at its old name.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	ref, _, err := ns.LookupName(ctx, "svr", "p")
+	if err != nil {
+		t.Fatalf("export lost after recovery: %v", err)
+	}
+	if ref.Site != 1 {
+		t.Fatalf("export resolves to site %d, want 1", ref.Site)
+	}
+}
+
+func TestSiteRecoversByReplayingDeliveryLog(t *testing.T) { journalRecovery(t, 1000) }
+
+func TestSiteRecoversFromCheckpoint(t *testing.T) { journalRecovery(t, 1) }
+
+// TestReplayDeterminism restores the same journal twice and compares
+// the checkpoints the two incarnations produce: byte-identical state is
+// what makes re-shipped operations carry identical identities.
+func TestReplayDeterminism(t *testing.T) {
+	f := journal.NewMemFactory()
+	st, err := f.Open("svr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := nameservice.NewCentral()
+	prog, err := node.CompileSubmission("svr", loopSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out testutil.Buf
+	s := site.New(site.Config{
+		Name: "svr", ID: 1, NodeID: 1,
+		NS: ns, Router: &fakeRouter{}, Out: &out,
+		ImportTimeout: 2 * time.Second,
+		Journal:       site.NewJournal(st), CheckpointEvery: 1000,
+	})
+	if err := s.Load(prog); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run()
+	waitSite(t, func() bool { return s.ExportTableSize() > 0 })
+	for i := int64(1); i <= 5; i++ {
+		if err := s.Deliver(valMsg(wire.OpRef{Site: 9, Epoch: 1, ID: uint64(i)}, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitSite(t, func() bool { return strings.Count(out.String(), "got") == 5 })
+	s.Kill(errors.New("injected fault"))
+	<-s.Done()
+	base, err := st.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snapshotAfterRestore := func(run int) []journal.Record {
+		// Each incarnation restores from an identical copy of the log
+		// and checkpoints immediately (CheckpointEvery 1 + idle).
+		mf := journal.NewMemFactory()
+		cst, err := mf.Open("svr")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rec := range base {
+			if err := cst.Append(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		cns := nameservice.NewCentral()
+		var o testutil.Buf
+		r := recoverSite(t, mf, cns, "svr", &o, 1)
+		waitSite(t, func() bool {
+			recs, err := cst.Records()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rec := range recs {
+				if rec.Kind == site.RecCheckpoint {
+					return true
+				}
+			}
+			return false
+		})
+		r.Stop()
+		<-r.Done()
+		if r.Err() != nil {
+			t.Fatalf("run %d: %v", run, r.Err())
+		}
+		recs, err := cst.Records()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return recs
+	}
+
+	a := snapshotAfterRestore(1)
+	b := snapshotAfterRestore(2)
+	if len(a) != len(b) {
+		t.Fatalf("restored logs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Kind != b[i].Kind || string(a[i].Data) != string(b[i].Data) {
+			t.Fatalf("restored logs diverge at record %d (kind %d vs %d, %d vs %d bytes)",
+				i, a[i].Kind, b[i].Kind, len(a[i].Data), len(b[i].Data))
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("no records after restore")
+	}
+}

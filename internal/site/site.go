@@ -33,6 +33,7 @@ import (
 	"repro/internal/nameservice"
 	"repro/internal/types"
 	"repro/internal/vm"
+	"repro/internal/wire"
 )
 
 // Addr locates a site in the network.
@@ -49,6 +50,11 @@ type Delivery struct {
 	// Src is the node the delivery originated on (this node for local
 	// traffic). Termination accounting keys its received counters on it.
 	Src uint32
+	// Op identifies the mobility operation for crash recovery: the
+	// receiving site deduplicates by (Op.Site, Op.ID) and fences
+	// epochs below the sender's highest seen incarnation. Zero for
+	// Resolved deliveries (site-internal).
+	Op wire.OpRef
 	// Msg: a remote method invocation to a local channel.
 	Msg *MsgDelivery
 	// Obj: a migrating object.
@@ -104,15 +110,18 @@ type ResolvedImport struct {
 }
 
 // Router is how a site hands outgoing traffic to its node's TyCOd.
+// Every route carries the operation identity the site assigned — the
+// node stamps it on the wire payload, and receivers use it for
+// crash-recovery deduplication.
 type Router interface {
 	// RouteMsg ships a message to the channel ref.
-	RouteMsg(from *Site, ref vm.NetRef, label string, args []WireVal) error
+	RouteMsg(from *Site, op wire.OpRef, ref vm.NetRef, label string, args []WireVal) error
 	// RouteObj ships a migrated object.
-	RouteObj(from *Site, ref vm.NetRef, unit *asm.Unit, table int, frame []WireVal) error
+	RouteObj(from *Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []WireVal) error
 	// RouteFetch ships a class-code request to the owning site.
-	RouteFetch(from *Site, owner Addr, class string, reqID uint64) error
+	RouteFetch(from *Site, op wire.OpRef, owner Addr, class string, reqID uint64) error
 	// RouteFetchRep ships class code back to the requester.
-	RouteFetchRep(from *Site, to Addr, rep *FetchRepDelivery) error
+	RouteFetchRep(from *Site, op wire.OpRef, to Addr, rep *FetchRepDelivery) error
 }
 
 // Config configures a site.
@@ -132,6 +141,29 @@ type Config struct {
 	PollInterval int
 	// ImportTimeout bounds name-service resolution; 0 means 30s.
 	ImportTimeout time.Duration
+	// Epoch is the site's incarnation number (0 means 1). A supervised
+	// restart runs under the previous incarnation's epoch + 1: the name
+	// service and receiving sites fence anything older.
+	Epoch uint32
+	// Journal, when non-nil, write-ahead-logs the site's program,
+	// handled deliveries, and checkpoints — the substrate of supervised
+	// crash recovery.
+	Journal *Journal
+	// CheckpointEvery is how many handled deliveries accumulate before
+	// the site compacts its journal to a checkpoint at the next stable
+	// idle point; 0 means 64.
+	CheckpointEvery int
+	// LeaseRefresh, when positive, starts a heartbeat that refreshes
+	// the site's name-service lease at this period.
+	LeaseRefresh time.Duration
+	// CheckpointGate, when non-nil, must report true before a
+	// checkpoint may compact the journal. The node wires this to "no
+	// unacked outbound frames": a checkpoint covers the deliveries that
+	// caused this site's past sends, so any such send still unacked at
+	// the transport would be unrecoverable if the site crashed after
+	// compacting — replay starts past it, and only an ack proves the
+	// receiver journaled it.
+	CheckpointGate func() bool
 }
 
 // Site is one DiTyCO site.
@@ -161,6 +193,20 @@ type Site struct {
 
 	// Import bookkeeping.
 	waiting map[int][]vm.Thread // const index -> parked threads
+	// pendingImports tracks imports whose resolution has not landed,
+	// keyed by program constant index — checkpointed so a recovered
+	// site knows which resolvers to respawn.
+	pendingImports map[int]pendingImport
+
+	// Crash-recovery state (site goroutine only).
+	epoch      uint32
+	nextOp     uint64                     // per-incarnation-lineage op counter
+	applied    map[uint32]map[uint64]bool // src site -> op ids applied
+	maxEpoch   map[uint32]uint32          // src site -> highest epoch seen
+	replaying  bool                       // journal replay in progress
+	sinceCkpt  int                        // deliveries since the last checkpoint
+	jl         *Journal
+	restoreLog *RecoveredLog
 
 	// Fetch bookkeeping.
 	nextReq      uint64
@@ -186,11 +232,24 @@ type Site struct {
 	UnitsLinked    uint64
 	ClassesFetched uint64
 	FetchCacheHits uint64
+	// DupDrops counts mobility operations dropped because their
+	// (site, id) was already applied — retransmissions and recovery
+	// re-sends. StaleDrops counts operations fenced for carrying an
+	// epoch below the sender's highest seen incarnation. Checkpoints
+	// counts journal compactions.
+	DupDrops    uint64
+	StaleDrops  uint64
+	Checkpoints uint64
 }
 
 type fetchPending struct {
 	class vm.NetClass
 	calls [][]vm.Value
+}
+
+type pendingImport struct {
+	imp asm.ImportRef
+	sig string // required interface, "" when unchecked
 }
 
 // New creates a site. Call Run (usually via go) to start it.
@@ -204,25 +263,36 @@ func New(cfg Config) *Site {
 	if cfg.ImportTimeout <= 0 {
 		cfg.ImportTimeout = 30 * time.Second
 	}
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
+	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 64
+	}
 	prog := vm.NewProgram()
 	s := &Site{
-		cfg:          cfg,
-		prog:         prog,
-		in:           make(chan Delivery, 1024),
-		stop:         make(chan struct{}),
-		done:         make(chan struct{}),
-		exp:          map[int]uint32{},
-		expRev:       map[uint32]int{},
-		expNames:     map[string]vm.Value{},
-		expNameSigs:  map[string]string{},
-		expClassSigs: map[string]string{},
-		classSigs:    map[vm.NetClass]string{},
-		waiting:      map[int][]vm.Thread{},
-		pendingFetch: map[uint64]*fetchPending{},
-		fetchByClass: map[vm.NetClass]uint64{},
-		fetchCache:   map[vm.NetClass]vm.Value{},
-		sentTo:       map[uint32]uint64{},
-		recvFrom:     map[uint32]uint64{},
+		cfg:            cfg,
+		prog:           prog,
+		in:             make(chan Delivery, 1024),
+		stop:           make(chan struct{}),
+		done:           make(chan struct{}),
+		exp:            map[int]uint32{},
+		expRev:         map[uint32]int{},
+		expNames:       map[string]vm.Value{},
+		expNameSigs:    map[string]string{},
+		expClassSigs:   map[string]string{},
+		classSigs:      map[vm.NetClass]string{},
+		waiting:        map[int][]vm.Thread{},
+		pendingImports: map[int]pendingImport{},
+		pendingFetch:   map[uint64]*fetchPending{},
+		fetchByClass:   map[vm.NetClass]uint64{},
+		fetchCache:     map[vm.NetClass]vm.Value{},
+		sentTo:         map[uint32]uint64{},
+		recvFrom:       map[uint32]uint64{},
+		epoch:          cfg.Epoch,
+		applied:        map[uint32]map[uint64]bool{},
+		maxEpoch:       map[uint32]uint32{},
+		jl:             cfg.Journal,
 	}
 	s.m = vm.NewMachine(prog, cfg.Out, s)
 	s.m.OnPending = func(t vm.Thread, constIdx int) {
@@ -242,6 +312,9 @@ func (s *Site) NodeID() uint32 { return s.cfg.NodeID }
 
 // Addr returns the site's network address.
 func (s *Site) Addr() Addr { return Addr{Site: s.cfg.ID, Node: s.cfg.NodeID} }
+
+// Epoch returns the site's incarnation number.
+func (s *Site) Epoch() uint32 { return s.epoch }
 
 // Machine exposes the underlying VM (benchmarks and tests).
 func (s *Site) Machine() *vm.Machine { return s.m }
@@ -327,6 +400,14 @@ func (s *Site) Stop() {
 	}
 }
 
+// Kill simulates a fail-stop crash: the run loop exits with the given
+// error and no orderly shutdown happens. Fault-injection entry point —
+// a supervised node restarts killed sites from their journals.
+func (s *Site) Kill(err error) {
+	s.setErr(err)
+	s.Stop()
+}
+
 // Done is closed when the run loop has exited.
 func (s *Site) Done() <-chan struct{} { return s.done }
 
@@ -346,8 +427,27 @@ type Program struct {
 // unit (imports become pending constants resolved concurrently), and
 // queues the entry thread. Call before Run.
 func (s *Site) Load(p *Program) error {
-	if err := s.cfg.NS.RegisterSite(s.cfg.Name, s.cfg.ID, s.cfg.NodeID); err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), s.cfg.ImportTimeout)
+	err := s.cfg.NS.RegisterSite(ctx, s.cfg.Name, s.cfg.ID, s.cfg.NodeID, s.epoch)
+	cancel()
+	if err != nil {
 		return fmt.Errorf("site %s: register: %w", s.cfg.Name, err)
+	}
+	if s.jl != nil {
+		// Write-ahead: identity and program first, so a crash at any
+		// later point finds enough in the journal to rebuild from.
+		importSigs := make([]string, len(p.Unit.Imports))
+		for i, imp := range p.Unit.Imports {
+			importSigs[i] = p.ImportSigs[types.ImportKey{Site: imp.Site, Name: imp.Name}]
+		}
+		var w wire.Writer
+		encodeProgramRecord(&w, s.cfg.Name, s.cfg.ID, s.cfg.NodeID, p.Unit, p.ExportNameSigs, p.ExportClassSigs, importSigs)
+		if err := s.jl.Append(RecProgram, w.Bytes()); err != nil {
+			return fmt.Errorf("site %s: journal program: %w", s.cfg.Name, err)
+		}
+		if err := s.jl.Append(RecEpoch, EncodeEpoch(s.epoch)); err != nil {
+			return fmt.Errorf("site %s: journal epoch: %w", s.cfg.Name, err)
+		}
 	}
 	for name, sig := range p.ExportNameSigs {
 		s.expNameSigs[name] = sig
@@ -380,7 +480,9 @@ func (s *Site) Load(p *Program) error {
 	for i, imp := range u.Imports {
 		constIdx := linked.Reloc.Imports[i]
 		s.prog.Consts[constIdx] = vm.Pending(constIdx)
-		go s.resolveImport(imp, constIdx, p.ImportSigs)
+		sig := p.ImportSigs[types.ImportKey{Site: imp.Site, Name: imp.Name}]
+		s.pendingImports[constIdx] = pendingImport{imp: imp, sig: sig}
+		go s.resolveImport(imp, constIdx, sig)
 	}
 	if linked.Entry >= 0 {
 		s.m.Spawn(linked.Entry, nil)
@@ -392,8 +494,10 @@ func (s *Site) Load(p *Program) error {
 // posts the result to the incoming queue. Lookups run under one overall
 // deadline (ImportTimeout) and are retried with exponential backoff on
 // transient failures — a lost connection to the central service must
-// not kill the site while the exporter is alive and well.
-func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, sigs map[types.ImportKey]string) {
+// not kill the site while the exporter is alive and well. An expired
+// lease (nameservice.ErrNameExpired) is the same story: the exporter
+// died, and its supervised restart will revive the entry.
+func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, requiredSig string) {
 	deadline := time.Now().Add(s.cfg.ImportTimeout)
 	backoff := 25 * time.Millisecond
 	var nc vm.NetClass
@@ -425,8 +529,8 @@ func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, sigs map[types.Imp
 		if imp.IsClass {
 			v = vm.NetClassVal(nc)
 		} else {
-			if required, ok := sigs[types.ImportKey{Site: imp.Site, Name: imp.Name}]; ok {
-				err = types.CheckNameCompatible(required, nameSig)
+			if requiredSig != "" {
+				err = types.CheckNameCompatible(requiredSig, nameSig)
 			}
 			if err == nil {
 				if ref.Site == s.cfg.ID {
@@ -448,9 +552,26 @@ func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, sigs map[types.Imp
 
 // Run is the site's scheduler loop: drain the incoming queue, run a
 // slice of threads, and block when idle. It returns when Stop is
-// called or the machine faults.
+// called or the machine faults. A panic on the site goroutine is
+// converted into a site error, so a supervisor watching Done/Err can
+// restart the site instead of losing the process.
 func (s *Site) Run() {
 	defer close(s.done)
+	defer func() {
+		if p := recover(); p != nil {
+			s.setErr(fmt.Errorf("site %s: panic: %v", s.cfg.Name, p))
+		}
+	}()
+	if s.cfg.LeaseRefresh > 0 {
+		go s.keepAlive()
+	}
+	if l := s.restoreLog; l != nil {
+		s.restoreLog = nil
+		if err := s.restore(l); err != nil {
+			s.setErr(fmt.Errorf("site %s: recovery: %w", s.cfg.Name, err))
+			return
+		}
+	}
 	for {
 		// Drain everything already queued.
 		for {
@@ -478,6 +599,28 @@ func (s *Site) Run() {
 		// the termination detector additionally means no thread is
 		// parked on an import and no fetch is in flight.
 		s.idle.Store(len(s.waiting) == 0 && len(s.pendingFetch) == 0)
+		if s.maybeCheckpoint() {
+			// A checkpoint is due but the transport still holds
+			// unacked outbound frames. The ack that opens the gate
+			// arrives without waking this site, so wait with a short
+			// timeout and re-evaluate rather than parking until the
+			// next delivery.
+			t := time.NewTimer(time.Millisecond)
+			select {
+			case d := <-s.in:
+				t.Stop()
+				s.idle.Store(false)
+				if err := s.handle(d); err != nil {
+					s.setErr(err)
+					return
+				}
+			case <-t.C:
+			case <-s.stop:
+				t.Stop()
+				return
+			}
+			continue
+		}
 		select {
 		case d := <-s.in:
 			s.idle.Store(false)
@@ -491,11 +634,82 @@ func (s *Site) Run() {
 	}
 }
 
-// handle processes one incoming-queue item on the site goroutine.
+// keepAlive refreshes the site's name-service lease until the site
+// stops. Errors are ignored: transient service trouble must not kill
+// the site, and a "superseded" verdict means a recovered incarnation
+// took over — this one's traffic is fenced everywhere anyway.
+func (s *Site) keepAlive() {
+	t := time.NewTicker(s.cfg.LeaseRefresh)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LeaseRefresh)
+			_ = s.cfg.NS.KeepAlive(ctx, s.cfg.Name, s.epoch)
+			cancel()
+		case <-s.stop:
+			return
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// handle processes one incoming-queue item on the site goroutine:
+// fence and deduplicate by operation identity, journal (write-ahead),
+// then apply. The dedup key is (site, id) ignoring the epoch — a
+// recovered sender re-ships its pre-crash operations with the same
+// ids under a higher epoch, and those must still read as duplicates.
+// Dropped operations never touch the termination counters: the
+// original acceptance already counted them.
 func (s *Site) handle(d Delivery) error {
+	if !d.Op.IsZero() {
+		if d.Op.Epoch < s.maxEpoch[d.Op.Site] {
+			s.StaleDrops++
+			return nil
+		}
+		if s.applied[d.Op.Site][d.Op.ID] {
+			s.DupDrops++
+			return nil
+		}
+	}
 	if d.Resolved == nil {
 		s.countRecv(d.Src)
 	}
+	if s.jl != nil && !s.replaying && !(d.Resolved != nil && d.Resolved.Err != nil) {
+		// Append before apply: a crash between journal and effect
+		// replays the delivery; a crash between effect and journal
+		// cannot happen. Failed resolutions are not journaled — they
+		// kill the site below, and the restarted incarnation should
+		// retry the lookup rather than replay the failure.
+		data, err := s.encodeDelivery(d)
+		if err != nil {
+			return err
+		}
+		if err := s.jl.Append(RecDelivery, data); err != nil {
+			return fmt.Errorf("site %s: journal delivery: %w", s.cfg.Name, err)
+		}
+	}
+	if err := s.apply(d); err != nil {
+		return err
+	}
+	if !d.Op.IsZero() {
+		if d.Op.Epoch > s.maxEpoch[d.Op.Site] {
+			s.maxEpoch[d.Op.Site] = d.Op.Epoch
+		}
+		ids := s.applied[d.Op.Site]
+		if ids == nil {
+			ids = map[uint64]bool{}
+			s.applied[d.Op.Site] = ids
+		}
+		ids[d.Op.ID] = true
+	}
+	s.sinceCkpt++
+	return nil
+}
+
+// apply performs one delivery's effect on the machine.
+func (s *Site) apply(d Delivery) error {
 	switch {
 	case d.Msg != nil:
 		local, ok := s.lookupExport(d.Msg.Heap)
@@ -546,6 +760,7 @@ func (s *Site) handle(d Delivery) error {
 			s.m.Requeue(t)
 		}
 		delete(s.waiting, r.ConstIdx)
+		delete(s.pendingImports, r.ConstIdx)
 		return nil
 
 	default:

@@ -1,6 +1,7 @@
 package site_test
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/site"
 	"repro/internal/testutil"
 	"repro/internal/vm"
+	"repro/internal/wire"
 )
 
 // fakeRouter records outgoing traffic without delivering it.
@@ -33,22 +35,22 @@ func (f *fakeRouter) nFetches() int {
 	return len(f.fetches)
 }
 
-func (f *fakeRouter) RouteMsg(from *site.Site, ref vm.NetRef, label string, args []site.WireVal) error {
+func (f *fakeRouter) RouteMsg(from *site.Site, op wire.OpRef, ref vm.NetRef, label string, args []site.WireVal) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.msgs = append(f.msgs, label)
 	return nil
 }
-func (f *fakeRouter) RouteObj(from *site.Site, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
+func (f *fakeRouter) RouteObj(from *site.Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
 	return nil
 }
-func (f *fakeRouter) RouteFetch(from *site.Site, owner site.Addr, class string, reqID uint64) error {
+func (f *fakeRouter) RouteFetch(from *site.Site, op wire.OpRef, owner site.Addr, class string, reqID uint64) error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.fetches = append(f.fetches, class)
 	return nil
 }
-func (f *fakeRouter) RouteFetchRep(from *site.Site, to site.Addr, rep *site.FetchRepDelivery) error {
+func (f *fakeRouter) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *site.FetchRepDelivery) error {
 	return nil
 }
 
@@ -140,10 +142,10 @@ func TestSiteExportTableGrowsOnEgress(t *testing.T) {
 	// The client sends a locally created reply channel to a remote
 	// ref: that channel must enter the export table.
 	ns := nameservice.NewCentral()
-	if err := ns.RegisterSite("far", 9, 9); err != nil {
+	if err := ns.RegisterSite(context.Background(), "far", 9, 9, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.RegisterName("far", "svc", 1, ""); err != nil {
+	if err := ns.RegisterName(context.Background(), "far", "svc", 1, ""); err != nil {
 		t.Fatal(err)
 	}
 	prog, err := node.CompileSubmission("client", `
@@ -163,10 +165,10 @@ import svc from far in new r (svc!call[r])`)
 func TestSiteFetchCoalescing(t *testing.T) {
 	fr := &fakeRouter{}
 	ns := nameservice.NewCentral()
-	if err := ns.RegisterSite("lib", 9, 9); err != nil {
+	if err := ns.RegisterSite(context.Background(), "lib", 9, 9, 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := ns.RegisterClass("lib", "K", "class/1"); err != nil {
+	if err := ns.RegisterClass(context.Background(), "lib", "K", "class/1"); err != nil {
 		t.Fatal(err)
 	}
 	prog, err := node.CompileSubmission("client", `
@@ -192,12 +194,12 @@ import K from lib in (K[1] | K[2] | K[3])`)
 func TestSiteDynamicClassArityCheck(t *testing.T) {
 	fr := &fakeRouter{}
 	ns := nameservice.NewCentral()
-	if err := ns.RegisterSite("lib", 9, 9); err != nil {
+	if err := ns.RegisterSite(context.Background(), "lib", 9, 9, 1); err != nil {
 		t.Fatal(err)
 	}
 	// Exporter declares K with 2 parameters; the client instantiates
 	// with 1 — the dynamic check must fault the client site.
-	if err := ns.RegisterClass("lib", "K", "class/2"); err != nil {
+	if err := ns.RegisterClass(context.Background(), "lib", "K", "class/2"); err != nil {
 		t.Fatal(err)
 	}
 	prog, err := node.CompileSubmission("client", `import K from lib in K[1]`)

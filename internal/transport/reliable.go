@@ -2,6 +2,7 @@ package transport
 
 import (
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -40,6 +41,28 @@ type ReliableConfig struct {
 	// frame abandoned because its peer went down. The frame is the
 	// original payload handed to Send.
 	OnDrop func(dst NodeID, frame []byte, err error)
+	// Epoch is this node incarnation's number, stamped on every data
+	// packet. A receiver seeing a higher epoch from a peer resets that
+	// peer's dedup window (the restarted incarnation has a fresh
+	// sequence space); lower-epoch packets — stragglers from a dead
+	// incarnation — are dropped unacked. Acks echo the data packet's
+	// epoch so a sender ignores acks addressed to its predecessor.
+	Epoch uint32
+	// Park, when true, holds frames for down peers instead of
+	// dropping them: in-flight and newly sent frames are parked and
+	// re-injected on SetPeerUp. Crash recovery needs this — a reply to
+	// a request the receiver deduplicated is never regenerated, so
+	// dropping it on suspicion would lose it forever. Parked frames
+	// are not bounded by Window; they are bounded by the computation
+	// the dead peer is no longer driving.
+	Park bool
+	// OnAccept is called synchronously for every fresh (non-duplicate)
+	// data frame BEFORE its ack is emitted, with the unwrapped
+	// payload. The recovery journal hooks in here: once a frame is
+	// acked the sender will never retransmit it, so it must be logged
+	// first (accepted ⇒ journaled). An error suppresses both ack and
+	// delivery — the sender retransmits later.
+	OnAccept func(src NodeID, payload []byte) error
 }
 
 // ReliableStats counts reliable-layer activity.
@@ -51,6 +74,8 @@ type ReliableStats struct {
 	DupDrops    uint64 // duplicate frames suppressed by the dedup window
 	FailFasts   uint64 // frames abandoned via the peer-down path
 	RawSent     uint64 // best-effort (unsequenced) frames
+	Parked      uint64 // frames parked for a down peer (Park mode)
+	StaleDrops  uint64 // lower-epoch packets dropped unacked
 }
 
 // Reliable layers ack/retransmit delivery on top of any Transport: the
@@ -87,6 +112,8 @@ type Reliable struct {
 	dupDrops    atomic.Uint64
 	failFasts   atomic.Uint64
 	rawSent     atomic.Uint64
+	parked      atomic.Uint64
+	staleDrops  atomic.Uint64
 }
 
 var _ Transport = (*Reliable)(nil)
@@ -95,11 +122,13 @@ var _ Transport = (*Reliable)(nil)
 type sendPeer struct {
 	nextSeq  uint64
 	inflight map[uint64]*unacked
+	parked   []*unacked // held while down (Park mode), seq order
 	down     bool
 	space    *sync.Cond // signaled when window space frees or state flips
 }
 
 type unacked struct {
+	seq      uint64
 	packet   []byte // encoded wire.Packet, ready to retransmit
 	payload  []byte // original frame, for OnDrop
 	deadline time.Time
@@ -108,8 +137,10 @@ type unacked struct {
 
 // recvPeer is the dedup window for one source: floor is the highest
 // sequence number below which everything was delivered; seen holds the
-// delivered sequence numbers above it.
+// delivered sequence numbers above it. epoch is the highest sender
+// incarnation observed; the window is reset when it advances.
 type recvPeer struct {
+	epoch uint32
 	floor uint64
 	seen  map[uint64]bool
 }
@@ -164,7 +195,24 @@ func (r *Reliable) Stats() ReliableStats {
 		DupDrops:    r.dupDrops.Load(),
 		FailFasts:   r.failFasts.Load(),
 		RawSent:     r.rawSent.Load(),
+		Parked:      r.parked.Load(),
+		StaleDrops:  r.staleDrops.Load(),
 	}
+}
+
+// Unacked reports the number of outbound data frames not yet
+// acknowledged by their destination, parked frames included. An acked
+// frame is safe on the receiver (journaled before the ack, when the
+// receiver journals), so a sender crashing with Unacked()==0 loses no
+// sends — site checkpointing gates on this.
+func (r *Reliable) Unacked() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, p := range r.sends {
+		n += len(p.inflight) + len(p.parked)
+	}
+	return n
 }
 
 func (r *Reliable) sendPeerLocked(dst NodeID) *sendPeer {
@@ -190,18 +238,28 @@ func (r *Reliable) Send(dst NodeID, frame []byte) error {
 		r.mu.Unlock()
 		return errClosed
 	}
-	if p.down {
+	if p.down && !r.cfg.Park {
 		r.mu.Unlock()
 		r.failFasts.Add(1)
 		return ErrPeerDown
 	}
 	p.nextSeq++
-	pkt := (&wire.Packet{Type: wire.FData, Src: r.Self(), Seq: p.nextSeq, Payload: frame}).Encode()
-	p.inflight[p.nextSeq] = &unacked{
+	pkt := (&wire.Packet{Type: wire.FData, Src: r.Self(), Epoch: r.cfg.Epoch, Seq: p.nextSeq, Payload: frame}).Encode()
+	u := &unacked{
+		seq:      p.nextSeq,
 		packet:   pkt,
 		payload:  frame,
 		deadline: time.Now().Add(r.cfg.RetransmitTimeout),
 	}
+	if p.down {
+		// Park mode: hold the frame until the peer is revived; its
+		// sequence number is claimed now so re-injection keeps order.
+		p.parked = append(p.parked, u)
+		r.mu.Unlock()
+		r.parked.Add(1)
+		return nil
+	}
+	p.inflight[p.nextSeq] = u
 	r.mu.Unlock()
 	r.dataSent.Add(1)
 	// Transmission failures are treated as loss: the retransmitter owns
@@ -222,7 +280,7 @@ func (r *Reliable) SendBestEffort(dst NodeID, frame []byte) error {
 	}
 	r.mu.Unlock()
 	r.rawSent.Add(1)
-	pkt := (&wire.Packet{Type: wire.FRaw, Src: r.Self(), Payload: frame}).Encode()
+	pkt := (&wire.Packet{Type: wire.FRaw, Src: r.Self(), Epoch: r.cfg.Epoch, Payload: frame}).Encode()
 	return r.inner.Send(dst, pkt)
 }
 
@@ -238,13 +296,27 @@ func (r *Reliable) SetPeerDown(dst NodeID) {
 }
 
 // SetPeerUp clears the peer-down state (the failure detector trusts
-// the peer again, e.g. after a partition heals).
+// the peer again, e.g. after a partition heals or a supervised node
+// restarts). In Park mode the frames held while the peer was down are
+// re-injected into the in-flight window and transmitted.
 func (r *Reliable) SetPeerUp(dst NodeID) {
+	now := time.Now()
 	r.mu.Lock()
 	p := r.sendPeerLocked(dst)
 	p.down = false
+	parked := p.parked
+	p.parked = nil
+	for _, u := range parked {
+		u.retries = 0
+		u.deadline = now.Add(r.cfg.RetransmitTimeout)
+		p.inflight[u.seq] = u
+	}
 	p.space.Broadcast()
 	r.mu.Unlock()
+	for _, u := range parked {
+		r.dataSent.Add(1)
+		_ = r.inner.Send(dst, u.packet)
+	}
 }
 
 // PeerDown reports whether dst is currently declared down.
@@ -255,16 +327,24 @@ func (r *Reliable) PeerDown(dst NodeID) bool {
 	return ok && p.down
 }
 
-// markDownLocked flips a peer down and strips its in-flight frames.
+// markDownLocked flips a peer down and strips its in-flight frames:
+// parked for later re-injection in Park mode, returned for OnDrop
+// reporting otherwise.
 func (r *Reliable) markDownLocked(p *sendPeer) []*unacked {
 	p.down = true
-	failed := make([]*unacked, 0, len(p.inflight))
+	stripped := make([]*unacked, 0, len(p.inflight))
 	for _, u := range p.inflight {
-		failed = append(failed, u)
+		stripped = append(stripped, u)
 	}
 	p.inflight = map[uint64]*unacked{}
 	p.space.Broadcast()
-	return failed
+	if r.cfg.Park {
+		sort.Slice(stripped, func(i, j int) bool { return stripped[i].seq < stripped[j].seq })
+		p.parked = append(p.parked, stripped...)
+		r.parked.Add(uint64(len(stripped)))
+		return nil
+	}
+	return stripped
 }
 
 func (r *Reliable) reportDrops(dst NodeID, failed []*unacked) {
@@ -375,14 +455,26 @@ func (r *Reliable) recvLoop() {
 		}
 		switch pkt.Type {
 		case wire.FData:
-			ack := (&wire.Packet{Type: wire.FAck, Src: r.Self(), Seq: pkt.Seq}).Encode()
-			r.acksSent.Add(1)
-			_ = r.inner.Send(pkt.Src, ack)
 			r.mu.Lock()
 			rp, okPeer := r.rcvs[pkt.Src]
 			if !okPeer {
-				rp = &recvPeer{seen: map[uint64]bool{}}
+				rp = &recvPeer{epoch: pkt.Epoch, seen: map[uint64]bool{}}
 				r.rcvs[pkt.Src] = rp
+			}
+			if pkt.Epoch < rp.epoch {
+				// Straggler from a dead incarnation: drop it unacked —
+				// the current incarnation must not see pre-crash ops,
+				// and there is no sender left to ack to.
+				r.mu.Unlock()
+				r.staleDrops.Add(1)
+				continue
+			}
+			if pkt.Epoch > rp.epoch {
+				// The peer restarted under a new incarnation with a
+				// fresh sequence space.
+				rp.epoch = pkt.Epoch
+				rp.floor = 0
+				rp.seen = map[uint64]bool{}
 			}
 			dup := pkt.Seq <= rp.floor || rp.seen[pkt.Seq]
 			if !dup {
@@ -409,6 +501,17 @@ func (r *Reliable) recvLoop() {
 				}
 			}
 			r.mu.Unlock()
+			// Write-ahead discipline: a fresh frame is journaled
+			// (OnAccept) before the ack that releases the sender from
+			// retransmitting it. Duplicates are acked but not logged.
+			if !dup && r.cfg.OnAccept != nil {
+				if err := r.cfg.OnAccept(pkt.Src, pkt.Payload); err != nil {
+					continue // no ack, no delivery; the sender retries
+				}
+			}
+			ack := (&wire.Packet{Type: wire.FAck, Src: r.Self(), Epoch: pkt.Epoch, Seq: pkt.Seq}).Encode()
+			r.acksSent.Add(1)
+			_ = r.inner.Send(pkt.Src, ack)
 			if dup {
 				r.dupDrops.Add(1)
 				continue
@@ -417,6 +520,12 @@ func (r *Reliable) recvLoop() {
 				return
 			}
 		case wire.FAck:
+			if pkt.Epoch != r.cfg.Epoch {
+				// An ack addressed to a previous incarnation of this
+				// node; its sequence space is not ours.
+				r.staleDrops.Add(1)
+				continue
+			}
 			r.mu.Lock()
 			if p, okPeer := r.sends[pkt.Src]; okPeer {
 				if _, inflight := p.inflight[pkt.Seq]; inflight {

@@ -113,6 +113,7 @@ func DecodeEnvelope(data []byte) (*Envelope, error) {
 
 // Msg is a packaged remote method invocation.
 type Msg struct {
+	Op    OpRef
 	To    vm.NetRef // destination channel (its site resolves the heap id)
 	Label string
 	Args  []Value
@@ -121,6 +122,7 @@ type Msg struct {
 // Encode serializes the message payload.
 func (m *Msg) Encode() []byte {
 	var w Writer
+	encodeOpHdr(&w, m.Op, m.To.Site)
 	w.U(uint64(m.To.Heap))
 	w.U(uint64(m.To.Site))
 	w.U(uint64(m.To.Node))
@@ -132,6 +134,10 @@ func (m *Msg) Encode() []byte {
 // DecodeMsg parses a message payload.
 func DecodeMsg(data []byte) (*Msg, error) {
 	r := NewReader(data)
+	op, _, err := decodeOpHdr(r)
+	if err != nil {
+		return nil, err
+	}
 	h, err := r.U()
 	if err != nil {
 		return nil, err
@@ -152,13 +158,14 @@ func DecodeMsg(data []byte) (*Msg, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Msg{To: vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, Label: label, Args: args}, nil
+	return &Msg{Op: op, To: vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, Label: label, Args: args}, nil
 }
 
 // Obj is a migrating object: the byte-code unit containing its method
 // suite (and everything reachable), the table index within that unit,
 // and the σ-translated captured frame.
 type Obj struct {
+	Op    OpRef
 	To    vm.NetRef
 	Unit  []byte // asm.Encode of the extracted unit
 	Table int
@@ -168,6 +175,7 @@ type Obj struct {
 // Encode serializes the object payload.
 func (o *Obj) Encode() []byte {
 	var w Writer
+	encodeOpHdr(&w, o.Op, o.To.Site)
 	w.U(uint64(o.To.Heap))
 	w.U(uint64(o.To.Site))
 	w.U(uint64(o.To.Node))
@@ -180,6 +188,10 @@ func (o *Obj) Encode() []byte {
 // DecodeObj parses an object payload.
 func DecodeObj(data []byte) (*Obj, error) {
 	r := NewReader(data)
+	op, _, err := decodeOpHdr(r)
+	if err != nil {
+		return nil, err
+	}
 	h, err := r.U()
 	if err != nil {
 		return nil, err
@@ -204,11 +216,12 @@ func DecodeObj(data []byte) (*Obj, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Obj{To: vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, Unit: unit, Table: table, Frame: frame}, nil
+	return &Obj{Op: op, To: vm.NetRef{Heap: uint32(h), Site: uint32(s), Node: uint32(n)}, Unit: unit, Table: table, Frame: frame}, nil
 }
 
 // FetchReq asks the class's owning site for its byte-code.
 type FetchReq struct {
+	Op        OpRef
 	Class     string
 	OwnerSite uint32
 	ReqID     uint64
@@ -219,6 +232,7 @@ type FetchReq struct {
 // Encode serializes the fetch request.
 func (f *FetchReq) Encode() []byte {
 	var w Writer
+	encodeOpHdr(&w, f.Op, f.OwnerSite)
 	w.S(f.Class)
 	w.U(uint64(f.OwnerSite))
 	w.U(f.ReqID)
@@ -230,6 +244,10 @@ func (f *FetchReq) Encode() []byte {
 // DecodeFetchReq parses a fetch request.
 func DecodeFetchReq(data []byte) (*FetchReq, error) {
 	r := NewReader(data)
+	op, _, err := decodeOpHdr(r)
+	if err != nil {
+		return nil, err
+	}
 	class, err := r.S()
 	if err != nil {
 		return nil, err
@@ -250,12 +268,13 @@ func DecodeFetchReq(data []byte) (*FetchReq, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FetchReq{Class: class, OwnerSite: uint32(owner), ReqID: id, ReplySite: uint32(rs), ReplyNode: uint32(rn)}, nil
+	return &FetchReq{Op: op, Class: class, OwnerSite: uint32(owner), ReqID: id, ReplySite: uint32(rs), ReplyNode: uint32(rn)}, nil
 }
 
 // FetchRep answers a fetch: the code unit plus the class's identity
 // within it and its σ-translated captured values.
 type FetchRep struct {
+	Op       OpRef
 	ReqID    uint64
 	DstSite  uint32 // requesting site (routing key at the destination node)
 	Err      string // non-empty on failure
@@ -269,6 +288,7 @@ type FetchRep struct {
 // Encode serializes the fetch reply.
 func (f *FetchRep) Encode() []byte {
 	var w Writer
+	encodeOpHdr(&w, f.Op, f.DstSite)
 	w.U(f.ReqID)
 	w.U(uint64(f.DstSite))
 	w.S(f.Err)
@@ -283,6 +303,10 @@ func (f *FetchRep) Encode() []byte {
 // DecodeFetchRep parses a fetch reply.
 func DecodeFetchRep(data []byte) (*FetchRep, error) {
 	r := NewReader(data)
+	op, _, err := decodeOpHdr(r)
+	if err != nil {
+		return nil, err
+	}
 	id, err := r.U()
 	if err != nil {
 		return nil, err
@@ -315,5 +339,5 @@ func DecodeFetchRep(data []byte) (*FetchRep, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &FetchRep{ReqID: id, DstSite: uint32(dst), Err: errs, Class: class, Unit: unit, Group: g, Index: ix, Captured: captured}, nil
+	return &FetchRep{Op: op, ReqID: id, DstSite: uint32(dst), Err: errs, Class: class, Unit: unit, Group: g, Index: ix, Captured: captured}, nil
 }

@@ -13,9 +13,14 @@ import "fmt"
 //	       sequence number; Payload is empty.
 //	FRaw:  Src is the sender node; Seq is unused; Payload is the
 //	       wrapped frame, delivered best-effort with no dedup.
+//
+// Epoch is the sender's incarnation number: a supervised restart of a
+// node comes back with a higher epoch and a fresh sequence space, so
+// receivers key their dedup window by it (see transport.Reliable).
 type Packet struct {
 	Type    FrameType
 	Src     uint32
+	Epoch   uint32
 	Seq     uint64
 	Payload []byte
 }
@@ -25,6 +30,7 @@ func (p *Packet) Encode() []byte {
 	var w Writer
 	w.Byte(byte(p.Type))
 	w.U(uint64(p.Src))
+	w.U(uint64(p.Epoch))
 	w.U(p.Seq)
 	w.B(p.Payload)
 	return w.Bytes()
@@ -46,6 +52,10 @@ func DecodePacket(data []byte) (*Packet, error) {
 	if err != nil {
 		return nil, err
 	}
+	epoch, err := r.U()
+	if err != nil {
+		return nil, err
+	}
 	seq, err := r.U()
 	if err != nil {
 		return nil, err
@@ -57,5 +67,5 @@ func DecodePacket(data []byte) (*Packet, error) {
 	if !r.Done() {
 		return nil, fmt.Errorf("wire: trailing bytes in packet")
 	}
-	return &Packet{Type: FrameType(t), Src: uint32(src), Seq: seq, Payload: payload}, nil
+	return &Packet{Type: FrameType(t), Src: uint32(src), Epoch: uint32(epoch), Seq: seq, Payload: payload}, nil
 }
