@@ -25,9 +25,16 @@ import (
 	"repro/internal/wire"
 )
 
+// benchProgram is one site submission of a benchmark workload.
+type benchProgram struct {
+	node int
+	site string
+	src  string
+}
+
 // runWorkload submits the programs to a fresh cluster and waits for
 // global termination; the caller brackets it with the benchmark timer.
-func runWorkload(b *testing.B, cfg core.ClusterConfig, progs [][3]string, opts map[string][]node.SiteOption) {
+func runWorkload(b *testing.B, cfg core.ClusterConfig, progs []benchProgram, opts map[string][]node.SiteOption) {
 	b.Helper()
 	cl, err := core.NewCluster(cfg)
 	if err != nil {
@@ -35,9 +42,7 @@ func runWorkload(b *testing.B, cfg core.ClusterConfig, progs [][3]string, opts m
 	}
 	defer cl.Stop()
 	for _, p := range progs {
-		nodeIdx := 0
-		fmt.Sscanf(p[0], "%d", &nodeIdx)
-		if _, err := cl.Submit(nodeIdx, p[1], p[2], io.Discard, opts[p[1]]...); err != nil {
+		if _, err := cl.Submit(p.node, p.site, p.src, io.Discard, opts[p.site]...); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -56,6 +61,19 @@ func mustLink(name string) transport.LinkModel {
 	return m
 }
 
+// pingClient builds the standard ping-pong client: w concurrent
+// callers, each performing c sequential remote calls against the
+// exported name p.
+func pingClient(w, c int) string {
+	parts := make([]string, w)
+	for i := range parts {
+		parts[i] = fmt.Sprintf("Caller[%d]", c)
+	}
+	return "import p from server in\n" +
+		"def Caller(n) = if n == 0 then inaction else let y = p![n] in Caller[n - 1]\nin " +
+		strings.Join(parts, " | ")
+}
+
 // BenchmarkE1LatencyHiding reports remote calls per second as the
 // number of concurrent caller threads grows (EXPERIMENTS.md E1).
 func BenchmarkE1LatencyHiding(b *testing.B) {
@@ -64,16 +82,11 @@ func BenchmarkE1LatencyHiding(b *testing.B) {
 		for _, link := range []string{"myrinet", "fastether"} {
 			b.Run(fmt.Sprintf("callers=%d/%s", callers, link), func(b *testing.B) {
 				perCaller := b.N/callers + 1
-				parts := make([]string, callers)
-				for i := range parts {
-					parts[i] = fmt.Sprintf("Caller[%d]", perCaller)
-				}
-				client := "import p from server in\n" +
-					"def Caller(n) = if n == 0 then inaction else let y = p![n] in Caller[n - 1]\nin " +
-					strings.Join(parts, " | ")
 				b.ResetTimer()
-				runWorkload(b, core.ClusterConfig{Nodes: 2, Link: mustLink(link)},
-					[][3]string{{"0", "server", server}, {"1", "client", client}}, nil)
+				runWorkload(b, core.ClusterConfig{Nodes: 2, Link: mustLink(link)}, []benchProgram{
+					{node: 0, site: "server", src: server},
+					{node: 1, site: "client", src: pingClient(callers, perCaller)},
+				}, nil)
 				b.ReportMetric(float64(callers*perCaller)/b.Elapsed().Seconds(), "calls/s")
 			})
 		}
@@ -95,23 +108,31 @@ in Call[%d]`, n)
 def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p])
 and Call(p, n) = if n == 0 then inaction else let y = p![n] in Call[p, n - 1]
 in new p (Serve[p] | Call[p, %d])`, b.N)
-		runWorkload(b, core.ClusterConfig{Nodes: 1}, [][3]string{{"0", "solo", src}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 1}, []benchProgram{{node: 0, site: "solo", src: src}}, nil)
 	})
 	b.Run("same-node", func(b *testing.B) {
-		runWorkload(b, core.ClusterConfig{Nodes: 1},
-			[][3]string{{"0", "server", server}, {"0", "client", clientFor(b.N)}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 1}, []benchProgram{
+			{node: 0, site: "server", src: server},
+			{node: 0, site: "client", src: clientFor(b.N)},
+		}, nil)
 	})
 	b.Run("same-node-marshal", func(b *testing.B) {
-		runWorkload(b, core.ClusterConfig{Nodes: 1, ForceMarshalLocal: true},
-			[][3]string{{"0", "server", server}, {"0", "client", clientFor(b.N)}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 1, ForceMarshalLocal: true}, []benchProgram{
+			{node: 0, site: "server", src: server},
+			{node: 0, site: "client", src: clientFor(b.N)},
+		}, nil)
 	})
 	b.Run("cross-node", func(b *testing.B) {
-		runWorkload(b, core.ClusterConfig{Nodes: 2},
-			[][3]string{{"0", "server", server}, {"1", "client", clientFor(b.N)}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 2}, []benchProgram{
+			{node: 0, site: "server", src: server},
+			{node: 1, site: "client", src: clientFor(b.N)},
+		}, nil)
 	})
 	b.Run("cross-node-myrinet", func(b *testing.B) {
-		runWorkload(b, core.ClusterConfig{Nodes: 2, Link: mustLink("myrinet")},
-			[][3]string{{"0", "server", server}, {"1", "client", clientFor(b.N)}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 2, Link: mustLink("myrinet")}, []benchProgram{
+			{node: 0, site: "server", src: server},
+			{node: 1, site: "client", src: clientFor(b.N)},
+		}, nil)
 	})
 }
 
@@ -189,14 +210,22 @@ in Use[%d]`, n)
 	}
 	cfg := core.ClusterConfig{Nodes: 2, Link: mustLink("myrinet")}
 	b.Run("fetch-cached", func(b *testing.B) {
-		runWorkload(b, cfg, [][3]string{{"0", "server", fetchServer}, {"1", "client", fetchClient(b.N)}}, nil)
+		runWorkload(b, cfg, []benchProgram{
+			{node: 0, site: "server", src: fetchServer},
+			{node: 1, site: "client", src: fetchClient(b.N)},
+		}, nil)
 	})
 	b.Run("fetch-nocache", func(b *testing.B) {
-		runWorkload(b, cfg, [][3]string{{"0", "server", fetchServer}, {"1", "client", fetchClient(b.N)}},
-			map[string][]node.SiteOption{"client": {node.WithFetchCacheDisabled()}})
+		runWorkload(b, cfg, []benchProgram{
+			{node: 0, site: "server", src: fetchServer},
+			{node: 1, site: "client", src: fetchClient(b.N)},
+		}, map[string][]node.SiteOption{"client": {node.WithFetchCacheDisabled()}})
 	})
 	b.Run("ship", func(b *testing.B) {
-		runWorkload(b, cfg, [][3]string{{"0", "server", shipServer}, {"1", "client", shipClient(b.N)}}, nil)
+		runWorkload(b, cfg, []benchProgram{
+			{node: 0, site: "server", src: shipServer},
+			{node: 1, site: "client", src: shipClient(b.N)},
+		}, nil)
 	})
 }
 
@@ -208,7 +237,7 @@ func BenchmarkE5RPC(b *testing.B) {
 def Serve(p) = p?(x, r) = (r![x * x] | Serve[p])
 and Call(p, n) = if n == 0 then inaction else let y = p![n] in Call[p, n - 1]
 in new p (Serve[p] | Call[p, %d])`, b.N)
-		runWorkload(b, core.ClusterConfig{Nodes: 1}, [][3]string{{"0", "solo", src}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 1}, []benchProgram{{node: 0, site: "solo", src: src}}, nil)
 	})
 	b.Run("remote-myrinet", func(b *testing.B) {
 		server := `def Serve(p) = p?(x, r) = (r![x * x] | Serve[p]) in export new p Serve[p]`
@@ -216,8 +245,10 @@ in new p (Serve[p] | Call[p, %d])`, b.N)
 import p from server in
 def Call(n) = if n == 0 then inaction else let y = p![n] in Call[n - 1]
 in Call[%d]`, b.N)
-		runWorkload(b, core.ClusterConfig{Nodes: 2, Link: mustLink("myrinet")},
-			[][3]string{{"0", "server", server}, {"1", "client", client}}, nil)
+		runWorkload(b, core.ClusterConfig{Nodes: 2, Link: mustLink("myrinet")}, []benchProgram{
+			{node: 0, site: "server", src: server},
+			{node: 1, site: "client", src: client},
+		}, nil)
 	})
 }
 
@@ -236,12 +267,12 @@ new database (
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			chunks := b.N/workers + 1
-			progs := [][3]string{{"0", "seti", server}}
+			progs := []benchProgram{{node: 0, site: "seti", src: server}}
 			for i := 0; i < workers; i++ {
-				progs = append(progs, [3]string{
-					fmt.Sprintf("%d", 1+i),
-					fmt.Sprintf("worker%d", i),
-					fmt.Sprintf(`import Install from seti in Install[%d]`, chunks),
+				progs = append(progs, benchProgram{
+					node: 1 + i,
+					site: fmt.Sprintf("worker%d", i),
+					src:  fmt.Sprintf(`import Install from seti in Install[%d]`, chunks),
 				})
 			}
 			runWorkload(b, core.ClusterConfig{Nodes: 1 + workers, Link: mustLink("myrinet")}, progs, nil)
@@ -262,6 +293,14 @@ func BenchmarkE7Wire(b *testing.B) {
 	b.Run("msg-encode", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			_ = msg.Encode()
+		}
+	})
+	b.Run("msg-append-pooled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w := wire.GetWriter()
+			msg.AppendPayload(w)
+			wire.PutWriter(w)
 		}
 	})
 	b.Run("msg-decode", func(b *testing.B) {
@@ -320,6 +359,41 @@ func BenchmarkE8Termination(b *testing.B) {
 	}
 }
 
+// BenchmarkE11Batching reports the frame-coalescing fast path against
+// the per-message seed behaviour (EXPERIMENTS.md E11): 128 concurrent
+// callers ping-pong across a reliable 2-node cluster, so the coalescer
+// can pack a full caller window into each FBatch frame. Run with
+// -benchmem to see the allocation economy of the pooled writers.
+func BenchmarkE11Batching(b *testing.B) {
+	server := `def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p]) in export new p Serve[p]`
+	const callers = 128
+	for _, cse := range []struct {
+		name  string
+		batch node.BatchConfig
+	}{
+		{"unbatched", node.BatchConfig{Disable: true}},
+		{"batched", node.BatchConfig{}},
+	} {
+		for _, link := range []string{"fastether", "wan"} {
+			b.Run(cse.name+"/"+link, func(b *testing.B) {
+				perCaller := b.N/callers + 1
+				b.ResetTimer()
+				runWorkload(b, core.ClusterConfig{
+					Nodes:       2,
+					Link:        mustLink(link),
+					Reliability: &transport.ReliableConfig{},
+					Batch:       cse.batch,
+				}, []benchProgram{
+					{node: 0, site: "server", src: server},
+					{node: 1, site: "client", src: pingClient(callers, perCaller)},
+				}, nil)
+				// Each call is one request plus one reply envelope.
+				b.ReportMetric(float64(2*callers*perCaller)/b.Elapsed().Seconds(), "msgs/s")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationPollInterval sweeps the site scheduler's
 // incoming-queue poll interval (the "read periodically" knob of paper
 // §5): small values react to the network quickly but pay polling
@@ -333,12 +407,13 @@ func BenchmarkAblationPollInterval(b *testing.B) {
 import p from server in
 def Call(n) = if n == 0 then inaction else let y = p![n] in Call[n - 1]
 in Call[%d]`, b.N)
-			runWorkload(b, core.ClusterConfig{Nodes: 1},
-				[][3]string{{"0", "server", server}, {"0", "client", client}},
-				map[string][]node.SiteOption{
-					"server": {node.WithPollInterval(k)},
-					"client": {node.WithPollInterval(k)},
-				})
+			runWorkload(b, core.ClusterConfig{Nodes: 1}, []benchProgram{
+				{node: 0, site: "server", src: server},
+				{node: 0, site: "client", src: client},
+			}, map[string][]node.SiteOption{
+				"server": {node.WithPollInterval(k)},
+				"client": {node.WithPollInterval(k)},
+			})
 		})
 	}
 }

@@ -2,16 +2,22 @@
 // EXPERIMENTS.md (the evaluation this paper's prototype never
 // published — see DESIGN.md for the substitution rationale).
 //
-//	tycobench            # run everything at full scale
-//	tycobench -quick     # CI-sized workloads
-//	tycobench -e e1,e4   # selected experiments
-//	tycobench -list      # list experiments
+//	tycobench                      # run everything at full scale
+//	tycobench -quick               # CI-sized workloads
+//	tycobench -e e1,e4             # selected experiments
+//	tycobench -list                # list experiments
+//	tycobench -json out.json       # also write machine-readable metrics
+//	tycobench -cpuprofile cpu.pb   # pprof CPU profile of the run
+//	tycobench -memprofile mem.pb   # heap profile at exit
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -20,9 +26,12 @@ import (
 
 func main() {
 	var (
-		quick = flag.Bool("quick", false, "shrink workloads (CI mode)")
-		list  = flag.Bool("list", false, "list experiments and exit")
-		sel   = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		quick    = flag.Bool("quick", false, "shrink workloads (CI mode)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		sel      = flag.String("e", "", "comma-separated experiment ids (default: all)")
+		jsonPath = flag.String("json", "", "write collected metrics as JSON to this file (flat map: metric name -> value)")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -33,6 +42,19 @@ func main() {
 		}
 		return
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	want := map[string]bool{}
 	if *sel != "" {
 		for _, id := range strings.Split(*sel, ",") {
@@ -40,6 +62,7 @@ func main() {
 		}
 	}
 	opts := experiments.Options{Quick: *quick}
+	metrics := map[string]float64{}
 	failed := false
 	for _, r := range all {
 		if len(want) > 0 && !want[r.ID] {
@@ -55,6 +78,31 @@ func main() {
 		}
 		fmt.Print(table.Render())
 		fmt.Printf("(%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		for k, v := range table.Metrics {
+			metrics[k] = v
+		}
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(metrics, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*jsonPath, append(out, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "json: %v\n", err)
+			failed = true
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err == nil {
+			runtime.GC()
+			err = pprof.WriteHeapProfile(f)
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			failed = true
+		}
 	}
 	if failed {
 		os.Exit(1)

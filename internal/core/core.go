@@ -130,6 +130,11 @@ type ClusterConfig struct {
 	// Supervise makes every node restart its crashed sites from their
 	// journals (requires Journal).
 	Supervise bool
+	// Batch tunes every node's outbound frame coalescer (size
+	// threshold, flush deadline, on/off). The zero value means
+	// coalescing on with defaults; set Batch.Disable for the unbatched
+	// ablation (experiment E11).
+	Batch node.BatchConfig
 }
 
 // spawnRec remembers a submission so Recover can restore the node's
@@ -240,6 +245,7 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 		CheckpointEvery:   c.cfg.CheckpointEvery,
 		LeaseRefresh:      leaseRefresh,
 		Supervise:         c.cfg.Supervise,
+		Batch:             c.cfg.Batch,
 	})
 	return n, mem, nil
 }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// E11 — frame coalescing: msgs/s and allocs/op vs batch size.
+//
+// The node router packs outbound envelopes into FBatch frames and the
+// reliable layer piggybacks cumulative acks on data, so N application
+// messages should cost far fewer than N wire frames and far fewer
+// than the seed's per-message allocations. Sweep the coalescer's
+// MaxBytes knob (off, 4KB, 32KB, 128KB) over two link profiles:
+// fastether (LAN, 20µs per message) and wan (long fat network, 200µs
+// per message) and report application messages per second, heap
+// allocations per message, and dedicated-ack frames per data frame.
+// Expected shape: batching wins where per-frame overhead dominates
+// the per-byte cost, and ack piggybacking drives acks/data toward
+// zero everywhere. The ablation needs enough concurrent callers to
+// form real batches — with a handful of messages in flight there is
+// nothing to coalesce and the lockstep convoys can even lose to the
+// pipelining of per-message sends.
+func E11(o Options) (*Table, error) {
+	calls := o.scale(200, 30)
+	reps := o.scale(3, 1)
+	const callers = 128
+	links := []string{"fastether", "wan"}
+	if o.Quick {
+		links = []string{"fastether"}
+	}
+	batches := []struct {
+		name string
+		cfg  node.BatchConfig
+	}{
+		{"off", node.BatchConfig{Disable: true}},
+		{"4KB", node.BatchConfig{MaxBytes: 4 << 10}},
+		{"32KB", node.BatchConfig{}},
+		{"128KB", node.BatchConfig{MaxBytes: 128 << 10}},
+	}
+
+	t := &Table{
+		ID:     "E11",
+		Title:  "frame coalescing: throughput & allocation economy vs batch size",
+		Header: []string{"link", "batch", "msgs/s", "allocs/msg", "acks/data"},
+		Notes: []string{
+			fmt.Sprintf("%d callers x %d sequential remote calls, 2 nodes, reliable delivery on; best of %d runs", callers, calls, reps),
+			"batch=off disables the coalescer (seed behaviour); 32KB is the default MaxBytes",
+			"acks/data counts dedicated ack frames only — piggybacked acks ride data for free",
+		},
+	}
+	for _, link := range links {
+		for _, b := range batches {
+			// Best of several reps: a single rep's msgs/s swings with
+			// scheduler noise, which matters when comparing ratios.
+			var perSec, allocs, ackRatio float64
+			for r := 0; r < reps; r++ {
+				cfg := core.ClusterConfig{
+					Nodes:       2,
+					Link:        mustProfile(link),
+					Reliability: &transport.ReliableConfig{},
+					Batch:       b.cfg,
+				}
+				progs := []workloadProgram{
+					{node: 0, site: "server", src: e1Server},
+					{node: 1, site: "client", src: e1Client(callers, calls)},
+				}
+				runtime.GC()
+				var before runtime.MemStats
+				runtime.ReadMemStats(&before)
+				elapsed, cl, err := runWorkload(cfg, progs, 5*time.Minute)
+				if err != nil {
+					return nil, fmt.Errorf("E11 %s batch=%s: %w", link, b.name, err)
+				}
+				var after runtime.MemStats
+				runtime.ReadMemStats(&after)
+				var dataSent, acksSent uint64
+				for i := 0; i < cl.Nodes(); i++ {
+					s := cl.Node(i).Reliable().Stats()
+					dataSent += s.DataSent
+					acksSent += s.AcksSent
+				}
+				cl.Stop()
+
+				// Each call is one request plus one reply envelope.
+				msgs := 2 * callers * calls
+				sec := float64(msgs) / elapsed.Seconds()
+				if sec > perSec {
+					perSec = sec
+					allocs = float64(after.Mallocs-before.Mallocs) / float64(msgs)
+					ackRatio = 0
+					if dataSent > 0 {
+						ackRatio = float64(acksSent) / float64(dataSent)
+					}
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				link, b.name,
+				fmt.Sprintf("%.0f", perSec),
+				fmt.Sprintf("%.1f", allocs),
+				fmt.Sprintf("%.3f", ackRatio),
+			})
+			key := fmt.Sprintf("e11/%s/batch=%s", link, b.name)
+			t.SetMetric(key+"/msgs_per_sec", perSec)
+			t.SetMetric(key+"/allocs_per_msg", allocs)
+			t.SetMetric(key+"/acks_per_data", ackRatio)
+		}
+	}
+	return t, nil
+}

@@ -122,6 +122,7 @@ func CollectReliability(c *stats.Counter, prefix string, s transport.ReliableSta
 	add("data-sent", s.DataSent)
 	add("retransmits", s.Retransmits)
 	add("acks", s.AcksSent)
+	add("acks-piggy", s.AckPiggy)
 	add("dup-drops", s.DupDrops)
 	add("fail-fasts", s.FailFasts)
 	add("raw-sent", s.RawSent)

@@ -26,13 +26,24 @@ import (
 	"repro/internal/transport"
 )
 
-// Table is one experiment's result in printable form.
+// Table is one experiment's result in printable form. Metrics
+// additionally exposes machine-readable values (cmd/tycobench -json
+// collects them into BENCH_*.json for cross-PR tracking).
 type Table struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID      string
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Notes   []string
+	Metrics map[string]float64
+}
+
+// SetMetric records one machine-readable datapoint.
+func (t *Table) SetMetric(key string, v float64) {
+	if t.Metrics == nil {
+		t.Metrics = map[string]float64{}
+	}
+	t.Metrics[key] = v
 }
 
 // Render formats the table with aligned columns.
@@ -108,6 +119,7 @@ func All() []Runner {
 		{"e8", "termination & failure detection (§7)", E8},
 		{"e9", "reliable delivery under chaos (drop, dup, partition)", E9},
 		{"e10", "crash recovery: journal overhead, checkpoint interval", E10},
+		{"e11", "frame coalescing: msgs/s and allocs/op vs batch size", E11},
 	}
 }
 

@@ -1,0 +1,192 @@
+package node
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// BatchConfig tunes the per-peer outbound coalescer that packs
+// multiple envelopes into one FBatch frame before they reach the
+// transport (and, with Reliability on, one FData packet — so a batch
+// of N mobility ops also costs one ack instead of N).
+type BatchConfig struct {
+	// Disable turns coalescing off: every envelope is flushed as its
+	// own frame immediately (the ablation baseline for E11).
+	Disable bool
+	// MaxBytes flushes a peer's batch when it reaches this size
+	// (default 32KB).
+	MaxBytes int
+	// MaxDelay bounds how long a coalesced envelope may wait for
+	// company before a timer flushes it (default 200µs). Sites flush
+	// explicitly before parking idle, so this deadline is a backstop
+	// for steadily-busy sites, not the idle-latency path.
+	MaxDelay time.Duration
+}
+
+func (c BatchConfig) withDefaults() BatchConfig {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 32 << 10
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 200 * time.Microsecond
+	}
+	return c
+}
+
+// coalescer owns one BatchBuilder per destination node. Envelopes are
+// appended (streamed, via wire.Writer — no per-message buffer) and the
+// accumulated frame is flushed on the first of: size threshold, delay
+// deadline, explicit flush (site parking idle, control traffic), or
+// shutdown.
+type coalescer struct {
+	n   *Node
+	cfg BatchConfig
+
+	mu     sync.Mutex
+	peers  map[uint32]*peerBatch
+	timer  *time.Timer
+	armed  bool
+	closed bool
+}
+
+type peerBatch struct {
+	bb  *wire.BatchBuilder
+	due time.Time // deadline of the oldest unflushed envelope
+}
+
+type flushItem struct {
+	dst   uint32
+	frame []byte
+}
+
+func newCoalescer(n *Node, cfg BatchConfig) *coalescer {
+	return &coalescer{n: n, cfg: cfg.withDefaults(), peers: map[uint32]*peerBatch{}}
+}
+
+// enqueue appends one envelope to dst's batch; payload streams the
+// envelope payload into the shared writer. A send error (threshold
+// flush path) surfaces to the routing site like an unbatched send
+// would.
+func (c *coalescer) enqueue(dst uint32, t wire.FrameType, payload func(*wire.Writer)) error {
+	return c.add(dst, t, payload, false)
+}
+
+// enqueueFlush appends one envelope and flushes dst's batch at once:
+// latency-sensitive control traffic (termination probes) rides along
+// with whatever data is already waiting for the peer.
+func (c *coalescer) enqueueFlush(dst uint32, t wire.FrameType, payload func(*wire.Writer)) error {
+	return c.add(dst, t, payload, true)
+}
+
+func (c *coalescer) add(dst uint32, t wire.FrameType, payload func(*wire.Writer), flush bool) error {
+	c.mu.Lock()
+	pb := c.peers[dst]
+	if pb == nil {
+		pb = &peerBatch{bb: wire.NewBatchBuilder()}
+		c.peers[dst] = pb
+	}
+	w := pb.bb.BeginEntry(t, c.n.cfg.ID, dst)
+	payload(w)
+	pb.bb.EndEntry()
+	if flush || c.cfg.Disable || c.closed || pb.bb.Len() >= c.cfg.MaxBytes {
+		frame := pb.bb.TakeFrame()
+		c.mu.Unlock()
+		// Send outside the lock: Reliable.Send may block on window
+		// backpressure, and that must stall only the sending site.
+		return c.n.send(dst, frame)
+	}
+	if pb.bb.Count() == 1 {
+		pb.due = time.Now().Add(c.cfg.MaxDelay)
+		c.armLocked(c.cfg.MaxDelay)
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// armLocked schedules the deadline flush. One shared timer serves all
+// peers; it re-arms itself to the earliest outstanding deadline.
+func (c *coalescer) armLocked(d time.Duration) {
+	if c.armed || c.closed {
+		return
+	}
+	c.armed = true
+	if c.timer == nil {
+		c.timer = time.AfterFunc(d, c.onTimer)
+	} else {
+		c.timer.Reset(d)
+	}
+}
+
+func (c *coalescer) onTimer() {
+	now := time.Now()
+	var out []flushItem
+	c.mu.Lock()
+	var next time.Duration = -1
+	for dst, pb := range c.peers {
+		if pb.bb.Count() == 0 {
+			continue
+		}
+		if !pb.due.After(now) {
+			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
+		} else if wait := pb.due.Sub(now); next < 0 || wait < next {
+			next = wait
+		}
+	}
+	c.armed = false
+	if next >= 0 {
+		c.armLocked(next)
+	}
+	c.mu.Unlock()
+	c.sendAll(out)
+}
+
+// flushAll drains every peer's pending batch. Sites call this (via
+// Node.FlushOutbound) before parking idle, so a lone request/reply
+// never waits out MaxDelay.
+func (c *coalescer) flushAll() {
+	var out []flushItem
+	c.mu.Lock()
+	for dst, pb := range c.peers {
+		if pb.bb.Count() > 0 {
+			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
+		}
+	}
+	c.mu.Unlock()
+	c.sendAll(out)
+}
+
+func (c *coalescer) sendAll(out []flushItem) {
+	for _, f := range out {
+		// Transmission failures here are loss, which the reliable
+		// layer (when on) recovers; there is no site left on this
+		// path to surface an error to.
+		_ = c.n.send(f.dst, f.frame)
+	}
+}
+
+// pending counts coalesced-but-unsent envelopes. The checkpoint gate
+// includes it: a frame sitting here is invisible to Reliable.Unacked,
+// and a checkpoint must not presume it delivered.
+func (c *coalescer) pending() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, pb := range c.peers {
+		n += pb.bb.Count()
+	}
+	return n
+}
+
+// close flushes leftovers and stops the timer; later enqueues flush
+// through immediately.
+func (c *coalescer) close() {
+	c.mu.Lock()
+	c.closed = true
+	if c.timer != nil {
+		c.timer.Stop()
+	}
+	c.mu.Unlock()
+	c.flushAll()
+}

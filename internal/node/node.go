@@ -76,6 +76,9 @@ type Config struct {
 	// replaying their journal under an incremented epoch. Requires
 	// Journals.
 	Supervise bool
+	// Batch tunes the outbound frame coalescer (on by default; see
+	// BatchConfig).
+	Batch BatchConfig
 }
 
 // maxRestarts bounds supervised restarts per site: a deterministically
@@ -87,8 +90,9 @@ type Node struct {
 	cfg Config
 	// tr is the effective transport: cfg.Transport, possibly wrapped in
 	// the reliable delivery layer.
-	tr  transport.Transport
-	rel *transport.Reliable
+	tr   transport.Transport
+	rel  *transport.Reliable
+	coal *coalescer
 
 	mu       sync.Mutex
 	sites    map[uint32]*site.Site
@@ -161,6 +165,7 @@ func New(cfg Config) *Node {
 		n.rel = transport.NewReliable(cfg.Transport, relCfg)
 		n.tr = n.rel
 	}
+	n.coal = newCoalescer(n, cfg.Batch)
 	n.onControl.Store(&cfg.OnControl)
 	go n.tycod()
 	return n
@@ -182,8 +187,19 @@ func (n *Node) DeliveryFailures() uint64 { return n.deliveryFailures.Load() }
 // Without a reliable layer, frames are never retransmitted anyway, so
 // there is nothing to wait for.
 func (n *Node) checkpointGate() bool {
+	// Coalesced-but-unsent envelopes are invisible to Unacked, so the
+	// gate counts them too: a checkpoint must not presume a frame
+	// delivered while it still sits in the outbound batch.
+	if n.coal.pending() > 0 {
+		return false
+	}
 	return n.rel == nil || n.rel.Unacked() == 0
 }
+
+// FlushOutbound drains every coalesced outbound batch immediately.
+// Sites call it (through an optional Router interface check) before
+// parking idle, so a lone message never waits out the batch deadline.
+func (n *Node) FlushOutbound() { n.coal.flushAll() }
 
 // journalFor returns the destination site's journal handle (nil when
 // the site is unjournaled or unknown).
@@ -198,12 +214,39 @@ func (n *Node) journalFor(siteID uint32) *site.Journal {
 // site whose journal is not open yet (the node is mid-recovery) is
 // refused too — the sender retransmits until recovery re-registers the
 // site, so nothing is acknowledged into the void.
+// Accept-before-ack holds per envelope: every entry of a batch is
+// journaled before the single ack covering the whole batch can go
+// out. An error refuses the batch unacked — the sender retransmits it,
+// and entries journaled by the failed attempt are deduplicated at
+// replay by their (site, id) op refs.
 func (n *Node) acceptFrame(src transport.NodeID, frame []byte) error {
-	env, err := wire.DecodeEnvelope(frame)
-	if err != nil {
+	if wire.IsBatch(frame) {
+		it, err := wire.NewBatchIter(frame)
+		if err != nil {
+			return nil // undecodable frames are acked; dispatch reports them
+		}
+		var env wire.Envelope
+		for {
+			ok, err := it.Next(&env)
+			if err != nil || !ok {
+				return nil
+			}
+			if err := n.acceptEnvelope(&env); err != nil {
+				return err
+			}
+		}
+	}
+	var env wire.Envelope
+	if err := wire.DecodeEnvelopeInto(&env, frame); err != nil {
 		// Undecodable frames are acked; dispatch reports them.
 		return nil
 	}
+	return n.acceptEnvelope(&env)
+}
+
+// acceptEnvelope journals one mobility envelope in its destination
+// site's log, or refuses the ack.
+func (n *Node) acceptEnvelope(env *wire.Envelope) error {
 	switch env.Type {
 	case wire.FMsg, wire.FObj, wire.FFetchReq, wire.FFetchRep:
 	default:
@@ -485,6 +528,7 @@ func (n *Node) Stop() {
 	for _, s := range sites {
 		<-s.Done()
 	}
+	n.coal.close()
 	select {
 	case <-n.stop:
 	default:
@@ -517,13 +561,15 @@ func (n *Node) SendControl(t wire.FrameType, dst uint32, payload []byte) error {
 		}
 		return nil
 	}
-	env := &wire.Envelope{Type: t, SrcNode: n.cfg.ID, DstNode: dst, Payload: payload}
 	if t == wire.FHeartbeat && n.rel != nil {
 		// Heartbeats stay best-effort: retransmitting one to a dead
 		// peer would mask exactly the loss the detector listens for.
+		env := &wire.Envelope{Type: t, SrcNode: n.cfg.ID, DstNode: dst, Payload: payload}
 		return n.rel.SendBestEffort(dst, env.Encode())
 	}
-	return n.send(dst, env.Encode())
+	// Control probes flush immediately, riding along with (not waiting
+	// for) any data already coalesced for the peer.
+	return n.coal.enqueueFlush(dst, t, func(w *wire.Writer) { w.Raw(payload) })
 }
 
 // tycod is the communication daemon: it drains the transport and
@@ -546,12 +592,44 @@ func (n *Node) tycod() {
 	}
 }
 
-// dispatch decodes one transport frame and delivers it.
+// dispatch decodes one transport frame — a plain envelope or a batch
+// of them — and delivers it. A bad entry mid-batch doesn't block the
+// rest: each envelope delivers independently (TyCO's asynchronous
+// semantics order nothing between them) and the first error is
+// reported.
 func (n *Node) dispatch(frame []byte) error {
-	env, err := wire.DecodeEnvelope(frame)
-	if err != nil {
+	if wire.IsBatch(frame) {
+		it, err := wire.NewBatchIter(frame)
+		if err != nil {
+			return fmt.Errorf("node %d: bad batch: %w", n.cfg.ID, err)
+		}
+		var firstErr error
+		var env wire.Envelope
+		for {
+			ok, err := it.Next(&env)
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("node %d: bad batch entry: %w", n.cfg.ID, err)
+				}
+				return firstErr
+			}
+			if !ok {
+				return firstErr
+			}
+			if err := n.dispatchEnvelope(&env); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	var env wire.Envelope
+	if err := wire.DecodeEnvelopeInto(&env, frame); err != nil {
 		return fmt.Errorf("node %d: bad frame: %w", n.cfg.ID, err)
 	}
+	return n.dispatchEnvelope(&env)
+}
+
+// dispatchEnvelope delivers one decoded envelope.
+func (n *Node) dispatchEnvelope(env *wire.Envelope) error {
 	switch env.Type {
 	case wire.FMsg, wire.FObj, wire.FFetchReq, wire.FFetchRep:
 		d, dstSite, err := site.DecodePayload(env.Type, env.SrcNode, env.Payload)

@@ -12,78 +12,70 @@ import (
 // for the transport — the three-step remote interaction of paper
 // section 5. Every mobility operation carries the sender's OpRef so
 // receivers can deduplicate replays and fence dead incarnations.
+//
+// Remote routes stream their payload straight into the destination
+// peer's coalesced batch (one pooled wire.Writer per peer, no
+// intermediate per-message buffer); the coalescer decides when the
+// accumulated frame actually hits the transport.
 
 var _ site.Router = (*Node)(nil)
 
 // RouteMsg implements site.Router.
 func (n *Node) RouteMsg(from *site.Site, op wire.OpRef, ref vm.NetRef, label string, args []site.WireVal) error {
-	payload := func() []byte {
-		return (&wire.Msg{Op: op, To: ref, Label: label, Args: args}).Encode()
-	}
+	m := wire.Msg{Op: op, To: ref, Label: label, Args: args}
 	if ref.Node == n.cfg.ID {
 		d := site.Delivery{Op: op, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
-		return n.toLocal(ref.Site, d, wire.FMsg, payload, true)
+		return n.toLocal(ref.Site, d, wire.FMsg, m.Encode, true)
 	}
-	env := &wire.Envelope{
-		Type: wire.FMsg, SrcNode: n.cfg.ID, DstNode: ref.Node,
-		Payload: payload(),
-	}
-	return n.send(ref.Node, env.Encode())
+	return n.coal.enqueue(ref.Node, wire.FMsg, m.AppendPayload)
 }
 
 // RouteObj implements site.Router.
 func (n *Node) RouteObj(from *site.Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
-	payload := func() []byte {
-		return (&wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode()
-	}
 	if ref.Node == n.cfg.ID {
+		payload := func() []byte {
+			return (&wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode()
+		}
 		d := site.Delivery{Op: op, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
 		return n.toLocal(ref.Site, d, wire.FObj, payload, true)
 	}
-	env := &wire.Envelope{
-		Type: wire.FObj, SrcNode: n.cfg.ID, DstNode: ref.Node,
-		Payload: payload(),
-	}
-	return n.send(ref.Node, env.Encode())
+	o := wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}
+	return n.coal.enqueue(ref.Node, wire.FObj, o.AppendPayload)
 }
 
 // RouteFetch implements site.Router.
 func (n *Node) RouteFetch(from *site.Site, op wire.OpRef, owner site.Addr, class string, reqID uint64) error {
-	payload := func() []byte {
-		return (&wire.FetchReq{
-			Op: op, Class: class, OwnerSite: owner.Site, ReqID: reqID,
-			ReplySite: from.ID(), ReplyNode: n.cfg.ID,
-		}).Encode()
+	f := wire.FetchReq{
+		Op: op, Class: class, OwnerSite: owner.Site, ReqID: reqID,
+		ReplySite: from.ID(), ReplyNode: n.cfg.ID,
 	}
 	if owner.Node == n.cfg.ID {
 		d := site.Delivery{Op: op, Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}}
-		return n.toLocal(owner.Site, d, wire.FFetchReq, payload, false)
+		return n.toLocal(owner.Site, d, wire.FFetchReq, f.Encode, false)
 	}
-	env := &wire.Envelope{
-		Type: wire.FFetchReq, SrcNode: n.cfg.ID, DstNode: owner.Node,
-		Payload: payload(),
-	}
-	return n.send(owner.Node, env.Encode())
+	return n.coal.enqueue(owner.Node, wire.FFetchReq, f.AppendPayload)
 }
 
 // RouteFetchRep implements site.Router.
 func (n *Node) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *site.FetchRepDelivery) error {
-	payload := func() []byte {
-		var unitBytes []byte
-		if rep.Unit != nil {
-			unitBytes = asm.Encode(rep.Unit)
-		}
-		return (&wire.FetchRep{
-			Op: op, ReqID: rep.ReqID, DstSite: to.Site, Err: rep.Err, Class: rep.Class,
-			Unit: unitBytes, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
-		}).Encode()
+	var unitBytes []byte
+	if rep.Unit != nil && to.Node != n.cfg.ID {
+		unitBytes = asm.Encode(rep.Unit)
+	}
+	f := wire.FetchRep{
+		Op: op, ReqID: rep.ReqID, DstSite: to.Site, Err: rep.Err, Class: rep.Class,
+		Unit: unitBytes, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
 	}
 	if to.Node == n.cfg.ID {
+		payload := func() []byte {
+			var ub []byte
+			if rep.Unit != nil {
+				ub = asm.Encode(rep.Unit)
+			}
+			f.Unit = ub
+			return f.Encode()
+		}
 		return n.toLocal(to.Site, site.Delivery{Op: op, FetchRep: rep}, wire.FFetchRep, payload, false)
 	}
-	env := &wire.Envelope{
-		Type: wire.FFetchRep, SrcNode: n.cfg.ID, DstNode: to.Node,
-		Payload: payload(),
-	}
-	return n.send(to.Node, env.Encode())
+	return n.coal.enqueue(to.Node, wire.FFetchRep, f.AppendPayload)
 }

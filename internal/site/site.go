@@ -139,6 +139,11 @@ type Config struct {
 	// PollInterval is how many threads run between incoming-queue
 	// polls; 0 means 8 (the paper's "read periodically").
 	PollInterval int
+	// InboxBatch bounds how many queued deliveries are handled between
+	// VM slices; 0 means 64. The bound keeps a burst of incoming
+	// frames (a decoded batch) from starving the VM, and a busy VM
+	// from starving the queue.
+	InboxBatch int
 	// ImportTimeout bounds name-service resolution; 0 means 30s.
 	ImportTimeout time.Duration
 	// Epoch is the site's incarnation number (0 means 1). A supervised
@@ -175,6 +180,11 @@ type Site struct {
 	in   chan Delivery
 	stop chan struct{}
 	done chan struct{}
+
+	// flushOut, when the router coalesces outbound frames, forces them
+	// onto the wire; the run loop calls it before parking idle so a
+	// lone message never waits out the router's batch deadline.
+	flushOut func()
 
 	// Export table (paper section 5): local heap index ↔ exported
 	// heap id, for every local variable that leaves the site. The
@@ -269,6 +279,9 @@ func New(cfg Config) *Site {
 	if cfg.CheckpointEvery <= 0 {
 		cfg.CheckpointEvery = 64
 	}
+	if cfg.InboxBatch <= 0 {
+		cfg.InboxBatch = 64
+	}
 	prog := vm.NewProgram()
 	s := &Site{
 		cfg:            cfg,
@@ -293,6 +306,9 @@ func New(cfg Config) *Site {
 		applied:        map[uint32]map[uint64]bool{},
 		maxEpoch:       map[uint32]uint32{},
 		jl:             cfg.Journal,
+	}
+	if f, ok := cfg.Router.(interface{ FlushOutbound() }); ok {
+		s.flushOut = f.FlushOutbound
 	}
 	s.m = vm.NewMachine(prog, cfg.Out, s)
 	s.m.OnPending = func(t vm.Thread, constIdx int) {
@@ -573,18 +589,21 @@ func (s *Site) Run() {
 		}
 	}
 	for {
-		// Drain everything already queued.
-		for {
+		// Drain a bounded batch of queued deliveries: a burst (e.g. an
+		// unpacked FBatch) is handled in bulk rather than one delivery
+		// per VM slice, but cannot starve the VM either.
+		for drained := 0; drained < s.cfg.InboxBatch; drained++ {
+			var d Delivery
 			select {
-			case d := <-s.in:
-				if err := s.handle(d); err != nil {
-					s.setErr(err)
-					return
-				}
-				continue
+			case d = <-s.in:
 			default:
+				drained = s.cfg.InboxBatch
+				continue
 			}
-			break
+			if err := s.handle(d); err != nil {
+				s.setErr(err)
+				return
+			}
 		}
 		// Run a slice of threads.
 		n, err := s.m.RunSlice(s.cfg.PollInterval)
@@ -599,6 +618,12 @@ func (s *Site) Run() {
 		// the termination detector additionally means no thread is
 		// parked on an import and no fetch is in flight.
 		s.idle.Store(len(s.waiting) == 0 && len(s.pendingFetch) == 0)
+		// About to park: anything this site routed out must hit the
+		// wire now — replies we are waiting for may depend on it, and
+		// the checkpoint gate below counts coalesced frames as unacked.
+		if s.flushOut != nil {
+			s.flushOut()
+		}
 		if s.maybeCheckpoint() {
 			// A checkpoint is due but the transport still holds
 			// unacked outbound frames. The ack that opens the gate

@@ -56,6 +56,15 @@ type ReliableConfig struct {
 	// are not bounded by Window; they are bounded by the computation
 	// the dead peer is no longer driving.
 	Park bool
+	// AckDelay is the grace window the receive loop waits, once input
+	// goes idle, before settling ack debts with dedicated ack packets.
+	// The delay gives outbound traffic (a reply batch forming in the
+	// coalescer) a chance to piggyback the acks for free. Bounded: the
+	// window is armed when debt first accumulates, not re-armed per
+	// frame, so a trickle of inbound frames cannot defer acks past one
+	// window. Default 1ms (well under RetransmitTimeout); negative
+	// flushes immediately.
+	AckDelay time.Duration
 	// OnAccept is called synchronously for every fresh (non-duplicate)
 	// data frame BEFORE its ack is emitted, with the unwrapped
 	// payload. The recovery journal hooks in here: once a frame is
@@ -69,13 +78,14 @@ type ReliableConfig struct {
 type ReliableStats struct {
 	DataSent    uint64 // first transmissions of sequenced frames
 	Retransmits uint64 // backoff retransmissions
-	AcksSent    uint64 // acks emitted by the receive side
-	AcksRecv    uint64 // acks consumed by the send side
+	AcksSent    uint64 // dedicated ack packets emitted by the receive side
+	AckPiggy    uint64 // acks piggybacked on outbound data/raw packets
+	AcksRecv    uint64 // in-flight frames cleared by incoming ack state
 	DupDrops    uint64 // duplicate frames suppressed by the dedup window
 	FailFasts   uint64 // frames abandoned via the peer-down path
 	RawSent     uint64 // best-effort (unsequenced) frames
 	Parked      uint64 // frames parked for a down peer (Park mode)
-	StaleDrops  uint64 // lower-epoch packets dropped unacked
+	StaleDrops  uint64 // lower-epoch packets (or stale ack state) dropped
 }
 
 // Reliable layers ack/retransmit delivery on top of any Transport: the
@@ -108,6 +118,7 @@ type Reliable struct {
 	dataSent    atomic.Uint64
 	retransmits atomic.Uint64
 	acksSent    atomic.Uint64
+	ackPiggy    atomic.Uint64
 	acksRecv    atomic.Uint64
 	dupDrops    atomic.Uint64
 	failFasts   atomic.Uint64
@@ -139,11 +150,29 @@ type unacked struct {
 // sequence number below which everything was delivered; seen holds the
 // delivered sequence numbers above it. epoch is the highest sender
 // incarnation observed; the window is reset when it advances.
+//
+// The same state doubles as the cumulative acknowledgement for the
+// peer's stream: floor + seen IS what we have durably accepted, so an
+// ack is just a snapshot of it. ackDirty marks that the peer is owed
+// an ack (fresh frame or retransmitted duplicate since the last one);
+// ackFresh counts frames covered by the owed ack, so a long burst
+// still acks every ackFlushEvery frames even though the dedicated-ack
+// flush normally waits for the input stream to go momentarily idle.
 type recvPeer struct {
-	epoch uint32
-	floor uint64
-	seen  map[uint64]bool
+	epoch    uint32
+	floor    uint64
+	seen     map[uint64]bool
+	ackDirty bool
+	ackFresh int
 }
+
+// ackFlushEvery bounds how many frames a continuous burst can cover
+// before a cumulative ack is forced out mid-burst.
+const ackFlushEvery = 64
+
+// maxSelAcks bounds the selective-ack list per ack packet; seqs beyond
+// it stay in seen and ride the next ack (or the advancing floor).
+const maxSelAcks = 64
 
 // NewReliable wraps a transport in the reliable delivery layer.
 func NewReliable(inner Transport, cfg ReliableConfig) *Reliable {
@@ -161,6 +190,9 @@ func NewReliable(inner Transport, cfg ReliableConfig) *Reliable {
 	}
 	if cfg.DedupWindow <= 0 {
 		cfg.DedupWindow = 4096
+	}
+	if cfg.AckDelay == 0 {
+		cfg.AckDelay = time.Millisecond
 	}
 	r := &Reliable{
 		inner:    inner,
@@ -191,6 +223,7 @@ func (r *Reliable) Stats() ReliableStats {
 		DataSent:    r.dataSent.Load(),
 		Retransmits: r.retransmits.Load(),
 		AcksSent:    r.acksSent.Load(),
+		AckPiggy:    r.ackPiggy.Load(),
 		AcksRecv:    r.acksRecv.Load(),
 		DupDrops:    r.dupDrops.Load(),
 		FailFasts:   r.failFasts.Load(),
@@ -244,7 +277,11 @@ func (r *Reliable) Send(dst NodeID, frame []byte) error {
 		return ErrPeerDown
 	}
 	p.nextSeq++
-	pkt := (&wire.Packet{Type: wire.FData, Src: r.Self(), Epoch: r.cfg.Epoch, Seq: p.nextSeq, Payload: frame}).Encode()
+	out := wire.Packet{Type: wire.FData, Src: r.Self(), Epoch: r.cfg.Epoch, Seq: p.nextSeq, Payload: frame}
+	if r.piggybackLocked(dst, &out) {
+		r.ackPiggy.Add(1)
+	}
+	pkt := out.Encode()
 	u := &unacked{
 		seq:      p.nextSeq,
 		packet:   pkt,
@@ -278,10 +315,113 @@ func (r *Reliable) SendBestEffort(dst NodeID, frame []byte) error {
 		r.mu.Unlock()
 		return errClosed
 	}
+	out := wire.Packet{Type: wire.FRaw, Src: r.Self(), Epoch: r.cfg.Epoch, Payload: frame}
+	piggy := r.piggybackLocked(dst, &out)
 	r.mu.Unlock()
+	if piggy {
+		r.ackPiggy.Add(1)
+	}
 	r.rawSent.Add(1)
-	pkt := (&wire.Packet{Type: wire.FRaw, Src: r.Self(), Epoch: r.cfg.Epoch, Payload: frame}).Encode()
-	return r.inner.Send(dst, pkt)
+	return r.inner.Send(dst, out.Encode())
+}
+
+// piggybackLocked folds any ack owed to dst into an outbound packet,
+// settling the debt: a batch of N inbound data frames answered by one
+// outbound packet costs zero dedicated ack frames.
+func (r *Reliable) piggybackLocked(dst NodeID, out *wire.Packet) bool {
+	rp, ok := r.rcvs[dst]
+	if !ok || !rp.ackDirty {
+		return false
+	}
+	out.AckEpoch = rp.epoch
+	out.AckFloor = rp.floor
+	out.AckSeqs = selAcksLocked(rp)
+	rp.ackDirty = false
+	rp.ackFresh = 0
+	return true
+}
+
+// selAcksLocked snapshots the delivered-above-floor seqs, ascending,
+// capped at maxSelAcks (the lowest ones: oldest in the sender's
+// window). Uncovered seqs remain in seen and ride a later ack.
+func selAcksLocked(rp *recvPeer) []uint64 {
+	if len(rp.seen) == 0 {
+		return nil
+	}
+	sel := make([]uint64, 0, len(rp.seen))
+	for s := range rp.seen {
+		sel = append(sel, s)
+	}
+	sort.Slice(sel, func(i, j int) bool { return sel[i] < sel[j] })
+	if len(sel) > maxSelAcks {
+		sel = sel[:maxSelAcks]
+	}
+	return sel
+}
+
+// applyAck clears in-flight frames covered by ack state received from
+// src: everything at or below the cumulative floor plus the
+// selectively acked seqs above it.
+func (r *Reliable) applyAck(src NodeID, ackEpoch uint32, floor uint64, sel []uint64) {
+	if ackEpoch != r.cfg.Epoch {
+		// Ack state addressed to a previous incarnation of this node;
+		// its sequence space is not ours.
+		r.staleDrops.Add(1)
+		return
+	}
+	cleared := 0
+	r.mu.Lock()
+	if p, ok := r.sends[src]; ok {
+		if floor > 0 {
+			for seq := range p.inflight {
+				if seq <= floor {
+					delete(p.inflight, seq)
+					cleared++
+				}
+			}
+		}
+		for _, s := range sel {
+			if _, inflight := p.inflight[s]; inflight {
+				delete(p.inflight, s)
+				cleared++
+			}
+		}
+		if cleared > 0 {
+			p.space.Broadcast()
+		}
+	}
+	r.mu.Unlock()
+	if cleared > 0 {
+		r.acksRecv.Add(uint64(cleared))
+	}
+}
+
+// flushAcks emits one dedicated cumulative-ack packet per peer owed
+// one. The recv loop calls it whenever the input stream goes
+// momentarily idle — the end of a burst — so N data frames normally
+// cost a single ack frame (or none, if reverse traffic already
+// piggybacked the state).
+func (r *Reliable) flushAcks() {
+	type owed struct {
+		dst NodeID
+		pkt []byte
+	}
+	var out []owed
+	r.mu.Lock()
+	for src, rp := range r.rcvs {
+		if !rp.ackDirty {
+			continue
+		}
+		rp.ackDirty = false
+		rp.ackFresh = 0
+		pkt := wire.Packet{Type: wire.FAck, Src: r.Self(), Epoch: rp.epoch, AckEpoch: rp.epoch, AckFloor: rp.floor, AckSeqs: selAcksLocked(rp)}
+		out = append(out, owed{dst: src, pkt: pkt.Encode()})
+	}
+	r.mu.Unlock()
+	for _, a := range out {
+		r.acksSent.Add(1)
+		_ = r.inner.Send(a.dst, a.pkt)
+	}
 }
 
 // SetPeerDown declares a peer dead: its in-flight frames are abandoned
@@ -427,120 +567,191 @@ func (r *Reliable) retransmitLoop() {
 	}
 }
 
-// recvLoop unwraps incoming packets: data is acked and deduplicated,
-// acks clear the in-flight window, raw frames pass through.
+// recvLoop unwraps incoming packets: data is deduplicated and owed a
+// cumulative ack, incoming ack state clears the in-flight window, raw
+// frames pass through. Dedicated acks are coalesced: they flush when
+// the input stream goes momentarily idle (end of a burst) or every
+// ackFlushEvery frames within a burst, so N data frames cost O(1) ack
+// packets instead of N.
 func (r *Reliable) recvLoop() {
 	defer close(r.recvDone)
 	defer r.recvOnce.Do(func() { close(r.recv) })
 	in := r.inner.Recv()
+	var ackTimer *time.Timer
+	armed := false
+	disarm := func() {
+		if armed {
+			if !ackTimer.Stop() {
+				select {
+				case <-ackTimer.C:
+				default:
+				}
+			}
+			armed = false
+		}
+	}
 	for {
 		var frame []byte
 		var ok bool
 		select {
 		case frame, ok = <-in:
-			if !ok {
-				return
+		default:
+			// Input momentarily idle. Before settling ack debts with
+			// dedicated packets, hold a grace window so outbound traffic
+			// (e.g. a reply batch forming in the coalescer) can piggyback
+			// them. The timer is armed once per debt accumulation — NOT
+			// re-armed per frame — so a trickle of inbound frames cannot
+			// defer acks past one window and trip retransmits.
+			if r.cfg.AckDelay > 0 && r.ackDebt() {
+				if !armed {
+					if ackTimer == nil {
+						ackTimer = time.NewTimer(r.cfg.AckDelay)
+					} else {
+						ackTimer.Reset(r.cfg.AckDelay)
+					}
+					armed = true
+				}
+				select {
+				case frame, ok = <-in:
+				case <-ackTimer.C:
+					armed = false
+					r.flushAcks()
+					continue
+				case <-r.stop:
+					return
+				}
+			} else {
+				disarm()
+				r.flushAcks()
+				select {
+				case frame, ok = <-in:
+				case <-r.stop:
+					return
+				}
 			}
-		case <-r.stop:
+		}
+		if !ok {
 			return
 		}
-		pkt, err := wire.DecodePacket(frame)
-		if err != nil {
-			// Not a reliable-layer packet (peer without the layer);
-			// pass it through untouched.
-			if !r.push(frame) {
-				return
-			}
-			continue
-		}
-		switch pkt.Type {
-		case wire.FData:
-			r.mu.Lock()
-			rp, okPeer := r.rcvs[pkt.Src]
-			if !okPeer {
-				rp = &recvPeer{epoch: pkt.Epoch, seen: map[uint64]bool{}}
-				r.rcvs[pkt.Src] = rp
-			}
-			if pkt.Epoch < rp.epoch {
-				// Straggler from a dead incarnation: drop it unacked —
-				// the current incarnation must not see pre-crash ops,
-				// and there is no sender left to ack to.
-				r.mu.Unlock()
-				r.staleDrops.Add(1)
-				continue
-			}
-			if pkt.Epoch > rp.epoch {
-				// The peer restarted under a new incarnation with a
-				// fresh sequence space.
-				rp.epoch = pkt.Epoch
-				rp.floor = 0
-				rp.seen = map[uint64]bool{}
-			}
-			dup := pkt.Seq <= rp.floor || rp.seen[pkt.Seq]
-			if !dup {
-				rp.seen[pkt.Seq] = true
-				for rp.seen[rp.floor+1] {
-					delete(rp.seen, rp.floor+1)
-					rp.floor++
-				}
-				if len(rp.seen) > r.cfg.DedupWindow {
-					// A gap outlived the window: its sender gave it
-					// up. Slide past the gap so memory stays bounded.
-					min := pkt.Seq
-					for s := range rp.seen {
-						if s < min {
-							min = s
-						}
-					}
-					rp.floor = min
-					delete(rp.seen, min)
-					for rp.seen[rp.floor+1] {
-						rp.floor++
-						delete(rp.seen, rp.floor)
-					}
-				}
-			}
-			r.mu.Unlock()
-			// Write-ahead discipline: a fresh frame is journaled
-			// (OnAccept) before the ack that releases the sender from
-			// retransmitting it. Duplicates are acked but not logged.
-			if !dup && r.cfg.OnAccept != nil {
-				if err := r.cfg.OnAccept(pkt.Src, pkt.Payload); err != nil {
-					continue // no ack, no delivery; the sender retries
-				}
-			}
-			ack := (&wire.Packet{Type: wire.FAck, Src: r.Self(), Epoch: pkt.Epoch, Seq: pkt.Seq}).Encode()
-			r.acksSent.Add(1)
-			_ = r.inner.Send(pkt.Src, ack)
-			if dup {
-				r.dupDrops.Add(1)
-				continue
-			}
-			if !r.push(pkt.Payload) {
-				return
-			}
-		case wire.FAck:
-			if pkt.Epoch != r.cfg.Epoch {
-				// An ack addressed to a previous incarnation of this
-				// node; its sequence space is not ours.
-				r.staleDrops.Add(1)
-				continue
-			}
-			r.mu.Lock()
-			if p, okPeer := r.sends[pkt.Src]; okPeer {
-				if _, inflight := p.inflight[pkt.Seq]; inflight {
-					delete(p.inflight, pkt.Seq)
-					r.acksRecv.Add(1)
-					p.space.Signal()
-				}
-			}
-			r.mu.Unlock()
-		case wire.FRaw:
-			if !r.push(pkt.Payload) {
-				return
-			}
+		if !r.handleFrame(frame) {
+			return
 		}
 	}
+}
+
+// ackDebt reports whether any peer has unflushed ack state.
+func (r *Reliable) ackDebt() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, rp := range r.rcvs {
+		if rp.ackDirty {
+			return true
+		}
+	}
+	return false
+}
+
+// handleFrame processes one raw frame off the wrapped transport; false
+// means the layer is stopping.
+func (r *Reliable) handleFrame(frame []byte) bool {
+	pkt, err := wire.DecodePacket(frame)
+	if err != nil {
+		// Not a reliable-layer packet (peer without the layer); pass
+		// it through untouched.
+		return r.push(frame)
+	}
+	// Ack state piggybacked on data/raw packets is consumed first so
+	// window space frees before any delivery work. (Dedicated FAck
+	// packets are handled in the switch below.)
+	if pkt.Type != wire.FAck && (pkt.AckFloor > 0 || len(pkt.AckSeqs) > 0) {
+		r.applyAck(pkt.Src, pkt.AckEpoch, pkt.AckFloor, pkt.AckSeqs)
+	}
+	switch pkt.Type {
+	case wire.FData:
+		r.mu.Lock()
+		rp, okPeer := r.rcvs[pkt.Src]
+		if !okPeer {
+			rp = &recvPeer{epoch: pkt.Epoch, seen: map[uint64]bool{}}
+			r.rcvs[pkt.Src] = rp
+		}
+		if pkt.Epoch < rp.epoch {
+			// Straggler from a dead incarnation: drop it unacked —
+			// the current incarnation must not see pre-crash ops,
+			// and there is no sender left to ack to.
+			r.mu.Unlock()
+			r.staleDrops.Add(1)
+			return true
+		}
+		if pkt.Epoch > rp.epoch {
+			// The peer restarted under a new incarnation with a
+			// fresh sequence space.
+			rp.epoch = pkt.Epoch
+			rp.floor = 0
+			rp.seen = map[uint64]bool{}
+			rp.ackDirty = false
+			rp.ackFresh = 0
+		}
+		dup := pkt.Seq <= rp.floor || rp.seen[pkt.Seq]
+		r.mu.Unlock()
+		// Write-ahead discipline: a fresh frame is journaled
+		// (OnAccept) before any ack state covering it can exist, so
+		// acked ⇒ journaled. On error nothing is recorded — the seq
+		// stays out of floor/seen, no ack will cover it, and the
+		// sender's retransmit gets a fresh acceptance attempt (were it
+		// marked seen first, the retransmit would be "acked" as a
+		// duplicate without ever having been journaled or delivered).
+		if !dup && r.cfg.OnAccept != nil {
+			if err := r.cfg.OnAccept(pkt.Src, pkt.Payload); err != nil {
+				return true
+			}
+		}
+		r.mu.Lock()
+		if !dup {
+			rp.seen[pkt.Seq] = true
+			for rp.seen[rp.floor+1] {
+				delete(rp.seen, rp.floor+1)
+				rp.floor++
+			}
+			if len(rp.seen) > r.cfg.DedupWindow {
+				// A gap outlived the window: its sender gave it
+				// up. Slide past the gap so memory stays bounded.
+				min := pkt.Seq
+				for s := range rp.seen {
+					if s < min {
+						min = s
+					}
+				}
+				rp.floor = min
+				delete(rp.seen, min)
+				for rp.seen[rp.floor+1] {
+					rp.floor++
+					delete(rp.seen, rp.floor)
+				}
+			}
+		}
+		// Fresh or duplicate, the sender is owed ack state covering
+		// this seq (a duplicate usually means our previous ack was
+		// lost). It flushes at burst end, mid-burst every
+		// ackFlushEvery frames, or piggybacked on reverse traffic —
+		// whichever comes first.
+		rp.ackDirty = true
+		rp.ackFresh++
+		forceFlush := rp.ackFresh >= ackFlushEvery
+		r.mu.Unlock()
+		if forceFlush {
+			r.flushAcks()
+		}
+		if dup {
+			r.dupDrops.Add(1)
+			return true
+		}
+		return r.push(pkt.Payload)
+	case wire.FAck:
+		r.applyAck(pkt.Src, pkt.Epoch, pkt.AckFloor, pkt.AckSeqs)
+	case wire.FRaw:
+		return r.push(pkt.Payload)
+	}
+	return true
 }
 
 // push hands a delivered frame to the consumer; false means the layer

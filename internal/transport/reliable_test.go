@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"repro/internal/transport"
+	"repro/internal/wire"
 )
 
 // reliablePair builds two reliable endpoints over a chaotic fabric.
@@ -252,5 +254,173 @@ func TestReliablePassThroughFromUnwrappedPeer(t *testing.T) {
 		}
 	case <-time.After(time.Second):
 		t.Fatal("raw frame from unwrapped peer lost")
+	}
+}
+
+// rawPeer attaches an unwrapped endpoint next to one reliable
+// endpoint, so tests can hand-craft packets deterministically.
+func rawPeer(t *testing.T) (*transport.Mem, *transport.Reliable, func()) {
+	t.Helper()
+	f := transport.NewFabric(transport.Ideal)
+	raw, err := f.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb, err := f.Attach(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := transport.NewReliable(mb, transport.ReliableConfig{RetransmitTimeout: time.Hour})
+	return raw, rel, func() {
+		rel.Close()
+		f.Close()
+	}
+}
+
+// A single crafted cumulative ack must clear every in-flight frame at
+// or below its floor, plus the selectively acked seqs above it.
+func TestReliableCumulativeAckClearsWindow(t *testing.T) {
+	raw, rel, stop := rawPeer(t)
+	defer stop()
+	for i := 0; i < 5; i++ {
+		if err := rel.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := rel.Unacked(); n != 5 {
+		t.Fatalf("Unacked = %d, want 5", n)
+	}
+	// Floor 3 + selective {5}: leaves only seq 4 in flight.
+	ack := wire.Packet{Type: wire.FAck, Src: 1, AckFloor: 3, AckSeqs: []uint64{5}}
+	if err := raw.Send(2, ack.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitUnacked(t, rel, 1)
+	ack = wire.Packet{Type: wire.FAck, Src: 1, AckFloor: 5}
+	if err := raw.Send(2, ack.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	waitUnacked(t, rel, 0)
+	if st := rel.Stats(); st.AcksRecv != 5 {
+		t.Fatalf("AcksRecv = %d, want 5 cleared frames", st.AcksRecv)
+	}
+}
+
+// Ack state piggybacked on an incoming data packet must both clear the
+// window and deliver the payload.
+func TestReliablePiggybackedAckOnData(t *testing.T) {
+	raw, rel, stop := rawPeer(t)
+	defer stop()
+	for i := 0; i < 3; i++ {
+		if err := rel.Send(1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data := wire.Packet{Type: wire.FData, Src: 1, Seq: 1, AckFloor: 3, Payload: []byte("both")}
+	if err := raw.Send(2, data.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-rel.Recv():
+		if string(got) != "both" {
+			t.Fatalf("payload %q", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("piggybacked data packet not delivered")
+	}
+	waitUnacked(t, rel, 0)
+}
+
+// A stale-epoch ack (addressed to a previous incarnation) must clear
+// nothing.
+func TestReliableStaleEpochAckIgnored(t *testing.T) {
+	raw, rel, stop := rawPeer(t)
+	defer stop()
+	if err := rel.Send(1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	ack := wire.Packet{Type: wire.FAck, Src: 1, Epoch: 9, AckEpoch: 9, AckFloor: 10}
+	if err := raw.Send(2, ack.Encode()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if n := rel.Unacked(); n != 1 {
+		t.Fatalf("stale ack cleared the window: Unacked = %d", n)
+	}
+}
+
+// A burst of N data frames must be answered with O(1) dedicated ack
+// packets (coalesced at burst end), and every frame must still be
+// acked eventually.
+func TestReliableAckCoalescing(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: time.Hour}
+	f := transport.NewFabric(transport.Ideal)
+	defer f.Close()
+	ma, _ := f.Attach(1)
+	mb, _ := f.Attach(2)
+	a := transport.NewReliable(ma, cfg)
+	defer a.Close()
+	b := transport.NewReliable(mb, cfg)
+	defer b.Close()
+	const n = 50
+	for i := 0; i < n; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	collectN(t, b, n, 10*time.Second)
+	waitUnacked(t, a, 0)
+	// The retransmit timeout is an hour: every clearance came from
+	// acks. Coalescing should have used far fewer than n packets.
+	if st := b.Stats(); st.AcksSent >= n/2 {
+		t.Fatalf("%d data frames cost %d dedicated acks — coalescing not effective", n, st.AcksSent)
+	}
+	if st := a.Stats(); st.AcksRecv != n {
+		t.Fatalf("AcksRecv = %d, want %d", st.AcksRecv, n)
+	}
+}
+
+// OnAccept failure must leave the frame unacked so the retransmit is
+// re-offered (not treated as an already-seen duplicate and dropped).
+func TestReliableAcceptFailureGetsRetried(t *testing.T) {
+	f := transport.NewFabric(transport.Ideal)
+	defer f.Close()
+	ma, _ := f.Attach(1)
+	mb, _ := f.Attach(2)
+	a := transport.NewReliable(ma, transport.ReliableConfig{RetransmitTimeout: 5 * time.Millisecond})
+	defer a.Close()
+	var fails atomic.Int32
+	fails.Store(2)
+	b := transport.NewReliable(mb, transport.ReliableConfig{
+		OnAccept: func(src transport.NodeID, payload []byte) error {
+			if fails.Add(-1) >= 0 {
+				return errors.New("journal unavailable")
+			}
+			return nil
+		},
+	})
+	defer b.Close()
+	if err := a.Send(2, []byte("precious")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case got := <-b.Recv():
+		if string(got) != "precious" {
+			t.Fatalf("got %q", got)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame never delivered after OnAccept recovered")
+	}
+	waitUnacked(t, a, 0)
+}
+
+func waitUnacked(t *testing.T, r *transport.Reliable, want int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for r.Unacked() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("Unacked = %d, want %d", r.Unacked(), want)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }

@@ -97,10 +97,17 @@ var (
 	Myrinet = LinkModel{Latency: 10 * time.Microsecond, BytesPerSec: 125e6, PerMessage: 2 * time.Microsecond}
 	// FastEthernet models the 100 Mb/s commodity network.
 	FastEthernet = LinkModel{Latency: 100 * time.Microsecond, BytesPerSec: 12.5e6, PerMessage: 20 * time.Microsecond}
+	// WAN models a long fat network: a 100 Mb/s wide-area path with
+	// millisecond propagation delay and a heavy per-message cost (deep
+	// protocol stack, syscalls, routers touching every packet). Small
+	// frames cost two orders of magnitude more in per-message overhead
+	// than in serialization — the regime where frame coalescing pays
+	// the most (experiment E11).
+	WAN = LinkModel{Latency: 5 * time.Millisecond, BytesPerSec: 12.5e6, PerMessage: 200 * time.Microsecond}
 )
 
 // Profile returns a stock link model by name ("ideal", "myrinet",
-// "fastether"); ok is false for unknown names.
+// "fastether", "wan"); ok is false for unknown names.
 func Profile(name string) (LinkModel, bool) {
 	switch name {
 	case "ideal":
@@ -109,6 +116,8 @@ func Profile(name string) (LinkModel, bool) {
 		return Myrinet, true
 	case "fastether", "fastethernet", "ethernet":
 		return FastEthernet, true
+	case "wan":
+		return WAN, true
 	default:
 		return LinkModel{}, false
 	}

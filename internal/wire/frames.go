@@ -37,6 +37,12 @@ const (
 	// FRaw is a best-effort payload outside the sequence space
 	// (heartbeats: their loss is the failure detector's signal).
 	FRaw
+
+	// FBatch packs several envelopes coalesced for one peer into a
+	// single transport frame (see BatchBuilder). It rides the same
+	// path as a plain envelope — through Reliable as one FData
+	// packet — and is unpacked by the receiving TyCOd.
+	FBatch
 )
 
 func (t FrameType) String() string {
@@ -59,6 +65,8 @@ func (t FrameType) String() string {
 		return "ack"
 	case FRaw:
 		return "raw"
+	case FBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
@@ -73,42 +81,63 @@ type Envelope struct {
 	Payload []byte
 }
 
-// Encode serializes the envelope.
-func (e *Envelope) Encode() []byte {
-	var w Writer
-	w.Byte(byte(e.Type))
-	w.U(uint64(e.SrcNode))
-	w.U(uint64(e.DstNode))
-	w.B(e.Payload)
-	return w.Bytes()
+// AppendEnvelopeHdr writes an envelope header; the payload is whatever
+// the caller appends afterwards (it runs to the end of the frame, so
+// encoders can stream into the writer with no inner length prefix).
+func AppendEnvelopeHdr(w *Writer, t FrameType, src, dst uint32) {
+	w.Byte(byte(t))
+	w.U(uint64(src))
+	w.U(uint64(dst))
 }
 
-// DecodeEnvelope parses an envelope.
-func DecodeEnvelope(data []byte) (*Envelope, error) {
+// AppendTo appends the envelope's encoding to w.
+func (e *Envelope) AppendTo(w *Writer) {
+	AppendEnvelopeHdr(w, e.Type, e.SrcNode, e.DstNode)
+	w.Raw(e.Payload)
+}
+
+// Encode serializes the envelope.
+func (e *Envelope) Encode() []byte {
+	w := GetWriter()
+	e.AppendTo(w)
+	out := w.Detach()
+	PutWriter(w)
+	return out
+}
+
+// DecodeEnvelopeInto parses an envelope into env. The payload
+// sub-slices data (no copy).
+func DecodeEnvelopeInto(env *Envelope, data []byte) error {
 	if len(data) > MaxFrame {
-		return nil, fmt.Errorf("wire: envelope of %d bytes exceeds limit", len(data))
+		return fmt.Errorf("wire: envelope of %d bytes exceeds limit", len(data))
 	}
 	r := NewReader(data)
 	t, err := r.Byte()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	src, err := r.U()
 	if err != nil {
-		return nil, err
+		return err
 	}
 	dst, err := r.U()
 	if err != nil {
+		return err
+	}
+	env.Type = FrameType(t)
+	env.SrcNode = uint32(src)
+	env.DstNode = uint32(dst)
+	env.Payload = r.Rest()
+	return nil
+}
+
+// DecodeEnvelope parses an envelope.
+func DecodeEnvelope(data []byte) (*Envelope, error) {
+	env := new(Envelope)
+	if err := DecodeEnvelopeInto(env, data); err != nil {
 		return nil, err
 	}
-	payload, err := r.B()
-	if err != nil {
-		return nil, err
-	}
-	if !r.Done() {
-		return nil, fmt.Errorf("wire: trailing bytes in envelope")
-	}
-	return &Envelope{Type: FrameType(t), SrcNode: uint32(src), DstNode: uint32(dst), Payload: payload}, nil
+	return env, nil
 }
 
 // Msg is a packaged remote method invocation.
@@ -119,16 +148,23 @@ type Msg struct {
 	Args  []Value
 }
 
-// Encode serializes the message payload.
-func (m *Msg) Encode() []byte {
-	var w Writer
-	encodeOpHdr(&w, m.Op, m.To.Site)
+// AppendPayload appends the message payload to w.
+func (m *Msg) AppendPayload(w *Writer) {
+	encodeOpHdr(w, m.Op, m.To.Site)
 	w.U(uint64(m.To.Heap))
 	w.U(uint64(m.To.Site))
 	w.U(uint64(m.To.Node))
 	w.S(m.Label)
-	EncodeValues(&w, m.Args)
-	return w.Bytes()
+	EncodeValues(w, m.Args)
+}
+
+// Encode serializes the message payload.
+func (m *Msg) Encode() []byte {
+	w := GetWriter()
+	m.AppendPayload(w)
+	out := w.Detach()
+	PutWriter(w)
+	return out
 }
 
 // DecodeMsg parses a message payload.
@@ -172,17 +208,24 @@ type Obj struct {
 	Frame []Value
 }
 
-// Encode serializes the object payload.
-func (o *Obj) Encode() []byte {
-	var w Writer
-	encodeOpHdr(&w, o.Op, o.To.Site)
+// AppendPayload appends the object payload to w.
+func (o *Obj) AppendPayload(w *Writer) {
+	encodeOpHdr(w, o.Op, o.To.Site)
 	w.U(uint64(o.To.Heap))
 	w.U(uint64(o.To.Site))
 	w.U(uint64(o.To.Node))
 	w.B(o.Unit)
 	w.U(uint64(o.Table))
-	EncodeValues(&w, o.Frame)
-	return w.Bytes()
+	EncodeValues(w, o.Frame)
+}
+
+// Encode serializes the object payload.
+func (o *Obj) Encode() []byte {
+	w := GetWriter()
+	o.AppendPayload(w)
+	out := w.Detach()
+	PutWriter(w)
+	return out
 }
 
 // DecodeObj parses an object payload.
@@ -229,16 +272,23 @@ type FetchReq struct {
 	ReplyNode uint32
 }
 
-// Encode serializes the fetch request.
-func (f *FetchReq) Encode() []byte {
-	var w Writer
-	encodeOpHdr(&w, f.Op, f.OwnerSite)
+// AppendPayload appends the fetch request payload to w.
+func (f *FetchReq) AppendPayload(w *Writer) {
+	encodeOpHdr(w, f.Op, f.OwnerSite)
 	w.S(f.Class)
 	w.U(uint64(f.OwnerSite))
 	w.U(f.ReqID)
 	w.U(uint64(f.ReplySite))
 	w.U(uint64(f.ReplyNode))
-	return w.Bytes()
+}
+
+// Encode serializes the fetch request.
+func (f *FetchReq) Encode() []byte {
+	w := GetWriter()
+	f.AppendPayload(w)
+	out := w.Detach()
+	PutWriter(w)
+	return out
 }
 
 // DecodeFetchReq parses a fetch request.
@@ -285,10 +335,9 @@ type FetchRep struct {
 	Captured []Value
 }
 
-// Encode serializes the fetch reply.
-func (f *FetchRep) Encode() []byte {
-	var w Writer
-	encodeOpHdr(&w, f.Op, f.DstSite)
+// AppendPayload appends the fetch reply payload to w.
+func (f *FetchRep) AppendPayload(w *Writer) {
+	encodeOpHdr(w, f.Op, f.DstSite)
 	w.U(f.ReqID)
 	w.U(uint64(f.DstSite))
 	w.S(f.Err)
@@ -296,8 +345,16 @@ func (f *FetchRep) Encode() []byte {
 	w.B(f.Unit)
 	w.U(uint64(f.Group))
 	w.U(uint64(f.Index))
-	EncodeValues(&w, f.Captured)
-	return w.Bytes()
+	EncodeValues(w, f.Captured)
+}
+
+// Encode serializes the fetch reply.
+func (f *FetchRep) Encode() []byte {
+	w := GetWriter()
+	f.AppendPayload(w)
+	out := w.Detach()
+	PutWriter(w)
+	return out
 }
 
 // DecodeFetchRep parses a fetch reply.

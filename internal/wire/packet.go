@@ -4,39 +4,68 @@ import "fmt"
 
 // Packet is the unit exchanged by the reliable delivery layer
 // (transport.Reliable). It sits below Envelope: a data packet's payload
-// is a full encoded envelope; the receiving reliable layer unwraps it
-// before the TyCOd ever sees the frame.
+// is a full encoded envelope (or an FBatch of them); the receiving
+// reliable layer unwraps it before the TyCOd ever sees the frame.
 //
 //	FData: Src is the sender node, Seq its per-(sender,receiver)
 //	       monotone sequence number, Payload the wrapped frame.
-//	FAck:  Src is the acknowledging node, Seq the acknowledged data
-//	       sequence number; Payload is empty.
+//	FAck:  Src is the acknowledging node; Seq is unused. The ack
+//	       fields below carry the cumulative + selective state.
 //	FRaw:  Src is the sender node; Seq is unused; Payload is the
 //	       wrapped frame, delivered best-effort with no dedup.
 //
 // Epoch is the sender's incarnation number: a supervised restart of a
 // node comes back with a higher epoch and a fresh sequence space, so
 // receivers key their dedup window by it (see transport.Reliable).
+//
+// Every packet also carries reverse-direction acknowledgement state
+// (ack piggybacking): AckEpoch is the epoch of the peer's data stream
+// being acknowledged, AckFloor the cumulative floor (every seq ≤ floor
+// is delivered), and AckSeqs selectively acknowledged seqs above the
+// floor. A packet with AckFloor == 0 and no AckSeqs carries no ack
+// information — seqs start at 1, so a zero floor clears nothing.
 type Packet struct {
-	Type    FrameType
-	Src     uint32
-	Epoch   uint32
-	Seq     uint64
-	Payload []byte
+	Type     FrameType
+	Src      uint32
+	Epoch    uint32
+	Seq      uint64
+	AckEpoch uint32
+	AckFloor uint64
+	AckSeqs  []uint64 // ascending, each > AckFloor
+	Payload  []byte
 }
 
-// Encode serializes the packet.
-func (p *Packet) Encode() []byte {
-	var w Writer
+// maxAckSeqs bounds the selective-ack list on decode.
+const maxAckSeqs = 1 << 12
+
+// AppendTo appends the packet's encoding to w.
+func (p *Packet) AppendTo(w *Writer) {
 	w.Byte(byte(p.Type))
 	w.U(uint64(p.Src))
 	w.U(uint64(p.Epoch))
 	w.U(p.Seq)
-	w.B(p.Payload)
-	return w.Bytes()
+	w.U(uint64(p.AckEpoch))
+	w.U(p.AckFloor)
+	w.U(uint64(len(p.AckSeqs)))
+	prev := p.AckFloor
+	for _, s := range p.AckSeqs {
+		w.U(s - prev) // ascending: delta-encode
+		prev = s
+	}
+	w.Raw(p.Payload)
 }
 
-// DecodePacket parses a reliable-layer packet.
+// Encode serializes the packet.
+func (p *Packet) Encode() []byte {
+	w := GetWriter()
+	p.AppendTo(w)
+	out := w.Detach()
+	PutWriter(w)
+	return out
+}
+
+// DecodePacket parses a reliable-layer packet. The payload sub-slices
+// data (no copy).
 func DecodePacket(data []byte) (*Packet, error) {
 	r := NewReader(data)
 	t, err := r.Byte()
@@ -60,12 +89,42 @@ func DecodePacket(data []byte) (*Packet, error) {
 	if err != nil {
 		return nil, err
 	}
-	payload, err := r.B()
+	ackEpoch, err := r.U()
 	if err != nil {
 		return nil, err
 	}
-	if !r.Done() {
-		return nil, fmt.Errorf("wire: trailing bytes in packet")
+	ackFloor, err := r.U()
+	if err != nil {
+		return nil, err
 	}
-	return &Packet{Type: FrameType(t), Src: uint32(src), Epoch: uint32(epoch), Seq: seq, Payload: payload}, nil
+	nAck, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	if nAck > maxAckSeqs {
+		return nil, fmt.Errorf("wire: ack list of %d too large", nAck)
+	}
+	var ackSeqs []uint64
+	if nAck > 0 {
+		ackSeqs = make([]uint64, nAck)
+		prev := ackFloor
+		for i := range ackSeqs {
+			d, err := r.U()
+			if err != nil {
+				return nil, err
+			}
+			prev += d
+			ackSeqs[i] = prev
+		}
+	}
+	return &Packet{
+		Type:     FrameType(t),
+		Src:      uint32(src),
+		Epoch:    uint32(epoch),
+		Seq:      seq,
+		AckEpoch: uint32(ackEpoch),
+		AckFloor: ackFloor,
+		AckSeqs:  ackSeqs,
+		Payload:  r.Rest(),
+	}, nil
 }

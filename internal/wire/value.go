@@ -10,10 +10,10 @@
 package wire
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/vm"
 )
@@ -74,42 +74,95 @@ func (v Value) String() string {
 	}
 }
 
-// Writer appends binary primitives to a buffer.
+// Writer appends binary primitives to a buffer. The zero value is
+// ready to use; hot paths should obtain one from GetWriter so the
+// backing array is recycled across frames.
 type Writer struct {
-	buf bytes.Buffer
+	buf []byte
 }
 
-// Bytes returns the accumulated encoding.
-func (w *Writer) Bytes() []byte { return w.buf.Bytes() }
+// Bytes returns the accumulated encoding. The slice aliases the
+// writer's backing array: it is invalidated by further writes, Reset,
+// or PutWriter. Callers that retain the bytes must copy (see Detach).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Reset truncates the writer, keeping the backing array.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// Detach copies the accumulated encoding into a right-sized slice and
+// resets the writer, so the (possibly pooled) backing array keeps
+// being reused. This is the hand-off point between the pooled encode
+// path and receivers that retain frames indefinitely.
+func (w *Writer) Detach() []byte {
+	out := make([]byte, len(w.buf))
+	copy(out, w.buf)
+	w.buf = w.buf[:0]
+	return out
+}
 
 // U writes an unsigned varint.
-func (w *Writer) U(v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	w.buf.Write(tmp[:n])
-}
+func (w *Writer) U(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
 
 // V writes a signed varint.
-func (w *Writer) V(v int64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(tmp[:], v)
-	w.buf.Write(tmp[:n])
-}
+func (w *Writer) V(v int64) { w.buf = binary.AppendVarint(w.buf, v) }
 
 // S writes a length-prefixed string.
 func (w *Writer) S(s string) {
 	w.U(uint64(len(s)))
-	w.buf.WriteString(s)
+	w.buf = append(w.buf, s...)
 }
 
 // B writes a length-prefixed byte slice.
 func (w *Writer) B(b []byte) {
 	w.U(uint64(len(b)))
-	w.buf.Write(b)
+	w.buf = append(w.buf, b...)
 }
 
+// Raw appends bytes with no length prefix.
+func (w *Writer) Raw(b []byte) { w.buf = append(w.buf, b...) }
+
 // Byte writes one raw byte.
-func (w *Writer) Byte(b byte) { w.buf.WriteByte(b) }
+func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
+
+// Fixed32 reserves a 4-byte little-endian slot and returns its offset
+// for a later Patch32. Batch entry headers use it so payloads can be
+// streamed into the writer before their length is known.
+func (w *Writer) Fixed32() int {
+	off := len(w.buf)
+	w.buf = append(w.buf, 0, 0, 0, 0)
+	return off
+}
+
+// Patch32 overwrites a slot reserved by Fixed32.
+func (w *Writer) Patch32(off int, v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[off:off+4], v)
+}
+
+// maxPooledWriter bounds the backing arrays kept in the pool so one
+// giant frame (e.g. a multi-megabyte code unit) doesn't pin memory.
+const maxPooledWriter = 1 << 20
+
+var writerPool = sync.Pool{New: func() any { return new(Writer) }}
+
+// GetWriter returns an empty pooled writer.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.Reset()
+	return w
+}
+
+// PutWriter recycles a writer obtained from GetWriter. The caller must
+// not hold onto slices returned by Bytes afterwards.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > maxPooledWriter {
+		w.buf = nil
+	}
+	w.Reset()
+	writerPool.Put(w)
+}
 
 // Reader consumes binary primitives from a byte slice.
 type Reader struct {
