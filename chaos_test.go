@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/failure"
 	"repro/internal/journal"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -125,6 +126,7 @@ func TestSetiSurvivesChaosAndWorkerCrash(t *testing.T) {
 		Nodes:       1 + workers,
 		Chaos:       &transport.ChaosConfig{Seed: *chaosSeed, Drop: 0.2, Dup: 0.1, Reorder: 0.1},
 		Reliability: &transport.ReliableConfig{},
+		Telemetry:   &telemetry.Config{Trace: true},
 		Detect:      &core.DetectConfig{Period: 10 * time.Millisecond, SuspectAfter: 80 * time.Millisecond},
 		OnSuspect: func(observer uint32, e failure.Event) {
 			if e.Suspected {
@@ -138,6 +140,7 @@ func TestSetiSurvivesChaosAndWorkerCrash(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Stop()
+	saveTelemetryOnFailure(t, cl)
 
 	serverOut := &lockedWriter{}
 	if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {
@@ -314,6 +317,7 @@ func TestSetiSurvivesServerCrashAndRecovery(t *testing.T) {
 		Nodes:           1 + workers,
 		Chaos:           &transport.ChaosConfig{Seed: *chaosSeed, Drop: 0.05, Dup: 0.05, Reorder: 0.1},
 		Reliability:     &transport.ReliableConfig{},
+		Telemetry:       &telemetry.Config{Trace: true},
 		Detect:          &core.DetectConfig{Period: 10 * time.Millisecond, SuspectAfter: 80 * time.Millisecond},
 		Journal:         jf,
 		CheckpointEvery: 4,
@@ -331,6 +335,7 @@ func TestSetiSurvivesServerCrashAndRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Stop()
+	saveTelemetryOnFailure(t, cl)
 
 	serverOut := &lockedWriter{}
 	if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {

@@ -1,0 +1,140 @@
+// Command benchdiff compares two tycobench -json metric files and
+// gates CI on throughput regressions.
+//
+//	benchdiff baseline.json current.json
+//	benchdiff -threshold 0.3 -gate msgs_per_sec baseline.json current.json
+//
+// It prints a markdown delta table of every shared metric (pipe it
+// into $GITHUB_STEP_SUMMARY) and exits nonzero only when a gating
+// metric — by default any metric whose name contains "msgs_per_sec" —
+// drops by more than the threshold (default 30%). Other metrics are
+// informational: allocation counts and ack ratios drift with the Go
+// runtime, and a hard gate on them would flake.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// doc is the tycobench -json schema. Older files were a flat
+// name→value map; both shapes load.
+type doc struct {
+	Meta    map[string]any     `json:"meta"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return doc{}, err
+	}
+	var d doc
+	if err := json.Unmarshal(data, &d); err == nil && d.Metrics != nil {
+		return d, nil
+	}
+	var flat map[string]float64
+	if err := json.Unmarshal(data, &flat); err != nil {
+		return doc{}, fmt.Errorf("%s: neither {meta,metrics} nor a flat metric map: %w", path, err)
+	}
+	return doc{Metrics: flat}, nil
+}
+
+// delta is one metric's comparison row.
+type delta struct {
+	Name       string
+	Base, Cur  float64
+	Pct        float64 // signed change, fraction of base
+	Gating     bool
+	Regression bool
+}
+
+// compare pairs up shared metrics and flags gating regressions:
+// metrics matching gate that fell more than threshold below baseline.
+func compare(base, cur map[string]float64, gate string, threshold float64) []delta {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]delta, 0, len(names))
+	for _, name := range names {
+		d := delta{Name: name, Base: base[name], Cur: cur[name], Gating: strings.Contains(name, gate)}
+		if d.Base != 0 {
+			d.Pct = (d.Cur - d.Base) / d.Base
+		}
+		d.Regression = d.Gating && d.Base > 0 && d.Pct < -threshold
+		out = append(out, d)
+	}
+	return out
+}
+
+// render formats the markdown delta table plus a verdict line.
+func render(deltas []delta, threshold float64) (string, bool) {
+	var b strings.Builder
+	b.WriteString("| metric | baseline | current | delta | gate |\n")
+	b.WriteString("|---|---:|---:|---:|---|\n")
+	failed := false
+	for _, d := range deltas {
+		gate := ""
+		switch {
+		case d.Regression:
+			gate = "FAIL"
+			failed = true
+		case d.Gating:
+			gate = "ok"
+		}
+		fmt.Fprintf(&b, "| %s | %.3f | %.3f | %+.1f%% | %s |\n", d.Name, d.Base, d.Cur, d.Pct*100, gate)
+	}
+	if failed {
+		fmt.Fprintf(&b, "\n**FAIL**: gated metric regressed more than %.0f%% vs baseline.\n", threshold*100)
+	} else {
+		fmt.Fprintf(&b, "\nNo gated metric regressed more than %.0f%% vs baseline.\n", threshold*100)
+	}
+	return b.String(), failed
+}
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 0.30, "max allowed fractional drop in a gated metric")
+		gate      = flag.String("gate", "msgs_per_sec", "substring selecting the gated metrics")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold 0.3] [-gate msgs_per_sec] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	for key, b := range base.Meta {
+		if c, ok := cur.Meta[key]; ok && fmt.Sprint(b) != fmt.Sprint(c) {
+			fmt.Printf("note: meta %q differs: baseline %v, current %v\n\n", key, b, c)
+		}
+	}
+	deltas := compare(base.Metrics, cur.Metrics, *gate, *threshold)
+	if len(deltas) == 0 {
+		fatal(fmt.Errorf("no shared metrics between %s and %s", flag.Arg(0), flag.Arg(1)))
+	}
+	table, failed := render(deltas, *threshold)
+	fmt.Print(table)
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

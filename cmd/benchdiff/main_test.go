@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// A synthetic 50% msgs/s regression must trip the 30% gate; the same
+// drop in a non-gated metric must not.
+func TestCompareFlagsLargeThroughputRegression(t *testing.T) {
+	base := map[string]float64{
+		"e11/fastether/batch=32KB/msgs_per_sec":   10000,
+		"e11/fastether/batch=32KB/allocs_per_msg": 12,
+	}
+	cur := map[string]float64{
+		"e11/fastether/batch=32KB/msgs_per_sec":   5000, // -50%
+		"e11/fastether/batch=32KB/allocs_per_msg": 24,   // -50% "worse", not gated
+	}
+	deltas := compare(base, cur, "msgs_per_sec", 0.30)
+	var failed []string
+	for _, d := range deltas {
+		if d.Regression {
+			failed = append(failed, d.Name)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "e11/fastether/batch=32KB/msgs_per_sec" {
+		t.Fatalf("expected exactly the msgs_per_sec metric to fail, got %v", failed)
+	}
+	table, bad := render(deltas, 0.30)
+	if !bad {
+		t.Fatalf("render did not report failure:\n%s", table)
+	}
+	if !strings.Contains(table, "FAIL") {
+		t.Fatalf("table missing FAIL marker:\n%s", table)
+	}
+}
+
+func TestCompareAllowsSmallDipAndImprovement(t *testing.T) {
+	base := map[string]float64{
+		"e11/fastether/batch=off/msgs_per_sec":  10000,
+		"e11/fastether/batch=32KB/msgs_per_sec": 20000,
+	}
+	cur := map[string]float64{
+		"e11/fastether/batch=off/msgs_per_sec":  8000,  // -20%: inside threshold
+		"e11/fastether/batch=32KB/msgs_per_sec": 26000, // +30%: improvement
+	}
+	for _, d := range compare(base, cur, "msgs_per_sec", 0.30) {
+		if d.Regression {
+			t.Fatalf("unexpected regression flag on %s (%.1f%%)", d.Name, d.Pct*100)
+		}
+	}
+}
+
+// Metrics present on only one side are ignored rather than failing —
+// experiments come and go across PRs.
+func TestCompareIgnoresUnsharedMetrics(t *testing.T) {
+	base := map[string]float64{"old/msgs_per_sec": 100}
+	cur := map[string]float64{"new/msgs_per_sec": 1}
+	if got := compare(base, cur, "msgs_per_sec", 0.30); len(got) != 0 {
+		t.Fatalf("expected no shared metrics, got %v", got)
+	}
+}
+
+// load accepts both the {meta,metrics} schema and the legacy flat map.
+func TestLoadBothSchemas(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	wrapped := write("wrapped.json", map[string]any{
+		"meta":    map[string]any{"seed": 0, "goVersion": "go1.x"},
+		"metrics": map[string]float64{"a/msgs_per_sec": 5},
+	})
+	flat := write("flat.json", map[string]float64{"a/msgs_per_sec": 5})
+	for _, p := range []string{wrapped, flat} {
+		d, err := load(p)
+		if err != nil {
+			t.Fatalf("load(%s): %v", p, err)
+		}
+		if d.Metrics["a/msgs_per_sec"] != 5 {
+			t.Fatalf("load(%s): metrics = %v", p, d.Metrics)
+		}
+	}
+}

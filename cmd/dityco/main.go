@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/nameservice"
 	"repro/internal/node"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
 
@@ -30,6 +31,8 @@ func main() {
 		ioport  = flag.String("ioport", ":7201", "TyCOi submission listen address")
 		nsAddr  = flag.String("ns", "localhost:7070", "name service address(es), comma-separated for the replicated service")
 		peerStr = flag.String("peers", "", "comma-separated peer list: id=host:port,…")
+		telem   = flag.Bool("telemetry", true, "metrics registry + flight recorder (tycosh stats/trace)")
+		tracing = flag.Bool("trace", false, "causal mobility tracing (adds a trace varint to every envelope; see DESIGN.md §11)")
 	)
 	flag.Parse()
 
@@ -81,11 +84,16 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	var tel *telemetry.Telemetry
+	if *telem {
+		tel = telemetry.New(uint32(*nodeID), telemetry.Config{Trace: *tracing})
+	}
 	n := node.New(node.Config{
 		ID:        uint32(*nodeID),
 		NS:        ns,
 		Transport: tr,
 		Out:       os.Stdout,
+		Telemetry: tel,
 	})
 	ti, err := n.ServeTyCOi(*ioport)
 	if err != nil {

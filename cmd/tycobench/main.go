@@ -7,8 +7,14 @@
 //	tycobench -e e1,e4             # selected experiments
 //	tycobench -list                # list experiments
 //	tycobench -json out.json       # also write machine-readable metrics
+//	tycobench -seed 7              # override seeded components
+//	tycobench -telemetry dump.json # telemetry capture run: write a flight-recorder dump
 //	tycobench -cpuprofile cpu.pb   # pprof CPU profile of the run
 //	tycobench -memprofile mem.pb   # heap profile at exit
+//
+// The -json file is {"meta": {...}, "metrics": {...}}: meta records
+// the seed, Go version and GOMAXPROCS of the run so a baseline can be
+// compared apples-to-apples (cmd/benchdiff prints meta mismatches).
 package main
 
 import (
@@ -24,12 +30,22 @@ import (
 	"repro/internal/experiments"
 )
 
+// benchMeta identifies the machine/run that produced a metrics file.
+type benchMeta struct {
+	Seed       int64  `json:"seed"`
+	GoVersion  string `json:"goVersion"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Quick      bool   `json:"quick"`
+}
+
 func main() {
 	var (
 		quick    = flag.Bool("quick", false, "shrink workloads (CI mode)")
 		list     = flag.Bool("list", false, "list experiments and exit")
 		sel      = flag.String("e", "", "comma-separated experiment ids (default: all)")
-		jsonPath = flag.String("json", "", "write collected metrics as JSON to this file (flat map: metric name -> value)")
+		jsonPath = flag.String("json", "", "write collected metrics as JSON to this file ({meta, metrics})")
+		seed     = flag.Int64("seed", 0, "override seeded components (0 = per-experiment defaults)")
+		telPath  = flag.String("telemetry", "", "run a telemetry capture workload and write the flight-recorder dump to this file")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -61,7 +77,20 @@ func main() {
 			want[strings.TrimSpace(strings.ToLower(id))] = true
 		}
 	}
-	opts := experiments.Options{Quick: *quick}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *telPath != "" {
+		dump, err := experiments.TelemetryCapture(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*telPath, append(dump.JSON(), '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("telemetry dump written to %s\n", *telPath)
+		return
+	}
 	metrics := map[string]float64{}
 	failed := false
 	for _, r := range all {
@@ -83,7 +112,19 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		out, err := json.MarshalIndent(metrics, "", "  ")
+		doc := struct {
+			Meta    benchMeta          `json:"meta"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{
+			Meta: benchMeta{
+				Seed:       *seed,
+				GoVersion:  runtime.Version(),
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+				Quick:      *quick,
+			},
+			Metrics: metrics,
+		}
+		out, err := json.MarshalIndent(doc, "", "  ")
 		if err == nil {
 			err = os.WriteFile(*jsonPath, append(out, '\n'), 0o644)
 		}

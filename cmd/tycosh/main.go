@@ -5,6 +5,12 @@
 //
 //	tycosh -node localhost:7201 -site server server.ty
 //	tycosh -node localhost:7201 -site client -e 'import chat from server in chat!["hi"]'
+//
+// Two positional commands query a telemetry-enabled node instead of
+// submitting a program:
+//
+//	tycosh -node localhost:7201 stats   # metrics registry as JSON
+//	tycosh -node localhost:7201 trace   # mobility trace trees as JSON
 package main
 
 import (
@@ -25,6 +31,12 @@ func main() {
 	)
 	flag.Parse()
 
+	if *site == "" && flag.NArg() == 1 {
+		if cmd := flag.Arg(0); cmd == "stats" || cmd == "trace" {
+			query(*addr, "!"+cmd)
+			return
+		}
+	}
 	if *site == "" {
 		fmt.Fprintln(os.Stderr, "tycosh: -site is required")
 		os.Exit(2)
@@ -53,6 +65,25 @@ func main() {
 		fatal(err)
 	}
 	if err := node.WriteString(conn, src); err != nil {
+		fatal(err)
+	}
+	if _, err := io.Copy(os.Stdout, conn); err != nil {
+		fatal(err)
+	}
+}
+
+// query sends a magic "!stats"/"!trace" submission and streams the
+// node's JSON reply to stdout.
+func query(addr, magic string) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		fatal(err)
+	}
+	defer conn.Close()
+	if err := node.WriteString(conn, magic); err != nil {
+		fatal(err)
+	}
+	if err := node.WriteString(conn, ""); err != nil {
 		fatal(err)
 	}
 	if _, err := io.Copy(os.Stdout, conn); err != nil {

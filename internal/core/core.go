@@ -29,6 +29,7 @@ import (
 	"repro/internal/node"
 	"repro/internal/site"
 	"repro/internal/syntax"
+	"repro/internal/telemetry"
 	"repro/internal/termination"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -135,6 +136,15 @@ type ClusterConfig struct {
 	// coalescing on with defaults; set Batch.Disable for the unbatched
 	// ablation (experiment E11).
 	Batch node.BatchConfig
+	// Telemetry, when non-nil, turns on the observability fabric
+	// (DESIGN.md §11) on every node: metrics registry, mobility
+	// tracing, flight recorder. Read it back via Cluster.Telemetry.
+	// The zero Config is a fine default.
+	Telemetry *telemetry.Config
+	// CrashDumpDir, when set with Telemetry on, collects a JSON
+	// telemetry snapshot from a node whenever one of its supervised
+	// sites crashes (node.Config.CrashDumpDir).
+	CrashDumpDir string
 }
 
 // spawnRec remembers a submission so Recover can restore the node's
@@ -233,6 +243,10 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 	if c.cfg.LeaseTTL > 0 {
 		leaseRefresh = c.cfg.LeaseTTL / 3
 	}
+	var tel *telemetry.Telemetry
+	if c.cfg.Telemetry != nil {
+		tel = telemetry.New(id, *c.cfg.Telemetry)
+	}
 	n := node.New(node.Config{
 		ID:                id,
 		NS:                c.ns,
@@ -246,8 +260,22 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 		LeaseRefresh:      leaseRefresh,
 		Supervise:         c.cfg.Supervise,
 		Batch:             c.cfg.Batch,
+		Telemetry:         tel,
+		CrashDumpDir:      c.cfg.CrashDumpDir,
 	})
 	return n, mem, nil
+}
+
+// Telemetry captures a cluster-wide telemetry dump: one snapshot per
+// live node. With telemetry off it returns an empty dump.
+func (c *Cluster) Telemetry() telemetry.Dump {
+	var d telemetry.Dump
+	for _, n := range c.snapshotNodes() {
+		if n.Telemetry() != nil {
+			d.Nodes = append(d.Nodes, n.TelemetrySnapshot())
+		}
+	}
+	return d
 }
 
 // journalsFor namespaces the cluster's journal factory per node, so

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// E12 — telemetry overhead & trace completeness.
+//
+// The observability fabric (DESIGN.md §11) must be cheap enough to
+// leave on: every hot-path hook is a nil-guarded pointer test when
+// telemetry is off and an atomic add (plus a ring-buffer append for
+// traced envelopes) when it is on. Two phases:
+//
+//  1. Overhead: the E11 fastether workload at three configs —
+//     telemetry off, on (metrics + recorder, the default), and
+//     on+trace (Config.Trace, which adds a 2-3 byte trace varint to
+//     every envelope) — best of several reps. The ≤2% budget applies
+//     to the default config; the traced row is reported as the
+//     documented price of opting into causal tracing, which is
+//     dominated by those wire bytes on a byte-charged link.
+//  2. Completeness: the SETI fetch/ship workload on 3 nodes over a
+//     chaotic link (drops, dups, reorders) with reliable delivery on
+//     and tracing enabled. After global termination the cluster-wide
+//     dump must verify: every trace tree has exactly one origin, and
+//     every delivered envelope sits in exactly one tree under a
+//     matching ship hop — chaos may duplicate or re-send frames, but
+//     dedup and the trace-ID plumbing must keep the trees coherent.
+func E12(o Options) (*Table, error) {
+	calls := o.scale(200, 30)
+	reps := o.scale(3, 2)
+	const callers = 128
+
+	t := &Table{
+		ID:     "E12",
+		Title:  "telemetry: throughput overhead and trace completeness under chaos",
+		Header: []string{"phase", "config", "msgs/s", "overhead", "traces", "events", "verified"},
+		Notes: []string{
+			fmt.Sprintf("overhead: %d callers x %d calls on fastether, reliable+batched, best of %d reps", callers, calls, reps),
+			"budget: default telemetry (metrics+recorder) within 2% of off; tracing is opt-in and pays for its envelope varint",
+			"completeness: SETI fetch workload, 3 nodes, 10% drop / 5% dup / 10% reorder chaos",
+		},
+	}
+
+	// Phase 1: overhead.
+	run := func(tel *telemetry.Config) (float64, error) {
+		var best float64
+		for r := 0; r < reps; r++ {
+			cfg := core.ClusterConfig{
+				Nodes:       2,
+				Link:        mustProfile("fastether"),
+				Reliability: &transport.ReliableConfig{},
+				Telemetry:   tel,
+			}
+			progs := []workloadProgram{
+				{node: 0, site: "server", src: e1Server},
+				{node: 1, site: "client", src: e1Client(callers, calls)},
+			}
+			elapsed, cl, err := runWorkload(cfg, progs, 5*time.Minute)
+			if err != nil {
+				return 0, err
+			}
+			cl.Stop()
+			if sec := float64(2*callers*calls) / elapsed.Seconds(); sec > best {
+				best = sec
+			}
+		}
+		return best, nil
+	}
+	off, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("E12 telemetry=off: %w", err)
+	}
+	on, err := run(&telemetry.Config{})
+	if err != nil {
+		return nil, fmt.Errorf("E12 telemetry=on: %w", err)
+	}
+	traced, err := run(&telemetry.Config{Trace: true})
+	if err != nil {
+		return nil, fmt.Errorf("E12 telemetry=on+trace: %w", err)
+	}
+	overhead := (off - on) / off * 100
+	tracedOverhead := (off - traced) / off * 100
+	t.Rows = append(t.Rows,
+		[]string{"overhead", "telemetry=off", fmt.Sprintf("%.0f", off), "-", "-", "-", "-"},
+		[]string{"overhead", "telemetry=on", fmt.Sprintf("%.0f", on), fmt.Sprintf("%.1f%%", overhead), "-", "-", "-"},
+		[]string{"overhead", "telemetry=on+trace", fmt.Sprintf("%.0f", traced), fmt.Sprintf("%.1f%%", tracedOverhead), "-", "-", "-"},
+	)
+	t.SetMetric("e12/fastether/msgs_per_sec/telemetry=off", off)
+	t.SetMetric("e12/fastether/msgs_per_sec/telemetry=on", on)
+	t.SetMetric("e12/fastether/msgs_per_sec/telemetry=trace", traced)
+	t.SetMetric("e12/fastether/overhead_pct", overhead)
+	t.SetMetric("e12/fastether/trace_overhead_pct", tracedOverhead)
+	if overhead > 2 {
+		t.Notes = append(t.Notes, fmt.Sprintf("WARNING: measured overhead %.1f%% exceeds the 2%% budget (noisy on loaded machines; re-run full scale)", overhead))
+	}
+
+	// Phase 2: trace completeness under chaos.
+	dump, err := telemetryChaosRun(o)
+	if err != nil {
+		return nil, fmt.Errorf("E12 chaos: %w", err)
+	}
+	events := dump.Events()
+	trees := dump.Trees()
+	verified := "yes"
+	if err := dump.Verify(); err != nil {
+		return nil, fmt.Errorf("E12 trace completeness: %w", err)
+	}
+	t.Rows = append(t.Rows, []string{
+		"completeness", "3 nodes + chaos", "-", "-",
+		fmt.Sprintf("%d", len(trees)), fmt.Sprintf("%d", len(events)), verified,
+	})
+	t.SetMetric("e12/chaos/trace_trees", float64(len(trees)))
+	t.SetMetric("e12/chaos/trace_events", float64(len(events)))
+	return t, nil
+}
+
+// telemetryChaosRun drives the SETI fetch workload on 3 nodes over a
+// chaotic reliable link with telemetry on and returns the cluster-wide
+// dump (shared by E12 and `tycobench -telemetry`).
+func telemetryChaosRun(o Options) (telemetry.Dump, error) {
+	chunks := o.scale(40, 10)
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes: 3,
+		Chaos: &transport.ChaosConfig{
+			Seed: o.seed(12), Drop: 0.1, Dup: 0.05, Reorder: 0.1,
+		},
+		Reliability: &transport.ReliableConfig{},
+		Telemetry:   &telemetry.Config{Trace: true},
+	})
+	if err != nil {
+		return telemetry.Dump{}, err
+	}
+	defer cl.Stop()
+	progs := []workloadProgram{
+		{node: 0, site: "seti", src: e6Server(0), out: io.Discard},
+		{node: 1, site: "worker0", src: fmt.Sprintf(`import Install from seti in Install[%d]`, chunks)},
+		{node: 2, site: "worker1", src: fmt.Sprintf(`import Install from seti in Install[%d]`, chunks)},
+	}
+	for _, p := range progs {
+		if _, err := cl.Submit(p.node, p.site, p.src, p.out); err != nil {
+			return telemetry.Dump{}, fmt.Errorf("submit %s: %w", p.site, err)
+		}
+	}
+	if err := waitCluster(cl, 5*time.Minute); err != nil {
+		return telemetry.Dump{}, err
+	}
+	return cl.Telemetry(), nil
+}
+
+// TelemetryCapture runs the chaos workload with telemetry on and
+// returns the flight-recorder dump (`tycobench -telemetry out.json`).
+func TelemetryCapture(o Options) (telemetry.Dump, error) {
+	return telemetryChaosRun(o)
+}

@@ -89,6 +89,18 @@ func (t *Table) Render() string {
 type Options struct {
 	// Quick shrinks every workload (CI mode).
 	Quick bool
+	// Seed perturbs seeded components (chaos schedules, determinism
+	// probes) in experiments that honor it; 0 keeps each experiment's
+	// fixed default seed so published tables stay reproducible.
+	Seed int64
+}
+
+// seed returns the experiment's default seed unless Options overrides it.
+func (o Options) seed(def uint64) uint64 {
+	if o.Seed != 0 {
+		return uint64(o.Seed)
+	}
+	return def
 }
 
 // scale picks between the full and quick parameter.
@@ -120,6 +132,7 @@ func All() []Runner {
 		{"e9", "reliable delivery under chaos (drop, dup, partition)", E9},
 		{"e10", "crash recovery: journal overhead, checkpoint interval", E10},
 		{"e11", "frame coalescing: msgs/s and allocs/op vs batch size", E11},
+		{"e12", "telemetry: overhead & trace completeness", E12},
 	}
 }
 
@@ -152,6 +165,16 @@ func runWorkload(cfg core.ClusterConfig, progs []workloadProgram, timeout time.D
 		return 0, nil, fmt.Errorf("wait: %w (cluster: %v)", err, cl.Err())
 	}
 	return time.Since(start), cl, nil
+}
+
+// waitCluster waits for global termination with a deadline.
+func waitCluster(cl *core.Cluster, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		return fmt.Errorf("wait: %w (cluster: %v)", err, cl.Err())
+	}
+	return nil
 }
 
 // mustProfile resolves a stock link model.

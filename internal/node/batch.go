@@ -66,31 +66,33 @@ func newCoalescer(n *Node, cfg BatchConfig) *coalescer {
 }
 
 // enqueue appends one envelope to dst's batch; payload streams the
-// envelope payload into the shared writer. A send error (threshold
-// flush path) surfaces to the routing site like an unbatched send
-// would.
-func (c *coalescer) enqueue(dst uint32, t wire.FrameType, payload func(*wire.Writer)) error {
-	return c.add(dst, t, payload, false)
+// envelope payload into the shared writer. trace is the mobility
+// trace stamped on the envelope header (0 = untraced). A send error
+// (threshold flush path) surfaces to the routing site like an
+// unbatched send would.
+func (c *coalescer) enqueue(dst uint32, t wire.FrameType, trace uint64, payload func(*wire.Writer)) error {
+	return c.add(dst, t, trace, payload, false)
 }
 
 // enqueueFlush appends one envelope and flushes dst's batch at once:
 // latency-sensitive control traffic (termination probes) rides along
 // with whatever data is already waiting for the peer.
 func (c *coalescer) enqueueFlush(dst uint32, t wire.FrameType, payload func(*wire.Writer)) error {
-	return c.add(dst, t, payload, true)
+	return c.add(dst, t, 0, payload, true)
 }
 
-func (c *coalescer) add(dst uint32, t wire.FrameType, payload func(*wire.Writer), flush bool) error {
+func (c *coalescer) add(dst uint32, t wire.FrameType, trace uint64, payload func(*wire.Writer), flush bool) error {
 	c.mu.Lock()
 	pb := c.peers[dst]
 	if pb == nil {
 		pb = &peerBatch{bb: wire.NewBatchBuilder()}
 		c.peers[dst] = pb
 	}
-	w := pb.bb.BeginEntry(t, c.n.cfg.ID, dst)
+	w := pb.bb.BeginEntry(t, c.n.cfg.ID, dst, trace)
 	payload(w)
 	pb.bb.EndEntry()
 	if flush || c.cfg.Disable || c.closed || pb.bb.Len() >= c.cfg.MaxBytes {
+		c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
 		frame := pb.bb.TakeFrame()
 		c.mu.Unlock()
 		// Send outside the lock: Reliable.Send may block on window
@@ -129,6 +131,7 @@ func (c *coalescer) onTimer() {
 			continue
 		}
 		if !pb.due.After(now) {
+			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
 			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
 		} else if wait := pb.due.Sub(now); next < 0 || wait < next {
 			next = wait
@@ -150,6 +153,7 @@ func (c *coalescer) flushAll() {
 	c.mu.Lock()
 	for dst, pb := range c.peers {
 		if pb.bb.Count() > 0 {
+			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
 			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
 		}
 	}

@@ -2,6 +2,7 @@ package node
 
 import (
 	"encoding/binary"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/site"
 	"repro/internal/syntax"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -154,6 +156,14 @@ func (t *TyCOi) serve(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	// Magic site names query the node instead of spawning a site:
+	// "!stats" dumps the metrics registry, "!trace" the flight
+	// recorder's mobility trace trees (both as JSON). The submission
+	// source is read (protocol symmetry) and ignored.
+	if siteName == "!stats" || siteName == "!trace" {
+		t.serveTelemetry(conn, siteName)
+		return
+	}
 	prog, err := CompileSubmission(siteName, src)
 	if err != nil {
 		fmt.Fprintf(conn, "! %v\n", err)
@@ -188,4 +198,33 @@ func (t *TyCOi) serve(conn net.Conn) {
 	case <-disconnect:
 		// Shell detached; the site keeps running.
 	}
+}
+
+// serveTelemetry answers the "!stats" / "!trace" magic submissions
+// with a JSON dump of the node's telemetry and closes the connection.
+func (t *TyCOi) serveTelemetry(conn net.Conn, cmd string) {
+	if t.node.Telemetry() == nil {
+		fmt.Fprintf(conn, "! telemetry disabled on node %d\n", t.node.ID())
+		return
+	}
+	snap := t.node.TelemetrySnapshot()
+	var out any
+	if cmd == "!stats" {
+		out = struct {
+			Node    uint32             `json:"node"`
+			Metrics map[string]float64 `json:"metrics"`
+		}{snap.Node, snap.Metrics}
+	} else {
+		out = struct {
+			Node        uint32           `json:"node"`
+			TotalEvents uint64           `json:"totalEvents"`
+			Trees       []telemetry.Tree `json:"trees"`
+		}{snap.Node, snap.TotalEvents, telemetry.BuildTrees(snap.Events)}
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(conn, "! %v\n", err)
+		return
+	}
+	conn.Write(append(b, '\n'))
 }

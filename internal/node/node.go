@@ -14,9 +14,12 @@
 package node
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +27,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/nameservice"
 	"repro/internal/site"
+	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -79,6 +83,16 @@ type Config struct {
 	// Batch tunes the outbound frame coalescer (on by default; see
 	// BatchConfig).
 	Batch BatchConfig
+	// Telemetry, when non-nil, turns on the observability fabric for
+	// this node and its sites: metrics, mobility tracing, and the
+	// flight recorder (DESIGN.md §11). Nil costs one pointer test per
+	// instrumented call.
+	Telemetry *telemetry.Telemetry
+	// CrashDumpDir, when set with Telemetry on, is where a supervised
+	// site crash drops a JSON dump of the node's telemetry snapshot —
+	// the flight recorder's black-box moment, captured before the
+	// restart clobbers the evidence.
+	CrashDumpDir string
 }
 
 // maxRestarts bounds supervised restarts per site: a deterministically
@@ -93,6 +107,7 @@ type Node struct {
 	tr   transport.Transport
 	rel  *transport.Reliable
 	coal *coalescer
+	tel  *telemetry.Telemetry // nil when telemetry is off
 
 	mu       sync.Mutex
 	sites    map[uint32]*site.Site
@@ -127,6 +142,7 @@ func New(cfg Config) *Node {
 	n := &Node{
 		cfg:      cfg,
 		tr:       cfg.Transport,
+		tel:      cfg.Telemetry,
 		sites:    map[uint32]*site.Site{},
 		byName:   map[string]*site.Site{},
 		journals: map[uint32]*site.Journal{},
@@ -175,6 +191,35 @@ func New(cfg Config) *Node {
 // Reliability knob is off) — the failure detector feeds peer-down
 // transitions into it, and stats reporting reads its counters.
 func (n *Node) Reliable() *transport.Reliable { return n.rel }
+
+// Telemetry exposes the node's telemetry handle (nil when off).
+func (n *Node) Telemetry() *telemetry.Telemetry { return n.tel }
+
+// TelemetrySnapshot captures the node's metrics and retained trace
+// events. Pull-time state that has no hot-path instrument — reliable
+// layer counters, ack debt, daemon delivery totals — is mirrored into
+// the registry here, so sampling cost is paid by the reader, not the
+// message path.
+func (n *Node) TelemetrySnapshot() telemetry.Snapshot {
+	if n.tel == nil {
+		return telemetry.Snapshot{Metrics: map[string]float64{}}
+	}
+	n.tel.SetGauge("deliveries.local", int64(n.localDeliveries.Load()))
+	n.tel.SetGauge("deliveries.remote", int64(n.remoteDeliveries.Load()))
+	n.tel.SetGauge("deliveries.failed", int64(n.deliveryFailures.Load()))
+	if n.rel != nil {
+		st := n.rel.Stats()
+		n.tel.SetGauge("rel.data_sent", int64(st.DataSent))
+		n.tel.SetGauge("rel.retransmits", int64(st.Retransmits))
+		n.tel.SetGauge("rel.acks_sent", int64(st.AcksSent))
+		n.tel.SetGauge("rel.ack_piggy", int64(st.AckPiggy))
+		n.tel.SetGauge("rel.dup_drops", int64(st.DupDrops))
+		n.tel.SetGauge("rel.fail_fasts", int64(st.FailFasts))
+		n.tel.SetGauge("rel.unacked", int64(n.rel.Unacked()))
+		n.tel.SetGauge("rel.ack_debt", int64(n.rel.AckDebt()))
+	}
+	return n.tel.Snapshot()
+}
 
 // DeliveryFailures reports frames the node abandoned because their
 // destination was down.
@@ -330,6 +375,9 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 			return nil, fmt.Errorf("node %d: open journal for %q: %w", n.cfg.ID, siteName, err)
 		}
 		jl = site.NewJournal(st)
+		if n.tel != nil {
+			jl.SetOnAppend(n.tel.JournalAppend)
+		}
 	}
 	cfg := site.Config{
 		Name:            siteName,
@@ -342,6 +390,7 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 		CheckpointEvery: n.cfg.CheckpointEvery,
 		LeaseRefresh:    n.cfg.LeaseRefresh,
 		CheckpointGate:  n.checkpointGate,
+		Telemetry:       n.tel,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -385,6 +434,7 @@ func (n *Node) supervise(s *site.Site, siteName string, out io.Writer, opts ...S
 			return
 		default:
 		}
+		n.dumpCrashTelemetry(siteName, restarts)
 		if restarts >= maxRestarts {
 			n.setErr(fmt.Errorf("node %d: site %q crashed %d times, giving up: %w",
 				n.cfg.ID, siteName, restarts+1, s.Err()))
@@ -397,6 +447,22 @@ func (n *Node) supervise(s *site.Site, siteName string, out io.Writer, opts ...S
 		}
 		s = recovered
 	}
+}
+
+// dumpCrashTelemetry writes the node's telemetry snapshot (metrics +
+// retained flight-recorder events) into CrashDumpDir when a
+// supervised site dies with an error. Best-effort: a failed dump
+// never blocks the restart.
+func (n *Node) dumpCrashTelemetry(siteName string, restarts int) {
+	if n.tel == nil || n.cfg.CrashDumpDir == "" {
+		return
+	}
+	b, err := json.MarshalIndent(n.TelemetrySnapshot(), "", "  ")
+	if err != nil {
+		return
+	}
+	name := fmt.Sprintf("node%d-%s-crash%d.json", n.cfg.ID, siteName, restarts)
+	_ = os.WriteFile(filepath.Join(n.cfg.CrashDumpDir, name), append(b, '\n'), 0o644)
 }
 
 // RecoverSite restarts a site from its journal under an incremented
@@ -424,6 +490,9 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 			return nil, err
 		}
 		jl = site.NewJournal(st)
+		if n.tel != nil {
+			jl.SetOnAppend(n.tel.JournalAppend)
+		}
 	}
 	rec, err := site.LoadJournal(jl)
 	if err != nil {
@@ -449,6 +518,7 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 		CheckpointEvery: n.cfg.CheckpointEvery,
 		LeaseRefresh:    n.cfg.LeaseRefresh,
 		CheckpointGate:  n.checkpointGate,
+		Telemetry:       n.tel,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -636,6 +706,7 @@ func (n *Node) dispatchEnvelope(env *wire.Envelope) error {
 		if err != nil {
 			return fmt.Errorf("node %d: %w", n.cfg.ID, err)
 		}
+		d.Trace = env.Trace
 		return n.toSite(dstSite, d)
 	case wire.FTerm, wire.FHeartbeat:
 		if h := n.control(); h != nil {

@@ -17,47 +17,59 @@ import (
 // peer's coalesced batch (one pooled wire.Writer per peer, no
 // intermediate per-message buffer); the coalescer decides when the
 // accumulated frame actually hits the transport.
+//
+// Every route also reads the sending site's current mobility trace
+// (telemetry fabric) — safe without locks because Route* calls happen
+// synchronously on the site goroutine — stamps it on the envelope or
+// delivery, and records a ship event.
 
 var _ site.Router = (*Node)(nil)
 
 // RouteMsg implements site.Router.
 func (n *Node) RouteMsg(from *site.Site, op wire.OpRef, ref vm.NetRef, label string, args []site.WireVal) error {
+	trace := from.CurrentTrace()
 	m := wire.Msg{Op: op, To: ref, Label: label, Args: args}
+	n.tel.Ship(trace, wire.FMsg, op, ref.Node)
 	if ref.Node == n.cfg.ID {
-		d := site.Delivery{Op: op, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
+		d := site.Delivery{Op: op, Trace: trace, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
 		return n.toLocal(ref.Site, d, wire.FMsg, m.Encode, true)
 	}
-	return n.coal.enqueue(ref.Node, wire.FMsg, m.AppendPayload)
+	return n.coal.enqueue(ref.Node, wire.FMsg, trace, m.AppendPayload)
 }
 
 // RouteObj implements site.Router.
 func (n *Node) RouteObj(from *site.Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
+	trace := from.CurrentTrace()
+	n.tel.Ship(trace, wire.FObj, op, ref.Node)
 	if ref.Node == n.cfg.ID {
 		payload := func() []byte {
 			return (&wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode()
 		}
-		d := site.Delivery{Op: op, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
+		d := site.Delivery{Op: op, Trace: trace, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
 		return n.toLocal(ref.Site, d, wire.FObj, payload, true)
 	}
 	o := wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}
-	return n.coal.enqueue(ref.Node, wire.FObj, o.AppendPayload)
+	return n.coal.enqueue(ref.Node, wire.FObj, trace, o.AppendPayload)
 }
 
 // RouteFetch implements site.Router.
 func (n *Node) RouteFetch(from *site.Site, op wire.OpRef, owner site.Addr, class string, reqID uint64) error {
+	trace := from.CurrentTrace()
 	f := wire.FetchReq{
 		Op: op, Class: class, OwnerSite: owner.Site, ReqID: reqID,
 		ReplySite: from.ID(), ReplyNode: n.cfg.ID,
 	}
+	n.tel.Ship(trace, wire.FFetchReq, op, owner.Node)
 	if owner.Node == n.cfg.ID {
-		d := site.Delivery{Op: op, Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}}
+		d := site.Delivery{Op: op, Trace: trace, Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}}
 		return n.toLocal(owner.Site, d, wire.FFetchReq, f.Encode, false)
 	}
-	return n.coal.enqueue(owner.Node, wire.FFetchReq, f.AppendPayload)
+	return n.coal.enqueue(owner.Node, wire.FFetchReq, trace, f.AppendPayload)
 }
 
 // RouteFetchRep implements site.Router.
 func (n *Node) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *site.FetchRepDelivery) error {
+	trace := from.CurrentTrace()
 	var unitBytes []byte
 	if rep.Unit != nil && to.Node != n.cfg.ID {
 		unitBytes = asm.Encode(rep.Unit)
@@ -66,6 +78,7 @@ func (n *Node) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *
 		Op: op, ReqID: rep.ReqID, DstSite: to.Site, Err: rep.Err, Class: rep.Class,
 		Unit: unitBytes, Group: rep.Group, Index: rep.Index, Captured: rep.Captured,
 	}
+	n.tel.Ship(trace, wire.FFetchRep, op, to.Node)
 	if to.Node == n.cfg.ID {
 		payload := func() []byte {
 			var ub []byte
@@ -75,7 +88,7 @@ func (n *Node) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *
 			f.Unit = ub
 			return f.Encode()
 		}
-		return n.toLocal(to.Site, site.Delivery{Op: op, FetchRep: rep}, wire.FFetchRep, payload, false)
+		return n.toLocal(to.Site, site.Delivery{Op: op, Trace: trace, FetchRep: rep}, wire.FFetchRep, payload, false)
 	}
-	return n.coal.enqueue(to.Node, wire.FFetchRep, f.AppendPayload)
+	return n.coal.enqueue(to.Node, wire.FFetchRep, trace, f.AppendPayload)
 }

@@ -249,6 +249,25 @@ func (s *Site) newOp() wire.OpRef {
 	return wire.OpRef{Site: s.cfg.ID, Epoch: s.epoch, ID: s.nextOp}
 }
 
+// CurrentTrace returns the mobility trace of the operation being
+// routed. With telemetry on, untraced work gets a fresh trace root
+// here — the first site boundary an untraced thread crosses is the
+// origin of its tree. Must run on the site goroutine; every Route*
+// call does (VM egress and apply-time replies are both synchronous).
+func (s *Site) CurrentTrace() uint64 {
+	tr := s.m.Ambient()
+	if tr != 0 || s.tel == nil {
+		return tr
+	}
+	tr = s.tel.NextTrace()
+	if tr == 0 { // tracing not enabled on this node
+		return 0
+	}
+	s.m.AdoptTrace(tr)
+	s.tel.Origin(tr, s.cfg.ID)
+	return tr
+}
+
 // RemoteSend implements rule SHIPM: package the message with
 // σ-translated arguments and hand it to the outgoing queue.
 func (s *Site) RemoteSend(ref vm.NetRef, label string, args []vm.Value) error {

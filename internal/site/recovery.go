@@ -24,6 +24,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/journal"
@@ -61,9 +62,18 @@ const resolvedKind byte = 0
 // same lock the node appends under, so an operation accepted during
 // compaction cannot be lost.
 type Journal struct {
-	mu      sync.Mutex
-	st      journal.Store
-	scratch []byte // reused accepted-record encode buffer, guarded by mu
+	mu       sync.Mutex
+	st       journal.Store
+	scratch  []byte // reused accepted-record encode buffer, guarded by mu
+	onAppend func() // telemetry hook, invoked after successful appends
+}
+
+// SetOnAppend installs a hook called after every successful record
+// append (the node points it at the telemetry journal counter).
+func (j *Journal) SetOnAppend(f func()) {
+	j.mu.Lock()
+	j.onAppend = f
+	j.mu.Unlock()
 }
 
 // NewJournal wraps a store.
@@ -73,7 +83,13 @@ func NewJournal(st journal.Store) *Journal { return &Journal{st: st} }
 func (j *Journal) Append(k journal.Kind, data []byte) error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.st.Append(journal.Record{Kind: k, Data: data})
+	if err := j.st.Append(journal.Record{Kind: k, Data: data}); err != nil {
+		return err
+	}
+	if j.onAppend != nil {
+		j.onAppend()
+	}
+	return nil
 }
 
 // AppendAccepted logs a RecAccepted record, encoding it into a buffer
@@ -88,7 +104,13 @@ func (j *Journal) AppendAccepted(t wire.FrameType, srcNode uint32, payload []byt
 	b = binary.AppendUvarint(b, uint64(len(payload)))
 	b = append(b, payload...)
 	j.scratch = b
-	return j.st.Append(journal.Record{Kind: RecAccepted, Data: b})
+	if err := j.st.Append(journal.Record{Kind: RecAccepted, Data: b}); err != nil {
+		return err
+	}
+	if j.onAppend != nil {
+		j.onAppend()
+	}
+	return nil
 }
 
 // Records returns the current log.
@@ -570,9 +592,16 @@ func (s *Site) maybeCheckpoint() (gated bool) {
 	if s.cfg.CheckpointGate != nil && !s.cfg.CheckpointGate() {
 		return true
 	}
+	var start time.Time
+	if s.tel != nil {
+		start = time.Now()
+	}
 	if err := s.checkpoint(); err != nil {
 		s.setErr(fmt.Errorf("site %s: checkpoint: %w", s.cfg.Name, err))
 		return false
+	}
+	if s.tel != nil {
+		s.tel.ObserveCheckpoint(time.Since(start))
 	}
 	s.sinceCkpt = 0
 	s.Checkpoints++

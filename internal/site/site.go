@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/asm"
 	"repro/internal/nameservice"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -50,6 +51,10 @@ type Delivery struct {
 	// Src is the node the delivery originated on (this node for local
 	// traffic). Termination accounting keys its received counters on it.
 	Src uint32
+	// Trace is the mobility trace the delivery rides (telemetry
+	// fabric; 0 = untraced). The site applies the delivery under this
+	// trace, so threads it spawns inherit the causal context.
+	Trace uint64
 	// Op identifies the mobility operation for crash recovery: the
 	// receiving site deduplicates by (Op.Site, Op.ID) and fences
 	// epochs below the sender's highest seen incarnation. Zero for
@@ -107,6 +112,23 @@ type ResolvedImport struct {
 	Value    vm.Value
 	ClassSig string // exporter's signature for class imports
 	Err      error
+}
+
+// frameType maps the delivery back to the wire frame that carries it
+// (telemetry event labelling).
+func (d *Delivery) frameType() wire.FrameType {
+	switch {
+	case d.Msg != nil:
+		return wire.FMsg
+	case d.Obj != nil:
+		return wire.FObj
+	case d.Fetch != nil:
+		return wire.FFetchReq
+	case d.FetchRep != nil:
+		return wire.FFetchRep
+	default:
+		return 0
+	}
 }
 
 // Router is how a site hands outgoing traffic to its node's TyCOd.
@@ -169,6 +191,10 @@ type Config struct {
 	// compacting — replay starts past it, and only an ack proves the
 	// receiver journaled it.
 	CheckpointGate func() bool
+	// Telemetry, when non-nil, turns on the observability fabric: the
+	// site allocates trace IDs at egress, records deliver events, and
+	// feeds the inbox-depth/checkpoint instruments. Nil is free.
+	Telemetry *telemetry.Telemetry
 }
 
 // Site is one DiTyCO site.
@@ -207,6 +233,12 @@ type Site struct {
 	// keyed by program constant index — checkpointed so a recovered
 	// site knows which resolvers to respawn.
 	pendingImports map[int]pendingImport
+
+	// Telemetry (nil when off). Trace IDs come from the node-scoped
+	// telemetry counter and are not persisted — a recovered
+	// incarnation starts fresh roots, and its node recorder restarted
+	// with it.
+	tel *telemetry.Telemetry
 
 	// Crash-recovery state (site goroutine only).
 	epoch      uint32
@@ -306,6 +338,7 @@ func New(cfg Config) *Site {
 		applied:        map[uint32]map[uint64]bool{},
 		maxEpoch:       map[uint32]uint32{},
 		jl:             cfg.Journal,
+		tel:            cfg.Telemetry,
 	}
 	if f, ok := cfg.Router.(interface{ FlushOutbound() }); ok {
 		s.flushOut = f.FlushOutbound
@@ -592,6 +625,7 @@ func (s *Site) Run() {
 		// Drain a bounded batch of queued deliveries: a burst (e.g. an
 		// unpacked FBatch) is handled in bulk rather than one delivery
 		// per VM slice, but cannot starve the VM either.
+		got := 0
 		for drained := 0; drained < s.cfg.InboxBatch; drained++ {
 			var d Delivery
 			select {
@@ -600,11 +634,13 @@ func (s *Site) Run() {
 				drained = s.cfg.InboxBatch
 				continue
 			}
+			got++
 			if err := s.handle(d); err != nil {
 				s.setErr(err)
 				return
 			}
 		}
+		s.tel.ObserveInboxDepth(got)
 		// Run a slice of threads.
 		n, err := s.m.RunSlice(s.cfg.PollInterval)
 		if err != nil {
@@ -715,8 +751,17 @@ func (s *Site) handle(d Delivery) error {
 			return fmt.Errorf("site %s: journal delivery: %w", s.cfg.Name, err)
 		}
 	}
-	if err := s.apply(d); err != nil {
+	// Apply under the delivery's trace: threads and queue entries the
+	// effect creates inherit its causal context. Replayed deliveries
+	// carry no trace (journals don't persist them).
+	s.m.SetAmbient(d.Trace)
+	err := s.apply(d)
+	s.m.SetAmbient(0)
+	if err != nil {
 		return err
+	}
+	if s.tel != nil && d.Resolved == nil {
+		s.tel.Deliver(d.Trace, d.frameType(), d.Op, s.cfg.ID, d.Src == s.cfg.NodeID)
 	}
 	if !d.Op.IsZero() {
 		if d.Op.Epoch > s.maxEpoch[d.Op.Site] {

@@ -1,0 +1,34 @@
+package telemetry
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func BenchmarkShipDeliver(b *testing.B) {
+	tel := New(1, Config{})
+	op := wire.OpRef{Site: 3, Epoch: 1, ID: 7}
+	for i := 0; i < b.N; i++ {
+		tr := NewTraceID(3, uint64(i)|1)
+		tel.Ship(tr, wire.FMsg, op, 2)
+		tel.Deliver(tr, wire.FMsg, op, 4, false)
+	}
+}
+
+func BenchmarkShipDeliverDisabled(b *testing.B) {
+	var tel *Telemetry
+	op := wire.OpRef{Site: 3, Epoch: 1, ID: 7}
+	for i := 0; i < b.N; i++ {
+		tel.Ship(1, wire.FMsg, op, 2)
+		tel.Deliver(1, wire.FMsg, op, 4, false)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	r := NewRecorder(0)
+	ev := Event{Trace: 5, Kind: EvShip, Node: 1}
+	for i := 0; i < b.N; i++ {
+		r.Record(ev)
+	}
+}

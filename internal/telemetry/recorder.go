@@ -1,0 +1,73 @@
+package telemetry
+
+import "sync"
+
+// Recorder is the bounded flight recorder: a fixed-capacity ring of
+// the most recent trace events on one node. It is written on every
+// traced hop, so Record stays a mutex-guarded copy into a
+// preallocated slot — no allocation, no channel. A nil *Recorder
+// no-ops.
+type Recorder struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// DefaultRecorderCap bounds per-node memory: 4096 events ≈ 300KB.
+const DefaultRecorderCap = 4096
+
+// NewRecorder creates a ring holding the last capacity events
+// (DefaultRecorderCap if capacity <= 0).
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{buf: make([]Event, 0, capacity)}
+}
+
+// Record appends one event, evicting the oldest when full, and stamps
+// the event's per-node sequence number.
+func (r *Recorder) Record(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	e.Seq = r.total
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[r.next] = e
+	}
+	r.next = (r.next + 1) % cap(r.buf)
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained events oldest→newest. Nil recorders
+// return nil.
+func (r *Recorder) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) == cap(r.buf) {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Total counts every event ever recorded, including evicted ones.
+func (r *Recorder) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

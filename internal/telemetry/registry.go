@@ -1,0 +1,193 @@
+// Package telemetry is the observability fabric of the runtime
+// (DESIGN.md §11): a low-overhead metrics registry, causal mobility
+// tracing, and a bounded flight recorder. Everything is nil-safe — a
+// node built without telemetry passes nil handles around and every
+// instrument call degrades to a pointer test, which is how the ≤2%
+// overhead budget of experiment E12 is met (and how telemetry-off runs
+// stay behaviour-identical to telemetry-on ones: no instrument ever
+// feeds back into scheduling).
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/stats"
+)
+
+// Counter is a monotone atomic counter. The zero value is ready; a nil
+// receiver no-ops, so hot paths cache *Counter handles obtained from a
+// possibly-nil Registry and never branch on "telemetry on?".
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Load reads the counter (0 for nil).
+func (c *Counter) Load() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. Nil receivers no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the gauge value.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by d.
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Load reads the gauge (0 for nil).
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry is a concurrency-safe name → instrument table. Lookups are
+// meant for instrument-creation time (a site spawning, a peer first
+// seen), not per-event; callers keep the returned pointer. A nil
+// *Registry hands out nil instruments, whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*stats.Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*stats.Histogram{},
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// histCap bounds retained histogram samples: telemetry histograms are
+// long-lived per-node instruments, not per-experiment scratch, so they
+// keep a smaller reservoir than the stats default.
+const histCap = 4096
+
+// Histogram returns (creating if needed) the named histogram. Nil
+// registries return nil; stats.Histogram tolerates nil receivers on
+// none of its methods, so instrumented code guards with Observe helpers
+// (see Telemetry) or checks the handle once at setup.
+func (r *Registry) Histogram(name string) *stats.Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = stats.NewHistogram(histCap)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every instrument into metric name → value.
+// Histograms expand into .count/.mean/.p95/.max. Keys are sorted by
+// the consumers that render them; the map itself is unordered.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*stats.Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, c := range counters {
+		out[k] = float64(c.Load())
+	}
+	for k, g := range gauges {
+		out[k] = float64(g.Load())
+	}
+	for k, h := range hists {
+		out[k+".count"] = float64(h.Count())
+		out[k+".mean"] = h.Mean()
+		out[k+".p95"] = h.Percentile(95)
+		out[k+".max"] = h.Max()
+	}
+	return out
+}
+
+// SortedKeys returns the snapshot's keys in render order.
+func SortedKeys(m map[string]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -248,6 +248,22 @@ func (r *Reliable) Unacked() int {
 	return n
 }
 
+// AckDebt reports the number of accepted inbound frames whose
+// acknowledgement has not left yet (summed over peers) — the
+// telemetry fabric samples it as a gauge. A steadily high debt means
+// the ack-delay grace window never finds a piggyback ride.
+func (r *Reliable) AckDebt() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, rp := range r.rcvs {
+		if rp.ackDirty {
+			n += rp.ackFresh
+		}
+	}
+	return n
+}
+
 func (r *Reliable) sendPeerLocked(dst NodeID) *sendPeer {
 	p, ok := r.sends[dst]
 	if !ok {

@@ -58,11 +58,17 @@ type channel struct {
 type qMsg struct {
 	label int
 	args  []Value
+	// trace is the mobility trace of the send that queued the message
+	// (telemetry fabric; 0 = untraced). Traces are runtime-only causal
+	// context: snapshots do not persist them, so recovered threads
+	// start fresh trace roots.
+	trace uint64
 }
 
 type qObj struct {
 	table int
 	frame []Value
+	trace uint64
 }
 
 // Thread is a runnable activation: a block, a program counter, the
@@ -72,6 +78,10 @@ type Thread struct {
 	pc    int32
 	frame []Value
 	stack []Value
+	// trace is the mobility trace the thread runs under: inherited
+	// from the delivery or reduction that spawned it, and carried into
+	// every remote operation the thread performs.
+	trace uint64
 }
 
 // Error is a machine runtime error with code location.
@@ -107,6 +117,15 @@ type Machine struct {
 	// The owner re-queues them with Requeue once the constant is
 	// resolved. A nil OnPending makes pending constants an error.
 	OnPending func(t Thread, constIdx int)
+
+	// Trace context (telemetry fabric). ambient is the mobility trace
+	// of whatever is executing right now: the running thread's trace
+	// while a thread runs, or the delivery's trace while the site
+	// applies one. cur points at the running thread so a trace
+	// allocated mid-run (first egress of an untraced thread) sticks to
+	// it. Both are touched only on the machine's goroutine.
+	ambient uint64
+	cur     *Thread
 }
 
 // NewMachine creates a machine over a program area.
@@ -143,7 +162,27 @@ func (m *Machine) Spawn(block int, prefix []Value) {
 		copy(frame, prefix)
 	}
 	m.Stats.Threads++
-	m.runq = append(m.runq, Thread{block: int32(block), frame: frame})
+	m.runq = append(m.runq, Thread{block: int32(block), frame: frame, trace: m.ambient})
+}
+
+// Ambient returns the current trace context (0 = untraced).
+func (m *Machine) Ambient() uint64 { return m.ambient }
+
+// SetAmbient installs the trace context for externally-driven work:
+// the site sets it to the incoming delivery's trace before applying
+// and clears it afterwards, so threads and queue entries created by
+// the delivery inherit its trace.
+func (m *Machine) SetAmbient(trace uint64) { m.ambient = trace }
+
+// AdoptTrace stamps the running thread (and the ambient context) with
+// a trace allocated mid-run — the first remote operation of an
+// untraced thread becomes the root of a new trace tree, and the
+// thread's later operations join it.
+func (m *Machine) AdoptTrace(trace uint64) {
+	if m.cur != nil {
+		m.cur.trace = trace
+	}
+	m.ambient = trace
 }
 
 // Requeue returns a parked thread to the run-queue.
@@ -165,7 +204,12 @@ func (m *Machine) Step() (bool, error) {
 	t := m.runq[0]
 	m.runq = m.runq[1:]
 	m.Stats.ContextSwitches++
-	if err := m.run(&t); err != nil {
+	m.ambient = t.trace
+	m.cur = &t
+	err := m.run(&t)
+	m.cur = nil
+	m.ambient = 0
+	if err != nil {
 		return true, err
 	}
 	return true, nil
@@ -442,9 +486,15 @@ func (m *Machine) trmsg(target Value, label int, args []Value, fail func(string,
 		if len(ch.objs) > 0 {
 			obj := ch.objs[0]
 			ch.objs = ch.objs[1:]
-			return m.reduce(obj, label, args, wrap)
+			// The message is the communication's cause: its trace wins;
+			// an untraced message joins the waiting object's trace.
+			trace := m.ambient
+			if trace == 0 {
+				trace = obj.trace
+			}
+			return m.reduce(obj, label, args, trace, wrap)
 		}
-		ch.msgs = append(ch.msgs, qMsg{label: label, args: args})
+		ch.msgs = append(ch.msgs, qMsg{label: label, args: args, trace: m.ambient})
 		m.Stats.MessagesQueued++
 		return nil
 	case KNet:
@@ -472,9 +522,13 @@ func (m *Machine) trobj(target Value, table int, frame []Value, fail func(string
 		if len(ch.msgs) > 0 {
 			msg := ch.msgs[0]
 			ch.msgs = ch.msgs[1:]
-			return m.reduce(qObj{table: table, frame: frame}, msg.label, msg.args, wrap)
+			trace := msg.trace
+			if trace == 0 {
+				trace = m.ambient
+			}
+			return m.reduce(qObj{table: table, frame: frame}, msg.label, msg.args, trace, wrap)
 		}
-		ch.objs = append(ch.objs, qObj{table: table, frame: frame})
+		ch.objs = append(ch.objs, qObj{table: table, frame: frame, trace: m.ambient})
 		m.Stats.ObjectsQueued++
 		return nil
 	case KNet:
@@ -489,8 +543,9 @@ func (m *Machine) trobj(target Value, table int, frame []Value, fail func(string
 }
 
 // reduce performs one COMMUNICATION reduction: select the method and
-// enqueue its body.
-func (m *Machine) reduce(obj qObj, label int, args []Value, wrap func(string, ...any) error) error {
+// enqueue its body. The body thread runs under trace — the causal
+// context of the message half of the rendez-vous.
+func (m *Machine) reduce(obj qObj, label int, args []Value, trace uint64, wrap func(string, ...any) error) error {
 	tbl := &m.Prog.Tables[obj.table]
 	block, ok := tbl.Lookup(label)
 	if !ok {
@@ -504,7 +559,10 @@ func (m *Machine) reduce(obj qObj, label int, args []Value, wrap func(string, ..
 	copy(frame, obj.frame)
 	copy(frame[b.NFree:], args)
 	m.Stats.Communications++
+	saved := m.ambient
+	m.ambient = trace
 	m.Spawn(block, frame)
+	m.ambient = saved
 	return nil
 }
 

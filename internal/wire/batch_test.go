@@ -15,7 +15,7 @@ func buildBatch(t testing.TB, envs []wire.Envelope) []byte {
 	b := wire.NewBatchBuilder()
 	defer b.Release()
 	for _, e := range envs {
-		w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode)
+		w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode, e.Trace)
 		w.Raw(e.Payload)
 		b.EndEntry()
 	}
@@ -94,7 +94,7 @@ func TestBatchBuilderReuse(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		n := round + 2
 		for i := 0; i < n; i++ {
-			w := b.BeginEntry(wire.FMsg, 1, 2)
+			w := b.BeginEntry(wire.FMsg, 1, 2, 0)
 			w.S(fmt.Sprintf("r%d-e%d", round, i))
 			b.EndEntry()
 		}
@@ -213,7 +213,7 @@ func FuzzDecodeBatch(f *testing.F) {
 		b := wire.NewBatchBuilder()
 		defer b.Release()
 		for _, e := range envs {
-			w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode)
+			w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode, e.Trace)
 			w.Raw(e.Payload)
 			b.EndEntry()
 		}

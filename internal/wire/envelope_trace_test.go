@@ -1,0 +1,50 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEnvelopeTraceRoundTrip: the trace ID survives encode/decode and
+// the decoded type is the masked frame type, not the flagged byte.
+func TestEnvelopeTraceRoundTrip(t *testing.T) {
+	for _, trace := range []uint64{1, 1 << 6, 1<<57 - 1, 1<<63 | 42} {
+		e := &Envelope{Type: FMsg, SrcNode: 3, DstNode: 9, Trace: trace, Payload: []byte("payload")}
+		got, err := DecodeEnvelope(e.Encode())
+		if err != nil {
+			t.Fatalf("trace %x: %v", trace, err)
+		}
+		if got.Type != FMsg || got.Trace != trace || !bytes.Equal(got.Payload, e.Payload) {
+			t.Fatalf("trace %x: round trip %+v -> %+v", trace, e, got)
+		}
+	}
+}
+
+// TestUntracedEnvelopeMatchesPreTelemetryFormat: an untraced envelope
+// must encode to exactly the pre-telemetry byte layout — type byte,
+// src varint, dst varint, payload — so turning telemetry on without
+// Config.Trace costs zero wire bytes.
+func TestUntracedEnvelopeMatchesPreTelemetryFormat(t *testing.T) {
+	e := &Envelope{Type: FObj, SrcNode: 3, DstNode: 300, Payload: []byte("payload")}
+	w := GetWriter()
+	w.Byte(byte(FObj))
+	w.U(3)
+	w.U(300)
+	w.Raw(e.Payload)
+	want := w.Detach()
+	PutWriter(w)
+	if got := e.Encode(); !bytes.Equal(got, want) {
+		t.Fatalf("untraced encoding %x, want seed layout %x", got, want)
+	}
+}
+
+// TestTracedEnvelopeCostsOnlyTheVarint: the flag bit rides the
+// existing type byte, so a traced envelope pays exactly the trace
+// varint over its untraced twin.
+func TestTracedEnvelopeCostsOnlyTheVarint(t *testing.T) {
+	plain := &Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Payload: []byte("xyz")}
+	traced := &Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Trace: 1<<13 - 1, Payload: []byte("xyz")}
+	if d := len(traced.Encode()) - len(plain.Encode()); d != 2 {
+		t.Fatalf("2-byte-varint trace costs %d extra bytes, want 2", d)
+	}
+}

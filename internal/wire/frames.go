@@ -78,21 +78,41 @@ type Envelope struct {
 	Type    FrameType
 	SrcNode uint32
 	DstNode uint32
+	// Trace is the causal mobility trace carried by the payload
+	// (telemetry fabric, DESIGN.md §11). 0 means untraced and costs
+	// nothing on the wire: the trace varint follows the header only
+	// when the envTraced bit is set in the type byte, so untraced
+	// envelopes keep the exact pre-telemetry byte format. The ID
+	// itself is opaque to the wire layer.
+	Trace   uint64
 	Payload []byte
 }
+
+// envTraced marks a traced envelope in the type byte. E12 measured
+// the alternative — an unconditional trace varint — at several
+// percent of fastether throughput for a single byte, because mobility
+// envelopes are tiny and the link charges per byte.
+const envTraced = 0x80
 
 // AppendEnvelopeHdr writes an envelope header; the payload is whatever
 // the caller appends afterwards (it runs to the end of the frame, so
 // encoders can stream into the writer with no inner length prefix).
-func AppendEnvelopeHdr(w *Writer, t FrameType, src, dst uint32) {
-	w.Byte(byte(t))
+func AppendEnvelopeHdr(w *Writer, t FrameType, src, dst uint32, trace uint64) {
+	b := byte(t)
+	if trace != 0 {
+		b |= envTraced
+	}
+	w.Byte(b)
 	w.U(uint64(src))
 	w.U(uint64(dst))
+	if trace != 0 {
+		w.U(trace)
+	}
 }
 
 // AppendTo appends the envelope's encoding to w.
 func (e *Envelope) AppendTo(w *Writer) {
-	AppendEnvelopeHdr(w, e.Type, e.SrcNode, e.DstNode)
+	AppendEnvelopeHdr(w, e.Type, e.SrcNode, e.DstNode, e.Trace)
 	w.Raw(e.Payload)
 }
 
@@ -124,9 +144,16 @@ func DecodeEnvelopeInto(env *Envelope, data []byte) error {
 	if err != nil {
 		return err
 	}
-	env.Type = FrameType(t)
+	var trace uint64
+	if t&envTraced != 0 {
+		if trace, err = r.U(); err != nil {
+			return err
+		}
+	}
+	env.Type = FrameType(t &^ envTraced)
 	env.SrcNode = uint32(src)
 	env.DstNode = uint32(dst)
+	env.Trace = trace
 	env.Payload = r.Rest()
 	return nil
 }

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeEnvelope feeds arbitrary bytes to the envelope decoder.
+// It must never panic, and anything it accepts must re-encode to a
+// decode-stable form (the bytes may differ — varints are not
+// canonical — but the decoded fields must be).
+func FuzzDecodeEnvelope(f *testing.F) {
+	f.Add((&Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Payload: []byte("payload")}).Encode())
+	f.Add((&Envelope{Type: FObj, SrcNode: 300, DstNode: 4, Trace: 1<<13 - 1, Payload: []byte("traced")}).Encode())
+	f.Add((&Envelope{Type: FFetchReq, SrcNode: 0, DstNode: 0, Trace: 1<<63 | 42}).Encode())
+	f.Add([]byte{byte(FMsg)})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeEnvelope(env.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted envelope failed: %v", err)
+		}
+		if again.Type != env.Type || again.SrcNode != env.SrcNode ||
+			again.DstNode != env.DstNode || again.Trace != env.Trace ||
+			!bytes.Equal(again.Payload, env.Payload) {
+			t.Fatalf("unstable round trip: %+v -> %+v", env, again)
+		}
+	})
+}
+
+// FuzzDecodePacket does the same for the reliable-layer packet
+// decoder, including the delta-encoded selective-ack list.
+func FuzzDecodePacket(f *testing.F) {
+	f.Add((&Packet{Type: FData, Src: 3, Epoch: 1, Seq: 41, Payload: []byte("envelope bytes")}).Encode())
+	f.Add((&Packet{Type: FAck, Src: 7, AckEpoch: 2, AckFloor: 10, AckSeqs: []uint64{12, 15, 40}}).Encode())
+	f.Add((&Packet{Type: FRaw, Src: 1, Payload: []byte{0xde, 0xad}}).Encode())
+	f.Add([]byte{byte(FData)})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodePacket(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodePacket(p.Encode())
+		if err != nil {
+			t.Fatalf("re-decode of accepted packet failed: %v", err)
+		}
+		if again.Type != p.Type || again.Src != p.Src || again.Epoch != p.Epoch ||
+			again.Seq != p.Seq || again.AckEpoch != p.AckEpoch || again.AckFloor != p.AckFloor ||
+			len(again.AckSeqs) != len(p.AckSeqs) || !bytes.Equal(again.Payload, p.Payload) {
+			t.Fatalf("unstable round trip: %+v -> %+v", p, again)
+		}
+		for i := range p.AckSeqs {
+			if again.AckSeqs[i] != p.AckSeqs[i] {
+				t.Fatalf("ack seq %d: %d -> %d", i, p.AckSeqs[i], again.AckSeqs[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,162 @@
+// Telemetry integration tests: causal trace propagation across a
+// multi-node SHIPM/FETCH chain, and the guarantee that turning the
+// fabric on does not perturb what a computation produces.
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// saveTelemetryOnFailure uploads a failing test's cluster-wide flight
+// recorder. Default: discarded. Under the CI soak job
+// TEST_TELEMETRY_DIR pins a directory that outlives the test, so the
+// dump rides the same artifact upload as the journals.
+func saveTelemetryOnFailure(t *testing.T, cl *core.Cluster) {
+	t.Cleanup(func() {
+		if !t.Failed() {
+			return
+		}
+		base := os.Getenv("TEST_TELEMETRY_DIR")
+		if base == "" {
+			return
+		}
+		if err := os.MkdirAll(base, 0o755); err != nil {
+			t.Logf("telemetry dump dir: %v", err)
+			return
+		}
+		name := fmt.Sprintf("%s-seed%d.json", strings.ReplaceAll(t.Name(), "/", "_"), *chaosSeed)
+		path := filepath.Join(base, name)
+		if err := os.WriteFile(path, append(cl.Telemetry().JSON(), '\n'), 0o644); err != nil {
+			t.Logf("telemetry dump: %v", err)
+			return
+		}
+		t.Logf("flight-recorder dump written to %s", path)
+	})
+}
+
+// TestTracePropagationAcrossNodes drives the SETI RPC workload across
+// three nodes with tracing on and checks that trace IDs travel with
+// the envelopes: the merged event stream verifies, and at least one
+// trace tree spans more than one node — a ship recorded at the origin
+// matched by a deliver recorded at the peer.
+func TestTracePropagationAcrossNodes(t *testing.T) {
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:       3,
+		Reliability: &transport.ReliableConfig{},
+		Telemetry:   &telemetry.Config{Trace: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	saveTelemetryOnFailure(t, cl)
+
+	serverOut := &lockedWriter{}
+	if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {
+		t.Fatal(err)
+	}
+	outs := []*lockedWriter{{}, {}}
+	for i, chunks := range [][]int{chunkRange(0, 8), chunkRange(8, 16)} {
+		if _, err := cl.Submit(1+i, fmt.Sprintf("worker%d", i), chaosWorkerSrc(chunks), outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("cluster never terminated: %v (cluster: %v)", err, cl.Err())
+	}
+	done := parseChunks(t, outs...)
+	for c := 0; c < 16; c++ {
+		if !done[c] {
+			t.Errorf("chunk %d never processed", c)
+		}
+	}
+
+	dump := cl.Telemetry()
+	if err := dump.Verify(); err != nil {
+		t.Fatalf("trace completeness: %v", err)
+	}
+	trees := dump.Trees()
+	if len(trees) == 0 {
+		t.Fatal("no trace trees recorded")
+	}
+	crossNode := 0
+	for _, tree := range trees {
+		nodes := map[uint32]bool{}
+		origins := 0
+		for _, e := range tree.Events {
+			nodes[e.Node] = true
+			if e.Kind == telemetry.EvOrigin {
+				origins++
+				if got := telemetry.TraceNode(tree.Trace); got != e.Node {
+					t.Errorf("trace %x originated on node %d but encodes node %d", tree.Trace, e.Node, got)
+				}
+			}
+		}
+		if origins != 1 {
+			t.Errorf("trace %x has %d origins", tree.Trace, origins)
+		}
+		if len(nodes) > 1 {
+			crossNode++
+		}
+	}
+	if crossNode == 0 {
+		t.Errorf("no trace tree spans multiple nodes (trees: %d) — trace IDs are not propagating over the wire", len(trees))
+	}
+}
+
+// TestTelemetryDoesNotPerturbResults runs the identical seeded chaos
+// workload with telemetry off and with tracing on. The fabric must be
+// purely observational: both runs complete every chunk exactly once.
+func TestTelemetryDoesNotPerturbResults(t *testing.T) {
+	run := func(tel *telemetry.Config) map[int]int {
+		t.Helper()
+		cl, err := core.NewCluster(core.ClusterConfig{
+			Nodes:       3,
+			Chaos:       &transport.ChaosConfig{Seed: *chaosSeed, Drop: 0.1, Dup: 0.05, Reorder: 0.1},
+			Reliability: &transport.ReliableConfig{},
+			Telemetry:   tel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Stop()
+		serverOut := &lockedWriter{}
+		if _, err := cl.Submit(0, "seti", chaosSetiServer, serverOut); err != nil {
+			t.Fatal(err)
+		}
+		outs := []*lockedWriter{{}, {}}
+		for i, chunks := range [][]int{chunkRange(0, 10), chunkRange(10, 20)} {
+			if _, err := cl.Submit(1+i, fmt.Sprintf("worker%d", i), chaosWorkerSrc(chunks), outs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := cl.Wait(ctx); err != nil {
+			t.Fatalf("cluster never terminated: %v (cluster: %v)", err, cl.Err())
+		}
+		return countChunks(t, outs...)
+	}
+	off := run(nil)
+	on := run(&telemetry.Config{Trace: true})
+	for c := 0; c < 20; c++ {
+		if off[c] != 1 {
+			t.Errorf("telemetry-off run processed chunk %d %d times, want 1", c, off[c])
+		}
+		if on[c] != 1 {
+			t.Errorf("telemetry-on run processed chunk %d %d times, want 1", c, on[c])
+		}
+	}
+}
