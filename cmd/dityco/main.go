@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/nameservice"
 	"repro/internal/node"
@@ -33,6 +35,7 @@ func main() {
 		peerStr = flag.String("peers", "", "comma-separated peer list: id=host:port,…")
 		telem   = flag.Bool("telemetry", true, "metrics registry + flight recorder (tycosh stats/trace)")
 		tracing = flag.Bool("trace", false, "causal mobility tracing (adds a trace varint to every envelope; see DESIGN.md §11)")
+		intro   = flag.String("introspect", "", "observability HTTP listen address (/metrics, /healthz, /statusz, /debug/…); empty disables, \"auto\" picks a loopback port")
 	)
 	flag.Parse()
 
@@ -88,12 +91,21 @@ func main() {
 	if *telem {
 		tel = telemetry.New(uint32(*nodeID), telemetry.Config{Trace: *tracing})
 	}
+	var introCfg *node.IntrospectConfig
+	if *intro != "" {
+		listen := *intro
+		if listen == "auto" {
+			listen = "127.0.0.1:0"
+		}
+		introCfg = &node.IntrospectConfig{Listen: listen}
+	}
 	n := node.New(node.Config{
-		ID:        uint32(*nodeID),
-		NS:        ns,
-		Transport: tr,
-		Out:       os.Stdout,
-		Telemetry: tel,
+		ID:         uint32(*nodeID),
+		NS:         ns,
+		Transport:  tr,
+		Out:        os.Stdout,
+		Telemetry:  tel,
+		Introspect: introCfg,
 	})
 	ti, err := n.ServeTyCOi(*ioport)
 	if err != nil {
@@ -101,6 +113,20 @@ func main() {
 	}
 	fmt.Printf("dityco: node %d up — transport %s, submissions %s, name service %s\n",
 		*nodeID, tr.Addr(), ti.Addr(), *nsAddr)
+	if introCfg != nil {
+		obsAddr := n.IntrospectionAddr()
+		if obsAddr == "" {
+			fatal(fmt.Errorf("introspection server failed: %v", n.Err()))
+		}
+		// Advertise the endpoint so tycotop / tycosh cluster can find
+		// this node through the name service alone.
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := ns.RegisterEndpoint(ctx, uint32(*nodeID), nameservice.EndpointIntrospect, obsAddr); err != nil {
+			fmt.Fprintf(os.Stderr, "dityco: warning: endpoint advertisement failed: %v\n", err)
+		}
+		cancel()
+		fmt.Printf("dityco: node %d observability at http://%s/\n", *nodeID, obsAddr)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

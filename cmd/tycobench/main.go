@@ -9,6 +9,7 @@
 //	tycobench -json out.json       # also write machine-readable metrics
 //	tycobench -seed 7              # override seeded components
 //	tycobench -telemetry dump.json # telemetry capture run: write a flight-recorder dump
+//	tycobench -scrape 127.0.0.1:9101  # strict-validate a node's /metrics endpoint
 //	tycobench -cpuprofile cpu.pb   # pprof CPU profile of the run
 //	tycobench -memprofile mem.pb   # heap profile at exit
 //
@@ -21,6 +22,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -28,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 // benchMeta identifies the machine/run that produced a metrics file.
@@ -46,6 +49,7 @@ func main() {
 		jsonPath = flag.String("json", "", "write collected metrics as JSON to this file ({meta, metrics})")
 		seed     = flag.Int64("seed", 0, "override seeded components (0 = per-experiment defaults)")
 		telPath  = flag.String("telemetry", "", "run a telemetry capture workload and write the flight-recorder dump to this file")
+		scrape   = flag.String("scrape", "", "scrape host:port/metrics, strict-validate the OpenMetrics text, and print each family (exit 1 on parse failure)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	)
@@ -76,6 +80,13 @@ func main() {
 		for _, id := range strings.Split(*sel, ",") {
 			want[strings.TrimSpace(strings.ToLower(id))] = true
 		}
+	}
+	if *scrape != "" {
+		if err := scrapeMetrics(*scrape); err != nil {
+			fmt.Fprintf(os.Stderr, "scrape: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
 	if *telPath != "" {
@@ -148,4 +159,22 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// scrapeMetrics pulls one node's OpenMetrics exposition through the
+// same strict parser tycotop uses and prints every family with its
+// sample count — CI's scrape-smoke job uses this as the validator.
+func scrapeMetrics(addr string) error {
+	client := &http.Client{Timeout: 5 * time.Second}
+	fams, err := telemetry.ScrapeMetrics(client, addr)
+	if err != nil {
+		return err
+	}
+	samples := 0
+	for _, f := range fams {
+		fmt.Printf("%-45s %-7s %d sample(s)\n", f.Name, f.Type, len(f.Samples))
+		samples += len(f.Samples)
+	}
+	fmt.Printf("ok: %d families, %d samples from http://%s/metrics\n", len(fams), samples, addr)
+	return nil
 }

@@ -6,11 +6,13 @@
 //	tycosh -node localhost:7201 -site server server.ty
 //	tycosh -node localhost:7201 -site client -e 'import chat from server in chat!["hi"]'
 //
-// Two positional commands query a telemetry-enabled node instead of
-// submitting a program:
+// Three positional commands query a node instead of submitting a
+// program:
 //
-//	tycosh -node localhost:7201 stats   # metrics registry as JSON
-//	tycosh -node localhost:7201 trace   # mobility trace trees as JSON
+//	tycosh -node localhost:7201 stats    # metrics registry as JSON (keys sorted)
+//	tycosh -node localhost:7201 trace    # mobility trace trees as JSON
+//	tycosh -node localhost:7201 cluster  # aggregated table of every node's
+//	                                     # advertised observability endpoint
 package main
 
 import (
@@ -32,7 +34,7 @@ func main() {
 	flag.Parse()
 
 	if *site == "" && flag.NArg() == 1 {
-		if cmd := flag.Arg(0); cmd == "stats" || cmd == "trace" {
+		if cmd := flag.Arg(0); cmd == "stats" || cmd == "trace" || cmd == "cluster" {
 			query(*addr, "!"+cmd)
 			return
 		}
@@ -72,8 +74,8 @@ func main() {
 	}
 }
 
-// query sends a magic "!stats"/"!trace" submission and streams the
-// node's JSON reply to stdout.
+// query sends a magic "!stats"/"!trace"/"!cluster" submission and
+// streams the node's reply to stdout.
 func query(addr, magic string) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {

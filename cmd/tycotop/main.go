@@ -1,0 +1,133 @@
+// Command tycotop renders a live aggregated view of a DiTyCO cluster
+// by scraping every node's observability endpoint (DESIGN.md §12). It
+// discovers endpoints through the name service (nodes started with
+// dityco -introspect advertise themselves) or takes an explicit list:
+//
+//	tycotop -ns localhost:7070                     # discover via name service
+//	tycotop -nodes 1=127.0.0.1:9101,2=127.0.0.1:9102
+//	tycotop -ns localhost:7070 -once -json         # one JSON snapshot and exit
+//
+// Without -once it refreshes every -interval, clearing the screen
+// between frames like top(1).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/nameservice"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		nsAddr   = flag.String("ns", "", "name service address(es), comma-separated; endpoints are re-discovered every frame")
+		nodeStr  = flag.String("nodes", "", "explicit endpoint list: id=host:port,… (bypasses the name service)")
+		once     = flag.Bool("once", false, "render a single frame and exit")
+		jsonOut  = flag.Bool("json", false, "emit the cluster view as JSON instead of a table")
+		interval = flag.Duration("interval", 2*time.Second, "refresh period")
+		timeout  = flag.Duration("timeout", 3*time.Second, "per-scrape HTTP timeout")
+	)
+	flag.Parse()
+
+	if *nsAddr == "" && *nodeStr == "" {
+		fmt.Fprintln(os.Stderr, "tycotop: need -ns or -nodes")
+		os.Exit(2)
+	}
+
+	var static map[uint32]string
+	if *nodeStr != "" {
+		static = map[uint32]string{}
+		for _, p := range strings.Split(*nodeStr, ",") {
+			eq := strings.IndexByte(p, '=')
+			if eq < 0 {
+				fatal(fmt.Errorf("bad node %q (want id=host:port)", p))
+			}
+			id, err := strconv.ParseUint(p[:eq], 10, 32)
+			if err != nil {
+				fatal(fmt.Errorf("bad node id in %q: %v", p, err))
+			}
+			static[uint32(id)] = p[eq+1:]
+		}
+	}
+
+	var ns nameservice.Service
+	if static == nil {
+		svc, closeAll, err := dialNS(*nsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer closeAll()
+		ns = svc
+	}
+
+	for {
+		endpoints := static
+		if endpoints == nil {
+			ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+			eps, err := ns.Endpoints(ctx, nameservice.EndpointIntrospect)
+			cancel()
+			if err != nil {
+				fatal(fmt.Errorf("endpoint discovery: %w", err))
+			}
+			endpoints = eps
+		}
+		view := telemetry.ScrapeCluster(endpoints, *timeout)
+		if *jsonOut {
+			os.Stdout.Write(append(view.JSON(), '\n'))
+		} else {
+			if !*once {
+				fmt.Print("\033[H\033[2J") // clear screen, cursor home
+			}
+			fmt.Printf("tycotop — %d node(s)\n\n", len(endpoints))
+			fmt.Print(view.RenderTable())
+		}
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// dialNS connects to one name server (centralized) or several
+// (replicated), mirroring dityco's -ns flag.
+func dialNS(spec string) (nameservice.Service, func(), error) {
+	addrs := strings.Split(spec, ",")
+	clients := make([]*nameservice.Client, 0, len(addrs))
+	closeAll := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}
+	for _, a := range addrs {
+		cli, err := nameservice.Dial(strings.TrimSpace(a))
+		if err != nil {
+			closeAll()
+			return nil, nil, fmt.Errorf("name service at %s: %w", a, err)
+		}
+		clients = append(clients, cli)
+	}
+	if len(clients) == 1 {
+		return clients[0], closeAll, nil
+	}
+	replicas := make([]nameservice.Service, len(clients))
+	for i, c := range clients {
+		replicas[i] = c
+	}
+	rep, err := nameservice.NewReplicated(replicas...)
+	if err != nil {
+		closeAll()
+		return nil, nil, err
+	}
+	return rep, closeAll, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tycotop:", err)
+	os.Exit(1)
+}

@@ -145,6 +145,14 @@ type ClusterConfig struct {
 	// telemetry snapshot from a node whenever one of its supervised
 	// sites crashes (node.Config.CrashDumpDir).
 	CrashDumpDir string
+	// Introspection, when non-nil, serves each node's observability
+	// HTTP endpoint (/metrics, /healthz, /statusz, /debug/…) and runs
+	// its stall detector (DESIGN.md §12). Implies telemetry on every
+	// node. Leave Listen empty in clusters — every node binds its own
+	// kernel-assigned loopback port — and read the addresses back via
+	// Cluster.IntrospectionAddrs; they are also advertised through the
+	// name service (nameservice.EndpointIntrospect) for tycotop.
+	Introspection *node.IntrospectConfig
 }
 
 // spawnRec remembers a submission so Recover can restore the node's
@@ -247,6 +255,11 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 	if c.cfg.Telemetry != nil {
 		tel = telemetry.New(id, *c.cfg.Telemetry)
 	}
+	var intro *node.IntrospectConfig
+	if c.cfg.Introspection != nil {
+		ic := *c.cfg.Introspection
+		intro = &ic
+	}
 	n := node.New(node.Config{
 		ID:                id,
 		NS:                c.ns,
@@ -262,8 +275,31 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 		Batch:             c.cfg.Batch,
 		Telemetry:         tel,
 		CrashDumpDir:      c.cfg.CrashDumpDir,
+		Introspect:        intro,
 	})
+	if intro != nil {
+		if addr := n.IntrospectionAddr(); addr != "" {
+			// Advertise the endpoint so any node (or tycotop) can
+			// enumerate the cluster's observability plane. A recovered
+			// incarnation re-registers its fresh address here too.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			_ = c.ns.RegisterEndpoint(ctx, id, nameservice.EndpointIntrospect, addr)
+			cancel()
+		}
+	}
 	return n, mem, nil
+}
+
+// IntrospectionAddrs lists every live node's observability address
+// (empty without the Introspection knob).
+func (c *Cluster) IntrospectionAddrs() map[uint32]string {
+	out := map[uint32]string{}
+	for _, n := range c.snapshotNodes() {
+		if addr := n.IntrospectionAddr(); addr != "" {
+			out[n.ID()] = addr
+		}
+	}
+	return out
 }
 
 // Telemetry captures a cluster-wide telemetry dump: one snapshot per

@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/telemetry"
+	"repro/internal/transport"
+)
+
+// E13 — introspection plane: scrape overhead & stall-detection latency.
+//
+// The observability endpoint (DESIGN.md §12) must hold the telemetry
+// bargain: leaving it on cannot tax the message path. The site probe
+// refreshes a handful of atomics once per scheduler turn and every
+// HTTP handler samples at request time, so the cost lives with the
+// scraper, not the workload. Two phases:
+//
+//  1. Overhead: the E12 fastether workload at three configs —
+//     introspection off (telemetry on, the E12 baseline), on (probe
+//     mirrors + stall detector + idle HTTP server), and on while a
+//     scraper hammers /metrics + /statusz continuously for the whole
+//     run. The parity budget (≤2%) applies to the idle-endpoint
+//     config; the scraped row documents what a monitoring system
+//     costs when it actually pulls.
+//  2. Stall latency: a client is wedged on a class fetch from a node
+//     crashed under a chaotic link, with no failure detector running
+//     (nothing marked down, so no suppression). Measured per rep:
+//     wall time from submitting the doomed client to the stall
+//     surfacing in /statusz. The detector samples at Threshold/5, so
+//     latency lands near Threshold + one interval; the table reports
+//     min/median/max against the configured threshold.
+func E13(o Options) (*Table, error) {
+	calls := o.scale(200, 30)
+	reps := o.scale(3, 2)
+	const callers = 128
+
+	t := &Table{
+		ID:     "E13",
+		Title:  "introspection: scrape overhead and stall-detection latency",
+		Header: []string{"phase", "config", "msgs/s", "overhead", "latency"},
+		Notes: []string{
+			fmt.Sprintf("overhead: %d callers x %d calls on fastether, reliable+batched, best of %d reps", callers, calls, reps),
+			"budget: idle introspection (probe+detector+endpoint) within 2% of off; a continuously pulling scraper pays on its own connection",
+			"latency: class-fetch wedge against a crashed node over a 10% drop link; detector threshold 150ms, sampling every 30ms",
+		},
+	}
+
+	// Phase 1: overhead. Telemetry stays on in every config — the
+	// introspection delta is what this phase isolates.
+	run := func(intro *node.IntrospectConfig, scrape bool) (float64, error) {
+		var best float64
+		for r := 0; r < reps; r++ {
+			cl, err := core.NewCluster(core.ClusterConfig{
+				Nodes:         2,
+				Link:          mustProfile("fastether"),
+				Reliability:   &transport.ReliableConfig{},
+				Telemetry:     &telemetry.Config{},
+				Introspection: intro,
+			})
+			if err != nil {
+				return 0, err
+			}
+			stopScrape := make(chan struct{})
+			var scrapeWG sync.WaitGroup
+			if scrape {
+				addrs := cl.IntrospectionAddrs()
+				scrapeWG.Add(1)
+				go func() {
+					defer scrapeWG.Done()
+					for {
+						select {
+						case <-stopScrape:
+							return
+						default:
+						}
+						telemetry.ScrapeCluster(addrs, time.Second)
+					}
+				}()
+			}
+			start := time.Now()
+			progs := []workloadProgram{
+				{node: 0, site: "server", src: e1Server},
+				{node: 1, site: "client", src: e1Client(callers, calls)},
+			}
+			var submitErr error
+			for _, p := range progs {
+				if _, err := cl.Submit(p.node, p.site, p.src, p.out); err != nil {
+					submitErr = fmt.Errorf("submit %s: %w", p.site, err)
+					break
+				}
+			}
+			var waitErr error
+			if submitErr == nil {
+				waitErr = waitCluster(cl, 5*time.Minute)
+			}
+			elapsed := time.Since(start)
+			close(stopScrape)
+			scrapeWG.Wait()
+			cl.Stop()
+			if submitErr != nil {
+				return 0, submitErr
+			}
+			if waitErr != nil {
+				return 0, waitErr
+			}
+			if sec := float64(2*callers*calls) / elapsed.Seconds(); sec > best {
+				best = sec
+			}
+		}
+		return best, nil
+	}
+	off, err := run(nil, false)
+	if err != nil {
+		return nil, fmt.Errorf("E13 introspect=off: %w", err)
+	}
+	on, err := run(&node.IntrospectConfig{}, false)
+	if err != nil {
+		return nil, fmt.Errorf("E13 introspect=on: %w", err)
+	}
+	scraped, err := run(&node.IntrospectConfig{}, true)
+	if err != nil {
+		return nil, fmt.Errorf("E13 introspect=scraped: %w", err)
+	}
+	overhead := (off - on) / off * 100
+	scrapedOverhead := (off - scraped) / off * 100
+	t.Rows = append(t.Rows,
+		[]string{"overhead", "introspect=off", fmt.Sprintf("%.0f", off), "-", "-"},
+		[]string{"overhead", "introspect=on", fmt.Sprintf("%.0f", on), fmt.Sprintf("%.1f%%", overhead), "-"},
+		[]string{"overhead", "introspect=on+scraper", fmt.Sprintf("%.0f", scraped), fmt.Sprintf("%.1f%%", scrapedOverhead), "-"},
+	)
+	t.SetMetric("e13/fastether/msgs_per_sec/introspect=off", off)
+	t.SetMetric("e13/fastether/msgs_per_sec/introspect=on", on)
+	t.SetMetric("e13/fastether/msgs_per_sec/introspect=scraped", scraped)
+	t.SetMetric("e13/fastether/overhead_pct", overhead)
+	t.SetMetric("e13/fastether/scraped_overhead_pct", scrapedOverhead)
+	if overhead > 2 {
+		t.Notes = append(t.Notes, fmt.Sprintf("WARNING: idle introspection overhead %.1f%% exceeds the 2%% budget (noisy on loaded machines; re-run full scale)", overhead))
+	}
+
+	// Phase 2: stall-detection latency under chaos.
+	latencies, threshold, err := e13StallLatency(o)
+	if err != nil {
+		return nil, fmt.Errorf("E13 stall latency: %w", err)
+	}
+	min, med, max := latencies[0], latencies[len(latencies)/2], latencies[len(latencies)-1]
+	t.Rows = append(t.Rows, []string{
+		"stall", fmt.Sprintf("threshold=%v, %d reps", threshold, len(latencies)), "-", "-",
+		fmt.Sprintf("min %v / med %v / max %v", min.Round(time.Millisecond), med.Round(time.Millisecond), max.Round(time.Millisecond)),
+	})
+	t.SetMetric("e13/stall/threshold_ms", float64(threshold.Milliseconds()))
+	t.SetMetric("e13/stall/detect_latency_ms_med", float64(med.Milliseconds()))
+	t.SetMetric("e13/stall/detect_latency_ms_max", float64(max.Milliseconds()))
+	return t, nil
+}
+
+// e13StallLatency wedges a client on a crashed exporter over a lossy
+// link and measures, per rep, the time from submission to the stall
+// surfacing in the node's status. Returns sorted latencies.
+func e13StallLatency(o Options) ([]time.Duration, time.Duration, error) {
+	const threshold = 150 * time.Millisecond
+	reps := o.scale(5, 3)
+	var out []time.Duration
+	for r := 0; r < reps; r++ {
+		cl, err := core.NewCluster(core.ClusterConfig{
+			Nodes:       2,
+			Chaos:       &transport.ChaosConfig{Seed: o.seed(13) + uint64(r), Drop: 0.1, Dup: 0.05, Reorder: 0.1},
+			Reliability: &transport.ReliableConfig{},
+			Introspection: &node.IntrospectConfig{
+				Stall: node.StallConfig{Threshold: threshold, Interval: threshold / 5},
+			},
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		lat, err := func() (time.Duration, error) {
+			defer cl.Stop()
+			if _, err := cl.Submit(1, "server", `export def Applet(x) = println("applet", x) in inaction`, nil); err != nil {
+				return 0, err
+			}
+			warm := &syncBuf{}
+			if _, err := cl.Submit(0, "warmup", `import Applet from server in Applet[0]`, warm); err != nil {
+				return 0, err
+			}
+			if err := pollUntil(30*time.Second, func() bool { return warm.Len() > 0 }); err != nil {
+				return 0, fmt.Errorf("warmup never ran: %w", err)
+			}
+			cl.Crash(1)
+			start := time.Now()
+			if _, err := cl.Submit(0, "wedged", `import Applet from server in Applet[7]`, nil); err != nil {
+				return 0, err
+			}
+			err := pollUntil(30*time.Second, func() bool {
+				return len(cl.Node(0).Status().Stalls) > 0
+			})
+			if err != nil {
+				return 0, fmt.Errorf("stall never flagged: %w", err)
+			}
+			return time.Since(start), nil
+		}()
+		if err != nil {
+			return nil, 0, fmt.Errorf("rep %d: %w", r, err)
+		}
+		out = append(out, lat)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort; reps is tiny
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, threshold, nil
+}
+
+// syncBuf is a goroutine-safe byte sink for polling site output.
+type syncBuf struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (b *syncBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	b.n += len(p)
+	b.mu.Unlock()
+	return len(p), nil
+}
+
+func (b *syncBuf) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// pollUntil polls cond every 2ms until it holds or d elapses.
+func pollUntil(d time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("timed out after %v", d)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return nil
+}

@@ -133,6 +133,7 @@ func All() []Runner {
 		{"e10", "crash recovery: journal overhead, checkpoint interval", E10},
 		{"e11", "frame coalescing: msgs/s and allocs/op vs batch size", E11},
 		{"e12", "telemetry: overhead & trace completeness", E12},
+		{"e13", "introspection: scrape overhead & stall-detection latency", E13},
 	}
 }
 

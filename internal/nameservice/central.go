@@ -75,7 +75,22 @@ type Service interface {
 	// incarnation must not keep its successor's entry alive — and must
 	// learn it has been superseded).
 	KeepAlive(ctx context.Context, siteName string, epoch uint32) error
+	// RegisterEndpoint advertises a node-level auxiliary endpoint of
+	// the given kind (e.g. EndpointIntrospect) at addr.
+	// Re-registration overwrites — a restarted node re-advertises its
+	// fresh address.
+	RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error
+	// Endpoints enumerates every advertised endpoint of the given kind
+	// as node id → address. Unlike the name lookups it does not block
+	// for future registrations: enumerating the cluster answers with
+	// whatever is known now.
+	Endpoints(ctx context.Context, kind string) (map[uint32]string, error)
 }
+
+// EndpointIntrospect is the endpoint kind under which nodes advertise
+// their observability HTTP address (DESIGN.md §12). tycotop and
+// `tycosh cluster` enumerate it to scrape the whole cluster.
+const EndpointIntrospect = "introspect"
 
 type siteEntry struct {
 	site     uint32
@@ -104,11 +119,17 @@ type Central struct {
 	leaseTTL time.Duration
 	now      func() time.Time
 
-	mu      sync.Mutex
-	gen     chan struct{} // closed and replaced on every registration
-	sites   map[string]siteEntry
-	names   map[idKey]nameEntry
-	classes map[idKey]classEntry
+	mu        sync.Mutex
+	gen       chan struct{} // closed and replaced on every registration
+	sites     map[string]siteEntry
+	names     map[idKey]nameEntry
+	classes   map[idKey]classEntry
+	endpoints map[endpointKey]string
+}
+
+type endpointKey struct {
+	kind string
+	node uint32
 }
 
 var _ Service = (*Central)(nil)
@@ -118,11 +139,12 @@ var _ Service = (*Central)(nil)
 // implementation).
 func NewCentral() *Central {
 	return &Central{
-		now:     time.Now,
-		gen:     make(chan struct{}),
-		sites:   map[string]siteEntry{},
-		names:   map[idKey]nameEntry{},
-		classes: map[idKey]classEntry{},
+		now:       time.Now,
+		gen:       make(chan struct{}),
+		sites:     map[string]siteEntry{},
+		names:     map[idKey]nameEntry{},
+		classes:   map[idKey]classEntry{},
+		endpoints: map[endpointKey]string{},
 	}
 }
 
@@ -277,6 +299,30 @@ func (c *Central) LookupClass(ctx context.Context, siteName, class string) (vm.N
 			return vm.NetClass{}, "", fmt.Errorf("nameservice: lookup class %s.%s: %w", siteName, class, ctx.Err())
 		}
 	}
+}
+
+// RegisterEndpoint implements Service.
+func (c *Central) RegisterEndpoint(_ context.Context, node uint32, kind, addr string) error {
+	if kind == "" {
+		return fmt.Errorf("nameservice: endpoint registration with empty kind")
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.endpoints[endpointKey{kind: kind, node: node}] = addr
+	return nil
+}
+
+// Endpoints implements Service.
+func (c *Central) Endpoints(_ context.Context, kind string) (map[uint32]string, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := map[uint32]string{}
+	for k, addr := range c.endpoints {
+		if k.kind == kind {
+			out[k.node] = addr
+		}
+	}
+	return out, nil
 }
 
 // SiteEpoch returns the registered epoch of a site (0, false when

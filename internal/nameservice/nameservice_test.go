@@ -296,6 +296,12 @@ func (f *failingService) KeepAlive(context.Context, string, uint32) error       
 func (f *failingService) LookupClass(ctx context.Context, _, _ string) (vm.NetClass, string, error) {
 	return vm.NetClass{}, "", errDown
 }
+func (f *failingService) RegisterEndpoint(context.Context, uint32, string, string) error {
+	return errDown
+}
+func (f *failingService) Endpoints(context.Context, string) (map[uint32]string, error) {
+	return nil, errDown
+}
 
 type downError struct{}
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -31,6 +32,8 @@ const (
 	opLookupClass
 	opReply
 	opKeepAlive
+	opRegisterEndpoint
+	opEndpoints
 )
 
 const maxNSFrame = 1 << 20
@@ -168,6 +171,34 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			reply(nil, s.svc.KeepAlive(ctx, siteName, uint32(epoch)))
+		case opRegisterEndpoint:
+			node, _ := r.U()
+			kind, _ := r.S()
+			addr, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			reply(nil, s.svc.RegisterEndpoint(ctx, uint32(node), kind, addr))
+		case opEndpoints:
+			kind, err2 := r.S()
+			if err2 != nil {
+				return
+			}
+			eps, err3 := s.svc.Endpoints(ctx, kind)
+			reply(func(w *wire.Writer) {
+				w.U(uint64(len(eps)))
+				// Deterministic encoding order keeps replies comparable
+				// in tests; the map round-trips either way.
+				nodes := make([]uint32, 0, len(eps))
+				for node := range eps {
+					nodes = append(nodes, node)
+				}
+				sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+				for _, node := range nodes {
+					w.U(uint64(node))
+					w.S(eps[node])
+				}
+			}, err3)
 		case opRegisterName:
 			siteName, _ := r.S()
 			idName, _ := r.S()
@@ -566,6 +597,49 @@ func (c *Client) RegisterClass(ctx context.Context, siteName, class string, sig 
 		w.S(sig)
 	})
 	return err
+}
+
+// RegisterEndpoint implements Service.
+func (c *Client) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
+	ctx, cancel := registerCtx(ctx)
+	defer cancel()
+	_, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
+		w.Byte(byte(opRegisterEndpoint))
+		w.U(rid)
+		w.U(uint64(node))
+		w.S(kind)
+		w.S(addr)
+	})
+	return err
+}
+
+// Endpoints implements Service.
+func (c *Client) Endpoints(ctx context.Context, kind string) (map[uint32]string, error) {
+	r, err := c.call(ctx, func(w *wire.Writer, rid uint64) {
+		w.Byte(byte(opEndpoints))
+		w.U(rid)
+		w.S(kind)
+	})
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.U()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint32]string, n)
+	for i := uint64(0); i < n; i++ {
+		node, err := r.U()
+		if err != nil {
+			return nil, err
+		}
+		addr, err := r.S()
+		if err != nil {
+			return nil, err
+		}
+		out[uint32(node)] = addr
+	}
+	return out, nil
 }
 
 // LookupClass implements Service.

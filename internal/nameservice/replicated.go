@@ -189,3 +189,55 @@ func (r *Replicated) KeepAlive(ctx context.Context, siteName string, epoch uint3
 		return s.KeepAlive(ctx, siteName, epoch)
 	})
 }
+
+// RegisterEndpoint implements Service.
+func (r *Replicated) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
+	return r.writeAll(ctx, func(ctx context.Context, s Service) error {
+		return s.RegisterEndpoint(ctx, node, kind, addr)
+	})
+}
+
+// Endpoints implements Service. Every replica is queried and the
+// answers are merged: a registration that reached only a quorum must
+// still be enumerable through any replica subset that includes one
+// acceptor, and the union is safe because endpoint advertisements are
+// last-writer-wins per (kind, node) with one writer (the node itself).
+func (r *Replicated) Endpoints(ctx context.Context, kind string) (map[uint32]string, error) {
+	type result struct {
+		eps map[uint32]string
+		err error
+	}
+	results := make(chan result, len(r.replicas))
+	for _, s := range r.replicas {
+		go func(s Service) {
+			qctx := ctx
+			if r.WriteTimeout > 0 {
+				var cancel context.CancelFunc
+				qctx, cancel = context.WithTimeout(ctx, r.WriteTimeout)
+				defer cancel()
+			}
+			eps, err := s.Endpoints(qctx, kind)
+			results <- result{eps: eps, err: err}
+		}(s)
+	}
+	merged := map[uint32]string{}
+	var firstErr error
+	ok := false
+	for range r.replicas {
+		res := <-results
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		ok = true
+		for node, addr := range res.eps {
+			merged[node] = addr
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("nameservice: endpoints(%s): every replica failed: %w", kind, firstErr)
+	}
+	return merged, nil
+}

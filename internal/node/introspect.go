@@ -1,0 +1,305 @@
+package node
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// The node half of the introspection plane (DESIGN.md §12): the HTTP
+// observability server over this node's telemetry, the /statusz and
+// /healthz documents, and the stall detector that samples every site's
+// scheduler probe.
+
+// StallConfig tunes the stall detector.
+type StallConfig struct {
+	// Interval is the sampling period (default Threshold/4).
+	Interval time.Duration
+	// Threshold is how long a site may stay wedged on one cause —
+	// imports unresolved, a fetch outstanding, or an inbox queued
+	// against a silent run loop — before the detector flags it.
+	// Default 2s.
+	Threshold time.Duration
+	// DownGrace bounds peer-down suppression. While the reliable layer
+	// has any peer marked down (the failure detector suspects it, or a
+	// partition isolates it), suspected stalls are suppressed — the
+	// wedge has a known external cause and flagging it would be a false
+	// positive. A positive DownGrace re-enables reporting once the
+	// outage has lasted that long (a peer that never recovers should
+	// not hide a wedged site forever); 0 suppresses for as long as any
+	// peer stays down.
+	DownGrace time.Duration
+}
+
+func (c StallConfig) withDefaults() StallConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 2 * time.Second
+	}
+	if c.Interval <= 0 {
+		c.Interval = c.Threshold / 4
+	}
+	return c
+}
+
+// IntrospectConfig tunes the node's observability endpoint.
+type IntrospectConfig struct {
+	// Listen is the HTTP bind address; default "127.0.0.1:0" (loopback,
+	// kernel-assigned port — introspection is an operator plane, not a
+	// public one).
+	Listen string
+	// Stall tunes the stall detector (zero value: defaults).
+	Stall StallConfig
+}
+
+// stallKey identifies one stall condition for edge detection: the
+// suspected-stalls counter counts transitions, not samples.
+type stallKey struct {
+	site uint32
+	kind string
+}
+
+// startIntrospection binds the HTTP server and starts the stall
+// detector. Runs once from New when Config.Introspect is set.
+func (n *Node) startIntrospection(cfg IntrospectConfig) error {
+	if cfg.Listen == "" {
+		cfg.Listen = "127.0.0.1:0"
+	}
+	srv, err := telemetry.ServeIntrospection(cfg.Listen, telemetry.HTTPConfig{
+		Registry: n.tel.Registry(),
+		Recorder: n.tel.Recorder(),
+		Status:   n.Status,
+		Health:   n.Health,
+		Refresh:  n.refreshTelemetryGauges,
+	})
+	if err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.intro = srv
+	n.mu.Unlock()
+	go n.stallLoop(cfg.Stall.withDefaults())
+	return nil
+}
+
+// IntrospectionAddr returns the observability server's bound address
+// ("" when introspection is off or failed to bind).
+func (n *Node) IntrospectionAddr() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.intro == nil {
+		return ""
+	}
+	return n.intro.Addr()
+}
+
+// noteStrike records one supervised restart for /healthz.
+func (n *Node) noteStrike(siteName string) {
+	n.mu.Lock()
+	if n.strikes == nil {
+		n.strikes = map[string]int{}
+	}
+	n.strikes[siteName]++
+	n.mu.Unlock()
+}
+
+// Strikes copies the supervised-restart counts per site name.
+func (n *Node) Strikes() map[string]int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.strikes) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(n.strikes))
+	for k, v := range n.strikes {
+		out[k] = v
+	}
+	return out
+}
+
+// Status samples the node's full introspection state — the /statusz
+// document. Safe from any goroutine; cost is paid by the caller.
+func (n *Node) Status() telemetry.NodeStatus {
+	st := telemetry.NodeStatus{
+		Node:             n.cfg.ID,
+		Epoch:            n.cfg.Epoch,
+		LocalDeliveries:  n.localDeliveries.Load(),
+		RemoteDeliveries: n.remoteDeliveries.Load(),
+		DeliveryFailures: n.deliveryFailures.Load(),
+		Strikes:          n.Strikes(),
+	}
+	sites := n.Sites()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].ID() < sites[j].ID() })
+	for _, s := range sites {
+		st.Sites = append(st.Sites, s.Status())
+	}
+	if n.rel != nil {
+		rs := n.rel.Stats()
+		rel := &telemetry.RelStatus{
+			DataSent:    rs.DataSent,
+			Retransmits: rs.Retransmits,
+			AcksSent:    rs.AcksSent,
+			AckPiggy:    rs.AckPiggy,
+			DupDrops:    rs.DupDrops,
+			FailFasts:   rs.FailFasts,
+			Unacked:     n.rel.Unacked(),
+			AckDebt:     n.rel.AckDebt(),
+		}
+		for id := range n.rel.DownPeers() {
+			rel.DownPeers = append(rel.DownPeers, id)
+		}
+		sort.Slice(rel.DownPeers, func(i, j int) bool { return rel.DownPeers[i] < rel.DownPeers[j] })
+		st.Rel = rel
+	}
+	n.stallMu.Lock()
+	st.Stalls = append([]telemetry.StallReport(nil), n.stalls...)
+	n.stallMu.Unlock()
+	if err := n.Err(); err != nil {
+		st.Error = err.Error()
+	}
+	return st
+}
+
+// Health derives the /healthz verdict: a node error or a site out of
+// restart budget reads down; strikes, failing leases, down peers and
+// suspected stalls read degraded. Reasons list every contribution.
+func (n *Node) Health() telemetry.Health {
+	h := telemetry.Health{Node: n.cfg.ID, Status: telemetry.HealthOK}
+	degrade := func(reason string) {
+		if h.Status == telemetry.HealthOK {
+			h.Status = telemetry.HealthDegraded
+		}
+		h.Reasons = append(h.Reasons, reason)
+	}
+	if err := n.Err(); err != nil {
+		h.Status = telemetry.HealthDown
+		h.Reasons = append(h.Reasons, "node error: "+err.Error())
+	}
+	strikes := n.Strikes()
+	names := make([]string, 0, len(strikes))
+	for name := range strikes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		degrade(fmt.Sprintf("site %q restarted %d time(s)", name, strikes[name]))
+	}
+	sites := n.Sites()
+	sort.Slice(sites, func(i, j int) bool { return sites[i].ID() < sites[j].ID() })
+	for _, s := range sites {
+		st := s.Status()
+		if st.LeaseError != "" {
+			degrade(fmt.Sprintf("site %q lease refresh failing: %s", st.Name, st.LeaseError))
+		}
+	}
+	if n.rel != nil {
+		down := n.rel.DownPeers()
+		peers := make([]uint32, 0, len(down))
+		for id := range down {
+			peers = append(peers, id)
+		}
+		sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+		for _, id := range peers {
+			degrade(fmt.Sprintf("peer %d down for %s", id, time.Since(down[id]).Round(time.Millisecond)))
+		}
+	}
+	n.stallMu.Lock()
+	stalls := append([]telemetry.StallReport(nil), n.stalls...)
+	n.stallMu.Unlock()
+	for _, r := range stalls {
+		degrade(fmt.Sprintf("suspected stall: site %q wedged on %s for %dms", r.Name, r.Kind, r.AgeMs))
+	}
+	return h
+}
+
+// stallLoop samples every site's scheduler probe at the configured
+// period until the node stops.
+func (n *Node) stallLoop(cfg StallConfig) {
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			n.sampleStalls(cfg)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// sampleStalls runs one detector pass: read each site's probe, apply
+// the wedge heuristics, suppress while a peer is known down, and
+// publish transitions to the flight recorder and the
+// dityco_stalls_suspected counter.
+func (n *Node) sampleStalls(cfg StallConfig) {
+	// Suppression: while the reliable layer has a peer marked down
+	// (failure detector suspicion — a crash or a partition), a wedged
+	// site has a known external cause; flagging it would be a false
+	// positive. DownGrace bounds the silence for outages that never
+	// heal.
+	suppressed := false
+	if n.rel != nil {
+		if down := n.rel.DownPeers(); len(down) > 0 {
+			suppressed = true
+			if cfg.DownGrace > 0 {
+				for _, since := range down {
+					if time.Since(since) >= cfg.DownGrace {
+						suppressed = false
+						break
+					}
+				}
+			}
+		}
+	}
+	thresholdMs := cfg.Threshold.Milliseconds()
+	var reports []telemetry.StallReport
+	if !suppressed {
+		for _, s := range n.Sites() {
+			st := s.Status()
+			if st.Error != "" {
+				continue // dead sites are the supervisor's problem
+			}
+			switch {
+			case st.ImportWaitMs >= thresholdMs:
+				reports = append(reports, telemetry.StallReport{
+					Site: st.ID, Name: st.Name, Kind: "import", AgeMs: st.ImportWaitMs,
+					Detail: fmt.Sprintf("%d import(s) unresolved", st.WaitingImports),
+				})
+			case st.FetchWaitMs >= thresholdMs:
+				reports = append(reports, telemetry.StallReport{
+					Site: st.ID, Name: st.Name, Kind: "fetch", AgeMs: st.FetchWaitMs,
+					Detail: fmt.Sprintf("%d class fetch(es) outstanding", st.PendingFetches),
+				})
+			case st.Inbox > 0 && st.ParkedMs == 0 && st.LoopAgeMs >= thresholdMs:
+				reports = append(reports, telemetry.StallReport{
+					Site: st.ID, Name: st.Name, Kind: "inbox", AgeMs: st.LoopAgeMs,
+					Detail: fmt.Sprintf("%d delivery(ies) queued against a silent run loop", st.Inbox),
+				})
+			}
+		}
+		sort.Slice(reports, func(i, j int) bool { return reports[i].Site < reports[j].Site })
+	}
+	seen := make(map[stallKey]bool, len(reports))
+	var fresh []telemetry.StallReport
+	n.stallMu.Lock()
+	for _, r := range reports {
+		k := stallKey{site: r.Site, kind: r.Kind}
+		seen[k] = true
+		if !n.stallSeen[k] {
+			fresh = append(fresh, r)
+		}
+	}
+	n.stallSeen = seen
+	n.stalls = reports
+	n.stallMu.Unlock()
+	for _, r := range fresh {
+		// Transition, not level: one counter tick and one recorder
+		// event per newly suspected (site, cause).
+		n.tel.AddCounter("stalls.suspected", 1)
+		n.tel.Recorder().Record(telemetry.Event{
+			Kind: telemetry.EvStall, Node: n.cfg.ID, Site: r.Site,
+		})
+	}
+	n.tel.SetGauge("stalls.active", int64(len(reports)))
+}

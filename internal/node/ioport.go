@@ -1,6 +1,8 @@
 package node
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"encoding/json"
 	"fmt"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/compiler"
+	"repro/internal/nameservice"
 	"repro/internal/site"
 	"repro/internal/syntax"
 	"repro/internal/telemetry"
@@ -158,9 +161,11 @@ func (t *TyCOi) serve(conn net.Conn) {
 	}
 	// Magic site names query the node instead of spawning a site:
 	// "!stats" dumps the metrics registry, "!trace" the flight
-	// recorder's mobility trace trees (both as JSON). The submission
-	// source is read (protocol symmetry) and ignored.
-	if siteName == "!stats" || siteName == "!trace" {
+	// recorder's mobility trace trees (both as JSON), and "!cluster"
+	// scrapes every advertised introspection endpoint into an
+	// aggregated table. The submission source is read (protocol
+	// symmetry) and ignored.
+	if siteName == "!stats" || siteName == "!trace" || siteName == "!cluster" {
 		t.serveTelemetry(conn, siteName)
 		return
 	}
@@ -200,31 +205,78 @@ func (t *TyCOi) serve(conn net.Conn) {
 	}
 }
 
-// serveTelemetry answers the "!stats" / "!trace" magic submissions
-// with a JSON dump of the node's telemetry and closes the connection.
+// serveTelemetry answers the "!stats" / "!trace" / "!cluster" magic
+// submissions and closes the connection.
 func (t *TyCOi) serveTelemetry(conn net.Conn, cmd string) {
+	if cmd == "!cluster" {
+		t.serveCluster(conn)
+		return
+	}
 	if t.node.Telemetry() == nil {
 		fmt.Fprintf(conn, "! telemetry disabled on node %d\n", t.node.ID())
 		return
 	}
 	snap := t.node.TelemetrySnapshot()
-	var out any
 	if cmd == "!stats" {
-		out = struct {
-			Node    uint32             `json:"node"`
-			Metrics map[string]float64 `json:"metrics"`
-		}{snap.Node, snap.Metrics}
-	} else {
-		out = struct {
-			Node        uint32           `json:"node"`
-			TotalEvents uint64           `json:"totalEvents"`
-			Trees       []telemetry.Tree `json:"trees"`
-		}{snap.Node, snap.TotalEvents, telemetry.BuildTrees(snap.Events)}
+		conn.Write(renderStats(snap.Node, snap.Metrics))
+		return
 	}
+	out := struct {
+		Node        uint32           `json:"node"`
+		TotalEvents uint64           `json:"totalEvents"`
+		Trees       []telemetry.Tree `json:"trees"`
+	}{snap.Node, snap.TotalEvents, telemetry.BuildTrees(snap.Events)}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(conn, "! %v\n", err)
 		return
 	}
 	conn.Write(append(b, '\n'))
+}
+
+// renderStats emits the metrics snapshot as JSON with the keys in
+// sorted order by construction, so repeated "tycosh stats" calls (and
+// test golden files) compare byte-for-byte when the values match.
+func renderStats(nodeID uint32, metrics map[string]float64) []byte {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "{\n  \"node\": %d,\n  \"metrics\": {", nodeID)
+	keys := telemetry.SortedKeys(metrics)
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		name, _ := json.Marshal(k)
+		val, _ := json.Marshal(metrics[k])
+		fmt.Fprintf(&buf, "\n    %s: %s", name, val)
+	}
+	if len(keys) > 0 {
+		buf.WriteString("\n  ")
+	}
+	buf.WriteString("}\n}\n")
+	return buf.Bytes()
+}
+
+// serveCluster answers "!cluster": enumerate every introspection
+// endpoint advertised in the name service, scrape them concurrently,
+// and stream back the aggregated table (the same view cmd/tycotop
+// renders).
+func (t *TyCOi) serveCluster(conn net.Conn) {
+	ns := t.node.cfg.NS
+	if ns == nil {
+		fmt.Fprintf(conn, "! node %d has no name service\n", t.node.ID())
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	eps, err := ns.Endpoints(ctx, nameservice.EndpointIntrospect)
+	if err != nil {
+		fmt.Fprintf(conn, "! %v\n", err)
+		return
+	}
+	if len(eps) == 0 {
+		fmt.Fprintf(conn, "! no introspection endpoints advertised\n")
+		return
+	}
+	view := telemetry.ScrapeCluster(eps, 5*time.Second)
+	io.WriteString(conn, view.RenderTable())
 }

@@ -93,6 +93,12 @@ type Config struct {
 	// the flight recorder's black-box moment, captured before the
 	// restart clobbers the evidence.
 	CrashDumpDir string
+	// Introspect, when non-nil, serves the node's observability plane
+	// (DESIGN.md §12): an HTTP endpoint with /metrics, /healthz,
+	// /statusz, /debug/flightrecorder and /debug/pprof, plus the stall
+	// detector sampling every site's scheduler state. Implies
+	// Telemetry — a default handle is created when none was given.
+	Introspect *IntrospectConfig
 }
 
 // maxRestarts bounds supervised restarts per site: a deterministically
@@ -126,6 +132,15 @@ type Node struct {
 	localDeliveries  atomic.Uint64
 	remoteDeliveries atomic.Uint64
 	deliveryFailures atomic.Uint64
+
+	// Introspection plane (introspect.go). strikes counts supervised
+	// restarts per site name (guarded by mu); the stall fields hold the
+	// detector's latest verdict.
+	intro     *telemetry.HTTPServer
+	strikes   map[string]int
+	stallMu   sync.Mutex
+	stalls    []telemetry.StallReport
+	stallSeen map[stallKey]bool
 }
 
 // LocalDeliveries reports same-node deliveries handled by the daemon.
@@ -148,6 +163,11 @@ func New(cfg Config) *Node {
 		journals: map[uint32]*site.Journal{},
 		stop:     make(chan struct{}),
 		done:     make(chan struct{}),
+	}
+	if cfg.Introspect != nil && n.tel == nil {
+		// Introspection implies telemetry: /metrics and the flight
+		// recorder need instruments to read.
+		n.tel = telemetry.New(cfg.ID, telemetry.Config{})
 	}
 	if cfg.Reliability != nil {
 		relCfg := *cfg.Reliability
@@ -184,6 +204,11 @@ func New(cfg Config) *Node {
 	n.coal = newCoalescer(n, cfg.Batch)
 	n.onControl.Store(&cfg.OnControl)
 	go n.tycod()
+	if cfg.Introspect != nil {
+		if err := n.startIntrospection(*cfg.Introspect); err != nil {
+			n.setErr(fmt.Errorf("node %d: introspection: %w", n.cfg.ID, err))
+		}
+	}
 	return n
 }
 
@@ -204,6 +229,17 @@ func (n *Node) TelemetrySnapshot() telemetry.Snapshot {
 	if n.tel == nil {
 		return telemetry.Snapshot{Metrics: map[string]float64{}}
 	}
+	n.refreshTelemetryGauges()
+	return n.tel.Snapshot()
+}
+
+// refreshTelemetryGauges mirrors pull-time state into the registry —
+// shared by TelemetrySnapshot and the /metrics scrape path, so both
+// expose the same reliable-layer and daemon gauges.
+func (n *Node) refreshTelemetryGauges() {
+	if n.tel == nil {
+		return
+	}
 	n.tel.SetGauge("deliveries.local", int64(n.localDeliveries.Load()))
 	n.tel.SetGauge("deliveries.remote", int64(n.remoteDeliveries.Load()))
 	n.tel.SetGauge("deliveries.failed", int64(n.deliveryFailures.Load()))
@@ -218,7 +254,6 @@ func (n *Node) TelemetrySnapshot() telemetry.Snapshot {
 		n.tel.SetGauge("rel.unacked", int64(n.rel.Unacked()))
 		n.tel.SetGauge("rel.ack_debt", int64(n.rel.AckDebt()))
 	}
-	return n.tel.Snapshot()
 }
 
 // DeliveryFailures reports frames the node abandoned because their
@@ -391,6 +426,7 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 		LeaseRefresh:    n.cfg.LeaseRefresh,
 		CheckpointGate:  n.checkpointGate,
 		Telemetry:       n.tel,
+		Probe:           n.cfg.Introspect != nil,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -435,6 +471,7 @@ func (n *Node) supervise(s *site.Site, siteName string, out io.Writer, opts ...S
 		default:
 		}
 		n.dumpCrashTelemetry(siteName, restarts)
+		n.noteStrike(siteName)
 		if restarts >= maxRestarts {
 			n.setErr(fmt.Errorf("node %d: site %q crashed %d times, giving up: %w",
 				n.cfg.ID, siteName, restarts+1, s.Err()))
@@ -519,6 +556,7 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 		LeaseRefresh:    n.cfg.LeaseRefresh,
 		CheckpointGate:  n.checkpointGate,
 		Telemetry:       n.tel,
+		Probe:           n.cfg.Introspect != nil,
 	}
 	for _, o := range opts {
 		o(&cfg)
@@ -586,6 +624,13 @@ func (n *Node) Sites() []*site.Site {
 
 // Stop shuts down the node: all sites, then the daemon.
 func (n *Node) Stop() {
+	n.mu.Lock()
+	intro := n.intro
+	n.intro = nil
+	n.mu.Unlock()
+	if intro != nil {
+		_ = intro.Close()
+	}
 	n.mu.Lock()
 	sites := make([]*site.Site, 0, len(n.sites))
 	for _, s := range n.sites {

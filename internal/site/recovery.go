@@ -24,6 +24,7 @@ import (
 	"io"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asm"
@@ -66,7 +67,13 @@ type Journal struct {
 	st       journal.Store
 	scratch  []byte // reused accepted-record encode buffer, guarded by mu
 	onAppend func() // telemetry hook, invoked after successful appends
+	appends  atomic.Uint64
 }
+
+// Appends reports how many records were appended through this handle
+// (the journal "position" /statusz exposes; compaction does not reset
+// it, so the counter stays monotone across checkpoints).
+func (j *Journal) Appends() uint64 { return j.appends.Load() }
 
 // SetOnAppend installs a hook called after every successful record
 // append (the node points it at the telemetry journal counter).
@@ -86,6 +93,7 @@ func (j *Journal) Append(k journal.Kind, data []byte) error {
 	if err := j.st.Append(journal.Record{Kind: k, Data: data}); err != nil {
 		return err
 	}
+	j.appends.Add(1)
 	if j.onAppend != nil {
 		j.onAppend()
 	}
@@ -107,6 +115,7 @@ func (j *Journal) AppendAccepted(t wire.FrameType, srcNode uint32, payload []byt
 	if err := j.st.Append(journal.Record{Kind: RecAccepted, Data: b}); err != nil {
 		return err
 	}
+	j.appends.Add(1)
 	if j.onAppend != nil {
 		j.onAppend()
 	}

@@ -195,6 +195,11 @@ type Config struct {
 	// site allocates trace IDs at egress, records deliver events, and
 	// feeds the inbox-depth/checkpoint instruments. Nil is free.
 	Telemetry *telemetry.Telemetry
+	// Probe turns on the introspection mirrors (probe.go): the run loop
+	// refreshes a set of atomics each scheduler turn so /statusz and the
+	// stall detector can sample the site from outside its goroutine.
+	// Off by default — the mirrors cost a time.Now per turn.
+	Probe bool
 }
 
 // Site is one DiTyCO site.
@@ -282,6 +287,22 @@ type Site struct {
 	DupDrops    uint64
 	StaleDrops  uint64
 	Checkpoints uint64
+
+	// Introspection mirrors (probe.go): atomic copies of site-goroutine
+	// scheduler state, refreshed by probeTick when cfg.Probe is on so
+	// Status can read them from any goroutine.
+	stLoop       atomic.Int64 // unixnano of the last run-loop turn
+	stParked     atomic.Int64 // unixnano the loop blocked for input; 0 while running
+	stRunq       atomic.Int64
+	stWaiting    atomic.Int64
+	stFetches    atomic.Int64
+	stImportWait atomic.Int64 // unixnano the current import-wait span began
+	stFetchWait  atomic.Int64 // unixnano the current fetch-wait span began
+	stDup        atomic.Uint64
+	stStale      atomic.Uint64
+	stCkpt       atomic.Uint64
+	stSince      atomic.Int64
+	leaseErr     atomic.Value // string: last keep-alive failure, "" after success
 }
 
 type fetchPending struct {
@@ -622,6 +643,7 @@ func (s *Site) Run() {
 		}
 	}
 	for {
+		s.probeTick()
 		// Drain a bounded batch of queued deliveries: a burst (e.g. an
 		// unpacked FBatch) is handled in bulk rather than one delivery
 		// per VM slice, but cannot starve the VM either.
@@ -667,6 +689,7 @@ func (s *Site) Run() {
 			// timeout and re-evaluate rather than parking until the
 			// next delivery.
 			t := time.NewTimer(time.Millisecond)
+			s.probePark(true)
 			select {
 			case d := <-s.in:
 				t.Stop()
@@ -682,8 +705,10 @@ func (s *Site) Run() {
 			}
 			continue
 		}
+		s.probePark(true)
 		select {
 		case d := <-s.in:
+			s.probePark(false)
 			s.idle.Store(false)
 			if err := s.handle(d); err != nil {
 				s.setErr(err)
@@ -706,8 +731,16 @@ func (s *Site) keepAlive() {
 		select {
 		case <-t.C:
 			ctx, cancel := context.WithTimeout(context.Background(), s.cfg.LeaseRefresh)
-			_ = s.cfg.NS.KeepAlive(ctx, s.cfg.Name, s.epoch)
+			err := s.cfg.NS.KeepAlive(ctx, s.cfg.Name, s.epoch)
 			cancel()
+			// Mirror the lease state for /healthz: a refresh that keeps
+			// failing is an operator-visible condition even though it
+			// must not kill the site.
+			if err != nil {
+				s.leaseErr.Store(err.Error())
+			} else {
+				s.leaseErr.Store("")
+			}
 		case <-s.stop:
 			return
 		case <-s.done:

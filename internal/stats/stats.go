@@ -90,6 +90,13 @@ func (h *Histogram) Min() float64 {
 	return h.min
 }
 
+// Sum returns the running total of every observation (0 when empty).
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
 // Max returns the largest observation (0 when empty).
 func (h *Histogram) Max() float64 {
 	h.mu.Lock()

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Cluster scraping: the client half of the introspection plane.
+// tycotop, `tycosh cluster`, and the integration tests all consume
+// nodes' HTTP endpoints through this code, so the live rendering and
+// the tested rendering cannot drift apart.
+
+// NodeView is one node's scrape result.
+type NodeView struct {
+	Node    uint32             `json:"node"`
+	Addr    string             `json:"addr"`
+	Err     string             `json:"err,omitempty"`
+	Health  Health             `json:"health"`
+	Status  NodeStatus         `json:"status"`
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// ClusterView aggregates every node's scrape, ordered by node ID.
+type ClusterView struct {
+	Nodes []NodeView `json:"nodes"`
+}
+
+// scrapeJSON fetches one JSON endpoint into v. A non-2xx status is
+// not an error when the body still decodes (healthz answers 503 with
+// a valid document for a down node).
+func scrapeJSON(client *http.Client, base, path string, v any) error {
+	resp, err := client.Get("http://" + base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	return nil
+}
+
+// ScrapeMetrics fetches and strictly parses one node's /metrics.
+func ScrapeMetrics(client *http.Client, addr string) ([]OMFamily, error) {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	resp, err := client.Get("http://" + addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics: status %s", resp.Status)
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	return ParseOpenMetrics(body)
+}
+
+// ScrapeNode collects one node's health, status, and metrics.
+func ScrapeNode(client *http.Client, node uint32, addr string) NodeView {
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Second}
+	}
+	v := NodeView{Node: node, Addr: addr}
+	if err := scrapeJSON(client, addr, "/healthz", &v.Health); err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	if err := scrapeJSON(client, addr, "/statusz", &v.Status); err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	fams, err := ScrapeMetrics(client, addr)
+	if err != nil {
+		v.Err = err.Error()
+		return v
+	}
+	v.Metrics = OMValues(fams)
+	return v
+}
+
+// ScrapeCluster scrapes every advertised endpoint concurrently. A
+// node that fails to answer still appears in the view, with Err set —
+// an unreachable node is a finding, not a gap in the table.
+func ScrapeCluster(endpoints map[uint32]string, timeout time.Duration) ClusterView {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	views := make([]NodeView, 0, len(endpoints))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for node, addr := range endpoints {
+		wg.Add(1)
+		go func(node uint32, addr string) {
+			defer wg.Done()
+			v := ScrapeNode(client, node, addr)
+			mu.Lock()
+			views = append(views, v)
+			mu.Unlock()
+		}(node, addr)
+	}
+	wg.Wait()
+	sort.Slice(views, func(i, j int) bool { return views[i].Node < views[j].Node })
+	return ClusterView{Nodes: views}
+}
+
+// JSON renders the view, indented.
+func (cv ClusterView) JSON() []byte {
+	b, err := json.MarshalIndent(cv, "", "  ")
+	if err != nil {
+		panic(err) // plain data; cannot fail
+	}
+	return append(b, '\n')
+}
+
+// RenderTable renders the aggregated cluster table tycotop and
+// `tycosh cluster` print: one row per node plus a totals row.
+// Columns are derived from /statusz and /metrics; HEALTH from
+// /healthz.
+func (cv ClusterView) RenderTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s %-9s %-6s %-6s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %s\n",
+		"NODE", "HEALTH", "SITES", "RUNQ", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "ADDR")
+	var totSites, totRunq, totInbox, totWait, totStalls, totUnacked int
+	var totSent, totRecv, totFailed uint64
+	for _, v := range cv.Nodes {
+		if v.Err != "" {
+			fmt.Fprintf(&b, "%-5d %-9s %s (%s)\n", v.Node, "unreach", v.Err, v.Addr)
+			continue
+		}
+		var runq, inbox, wait int
+		var sent, recv uint64
+		for _, s := range v.Status.Sites {
+			runq += s.RunQueue
+			inbox += s.Inbox
+			wait += s.WaitingImports
+			sent += s.Sent
+			recv += s.Recv
+		}
+		unacked := 0
+		if v.Status.Rel != nil {
+			unacked = v.Status.Rel.Unacked
+		}
+		fmt.Fprintf(&b, "%-5d %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %s\n",
+			v.Node, v.Health.Status, len(v.Status.Sites), runq, inbox, wait,
+			len(v.Status.Stalls), sent, recv, unacked, v.Status.DeliveryFailures, v.Addr)
+		totSites += len(v.Status.Sites)
+		totRunq += runq
+		totInbox += inbox
+		totWait += wait
+		totStalls += len(v.Status.Stalls)
+		totUnacked += unacked
+		totSent += sent
+		totRecv += recv
+		totFailed += v.Status.DeliveryFailures
+	}
+	fmt.Fprintf(&b, "%-5s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d\n",
+		"all", "", totSites, totRunq, totInbox, totWait, totStalls, totSent, totRecv, totUnacked, totFailed)
+	for _, v := range cv.Nodes {
+		for _, st := range v.Status.Stalls {
+			fmt.Fprintf(&b, "stall: node %d site %q (%d) %s for %dms %s\n",
+				v.Node, st.Name, st.Site, st.Kind, st.AgeMs, st.Detail)
+		}
+		for _, r := range v.Health.Reasons {
+			fmt.Fprintf(&b, "health: node %d: %s\n", v.Node, r)
+		}
+	}
+	return b.String()
+}

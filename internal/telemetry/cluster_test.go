@@ -1,0 +1,120 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// fakeNode spins one real introspection server over synthetic state so
+// the scrape client is tested against the actual HTTP surface, not a
+// stub of it.
+func fakeNode(t *testing.T, node uint32, status NodeStatus, health Health) *HTTPServer {
+	t.Helper()
+	tel := New(node, Config{})
+	tel.Deliver(0, wire.FMsg, wire.OpRef{}, 1, true)
+	srv, err := ServeIntrospection("127.0.0.1:0", HTTPConfig{
+		Registry: tel.Registry(),
+		Recorder: tel.Recorder(),
+		Status:   func() NodeStatus { return status },
+		Health:   func() Health { return health },
+	})
+	if err != nil {
+		t.Fatalf("ServeIntrospection: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+func TestScrapeClusterRenderTable(t *testing.T) {
+	s1 := fakeNode(t, 1, NodeStatus{
+		Node: 1,
+		Sites: []SiteStatus{
+			{Name: "server", ID: 10, RunQueue: 2, Inbox: 1, Sent: 40, Recv: 38},
+			{Name: "worker", ID: 11, WaitingImports: 1, Sent: 5, Recv: 5},
+		},
+		Rel:              &RelStatus{Unacked: 3},
+		DeliveryFailures: 1,
+	}, Health{Node: 1, Status: HealthOK})
+	s2 := fakeNode(t, 2, NodeStatus{
+		Node:   2,
+		Sites:  []SiteStatus{{Name: "client", ID: 20, Sent: 38, Recv: 40}},
+		Stalls: []StallReport{{Site: 20, Name: "client", Kind: "import", AgeMs: 2500, Detail: "1 unresolved import(s)"}},
+	}, Health{Node: 2, Status: HealthDegraded, Reasons: []string{"1 suspected stall(s)"}})
+
+	view := ScrapeCluster(map[uint32]string{
+		1: s1.Addr(),
+		2: s2.Addr(),
+		9: "127.0.0.1:1", // nothing listens here
+	}, 2*time.Second)
+
+	if len(view.Nodes) != 3 {
+		t.Fatalf("got %d node views, want 3 (unreachable nodes must still appear)", len(view.Nodes))
+	}
+	for i, want := range []uint32{1, 2, 9} {
+		if view.Nodes[i].Node != want {
+			t.Fatalf("views not sorted by node ID: %+v", view.Nodes)
+		}
+	}
+	if view.Nodes[2].Err == "" {
+		t.Fatalf("unreachable node 9 should carry an error")
+	}
+	if got := view.Nodes[0].Metrics["dityco_deliver_local_total"]; got != 1 {
+		t.Fatalf("node 1 metrics missing deliver.local: %v", view.Nodes[0].Metrics)
+	}
+
+	table := view.RenderTable()
+	for _, want := range []string{
+		"NODE", "HEALTH", "STALLS", "UNACKED",
+		"degraded", "unreach",
+		`stall: node 2 site "client" (20) import for 2500ms`,
+		"health: node 2: 1 suspected stall(s)",
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+	// Totals row: sites 2+1, runq 2, inbox 1, waitimp 1, stalls 1,
+	// sent 83, recv 83, unacked 3, failed 1.
+	if !strings.Contains(table, "all") {
+		t.Fatalf("table missing totals row:\n%s", table)
+	}
+	totals := ""
+	for _, line := range strings.Split(table, "\n") {
+		if strings.HasPrefix(line, "all") {
+			totals = line
+		}
+	}
+	for _, want := range []string{"3", "83", "1"} {
+		if !strings.Contains(totals, want) {
+			t.Errorf("totals row missing %q: %q", want, totals)
+		}
+	}
+}
+
+// TestScrapeNodeDownHealth: /healthz answers 503 for a down node with
+// a valid body — the scraper must report the verdict, not an error.
+func TestScrapeNodeDownHealth(t *testing.T) {
+	srv := fakeNode(t, 4, NodeStatus{Node: 4, Error: "terminal"},
+		Health{Node: 4, Status: HealthDown, Reasons: []string{"node error: terminal"}})
+
+	resp, err := http.Get("http://" + srv.Addr() + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("down node /healthz status = %d, want 503", resp.StatusCode)
+	}
+
+	v := ScrapeNode(nil, 4, srv.Addr())
+	if v.Err != "" {
+		t.Fatalf("scrape of a down (but serving) node errored: %s", v.Err)
+	}
+	if v.Health.Status != HealthDown {
+		t.Fatalf("health = %q, want down", v.Health.Status)
+	}
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// HTTPServer is one node's observability endpoint (DESIGN.md §12): a
+// plain net/http server bound next to the TyCOd, serving
+//
+//	/metrics              OpenMetrics rendering of the registry
+//	/healthz              liveness verdict (200 ok/degraded, 503 down)
+//	/statusz              NodeStatus JSON (sites, queues, positions)
+//	/debug/flightrecorder ring dump of retained trace events
+//	/debug/pprof/…        the standard Go profiling endpoints
+//
+// The server pulls; nothing here runs on a message path. Every
+// handler samples state at request time, so scrape cost is paid by
+// the scraper.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// HTTPConfig wires the server to one node's observable state. Status
+// and Health are sampled per request; nil callbacks degrade the
+// corresponding endpoint to an empty document.
+type HTTPConfig struct {
+	Registry *Registry
+	Recorder *Recorder
+	Status   func() NodeStatus
+	Health   func() Health
+	// Refresh, when non-nil, runs before each /metrics render — the
+	// hook for mirroring pull-time gauges (reliable-layer counters,
+	// daemon totals) into the registry.
+	Refresh func()
+}
+
+// ContentTypeOpenMetrics is the exposition content type /metrics
+// answers with.
+const ContentTypeOpenMetrics = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// ServeIntrospection binds the observability server on addr
+// (host:port; port 0 picks a free one).
+func ServeIntrospection(addr string, cfg HTTPConfig) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		if cfg.Refresh != nil {
+			cfg.Refresh()
+		}
+		w.Header().Set("Content-Type", ContentTypeOpenMetrics)
+		_, _ = w.Write(RenderOpenMetrics(cfg.Registry))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		var h Health
+		if cfg.Health != nil {
+			h = cfg.Health()
+		} else {
+			h.Status = HealthOK
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if h.Status == HealthDown {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		writeJSON(w, h)
+	})
+	mux.HandleFunc("/statusz", func(w http.ResponseWriter, _ *http.Request) {
+		var st NodeStatus
+		if cfg.Status != nil {
+			st = cfg.Status()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, struct {
+			TotalEvents uint64  `json:"total_events"`
+			Events      []Event `json:"events"`
+		}{cfg.Recorder.Total(), cfg.Recorder.Snapshot()})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s := &HTTPServer{
+		ln: ln,
+		srv: &http.Server{
+			Handler:           mux,
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	_, _ = w.Write(append(b, '\n'))
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server. In-flight scrapes are abandoned — the
+// introspection plane holds no state a scraper could corrupt.
+func (s *HTTPServer) Close() error { return s.srv.Close() }

@@ -1,0 +1,372 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// OpenMetrics exposition of the metrics registry (the /metrics
+// endpoint of the introspection plane, DESIGN.md §12). Every registry
+// instrument maps onto a typed OpenMetrics family under the dityco_
+// namespace:
+//
+//	counter  ship.msg          → dityco_ship_msg_total
+//	gauge    rel.unacked       → dityco_rel_unacked
+//	histogram batch.bytes      → dityco_batch_bytes{quantile="…"} summary
+//	                             + dityco_batch_bytes_max gauge
+//
+// The renderer sorts families by name, so output is byte-stable for a
+// fixed set of instrument values — goldens and scrape diffing rely on
+// that. ParseOpenMetrics is the strict consumer the CI scrape-smoke
+// job and `tycobench -scrape` run against the endpoint, so the bench
+// and the live cluster can never drift apart in format silently.
+
+// MetricPrefix namespaces every exported family.
+const MetricPrefix = "dityco_"
+
+// sanitizeMetricName maps a registry key onto the OpenMetrics name
+// charset [a-zA-Z0-9_:], prefixed with the dityco_ namespace.
+func sanitizeMetricName(name string) string {
+	var b strings.Builder
+	b.Grow(len(MetricPrefix) + len(name))
+	b.WriteString(MetricPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatOMValue renders a float the way the OpenMetrics value grammar
+// expects (plain or scientific decimal; no Inf/NaN leave a registry).
+func formatOMValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// RenderOpenMetrics renders the registry as an OpenMetrics 1.0 text
+// exposition, terminated by the mandatory # EOF marker. A nil
+// registry renders an empty (but still valid) exposition.
+func RenderOpenMetrics(reg *Registry) []byte {
+	var b strings.Builder
+	for _, m := range reg.Export() {
+		name := sanitizeMetricName(m.Name)
+		switch m.Kind {
+		case KindCounter:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+			fmt.Fprintf(&b, "%s_total %s\n", name, formatOMValue(m.Value))
+		case KindGauge:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(&b, "%s %s\n", name, formatOMValue(m.Value))
+		case KindHistogram:
+			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
+			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", name, formatOMValue(m.Hist.P50))
+			fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %s\n", name, formatOMValue(m.Hist.P95))
+			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", name, formatOMValue(m.Hist.P99))
+			fmt.Fprintf(&b, "%s_count %d\n", name, m.Hist.Count)
+			fmt.Fprintf(&b, "%s_sum %s\n", name, formatOMValue(m.Hist.Sum))
+			// Summaries have no max sample; expose it as a sibling gauge.
+			fmt.Fprintf(&b, "# TYPE %s_max gauge\n", name)
+			fmt.Fprintf(&b, "%s_max %s\n", name, formatOMValue(m.Hist.Max))
+		}
+	}
+	b.WriteString("# EOF\n")
+	return []byte(b.String())
+}
+
+// OMSample is one parsed sample line.
+type OMSample struct {
+	Name   string            // full sample name (family + suffix)
+	Labels map[string]string // nil when unlabelled
+	Value  float64
+}
+
+// Key renders the sample identity ("name" or `name{k="v",…}` with
+// sorted label keys) — the stable form scrape consumers index by.
+func (s OMSample) Key() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, s.Labels[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// OMFamily is one parsed metric family: its declared type and samples.
+type OMFamily struct {
+	Name    string
+	Type    string // counter | gauge | summary | histogram | unknown | …
+	Samples []OMSample
+}
+
+// validOMName checks the OpenMetrics metric/label name charset.
+func validOMName(s string, label bool) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+			(!label && c == ':') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// sampleSuffixes lists the sample-name suffixes each family type may
+// legally emit (OpenMetrics §metric types), "" meaning the bare name.
+var sampleSuffixes = map[string][]string{
+	"counter":   {"_total", "_created"},
+	"gauge":     {""},
+	"summary":   {"", "_count", "_sum", "_created"},
+	"histogram": {"_bucket", "_count", "_sum", "_created"},
+	"info":      {"_info"},
+	"stateset":  {""},
+	"unknown":   {""},
+}
+
+// ParseOpenMetrics is a strict parser for the exposition format: it
+// demands a trailing # EOF, TYPE declarations before samples,
+// non-interleaved families, legal sample-name suffixes for each
+// declared type, well-formed label syntax, and parseable values. It
+// exists so the CI scrape smoke and `tycobench -scrape` fail loudly
+// the moment /metrics emits something a real ingester would reject.
+func ParseOpenMetrics(data []byte) ([]OMFamily, error) {
+	text := string(data)
+	if !strings.HasSuffix(text, "\n") {
+		return nil, fmt.Errorf("openmetrics: exposition must end with a newline")
+	}
+	lines := strings.Split(strings.TrimSuffix(text, "\n"), "\n")
+	if len(lines) == 0 || lines[len(lines)-1] != "# EOF" {
+		return nil, fmt.Errorf("openmetrics: missing terminal # EOF line")
+	}
+	lines = lines[:len(lines)-1]
+
+	var fams []OMFamily
+	byName := map[string]int{} // family name → index (for interleave checks)
+	cur := -1
+	for ln, line := range lines {
+		if line == "" {
+			return nil, fmt.Errorf("openmetrics: line %d: blank line", ln+1)
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) < 3 || fields[0] != "#" {
+				return nil, fmt.Errorf("openmetrics: line %d: malformed comment %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "TYPE":
+				if len(fields) != 4 {
+					return nil, fmt.Errorf("openmetrics: line %d: malformed TYPE line %q", ln+1, line)
+				}
+				name, typ := fields[2], fields[3]
+				if !validOMName(name, false) {
+					return nil, fmt.Errorf("openmetrics: line %d: bad metric name %q", ln+1, name)
+				}
+				if _, ok := sampleSuffixes[typ]; !ok {
+					return nil, fmt.Errorf("openmetrics: line %d: unknown metric type %q", ln+1, typ)
+				}
+				if _, dup := byName[name]; dup {
+					return nil, fmt.Errorf("openmetrics: line %d: duplicate TYPE for %q", ln+1, name)
+				}
+				byName[name] = len(fams)
+				fams = append(fams, OMFamily{Name: name, Type: typ})
+				cur = len(fams) - 1
+			case "HELP", "UNIT":
+				if len(fields) < 3 || !validOMName(fields[2], false) {
+					return nil, fmt.Errorf("openmetrics: line %d: malformed %s line %q", ln+1, fields[1], line)
+				}
+			default:
+				return nil, fmt.Errorf("openmetrics: line %d: unknown comment directive %q", ln+1, fields[1])
+			}
+			continue
+		}
+		sample, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics: line %d: %w", ln+1, err)
+		}
+		idx, suffix, err := matchFamily(byName, sample.Name)
+		if err != nil {
+			return nil, fmt.Errorf("openmetrics: line %d: %w", ln+1, err)
+		}
+		if idx != cur {
+			return nil, fmt.Errorf("openmetrics: line %d: sample %q interleaves family %q", ln+1, sample.Name, fams[idx].Name)
+		}
+		if !suffixAllowed(fams[idx].Type, suffix) {
+			return nil, fmt.Errorf("openmetrics: line %d: suffix %q not allowed for %s family %q", ln+1, suffix, fams[idx].Type, fams[idx].Name)
+		}
+		fams[idx].Samples = append(fams[idx].Samples, sample)
+	}
+	return fams, nil
+}
+
+// matchFamily finds the declared family a sample name belongs to,
+// preferring the longest declared family name (so a_max matches the
+// a_max gauge, not the a summary).
+func matchFamily(byName map[string]int, sample string) (int, string, error) {
+	bestIdx, bestName := -1, ""
+	for name, i := range byName {
+		if !strings.HasPrefix(sample, name) || !suffixKnown(sample[len(name):]) {
+			continue
+		}
+		if len(name) > len(bestName) {
+			bestIdx, bestName = i, name
+		}
+	}
+	if bestIdx < 0 {
+		return 0, "", fmt.Errorf("sample %q has no TYPE-declared family", sample)
+	}
+	return bestIdx, sample[len(bestName):], nil
+}
+
+// suffixKnown reports whether s is a suffix any family type can emit.
+func suffixKnown(s string) bool {
+	switch s {
+	case "", "_total", "_created", "_count", "_sum", "_bucket", "_info":
+		return true
+	}
+	return false
+}
+
+func suffixAllowed(typ, suffix string) bool {
+	for _, s := range sampleSuffixes[typ] {
+		if s == suffix {
+			return true
+		}
+	}
+	return false
+}
+
+// parseSampleLine parses `name[{labels}] value [timestamp]`.
+func parseSampleLine(line string) (OMSample, error) {
+	var s OMSample
+	rest := line
+	brace := strings.IndexByte(rest, '{')
+	space := strings.IndexByte(rest, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		s.Name = rest[:brace]
+		end := strings.IndexByte(rest, '}')
+		if end < brace {
+			return s, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err := parseLabels(rest[brace+1 : end])
+		if err != nil {
+			return s, err
+		}
+		s.Labels = labels
+		rest = strings.TrimPrefix(rest[end+1:], " ")
+	} else {
+		if space < 0 {
+			return s, fmt.Errorf("sample %q has no value", line)
+		}
+		s.Name = rest[:space]
+		rest = rest[space+1:]
+	}
+	if !validOMName(s.Name, false) {
+		return s, fmt.Errorf("bad sample name %q", s.Name)
+	}
+	// Value, optionally followed by a timestamp.
+	valueStr := rest
+	if sp := strings.IndexByte(rest, ' '); sp >= 0 {
+		valueStr = rest[:sp]
+		if _, err := strconv.ParseFloat(rest[sp+1:], 64); err != nil {
+			return s, fmt.Errorf("bad timestamp %q", rest[sp+1:])
+		}
+	}
+	v, err := strconv.ParseFloat(valueStr, 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", valueStr)
+	}
+	s.Value = v
+	return s, nil
+}
+
+// parseLabels parses the inside of a {…} label set.
+func parseLabels(s string) (map[string]string, error) {
+	labels := map[string]string{}
+	for s != "" {
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label without '=' in %q", s)
+		}
+		key := s[:eq]
+		if !validOMName(key, true) {
+			return nil, fmt.Errorf("bad label name %q", key)
+		}
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("unquoted label value for %q", key)
+		}
+		s = s[1:]
+		var val strings.Builder
+		closed := false
+		for i := 0; i < len(s); i++ {
+			c := s[i]
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, fmt.Errorf("dangling escape in label %q", key)
+				}
+				i++
+				switch s[i] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, fmt.Errorf("bad escape \\%c in label %q", s[i], key)
+				}
+				continue
+			}
+			if c == '"' {
+				closed = true
+				s = s[i+1:]
+				break
+			}
+			val.WriteByte(c)
+		}
+		if !closed {
+			return nil, fmt.Errorf("unterminated label value for %q", key)
+		}
+		if _, dup := labels[key]; dup {
+			return nil, fmt.Errorf("duplicate label %q", key)
+		}
+		labels[key] = val.String()
+		s = strings.TrimPrefix(s, ",")
+	}
+	return labels, nil
+}
+
+// OMValues flattens parsed families into sample-key → value, the form
+// scrape consumers (tycotop, tycobench -scrape) aggregate.
+func OMValues(fams []OMFamily) map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range fams {
+		for _, s := range f.Samples {
+			out[s.Key()] = s.Value
+		}
+	}
+	return out
+}

@@ -182,6 +182,72 @@ func (r *Registry) Snapshot() map[string]float64 {
 	return out
 }
 
+// MetricKind distinguishes the instrument classes a Registry holds —
+// the OpenMetrics renderer needs the type, which the flat Snapshot
+// erases.
+type MetricKind uint8
+
+const (
+	KindCounter MetricKind = iota + 1
+	KindGauge
+	KindHistogram
+)
+
+// HistSummary is a histogram flattened to the quantile summary the
+// introspection plane exports.
+type HistSummary struct {
+	Count uint64
+	Sum   float64
+	P50   float64
+	P95   float64
+	P99   float64
+	Max   float64
+}
+
+// Metric is one typed instrument reading. Value holds counters and
+// gauges; Hist holds histograms.
+type Metric struct {
+	Name  string
+	Kind  MetricKind
+	Value float64
+	Hist  HistSummary
+}
+
+// Export snapshots every instrument with its type, sorted by name —
+// the stable, render-ready form behind /metrics and `tycosh stats`.
+func (r *Registry) Export() []Metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make([]Metric, 0, len(r.counters)+len(r.gauges)+len(r.hists))
+	for k, c := range r.counters {
+		out = append(out, Metric{Name: k, Kind: KindCounter, Value: float64(c.Load())})
+	}
+	for k, g := range r.gauges {
+		out = append(out, Metric{Name: k, Kind: KindGauge, Value: float64(g.Load())})
+	}
+	hists := make(map[string]*stats.Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	r.mu.Unlock()
+	// Histogram reads take the histogram's own lock; do them outside
+	// the registry lock.
+	for k, h := range hists {
+		out = append(out, Metric{Name: k, Kind: KindHistogram, Hist: HistSummary{
+			Count: h.Count(),
+			Sum:   h.Sum(),
+			P50:   h.Percentile(50),
+			P95:   h.Percentile(95),
+			P99:   h.Percentile(99),
+			Max:   h.Max(),
+		}})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // SortedKeys returns the snapshot's keys in render order.
 func SortedKeys(m map[string]float64) []string {
 	keys := make([]string, 0, len(m))

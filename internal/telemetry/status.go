@@ -1,0 +1,114 @@
+package telemetry
+
+// Shared shapes of the introspection plane (DESIGN.md §12). They live
+// in telemetry — not node — because both ends of the scrape speak
+// them: a node renders NodeStatus/Health into /statusz and /healthz,
+// and tycotop (or a peer node answering `tycosh cluster`) unmarshals
+// them back without importing the runtime.
+
+// SiteStatus is one site's scheduler-observable state, sampled from
+// outside the site goroutine via atomic mirrors the run loop keeps
+// up to date (site.Status). It powers /statusz rows and feeds the
+// stall detector's heuristics.
+type SiteStatus struct {
+	Name  string `json:"name"`
+	ID    uint32 `json:"id"`
+	Epoch uint32 `json:"epoch"`
+	Idle  bool   `json:"idle"`
+	// RunQueue is the VM's runnable-thread count as of the last
+	// scheduler turn; Inbox is the incoming queue's current depth.
+	RunQueue int `json:"run_queue"`
+	Inbox    int `json:"inbox"`
+	// ParkedMs is how long the site has been blocked waiting for input
+	// (0 while running); LoopAgeMs how long since the run loop last
+	// passed its top — a large value with a non-empty inbox means the
+	// loop is wedged mid-iteration.
+	ParkedMs  int64 `json:"parked_ms"`
+	LoopAgeMs int64 `json:"loop_age_ms"`
+	// WaitingImports counts program constants whose name-service
+	// resolution hasn't landed; ImportWaitMs is how long the oldest
+	// current wait has been outstanding.
+	WaitingImports int   `json:"waiting_imports"`
+	ImportWaitMs   int64 `json:"import_wait_ms"`
+	// PendingFetches counts in-flight class-code requests;
+	// FetchWaitMs is how long the oldest current wait has been
+	// outstanding.
+	PendingFetches int   `json:"pending_fetches"`
+	FetchWaitMs    int64 `json:"fetch_wait_ms"`
+	// Exports is the export-table size (local heap entries with
+	// network identities).
+	Exports int `json:"exports"`
+	// Sent/Recv are the termination-accounting message counters.
+	Sent uint64 `json:"sent"`
+	Recv uint64 `json:"recv"`
+	// Crash-recovery positions: journal appends observed, checkpoints
+	// compacted, deliveries since the last checkpoint.
+	JournalAppends  uint64 `json:"journal_appends,omitempty"`
+	Checkpoints     uint64 `json:"checkpoints,omitempty"`
+	SinceCheckpoint int    `json:"since_checkpoint,omitempty"`
+	DupDrops        uint64 `json:"dup_drops,omitempty"`
+	StaleDrops      uint64 `json:"stale_drops,omitempty"`
+	// LeaseError is the site's last name-service keep-alive failure
+	// ("" while refreshes succeed) — lease state for /healthz.
+	LeaseError string `json:"lease_error,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// RelStatus mirrors the reliable delivery layer's counters into
+// /statusz.
+type RelStatus struct {
+	DataSent    uint64   `json:"data_sent"`
+	Retransmits uint64   `json:"retransmits"`
+	AcksSent    uint64   `json:"acks_sent"`
+	AckPiggy    uint64   `json:"ack_piggy"`
+	DupDrops    uint64   `json:"dup_drops"`
+	FailFasts   uint64   `json:"fail_fasts"`
+	Unacked     int      `json:"unacked"`
+	AckDebt     int      `json:"ack_debt"`
+	DownPeers   []uint32 `json:"down_peers,omitempty"`
+}
+
+// StallReport is one suspected stall: a site that has been wedged on
+// the same cause beyond the detector's threshold.
+type StallReport struct {
+	Site uint32 `json:"site"`
+	Name string `json:"name"`
+	// Kind: "import" (threads parked on an unresolved import),
+	// "fetch" (class-code request outstanding), or "inbox" (queued
+	// deliveries with a non-progressing run loop).
+	Kind   string `json:"kind"`
+	AgeMs  int64  `json:"age_ms"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// NodeStatus is the /statusz document: one node's full introspection
+// snapshot.
+type NodeStatus struct {
+	Node             uint32         `json:"node"`
+	Epoch            uint32         `json:"epoch"`
+	LocalDeliveries  uint64         `json:"local_deliveries"`
+	RemoteDeliveries uint64         `json:"remote_deliveries"`
+	DeliveryFailures uint64         `json:"delivery_failures"`
+	Sites            []SiteStatus   `json:"sites"`
+	Rel              *RelStatus     `json:"rel,omitempty"`
+	Stalls           []StallReport  `json:"stalls,omitempty"`
+	Strikes          map[string]int `json:"strikes,omitempty"`
+	Error            string         `json:"error,omitempty"`
+}
+
+// Health statuses, ordered by severity.
+const (
+	HealthOK       = "ok"       // no local trouble
+	HealthDegraded = "degraded" // alive, but something needs an operator's eye
+	HealthDown     = "down"     // node error or a site out of restart budget
+)
+
+// Health is the /healthz document. Status is derived from heartbeat
+// state (suspected peers), lease/supervision strikes, suspected
+// stalls, and terminal node errors; Reasons says why anything
+// non-ok was concluded.
+type Health struct {
+	Node    uint32   `json:"node"`
+	Status  string   `json:"status"`
+	Reasons []string `json:"reasons,omitempty"`
+}

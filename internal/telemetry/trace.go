@@ -53,6 +53,10 @@ const (
 	// EvDeliver: a site applied the delivery (post-dedup — retransmits
 	// and duplicates never produce one).
 	EvDeliver
+	// EvStall: the stall detector flagged a site wedged beyond its
+	// threshold (introspection plane; always untraced — a stall is a
+	// node-local observation, not a mobility hop).
+	EvStall
 )
 
 func (k EventKind) String() string {
@@ -63,6 +67,8 @@ func (k EventKind) String() string {
 		return "ship"
 	case EvDeliver:
 		return "deliver"
+	case EvStall:
+		return "stall"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}

@@ -131,11 +131,12 @@ var _ Transport = (*Reliable)(nil)
 
 // sendPeer is the send-side state for one destination.
 type sendPeer struct {
-	nextSeq  uint64
-	inflight map[uint64]*unacked
-	parked   []*unacked // held while down (Park mode), seq order
-	down     bool
-	space    *sync.Cond // signaled when window space frees or state flips
+	nextSeq   uint64
+	inflight  map[uint64]*unacked
+	parked    []*unacked // held while down (Park mode), seq order
+	down      bool
+	downSince time.Time  // when down last flipped true
+	space     *sync.Cond // signaled when window space frees or state flips
 }
 
 type unacked struct {
@@ -483,10 +484,32 @@ func (r *Reliable) PeerDown(dst NodeID) bool {
 	return ok && p.down
 }
 
+// DownPeers reports every peer currently declared down, with the time
+// each went down. The stall detector uses it to suppress false
+// positives (a site wedged on a partitioned peer is the partition's
+// fault, not a scheduler stall) and /statusz lists the keys.
+func (r *Reliable) DownPeers() map[NodeID]time.Time {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out map[NodeID]time.Time
+	for id, p := range r.sends {
+		if p.down {
+			if out == nil {
+				out = map[NodeID]time.Time{}
+			}
+			out[id] = p.downSince
+		}
+	}
+	return out
+}
+
 // markDownLocked flips a peer down and strips its in-flight frames:
 // parked for later re-injection in Park mode, returned for OnDrop
 // reporting otherwise.
 func (r *Reliable) markDownLocked(p *sendPeer) []*unacked {
+	if !p.down {
+		p.downSince = time.Now()
+	}
 	p.down = true
 	stripped := make([]*unacked, 0, len(p.inflight))
 	for _, u := range p.inflight {
