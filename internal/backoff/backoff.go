@@ -1,0 +1,154 @@
+// Package backoff is the shared retry-timing policy for every
+// reconnect/retry loop in the tree (nameservice client redial, site
+// import resolution, reliable-layer retransmission). Before it, each
+// loop hand-rolled its own exponential delay and two of the three
+// forgot jitter — after a partition heals, every client that lost its
+// connection at the same instant redials at the same instant, again
+// and again (a synchronized reconnect storm). Centralizing the policy
+// makes jitter the default and cancellation uniform.
+package backoff
+
+import (
+	"context"
+	"time"
+)
+
+// Policy describes a jittered exponential backoff. The zero value of
+// any field selects its default, so Policy{Initial: x, Max: y} is the
+// common literal.
+type Policy struct {
+	// Initial is the delay before the first retry (default 25ms).
+	Initial time.Duration
+	// Max caps the grown delay, before jitter (default 1s).
+	Max time.Duration
+	// Multiplier grows the delay per attempt (default 2).
+	Multiplier float64
+	// Jitter is the fraction of the delay added as uniform random
+	// slack: the attempt sleeps in [d, d·(1+Jitter)]. 0 selects the
+	// default 0.25; NoJitter disables jitter (deterministic tests).
+	Jitter float64
+}
+
+// NoJitter disables jitter when set as Policy.Jitter.
+const NoJitter = -1
+
+func (p Policy) withDefaults() Policy {
+	if p.Initial <= 0 {
+		p.Initial = 25 * time.Millisecond
+	}
+	if p.Max <= 0 {
+		p.Max = time.Second
+	}
+	if p.Multiplier < 1 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.25
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	return p
+}
+
+// mix64 is a splitmix64-style finalizer: a cheap deterministic PRNG
+// step (the same idiom the reliable layer uses for retransmit jitter).
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	if x == 0 {
+		x = 0x9e3779b97f4a7c15
+	}
+	return x
+}
+
+// Step returns the delay for the given 0-based attempt, advancing
+// *rng for the jitter draw. It is a pure function of (policy, attempt,
+// *rng), usable under locks and in deterministic tests.
+func (p Policy) Step(attempt int, rng *uint64) time.Duration {
+	p = p.withDefaults()
+	d := p.Initial
+	for i := 0; i < attempt; i++ {
+		grown := time.Duration(float64(d) * p.Multiplier)
+		if grown <= d || grown > p.Max {
+			d = p.Max
+			break
+		}
+		d = grown
+	}
+	if d > p.Max {
+		d = p.Max
+	}
+	if p.Jitter > 0 && rng != nil {
+		*rng = mix64(*rng)
+		span := uint64(float64(d) * p.Jitter)
+		if span > 0 {
+			d += time.Duration(*rng % (span + 1))
+		}
+	}
+	return d
+}
+
+// Backoff iterates a Policy: each Next returns the next attempt's
+// delay. Not safe for concurrent use.
+type Backoff struct {
+	p       Policy
+	attempt int
+	rng     uint64
+}
+
+// New creates an iterator seeded from the clock (fine for production
+// loops; use NewSeeded in tests that must be deterministic).
+func New(p Policy) *Backoff {
+	return NewSeeded(p, uint64(time.Now().UnixNano()))
+}
+
+// NewSeeded creates an iterator with a deterministic jitter seed.
+func NewSeeded(p Policy, seed uint64) *Backoff {
+	return &Backoff{p: p, rng: mix64(seed + 1)}
+}
+
+// Next returns the delay for the current attempt and advances.
+func (b *Backoff) Next() time.Duration {
+	d := b.p.Step(b.attempt, &b.rng)
+	b.attempt++
+	return d
+}
+
+// Attempt reports how many delays have been handed out since the last
+// Reset.
+func (b *Backoff) Attempt() int { return b.attempt }
+
+// Reset rewinds to the first attempt (call after a success, so the
+// next failure starts over at Initial).
+func (b *Backoff) Reset() { b.attempt = 0 }
+
+// Sleep blocks for the next delay or until ctx is done, returning
+// ctx.Err() when cancelled first.
+func (b *Backoff) Sleep(ctx context.Context) error {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// SleepChan blocks for the next delay or until done is closed; it
+// reports false when interrupted. The variant for loops that carry a
+// stop channel instead of a context (site import resolution).
+func (b *Backoff) SleepChan(done <-chan struct{}) bool {
+	t := time.NewTimer(b.Next())
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-done:
+		return false
+	}
+}

@@ -1,0 +1,92 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestStepGrowsAndCaps(t *testing.T) {
+	p := Policy{Initial: 10 * time.Millisecond, Max: 80 * time.Millisecond, Jitter: NoJitter}
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := p.Step(i, nil); got != w*time.Millisecond {
+			t.Fatalf("Step(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+}
+
+func TestStepOverflowSafe(t *testing.T) {
+	p := Policy{Initial: time.Hour, Max: 24 * time.Hour, Jitter: NoJitter}
+	for i := 0; i < 80; i++ {
+		d := p.Step(i, nil)
+		if d <= 0 || d > 24*time.Hour {
+			t.Fatalf("Step(%d) = %v out of range", i, d)
+		}
+	}
+}
+
+func TestJitterBoundedAndDeterministic(t *testing.T) {
+	p := Policy{Initial: 100 * time.Millisecond, Max: time.Second, Jitter: 0.5}
+	rng1, rng2 := uint64(7), uint64(7)
+	sawDistinct := false
+	var prev time.Duration
+	for i := 0; i < 16; i++ {
+		d1 := p.Step(2, &rng1)
+		d2 := p.Step(2, &rng2)
+		if d1 != d2 {
+			t.Fatalf("same seed, different delays: %v vs %v", d1, d2)
+		}
+		base := 400 * time.Millisecond
+		if d1 < base || d1 > base+base/2 {
+			t.Fatalf("jittered delay %v outside [%v, %v]", d1, base, base+base/2)
+		}
+		if i > 0 && d1 != prev {
+			sawDistinct = true
+		}
+		prev = d1
+	}
+	if !sawDistinct {
+		t.Fatalf("jitter never varied across draws")
+	}
+}
+
+func TestBackoffResetAndNext(t *testing.T) {
+	b := NewSeeded(Policy{Initial: 5 * time.Millisecond, Max: 40 * time.Millisecond, Jitter: NoJitter}, 1)
+	if d := b.Next(); d != 5*time.Millisecond {
+		t.Fatalf("first Next = %v", d)
+	}
+	if d := b.Next(); d != 10*time.Millisecond {
+		t.Fatalf("second Next = %v", d)
+	}
+	b.Reset()
+	if d := b.Next(); d != 5*time.Millisecond {
+		t.Fatalf("Next after Reset = %v", d)
+	}
+}
+
+func TestSleepHonorsCancellation(t *testing.T) {
+	b := NewSeeded(Policy{Initial: 10 * time.Second, Max: 10 * time.Second}, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := b.Sleep(ctx); err == nil {
+		t.Fatalf("Sleep on cancelled ctx returned nil")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("Sleep ignored cancellation")
+	}
+}
+
+func TestSleepChanInterrupt(t *testing.T) {
+	b := NewSeeded(Policy{Initial: 10 * time.Second, Max: 10 * time.Second}, 1)
+	done := make(chan struct{})
+	close(done)
+	start := time.Now()
+	if b.SleepChan(done) {
+		t.Fatalf("SleepChan on closed chan reported a full sleep")
+	}
+	if time.Since(start) > time.Second {
+		t.Fatalf("SleepChan ignored interrupt")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/failure"
 	"repro/internal/journal"
+	"repro/internal/membership"
 	"repro/internal/nameservice"
 	"repro/internal/node"
 	"repro/internal/site"
@@ -76,14 +77,34 @@ func (p *Program) SiteProgram() *site.Program {
 	}
 }
 
-// DetectConfig configures the per-node heartbeat failure detectors of
-// a cluster.
+// DetectConfig configures the per-node failure detectors of a
+// cluster. The default is SWIM-style gossip membership with a
+// phi-accrual detector (DESIGN.md §13): one randomized probe per
+// Period regardless of cluster size, indirect ping-req fallback, and
+// an adaptive suspicion score instead of a binary timeout. Set
+// Heartbeat for the legacy all-pairs heartbeat detector (the E14
+// baseline).
 type DetectConfig struct {
-	// Period is the heartbeat interval (default 50ms).
+	// Period is the probe (or heartbeat) interval (default 50ms).
 	Period time.Duration
-	// SuspectAfter is how long without a heartbeat before suspicion
-	// (default 4 × Period; raise it on lossy links).
+	// SuspectAfter is the minimum silence before suspicion (default
+	// 4 × Period; raise it on lossy links). Under gossip membership
+	// the phi score decides beyond this floor.
 	SuspectAfter time.Duration
+	// PhiThreshold is the phi-accrual suspicion score that convicts
+	// (default 8, i.e. a one-in-10^8 silence).
+	PhiThreshold float64
+	// DeadAfter is how long an unrefuted suspicion takes to become a
+	// Dead verdict (default 2 × SuspectAfter).
+	DeadAfter time.Duration
+	// IndirectProbes is the ping-req proxy fanout (default 2).
+	IndirectProbes int
+	// Seed fixes the gossip protocol's randomness (deterministic
+	// drills); 0 derives per-node seeds.
+	Seed uint64
+	// Heartbeat selects the legacy all-pairs heartbeat detector
+	// instead of gossip membership.
+	Heartbeat bool
 }
 
 // ClusterConfig configures an in-process cluster.
@@ -174,12 +195,13 @@ type Cluster struct {
 	det    *termination.Detector
 
 	// mu guards the node roster, which Recover rebuilds in place.
-	mu        sync.Mutex
-	nodes     []*node.Node
-	detectors []*failure.Detector
-	mems      []*transport.Mem
-	epochs    []uint32
-	spawns    [][]spawnRec
+	mu          sync.Mutex
+	nodes       []*node.Node
+	detectors   []*failure.Detector
+	memberships []*membership.M
+	mems        []*transport.Mem
+	epochs      []uint32
+	spawns      [][]spawnRec
 
 	deadMu sync.Mutex
 	dead   map[uint32]bool
@@ -226,7 +248,13 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.Detect != nil {
 		for _, n := range c.nodes {
-			c.detectors = append(c.detectors, c.attachDetector(n))
+			if cfg.Detect.Heartbeat {
+				c.detectors = append(c.detectors, c.attachDetector(n))
+				c.memberships = append(c.memberships, nil)
+			} else {
+				c.detectors = append(c.detectors, nil)
+				c.memberships = append(c.memberships, c.attachMembership(n))
+			}
 		}
 	}
 	c.det = termination.New(c.probes)
@@ -343,6 +371,71 @@ func (c *Cluster) attachDetector(n *node.Node) *failure.Detector {
 	})
 }
 
+// attachMembership wires a gossip membership agent to a node using
+// the cluster's Detect config, mapping its transitions onto the
+// legacy OnSuspect surface and fencing the name service.
+func (c *Cluster) attachMembership(n *node.Node) *membership.M {
+	peers := make([]uint32, c.cfg.Nodes)
+	for i := range peers {
+		peers[i] = uint32(i + 1)
+	}
+	observer := n.ID()
+	seed := c.cfg.Detect.Seed
+	if seed != 0 {
+		// Per-node derivation: identical seeds would synchronize every
+		// agent's probe order.
+		seed = seed*0x9e3779b97f4a7c15 + uint64(observer)
+	}
+	return n.AttachMembership(node.MembershipConfig{
+		Peers:          peers,
+		Interval:       c.cfg.Detect.Period,
+		SuspectAfter:   c.cfg.Detect.SuspectAfter,
+		DeadAfter:      c.cfg.Detect.DeadAfter,
+		PhiThreshold:   c.cfg.Detect.PhiThreshold,
+		IndirectProbes: c.cfg.Detect.IndirectProbes,
+		Seed:           seed,
+		OnEvent: func(e membership.Event) {
+			c.onMembership(observer, e)
+		},
+	})
+}
+
+// onMembership translates one node's membership transition into the
+// cluster-level hooks: the OnSuspect callback keeps its heartbeat-era
+// contract (Suspected flips true on suspicion, false on refutation or
+// rejoin), and Dead/Left verdicts fence the node in the name service
+// so its leases expire immediately instead of at TTL.
+func (c *Cluster) onMembership(observer uint32, e membership.Event) {
+	switch e.State {
+	case membership.StateSuspect:
+		if c.cfg.OnSuspect != nil && e.Prev != membership.StateDead {
+			c.cfg.OnSuspect(observer, failure.Event{Node: e.Node, Suspected: true, At: e.At})
+		}
+	case membership.StateDead, membership.StateLeft:
+		if f, ok := c.ns.(nameservice.NodeFencer); ok {
+			f.FenceNode(e.Node)
+		}
+	case membership.StateAlive:
+		if f, ok := c.ns.(nameservice.NodeFencer); ok {
+			f.UnfenceNode(e.Node)
+		}
+		if c.cfg.OnSuspect != nil && (e.Prev == membership.StateSuspect || e.Prev == membership.StateDead) {
+			c.cfg.OnSuspect(observer, failure.Event{Node: e.Node, Suspected: false, At: e.At})
+		}
+	}
+}
+
+// Membership returns node i's gossip membership agent (nil when the
+// Detect knob is off or in legacy Heartbeat mode).
+func (c *Cluster) Membership(i int) *membership.M {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.memberships) {
+		return nil
+	}
+	return c.memberships[i]
+}
+
 // Chaos returns the cluster's fault controller (nil without the Chaos
 // knob): the handle for partitions, heals, and crash/blackhole.
 func (c *Cluster) Chaos() *transport.Chaos { return c.chaos }
@@ -422,8 +515,15 @@ func (c *Cluster) Recover(i int) error {
 		return fmt.Errorf("core: reattach node %d: %w", id, err)
 	}
 	var det *failure.Detector
+	var memb *membership.M
 	if c.cfg.Detect != nil {
-		det = c.attachDetector(n)
+		if c.cfg.Detect.Heartbeat {
+			det = c.attachDetector(n)
+		} else {
+			// The fresh incarnation gossips at its bumped epoch, which
+			// outranks the Dead verdict peers hold about its past life.
+			memb = c.attachMembership(n)
+		}
 	}
 	c.mu.Lock()
 	c.nodes[i] = n
@@ -431,6 +531,9 @@ func (c *Cluster) Recover(i int) error {
 	c.epochs[i] = epoch
 	if det != nil && i < len(c.detectors) {
 		c.detectors[i] = det
+	}
+	if memb != nil && i < len(c.memberships) {
+		c.memberships[i] = memb
 	}
 	c.mu.Unlock()
 	// Back in the membership: termination accounting and Err collection
@@ -443,6 +546,87 @@ func (c *Cluster) Recover(i int) error {
 			return fmt.Errorf("core: recover site %q on node %d: %w", sp.name, id, err)
 		}
 	}
+	return nil
+}
+
+// Drain gracefully retires node i: the node announces Leaving, stops
+// its sites at a clean point, quiesces its outbound traffic, and
+// releases each site's journal; the cluster then places every
+// evacuated site on a peer chosen from the live cluster view
+// (membership when attached, else the non-crashed roster) and adopts
+// it there by journal replay — the exactly-once guarantee of crash
+// recovery, without the crash. The drained node stays attached and
+// forwards stragglers; it is Left, not dead, so termination
+// accounting still balances its forwarded traffic. Requires the
+// Journal knob when the node runs sites.
+func (c *Cluster) Drain(ctx context.Context, i int) error {
+	c.mu.Lock()
+	if i < 0 || i >= len(c.nodes) {
+		c.mu.Unlock()
+		return fmt.Errorf("core: node %d out of range", i)
+	}
+	n := c.nodes[i]
+	var m *membership.M
+	if i < len(c.memberships) {
+		m = c.memberships[i]
+	}
+	spawnsByName := map[string]spawnRec{}
+	for _, sp := range c.spawns[i] {
+		spawnsByName[sp.name] = sp
+	}
+	c.mu.Unlock()
+
+	// Candidate adopters: the draining node's own cluster view when it
+	// gossips, intersected with the cluster's crash bookkeeping.
+	alive := c.aliveFn()
+	var memAlive map[uint32]bool
+	if m != nil {
+		memAlive = map[uint32]bool{}
+		for _, id := range m.AliveNodes() {
+			memAlive[id] = true
+		}
+	}
+	var cands []*node.Node
+	for _, o := range c.snapshotNodes() {
+		if o.ID() == n.ID() || !alive(o.ID()) || o.Draining() {
+			continue
+		}
+		if memAlive != nil && !memAlive[o.ID()] {
+			continue
+		}
+		cands = append(cands, o)
+	}
+	if len(cands) == 0 {
+		return fmt.Errorf("core: drain node %d: no live node to evacuate to", n.ID())
+	}
+	next := 0
+	evs, err := n.Drain(ctx, func(name string, id uint32) (uint32, error) {
+		t := cands[next%len(cands)]
+		next++
+		return t.ID(), nil
+	})
+	if err != nil {
+		return err
+	}
+	byID := map[uint32]*node.Node{}
+	for _, o := range cands {
+		byID[o.ID()] = o
+	}
+	for _, ev := range evs {
+		target := byID[ev.Target]
+		sp := spawnsByName[ev.Name]
+		if _, err := target.AdoptSite(ev.Name, ev.Journal, sp.out, sp.opts...); err != nil {
+			return fmt.Errorf("core: adopt site %q on node %d: %w", ev.Name, ev.Target, err)
+		}
+	}
+	// The spawn roster moves off the drained node's books: a later
+	// Recover of this slot must not resurrect evacuated sites. The
+	// adopters do not inherit the records — their copy lives as the
+	// adopted journal itself (Recover of an adopter is out of scope for
+	// the in-process harness, which keeps journals per original node).
+	c.mu.Lock()
+	c.spawns[i] = nil
+	c.mu.Unlock()
 	return nil
 }
 
@@ -566,7 +750,9 @@ func (c *Cluster) Stop() {
 	nodes := append([]*node.Node(nil), c.nodes...)
 	c.mu.Unlock()
 	for _, d := range detectors {
-		d.Stop()
+		if d != nil {
+			d.Stop()
+		}
 	}
 	for _, n := range nodes {
 		n.Stop()

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/failure"
+	"repro/internal/journal"
+	"repro/internal/transport"
+)
+
+// E14 — gossip membership: detection latency, false-positive rate,
+// probe traffic scaling, and drain evacuation time (DESIGN.md §13).
+//
+// The membership tentpole replaced the all-pairs heartbeat detector
+// with SWIM-style gossip plus phi-accrual suspicion, and added
+// graceful drain. Four claims to measure, each against the legacy
+// heartbeat baseline (DetectConfig.Heartbeat) where one exists:
+//
+//  1. Detection latency: crash one node of n and time the first
+//     surviving observer's suspicion. Gossip probes one random peer
+//     per period instead of all of them, so its worst case trails the
+//     heartbeat detector — the budget is 2×.
+//  2. False positives: an idle cluster on a link whose delivery jitter
+//     exceeds the suspicion threshold. The binary detector convicts on
+//     every unlucky gap; the phi estimator has learned the variance
+//     and must cut false suspicions by ≥10×.
+//  3. Probe traffic: gossip's per-node probe load must stay flat as n
+//     grows 4→64 (the heartbeat baseline grows linearly — that is the
+//     scaling argument for the replacement).
+//  4. Drain: evacuating a live SETI server by journal handoff, timed.
+func E14(o Options) (*Table, error) {
+	sizes := []int{4, 16, 64}
+	if o.Quick {
+		sizes = []int{4, 8}
+	}
+	reps := o.scale(3, 2)
+
+	t := &Table{
+		ID:     "E14",
+		Title:  "gossip membership vs heartbeats: latency, false positives, traffic, drain",
+		Header: []string{"phase", "n", "gossip", "heartbeat", "ratio"},
+		Notes: []string{
+			"latency: crash→first surviving suspicion, median of reps; budget gossip ≤ 2× heartbeat",
+			"false positives: suspicions of live peers over an idle window, delivery jitter > suspect threshold; budget gossip ≤ heartbeat/10",
+			"traffic: membership probe messages per node per second, idle cluster; must stay flat 4→64",
+			"drain: Node.Drain wall time for a live SETI server (journal handoff + adoption), gossip only",
+		},
+	}
+
+	// Phase 1: detection latency.
+	for _, n := range sizes {
+		var gl, hl []time.Duration
+		for r := 0; r < reps; r++ {
+			seed := o.seed(14) + uint64(r)
+			g, err := e14DetectLatency(n, false, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E14 latency n=%d gossip: %w", n, err)
+			}
+			h, err := e14DetectLatency(n, true, seed)
+			if err != nil {
+				return nil, fmt.Errorf("E14 latency n=%d heartbeat: %w", n, err)
+			}
+			gl, hl = append(gl, g), append(hl, h)
+		}
+		g, h := median(gl), median(hl)
+		ratio := float64(g) / float64(h)
+		t.Rows = append(t.Rows, []string{
+			"latency", fmt.Sprint(n),
+			g.Round(time.Millisecond).String(), h.Round(time.Millisecond).String(),
+			fmt.Sprintf("%.2fx", ratio),
+		})
+		t.SetMetric(fmt.Sprintf("e14/detect_latency_ms/n=%d/gossip", n), float64(g.Milliseconds()))
+		t.SetMetric(fmt.Sprintf("e14/detect_latency_ms/n=%d/heartbeat", n), float64(h.Milliseconds()))
+		if ratio > 2 {
+			t.Notes = append(t.Notes, fmt.Sprintf("WARNING: n=%d gossip detection latency %.2fx heartbeat exceeds the 2x budget", n, ratio))
+		}
+	}
+
+	// Phase 2: false positives under seeded jitter chaos.
+	gfp, err := e14FalsePositives(false, o)
+	if err != nil {
+		return nil, fmt.Errorf("E14 fp gossip: %w", err)
+	}
+	hfp, err := e14FalsePositives(true, o)
+	if err != nil {
+		return nil, fmt.Errorf("E14 fp heartbeat: %w", err)
+	}
+	fpRatio := "inf"
+	if gfp > 0 {
+		fpRatio = fmt.Sprintf("%.1fx", float64(hfp)/float64(gfp))
+	}
+	t.Rows = append(t.Rows, []string{"false-pos", "8", fmt.Sprint(gfp), fmt.Sprint(hfp), fpRatio})
+	t.SetMetric("e14/false_positives/gossip", float64(gfp))
+	t.SetMetric("e14/false_positives/heartbeat", float64(hfp))
+	if hfp < 10*gfp {
+		t.Notes = append(t.Notes, fmt.Sprintf("WARNING: gossip false positives (%d) not 10x below heartbeat (%d)", gfp, hfp))
+	}
+
+	// Phase 3: probe traffic per node.
+	var base float64
+	for _, n := range sizes {
+		pps, err := e14ProbeTraffic(n, o.seed(14))
+		if err != nil {
+			return nil, fmt.Errorf("E14 traffic n=%d: %w", n, err)
+		}
+		// The heartbeat baseline is analytic: (n-1) per peer per period.
+		hb := float64(n-1) / (10 * time.Millisecond).Seconds()
+		t.Rows = append(t.Rows, []string{
+			"probes/node/s", fmt.Sprint(n),
+			fmt.Sprintf("%.0f", pps), fmt.Sprintf("%.0f", hb),
+			fmt.Sprintf("%.2fx", pps/hb),
+		})
+		t.SetMetric(fmt.Sprintf("e14/probes_per_node_per_sec/n=%d", n), pps)
+		if base == 0 {
+			base = pps
+		}
+	}
+
+	// Phase 4: drain evacuation time.
+	evac, err := e14Drain(o)
+	if err != nil {
+		return nil, fmt.Errorf("E14 drain: %w", err)
+	}
+	t.Rows = append(t.Rows, []string{"drain", "3", evac.Round(time.Millisecond).String(), "-", "-"})
+	t.SetMetric("e14/drain_evac_ms", float64(evac.Milliseconds()))
+	return t, nil
+}
+
+// e14DetectLatency crashes the last node of an idle n-node cluster and
+// returns the time until any survivor first suspects it.
+func e14DetectLatency(n int, heartbeat bool, seed uint64) (time.Duration, error) {
+	victim := uint32(n)
+	var mu sync.Mutex
+	armed := false
+	var crashedAt time.Time
+	detected := make(chan time.Duration, 1)
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:       n,
+		Chaos:       &transport.ChaosConfig{Seed: seed},
+		Reliability: &transport.ReliableConfig{},
+		Detect: &core.DetectConfig{
+			Period:       10 * time.Millisecond,
+			SuspectAfter: 80 * time.Millisecond,
+			Heartbeat:    heartbeat,
+			Seed:         seed,
+		},
+		OnSuspect: func(observer uint32, e failure.Event) {
+			if !e.Suspected || e.Node != victim {
+				return
+			}
+			mu.Lock()
+			ok := armed
+			at := crashedAt
+			armed = false
+			mu.Unlock()
+			if ok {
+				detected <- time.Since(at)
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Stop()
+	// Warm the phi windows (and the heartbeat silence clocks) so the
+	// measurement starts from a converged view.
+	time.Sleep(400 * time.Millisecond)
+	mu.Lock()
+	armed = true
+	crashedAt = time.Now()
+	mu.Unlock()
+	cl.Crash(n - 1)
+	select {
+	case lat := <-detected:
+		return lat, nil
+	case <-time.After(30 * time.Second):
+		return 0, fmt.Errorf("crash of node %d never suspected", victim)
+	}
+}
+
+// e14FalsePositives counts suspicions of live peers over an idle
+// window on a link whose jitter dwarfs the suspicion threshold.
+func e14FalsePositives(heartbeat bool, o Options) (int, error) {
+	window := time.Duration(o.scale(2000, 800)) * time.Millisecond
+	var mu sync.Mutex
+	counting := false
+	count := 0
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes: 8,
+		Chaos: &transport.ChaosConfig{
+			Seed:   o.seed(14),
+			Drop:   0.1,
+			Jitter: 100 * time.Millisecond,
+		},
+		Reliability: &transport.ReliableConfig{},
+		Detect: &core.DetectConfig{
+			Period:       10 * time.Millisecond,
+			SuspectAfter: 60 * time.Millisecond,
+			DeadAfter:    5 * time.Second, // keep FP counting free of death churn
+			Heartbeat:    heartbeat,
+			Seed:         o.seed(14),
+		},
+		OnSuspect: func(observer uint32, e failure.Event) {
+			if !e.Suspected {
+				return
+			}
+			mu.Lock()
+			if counting {
+				count++
+			}
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Stop()
+	// Warmup outside the counted window: both detectors begin with
+	// empty history, and first-contact noise is not a verdict.
+	time.Sleep(500 * time.Millisecond)
+	mu.Lock()
+	counting = true
+	mu.Unlock()
+	time.Sleep(window)
+	mu.Lock()
+	counting = false
+	got := count
+	mu.Unlock()
+	return got, nil
+}
+
+// e14ProbeTraffic measures gossip probe load per node per second on an
+// idle n-node cluster.
+func e14ProbeTraffic(n int, seed uint64) (float64, error) {
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:       n,
+		Reliability: &transport.ReliableConfig{},
+		Detect: &core.DetectConfig{
+			Period:       10 * time.Millisecond,
+			SuspectAfter: 80 * time.Millisecond,
+			Seed:         seed,
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Stop()
+	probes := func() uint64 {
+		var sum uint64
+		for i := 0; i < n; i++ {
+			st := cl.Membership(i).Stats()
+			sum += st.ProbesSent + st.PingReqsSent
+		}
+		return sum
+	}
+	time.Sleep(200 * time.Millisecond)
+	before := probes()
+	const window = time.Second
+	time.Sleep(window)
+	after := probes()
+	return float64(after-before) / float64(n) / window.Seconds(), nil
+}
+
+// e14Drain runs a SETI round-trip workload and times Drain of the
+// server's node mid-run (journal handoff, outbound quiesce, adoption).
+func e14Drain(o Options) (time.Duration, error) {
+	chunks := o.scale(40, 12)
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:       3,
+		Reliability: &transport.ReliableConfig{},
+		Detect: &core.DetectConfig{
+			Period:       10 * time.Millisecond,
+			SuspectAfter: 80 * time.Millisecond,
+			Seed:         o.seed(14),
+		},
+		Journal:         journal.NewMemFactory(),
+		CheckpointEvery: 4,
+	})
+	if err != nil {
+		return 0, err
+	}
+	defer cl.Stop()
+	const server = `def Serve(db) = db?(c, r) = (r![(c * 7919 + 17) % 1000003] | Serve[db]) in export new db Serve[db]`
+	if _, err := cl.Submit(0, "seti", server, nil); err != nil {
+		return 0, err
+	}
+	out := &syncBuf{}
+	if _, err := cl.Submit(1, "worker", e14WorkerSrc(chunks), out); err != nil {
+		return 0, err
+	}
+	// Mid-flight: at least one chunk has round-tripped, the rest are
+	// in the pipeline.
+	if err := pollUntil(30*time.Second, func() bool { return out.Len() > 0 }); err != nil {
+		return 0, fmt.Errorf("workload never started: %w", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	start := time.Now()
+	err = cl.Drain(ctx, 0)
+	evac := time.Since(start)
+	cancel()
+	if err != nil {
+		return 0, fmt.Errorf("drain: %w", err)
+	}
+	if err := waitCluster(cl, 2*time.Minute); err != nil {
+		return 0, fmt.Errorf("post-drain: %w", err)
+	}
+	return evac, nil
+}
+
+// e14WorkerSrc unrolls a sequential chunk RPC chain (the E6/chaos
+// worker shape).
+func e14WorkerSrc(chunks int) string {
+	var b strings.Builder
+	b.WriteString("import db from seti in\n")
+	for c := 0; c < chunks; c++ {
+		fmt.Fprintf(&b, "let v%d = db![%d] in ( println(\"chunk\", %d, v%d) |\n", c, c, c, c)
+	}
+	b.WriteString("inaction")
+	b.WriteString(strings.Repeat(" )", chunks))
+	return b.String()
+}
+
+// median of a small slice (sorted in place).
+func median(ds []time.Duration) time.Duration {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+	return ds[len(ds)/2]
+}

@@ -134,6 +134,7 @@ func All() []Runner {
 		{"e11", "frame coalescing: msgs/s and allocs/op vs batch size", E11},
 		{"e12", "telemetry: overhead & trace completeness", E12},
 		{"e13", "introspection: scrape overhead & stall-detection latency", E13},
+		{"e14", "gossip membership: detection latency, FP rate, traffic, drain", E14},
 	}
 }
 

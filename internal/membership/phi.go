@@ -1,0 +1,119 @@
+package membership
+
+import (
+	"math"
+	"time"
+)
+
+// phiEstimator is a per-peer phi-accrual failure estimator
+// (Hayashibara et al., "The φ Accrual Failure Detector"): it keeps a
+// sliding window of inter-arrival intervals between proofs of life
+// and turns the silence since the last one into a suspicion level
+//
+//	phi(t) = -log10( P(next arrival later than t) )
+//
+// under a normal model of the window. phi = 1 means "this silence had
+// a 10% chance if the peer is alive", phi = 8 means one in 10^8. The
+// point over a binary timeout: a peer whose link is jittery grows a
+// wide window (large σ), so the same silence yields a lower phi — the
+// detector adapts to observed behaviour instead of misclassifying
+// slow peers as dead.
+type phiEstimator struct {
+	intervals []float64 // seconds, ring buffer
+	idx       int
+	n         int
+	sum       float64
+	sumSq     float64
+	last      time.Time // most recent proof of life
+}
+
+// minSigma floors the estimated deviation: a perfectly regular beat
+// must not make the model infinitely confident.
+const minSigma = 1e-4 // 100µs in seconds
+
+// newPhiEstimator creates an estimator seeded with one synthetic
+// interval (the expected beat), so a freshly joined peer is neither
+// instantly suspicious nor unfalsifiably healthy.
+func newPhiEstimator(window int, expected time.Duration, now time.Time) *phiEstimator {
+	if window < 8 {
+		window = 8
+	}
+	e := &phiEstimator{intervals: make([]float64, window), last: now}
+	e.push(expected.Seconds())
+	return e
+}
+
+func (e *phiEstimator) push(v float64) {
+	if e.n == len(e.intervals) {
+		old := e.intervals[e.idx]
+		e.sum -= old
+		e.sumSq -= old * old
+	} else {
+		e.n++
+	}
+	e.intervals[e.idx] = v
+	e.sum += v
+	e.sumSq += v * v
+	e.idx = (e.idx + 1) % len(e.intervals)
+}
+
+// observe records a proof of life at now.
+func (e *phiEstimator) observe(now time.Time) {
+	d := now.Sub(e.last).Seconds()
+	if d > 0 {
+		e.push(d)
+	}
+	if now.After(e.last) {
+		e.last = now
+	}
+}
+
+// mean and deviation of the window.
+func (e *phiEstimator) stats() (mu, sigma float64) {
+	if e.n == 0 {
+		return 0, minSigma
+	}
+	mu = e.sum / float64(e.n)
+	variance := e.sumSq/float64(e.n) - mu*mu
+	if variance < 0 {
+		variance = 0
+	}
+	sigma = math.Sqrt(variance)
+	// Floor σ at a fraction of the mean: a handful of identical
+	// samples must not collapse the model.
+	if f := mu / 4; sigma < f {
+		sigma = f
+	}
+	if sigma < minSigma {
+		sigma = minSigma
+	}
+	return mu, sigma
+}
+
+// phiCap bounds the reported level once the tail probability
+// underflows — "astronomically dead" renders as 40, not +Inf.
+const phiCap = 40
+
+// phi reports the suspicion level of the silence from the last proof
+// of life to now.
+func (e *phiEstimator) phi(now time.Time) float64 {
+	t := now.Sub(e.last).Seconds()
+	if t <= 0 {
+		return 0
+	}
+	mu, sigma := e.stats()
+	x := (t - mu) / sigma
+	// P(arrival later than t) under N(mu, sigma²).
+	p := 0.5 * math.Erfc(x/math.Sqrt2)
+	if p <= 0 || math.IsNaN(p) {
+		return phiCap
+	}
+	v := -math.Log10(p)
+	if v < 0 {
+		v = 0
+	}
+	if v > phiCap {
+		v = phiCap
+	}
+	return v
+}

@@ -1,0 +1,92 @@
+package membership
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	now := time.Unix(1000, 0)
+	e := newPhiEstimator(16, 10*time.Millisecond, now)
+	// Regular 10ms beat.
+	for i := 0; i < 16; i++ {
+		now = now.Add(10 * time.Millisecond)
+		e.observe(now)
+	}
+	prev := -1.0
+	for _, silence := range []time.Duration{5, 20, 50, 200, 1000} {
+		phi := e.phi(now.Add(silence * time.Millisecond))
+		if phi < prev {
+			t.Fatalf("phi not monotone: %v after %vms < %v", phi, silence, prev)
+		}
+		prev = phi
+	}
+	if p := e.phi(now.Add(5 * time.Millisecond)); p > 2 {
+		t.Fatalf("phi after half a beat = %v, want small", p)
+	}
+	if p := e.phi(now.Add(time.Second)); p < 8 {
+		t.Fatalf("phi after 100 missed beats = %v, want large", p)
+	}
+}
+
+// A jittery peer must earn more tolerance: the same absolute silence
+// yields a lower phi when the window learned wide intervals.
+func TestPhiAdaptsToJitter(t *testing.T) {
+	base := time.Unix(1000, 0)
+
+	steady := newPhiEstimator(32, 10*time.Millisecond, base)
+	now := base
+	for i := 0; i < 32; i++ {
+		now = now.Add(10 * time.Millisecond)
+		steady.observe(now)
+	}
+	steadyEnd := now
+
+	jittery := newPhiEstimator(32, 10*time.Millisecond, base)
+	now = base
+	for i := 0; i < 32; i++ {
+		d := 10 * time.Millisecond
+		if i%3 == 0 {
+			d = 40 * time.Millisecond
+		}
+		now = now.Add(d)
+		jittery.observe(now)
+	}
+	jitteryEnd := now
+
+	const silence = 60 * time.Millisecond
+	ps := steady.phi(steadyEnd.Add(silence))
+	pj := jittery.phi(jitteryEnd.Add(silence))
+	if pj >= ps {
+		t.Fatalf("jittery peer scored %v, steady %v: detector did not adapt", pj, ps)
+	}
+}
+
+func TestPhiCapAndZeroSilence(t *testing.T) {
+	now := time.Unix(1000, 0)
+	e := newPhiEstimator(8, time.Millisecond, now)
+	if p := e.phi(now); p != 0 {
+		t.Fatalf("phi with no silence = %v", p)
+	}
+	if p := e.phi(now.Add(time.Hour)); p != phiCap {
+		t.Fatalf("phi after an hour = %v, want cap %v", p, float64(phiCap))
+	}
+}
+
+func TestPhiWindowSlides(t *testing.T) {
+	now := time.Unix(1000, 0)
+	e := newPhiEstimator(8, 100*time.Millisecond, now)
+	// Fill the window far past its size with a 10ms beat: the seeded
+	// 100ms sample must age out entirely.
+	for i := 0; i < 40; i++ {
+		now = now.Add(10 * time.Millisecond)
+		e.observe(now)
+	}
+	mu, _ := e.stats()
+	if mu > 0.02 {
+		t.Fatalf("window did not slide: mean %vs still reflects the seed", mu)
+	}
+	if e.n != 8 {
+		t.Fatalf("window holds %d samples, want 8", e.n)
+	}
+}

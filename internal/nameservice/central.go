@@ -87,6 +87,19 @@ type Service interface {
 	Endpoints(ctx context.Context, kind string) (map[uint32]string, error)
 }
 
+// NodeFencer is implemented by name services that can fence a node.
+// The membership layer calls FenceNode when gossip convicts a node
+// (Dead) or sees it leave (Left): every site entry registered by that
+// node reads as expired immediately — importers fail fast with
+// ErrNameExpired instead of waiting out the lease TTL — until a
+// higher-epoch re-registration from an adopting node supersedes the
+// entry, or UnfenceNode (a refuted suspicion, a rejoin) lifts the
+// fence.
+type NodeFencer interface {
+	FenceNode(node uint32)
+	UnfenceNode(node uint32)
+}
+
 // EndpointIntrospect is the endpoint kind under which nodes advertise
 // their observability HTTP address (DESIGN.md §12). tycotop and
 // `tycosh cluster` enumerate it to scrape the whole cluster.
@@ -125,6 +138,7 @@ type Central struct {
 	names     map[idKey]nameEntry
 	classes   map[idKey]classEntry
 	endpoints map[endpointKey]string
+	fenced    map[uint32]bool // nodes convicted dead or departed (NodeFencer)
 }
 
 type endpointKey struct {
@@ -145,6 +159,7 @@ func NewCentral() *Central {
 		names:     map[idKey]nameEntry{},
 		classes:   map[idKey]classEntry{},
 		endpoints: map[endpointKey]string{},
+		fenced:    map[uint32]bool{},
 	}
 }
 
@@ -165,9 +180,40 @@ func (c *Central) bump() {
 	c.gen = make(chan struct{})
 }
 
-// expiredLocked reports whether a site entry's lease has lapsed.
+// expiredLocked reports whether a site entry's lease has lapsed. A
+// fenced node's entries are expired unconditionally: the membership
+// verdict is a stronger death witness than a stale lease, and it
+// works without a lease TTL configured.
 func (c *Central) expiredLocked(e siteEntry) bool {
+	if c.fenced[e.node] {
+		return true
+	}
 	return c.leaseTTL > 0 && c.now().Sub(e.lastBeat) > c.leaseTTL
+}
+
+// FenceNode implements NodeFencer: site entries registered by node
+// read expired, and their KeepAlives are rejected, until a
+// higher-epoch re-registration moves the name or UnfenceNode lifts
+// the fence.
+func (c *Central) FenceNode(node uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.fenced[node] {
+		return
+	}
+	c.fenced[node] = true
+	c.bump()
+}
+
+// UnfenceNode implements NodeFencer (a refuted suspicion or rejoin).
+func (c *Central) UnfenceNode(node uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.fenced[node] {
+		return
+	}
+	delete(c.fenced, node)
+	c.bump()
 }
 
 // RegisterSite implements Service.
@@ -201,6 +247,9 @@ func (c *Central) KeepAlive(_ context.Context, siteName string, epoch uint32) er
 	}
 	if epoch < e.epoch {
 		return fmt.Errorf("nameservice: keepalive for site %q at epoch %d superseded by epoch %d", siteName, epoch, e.epoch)
+	}
+	if c.fenced[e.node] {
+		return fmt.Errorf("nameservice: keepalive for site %q rejected: node %d is fenced", siteName, e.node)
 	}
 	e.lastBeat = c.now()
 	c.sites[siteName] = e

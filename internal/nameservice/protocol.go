@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
@@ -285,6 +286,7 @@ type Client struct {
 	nextID    uint64
 	pending   map[uint64]chan *wire.Reader
 	closed    bool
+	done      chan struct{} // closed by Close; unblocks the redial loop's sleep
 }
 
 // Transient call failures — safe to retry because the request either
@@ -298,7 +300,7 @@ var _ Service = (*Client)(nil)
 
 // Dial connects to a name-service server.
 func Dial(addr string) (*Client, error) {
-	c := &Client{addr: addr, pending: map[uint64]chan *wire.Reader{}}
+	c := &Client{addr: addr, pending: map[uint64]chan *wire.Reader{}, done: make(chan struct{})}
 	if err := c.connect(); err != nil {
 		return nil, err
 	}
@@ -321,7 +323,10 @@ func (c *Client) connect() error {
 func (c *Client) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.closed = true
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
 	if c.conn != nil {
 		return c.conn.Close()
 	}
@@ -369,9 +374,12 @@ func (c *Client) readLoop(conn net.Conn) {
 	}
 }
 
-// redialLoop re-establishes the connection with exponential backoff.
+// redialLoop re-establishes the connection with jittered exponential
+// backoff. The jitter matters: every client of a restarted server lost
+// its connection at the same instant, and without it they all redial
+// in lockstep.
 func (c *Client) redialLoop() {
-	backoff := 50 * time.Millisecond
+	b := backoff.New(backoff.Policy{Initial: 50 * time.Millisecond, Max: 2 * time.Second})
 	for {
 		c.mu.Lock()
 		closed := c.closed
@@ -393,9 +401,8 @@ func (c *Client) redialLoop() {
 			go c.readLoop(conn)
 			return
 		}
-		time.Sleep(backoff)
-		if backoff *= 2; backoff > 2*time.Second {
-			backoff = 2 * time.Second
+		if !b.SleepChan(c.done) {
+			return
 		}
 	}
 }
@@ -403,19 +410,14 @@ func (c *Client) redialLoop() {
 // call sends a request and waits for its reply, retrying transient
 // transport failures with backoff until ctx expires.
 func (c *Client) call(ctx context.Context, build func(w *wire.Writer, id uint64)) (*wire.Reader, error) {
-	backoff := 25 * time.Millisecond
+	b := backoff.New(backoff.Policy{Initial: 25 * time.Millisecond, Max: time.Second})
 	for {
 		r, err := c.callOnce(ctx, build)
 		if err == nil || !isTransient(err) {
 			return r, err
 		}
-		select {
-		case <-ctx.Done():
-			return nil, fmt.Errorf("%w (last: %v)", ctx.Err(), err)
-		case <-time.After(backoff):
-		}
-		if backoff *= 2; backoff > time.Second {
-			backoff = time.Second
+		if serr := b.Sleep(ctx); serr != nil {
+			return nil, fmt.Errorf("%w (last: %v)", serr, err)
 		}
 	}
 }

@@ -197,6 +197,26 @@ func (r *Replicated) RegisterEndpoint(ctx context.Context, node uint32, kind, ad
 	})
 }
 
+// FenceNode implements NodeFencer by forwarding to every replica that
+// supports fencing. Best-effort and synchronous: fencing is a local
+// in-memory verdict on each replica, not a quorum write.
+func (r *Replicated) FenceNode(node uint32) {
+	for _, s := range r.replicas {
+		if f, ok := s.(NodeFencer); ok {
+			f.FenceNode(node)
+		}
+	}
+}
+
+// UnfenceNode implements NodeFencer.
+func (r *Replicated) UnfenceNode(node uint32) {
+	for _, s := range r.replicas {
+		if f, ok := s.(NodeFencer); ok {
+			f.UnfenceNode(node)
+		}
+	}
+}
+
 // Endpoints implements Service. Every replica is queried and the
 // answers are merged: a registration that reached only a quorum must
 // still be enumerable through any replica subset that includes one

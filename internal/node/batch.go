@@ -92,6 +92,7 @@ func (c *coalescer) add(dst uint32, t wire.FrameType, trace uint64, payload func
 	payload(w)
 	pb.bb.EndEntry()
 	if flush || c.cfg.Disable || c.closed || pb.bb.Len() >= c.cfg.MaxBytes {
+		c.piggybackLocked(pb, dst)
 		c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
 		frame := pb.bb.TakeFrame()
 		c.mu.Unlock()
@@ -131,6 +132,7 @@ func (c *coalescer) onTimer() {
 			continue
 		}
 		if !pb.due.After(now) {
+			c.piggybackLocked(pb, dst)
 			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
 			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
 		} else if wait := pb.due.Sub(now); next < 0 || wait < next {
@@ -153,12 +155,29 @@ func (c *coalescer) flushAll() {
 	c.mu.Lock()
 	for dst, pb := range c.peers {
 		if pb.bb.Count() > 0 {
+			c.piggybackLocked(pb, dst)
 			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
 			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
 		}
 	}
 	c.mu.Unlock()
 	c.sendAll(out)
+}
+
+// piggybackLocked appends pending membership updates as one FGossip
+// entry on a batch about to ship: epidemic dissemination rides the
+// data path for free — no extra frame, and (with Reliability on) it
+// shares the batch's single ack. A rare race where another flush
+// drains the queue first leaves an empty gossip entry, which the
+// receiver's decoder ignores.
+func (c *coalescer) piggybackLocked(pb *peerBatch, dst uint32) {
+	m := c.n.mem.Load()
+	if m == nil || !m.HasUpdates() {
+		return
+	}
+	w := pb.bb.BeginEntry(wire.FGossip, c.n.cfg.ID, dst, 0)
+	m.AppendPiggyback(w)
+	pb.bb.EndEntry()
 }
 
 func (c *coalescer) sendAll(out []flushItem) {

@@ -152,6 +152,21 @@ func (n *Node) Status() telemetry.NodeStatus {
 		sort.Slice(rel.DownPeers, func(i, j int) bool { return rel.DownPeers[i] < rel.DownPeers[j] })
 		st.Rel = rel
 	}
+	if m := n.mem.Load(); m != nil {
+		snap := m.Snapshot()
+		sort.Slice(snap, func(i, j int) bool { return snap[i].Node < snap[j].Node })
+		for _, mi := range snap {
+			st.Members = append(st.Members, telemetry.MemberStatus{
+				Node:        mi.Node,
+				State:       mi.State.String(),
+				Incarnation: mi.Inc,
+				Phi:         mi.Phi,
+				LastHeardMs: mi.LastHeard.Milliseconds(),
+				InStateMs:   mi.InState.Milliseconds(),
+			})
+		}
+	}
+	st.Draining = n.Draining()
 	n.stallMu.Lock()
 	st.Stalls = append([]telemetry.StallReport(nil), n.stalls...)
 	n.stallMu.Unlock()
@@ -233,21 +248,33 @@ func (n *Node) stallLoop(cfg StallConfig) {
 // publish transitions to the flight recorder and the
 // dityco_stalls_suspected counter.
 func (n *Node) sampleStalls(cfg StallConfig) {
-	// Suppression: while the reliable layer has a peer marked down
-	// (failure detector suspicion — a crash or a partition), a wedged
-	// site has a known external cause; flagging it would be a false
-	// positive. DownGrace bounds the silence for outages that never
-	// heal.
-	suppressed := false
+	// Suppression: while any peer has a known outage — marked down in
+	// the reliable layer, or held in the membership agent's suspect
+	// state (not yet convicted, so possibly absent from DownPeers when
+	// no reliable layer is attached) — a wedged site has a known
+	// external cause; flagging it would be a false positive. DownGrace
+	// bounds the silence for outages that never heal, and it applies
+	// uniformly to both sources: a merely-suspect peer suppresses
+	// exactly like a convicted one until the grace expires.
+	outages := map[uint32]time.Time{}
 	if n.rel != nil {
-		if down := n.rel.DownPeers(); len(down) > 0 {
-			suppressed = true
-			if cfg.DownGrace > 0 {
-				for _, since := range down {
-					if time.Since(since) >= cfg.DownGrace {
-						suppressed = false
-						break
-					}
+		for id, since := range n.rel.DownPeers() {
+			outages[id] = since
+		}
+	}
+	for id, since := range n.SuspectSince() {
+		if cur, ok := outages[id]; !ok || since.Before(cur) {
+			outages[id] = since
+		}
+	}
+	suppressed := false
+	if len(outages) > 0 {
+		suppressed = true
+		if cfg.DownGrace > 0 {
+			for _, since := range outages {
+				if time.Since(since) >= cfg.DownGrace {
+					suppressed = false
+					break
 				}
 			}
 		}

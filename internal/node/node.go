@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/journal"
+	"repro/internal/membership"
 	"repro/internal/nameservice"
 	"repro/internal/site"
 	"repro/internal/telemetry"
@@ -127,6 +128,21 @@ type Node struct {
 
 	// onControl holds the live control-frame handler.
 	onControl atomic.Pointer[func(wire.FrameType, uint32, []byte)]
+
+	// mem is the gossip membership agent (membership.go); nil until
+	// AttachMembership. suspectSince records when each peer entered
+	// suspicion, for the stall detector's outage suppression.
+	mem          atomic.Pointer[membership.M]
+	suspectMu    sync.Mutex
+	suspectSince map[uint32]time.Time
+
+	// Drain state (drain.go): a draining node refuses new sites, and
+	// forwards maps evacuated site ids to their adopting node.
+	// fwdCount mirrors len(forwards) so the per-envelope check on the
+	// dispatch path is one atomic load when no drain ever happened.
+	draining atomic.Bool
+	forwards map[uint32]uint32 // guarded by mu
+	fwdCount atomic.Int32
 
 	// Daemon statistics.
 	localDeliveries  atomic.Uint64
@@ -254,6 +270,32 @@ func (n *Node) refreshTelemetryGauges() {
 		n.tel.SetGauge("rel.unacked", int64(n.rel.Unacked()))
 		n.tel.SetGauge("rel.ack_debt", int64(n.rel.AckDebt()))
 	}
+	if m := n.mem.Load(); m != nil {
+		var alive, suspect, dead, left int64
+		for _, mi := range m.Snapshot() {
+			switch mi.State {
+			case membership.StateAlive, membership.StateLeaving:
+				alive++
+			case membership.StateSuspect:
+				suspect++
+			case membership.StateDead:
+				dead++
+			case membership.StateLeft:
+				left++
+			}
+		}
+		n.tel.SetGauge("membership.alive", alive)
+		n.tel.SetGauge("membership.suspect", suspect)
+		n.tel.SetGauge("membership.dead", dead)
+		n.tel.SetGauge("membership.left", left)
+		n.tel.SetGauge("membership.pending_updates", int64(m.PendingUpdates()))
+		st := m.Stats()
+		n.tel.SetGauge("membership.probes_sent", int64(st.ProbesSent))
+		n.tel.SetGauge("membership.pingreqs_sent", int64(st.PingReqsSent))
+		n.tel.SetGauge("membership.piggybacked", int64(st.Piggybacked))
+		n.tel.SetGauge("membership.suspicions", int64(st.Suspicions))
+		n.tel.SetGauge("membership.refutations", int64(st.Refutations))
+	}
 }
 
 // DeliveryFailures reports frames the node abandoned because their
@@ -336,6 +378,13 @@ func (n *Node) acceptEnvelope(env *wire.Envelope) error {
 	if err != nil || op.IsZero() {
 		return nil
 	}
+	if _, fwd := n.forwardFor(dstSite); fwd {
+		// An evacuated site's straggler is acked without journaling
+		// here: dispatch forwards it to the adopter, whose own
+		// accept-before-ack hook journals it before acknowledging the
+		// forwarded copy.
+		return nil
+	}
 	jl := n.journalFor(dstSite)
 	if jl == nil {
 		return fmt.Errorf("node %d: no journal open for site %d", n.cfg.ID, dstSite)
@@ -391,6 +440,9 @@ func (n *Node) setErr(err error) {
 // ("New sites are created when a new program is submitted for
 // execution"). out overrides the node's default I/O port when non-nil.
 func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ...SiteOption) (*site.Site, error) {
+	if n.draining.Load() {
+		return nil, fmt.Errorf("node %d: draining, not accepting new sites", n.cfg.ID)
+	}
 	n.mu.Lock()
 	if _, dup := n.byName[siteName]; dup {
 		n.mu.Unlock()
@@ -624,6 +676,9 @@ func (n *Node) Sites() []*site.Site {
 
 // Stop shuts down the node: all sites, then the daemon.
 func (n *Node) Stop() {
+	if m := n.mem.Load(); m != nil {
+		m.Stop()
+	}
 	n.mu.Lock()
 	intro := n.intro
 	n.intro = nil
@@ -676,9 +731,10 @@ func (n *Node) SendControl(t wire.FrameType, dst uint32, payload []byte) error {
 		}
 		return nil
 	}
-	if t == wire.FHeartbeat && n.rel != nil {
-		// Heartbeats stay best-effort: retransmitting one to a dead
-		// peer would mask exactly the loss the detector listens for.
+	if (t == wire.FHeartbeat || t == wire.FGossip) && n.rel != nil {
+		// Heartbeats and gossip probes stay best-effort: retransmitting
+		// one to a dead peer would mask exactly the loss the detector
+		// listens for.
 		env := &wire.Envelope{Type: t, SrcNode: n.cfg.ID, DstNode: dst, Payload: payload}
 		return n.rel.SendBestEffort(dst, env.Encode())
 	}
@@ -747,13 +803,25 @@ func (n *Node) dispatch(frame []byte) error {
 func (n *Node) dispatchEnvelope(env *wire.Envelope) error {
 	switch env.Type {
 	case wire.FMsg, wire.FObj, wire.FFetchReq, wire.FFetchRep:
+		// Data is proof of life: a busy link keeps the phi window tight
+		// without waiting for the next gossip probe.
+		if m := n.mem.Load(); m != nil {
+			m.Contact(env.SrcNode)
+		}
+		if n.fwdCount.Load() != 0 {
+			if _, fwdSite, err := wire.PeekOp(env.Payload); err == nil {
+				if target, ok := n.forwardFor(fwdSite); ok {
+					return n.forwardEnvelope(env, target)
+				}
+			}
+		}
 		d, dstSite, err := site.DecodePayload(env.Type, env.SrcNode, env.Payload)
 		if err != nil {
 			return fmt.Errorf("node %d: %w", n.cfg.ID, err)
 		}
 		d.Trace = env.Trace
 		return n.toSite(dstSite, d)
-	case wire.FTerm, wire.FHeartbeat:
+	case wire.FTerm, wire.FHeartbeat, wire.FGossip:
 		if h := n.control(); h != nil {
 			h(env.Type, env.SrcNode, env.Payload)
 		}
@@ -779,7 +847,15 @@ func (n *Node) toSite(siteID uint32, d site.Delivery) error {
 		return fmt.Errorf("node %d: frame for unknown site %d", n.cfg.ID, siteID)
 	}
 	n.remoteDeliveries.Add(1)
-	return s.Deliver(d)
+	if err := s.Deliver(d); err != nil {
+		if jl != nil && !d.Op.IsZero() {
+			// The site stopped (crash, or mid-drain) after the accept
+			// hook journaled the record; replay re-delivers it.
+			return nil
+		}
+		return err
+	}
+	return nil
 }
 
 // toLocal delivers same-node traffic via the shared-memory fast path

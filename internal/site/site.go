@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/asm"
+	"repro/internal/backoff"
 	"repro/internal/nameservice"
 	"repro/internal/telemetry"
 	"repro/internal/types"
@@ -569,7 +570,7 @@ func (s *Site) Load(p *Program) error {
 // died, and its supervised restart will revive the entry.
 func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, requiredSig string) {
 	deadline := time.Now().Add(s.cfg.ImportTimeout)
-	backoff := 25 * time.Millisecond
+	b := backoff.New(backoff.Policy{Initial: 25 * time.Millisecond, Max: time.Second})
 	var nc vm.NetClass
 	var ref vm.NetRef
 	var classSig, nameSig string
@@ -585,13 +586,8 @@ func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, requiredSig string
 		if err == nil || !time.Now().Before(deadline) {
 			break
 		}
-		select {
-		case <-time.After(backoff):
-		case <-s.stop:
+		if !b.SleepChan(s.stop) {
 			return
-		}
-		if backoff < time.Second {
-			backoff *= 2
 		}
 	}
 	var v vm.Value

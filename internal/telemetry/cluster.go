@@ -134,8 +134,8 @@ func (cv ClusterView) JSON() []byte {
 // /healthz.
 func (cv ClusterView) RenderTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-5s %-9s %-6s %-6s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %s\n",
-		"NODE", "HEALTH", "SITES", "RUNQ", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "ADDR")
+	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6s %-6s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %s\n",
+		"NODE", "HEALTH", "MEMB", "SITES", "RUNQ", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "ADDR")
 	var totSites, totRunq, totInbox, totWait, totStalls, totUnacked int
 	var totSent, totRecv, totFailed uint64
 	for _, v := range cv.Nodes {
@@ -156,8 +156,8 @@ func (cv ClusterView) RenderTable() string {
 		if v.Status.Rel != nil {
 			unacked = v.Status.Rel.Unacked
 		}
-		fmt.Fprintf(&b, "%-5d %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %s\n",
-			v.Node, v.Health.Status, len(v.Status.Sites), runq, inbox, wait,
+		fmt.Fprintf(&b, "%-5d %-9s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %s\n",
+			v.Node, v.Health.Status, memberSummary(v.Status), len(v.Status.Sites), runq, inbox, wait,
 			len(v.Status.Stalls), sent, recv, unacked, v.Status.DeliveryFailures, v.Addr)
 		totSites += len(v.Status.Sites)
 		totRunq += runq
@@ -169,8 +169,8 @@ func (cv ClusterView) RenderTable() string {
 		totRecv += recv
 		totFailed += v.Status.DeliveryFailures
 	}
-	fmt.Fprintf(&b, "%-5s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d\n",
-		"all", "", totSites, totRunq, totInbox, totWait, totStalls, totSent, totRecv, totUnacked, totFailed)
+	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d\n",
+		"all", "", "", totSites, totRunq, totInbox, totWait, totStalls, totSent, totRecv, totUnacked, totFailed)
 	for _, v := range cv.Nodes {
 		for _, st := range v.Status.Stalls {
 			fmt.Fprintf(&b, "stall: node %d site %q (%d) %s for %dms %s\n",
@@ -179,6 +179,35 @@ func (cv ClusterView) RenderTable() string {
 		for _, r := range v.Health.Reasons {
 			fmt.Fprintf(&b, "health: node %d: %s\n", v.Node, r)
 		}
+		for _, m := range v.Status.Members {
+			if m.State == "alive" {
+				continue // only trouble earns a detail line
+			}
+			fmt.Fprintf(&b, "member: node %d sees %d %s (inc %d, phi %.1f, silent %dms)\n",
+				v.Node, m.Node, m.State, m.Incarnation, m.Phi, m.LastHeardMs)
+		}
 	}
 	return b.String()
+}
+
+// memberSummary compresses a node's membership table into the MEMB
+// column: alive/suspect/dead counts ("-" when gossip membership is
+// off; a Leaving peer counts alive, a Left peer is dropped — it
+// departed, it is not in trouble).
+func memberSummary(st NodeStatus) string {
+	if len(st.Members) == 0 {
+		return "-"
+	}
+	var a, s, d int
+	for _, m := range st.Members {
+		switch m.State {
+		case "alive", "leaving":
+			a++
+		case "suspect":
+			s++
+		case "dead":
+			d++
+		}
+	}
+	return fmt.Sprintf("%da/%ds/%dd", a, s, d)
 }

@@ -81,6 +81,18 @@ type StallReport struct {
 	Detail string `json:"detail,omitempty"`
 }
 
+// MemberStatus is one row of a node's gossip membership table
+// (DESIGN.md §13): the peer's state per this node's agent, its
+// incarnation, and the phi-accrual suspicion level.
+type MemberStatus struct {
+	Node        uint32  `json:"node"`
+	State       string  `json:"state"`
+	Incarnation uint64  `json:"incarnation"`
+	Phi         float64 `json:"phi"`
+	LastHeardMs int64   `json:"last_heard_ms"`
+	InStateMs   int64   `json:"in_state_ms"`
+}
+
 // NodeStatus is the /statusz document: one node's full introspection
 // snapshot.
 type NodeStatus struct {
@@ -93,6 +105,8 @@ type NodeStatus struct {
 	Rel              *RelStatus     `json:"rel,omitempty"`
 	Stalls           []StallReport  `json:"stalls,omitempty"`
 	Strikes          map[string]int `json:"strikes,omitempty"`
+	Members          []MemberStatus `json:"members,omitempty"`
+	Draining         bool           `json:"draining,omitempty"`
 	Error            string         `json:"error,omitempty"`
 }
 

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/backoff"
 	"repro/internal/wire"
 )
 
@@ -581,14 +582,13 @@ func (r *Reliable) retransmitLoop() {
 					break
 				}
 				u.retries++
-				backoff := r.cfg.RetransmitTimeout << uint(u.retries)
-				if backoff > r.cfg.RetransmitMax {
-					backoff = r.cfg.RetransmitMax
+				// Jittered exponential growth via the shared policy;
+				// Step is pure, so calling it under the lock is fine.
+				pol := backoff.Policy{
+					Initial: r.cfg.RetransmitTimeout,
+					Max:     r.cfg.RetransmitMax,
 				}
-				// Up to 25% jitter decorrelates retransmit storms.
-				r.rng = mix64(r.rng)
-				backoff += time.Duration(r.rng % uint64(backoff/4+1))
-				u.deadline = now.Add(backoff)
+				u.deadline = now.Add(pol.Step(u.retries, &r.rng))
 				resends = append(resends, resend{dst: dst, pkt: u.packet})
 			}
 			if exhausted {

@@ -43,6 +43,13 @@ const (
 	// path as a plain envelope — through Reliable as one FData
 	// packet — and is unpacked by the receiving TyCOd.
 	FBatch
+
+	// FGossip carries a SWIM membership payload (ping / ack /
+	// ping-req / piggybacked state updates, internal/membership).
+	// Dedicated gossip probes travel best-effort like heartbeats —
+	// their loss is the phi-accrual detector's signal — while
+	// piggybacked updates ride inside coalesced batches.
+	FGossip
 )
 
 func (t FrameType) String() string {
@@ -67,6 +74,8 @@ func (t FrameType) String() string {
 		return "raw"
 	case FBatch:
 		return "batch"
+	case FGossip:
+		return "gossip"
 	default:
 		return fmt.Sprintf("frame(%d)", uint8(t))
 	}
