@@ -9,6 +9,7 @@
 //	tycobench -json out.json       # also write machine-readable metrics
 //	tycobench -seed 7              # override seeded components
 //	tycobench -telemetry dump.json # telemetry capture run: write a flight-recorder dump
+//	tycobench -openloop 1,2,5      # overload drill (E15) at these multiples of wire capacity
 //	tycobench -scrape 127.0.0.1:9101  # strict-validate a node's /metrics endpoint
 //	tycobench -cpuprofile cpu.pb   # pprof CPU profile of the run
 //	tycobench -memprofile mem.pb   # heap profile at exit
@@ -26,6 +27,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -49,6 +51,7 @@ func main() {
 		jsonPath = flag.String("json", "", "write collected metrics as JSON to this file ({meta, metrics})")
 		seed     = flag.Int64("seed", 0, "override seeded components (0 = per-experiment defaults)")
 		telPath  = flag.String("telemetry", "", "run a telemetry capture workload and write the flight-recorder dump to this file")
+		openloop = flag.String("openloop", "", "drive the open-loop overdrive drill (E15) at these comma-separated multiples of wire capacity, e.g. 1,2,5")
 		scrape   = flag.String("scrape", "", "scrape host:port/metrics, strict-validate the OpenMetrics text, and print each family (exit 1 on parse failure)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -89,6 +92,24 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *openloop != "" {
+		var mults []int
+		for _, s := range strings.Split(*openloop, ",") {
+			m, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || m < 1 {
+				fmt.Fprintf(os.Stderr, "openloop: bad multiple %q (want a positive integer)\n", s)
+				os.Exit(2)
+			}
+			mults = append(mults, m)
+		}
+		table, err := experiments.OpenLoopDrill(opts, mults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "openloop: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Render())
+		return
+	}
 	if *telPath != "" {
 		dump, err := experiments.TelemetryCapture(opts)
 		if err != nil {

@@ -1,0 +1,150 @@
+package admission
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A burst whose queue drains between arrivals must not trip the
+// controller: the minimum sojourn over the window stays low even when
+// individual samples spike.
+func TestBurstDoesNotShed(t *testing.T) {
+	c := New(Config{Target: 5 * time.Millisecond, Window: 100 * time.Millisecond})
+	now := time.Unix(0, 0)
+	for i := 0; i < 50; i++ {
+		// Alternate huge and tiny sojourns: the queue keeps draining.
+		d := time.Millisecond
+		if i%2 == 0 {
+			d = 80 * time.Millisecond
+		}
+		now = now.Add(5 * time.Millisecond)
+		c.ObserveSojournAt(d, now)
+	}
+	if got := c.State(); got != Ok {
+		t.Fatalf("state after draining burst = %v, want Ok", got)
+	}
+	if err := c.Admit(); err != nil {
+		t.Fatalf("Admit during burst: %v", err)
+	}
+}
+
+// Standing overload — every sample over target for a full window —
+// must trip Shed, and Admit must reject with ErrOverloaded.
+func TestStandingOverloadSheds(t *testing.T) {
+	c := New(Config{Target: 5 * time.Millisecond, Window: 100 * time.Millisecond})
+	now := time.Unix(0, 0)
+	for i := 0; i < 30; i++ {
+		now = now.Add(10 * time.Millisecond)
+		c.ObserveSojournAt(20*time.Millisecond, now)
+	}
+	if got := c.State(); got != Shed {
+		t.Fatalf("state under standing overload = %v, want Shed", got)
+	}
+	if err := c.Admit(); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("Admit under overload = %v, want ErrOverloaded", err)
+	}
+	if c.Sheds() != 1 {
+		t.Fatalf("Sheds = %d, want 1", c.Sheds())
+	}
+}
+
+// Recovery needs Decay consecutive clean windows (hysteresis): one good
+// window must not flip Shed back to Ok.
+func TestShedRecoversWithHysteresis(t *testing.T) {
+	c := New(Config{Target: 5 * time.Millisecond, Window: 100 * time.Millisecond, Decay: 2})
+	now := time.Unix(0, 0)
+	for i := 0; i < 30; i++ {
+		now = now.Add(10 * time.Millisecond)
+		c.ObserveSojournAt(20*time.Millisecond, now)
+	}
+	if c.State() != Shed {
+		t.Fatalf("precondition: not shedding")
+	}
+	// First clean window completes: still Shed (clean streak 1 < 2).
+	now = now.Add(10 * time.Millisecond)
+	c.ObserveSojournAt(time.Millisecond, now)
+	if got := c.State(); got != Shed {
+		t.Fatalf("state after one clean window = %v, want Shed (hysteresis)", got)
+	}
+	// Second clean window: recovered.
+	for i := 0; i < 10; i++ {
+		now = now.Add(10 * time.Millisecond)
+		c.ObserveSojournAt(time.Millisecond, now)
+	}
+	if got := c.State(); got != Ok {
+		t.Fatalf("state after two clean windows = %v, want Ok", got)
+	}
+}
+
+// Occupancy watermarks work without any sojourn samples: a full inbox
+// sheds even when nothing completes to be sampled.
+func TestOccupancyWatermarks(t *testing.T) {
+	c := New(Config{InboxShed: 0.9, WindowShed: 0.9})
+	c.SetOccupancy(0.5, 0.1)
+	if got := c.State(); got != Warn {
+		t.Fatalf("state at half watermark = %v, want Warn", got)
+	}
+	c.SetOccupancy(0.95, 0.1)
+	if got := c.State(); got != Shed {
+		t.Fatalf("state at inbox watermark = %v, want Shed", got)
+	}
+	c.SetOccupancy(0.1, 0.95)
+	if got := c.State(); got != Shed {
+		t.Fatalf("state at window watermark = %v, want Shed", got)
+	}
+	// Occupancy is a level, not an edge: it clears as soon as the
+	// queues drain, no hysteresis windows needed.
+	c.SetOccupancy(0.1, 0.1)
+	if got := c.State(); got != Ok {
+		t.Fatalf("state after load drained = %v, want Ok", got)
+	}
+}
+
+// Nil controllers are free: every method no-ops and Admit always
+// admits, so admission-off nodes pay one nil test.
+func TestNilController(t *testing.T) {
+	var c *Controller
+	c.ObserveSojourn(time.Hour)
+	c.SetOccupancy(1, 1)
+	if c.State() != Ok {
+		t.Fatalf("nil State = %v, want Ok", c.State())
+	}
+	if err := c.Admit(); err != nil {
+		t.Fatalf("nil Admit = %v", err)
+	}
+	if c.Sheds() != 0 {
+		t.Fatalf("nil Sheds = %d", c.Sheds())
+	}
+}
+
+// The controller is sampled from site goroutines, the node's occupancy
+// loop, and admission gates concurrently; run a storm under -race.
+func TestConcurrentUse(t *testing.T) {
+	c := New(Config{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(3)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.ObserveSojourn(time.Duration(i) * time.Microsecond)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.SetOccupancy(float64(i%100)/100, float64(i%7)/10)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				_ = c.Admit()
+				_ = c.State()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -127,13 +127,16 @@ func (b *Backoff) Attempt() int { return b.attempt }
 func (b *Backoff) Reset() { b.attempt = 0 }
 
 // Sleep blocks for the next delay or until ctx is done, returning
-// ctx.Err() when cancelled first.
+// ctx.Err() when cancelled first. Cancellation wins ties: when the
+// timer fires with ctx already done, Sleep still reports ctx.Err() —
+// a select would pick a ready case at random, letting a cancelled
+// caller fire one more retry attempt.
 func (b *Backoff) Sleep(ctx context.Context) error {
 	t := time.NewTimer(b.Next())
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return nil
+		return ctx.Err()
 	case <-ctx.Done():
 		return ctx.Err()
 	}
@@ -141,13 +144,20 @@ func (b *Backoff) Sleep(ctx context.Context) error {
 
 // SleepChan blocks for the next delay or until done is closed; it
 // reports false when interrupted. The variant for loops that carry a
-// stop channel instead of a context (site import resolution).
+// stop channel instead of a context (site import resolution, NS
+// redial). Like Sleep, cancellation wins ties: a closed done channel
+// reports false even when the timer fired in the same instant.
 func (b *Backoff) SleepChan(done <-chan struct{}) bool {
 	t := time.NewTimer(b.Next())
 	defer t.Stop()
 	select {
 	case <-t.C:
-		return true
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
 	case <-done:
 		return false
 	}

@@ -90,3 +90,89 @@ func TestSleepChanInterrupt(t *testing.T) {
 		t.Fatalf("SleepChan ignored interrupt")
 	}
 }
+
+// TestSleepCancelledCtxNeverReportsSuccess is the regression test for
+// the select race: with a zero-length delay the timer is ready
+// immediately, and a plain select would pick the timer case about half
+// the time — letting a cancelled caller (NS redial, import retry) fire
+// one more attempt. Cancellation must win every tie.
+func TestSleepCancelledCtxNeverReportsSuccess(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for i := 0; i < 200; i++ {
+		b := NewSeeded(Policy{Initial: time.Nanosecond, Max: time.Nanosecond, Jitter: NoJitter}, uint64(i))
+		time.Sleep(10 * time.Microsecond) // let the timer be ready at select time
+		if err := b.Sleep(ctx); err == nil {
+			t.Fatalf("iteration %d: Sleep on cancelled ctx reported success", i)
+		}
+	}
+}
+
+// TestSleepChanClosedNeverReportsSuccess: same race, channel variant.
+func TestSleepChanClosedNeverReportsSuccess(t *testing.T) {
+	done := make(chan struct{})
+	close(done)
+	for i := 0; i < 200; i++ {
+		b := NewSeeded(Policy{Initial: time.Nanosecond, Max: time.Nanosecond, Jitter: NoJitter}, uint64(i))
+		time.Sleep(10 * time.Microsecond)
+		if b.SleepChan(done) {
+			t.Fatalf("iteration %d: SleepChan on closed chan reported a full sleep", i)
+		}
+	}
+}
+
+func TestBudgetSpendsAndRefills(t *testing.T) {
+	b := NewBudget(10, 3) // 10 tokens/s, burst 3
+	now := time.Unix(1000, 0)
+	for i := 0; i < 3; i++ {
+		if !b.AllowAt(now) {
+			t.Fatalf("burst attempt %d denied", i)
+		}
+	}
+	if b.AllowAt(now) {
+		t.Fatalf("empty bucket allowed an attempt")
+	}
+	// 100ms refills one token at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if !b.AllowAt(now) {
+		t.Fatalf("refilled token denied")
+	}
+	if b.AllowAt(now) {
+		t.Fatalf("second attempt in the same instant allowed")
+	}
+	spent, deferred := b.Stats()
+	if spent != 4 || deferred != 2 {
+		t.Fatalf("stats = (%d, %d), want (4, 2)", spent, deferred)
+	}
+}
+
+func TestBudgetCapsAtBurst(t *testing.T) {
+	b := NewBudget(1000, 2)
+	now := time.Unix(1000, 0)
+	if !b.AllowAt(now) {
+		t.Fatal("first attempt denied")
+	}
+	// A long idle period must not accumulate more than burst tokens.
+	now = now.Add(time.Hour)
+	allowed := 0
+	for i := 0; i < 10; i++ {
+		if b.AllowAt(now) {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("after idle, %d attempts allowed, want burst=2", allowed)
+	}
+}
+
+func TestBudgetNilIsUnlimited(t *testing.T) {
+	var b *Budget
+	for i := 0; i < 100; i++ {
+		if !b.Allow() {
+			t.Fatal("nil budget denied an attempt")
+		}
+	}
+	if NewBudget(0, 5) != nil || NewBudget(5, 0) != nil {
+		t.Fatal("zero rate/burst should return the nil (unlimited) budget")
+	}
+}

@@ -1,0 +1,73 @@
+package backoff
+
+import (
+	"sync"
+	"time"
+)
+
+// Budget is a token-bucket retry budget: each retry attempt spends a
+// token, tokens refill at a fixed rate, and an empty bucket defers the
+// attempt instead of firing it. Layered over a Policy it turns "every
+// unacked frame retries on its own exponential clock" into "a
+// struggling peer sees at most rate retries per second, whatever the
+// backlog" — the difference between a bounded trickle and a
+// synchronized retransmit storm when a slow peer finally answers.
+//
+// A Budget is safe for concurrent use.
+type Budget struct {
+	mu       sync.Mutex
+	rate     float64 // tokens per second
+	burst    float64
+	tokens   float64
+	last     time.Time
+	spent    uint64
+	deferred uint64
+}
+
+// NewBudget creates a budget refilling at rate tokens/second with the
+// given burst capacity (the bucket starts full). rate <= 0 or
+// burst <= 0 returns nil, which every method treats as "unlimited" —
+// the zero-config default costs nothing.
+func NewBudget(rate float64, burst int) *Budget {
+	if rate <= 0 || burst <= 0 {
+		return nil
+	}
+	return &Budget{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// Allow spends one token if available, reporting whether the attempt
+// may fire now. A nil budget always allows.
+func (b *Budget) Allow() bool { return b.AllowAt(time.Now()) }
+
+// AllowAt is Allow against an explicit clock (deterministic tests).
+func (b *Budget) AllowAt(now time.Time) bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		b.deferred++
+		return false
+	}
+	b.tokens--
+	b.spent++
+	return true
+}
+
+// Stats reports (attempts allowed, attempts deferred) since creation.
+func (b *Budget) Stats() (spent, deferred uint64) {
+	if b == nil {
+		return 0, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.spent, b.deferred
+}

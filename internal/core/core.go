@@ -21,6 +21,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/asm"
 	"repro/internal/compiler"
 	"repro/internal/failure"
@@ -174,6 +175,14 @@ type ClusterConfig struct {
 	// Cluster.IntrospectionAddrs; they are also advertised through the
 	// name service (nameservice.EndpointIntrospect) for tycotop.
 	Introspection *node.IntrospectConfig
+	// Admission, when non-nil, turns on every node's overload-
+	// protection plane (DESIGN.md §14): admission control, expired-work
+	// shedding, fetch pushback. The zero config selects the defaults.
+	Admission *admission.Config
+	// OpDeadline, when positive, stamps every mobility operation with
+	// an absolute now+OpDeadline expiry, enforced end to end (sender
+	// retransmission, receiver application).
+	OpDeadline time.Duration
 }
 
 // spawnRec remembers a submission so Recover can restore the node's
@@ -304,6 +313,8 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 		Telemetry:         tel,
 		CrashDumpDir:      c.cfg.CrashDumpDir,
 		Introspect:        intro,
+		Admission:         c.cfg.Admission,
+		OpDeadline:        c.cfg.OpDeadline,
 	})
 	if intro != nil {
 		if addr := n.IntrospectionAddr(); addr != "" {

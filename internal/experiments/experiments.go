@@ -135,6 +135,7 @@ func All() []Runner {
 		{"e12", "telemetry: overhead & trace completeness", E12},
 		{"e13", "introspection: scrape overhead & stall-detection latency", E13},
 		{"e14", "gossip membership: detection latency, FP rate, traffic, drain", E14},
+		{"e15", "overload: open-loop overdrive, shedding, goodput plateau", E15},
 	}
 }
 

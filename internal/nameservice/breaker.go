@@ -1,0 +1,335 @@
+package nameservice
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/vm"
+)
+
+// Circuit breaker for the name service (DESIGN.md §14). A client whose
+// lookups keep timing out or bouncing off an overloaded server should
+// stop hammering it — every doomed call holds a goroutine, a pending
+// table slot, and a share of the server's queue that paying customers
+// need. The breaker wraps any Service (normally a *Client) and fails
+// lookups fast while the downstream is sick.
+//
+// Only the blocking lookups are gated. Registrations and KeepAlive are
+// control traffic: they are what lets a site keep its lease and a node
+// re-advertise itself, exactly the calls that must keep flowing during
+// overload, so they pass through untouched (and unobserved — a slow
+// register must not blow the breaker for lookups).
+
+// ErrCircuitOpen is returned by gated calls while the breaker is open.
+// Like admission.ErrOverloaded it is retryable pushback, not a verdict
+// about the name being looked up.
+var ErrCircuitOpen = errors.New("nameservice: circuit open")
+
+// Breaker states, ordered by severity (exported for telemetry gauges).
+const (
+	BreakerClosed   = 0 // normal operation
+	BreakerHalfOpen = 1 // cooling down; probe calls allowed through
+	BreakerOpen     = 2 // failing fast
+)
+
+// BreakerConfig tunes a Breaker. The zero value of any field selects
+// its default.
+type BreakerConfig struct {
+	// Failures is how many consecutive tripping failures open the
+	// breaker (default 5).
+	Failures int
+	// Cooldown is how long the breaker stays open before letting
+	// probes through (default 1s).
+	Cooldown time.Duration
+	// HalfOpenProbes is how many concurrent probe calls the half-open
+	// state admits (default 1). One probe success closes the breaker;
+	// one failure re-opens it for another Cooldown.
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Failures <= 0 {
+		c.Failures = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// Breaker is a Service wrapper that fails lookups fast while the
+// wrapped service is overloaded or unreachable.
+type Breaker struct {
+	inner Service
+	cfg   BreakerConfig
+
+	mu        sync.Mutex
+	state     int
+	failures  int       // consecutive tripping failures while closed
+	openedAt  time.Time // when the breaker last opened
+	probes    int       // in-flight probes while half-open
+	trips     uint64    // closed→open transitions
+	fastFails uint64    // calls rejected without touching the service
+	now       func() time.Time
+}
+
+var _ Service = (*Breaker)(nil)
+
+// NewBreaker wraps svc in a circuit breaker.
+func NewBreaker(svc Service, cfg BreakerConfig) *Breaker {
+	return &Breaker{inner: svc, cfg: cfg.withDefaults(), now: time.Now}
+}
+
+// State reports the current breaker state (BreakerClosed/HalfOpen/Open).
+func (b *Breaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+// Trips reports how many times the breaker has opened.
+func (b *Breaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}
+
+// FastFails reports how many gated calls were rejected while open.
+func (b *Breaker) FastFails() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fastFails
+}
+
+// stateLocked folds cooldown expiry into the read: an open breaker
+// whose cooldown has elapsed reads (and becomes) half-open.
+func (b *Breaker) stateLocked() int {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.state = BreakerHalfOpen
+		b.probes = 0
+	}
+	return b.state
+}
+
+// admit decides whether one gated call may proceed. It returns a
+// non-nil done callback to invoke with the call's verdict, or
+// ErrCircuitOpen to fail fast.
+func (b *Breaker) admit() (func(err error), error) {
+	b.mu.Lock()
+	switch b.stateLocked() {
+	case BreakerOpen:
+		b.fastFails++
+		b.mu.Unlock()
+		return nil, ErrCircuitOpen
+	case BreakerHalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			b.fastFails++
+			b.mu.Unlock()
+			return nil, ErrCircuitOpen
+		}
+		b.probes++
+	}
+	b.mu.Unlock()
+	return b.settle, nil
+}
+
+// settle records one gated call's outcome and drives the state machine.
+func (b *Breaker) settle(err error) {
+	tripping := isTripping(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probes--
+		if tripping {
+			// The probe failed: the downstream is still sick.
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.trips++
+		} else if err == nil {
+			// One good probe closes the breaker; terminal server-side
+			// errors (unknown name) prove liveness just as well.
+			b.state = BreakerClosed
+			b.failures = 0
+		} else {
+			b.state = BreakerClosed
+			b.failures = 0
+		}
+	default: // closed
+		if tripping {
+			b.failures++
+			if b.failures >= b.cfg.Failures {
+				b.state = BreakerOpen
+				b.openedAt = b.now()
+				b.trips++
+			}
+		} else {
+			b.failures = 0
+		}
+	}
+}
+
+// isTripping classifies failures that indicate a sick downstream —
+// overload pushback, deadline expiry, network timeouts — as opposed to
+// terminal per-name verdicts (unknown name, signature clash), which
+// prove the service is alive and answering.
+func isTripping(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, admission.ErrOverloaded) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) {
+		return true
+	}
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return true
+	}
+	return isTransient(err)
+}
+
+// gate runs one lookup through the breaker.
+func (b *Breaker) gate(call func() error) error {
+	done, err := b.admit()
+	if err != nil {
+		return err
+	}
+	err = call()
+	done(err)
+	return err
+}
+
+// LookupSite implements Service (gated).
+func (b *Breaker) LookupSite(ctx context.Context, name string) (site, node uint32, err error) {
+	err = b.gate(func() error {
+		site, node, err = b.inner.LookupSite(ctx, name)
+		return err
+	})
+	return
+}
+
+// LookupName implements Service (gated).
+func (b *Breaker) LookupName(ctx context.Context, siteName, id string) (ref vm.NetRef, sig string, err error) {
+	err = b.gate(func() error {
+		ref, sig, err = b.inner.LookupName(ctx, siteName, id)
+		return err
+	})
+	return
+}
+
+// LookupClass implements Service (gated).
+func (b *Breaker) LookupClass(ctx context.Context, siteName, class string) (nc vm.NetClass, sig string, err error) {
+	err = b.gate(func() error {
+		nc, sig, err = b.inner.LookupClass(ctx, siteName, class)
+		return err
+	})
+	return
+}
+
+// Endpoints implements Service (gated).
+func (b *Breaker) Endpoints(ctx context.Context, kind string) (eps map[uint32]string, err error) {
+	err = b.gate(func() error {
+		eps, err = b.inner.Endpoints(ctx, kind)
+		return err
+	})
+	return
+}
+
+// RegisterSite implements Service (control traffic; not gated).
+func (b *Breaker) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	return b.inner.RegisterSite(ctx, name, site, node, epoch)
+}
+
+// RegisterName implements Service (control traffic; not gated).
+func (b *Breaker) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	return b.inner.RegisterName(ctx, siteName, id, heap, sig)
+}
+
+// RegisterClass implements Service (control traffic; not gated).
+func (b *Breaker) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	return b.inner.RegisterClass(ctx, siteName, class, sig)
+}
+
+// KeepAlive implements Service (control traffic; not gated).
+func (b *Breaker) KeepAlive(ctx context.Context, siteName string, epoch uint32) error {
+	return b.inner.KeepAlive(ctx, siteName, epoch)
+}
+
+// RegisterEndpoint implements Service (control traffic; not gated).
+func (b *Breaker) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
+	return b.inner.RegisterEndpoint(ctx, node, kind, addr)
+}
+
+// WithAdmission wraps a Service (normally the server-side Central) so
+// that blocking lookups are rejected with admission.ErrOverloaded while
+// the controller sheds. Registrations and KeepAlive pass through: a
+// shedding node must still let sites keep their leases. The error
+// crosses the TCP protocol as a string and is rehydrated by
+// remoteError, so client-side errors.Is(err, admission.ErrOverloaded)
+// keeps working — and trips client breakers.
+func WithAdmission(svc Service, adm *admission.Controller) Service {
+	return &admitted{inner: svc, adm: adm}
+}
+
+type admitted struct {
+	inner Service
+	adm   *admission.Controller
+}
+
+var _ Service = (*admitted)(nil)
+
+func (a *admitted) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
+	if err := a.adm.Admit(); err != nil {
+		return 0, 0, err
+	}
+	return a.inner.LookupSite(ctx, name)
+}
+
+func (a *admitted) LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error) {
+	if err := a.adm.Admit(); err != nil {
+		return vm.NetRef{}, "", err
+	}
+	return a.inner.LookupName(ctx, siteName, id)
+}
+
+func (a *admitted) LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error) {
+	if err := a.adm.Admit(); err != nil {
+		return vm.NetClass{}, "", err
+	}
+	return a.inner.LookupClass(ctx, siteName, class)
+}
+
+func (a *admitted) Endpoints(ctx context.Context, kind string) (map[uint32]string, error) {
+	if err := a.adm.Admit(); err != nil {
+		return nil, err
+	}
+	return a.inner.Endpoints(ctx, kind)
+}
+
+func (a *admitted) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	return a.inner.RegisterSite(ctx, name, site, node, epoch)
+}
+
+func (a *admitted) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	return a.inner.RegisterName(ctx, siteName, id, heap, sig)
+}
+
+func (a *admitted) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	return a.inner.RegisterClass(ctx, siteName, class, sig)
+}
+
+func (a *admitted) KeepAlive(ctx context.Context, siteName string, epoch uint32) error {
+	return a.inner.KeepAlive(ctx, siteName, epoch)
+}
+
+func (a *admitted) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
+	return a.inner.RegisterEndpoint(ctx, node, kind, addr)
+}

@@ -1,0 +1,216 @@
+package nameservice
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/vm"
+)
+
+// flakySvc is a Service whose lookups fail with a programmable error.
+type flakySvc struct {
+	mu    sync.Mutex
+	err   error
+	calls int
+}
+
+func (f *flakySvc) lookupErr() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls++
+	return f.err
+}
+
+func (f *flakySvc) setErr(err error) {
+	f.mu.Lock()
+	f.err = err
+	f.mu.Unlock()
+}
+
+func (f *flakySvc) lookups() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+func (f *flakySvc) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
+	return 1, 2, f.lookupErr()
+}
+func (f *flakySvc) LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error) {
+	return vm.NetRef{}, "", f.lookupErr()
+}
+func (f *flakySvc) LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error) {
+	return vm.NetClass{}, "", f.lookupErr()
+}
+func (f *flakySvc) Endpoints(ctx context.Context, kind string) (map[uint32]string, error) {
+	return nil, f.lookupErr()
+}
+func (f *flakySvc) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	return nil
+}
+func (f *flakySvc) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	return nil
+}
+func (f *flakySvc) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	return nil
+}
+func (f *flakySvc) KeepAlive(ctx context.Context, siteName string, epoch uint32) error { return nil }
+func (f *flakySvc) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
+	return nil
+}
+
+func TestBreakerOpensOnOverload(t *testing.T) {
+	svc := &flakySvc{}
+	svc.setErr(admission.ErrOverloaded)
+	b := NewBreaker(svc, BreakerConfig{Failures: 3, Cooldown: time.Hour})
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		if _, _, err := b.LookupSite(ctx, "a"); !errors.Is(err, admission.ErrOverloaded) {
+			t.Fatalf("call %d: want ErrOverloaded, got %v", i, err)
+		}
+	}
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after %d failures = %d, want open", 3, got)
+	}
+	before := svc.lookups()
+	if _, _, err := b.LookupSite(ctx, "a"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker: want ErrCircuitOpen, got %v", err)
+	}
+	if svc.lookups() != before {
+		t.Fatal("open breaker must not touch the inner service")
+	}
+	if b.FastFails() == 0 {
+		t.Fatal("fast-fail not counted")
+	}
+}
+
+func TestBreakerTerminalErrorsDoNotTrip(t *testing.T) {
+	svc := &flakySvc{}
+	svc.setErr(errors.New("nameservice: signature clash"))
+	b := NewBreaker(svc, BreakerConfig{Failures: 2, Cooldown: time.Hour})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		b.LookupSite(ctx, "a")
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("terminal errors tripped the breaker (state %d)", got)
+	}
+}
+
+func TestBreakerHalfOpenRecovers(t *testing.T) {
+	svc := &flakySvc{}
+	svc.setErr(admission.ErrOverloaded)
+	b := NewBreaker(svc, BreakerConfig{Failures: 1, Cooldown: 50 * time.Millisecond})
+	clock := time.Now()
+	b.now = func() time.Time { return clock }
+	ctx := context.Background()
+
+	b.LookupSite(ctx, "a")
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	// Cooldown elapses; one probe is admitted and succeeds.
+	clock = clock.Add(100 * time.Millisecond)
+	svc.setErr(nil)
+	if _, _, err := b.LookupSite(ctx, "a"); err != nil {
+		t.Fatalf("probe after cooldown: %v", err)
+	}
+	if got := b.State(); got != BreakerClosed {
+		t.Fatalf("state after good probe = %d, want closed", got)
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	svc := &flakySvc{}
+	svc.setErr(admission.ErrOverloaded)
+	b := NewBreaker(svc, BreakerConfig{Failures: 1, Cooldown: 50 * time.Millisecond})
+	clock := time.Now()
+	b.now = func() time.Time { return clock }
+	ctx := context.Background()
+
+	b.LookupSite(ctx, "a")
+	clock = clock.Add(100 * time.Millisecond)
+	// Probe still fails: back to open for another full cooldown.
+	b.LookupSite(ctx, "a")
+	if got := b.State(); got != BreakerOpen {
+		t.Fatalf("state after failed probe = %d, want open", got)
+	}
+	if got := b.Trips(); got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+	// A second call within the new cooldown fails fast.
+	before := svc.lookups()
+	if _, _, err := b.LookupSite(ctx, "a"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("want ErrCircuitOpen, got %v", err)
+	}
+	if svc.lookups() != before {
+		t.Fatal("re-opened breaker must not touch the inner service")
+	}
+}
+
+func TestBreakerRegistrationsBypass(t *testing.T) {
+	svc := &flakySvc{}
+	svc.setErr(admission.ErrOverloaded)
+	b := NewBreaker(svc, BreakerConfig{Failures: 1, Cooldown: time.Hour})
+	ctx := context.Background()
+	b.LookupSite(ctx, "a") // trips
+	if b.State() != BreakerOpen {
+		t.Fatal("breaker should be open")
+	}
+	// Control traffic flows regardless.
+	if err := b.KeepAlive(ctx, "a", 1); err != nil {
+		t.Fatalf("KeepAlive through open breaker: %v", err)
+	}
+	if err := b.RegisterSite(ctx, "a", 1, 1, 1); err != nil {
+		t.Fatalf("RegisterSite through open breaker: %v", err)
+	}
+}
+
+func TestWithAdmissionShedsLookups(t *testing.T) {
+	adm := admission.New(admission.Config{InboxShed: 0.5})
+	svc := WithAdmission(&flakySvc{}, adm)
+	ctx := context.Background()
+	if _, _, err := svc.LookupSite(ctx, "a"); err != nil {
+		t.Fatalf("lookup while ok: %v", err)
+	}
+	adm.SetOccupancy(0.9, 0) // past the shed watermark
+	if _, _, err := svc.LookupSite(ctx, "a"); !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("lookup while shedding: want ErrOverloaded, got %v", err)
+	}
+	if err := svc.KeepAlive(ctx, "a", 1); err != nil {
+		t.Fatalf("KeepAlive while shedding: %v", err)
+	}
+	adm.SetOccupancy(0, 0)
+	if _, _, err := svc.LookupSite(ctx, "a"); err != nil {
+		t.Fatalf("lookup after recovery: %v", err)
+	}
+}
+
+// TestOverloadedCrossesWire proves admission.ErrOverloaded survives the
+// TCP protocol: a server wrapped in WithAdmission sheds a lookup, and
+// the client rehydrates the typed error so errors.Is works — which is
+// what lets a client-side Breaker trip on server-side overload.
+func TestOverloadedCrossesWire(t *testing.T) {
+	adm := admission.New(admission.Config{})
+	adm.SetOccupancy(1, 1) // force shed
+	srv, err := NewServer(WithAdmission(NewCentral(), adm), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_, _, err = cli.LookupSite(ctx, "nobody")
+	if !errors.Is(err, admission.ErrOverloaded) {
+		t.Fatalf("want rehydrated ErrOverloaded, got %v", err)
+	}
+}

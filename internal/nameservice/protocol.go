@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/backoff"
 	"repro/internal/vm"
 	"repro/internal/wire"
@@ -483,6 +484,9 @@ func (c *Client) callOnce(ctx context.Context, build func(w *wire.Writer, id uin
 func remoteError(msg string) error {
 	if strings.HasPrefix(msg, ErrNameExpired.Error()) {
 		return fmt.Errorf("%w%s", ErrNameExpired, strings.TrimPrefix(msg, ErrNameExpired.Error()))
+	}
+	if strings.HasPrefix(msg, admission.ErrOverloaded.Error()) {
+		return fmt.Errorf("%w%s", admission.ErrOverloaded, strings.TrimPrefix(msg, admission.ErrOverloaded.Error()))
 	}
 	return errors.New(msg)
 }

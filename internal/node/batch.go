@@ -54,11 +54,29 @@ type coalescer struct {
 type peerBatch struct {
 	bb  *wire.BatchBuilder
 	due time.Time // deadline of the oldest unflushed envelope
+	// Frame-level expiry for the reliable layer: the latest entry
+	// deadline, valid only while every entry has one (undeadlined
+	// entries pin the whole frame to "never expires" — shedding the
+	// frame would shed them too).
+	maxExpiry   uint64 // unix micros
+	undeadlined bool
+}
+
+// frameExpiry converts the accumulated entry deadlines to the frame's
+// transport expiry and resets the tracking for the next batch.
+func (pb *peerBatch) frameExpiry() time.Time {
+	var expiry time.Time
+	if !pb.undeadlined && pb.maxExpiry != 0 {
+		expiry = time.UnixMicro(int64(pb.maxExpiry))
+	}
+	pb.maxExpiry, pb.undeadlined = 0, false
+	return expiry
 }
 
 type flushItem struct {
-	dst   uint32
-	frame []byte
+	dst    uint32
+	frame  []byte
+	expiry time.Time
 }
 
 func newCoalescer(n *Node, cfg BatchConfig) *coalescer {
@@ -67,38 +85,45 @@ func newCoalescer(n *Node, cfg BatchConfig) *coalescer {
 
 // enqueue appends one envelope to dst's batch; payload streams the
 // envelope payload into the shared writer. trace is the mobility
-// trace stamped on the envelope header (0 = untraced). A send error
+// trace stamped on the envelope header (0 = untraced); deadline is the
+// envelope's absolute expiry in unix micros (0 = none). A send error
 // (threshold flush path) surfaces to the routing site like an
 // unbatched send would.
-func (c *coalescer) enqueue(dst uint32, t wire.FrameType, trace uint64, payload func(*wire.Writer)) error {
-	return c.add(dst, t, trace, payload, false)
+func (c *coalescer) enqueue(dst uint32, t wire.FrameType, trace, deadline uint64, payload func(*wire.Writer)) error {
+	return c.add(dst, t, trace, deadline, payload, false)
 }
 
 // enqueueFlush appends one envelope and flushes dst's batch at once:
 // latency-sensitive control traffic (termination probes) rides along
 // with whatever data is already waiting for the peer.
 func (c *coalescer) enqueueFlush(dst uint32, t wire.FrameType, payload func(*wire.Writer)) error {
-	return c.add(dst, t, 0, payload, true)
+	return c.add(dst, t, 0, 0, payload, true)
 }
 
-func (c *coalescer) add(dst uint32, t wire.FrameType, trace uint64, payload func(*wire.Writer), flush bool) error {
+func (c *coalescer) add(dst uint32, t wire.FrameType, trace, deadline uint64, payload func(*wire.Writer), flush bool) error {
 	c.mu.Lock()
 	pb := c.peers[dst]
 	if pb == nil {
 		pb = &peerBatch{bb: wire.NewBatchBuilder()}
 		c.peers[dst] = pb
 	}
-	w := pb.bb.BeginEntry(t, c.n.cfg.ID, dst, trace)
+	w := pb.bb.BeginEntry(t, c.n.cfg.ID, dst, trace, deadline)
 	payload(w)
 	pb.bb.EndEntry()
+	if deadline == 0 {
+		pb.undeadlined = true
+	} else if deadline > pb.maxExpiry {
+		pb.maxExpiry = deadline
+	}
 	if flush || c.cfg.Disable || c.closed || pb.bb.Len() >= c.cfg.MaxBytes {
 		c.piggybackLocked(pb, dst)
 		c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
+		expiry := pb.frameExpiry()
 		frame := pb.bb.TakeFrame()
 		c.mu.Unlock()
 		// Send outside the lock: Reliable.Send may block on window
 		// backpressure, and that must stall only the sending site.
-		return c.n.send(dst, frame)
+		return c.n.sendExpiring(dst, frame, expiry)
 	}
 	if pb.bb.Count() == 1 {
 		pb.due = time.Now().Add(c.cfg.MaxDelay)
@@ -134,7 +159,8 @@ func (c *coalescer) onTimer() {
 		if !pb.due.After(now) {
 			c.piggybackLocked(pb, dst)
 			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
-			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
+			expiry := pb.frameExpiry()
+			out = append(out, flushItem{dst, pb.bb.TakeFrame(), expiry})
 		} else if wait := pb.due.Sub(now); next < 0 || wait < next {
 			next = wait
 		}
@@ -157,7 +183,8 @@ func (c *coalescer) flushAll() {
 		if pb.bb.Count() > 0 {
 			c.piggybackLocked(pb, dst)
 			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
-			out = append(out, flushItem{dst, pb.bb.TakeFrame()})
+			expiry := pb.frameExpiry()
+			out = append(out, flushItem{dst, pb.bb.TakeFrame(), expiry})
 		}
 	}
 	c.mu.Unlock()
@@ -175,7 +202,11 @@ func (c *coalescer) piggybackLocked(pb *peerBatch, dst uint32) {
 	if m == nil || !m.HasUpdates() {
 		return
 	}
-	w := pb.bb.BeginEntry(wire.FGossip, c.n.cfg.ID, dst, 0)
+	// The gossip entry carries no deadline and deliberately skips the
+	// frame-expiry tracking: membership updates are loss-tolerant (the
+	// agent retransmits log-n times), so they must not pin an otherwise
+	// all-deadlined frame to "never expires".
+	w := pb.bb.BeginEntry(wire.FGossip, c.n.cfg.ID, dst, 0, 0)
 	m.AppendPiggyback(w)
 	pb.bb.EndEntry()
 }
@@ -185,7 +216,7 @@ func (c *coalescer) sendAll(out []flushItem) {
 		// Transmission failures here are loss, which the reliable
 		// layer (when on) recovers; there is no site left on this
 		// path to surface an error to.
-		_ = c.n.send(f.dst, f.frame)
+		_ = c.n.sendExpiring(f.dst, f.frame, f.expiry)
 	}
 }
 

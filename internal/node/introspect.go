@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/telemetry"
 )
 
@@ -137,14 +138,16 @@ func (n *Node) Status() telemetry.NodeStatus {
 	if n.rel != nil {
 		rs := n.rel.Stats()
 		rel := &telemetry.RelStatus{
-			DataSent:    rs.DataSent,
-			Retransmits: rs.Retransmits,
-			AcksSent:    rs.AcksSent,
-			AckPiggy:    rs.AckPiggy,
-			DupDrops:    rs.DupDrops,
-			FailFasts:   rs.FailFasts,
-			Unacked:     n.rel.Unacked(),
-			AckDebt:     n.rel.AckDebt(),
+			DataSent:       rs.DataSent,
+			Retransmits:    rs.Retransmits,
+			AcksSent:       rs.AcksSent,
+			AckPiggy:       rs.AckPiggy,
+			DupDrops:       rs.DupDrops,
+			FailFasts:      rs.FailFasts,
+			Expired:        rs.Expired,
+			BudgetDeferred: rs.BudgetDeferred,
+			Unacked:        n.rel.Unacked(),
+			AckDebt:        n.rel.AckDebt(),
 		}
 		for id := range n.rel.DownPeers() {
 			rel.DownPeers = append(rel.DownPeers, id)
@@ -165,6 +168,20 @@ func (n *Node) Status() telemetry.NodeStatus {
 				InStateMs:   mi.InState.Milliseconds(),
 			})
 		}
+	}
+	if n.adm != nil {
+		ov := &telemetry.OverloadStatus{
+			State:          n.adm.State().String(),
+			AdmissionSheds: n.adm.Sheds(),
+			ExpiredDrops:   n.ExpiredDrops(),
+		}
+		if n.rel != nil {
+			ov.RelExpired = n.rel.Stats().Expired
+		}
+		for _, s := range n.Sites() {
+			ov.FetchRetries += s.FetchRetries()
+		}
+		st.Overload = ov
 	}
 	st.Draining = n.Draining()
 	n.stallMu.Lock()
@@ -278,6 +295,14 @@ func (n *Node) sampleStalls(cfg StallConfig) {
 				}
 			}
 		}
+	}
+	// While the admission controller is shedding, a backed-up inbox or
+	// a slow fetch is the overload plane doing its job — expired frames
+	// are dropped and fetches answered with pushback by design, not a
+	// wedged scheduler. Flagging those as stalls would page an operator
+	// for behaviour /statusz already explains in its overload section.
+	if n.adm.State() == admission.Shed {
+		suppressed = true
 	}
 	thresholdMs := cfg.Threshold.Milliseconds()
 	var reports []telemetry.StallReport

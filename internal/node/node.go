@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/journal"
 	"repro/internal/membership"
 	"repro/internal/nameservice"
@@ -100,6 +101,20 @@ type Config struct {
 	// detector sampling every site's scheduler state. Implies
 	// Telemetry — a default handle is created when none was given.
 	Introspect *IntrospectConfig
+	// Admission, when non-nil, turns on the overload-protection plane
+	// (DESIGN.md §14): a CoDel-style controller watches site-inbox
+	// sojourn and occupancy plus the reliable layer's send-window
+	// occupancy, and under standing overload the node sheds expired
+	// work, answers fetches with retryable pushback, and rejects new
+	// spawns with admission.ErrOverloaded. Zero-value config selects
+	// the defaults.
+	Admission *admission.Config
+	// OpDeadline is handed to spawned sites (site.Config.OpDeadline):
+	// every mobility operation a site originates carries an absolute
+	// now+OpDeadline expiry, propagated end-to-end and enforced by the
+	// transport (expired frames stop retransmitting) and the receiver
+	// (expired deliveries shed unapplied).
+	OpDeadline time.Duration
 }
 
 // maxRestarts bounds supervised restarts per site: a deterministically
@@ -114,7 +129,8 @@ type Node struct {
 	tr   transport.Transport
 	rel  *transport.Reliable
 	coal *coalescer
-	tel  *telemetry.Telemetry // nil when telemetry is off
+	tel  *telemetry.Telemetry  // nil when telemetry is off
+	adm  *admission.Controller // nil when admission control is off
 
 	mu       sync.Mutex
 	sites    map[uint32]*site.Site
@@ -219,6 +235,10 @@ func New(cfg Config) *Node {
 	}
 	n.coal = newCoalescer(n, cfg.Batch)
 	n.onControl.Store(&cfg.OnControl)
+	if cfg.Admission != nil {
+		n.adm = admission.New(*cfg.Admission)
+		go n.admissionLoop()
+	}
 	go n.tycod()
 	if cfg.Introspect != nil {
 		if err := n.startIntrospection(*cfg.Introspect); err != nil {
@@ -232,6 +252,51 @@ func New(cfg Config) *Node {
 // Reliability knob is off) — the failure detector feeds peer-down
 // transitions into it, and stats reporting reads its counters.
 func (n *Node) Reliable() *transport.Reliable { return n.rel }
+
+// Admission exposes the node's admission controller (nil when overload
+// protection is off). Clients gate optional work on its State; the
+// nameservice admission wrapper shares it.
+func (n *Node) Admission() *admission.Controller { return n.adm }
+
+// admissionLoop feeds the controller's occupancy watermarks: the worst
+// site-inbox fill and the worst reliable send-window fill, sampled at a
+// quarter of the CoDel window so a filling queue is seen well within
+// one verdict interval. Sojourn samples arrive separately, pushed from
+// each site's handle path.
+func (n *Node) admissionLoop() {
+	period := n.adm.Config().Window / 4
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			worstInbox := 0.0
+			for _, s := range n.Sites() {
+				if f := s.InboxOccupancy(); f > worstInbox {
+					worstInbox = f
+				}
+			}
+			window := 0.0
+			if n.rel != nil {
+				window = n.rel.WindowOccupancy()
+			}
+			n.adm.SetOccupancy(worstInbox, window)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// ExpiredDrops sums the deliveries every site shed because their
+// deadline had passed before they were handled (transport-level expiry
+// is counted separately, in ReliableStats.Expired).
+func (n *Node) ExpiredDrops() uint64 {
+	var total uint64
+	for _, s := range n.Sites() {
+		total += s.ExpiredDrops()
+	}
+	return total
+}
 
 // Telemetry exposes the node's telemetry handle (nil when off).
 func (n *Node) Telemetry() *telemetry.Telemetry { return n.tel }
@@ -269,6 +334,18 @@ func (n *Node) refreshTelemetryGauges() {
 		n.tel.SetGauge("rel.fail_fasts", int64(st.FailFasts))
 		n.tel.SetGauge("rel.unacked", int64(n.rel.Unacked()))
 		n.tel.SetGauge("rel.ack_debt", int64(n.rel.AckDebt()))
+		n.tel.SetGauge("rel.expired", int64(st.Expired))
+		n.tel.SetGauge("rel.budget_deferred", int64(st.BudgetDeferred))
+	}
+	if n.adm != nil {
+		n.tel.SetGauge("overload.state", int64(n.adm.State()))
+		n.tel.SetGauge("admission.shed_total", int64(n.adm.Sheds()))
+		n.tel.SetGauge("deadline.expired_total", int64(n.ExpiredDrops()))
+	}
+	if b, ok := n.cfg.NS.(*nameservice.Breaker); ok {
+		n.tel.SetGauge("ns.breaker_state", int64(b.State()))
+		n.tel.SetGauge("ns.breaker_trips", int64(b.Trips()))
+		n.tel.SetGauge("ns.breaker_fast_fails", int64(b.FastFails()))
 	}
 	if m := n.mem.Load(); m != nil {
 		var alive, suspect, dead, left int64
@@ -398,7 +475,24 @@ func (n *Node) acceptEnvelope(env *wire.Envelope) error {
 // termination accounting excludes traffic to dead nodes, so the dropped
 // message does not read as forever in flight.
 func (n *Node) send(dst uint32, frame []byte) error {
-	err := n.tr.Send(dst, frame)
+	return n.sendExpiring(dst, frame, time.Time{})
+}
+
+// sendExpiring ships one encoded frame with an optional transport
+// expiry (zero = none). An already-expired frame rejected by the
+// reliable layer is deliberate shedding, already accounted by its
+// Expired counter and OnDrop signal — not an error the routing site
+// can act on.
+func (n *Node) sendExpiring(dst uint32, frame []byte, expiry time.Time) error {
+	var err error
+	if n.rel != nil && !expiry.IsZero() {
+		err = n.rel.SendWithDeadline(dst, frame, expiry)
+	} else {
+		err = n.tr.Send(dst, frame)
+	}
+	if errors.Is(err, transport.ErrDeadlineExpired) {
+		return nil
+	}
 	if errors.Is(err, transport.ErrPeerDown) {
 		n.deliveryFailures.Add(1)
 		if cb := n.cfg.OnDeliveryFailure; cb != nil {
@@ -443,6 +537,12 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 	if n.draining.Load() {
 		return nil, fmt.Errorf("node %d: draining, not accepting new sites", n.cfg.ID)
 	}
+	if err := n.adm.Admit(); err != nil {
+		// Retryable pushback: errors.Is(err, admission.ErrOverloaded)
+		// tells the caller to back off and try again, unlike the
+		// terminal refusals below.
+		return nil, fmt.Errorf("node %d: %w", n.cfg.ID, err)
+	}
 	n.mu.Lock()
 	if _, dup := n.byName[siteName]; dup {
 		n.mu.Unlock()
@@ -479,7 +579,9 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 		CheckpointGate:  n.checkpointGate,
 		Telemetry:       n.tel,
 		Probe:           n.cfg.Introspect != nil,
+		OpDeadline:      n.cfg.OpDeadline,
 	}
+	n.admissionHooks(&cfg)
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -609,7 +711,9 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 		CheckpointGate:  n.checkpointGate,
 		Telemetry:       n.tel,
 		Probe:           n.cfg.Introspect != nil,
+		OpDeadline:      n.cfg.OpDeadline,
 	}
+	n.admissionHooks(&cfg)
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -632,6 +736,17 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 	// while the journal replays underneath it.
 	go s.Run()
 	return s, nil
+}
+
+// admissionHooks wires a spawning site into the overload-protection
+// plane: sojourn samples feed the controller, and the site answers
+// fetches with retryable pushback while the node sheds.
+func (n *Node) admissionHooks(cfg *site.Config) {
+	if n.adm == nil {
+		return
+	}
+	cfg.OnSojourn = n.adm.ObserveSojourn
+	cfg.Overloaded = func() bool { return n.adm.State() == admission.Shed }
 }
 
 // SiteOption tweaks a spawned site's configuration.
@@ -820,6 +935,7 @@ func (n *Node) dispatchEnvelope(env *wire.Envelope) error {
 			return fmt.Errorf("node %d: %w", n.cfg.ID, err)
 		}
 		d.Trace = env.Trace
+		d.Deadline = env.Deadline
 		return n.toSite(dstSite, d)
 	case wire.FTerm, wire.FHeartbeat, wire.FGossip:
 		if h := n.control(); h != nil {

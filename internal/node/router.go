@@ -28,28 +28,30 @@ var _ site.Router = (*Node)(nil)
 // RouteMsg implements site.Router.
 func (n *Node) RouteMsg(from *site.Site, op wire.OpRef, ref vm.NetRef, label string, args []site.WireVal) error {
 	trace := from.CurrentTrace()
+	deadline := from.CurrentDeadline()
 	m := wire.Msg{Op: op, To: ref, Label: label, Args: args}
 	n.tel.Ship(trace, wire.FMsg, op, ref.Node)
 	if ref.Node == n.cfg.ID {
-		d := site.Delivery{Op: op, Trace: trace, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
+		d := site.Delivery{Op: op, Trace: trace, Deadline: deadline, Msg: &site.MsgDelivery{Heap: ref.Heap, Label: label, Args: args}}
 		return n.toLocal(ref.Site, d, wire.FMsg, m.Encode, true)
 	}
-	return n.coal.enqueue(ref.Node, wire.FMsg, trace, m.AppendPayload)
+	return n.coal.enqueue(ref.Node, wire.FMsg, trace, deadline, m.AppendPayload)
 }
 
 // RouteObj implements site.Router.
 func (n *Node) RouteObj(from *site.Site, op wire.OpRef, ref vm.NetRef, unit *asm.Unit, table int, frame []site.WireVal) error {
 	trace := from.CurrentTrace()
+	deadline := from.CurrentDeadline()
 	n.tel.Ship(trace, wire.FObj, op, ref.Node)
 	if ref.Node == n.cfg.ID {
 		payload := func() []byte {
 			return (&wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}).Encode()
 		}
-		d := site.Delivery{Op: op, Trace: trace, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
+		d := site.Delivery{Op: op, Trace: trace, Deadline: deadline, Obj: &site.ObjDelivery{Heap: ref.Heap, Unit: unit, Table: table, Frame: frame}}
 		return n.toLocal(ref.Site, d, wire.FObj, payload, true)
 	}
 	o := wire.Obj{Op: op, To: ref, Unit: asm.Encode(unit), Table: table, Frame: frame}
-	return n.coal.enqueue(ref.Node, wire.FObj, trace, o.AppendPayload)
+	return n.coal.enqueue(ref.Node, wire.FObj, trace, deadline, o.AppendPayload)
 }
 
 // RouteFetch implements site.Router.
@@ -64,7 +66,11 @@ func (n *Node) RouteFetch(from *site.Site, op wire.OpRef, owner site.Addr, class
 		d := site.Delivery{Op: op, Trace: trace, Fetch: &site.FetchDelivery{Class: class, ReqID: reqID, Reply: from.Addr()}}
 		return n.toLocal(owner.Site, d, wire.FFetchReq, f.Encode, false)
 	}
-	return n.coal.enqueue(owner.Node, wire.FFetchReq, trace, f.AppendPayload)
+	// Fetch traffic deliberately carries no deadline: shedding a
+	// request or its reply would strand the requester's parked
+	// instantiations, and overload pushback (serveFetch) already
+	// bounds the owner's work.
+	return n.coal.enqueue(owner.Node, wire.FFetchReq, trace, 0, f.AppendPayload)
 }
 
 // RouteFetchRep implements site.Router.
@@ -90,5 +96,5 @@ func (n *Node) RouteFetchRep(from *site.Site, op wire.OpRef, to site.Addr, rep *
 		}
 		return n.toLocal(to.Site, site.Delivery{Op: op, Trace: trace, FetchRep: rep}, wire.FFetchRep, payload, false)
 	}
-	return n.coal.enqueue(to.Node, wire.FFetchRep, trace, f.AppendPayload)
+	return n.coal.enqueue(to.Node, wire.FFetchRep, trace, 0, f.AppendPayload)
 }

@@ -4,12 +4,20 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/asm"
+	"repro/internal/backoff"
 	"repro/internal/types"
 	"repro/internal/vm"
 	"repro/internal/wire"
 )
+
+// overloadedFetch is the well-known FetchRep error marker an
+// overloaded class owner answers with instead of extracting code: the
+// requester treats it as retryable pushback (backoff and re-issue),
+// where any other fetch error is terminal.
+const overloadedFetch = "!overloaded"
 
 // WireVal is the marshalled form of a machine value (σ-translated:
 // local references appear as network references).
@@ -268,6 +276,21 @@ func (s *Site) CurrentTrace() uint64 {
 	return tr
 }
 
+// CurrentDeadline returns the absolute deadline (unix micros, 0 =
+// none) for the operation being routed: the deadline of the delivery
+// being applied when there is one (end-to-end propagation), else a
+// fresh now+OpDeadline budget when the site stamps origins. Must run
+// on the site goroutine, like CurrentTrace.
+func (s *Site) CurrentDeadline() uint64 {
+	if s.curDeadline != 0 {
+		return s.curDeadline
+	}
+	if s.cfg.OpDeadline > 0 {
+		return uint64(time.Now().Add(s.cfg.OpDeadline).UnixMicro())
+	}
+	return 0
+}
+
 // RemoteSend implements rule SHIPM: package the message with
 // σ-translated arguments and hand it to the outgoing queue.
 func (s *Site) RemoteSend(ref vm.NetRef, label string, args []vm.Value) error {
@@ -355,6 +378,12 @@ func (s *Site) serveFetch(f *FetchDelivery) error {
 		s.countSent(f.Reply.Node)
 		return s.cfg.Router.RouteFetchRep(s, s.newOp(), f.Reply, &FetchRepDelivery{ReqID: f.ReqID, Err: msg})
 	}
+	if s.cfg.Overloaded != nil && s.cfg.Overloaded() {
+		// Admission pushback: code extraction is the expensive part of
+		// serving a fetch, and the requester can retry — so under
+		// overload the cheap retryable refusal ships instead.
+		return fail(overloadedFetch)
+	}
 	v, ok := s.expNames[f.Class]
 	if !ok || v.Kind != vm.KClass {
 		return fail(fmt.Sprintf("site %s exports no class %q", s.cfg.Name, f.Class))
@@ -397,6 +426,22 @@ func (s *Site) handleFetchRep(rep *FetchRepDelivery) error {
 	if !ok {
 		return nil // duplicate or stale reply
 	}
+	if rep.Err == overloadedFetch {
+		// The owner pushed back: keep the pending entry (parked
+		// instantiations stay parked, later calls keep coalescing) and
+		// re-issue the request after a jittered backoff. The delay
+		// grows with each pushback so a congested owner sees a
+		// thinning retry stream, not a synchronized hammering.
+		delay := backoff.Policy{Initial: 5 * time.Millisecond, Max: 250 * time.Millisecond}.
+			Step(p.retries, &s.fetchRng)
+		p.retries++
+		id := rep.ReqID
+		time.AfterFunc(delay, func() {
+			// Ignore the error: a stopped site has no fetch to retry.
+			_ = s.Deliver(Delivery{Refetch: &RefetchDelivery{ReqID: id}})
+		})
+		return nil
+	}
 	delete(s.pendingFetch, rep.ReqID)
 	delete(s.fetchByClass, p.class)
 	if rep.Err != "" {
@@ -430,6 +475,21 @@ func (s *Site) handleFetchRep(rep *FetchRepDelivery) error {
 		}
 	}
 	return nil
+}
+
+// refetch re-issues a class-code request that was pushed back by an
+// overloaded owner. The pending entry survived the pushback, so the
+// reply (whenever the owner admits it) finds the parked instantiations
+// exactly where the first attempt left them. A fresh op identity is
+// used — the owner's dedup map already holds the old one as applied.
+func (s *Site) refetch(reqID uint64) error {
+	p, ok := s.pendingFetch[reqID]
+	if !ok {
+		return nil // resolved (or site recovered) while the timer ran
+	}
+	s.fetchRetries.Add(1)
+	s.countSent(p.class.Node)
+	return s.cfg.Router.RouteFetch(s, s.newOp(), Addr{Site: p.class.Site, Node: p.class.Node}, p.class.Name, reqID)
 }
 
 // ExportName implements the export instruction for names: allocate a

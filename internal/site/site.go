@@ -61,6 +61,16 @@ type Delivery struct {
 	// epochs below the sender's highest seen incarnation. Zero for
 	// Resolved deliveries (site-internal).
 	Op wire.OpRef
+	// Deadline is the operation's absolute expiry in unix microseconds
+	// (0 = none), propagated end-to-end from the originating site
+	// (DESIGN.md §14). Expired Msg/Obj deliveries are shed unapplied;
+	// like Trace, the deadline is not persisted by journals.
+	Deadline uint64
+	// At is when the delivery entered the incoming queue, stamped by
+	// Deliver when sojourn sampling is on (Config.OnSojourn). The
+	// handle-time difference is the queue sojourn the admission
+	// controller watches.
+	At time.Time
 	// Msg: a remote method invocation to a local channel.
 	Msg *MsgDelivery
 	// Obj: a migrating object.
@@ -71,6 +81,10 @@ type Delivery struct {
 	FetchRep *FetchRepDelivery
 	// Resolved: an import resolution completed.
 	Resolved *ResolvedImport
+	// Refetch: a site-internal timer asking to re-issue a fetch that
+	// was pushed back by an overloaded owner. Like Resolved it is
+	// neither journaled nor counted for termination.
+	Refetch *RefetchDelivery
 }
 
 // MsgDelivery is an incoming message (already σ-ingressed by Decode,
@@ -113,6 +127,12 @@ type ResolvedImport struct {
 	Value    vm.Value
 	ClassSig string // exporter's signature for class imports
 	Err      error
+}
+
+// RefetchDelivery re-triggers a pending class fetch after an overload
+// pushback's backoff delay.
+type RefetchDelivery struct {
+	ReqID uint64
 }
 
 // frameType maps the delivery back to the wire frame that carries it
@@ -201,6 +221,20 @@ type Config struct {
 	// stall detector can sample the site from outside its goroutine.
 	// Off by default — the mirrors cost a time.Now per turn.
 	Probe bool
+	// OpDeadline, when positive, stamps every mobility operation this
+	// site originates with an absolute deadline of now+OpDeadline
+	// (DESIGN.md §14). Operations caused by an already-deadlined
+	// delivery inherit its deadline instead — end-to-end propagation.
+	OpDeadline time.Duration
+	// OnSojourn, when non-nil, receives each handled delivery's queue
+	// sojourn (handle time minus enqueue time). The node wires it to
+	// the admission controller; it also turns on the per-delivery
+	// enqueue timestamp, so leaving it nil costs nothing.
+	OnSojourn func(time.Duration)
+	// Overloaded, when non-nil, reports whether the node is shedding
+	// load. An overloaded site answers class-code fetches with a
+	// retryable pushback instead of extracting code.
+	Overloaded func() bool
 }
 
 // Site is one DiTyCO site.
@@ -261,6 +295,12 @@ type Site struct {
 	pendingFetch map[uint64]*fetchPending
 	fetchByClass map[vm.NetClass]uint64 // coalesce concurrent fetches
 	fetchCache   map[vm.NetClass]vm.Value
+	fetchRng     uint64 // jitter state for overload-pushback re-fetch backoff
+
+	// curDeadline is the deadline of the delivery currently being
+	// applied (site goroutine only): operations the apply routes out
+	// inherit it, which is how a deadline propagates across hops.
+	curDeadline uint64
 
 	// Control-plane counters for termination detection: messages
 	// sent to and received from other sites, with per-peer-node
@@ -288,6 +328,13 @@ type Site struct {
 	DupDrops    uint64
 	StaleDrops  uint64
 	Checkpoints uint64
+	// expiredDrops counts deliveries shed because their deadline had
+	// already passed when they reached the head of the queue — work
+	// whose answer nobody is waiting for anymore. Atomic because the
+	// overload drills read it while the site runs.
+	expiredDrops atomic.Uint64
+	// fetchRetries counts overload-pushback re-fetches issued.
+	fetchRetries atomic.Uint64
 
 	// Introspection mirrors (probe.go): atomic copies of site-goroutine
 	// scheduler state, refreshed by probeTick when cfg.Probe is on so
@@ -307,8 +354,9 @@ type Site struct {
 }
 
 type fetchPending struct {
-	class vm.NetClass
-	calls [][]vm.Value
+	class   vm.NetClass
+	calls   [][]vm.Value
+	retries int // overload pushbacks absorbed so far (backoff growth)
 }
 
 type pendingImport struct {
@@ -394,6 +442,12 @@ func (s *Site) Machine() *vm.Machine { return s.m }
 // call from any goroutine; it blocks when the queue is full
 // (backpressure toward the TyCOd).
 func (s *Site) Deliver(d Delivery) error {
+	if s.cfg.OnSojourn != nil && d.At.IsZero() {
+		// Sojourn sampling is on: stamp the enqueue time so handle can
+		// report how long the delivery queued. Off, this path costs
+		// one nil test.
+		d.At = time.Now()
+	}
 	select {
 	case s.in <- d:
 		return nil
@@ -401,6 +455,21 @@ func (s *Site) Deliver(d Delivery) error {
 		return fmt.Errorf("site %s: stopped", s.cfg.Name)
 	}
 }
+
+// InboxOccupancy reports the incoming queue's fill fraction (0..1) —
+// the admission controller's occupancy watermark input. Safe from any
+// goroutine.
+func (s *Site) InboxOccupancy() float64 {
+	return float64(len(s.in)) / float64(cap(s.in))
+}
+
+// ExpiredDrops reports deliveries shed because their deadline had
+// passed before they were handled.
+func (s *Site) ExpiredDrops() uint64 { return s.expiredDrops.Load() }
+
+// FetchRetries reports class fetches re-issued after overload
+// pushback.
+func (s *Site) FetchRetries() uint64 { return s.fetchRetries.Load() }
 
 // countRecv notes a processed cross-site delivery for termination
 // accounting, keyed by originating node. It must run when the delivery
@@ -753,6 +822,9 @@ func (s *Site) keepAlive() {
 // Dropped operations never touch the termination counters: the
 // original acceptance already counted them.
 func (s *Site) handle(d Delivery) error {
+	if s.cfg.OnSojourn != nil && !d.At.IsZero() {
+		s.cfg.OnSojourn(time.Since(d.At))
+	}
 	if !d.Op.IsZero() {
 		if d.Op.Epoch < s.maxEpoch[d.Op.Site] {
 			s.StaleDrops++
@@ -763,10 +835,23 @@ func (s *Site) handle(d Delivery) error {
 			return nil
 		}
 	}
-	if d.Resolved == nil {
+	if d.Resolved == nil && d.Refetch == nil {
 		s.countRecv(d.Src)
 	}
-	if s.jl != nil && !s.replaying && !(d.Resolved != nil && d.Resolved.Err != nil) {
+	if (d.Msg != nil || d.Obj != nil) && d.Deadline != 0 &&
+		time.Now().UnixMicro() > int64(d.Deadline) {
+		// The deadline passed while the delivery queued: shed it
+		// unapplied (counted, after the termination accounting above —
+		// the sender counted it sent, so the drop must still read as
+		// received). It is deliberately NOT marked applied: any
+		// retransmitted copy arrives even later and sheds here again,
+		// so at-most-once still holds. Fetch traffic is exempt — a
+		// shed request would strand the requester's parked threads.
+		s.expiredDrops.Add(1)
+		s.tel.AddCounter("deadline.expired", 1)
+		return nil
+	}
+	if s.jl != nil && !s.replaying && d.Refetch == nil && !(d.Resolved != nil && d.Resolved.Err != nil) {
 		// Append before apply: a crash between journal and effect
 		// replays the delivery; a crash between effect and journal
 		// cannot happen. Failed resolutions are not journaled — they
@@ -780,16 +865,19 @@ func (s *Site) handle(d Delivery) error {
 			return fmt.Errorf("site %s: journal delivery: %w", s.cfg.Name, err)
 		}
 	}
-	// Apply under the delivery's trace: threads and queue entries the
-	// effect creates inherit its causal context. Replayed deliveries
-	// carry no trace (journals don't persist them).
+	// Apply under the delivery's trace and deadline: threads and queue
+	// entries the effect creates inherit its causal context, and
+	// operations it routes out inherit its expiry. Replayed deliveries
+	// carry neither (journals don't persist them).
 	s.m.SetAmbient(d.Trace)
+	s.curDeadline = d.Deadline
 	err := s.apply(d)
+	s.curDeadline = 0
 	s.m.SetAmbient(0)
 	if err != nil {
 		return err
 	}
-	if s.tel != nil && d.Resolved == nil {
+	if s.tel != nil && d.Resolved == nil && d.Refetch == nil {
 		s.tel.Deliver(d.Trace, d.frameType(), d.Op, s.cfg.ID, d.Src == s.cfg.NodeID)
 	}
 	if !d.Op.IsZero() {
@@ -845,6 +933,9 @@ func (s *Site) apply(d Delivery) error {
 
 	case d.FetchRep != nil:
 		return s.handleFetchRep(d.FetchRep)
+
+	case d.Refetch != nil:
+		return s.refetch(d.Refetch.ReqID)
 
 	case d.Resolved != nil:
 		r := d.Resolved

@@ -134,10 +134,10 @@ func (cv ClusterView) JSON() []byte {
 // /healthz.
 func (cv ClusterView) RenderTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6s %-6s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %s\n",
-		"NODE", "HEALTH", "MEMB", "SITES", "RUNQ", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "ADDR")
+	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6s %-6s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %-5s %-7s %s\n",
+		"NODE", "HEALTH", "MEMB", "SITES", "RUNQ", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "OVLD", "SHED", "ADDR")
 	var totSites, totRunq, totInbox, totWait, totStalls, totUnacked int
-	var totSent, totRecv, totFailed uint64
+	var totSent, totRecv, totFailed, totShed uint64
 	for _, v := range cv.Nodes {
 		if v.Err != "" {
 			fmt.Fprintf(&b, "%-5d %-9s %s (%s)\n", v.Node, "unreach", v.Err, v.Addr)
@@ -156,9 +156,10 @@ func (cv ClusterView) RenderTable() string {
 		if v.Status.Rel != nil {
 			unacked = v.Status.Rel.Unacked
 		}
-		fmt.Fprintf(&b, "%-5d %-9s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %s\n",
+		fmt.Fprintf(&b, "%-5d %-9s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %-5s %-7d %s\n",
 			v.Node, v.Health.Status, memberSummary(v.Status), len(v.Status.Sites), runq, inbox, wait,
-			len(v.Status.Stalls), sent, recv, unacked, v.Status.DeliveryFailures, v.Addr)
+			len(v.Status.Stalls), sent, recv, unacked, v.Status.DeliveryFailures,
+			overloadState(v.Status), shedTotal(v.Status), v.Addr)
 		totSites += len(v.Status.Sites)
 		totRunq += runq
 		totInbox += inbox
@@ -168,10 +169,15 @@ func (cv ClusterView) RenderTable() string {
 		totSent += sent
 		totRecv += recv
 		totFailed += v.Status.DeliveryFailures
+		totShed += shedTotal(v.Status)
 	}
-	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d\n",
-		"all", "", "", totSites, totRunq, totInbox, totWait, totStalls, totSent, totRecv, totUnacked, totFailed)
+	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6d %-6d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %-5s %-7d\n",
+		"all", "", "", totSites, totRunq, totInbox, totWait, totStalls, totSent, totRecv, totUnacked, totFailed, "", totShed)
 	for _, v := range cv.Nodes {
+		if ov := v.Status.Overload; ov != nil && ov.State == "shed" {
+			fmt.Fprintf(&b, "overload: node %d shedding (admission %d, expired %d, rel %d, fetch retries %d)\n",
+				v.Node, ov.AdmissionSheds, ov.ExpiredDrops, ov.RelExpired, ov.FetchRetries)
+		}
 		for _, st := range v.Status.Stalls {
 			fmt.Fprintf(&b, "stall: node %d site %q (%d) %s for %dms %s\n",
 				v.Node, st.Name, st.Site, st.Kind, st.AgeMs, st.Detail)
@@ -188,6 +194,26 @@ func (cv ClusterView) RenderTable() string {
 		}
 	}
 	return b.String()
+}
+
+// overloadState compresses the overload section into the OVLD column:
+// the admission controller's verdict ("ok"/"warn"/"shed"), or "-" when
+// the node runs without admission control.
+func overloadState(st NodeStatus) string {
+	if st.Overload == nil {
+		return "-"
+	}
+	return st.Overload.State
+}
+
+// shedTotal is the SHED column: every message this node gave up on for
+// overload-protection reasons — admission rejections, deadline-expired
+// deliveries, and frames the reliable layer stopped retransmitting.
+func shedTotal(st NodeStatus) uint64 {
+	if st.Overload == nil {
+		return 0
+	}
+	return st.Overload.AdmissionSheds + st.Overload.ExpiredDrops + st.Overload.RelExpired
 }
 
 // memberSummary compresses a node's membership table into the MEMB

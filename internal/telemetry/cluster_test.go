@@ -37,6 +37,7 @@ func TestScrapeClusterRenderTable(t *testing.T) {
 			{Name: "worker", ID: 11, WaitingImports: 1, Sent: 5, Recv: 5},
 		},
 		Rel:              &RelStatus{Unacked: 3},
+		Overload:         &OverloadStatus{State: "shed", AdmissionSheds: 7, ExpiredDrops: 2, RelExpired: 1},
 		DeliveryFailures: 1,
 	}, Health{Node: 1, Status: HealthOK})
 	s2 := fakeNode(t, 2, NodeStatus{
@@ -68,10 +69,11 @@ func TestScrapeClusterRenderTable(t *testing.T) {
 
 	table := view.RenderTable()
 	for _, want := range []string{
-		"NODE", "HEALTH", "STALLS", "UNACKED",
-		"degraded", "unreach",
+		"NODE", "HEALTH", "STALLS", "UNACKED", "OVLD", "SHED",
+		"degraded", "unreach", "shed",
 		`stall: node 2 site "client" (20) import for 2500ms`,
 		"health: node 2: 1 suspected stall(s)",
+		"overload: node 1 shedding (admission 7, expired 2, rel 1, fetch retries 0)",
 	} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
@@ -88,7 +90,7 @@ func TestScrapeClusterRenderTable(t *testing.T) {
 			totals = line
 		}
 	}
-	for _, want := range []string{"3", "83", "1"} {
+	for _, want := range []string{"3", "83", "1", "10"} { // 10 = node 1 shed total (7+2+1)
 		if !strings.Contains(totals, want) {
 			t.Errorf("totals row missing %q: %q", want, totals)
 		}

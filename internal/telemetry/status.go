@@ -57,15 +57,38 @@ type SiteStatus struct {
 // RelStatus mirrors the reliable delivery layer's counters into
 // /statusz.
 type RelStatus struct {
-	DataSent    uint64   `json:"data_sent"`
-	Retransmits uint64   `json:"retransmits"`
-	AcksSent    uint64   `json:"acks_sent"`
-	AckPiggy    uint64   `json:"ack_piggy"`
-	DupDrops    uint64   `json:"dup_drops"`
-	FailFasts   uint64   `json:"fail_fasts"`
-	Unacked     int      `json:"unacked"`
-	AckDebt     int      `json:"ack_debt"`
-	DownPeers   []uint32 `json:"down_peers,omitempty"`
+	DataSent    uint64 `json:"data_sent"`
+	Retransmits uint64 `json:"retransmits"`
+	AcksSent    uint64 `json:"acks_sent"`
+	AckPiggy    uint64 `json:"ack_piggy"`
+	DupDrops    uint64 `json:"dup_drops"`
+	FailFasts   uint64 `json:"fail_fasts"`
+	// Expired counts frames the layer stopped retransmitting because
+	// their deadline passed; BudgetDeferred counts retransmissions
+	// postponed by the per-peer retry budget (DESIGN.md §14).
+	Expired        uint64   `json:"expired,omitempty"`
+	BudgetDeferred uint64   `json:"budget_deferred,omitempty"`
+	Unacked        int      `json:"unacked"`
+	AckDebt        int      `json:"ack_debt"`
+	DownPeers      []uint32 `json:"down_peers,omitempty"`
+}
+
+// OverloadStatus is the overload-protection section of /statusz
+// (DESIGN.md §14): the admission controller's verdict and the
+// shed-work accounting.
+type OverloadStatus struct {
+	// State: "ok", "warn" or "shed".
+	State string `json:"state"`
+	// AdmissionSheds counts admissions rejected with ErrOverloaded.
+	AdmissionSheds uint64 `json:"admission_sheds"`
+	// ExpiredDrops counts deliveries shed at the receiver because
+	// their deadline had passed; RelExpired counts frames the sender's
+	// reliable layer gave up retransmitting for the same reason.
+	ExpiredDrops uint64 `json:"expired_drops"`
+	RelExpired   uint64 `json:"rel_expired,omitempty"`
+	// FetchRetries counts class fetches re-issued after an overloaded
+	// server's pushback.
+	FetchRetries uint64 `json:"fetch_retries,omitempty"`
 }
 
 // StallReport is one suspected stall: a site that has been wedged on
@@ -96,18 +119,19 @@ type MemberStatus struct {
 // NodeStatus is the /statusz document: one node's full introspection
 // snapshot.
 type NodeStatus struct {
-	Node             uint32         `json:"node"`
-	Epoch            uint32         `json:"epoch"`
-	LocalDeliveries  uint64         `json:"local_deliveries"`
-	RemoteDeliveries uint64         `json:"remote_deliveries"`
-	DeliveryFailures uint64         `json:"delivery_failures"`
-	Sites            []SiteStatus   `json:"sites"`
-	Rel              *RelStatus     `json:"rel,omitempty"`
-	Stalls           []StallReport  `json:"stalls,omitempty"`
-	Strikes          map[string]int `json:"strikes,omitempty"`
-	Members          []MemberStatus `json:"members,omitempty"`
-	Draining         bool           `json:"draining,omitempty"`
-	Error            string         `json:"error,omitempty"`
+	Node             uint32          `json:"node"`
+	Epoch            uint32          `json:"epoch"`
+	LocalDeliveries  uint64          `json:"local_deliveries"`
+	RemoteDeliveries uint64          `json:"remote_deliveries"`
+	DeliveryFailures uint64          `json:"delivery_failures"`
+	Sites            []SiteStatus    `json:"sites"`
+	Rel              *RelStatus      `json:"rel,omitempty"`
+	Overload         *OverloadStatus `json:"overload,omitempty"`
+	Stalls           []StallReport   `json:"stalls,omitempty"`
+	Strikes          map[string]int  `json:"strikes,omitempty"`
+	Members          []MemberStatus  `json:"members,omitempty"`
+	Draining         bool            `json:"draining,omitempty"`
+	Error            string          `json:"error,omitempty"`
 }
 
 // Health statuses, ordered by severity.

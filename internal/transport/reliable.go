@@ -19,6 +19,13 @@ import (
 // cleanly".
 var ErrPeerDown = errors.New("transport: peer down")
 
+// ErrDeadlineExpired is surfaced (through Send/SendWithDeadline and
+// the OnDrop callback) for frames whose deadline passed before
+// delivery could be confirmed. Expiry is deliberate shedding, not
+// silent loss: the overload plane (DESIGN.md §14) counts every expired
+// frame, and the stall detector treats them as non-stalls.
+var ErrDeadlineExpired = errors.New("transport: frame deadline expired")
+
 // errClosed is returned after Close.
 var errClosed = errors.New("transport: reliable layer closed")
 
@@ -73,6 +80,15 @@ type ReliableConfig struct {
 	// first (accepted ⇒ journaled). An error suppresses both ack and
 	// delivery — the sender retransmits later.
 	OnAccept func(src NodeID, payload []byte) error
+	// RetryBudgetRate and RetryBudgetBurst layer a per-peer token
+	// bucket over the retransmit backoff: each retransmission spends a
+	// token, tokens refill at Rate per second with Burst capacity, and
+	// an empty bucket defers the frame one RetransmitTimeout instead of
+	// firing. The budget turns a struggling peer's backlog into a
+	// bounded trickle rather than a synchronized retransmit storm.
+	// Zero for either keeps retries unlimited (the prior behavior).
+	RetryBudgetRate  float64
+	RetryBudgetBurst int
 }
 
 // ReliableStats counts reliable-layer activity.
@@ -87,6 +103,15 @@ type ReliableStats struct {
 	RawSent     uint64 // best-effort (unsequenced) frames
 	Parked      uint64 // frames parked for a down peer (Park mode)
 	StaleDrops  uint64 // lower-epoch packets (or stale ack state) dropped
+	// Expired counts frames shed because their deadline passed before
+	// an ack arrived (dropped from the send window, the parked queue,
+	// or rejected at Send) — every one also reported through OnDrop
+	// with ErrDeadlineExpired, so shed work is accounted, never silent.
+	Expired uint64
+	// BudgetDeferred counts retransmissions postponed by an empty
+	// retry-budget bucket (the frame stays in the window and retries
+	// when tokens refill).
+	BudgetDeferred uint64
 }
 
 // Reliable layers ack/retransmit delivery on top of any Transport: the
@@ -126,6 +151,8 @@ type Reliable struct {
 	rawSent     atomic.Uint64
 	parked      atomic.Uint64
 	staleDrops  atomic.Uint64
+	expired     atomic.Uint64
+	budgetDefer atomic.Uint64
 }
 
 var _ Transport = (*Reliable)(nil)
@@ -138,6 +165,8 @@ type sendPeer struct {
 	down      bool
 	downSince time.Time  // when down last flipped true
 	space     *sync.Cond // signaled when window space frees or state flips
+	// budget token-gates this peer's retransmissions (nil = unlimited).
+	budget *backoff.Budget
 }
 
 type unacked struct {
@@ -145,7 +174,10 @@ type unacked struct {
 	packet   []byte // encoded wire.Packet, ready to retransmit
 	payload  []byte // original frame, for OnDrop
 	deadline time.Time
-	retries  int
+	// expiry, when non-zero, is the frame's application deadline: past
+	// it the frame is shed from the window instead of retransmitted.
+	expiry  time.Time
+	retries int
 }
 
 // recvPeer is the dedup window for one source: floor is the highest
@@ -222,16 +254,18 @@ func (r *Reliable) Recv() <-chan []byte { return r.recv }
 // Stats snapshots the layer's counters.
 func (r *Reliable) Stats() ReliableStats {
 	return ReliableStats{
-		DataSent:    r.dataSent.Load(),
-		Retransmits: r.retransmits.Load(),
-		AcksSent:    r.acksSent.Load(),
-		AckPiggy:    r.ackPiggy.Load(),
-		AcksRecv:    r.acksRecv.Load(),
-		DupDrops:    r.dupDrops.Load(),
-		FailFasts:   r.failFasts.Load(),
-		RawSent:     r.rawSent.Load(),
-		Parked:      r.parked.Load(),
-		StaleDrops:  r.staleDrops.Load(),
+		DataSent:       r.dataSent.Load(),
+		Retransmits:    r.retransmits.Load(),
+		AcksSent:       r.acksSent.Load(),
+		AckPiggy:       r.ackPiggy.Load(),
+		AcksRecv:       r.acksRecv.Load(),
+		DupDrops:       r.dupDrops.Load(),
+		FailFasts:      r.failFasts.Load(),
+		RawSent:        r.rawSent.Load(),
+		Parked:         r.parked.Load(),
+		StaleDrops:     r.staleDrops.Load(),
+		Expired:        r.expired.Load(),
+		BudgetDeferred: r.budgetDefer.Load(),
 	}
 }
 
@@ -248,6 +282,22 @@ func (r *Reliable) Unacked() int {
 		n += len(p.inflight) + len(p.parked)
 	}
 	return n
+}
+
+// WindowOccupancy reports the fullest per-peer send window's fill
+// fraction (0..1) — the admission controller's transport-side
+// watermark. Parked frames are excluded: a down peer's backlog is the
+// failure detector's business, not an overload signal.
+func (r *Reliable) WindowOccupancy() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	worst := 0.0
+	for _, p := range r.sends {
+		if f := float64(len(p.inflight)) / float64(r.cfg.Window); f > worst {
+			worst = f
+		}
+	}
+	return worst
 }
 
 // AckDebt reports the number of accepted inbound frames whose
@@ -271,6 +321,7 @@ func (r *Reliable) sendPeerLocked(dst NodeID) *sendPeer {
 	if !ok {
 		p = &sendPeer{inflight: map[uint64]*unacked{}}
 		p.space = sync.NewCond(&r.mu)
+		p.budget = backoff.NewBudget(r.cfg.RetryBudgetRate, r.cfg.RetryBudgetBurst)
 		r.sends[dst] = p
 	}
 	return p
@@ -280,6 +331,23 @@ func (r *Reliable) sendPeerLocked(dst NodeID) *sendPeer {
 // until acked or the peer is declared down. Blocks while the in-flight
 // window is full; fails fast with ErrPeerDown for suspected peers.
 func (r *Reliable) Send(dst NodeID, frame []byte) error {
+	return r.SendWithDeadline(dst, frame, time.Time{})
+}
+
+// SendWithDeadline is Send with an application deadline: a frame whose
+// expiry passes before its ack arrives is shed from the send window
+// (reported through OnDrop with ErrDeadlineExpired) instead of being
+// retransmitted forever. An already-expired frame is rejected here,
+// before it claims window space or a sequence number. The zero expiry
+// means no deadline.
+func (r *Reliable) SendWithDeadline(dst NodeID, frame []byte, expiry time.Time) error {
+	if !expiry.IsZero() && !expiry.After(time.Now()) {
+		r.expired.Add(1)
+		if r.cfg.OnDrop != nil {
+			r.cfg.OnDrop(dst, frame, ErrDeadlineExpired)
+		}
+		return ErrDeadlineExpired
+	}
 	r.mu.Lock()
 	p := r.sendPeerLocked(dst)
 	for !p.down && !r.closed && len(p.inflight) >= r.cfg.Window {
@@ -305,6 +373,7 @@ func (r *Reliable) Send(dst NodeID, frame []byte) error {
 		packet:   pkt,
 		payload:  frame,
 		deadline: time.Now().Add(r.cfg.RetransmitTimeout),
+		expiry:   expiry,
 	}
 	if p.down {
 		// Park mode: hold the frame until the peer is revived; its
@@ -464,14 +533,25 @@ func (r *Reliable) SetPeerUp(dst NodeID) {
 	p.down = false
 	parked := p.parked
 	p.parked = nil
+	// Frames whose deadline lapsed while the peer was down are shed
+	// here rather than re-injected: the application declared them
+	// worthless past their expiry, and retransmitting them would only
+	// add load to a peer that just came back.
+	var revived, dead []*unacked
 	for _, u := range parked {
+		if !u.expiry.IsZero() && !u.expiry.After(now) {
+			dead = append(dead, u)
+			continue
+		}
 		u.retries = 0
 		u.deadline = now.Add(r.cfg.RetransmitTimeout)
 		p.inflight[u.seq] = u
+		revived = append(revived, u)
 	}
 	p.space.Broadcast()
 	r.mu.Unlock()
-	for _, u := range parked {
+	r.reportExpired(dst, dead)
+	for _, u := range revived {
 		r.dataSent.Add(1)
 		_ = r.inner.Send(dst, u.packet)
 	}
@@ -567,19 +647,41 @@ func (r *Reliable) retransmitLoop() {
 			failed []*unacked
 		}
 		var failures []failure
+		type expiry struct {
+			dst     NodeID
+			expired []*unacked
+		}
+		var expiries []expiry
+		deferred := 0
 		r.mu.Lock()
 		for dst, p := range r.sends {
 			if p.down {
 				continue
 			}
 			exhausted := false
+			var dead []*unacked
 			for _, u := range p.inflight {
+				// Expiry is checked for every scanned frame, not only
+				// past-deadline ones: a frame whose deadline passed mid
+				// backoff wait must stop occupying the window too.
+				if !u.expiry.IsZero() && !u.expiry.After(now) {
+					dead = append(dead, u)
+					continue
+				}
 				if u.deadline.After(now) {
 					continue
 				}
 				if u.retries >= r.cfg.MaxRetries {
 					exhausted = true
 					break
+				}
+				// Token-gated retries: an empty budget defers the frame
+				// one timeout (no retry spent) so a struggling peer sees
+				// a bounded trickle, not the whole backlog at once.
+				if !p.budget.AllowAt(now) {
+					u.deadline = now.Add(r.cfg.RetransmitTimeout)
+					deferred++
+					continue
 				}
 				u.retries++
 				// Jittered exponential growth via the shared policy;
@@ -591,17 +693,44 @@ func (r *Reliable) retransmitLoop() {
 				u.deadline = now.Add(pol.Step(u.retries, &r.rng))
 				resends = append(resends, resend{dst: dst, pkt: u.packet})
 			}
+			if len(dead) > 0 {
+				for _, u := range dead {
+					delete(p.inflight, u.seq)
+				}
+				p.space.Broadcast()
+				expiries = append(expiries, expiry{dst: dst, expired: dead})
+			}
 			if exhausted {
 				failures = append(failures, failure{dst: dst, failed: r.markDownLocked(p)})
 			}
 		}
 		r.mu.Unlock()
+		if deferred > 0 {
+			r.budgetDefer.Add(uint64(deferred))
+		}
+		for _, e := range expiries {
+			r.reportExpired(e.dst, e.expired)
+		}
 		for _, s := range resends {
 			r.retransmits.Add(1)
 			_ = r.inner.Send(s.dst, s.pkt)
 		}
 		for _, f := range failures {
 			r.reportDrops(f.dst, f.failed)
+		}
+	}
+}
+
+// reportExpired accounts deadline-shed frames through the stats and
+// the OnDrop signal with the typed ErrDeadlineExpired.
+func (r *Reliable) reportExpired(dst NodeID, expired []*unacked) {
+	if len(expired) == 0 {
+		return
+	}
+	r.expired.Add(uint64(len(expired)))
+	if r.cfg.OnDrop != nil {
+		for _, u := range expired {
+			r.cfg.OnDrop(dst, u.payload, ErrDeadlineExpired)
 		}
 	}
 }

@@ -424,3 +424,129 @@ func waitUnacked(t *testing.T, r *transport.Reliable, want int) {
 		time.Sleep(time.Millisecond)
 	}
 }
+
+// TestReliableExpiredFrameShedNotRetransmitted: a deadlined frame sent
+// into a blackholed link must stop retransmitting once its deadline
+// passes, be reported through OnDrop with ErrDeadlineExpired, and free
+// its send-window slot.
+func TestReliableExpiredFrameShedNotRetransmitted(t *testing.T) {
+	var dropped atomic.Int32
+	var dropErr atomic.Value
+	cfg := transport.ReliableConfig{
+		RetransmitTimeout: 5 * time.Millisecond,
+		MaxRetries:        1000, // retries must not be what ends this frame
+		OnDrop: func(dst transport.NodeID, frame []byte, err error) {
+			dropped.Add(1)
+			dropErr.Store(err)
+		},
+	}
+	chaos, a, _, stop := reliablePair(t, transport.ChaosConfig{Seed: 3}, cfg)
+	defer stop()
+	chaos.Partition(1, 2) // blackhole: data and acks both vanish
+	if err := a.SendWithDeadline(2, []byte("doomed"), time.Now().Add(30*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for dropped.Load() == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("expired frame never reported through OnDrop")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if err := dropErr.Load().(error); !errors.Is(err, transport.ErrDeadlineExpired) {
+		t.Fatalf("OnDrop error = %v, want ErrDeadlineExpired", err)
+	}
+	if st := a.Stats(); st.Expired == 0 {
+		t.Fatalf("expired shed not accounted: %+v", st)
+	}
+	waitCond(t, time.Second, func() bool { return a.Unacked() == 0 })
+}
+
+// TestReliableSendExpiredFailsFast: a frame already past its deadline
+// is rejected at Send time without entering the window.
+func TestReliableSendExpiredFailsFast(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: 5 * time.Millisecond}
+	_, a, _, stop := reliablePair(t, transport.ChaosConfig{Seed: 3}, cfg)
+	defer stop()
+	err := a.SendWithDeadline(2, []byte("late"), time.Now().Add(-time.Millisecond))
+	if !errors.Is(err, transport.ErrDeadlineExpired) {
+		t.Fatalf("want ErrDeadlineExpired, got %v", err)
+	}
+	if a.Unacked() != 0 {
+		t.Fatal("expired frame entered the send window")
+	}
+	if st := a.Stats(); st.Expired != 1 {
+		t.Fatalf("Expired = %d, want 1", st.Expired)
+	}
+}
+
+// TestReliableRetryBudgetDefersRetransmits: with a tiny retry budget
+// and a fully partitioned peer, retransmissions are postponed (counted
+// in BudgetDeferred) instead of hammering the link, yet delivery still
+// completes after the partition heals — the budget delays, it never
+// drops.
+func TestReliableRetryBudgetDefersRetransmits(t *testing.T) {
+	cfg := transport.ReliableConfig{
+		RetransmitTimeout: 2 * time.Millisecond,
+		MaxRetries:        10000,
+		RetryBudgetRate:   5, // ~5 retransmits/sec across the burst
+		RetryBudgetBurst:  2,
+	}
+	chaos, a, b, stop := reliablePair(t, transport.ChaosConfig{Seed: 7}, cfg)
+	defer stop()
+	chaos.Partition(1, 2)
+	if err := a.Send(2, []byte("patient")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(200 * time.Millisecond)
+	st := a.Stats()
+	if st.BudgetDeferred == 0 {
+		t.Fatalf("no retransmissions deferred by the budget: %+v", st)
+	}
+	// Without the budget, 200ms at a 2ms timeout would attempt ~100
+	// retransmits; the budget caps it near burst + rate*elapsed.
+	if st.Retransmits > 10 {
+		t.Fatalf("budget failed to pace retransmits: %d in 200ms", st.Retransmits)
+	}
+	chaos.Heal(1, 2)
+	select {
+	case f := <-b.Recv():
+		if string(f) != "patient" {
+			t.Fatalf("got %q", f)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("frame never delivered after heal")
+	}
+}
+
+// TestReliableWindowOccupancy tracks the fullest per-peer window.
+func TestReliableWindowOccupancy(t *testing.T) {
+	cfg := transport.ReliableConfig{RetransmitTimeout: time.Hour, Window: 4}
+	chaos, a, _, stop := reliablePair(t, transport.ChaosConfig{Seed: 9}, cfg)
+	defer stop()
+	if occ := a.WindowOccupancy(); occ != 0 {
+		t.Fatalf("idle occupancy = %v, want 0", occ)
+	}
+	chaos.Partition(1, 2)
+	for i := 0; i < 2; i++ {
+		if err := a.Send(2, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if occ := a.WindowOccupancy(); occ != 0.5 {
+		t.Fatalf("occupancy with 2/4 in flight = %v, want 0.5", occ)
+	}
+}
+
+// waitCond polls until cond holds or the timeout elapses.
+func waitCond(t *testing.T, timeout time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never held")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -30,12 +30,12 @@ func NewBatchBuilder() *BatchBuilder {
 // BeginEntry opens a new envelope entry and returns the writer the
 // caller appends the payload into. EndEntry must be called before the
 // next BeginEntry or TakeFrame.
-func (b *BatchBuilder) BeginEntry(t FrameType, src, dst uint32, trace uint64) *Writer {
+func (b *BatchBuilder) BeginEntry(t FrameType, src, dst uint32, trace, deadline uint64) *Writer {
 	if b.entryOff >= 0 {
 		panic("wire: BeginEntry with entry open")
 	}
 	b.entryOff = b.w.Fixed32()
-	AppendEnvelopeHdr(b.w, t, src, dst, trace)
+	AppendEnvelopeHdr(b.w, t, src, dst, trace, deadline)
 	return b.w
 }
 

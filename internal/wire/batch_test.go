@@ -15,7 +15,7 @@ func buildBatch(t testing.TB, envs []wire.Envelope) []byte {
 	b := wire.NewBatchBuilder()
 	defer b.Release()
 	for _, e := range envs {
-		w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode, e.Trace)
+		w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode, e.Trace, e.Deadline)
 		w.Raw(e.Payload)
 		b.EndEntry()
 	}
@@ -29,9 +29,9 @@ func TestBatchRoundTripMixed(t *testing.T) {
 	msg := &wire.Msg{Op: wire.OpRef{Site: 1, Epoch: 2, ID: 3}, To: vm.NetRef{Heap: 4, Site: 5, Node: 6}, Label: "val", Args: []wire.Value{{Kind: wire.WInt, I: 42}}}
 	envs := []wire.Envelope{
 		{Type: wire.FMsg, SrcNode: 1, DstNode: 2, Payload: msg.Encode()},
-		{Type: wire.FObj, SrcNode: 1, DstNode: 2, Payload: []byte("obj-bytes")},
+		{Type: wire.FObj, SrcNode: 1, DstNode: 2, Deadline: 1_700_000_000_000_123, Payload: []byte("obj-bytes")},
 		{Type: wire.FTerm, SrcNode: 3, DstNode: 2, Payload: []byte{0}},
-		{Type: wire.FFetchRep, SrcNode: 1, DstNode: 2, Payload: bytes.Repeat([]byte{0xab}, 4096)},
+		{Type: wire.FFetchRep, SrcNode: 1, DstNode: 2, Trace: 9, Deadline: 42, Payload: bytes.Repeat([]byte{0xab}, 4096)},
 	}
 	frame := buildBatch(t, envs)
 	if !wire.IsBatch(frame) {
@@ -46,7 +46,8 @@ func TestBatchRoundTripMixed(t *testing.T) {
 	}
 	for i, e := range envs {
 		g := got[i]
-		if g.Type != e.Type || g.SrcNode != e.SrcNode || g.DstNode != e.DstNode || !bytes.Equal(g.Payload, e.Payload) {
+		if g.Type != e.Type || g.SrcNode != e.SrcNode || g.DstNode != e.DstNode ||
+			g.Trace != e.Trace || g.Deadline != e.Deadline || !bytes.Equal(g.Payload, e.Payload) {
 			t.Fatalf("entry %d: got %+v want %+v", i, g, e)
 		}
 	}
@@ -94,7 +95,7 @@ func TestBatchBuilderReuse(t *testing.T) {
 	for round := 0; round < 3; round++ {
 		n := round + 2
 		for i := 0; i < n; i++ {
-			w := b.BeginEntry(wire.FMsg, 1, 2, 0)
+			w := b.BeginEntry(wire.FMsg, 1, 2, 0, 0)
 			w.S(fmt.Sprintf("r%d-e%d", round, i))
 			b.EndEntry()
 		}
@@ -213,7 +214,7 @@ func FuzzDecodeBatch(f *testing.F) {
 		b := wire.NewBatchBuilder()
 		defer b.Release()
 		for _, e := range envs {
-			w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode, e.Trace)
+			w := b.BeginEntry(e.Type, e.SrcNode, e.DstNode, e.Trace, e.Deadline)
 			w.Raw(e.Payload)
 			b.EndEntry()
 		}

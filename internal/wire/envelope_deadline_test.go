@@ -1,0 +1,78 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEnvelopeDeadlineRoundTrip: the deadline survives encode/decode
+// (alone and combined with a trace) and the decoded type is the masked
+// frame type, not the flagged byte.
+func TestEnvelopeDeadlineRoundTrip(t *testing.T) {
+	for _, dl := range []uint64{1, 1 << 6, 1_700_000_000_000_000, 1<<62 | 3} {
+		for _, trace := range []uint64{0, 99} {
+			e := &Envelope{Type: FMsg, SrcNode: 3, DstNode: 9, Trace: trace, Deadline: dl, Payload: []byte("payload")}
+			got, err := DecodeEnvelope(e.Encode())
+			if err != nil {
+				t.Fatalf("deadline %x trace %x: %v", dl, trace, err)
+			}
+			if got.Type != FMsg || got.Deadline != dl || got.Trace != trace || !bytes.Equal(got.Payload, e.Payload) {
+				t.Fatalf("deadline %x trace %x: round trip %+v -> %+v", dl, trace, e, got)
+			}
+		}
+	}
+}
+
+// TestUndeadlinedEnvelopeCostsNothing: an envelope without a deadline
+// must encode byte-identically to the pre-deadline layout, so sends
+// that never set one keep the exact prior wire format.
+func TestUndeadlinedEnvelopeCostsNothing(t *testing.T) {
+	e := &Envelope{Type: FObj, SrcNode: 3, DstNode: 300, Payload: []byte("payload")}
+	w := GetWriter()
+	w.Byte(byte(FObj))
+	w.U(3)
+	w.U(300)
+	w.Raw(e.Payload)
+	want := w.Detach()
+	PutWriter(w)
+	if got := e.Encode(); !bytes.Equal(got, want) {
+		t.Fatalf("undeadlined encoding %x, want prior layout %x", got, want)
+	}
+}
+
+// TestDeadlineFieldOrderTraceFirst: when both optional fields are set
+// the trace varint precedes the deadline varint — pin the order so
+// both sides of the wire cannot drift.
+func TestDeadlineFieldOrderTraceFirst(t *testing.T) {
+	e := &Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Trace: 5, Deadline: 7, Payload: []byte("p")}
+	w := GetWriter()
+	w.Byte(byte(FMsg) | envTraced | envDeadline)
+	w.U(1)
+	w.U(2)
+	w.U(5)
+	w.U(7)
+	w.Raw(e.Payload)
+	want := w.Detach()
+	PutWriter(w)
+	if got := e.Encode(); !bytes.Equal(got, want) {
+		t.Fatalf("encoding %x, want trace-then-deadline layout %x", got, want)
+	}
+}
+
+// TestDeadlineTruncation: every strict prefix of a deadlined envelope
+// that cuts into the deadline varint (or earlier) must be rejected —
+// the decoder may never panic or silently drop the field.
+func TestDeadlineTruncation(t *testing.T) {
+	e := &Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Trace: 1 << 20, Deadline: 1_700_000_000_000_000}
+	enc := e.Encode() // no payload: the frame is exactly the header fields
+	for cut := 0; cut < len(enc); cut++ {
+		// With envDeadline set, every strict prefix cuts a mandatory
+		// field (the payload is empty), so all of them must error.
+		if _, err := DecodeEnvelope(enc[:cut]); err == nil {
+			t.Fatalf("cut %d: prefix with deadline flag set decoded cleanly", cut)
+		}
+	}
+	if _, err := DecodeEnvelope(enc); err != nil {
+		t.Fatalf("full frame rejected: %v", err)
+	}
+}

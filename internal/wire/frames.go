@@ -93,8 +93,15 @@ type Envelope struct {
 	// when the envTraced bit is set in the type byte, so untraced
 	// envelopes keep the exact pre-telemetry byte format. The ID
 	// itself is opaque to the wire layer.
-	Trace   uint64
-	Payload []byte
+	Trace uint64
+	// Deadline is the absolute expiry of the payload in Unix
+	// microseconds (overload-protection plane, DESIGN.md §14). 0 means
+	// no deadline and, like Trace, costs nothing on the wire: the
+	// varint follows the header only when the envDeadline bit is set
+	// in the type byte. Receivers shed expired envelopes instead of
+	// queueing them; the reliable layer stops retransmitting them.
+	Deadline uint64
+	Payload  []byte
 }
 
 // envTraced marks a traced envelope in the type byte. E12 measured
@@ -103,13 +110,25 @@ type Envelope struct {
 // envelopes are tiny and the link charges per byte.
 const envTraced = 0x80
 
+// envDeadline marks a deadlined envelope in the type byte: the
+// deadline varint follows the header (after the trace varint, when
+// both bits are set). Undeadlined envelopes keep the exact prior byte
+// format, for the same per-byte cost reason as envTraced.
+const envDeadline = 0x40
+
+// envFlags masks both optional-field bits off the type byte.
+const envFlags = envTraced | envDeadline
+
 // AppendEnvelopeHdr writes an envelope header; the payload is whatever
 // the caller appends afterwards (it runs to the end of the frame, so
 // encoders can stream into the writer with no inner length prefix).
-func AppendEnvelopeHdr(w *Writer, t FrameType, src, dst uint32, trace uint64) {
+func AppendEnvelopeHdr(w *Writer, t FrameType, src, dst uint32, trace, deadline uint64) {
 	b := byte(t)
 	if trace != 0 {
 		b |= envTraced
+	}
+	if deadline != 0 {
+		b |= envDeadline
 	}
 	w.Byte(b)
 	w.U(uint64(src))
@@ -117,11 +136,14 @@ func AppendEnvelopeHdr(w *Writer, t FrameType, src, dst uint32, trace uint64) {
 	if trace != 0 {
 		w.U(trace)
 	}
+	if deadline != 0 {
+		w.U(deadline)
+	}
 }
 
 // AppendTo appends the envelope's encoding to w.
 func (e *Envelope) AppendTo(w *Writer) {
-	AppendEnvelopeHdr(w, e.Type, e.SrcNode, e.DstNode, e.Trace)
+	AppendEnvelopeHdr(w, e.Type, e.SrcNode, e.DstNode, e.Trace, e.Deadline)
 	w.Raw(e.Payload)
 }
 
@@ -153,16 +175,22 @@ func DecodeEnvelopeInto(env *Envelope, data []byte) error {
 	if err != nil {
 		return err
 	}
-	var trace uint64
+	var trace, deadline uint64
 	if t&envTraced != 0 {
 		if trace, err = r.U(); err != nil {
 			return err
 		}
 	}
-	env.Type = FrameType(t &^ envTraced)
+	if t&envDeadline != 0 {
+		if deadline, err = r.U(); err != nil {
+			return err
+		}
+	}
+	env.Type = FrameType(t &^ envFlags)
 	env.SrcNode = uint32(src)
 	env.DstNode = uint32(dst)
 	env.Trace = trace
+	env.Deadline = deadline
 	env.Payload = r.Rest()
 	return nil
 }

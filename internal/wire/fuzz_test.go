@@ -13,6 +13,8 @@ func FuzzDecodeEnvelope(f *testing.F) {
 	f.Add((&Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Payload: []byte("payload")}).Encode())
 	f.Add((&Envelope{Type: FObj, SrcNode: 300, DstNode: 4, Trace: 1<<13 - 1, Payload: []byte("traced")}).Encode())
 	f.Add((&Envelope{Type: FFetchReq, SrcNode: 0, DstNode: 0, Trace: 1<<63 | 42}).Encode())
+	f.Add((&Envelope{Type: FMsg, SrcNode: 1, DstNode: 2, Deadline: 1_700_000_000_000_000, Payload: []byte("deadlined")}).Encode())
+	f.Add((&Envelope{Type: FObj, SrcNode: 5, DstNode: 6, Trace: 77, Deadline: 1<<62 | 3, Payload: []byte("both")}).Encode())
 	f.Add([]byte{byte(FMsg)})
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -26,6 +28,7 @@ func FuzzDecodeEnvelope(f *testing.F) {
 		}
 		if again.Type != env.Type || again.SrcNode != env.SrcNode ||
 			again.DstNode != env.DstNode || again.Trace != env.Trace ||
+			again.Deadline != env.Deadline ||
 			!bytes.Equal(again.Payload, env.Payload) {
 			t.Fatalf("unstable round trip: %+v -> %+v", env, again)
 		}

@@ -1,0 +1,206 @@
+// Overload-protection integration tests (DESIGN.md §14): deadline
+// propagation end to end under chaos. Expired work must be shed — at
+// the sender's reliable layer or the receiver's inbox — without ever
+// being applied twice, and the shed must be visible in the accounting
+// counters, never silent.
+package repro
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/core"
+	"repro/internal/node"
+	"repro/internal/transport"
+)
+
+// overloadCounterServer applies each message exactly once by printing
+// its id; duplicates in the output are duplicate applies.
+const overloadCounterServer = `def Count(db) = db?(c) = (println("msg", c) | Count[db]) in export new db Count[db]`
+
+// overloadFloodSrc fans out one-way sends for ids [lo, hi).
+func overloadFloodSrc(lo, hi int) string {
+	var b strings.Builder
+	b.WriteString("import db from counter in\n( ")
+	for c := lo; c < hi; c++ {
+		fmt.Fprintf(&b, "db![%d] |\n", c)
+	}
+	b.WriteString("inaction )")
+	return b.String()
+}
+
+// parseMsgs counts "msg <id>" lines per id.
+func parseMsgs(t *testing.T, out *lockedWriter) map[int]int {
+	t.Helper()
+	got := map[int]int{}
+	for _, line := range strings.Split(out.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if !strings.HasPrefix(line, "msg ") {
+			continue
+		}
+		var c int
+		if _, err := fmt.Sscanf(line, "msg %d", &c); err != nil {
+			t.Fatalf("unparsable output line %q: %v", line, err)
+		}
+		got[c]++
+	}
+	return got
+}
+
+// TestOverloadChaosShedsButNeverDuplicates sandwiches a partition
+// longer than the operation deadline inside a chaotic message flood:
+// every frame in flight across the partition expires and must be shed
+// (accounted at the sender's reliable layer or the receiver's inbox),
+// while messages sent after the heal — carrying fresh deadlines — all
+// arrive. The invariant under test is the tentpole's contract: shed
+// work is counted, surviving work is applied exactly once, and no
+// retransmission of an expired frame ever turns into a duplicate
+// apply.
+func TestOverloadChaosShedsButNeverDuplicates(t *testing.T) {
+	const floodA = 120 // ids 0..119, sent into the partition window
+	const floodB = 60  // ids 1000..1059, sent after the heal
+
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes: 2,
+		Chaos: &transport.ChaosConfig{Seed: *chaosSeed, Drop: 0.1, Dup: 0.1, Reorder: 0.1},
+		// Small window, no coalescing: the flood is many individual
+		// frames that cannot all be in flight at once, so the partition
+		// provably catches a tail mid-transfer.
+		Reliability: &transport.ReliableConfig{RetransmitTimeout: 10 * time.Millisecond, Window: 8},
+		Batch:       node.BatchConfig{Disable: true},
+		Admission:   &admission.Config{},
+		OpDeadline:  300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	out := &lockedWriter{}
+	if _, err := cl.Submit(0, "counter", overloadCounterServer, out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the link moments after the flood starts: whatever made it
+	// across applies normally; everything still in flight retransmits
+	// into a blackhole until its deadline passes. The partition
+	// outlasts the deadline, so the in-flight tail expires and must be
+	// shed — at the sender's reliable layer, or at the receiver if a
+	// straggler lands late.
+	if _, err := cl.Submit(1, "sender", overloadFloodSrc(0, floodA), &lockedWriter{}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Chaos().Partition(1, 2)
+	time.Sleep(600 * time.Millisecond)
+	cl.Chaos().Heal(1, 2)
+
+	// Wait out the backlog: flood B's recovery claim ("all must land")
+	// only holds once its frames stop queueing behind flood A's dying
+	// tail — otherwise they inherit its queueing delay and expire too,
+	// which is correct shedding but not the property under test here.
+	drainUntil := time.Now().Add(30 * time.Second)
+	for cl.Node(1).Reliable().Unacked() > 0 {
+		if time.Now().After(drainUntil) {
+			t.Fatal("send window never drained after heal")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Post-heal flood: fresh deadlines, light chaos — all must land.
+	// The spawn itself may bounce off the admission gate while the
+	// send window is still draining; ErrOverloaded is retryable
+	// pushback, so retry like a well-behaved client.
+	spawnRejections := 0
+	for {
+		_, err := cl.Submit(1, "sender2", overloadFloodSrc(1000, 1000+floodB), &lockedWriter{})
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, admission.ErrOverloaded) {
+			t.Fatal(err)
+		}
+		spawnRejections++
+		if spawnRejections > 500 {
+			t.Fatal("admission gate never re-opened after heal")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if spawnRejections > 0 {
+		t.Logf("spawn rejected %d time(s) with ErrOverloaded before admission", spawnRejections)
+	}
+
+	// Termination accounting can't converge here by design — frames
+	// shed at the sender were counted sent but never received — so
+	// quiesce on observable progress instead of cl.Wait.
+	shedTotal := func() uint64 {
+		var n uint64
+		for i := 0; i < cl.Nodes(); i++ {
+			nd := cl.Node(i)
+			n += nd.ExpiredDrops()
+			if rel := nd.Reliable(); rel != nil {
+				n += rel.Stats().Expired
+			}
+		}
+		return n
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	var last string
+	stable := 0
+	for stable < 20 { // one second with no new applies and no new sheds
+		time.Sleep(50 * time.Millisecond)
+		cur := fmt.Sprintf("%s|%d", out.String(), shedTotal())
+		if cur == last {
+			stable++
+		} else {
+			stable = 0
+			last = cur
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("flood never quiesced")
+		}
+	}
+
+	got := parseMsgs(t, out)
+	for c, n := range got {
+		if n > 1 {
+			t.Errorf("message %d applied %d times — duplicate under shedding", c, n)
+		}
+	}
+	var missingA int
+	for c := 0; c < floodA; c++ {
+		if got[c] == 0 {
+			missingA++
+		}
+	}
+	var missingB int
+	for c := 1000; c < 1000+floodB; c++ {
+		if got[c] == 0 {
+			missingB++
+		}
+	}
+	// Post-heal goodput must recover: the deadline may still clip a
+	// straggler queueing through the deliberately tiny window (that is
+	// the shed path working, and it is accounted below), but losing
+	// more than 20%% would mean overload outlived the load.
+	if missingB > floodB/5 {
+		t.Errorf("post-heal flood lost %d/%d messages — overload outlived the load", missingB, floodB)
+	}
+	// The partition outlasted the deadline, so work was lost — and
+	// every loss must be visible in the accounting, never silent.
+	if missingA+missingB > 0 && shedTotal() == 0 {
+		t.Errorf("%d messages missing with zero shed accounting", missingA+missingB)
+	}
+	if missingA == 0 {
+		t.Log("partition shed nothing — deadline never bit; weak run")
+	}
+	t.Logf("flood A: %d/%d applied; flood B: %d/%d applied; shed accounting: %d", floodA-missingA, floodA, floodB-missingB, floodB, shedTotal())
+	for i := 0; i < cl.Nodes(); i++ {
+		nd := cl.Node(i)
+		st := nd.Reliable().Stats()
+		t.Logf("node %d: relExpired=%d siteExpiredDrops=%d dataSent=%d retrans=%d dup=%d", i+1, st.Expired, nd.ExpiredDrops(), st.DataSent, st.Retransmits, st.DupDrops)
+	}
+}
