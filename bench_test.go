@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
@@ -391,6 +392,56 @@ func BenchmarkE11Batching(b *testing.B) {
 				b.ReportMetric(float64(2*callers*perCaller)/b.Elapsed().Seconds(), "msgs/s")
 			})
 		}
+	}
+}
+
+// BenchmarkE16Scaling reports the work-stealing runtime's multi-core
+// scaling (EXPERIMENTS.md E16): a many-site ping-pong workload — 8
+// independent server/client site pairs across 2 nodes — swept over
+// GOMAXPROCS and scheduler worker count together. On a machine with
+// enough cores, msgs/s should grow with P; msgs/s at P beyond the
+// physical core count measures scheduler overhead instead.
+func BenchmarkE16Scaling(b *testing.B) {
+	server := `def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p]) in export new p Serve[p]`
+	const sites = 8
+	const callers = 8
+	client := func(srv string, c int) string {
+		parts := make([]string, callers)
+		for i := range parts {
+			parts[i] = fmt.Sprintf("Caller[%d]", c)
+		}
+		return "import p from " + srv + " in\n" +
+			"def Caller(n) = if n == 0 then inaction else let y = p![n] in Caller[n - 1]\nin " +
+			strings.Join(parts, " | ")
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("gomaxprocs=%d", p), func(b *testing.B) {
+			runtime.GOMAXPROCS(p)
+			defer runtime.GOMAXPROCS(prev)
+			perCaller := b.N/(sites*callers) + 1
+			progs := make([]benchProgram, 0, 2*sites)
+			for i := 0; i < sites; i++ {
+				progs = append(progs, benchProgram{node: 0, site: fmt.Sprintf("server%d", i), src: server})
+			}
+			for i := 0; i < sites; i++ {
+				progs = append(progs, benchProgram{
+					node: 1,
+					site: fmt.Sprintf("client%d", i),
+					src:  client(fmt.Sprintf("server%d", i), perCaller),
+				})
+			}
+			b.ResetTimer()
+			runWorkload(b, core.ClusterConfig{
+				Nodes:       2,
+				Link:        mustLink("fastether"),
+				Reliability: &transport.ReliableConfig{},
+				Sched:       node.SchedConfig{Workers: p},
+			}, progs, nil)
+			// Each call is one request plus one reply envelope.
+			b.ReportMetric(float64(2*sites*callers*perCaller)/b.Elapsed().Seconds(), "msgs/s")
+		})
 	}
 }
 

@@ -10,6 +10,14 @@
 // drops by more than the threshold (default 30%). Other metrics are
 // informational: allocation counts and ack ratios drift with the Go
 // runtime, and a hard gate on them would flake.
+//
+// Scaling sweeps get a second, relative gate: for metric families of
+// the form "<prefix>/gmp=P/msgs_per_sec" (E16's GOMAXPROCS sweep),
+// each side's efficiency curve eff(P) = rate(P) / (P * rate(1)) is
+// derived and compared point by point; a relative efficiency drop
+// beyond -eff-threshold (default 10%) fails the gate. Comparing
+// efficiency rather than raw rates keeps the gate meaningful across
+// machines of different absolute speed and core count.
 package main
 
 import (
@@ -17,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 	"strings"
 )
@@ -75,6 +84,69 @@ func compare(base, cur map[string]float64, gate string, threshold float64) []del
 	return out
 }
 
+// gmpKey matches one point of a GOMAXPROCS scaling sweep
+// ("e16/gmp=4/msgs_per_sec"), capturing the sweep prefix and P.
+var gmpKey = regexp.MustCompile(`^(.+)/gmp=(\d+)/msgs_per_sec$`)
+
+// efficiencyCurve extracts eff(P) = rate(P) / (P * rate(1)) from a
+// metric set's scaling sweeps, keyed "prefix/gmp=P". Sweeps without a
+// P=1 anchor produce nothing.
+func efficiencyCurve(metrics map[string]float64) map[string]float64 {
+	rates := map[string]map[int]float64{}
+	for name, v := range metrics {
+		m := gmpKey.FindStringSubmatch(name)
+		if m == nil {
+			continue
+		}
+		p := 0
+		fmt.Sscanf(m[2], "%d", &p)
+		if p < 1 {
+			continue
+		}
+		if rates[m[1]] == nil {
+			rates[m[1]] = map[int]float64{}
+		}
+		rates[m[1]][p] = v
+	}
+	out := map[string]float64{}
+	for prefix, pts := range rates {
+		base, ok := pts[1]
+		if !ok || base <= 0 {
+			continue
+		}
+		for p, v := range pts {
+			out[fmt.Sprintf("%s/gmp=%d", prefix, p)] = v / (float64(p) * base)
+		}
+	}
+	return out
+}
+
+// efficiencyDeltas compares scaling-efficiency curves point by point.
+// Efficiency is a ratio of ratios, so it is robust to the two runs
+// having been taken on machines of different absolute speed; a
+// relative drop beyond threshold means the runtime's scaling itself
+// regressed, and gates.
+func efficiencyDeltas(base, cur map[string]float64, threshold float64) []delta {
+	bEff, cEff := efficiencyCurve(base), efficiencyCurve(cur)
+	names := make([]string, 0, len(bEff))
+	for name := range bEff {
+		if _, ok := cEff[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	out := make([]delta, 0, len(names))
+	for _, name := range names {
+		d := delta{Name: name + "/scaling_eff", Base: bEff[name], Cur: cEff[name], Gating: true}
+		if d.Base != 0 {
+			d.Pct = (d.Cur - d.Base) / d.Base
+		}
+		d.Regression = d.Base > 0 && d.Pct < -threshold
+		out = append(out, d)
+	}
+	return out
+}
+
 // render formats the markdown delta table plus a verdict line.
 func render(deltas []delta, threshold float64) (string, bool) {
 	var b strings.Builder
@@ -102,8 +174,9 @@ func render(deltas []delta, threshold float64) (string, bool) {
 
 func main() {
 	var (
-		threshold = flag.Float64("threshold", 0.30, "max allowed fractional drop in a gated metric")
-		gate      = flag.String("gate", "msgs_per_sec", "substring selecting the gated metrics")
+		threshold    = flag.Float64("threshold", 0.30, "max allowed fractional drop in a gated metric")
+		gate         = flag.String("gate", "msgs_per_sec", "substring selecting the gated metrics")
+		effThreshold = flag.Float64("eff-threshold", 0.10, "max allowed relative drop in scaling efficiency (gmp sweep metrics)")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -127,6 +200,7 @@ func main() {
 	if len(deltas) == 0 {
 		fatal(fmt.Errorf("no shared metrics between %s and %s", flag.Arg(0), flag.Arg(1)))
 	}
+	deltas = append(deltas, efficiencyDeltas(base.Metrics, cur.Metrics, *effThreshold)...)
 	table, failed := render(deltas, *threshold)
 	fmt.Print(table)
 	if failed {

@@ -93,3 +93,50 @@ func TestLoadBothSchemas(t *testing.T) {
 		}
 	}
 }
+
+// The efficiency gate compares eff(P) = rate(P)/(P*rate(1)) curves:
+// a run whose absolute rates all halved (slower machine) but whose
+// curve shape held must pass, while a flattened curve must fail.
+func TestEfficiencyGateComparesCurveShapeNotAbsoluteRate(t *testing.T) {
+	base := map[string]float64{
+		"e16/gmp=1/msgs_per_sec": 1000,
+		"e16/gmp=2/msgs_per_sec": 1800, // eff .90
+		"e16/gmp=4/msgs_per_sec": 3200, // eff .80
+	}
+	slower := map[string]float64{ // same shape, half the speed
+		"e16/gmp=1/msgs_per_sec": 500,
+		"e16/gmp=2/msgs_per_sec": 900,
+		"e16/gmp=4/msgs_per_sec": 1600,
+	}
+	for _, d := range efficiencyDeltas(base, slower, 0.10) {
+		if d.Regression {
+			t.Fatalf("same-shape curve flagged as regression: %s %.1f%%", d.Name, d.Pct*100)
+		}
+	}
+	flat := map[string]float64{ // scaling collapsed: eff(4) .80 -> .50
+		"e16/gmp=1/msgs_per_sec": 1000,
+		"e16/gmp=2/msgs_per_sec": 1800,
+		"e16/gmp=4/msgs_per_sec": 2000,
+	}
+	var failed []string
+	for _, d := range efficiencyDeltas(base, flat, 0.10) {
+		if d.Regression {
+			failed = append(failed, d.Name)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "e16/gmp=4/scaling_eff" {
+		t.Fatalf("expected exactly e16/gmp=4/scaling_eff to fail, got %v", failed)
+	}
+}
+
+// A sweep without a P=1 anchor cannot be normalized and produces no
+// efficiency rows (rather than dividing by a missing baseline).
+func TestEfficiencyGateNeedsAnchor(t *testing.T) {
+	m := map[string]float64{
+		"e16/gmp=2/msgs_per_sec": 1800,
+		"e16/gmp=4/msgs_per_sec": 3200,
+	}
+	if got := efficiencyDeltas(m, m, 0.10); len(got) != 0 {
+		t.Fatalf("expected no efficiency rows without gmp=1, got %v", got)
+	}
+}

@@ -10,6 +10,7 @@
 //	tycobench -seed 7              # override seeded components
 //	tycobench -telemetry dump.json # telemetry capture run: write a flight-recorder dump
 //	tycobench -openloop 1,2,5      # overload drill (E15) at these multiples of wire capacity
+//	tycobench -parallel 1,2,4,8    # GOMAXPROCS sweep for the scaling experiments (E16)
 //	tycobench -scrape 127.0.0.1:9101  # strict-validate a node's /metrics endpoint
 //	tycobench -cpuprofile cpu.pb   # pprof CPU profile of the run
 //	tycobench -memprofile mem.pb   # heap profile at exit
@@ -41,6 +42,13 @@ type benchMeta struct {
 	GoVersion  string `json:"goVersion"`
 	GOMAXPROCS int    `json:"gomaxprocs"`
 	Quick      bool   `json:"quick"`
+	// Cpus is runtime.NumCPU(): the scaling sweeps (E16) are only
+	// meaningful up to this many workers, so benchdiff surfaces a
+	// mismatch before comparing efficiency curves.
+	Cpus int `json:"cpus"`
+	// Parallel echoes the -parallel sweep used for the scaling
+	// experiments ("" = their default {1,2,4,8}).
+	Parallel string `json:"parallel,omitempty"`
 }
 
 func main() {
@@ -55,6 +63,7 @@ func main() {
 		scrape   = flag.String("scrape", "", "scrape host:port/metrics, strict-validate the OpenMetrics text, and print each family (exit 1 on parse failure)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
+		parallel = flag.String("parallel", "", "comma-separated GOMAXPROCS sweep for the scaling experiments (E16), e.g. 1,2,4,8")
 	)
 	flag.Parse()
 
@@ -92,6 +101,16 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	if *parallel != "" {
+		for _, s := range strings.Split(*parallel, ",") {
+			p, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || p < 1 {
+				fmt.Fprintf(os.Stderr, "parallel: bad GOMAXPROCS %q (want a positive integer)\n", s)
+				os.Exit(2)
+			}
+			opts.Parallel = append(opts.Parallel, p)
+		}
+	}
 	if *openloop != "" {
 		var mults []int
 		for _, s := range strings.Split(*openloop, ",") {
@@ -153,6 +172,8 @@ func main() {
 				GoVersion:  runtime.Version(),
 				GOMAXPROCS: runtime.GOMAXPROCS(0),
 				Quick:      *quick,
+				Cpus:       runtime.NumCPU(),
+				Parallel:   *parallel,
 			},
 			Metrics: metrics,
 		}

@@ -17,6 +17,7 @@ package admission
 
 import (
 	"errors"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -113,6 +114,12 @@ type Controller struct {
 	state atomic.Int32
 	sheds atomic.Uint64
 
+	// sojMin is the hot-path sojourn mirror: a CAS-min updated by
+	// every site turn on every scheduler worker, with no lock and no
+	// clock read. The node's periodic Tick folds it into the windowed
+	// CoDel verdict below. noSample flags an empty window.
+	sojMin atomic.Int64
+
 	mu       sync.Mutex
 	winStart time.Time
 	minSoj   time.Duration
@@ -123,25 +130,93 @@ type Controller struct {
 	windOcc  float64
 }
 
+// noSample marks the CAS-min mirror empty.
+const noSample = int64(math.MaxInt64)
+
 // New creates a controller in the Ok state.
 func New(cfg Config) *Controller {
-	return &Controller{cfg: cfg.withDefaults()}
+	c := &Controller{cfg: cfg.withDefaults()}
+	c.sojMin.Store(noSample)
+	return c
 }
 
 // Config returns the controller's effective (defaulted) configuration.
 func (c *Controller) Config() Config { return c.cfg }
 
 // ObserveSojourn records one queue sojourn sample (time a delivery
-// spent waiting in an incoming queue before being handled).
+// spent waiting in an incoming queue before being handled). Lock-free
+// and clock-free: under the work-stealing scheduler every worker's
+// site turns report here concurrently, so the hot path is a CAS-min
+// against the window mirror — the periodic Tick does the folding and
+// the window arithmetic.
 func (c *Controller) ObserveSojourn(d time.Duration) {
 	if c == nil {
 		return
 	}
-	c.ObserveSojournAt(d, time.Now())
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	for {
+		cur := c.sojMin.Load()
+		if v >= cur {
+			return
+		}
+		if c.sojMin.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
-// ObserveSojournAt is ObserveSojourn against an explicit clock
-// (deterministic tests).
+// Tick folds the CAS-min sojourn mirror into the CoDel window and
+// rolls the window when due. Called periodically by the node's
+// occupancy sampler (several times per Window); the hot observation
+// path never touches the clock or the lock.
+func (c *Controller) Tick(now time.Time) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	if m := c.sojMin.Load(); m != noSample {
+		d := time.Duration(m)
+		if !c.sampled || d < c.minSoj {
+			c.minSoj = d
+			c.sampled = true
+		}
+	}
+	if c.winStart.IsZero() {
+		c.winStart = now
+	}
+	if now.Sub(c.winStart) >= c.cfg.Window {
+		c.rollWindowLocked(now)
+		c.sojMin.Store(noSample)
+	}
+	c.recomputeLocked()
+	c.mu.Unlock()
+}
+
+// rollWindowLocked completes one observation window: the minimum
+// sojourn is the CoDel signal. Tripping is immediate; clearing takes
+// Decay consecutive clean windows (hysteresis, so the verdict doesn't
+// flap at the target boundary).
+func (c *Controller) rollWindowLocked(now time.Time) {
+	if c.sampled && c.minSoj > c.cfg.Target {
+		c.sojBad = true
+		c.clean = 0
+	} else if c.sojBad {
+		c.clean++
+		if c.clean >= c.cfg.Decay {
+			c.sojBad = false
+		}
+	}
+	c.winStart = now
+	c.sampled = false
+	c.minSoj = 0
+}
+
+// ObserveSojournAt is a locked, explicit-clock observation path kept
+// for deterministic tests: it both records the sample and advances the
+// window against the supplied clock.
 func (c *Controller) ObserveSojournAt(d time.Duration, now time.Time) {
 	if c == nil {
 		return
@@ -155,22 +230,7 @@ func (c *Controller) ObserveSojournAt(d time.Duration, now time.Time) {
 		c.sampled = true
 	}
 	if now.Sub(c.winStart) >= c.cfg.Window {
-		// Window complete: the minimum sojourn is the CoDel signal.
-		// Tripping is immediate; clearing takes Decay consecutive
-		// clean windows (hysteresis, so the verdict doesn't flap at
-		// the target boundary).
-		if c.sampled && c.minSoj > c.cfg.Target {
-			c.sojBad = true
-			c.clean = 0
-		} else if c.sojBad {
-			c.clean++
-			if c.clean >= c.cfg.Decay {
-				c.sojBad = false
-			}
-		}
-		c.winStart = now
-		c.sampled = false
-		c.minSoj = 0
+		c.rollWindowLocked(now)
 	}
 	c.recomputeLocked()
 	c.mu.Unlock()

@@ -93,6 +93,9 @@ type Options struct {
 	// probes) in experiments that honor it; 0 keeps each experiment's
 	// fixed default seed so published tables stay reproducible.
 	Seed int64
+	// Parallel overrides the GOMAXPROCS sweep of the scaling
+	// experiments (E16); nil keeps the default {1, 2, 4, 8}.
+	Parallel []int
 }
 
 // seed returns the experiment's default seed unless Options overrides it.
@@ -136,6 +139,7 @@ func All() []Runner {
 		{"e13", "introspection: scrape overhead & stall-detection latency", E13},
 		{"e14", "gossip membership: detection latency, FP rate, traffic, drain", E14},
 		{"e15", "overload: open-loop overdrive, shedding, goodput plateau", E15},
+		{"e16", "work-stealing runtime: multi-core scaling sweep", E16},
 	}
 }
 

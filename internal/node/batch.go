@@ -2,6 +2,7 @@ package node
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/wire"
@@ -13,13 +14,14 @@ import (
 // of N mobility ops also costs one ack instead of N).
 type BatchConfig struct {
 	// Disable turns coalescing off: every envelope is flushed as its
-	// own frame immediately (the ablation baseline for E11).
+	// own frame immediately and synchronously (the ablation baseline
+	// for E11).
 	Disable bool
 	// MaxBytes flushes a peer's batch when it reaches this size
 	// (default 32KB).
 	MaxBytes int
 	// MaxDelay bounds how long a coalesced envelope may wait for
-	// company before a timer flushes it (default 200µs). Sites flush
+	// company before the flusher ships it (default 200µs). Sites flush
 	// explicitly before parking idle, so this deadline is a backstop
 	// for steadily-busy sites, not the idle-latency path.
 	MaxDelay time.Duration
@@ -35,65 +37,85 @@ func (c BatchConfig) withDefaults() BatchConfig {
 	return c
 }
 
-// coalescer owns one BatchBuilder per destination node. Envelopes are
-// appended (streamed, via wire.Writer — no per-message buffer) and the
-// accumulated frame is flushed on the first of: size threshold, delay
-// deadline, explicit flush (site parking idle, control traffic), or
-// shutdown.
+// coalescer owns one outbound ring per destination node, each drained
+// by a dedicated flusher goroutine (DESIGN.md §15). Producers — site
+// turns running on any scheduler worker — encode their payload into a
+// pooled writer outside every lock, append the bytes to the peer's
+// ring, and return; only the flusher touches the BatchBuilder and the
+// transport, so site execution never contends with wire encoding or
+// blocks on window backpressure. The flusher ships the accumulated
+// frame on the first of: size threshold, delay deadline, explicit
+// flush request (site parking idle, control traffic), or shutdown.
+//
+// The park/flush race under multiple workers is closed structurally: a
+// flush request only kicks the flusher, and an envelope enqueued by
+// worker B while worker A's flush is in flight either joins the frame
+// being built or starts a new one whose MaxDelay timer is armed by the
+// flusher itself — a sub-deadline batch can no longer be stranded by
+// an unlucky interleaving of park and enqueue.
 type coalescer struct {
 	n   *Node
 	cfg BatchConfig
 
-	mu     sync.Mutex
-	peers  map[uint32]*peerBatch
-	timer  *time.Timer
-	armed  bool
+	mu     sync.Mutex // peer directory + closed flag
+	peers  map[uint32]*peerRing
 	closed bool
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+
+	// syncMu serializes the synchronous paths (Disable mode, and
+	// enqueues after close) that build single-frame batches in place.
+	syncMu sync.Mutex
+	syncBB *wire.BatchBuilder
+
+	// pend counts envelopes enqueued but not yet recorded by the
+	// reliable layer. The checkpoint gate includes it: a frame in a
+	// ring or in flight is invisible to Reliable.Unacked, and a
+	// checkpoint must not presume it delivered.
+	pend atomic.Int64
 }
 
-type peerBatch struct {
-	bb  *wire.BatchBuilder
-	due time.Time // deadline of the oldest unflushed envelope
-	// Frame-level expiry for the reliable layer: the latest entry
-	// deadline, valid only while every entry has one (undeadlined
-	// entries pin the whole frame to "never expires" — shedding the
-	// frame would shed them too).
-	maxExpiry   uint64 // unix micros
-	undeadlined bool
+// outMsg is one encoded envelope waiting in a peer's ring.
+type outMsg struct {
+	t        wire.FrameType
+	trace    uint64
+	deadline uint64 // absolute expiry, unix micros (0 = none)
+	flush    bool   // ship the frame as soon as this entry is aboard
+	payload  []byte
 }
 
-// frameExpiry converts the accumulated entry deadlines to the frame's
-// transport expiry and resets the tracking for the next batch.
-func (pb *peerBatch) frameExpiry() time.Time {
-	var expiry time.Time
-	if !pb.undeadlined && pb.maxExpiry != 0 {
-		expiry = time.UnixMicro(int64(pb.maxExpiry))
-	}
-	pb.maxExpiry, pb.undeadlined = 0, false
-	return expiry
-}
+// peerRing is one peer's outbound MPSC ring plus its flusher state.
+type peerRing struct {
+	c   *coalescer
+	dst uint32
 
-type flushItem struct {
-	dst    uint32
-	frame  []byte
-	expiry time.Time
+	mu   sync.Mutex
+	q    []outMsg
+	dead bool // flusher exited; late producers send synchronously
+
+	kick     chan struct{} // cap 1: "the ring is non-empty"
+	flushReq atomic.Bool   // ship everything on the next wakeup
 }
 
 func newCoalescer(n *Node, cfg BatchConfig) *coalescer {
-	return &coalescer{n: n, cfg: cfg.withDefaults(), peers: map[uint32]*peerBatch{}}
+	return &coalescer{
+		n:      n,
+		cfg:    cfg.withDefaults(),
+		peers:  map[uint32]*peerRing{},
+		stopCh: make(chan struct{}),
+		syncBB: wire.NewBatchBuilder(),
+	}
 }
 
-// enqueue appends one envelope to dst's batch; payload streams the
-// envelope payload into the shared writer. trace is the mobility
-// trace stamped on the envelope header (0 = untraced); deadline is the
-// envelope's absolute expiry in unix micros (0 = none). A send error
-// (threshold flush path) surfaces to the routing site like an
-// unbatched send would.
+// enqueue appends one envelope to dst's ring; payload streams the
+// envelope payload into a pooled writer. trace is the mobility trace
+// stamped on the envelope header (0 = untraced); deadline is the
+// envelope's absolute expiry in unix micros (0 = none).
 func (c *coalescer) enqueue(dst uint32, t wire.FrameType, trace, deadline uint64, payload func(*wire.Writer)) error {
 	return c.add(dst, t, trace, deadline, payload, false)
 }
 
-// enqueueFlush appends one envelope and flushes dst's batch at once:
+// enqueueFlush appends one envelope and requests an immediate flush:
 // latency-sensitive control traffic (termination probes) rides along
 // with whatever data is already waiting for the peer.
 func (c *coalescer) enqueueFlush(dst uint32, t wire.FrameType, payload func(*wire.Writer)) error {
@@ -101,103 +123,220 @@ func (c *coalescer) enqueueFlush(dst uint32, t wire.FrameType, payload func(*wir
 }
 
 func (c *coalescer) add(dst uint32, t wire.FrameType, trace, deadline uint64, payload func(*wire.Writer), flush bool) error {
-	c.mu.Lock()
-	pb := c.peers[dst]
-	if pb == nil {
-		pb = &peerBatch{bb: wire.NewBatchBuilder()}
-		c.peers[dst] = pb
+	if c.cfg.Disable {
+		return c.sendSync(dst, t, trace, deadline, payload)
 	}
-	w := pb.bb.BeginEntry(t, c.n.cfg.ID, dst, trace, deadline)
+	// Encode outside every lock: the payload callback walks site heap
+	// structures, and serializing that against other producers (or the
+	// flusher) would put wire encoding back on the critical path.
+	w := wire.GetWriter()
 	payload(w)
-	pb.bb.EndEntry()
-	if deadline == 0 {
-		pb.undeadlined = true
-	} else if deadline > pb.maxExpiry {
-		pb.maxExpiry = deadline
+	msg := outMsg{t: t, trace: trace, deadline: deadline, flush: flush, payload: w.Detach()}
+	wire.PutWriter(w)
+
+	p := c.ring(dst)
+	if p == nil {
+		return c.sendSync(dst, t, trace, deadline, func(w *wire.Writer) { w.Raw(msg.payload) })
 	}
-	if flush || c.cfg.Disable || c.closed || pb.bb.Len() >= c.cfg.MaxBytes {
-		c.piggybackLocked(pb, dst)
-		c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
-		expiry := pb.frameExpiry()
-		frame := pb.bb.TakeFrame()
-		c.mu.Unlock()
-		// Send outside the lock: Reliable.Send may block on window
-		// backpressure, and that must stall only the sending site.
-		return c.n.sendExpiring(dst, frame, expiry)
+	p.mu.Lock()
+	if p.dead {
+		p.mu.Unlock()
+		return c.sendSync(dst, t, trace, deadline, func(w *wire.Writer) { w.Raw(msg.payload) })
 	}
-	if pb.bb.Count() == 1 {
-		pb.due = time.Now().Add(c.cfg.MaxDelay)
-		c.armLocked(c.cfg.MaxDelay)
+	p.q = append(p.q, msg)
+	c.pend.Add(1)
+	p.mu.Unlock()
+	if flush {
+		p.flushReq.Store(true)
 	}
-	c.mu.Unlock()
+	select {
+	case p.kick <- struct{}{}:
+	default: // a kick is already pending; it covers this entry
+	}
 	return nil
 }
 
-// armLocked schedules the deadline flush. One shared timer serves all
-// peers; it re-arms itself to the earliest outstanding deadline.
-func (c *coalescer) armLocked(d time.Duration) {
-	if c.armed || c.closed {
-		return
+// ring returns dst's ring, creating it (and its flusher) on first use;
+// nil after close.
+func (c *coalescer) ring(dst uint32) *peerRing {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil
 	}
-	c.armed = true
-	if c.timer == nil {
-		c.timer = time.AfterFunc(d, c.onTimer)
-	} else {
-		c.timer.Reset(d)
+	p := c.peers[dst]
+	if p == nil {
+		p = &peerRing{c: c, dst: dst, kick: make(chan struct{}, 1)}
+		c.peers[dst] = p
+		c.wg.Add(1)
+		go p.loop()
 	}
+	return p
 }
 
-func (c *coalescer) onTimer() {
-	now := time.Now()
-	var out []flushItem
-	c.mu.Lock()
-	var next time.Duration = -1
-	for dst, pb := range c.peers {
-		if pb.bb.Count() == 0 {
+// sendSync builds and ships a single-envelope frame in place: the
+// Disable ablation, and the post-close stragglers. Single-entry
+// batches flatten to plain envelopes on the wire.
+func (c *coalescer) sendSync(dst uint32, t wire.FrameType, trace, deadline uint64, payload func(*wire.Writer)) error {
+	c.syncMu.Lock()
+	bb := c.syncBB
+	w := bb.BeginEntry(t, c.n.cfg.ID, dst, trace, deadline)
+	payload(w)
+	bb.EndEntry()
+	c.piggyback(bb, dst)
+	c.n.tel.ObserveBatch(bb.Count(), bb.Len())
+	var expiry time.Time
+	if deadline != 0 {
+		expiry = time.UnixMicro(int64(deadline))
+	}
+	frame := bb.TakeFrame()
+	c.syncMu.Unlock()
+	return c.n.sendExpiring(dst, frame, expiry)
+}
+
+// loop is a peer's flusher: it drains the ring into a BatchBuilder and
+// ships the frame on size, deadline, flush request, or shutdown.
+func (p *peerRing) loop() {
+	c := p.c
+	defer c.wg.Done()
+	bb := wire.NewBatchBuilder()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	// Frame-level expiry for the reliable layer: the latest entry
+	// deadline, valid only while every entry has one (undeadlined
+	// entries pin the whole frame to "never expires" — shedding the
+	// frame would shed them too).
+	var maxExpiry uint64
+	var undeadlined bool
+	inFrame := 0 // ring entries aboard the builder, for pend accounting
+
+	flushNow := func() {
+		if bb.Count() == 0 {
+			return
+		}
+		c.piggyback(bb, p.dst)
+		c.n.tel.ObserveBatch(bb.Count(), bb.Len())
+		var expiry time.Time
+		if !undeadlined && maxExpiry != 0 {
+			expiry = time.UnixMicro(int64(maxExpiry))
+		}
+		frame := bb.TakeFrame()
+		maxExpiry, undeadlined = 0, false
+		// Transmission failures here are loss, which the reliable layer
+		// (when on) recovers; there is no site on this path to surface
+		// an error to.
+		_ = c.n.sendExpiring(p.dst, frame, expiry)
+		// Decrement only after the send: Reliable.Send records the
+		// frame as unacked synchronously, so the checkpoint gate never
+		// sees a window where an envelope counts in neither pend nor
+		// Unacked.
+		c.pend.Add(int64(-inFrame))
+		inFrame = 0
+	}
+	take := func() (batch []outMsg) {
+		p.mu.Lock()
+		batch, p.q = p.q, nil
+		p.mu.Unlock()
+		return batch
+	}
+	for {
+		armed := false
+		var stop bool
+		select {
+		case <-p.kick:
+		case <-timer.C:
+			flushNow()
+			continue
+		case <-c.stopCh:
+			stop = true
+		}
+		if !stop {
+			// A frame was already building before this wakeup: its
+			// MaxDelay deadline stands, so note it to re-arm below.
+			armed = bb.Count() > 0
+		}
+		batch := take()
+		wantFlush := p.flushReq.Swap(false)
+		for _, m := range batch {
+			w := bb.BeginEntry(m.t, c.n.cfg.ID, p.dst, m.trace, m.deadline)
+			w.Raw(m.payload)
+			bb.EndEntry()
+			inFrame++
+			if m.deadline == 0 {
+				undeadlined = true
+			} else if m.deadline > maxExpiry {
+				maxExpiry = m.deadline
+			}
+			if m.flush {
+				wantFlush = true
+			}
+		}
+		if stop {
+			flushNow()
+			p.mu.Lock()
+			p.dead = true
+			leftover := len(p.q) // racing producers between take and here
+			p.q = nil
+			p.mu.Unlock()
+			if leftover > 0 {
+				// Shouldn't happen (producers check dead under p.mu
+				// before appending), but never strand the gate.
+				c.pend.Add(int64(-leftover))
+			}
+			if !armed && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			return
+		}
+		if wantFlush || bb.Len() >= c.cfg.MaxBytes {
+			flushNow()
+			if armed && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
 			continue
 		}
-		if !pb.due.After(now) {
-			c.piggybackLocked(pb, dst)
-			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
-			expiry := pb.frameExpiry()
-			out = append(out, flushItem{dst, pb.bb.TakeFrame(), expiry})
-		} else if wait := pb.due.Sub(now); next < 0 || wait < next {
-			next = wait
+		if bb.Count() > 0 && !armed {
+			timer.Reset(c.cfg.MaxDelay)
 		}
 	}
-	c.armed = false
-	if next >= 0 {
-		c.armLocked(next)
-	}
-	c.mu.Unlock()
-	c.sendAll(out)
 }
 
-// flushAll drains every peer's pending batch. Sites call this (via
-// Node.FlushOutbound) before parking idle, so a lone request/reply
-// never waits out MaxDelay.
+// flushAll requests every peer's pending batch be shipped now. Sites
+// call this (via Node.FlushOutbound) before parking idle, so a lone
+// request/reply never waits out MaxDelay. Asynchronous: callers that
+// need the wire quiet poll pending() (quiesceOutbound) or the
+// reliable layer's Unacked.
 func (c *coalescer) flushAll() {
-	var out []flushItem
 	c.mu.Lock()
-	for dst, pb := range c.peers {
-		if pb.bb.Count() > 0 {
-			c.piggybackLocked(pb, dst)
-			c.n.tel.ObserveBatch(pb.bb.Count(), pb.bb.Len())
-			expiry := pb.frameExpiry()
-			out = append(out, flushItem{dst, pb.bb.TakeFrame(), expiry})
-		}
+	rings := make([]*peerRing, 0, len(c.peers))
+	for _, p := range c.peers {
+		rings = append(rings, p)
 	}
 	c.mu.Unlock()
-	c.sendAll(out)
+	for _, p := range rings {
+		p.flushReq.Store(true)
+		select {
+		case p.kick <- struct{}{}:
+		default:
+		}
+	}
 }
 
-// piggybackLocked appends pending membership updates as one FGossip
-// entry on a batch about to ship: epidemic dissemination rides the
-// data path for free — no extra frame, and (with Reliability on) it
-// shares the batch's single ack. A rare race where another flush
-// drains the queue first leaves an empty gossip entry, which the
-// receiver's decoder ignores.
-func (c *coalescer) piggybackLocked(pb *peerBatch, dst uint32) {
+// piggyback appends pending membership updates as one FGossip entry on
+// a frame about to ship: epidemic dissemination rides the data path
+// for free — no extra frame, and (with Reliability on) it shares the
+// frame's single ack. A rare race where another flush drains the
+// queue first leaves an empty gossip entry, which the receiver's
+// decoder ignores.
+func (c *coalescer) piggyback(bb *wire.BatchBuilder, dst uint32) {
 	m := c.n.mem.Load()
 	if m == nil || !m.HasUpdates() {
 		return
@@ -206,41 +345,27 @@ func (c *coalescer) piggybackLocked(pb *peerBatch, dst uint32) {
 	// frame-expiry tracking: membership updates are loss-tolerant (the
 	// agent retransmits log-n times), so they must not pin an otherwise
 	// all-deadlined frame to "never expires".
-	w := pb.bb.BeginEntry(wire.FGossip, c.n.cfg.ID, dst, 0, 0)
+	w := bb.BeginEntry(wire.FGossip, c.n.cfg.ID, dst, 0, 0)
 	m.AppendPiggyback(w)
-	pb.bb.EndEntry()
+	bb.EndEntry()
 }
 
-func (c *coalescer) sendAll(out []flushItem) {
-	for _, f := range out {
-		// Transmission failures here are loss, which the reliable
-		// layer (when on) recovers; there is no site left on this
-		// path to surface an error to.
-		_ = c.n.sendExpiring(f.dst, f.frame, f.expiry)
-	}
-}
-
-// pending counts coalesced-but-unsent envelopes. The checkpoint gate
-// includes it: a frame sitting here is invisible to Reliable.Unacked,
-// and a checkpoint must not presume it delivered.
+// pending counts envelopes enqueued but not yet handed to the
+// transport (ring + builder + in-flight send).
 func (c *coalescer) pending() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	n := 0
-	for _, pb := range c.peers {
-		n += pb.bb.Count()
-	}
-	return n
+	return int(c.pend.Load())
 }
 
-// close flushes leftovers and stops the timer; later enqueues flush
-// through immediately.
+// close stops the flushers, shipping whatever they hold; later
+// enqueues flush through synchronously.
 func (c *coalescer) close() {
 	c.mu.Lock()
-	c.closed = true
-	if c.timer != nil {
-		c.timer.Stop()
+	if c.closed {
+		c.mu.Unlock()
+		return
 	}
+	c.closed = true
 	c.mu.Unlock()
-	c.flushAll()
+	close(c.stopCh)
+	c.wg.Wait()
 }

@@ -48,16 +48,10 @@ func (n *Node) Drain(ctx context.Context, pick func(name string, id uint32) (uin
 	if m := n.mem.Load(); m != nil {
 		m.AnnounceLeaving()
 	}
-	n.mu.Lock()
-	sites := make([]*site.Site, 0, len(n.sites))
-	for _, s := range n.sites {
-		sites = append(sites, s)
-	}
+	sites := n.Sites()
 	if len(sites) > 0 && n.cfg.Journals == nil {
-		n.mu.Unlock()
 		return nil, fmt.Errorf("node %d: drain needs journaled sites", n.cfg.ID)
 	}
-	n.mu.Unlock()
 	for _, s := range sites {
 		s.Stop()
 	}
@@ -75,18 +69,16 @@ func (n *Node) Drain(ctx context.Context, pick func(name string, id uint32) (uin
 		return nil, err
 	}
 	// Release: hand each journal over and forward the site id.
-	n.mu.Lock()
-	evs := make([]Evacuee, 0, len(n.byName))
-	for name, s := range n.byName {
+	tab := n.table()
+	evs := make([]Evacuee, 0, len(tab.byName))
+	for name, s := range tab.byName {
 		id := s.ID()
-		jl := n.journals[id]
+		jl := tab.journals[id]
 		if jl == nil {
-			n.mu.Unlock()
 			return nil, fmt.Errorf("node %d: site %q has no journal to evacuate", n.cfg.ID, name)
 		}
 		evs = append(evs, Evacuee{Name: name, ID: id, Journal: jl})
 	}
-	n.mu.Unlock()
 	for i := range evs {
 		target, err := pick(evs[i].Name, evs[i].ID)
 		if err != nil {
@@ -98,12 +90,16 @@ func (n *Node) Drain(ctx context.Context, pick func(name string, id uint32) (uin
 	if n.forwards == nil {
 		n.forwards = map[uint32]uint32{}
 	}
+	n.mutateTables(func(t *siteTable) {
+		for _, ev := range evs {
+			delete(t.sites, ev.ID)
+			delete(t.byName, ev.Name)
+			// The journal handle leaves this node's books: its Stop
+			// must not close a log the adopter now owns.
+			delete(t.journals, ev.ID)
+		}
+	})
 	for _, ev := range evs {
-		delete(n.sites, ev.ID)
-		delete(n.byName, ev.Name)
-		// The journal handle leaves this node's books: its Stop must
-		// not close a log the adopter now owns.
-		delete(n.journals, ev.ID)
 		n.forwards[ev.ID] = ev.Target
 	}
 	n.fwdCount.Store(int32(len(n.forwards)))
@@ -160,12 +156,9 @@ func (n *Node) AdoptSite(siteName string, jl *site.Journal, out io.Writer, opts 
 	if n.draining.Load() {
 		return nil, fmt.Errorf("node %d: draining, cannot adopt %q", n.cfg.ID, siteName)
 	}
-	n.mu.Lock()
-	if _, dup := n.byName[siteName]; dup {
-		n.mu.Unlock()
+	if _, dup := n.table().byName[siteName]; dup {
 		return nil, fmt.Errorf("node %d: site %q already running", n.cfg.ID, siteName)
 	}
-	n.mu.Unlock()
 	if n.tel != nil {
 		jl.SetOnAppend(n.tel.JournalAppend)
 	} else {
@@ -202,13 +195,19 @@ func (n *Node) AdoptSite(siteName string, jl *site.Journal, out io.Writer, opts 
 		o(&cfg)
 	}
 	s := site.New(cfg)
+	var ss *schedSite
+	if n.sched != nil {
+		ss = n.sched.add(s)
+	}
 	s.SetRestore(rec)
 	n.mu.Lock()
-	n.sites[id] = s
-	n.byName[siteName] = s
-	n.journals[id] = jl
+	n.mutateTables(func(t *siteTable) {
+		t.sites[id] = s
+		t.byName[siteName] = s
+		t.journals[id] = jl
+	})
 	n.mu.Unlock()
-	go s.Run()
+	n.startSite(s, ss)
 	if n.cfg.Supervise {
 		go n.supervise(s, siteName, out, opts...)
 	}

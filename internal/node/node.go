@@ -11,6 +11,11 @@
 // marshalling, handing decoded structures directly to the destination
 // site's incoming queue (σ-translation still applies, because each
 // site owns a private heap).
+//
+// Site execution itself is multiplexed over a per-core work-stealing
+// worker pool (sched.go, DESIGN.md §15) rather than one goroutine per
+// site, so a many-site node scales across cores; Config.Sched.Serial
+// restores the legacy dedicated run loops.
 package node
 
 import (
@@ -115,6 +120,11 @@ type Config struct {
 	// transport (expired frames stop retransmitting) and the receiver
 	// (expired deliveries shed unapplied).
 	OpDeadline time.Duration
+	// Sched tunes the work-stealing turn scheduler (DESIGN.md §15)
+	// that multiplexes the node's sites over a per-core worker pool.
+	// The zero value runs GOMAXPROCS workers; Sched.Serial restores
+	// the legacy goroutine-per-site run loops.
+	Sched SchedConfig
 }
 
 // maxRestarts bounds supervised restarts per site: a deterministically
@@ -126,16 +136,20 @@ type Node struct {
 	cfg Config
 	// tr is the effective transport: cfg.Transport, possibly wrapped in
 	// the reliable delivery layer.
-	tr   transport.Transport
-	rel  *transport.Reliable
-	coal *coalescer
-	tel  *telemetry.Telemetry  // nil when telemetry is off
-	adm  *admission.Controller // nil when admission control is off
+	tr    transport.Transport
+	rel   *transport.Reliable
+	coal  *coalescer
+	tel   *telemetry.Telemetry  // nil when telemetry is off
+	adm   *admission.Controller // nil when admission control is off
+	sched *scheduler            // nil in Sched.Serial mode
+
+	// tables is the copy-on-write site directory: every delivery loads
+	// the pointer lock-free, so the hot path never convoys on mu.
+	// Writers (spawn, recover, drain, stop) clone-and-publish under mu,
+	// which only serializes the rare mutations against each other.
+	tables atomic.Pointer[siteTable]
 
 	mu       sync.Mutex
-	sites    map[uint32]*site.Site
-	byName   map[string]*site.Site
-	journals map[uint32]*site.Journal
 	nextSite uint32
 	err      error
 
@@ -175,6 +189,53 @@ type Node struct {
 	stallSeen map[stallKey]bool
 }
 
+// siteTable is one immutable snapshot of the node's site directory.
+type siteTable struct {
+	sites    map[uint32]*site.Site
+	byName   map[string]*site.Site
+	journals map[uint32]*site.Journal
+}
+
+func (t *siteTable) clone() *siteTable {
+	next := &siteTable{
+		sites:    make(map[uint32]*site.Site, len(t.sites)),
+		byName:   make(map[string]*site.Site, len(t.byName)),
+		journals: make(map[uint32]*site.Journal, len(t.journals)),
+	}
+	for id, s := range t.sites {
+		next.sites[id] = s
+	}
+	for name, s := range t.byName {
+		next.byName[name] = s
+	}
+	for id, jl := range t.journals {
+		next.journals[id] = jl
+	}
+	return next
+}
+
+// table returns the current site-directory snapshot (never nil).
+func (n *Node) table() *siteTable { return n.tables.Load() }
+
+// mutateTables clones the current directory, applies fn, and publishes
+// the clone. Callers must hold n.mu — writers serialize on it so no
+// clone can overwrite another's publication.
+func (n *Node) mutateTables(fn func(t *siteTable)) {
+	next := n.tables.Load().clone()
+	fn(next)
+	n.tables.Store(next)
+}
+
+// startSite releases a freshly registered site for execution: onto the
+// scheduler's deques, or (Serial mode, ss == nil) its own goroutine.
+func (n *Node) startSite(s *site.Site, ss *schedSite) {
+	if n.sched != nil {
+		n.sched.start(ss)
+		return
+	}
+	go s.Run()
+}
+
 // LocalDeliveries reports same-node deliveries handled by the daemon.
 func (n *Node) LocalDeliveries() uint64 { return n.localDeliveries.Load() }
 
@@ -187,14 +248,19 @@ func New(cfg Config) *Node {
 		cfg.Out = io.Discard
 	}
 	n := &Node{
-		cfg:      cfg,
-		tr:       cfg.Transport,
-		tel:      cfg.Telemetry,
+		cfg:  cfg,
+		tr:   cfg.Transport,
+		tel:  cfg.Telemetry,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	n.tables.Store(&siteTable{
 		sites:    map[uint32]*site.Site{},
 		byName:   map[string]*site.Site{},
 		journals: map[uint32]*site.Journal{},
-		stop:     make(chan struct{}),
-		done:     make(chan struct{}),
+	})
+	if !cfg.Sched.Serial {
+		n.sched = newScheduler(cfg.Sched)
 	}
 	if cfg.Introspect != nil && n.tel == nil {
 		// Introspection implies telemetry: /metrics and the flight
@@ -281,6 +347,10 @@ func (n *Node) admissionLoop() {
 				window = n.rel.WindowOccupancy()
 			}
 			n.adm.SetOccupancy(worstInbox, window)
+			// Fold the sites' lock-free sojourn minima into the
+			// controller's window (they are sampled across sharded
+			// worker queues, so no single run loop owns the clock).
+			n.adm.Tick(time.Now())
 		case <-n.stop:
 			return
 		}
@@ -324,6 +394,16 @@ func (n *Node) refreshTelemetryGauges() {
 	n.tel.SetGauge("deliveries.local", int64(n.localDeliveries.Load()))
 	n.tel.SetGauge("deliveries.remote", int64(n.remoteDeliveries.Load()))
 	n.tel.SetGauge("deliveries.failed", int64(n.deliveryFailures.Load()))
+	if n.sched != nil {
+		st := n.sched.stats()
+		n.tel.SetGauge("sched.workers", int64(st.workers))
+		n.tel.SetGauge("sched.parked_workers", int64(st.parked))
+		n.tel.SetGauge("sched.steals_total", int64(st.steals))
+		n.tel.SetGauge("sched.spare_workers", int64(st.spares))
+		for i, q := range st.queues {
+			n.tel.SetGauge(fmt.Sprintf("sched.queue.%d", i), int64(q))
+		}
+	}
 	if n.rel != nil {
 		st := n.rel.Stats()
 		n.tel.SetGauge("rel.data_sent", int64(st.DataSent))
@@ -395,17 +475,17 @@ func (n *Node) checkpointGate() bool {
 	return n.rel == nil || n.rel.Unacked() == 0
 }
 
-// FlushOutbound drains every coalesced outbound batch immediately.
-// Sites call it (through an optional Router interface check) before
-// parking idle, so a lone message never waits out the batch deadline.
+// FlushOutbound asks every peer's flusher to ship its coalesced batch
+// now. Sites call it (through an optional Router interface check)
+// before parking idle, so a lone message never waits out the batch
+// deadline.
 func (n *Node) FlushOutbound() { n.coal.flushAll() }
 
 // journalFor returns the destination site's journal handle (nil when
-// the site is unjournaled or unknown).
+// the site is unjournaled or unknown). Lock-free: the accept hook runs
+// on the transport's receive path for every pre-ack frame.
 func (n *Node) journalFor(siteID uint32) *site.Journal {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.journals[siteID]
+	return n.table().journals[siteID]
 }
 
 // acceptFrame is the reliable layer's pre-ack hook: journal a mobility
@@ -544,7 +624,7 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 		return nil, fmt.Errorf("node %d: %w", n.cfg.ID, err)
 	}
 	n.mu.Lock()
-	if _, dup := n.byName[siteName]; dup {
+	if _, dup := n.table().byName[siteName]; dup {
 		n.mu.Unlock()
 		return nil, fmt.Errorf("node %d: site %q already running", n.cfg.ID, siteName)
 	}
@@ -586,6 +666,13 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 		o(&cfg)
 	}
 	s := site.New(cfg)
+	// Scheduler registration precedes Load: Load spawns import-resolver
+	// goroutines whose deliveries must find the wake hook installed. The
+	// handle starts held, so no turn runs before startSite below.
+	var ss *schedSite
+	if n.sched != nil {
+		ss = n.sched.add(s)
+	}
 	if err := s.Load(prog); err != nil {
 		if jl != nil {
 			_ = jl.Close()
@@ -593,13 +680,15 @@ func (n *Node) Spawn(siteName string, prog *site.Program, out io.Writer, opts ..
 		return nil, err
 	}
 	n.mu.Lock()
-	n.sites[id] = s
-	n.byName[siteName] = s
-	if jl != nil {
-		n.journals[id] = jl
-	}
+	n.mutateTables(func(t *siteTable) {
+		t.sites[id] = s
+		t.byName[siteName] = s
+		if jl != nil {
+			t.journals[id] = jl
+		}
+	})
 	n.mu.Unlock()
-	go s.Run()
+	n.startSite(s, ss)
 	if n.cfg.Supervise && jl != nil {
 		go n.supervise(s, siteName, out, opts...)
 	}
@@ -669,12 +758,10 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 	// registered: the node's accept hook appends to it concurrently, and
 	// two handles over one store would race (the site re-reads the log
 	// itself once registered, so late appends are never lost).
-	n.mu.Lock()
 	var jl *site.Journal
-	if old, ok := n.byName[siteName]; ok {
-		jl = n.journals[old.ID()]
+	if old, ok := n.table().byName[siteName]; ok {
+		jl = n.table().journals[old.ID()]
 	}
-	n.mu.Unlock()
 	if jl == nil {
 		st, err := n.cfg.Journals.Open(siteName)
 		if err != nil {
@@ -718,23 +805,29 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 		o(&cfg)
 	}
 	s := site.New(cfg)
+	var ss *schedSite
+	if n.sched != nil {
+		ss = n.sched.add(s)
+	}
 	s.SetRestore(rec)
 	n.mu.Lock()
-	// Retire the dead incarnation and make sure fresh spawns can never
-	// collide with the recovered id.
-	if old, ok := n.byName[siteName]; ok {
-		delete(n.sites, old.ID())
-	}
+	n.mutateTables(func(t *siteTable) {
+		// Retire the dead incarnation.
+		if old, ok := t.byName[siteName]; ok {
+			delete(t.sites, old.ID())
+		}
+		t.sites[id] = s
+		t.byName[siteName] = s
+		t.journals[id] = jl
+	})
+	// Make sure fresh spawns can never collide with the recovered id.
 	if low := id & (1<<siteIDBits - 1); low > n.nextSite {
 		n.nextSite = low
 	}
-	n.sites[id] = s
-	n.byName[siteName] = s
-	n.journals[id] = jl
 	n.mu.Unlock()
-	// Registered before Run: live traffic buffers in the site's queue
-	// while the journal replays underneath it.
-	go s.Run()
+	// Registered before the first turn: live traffic buffers in the
+	// site's queue while the journal replays underneath it.
+	n.startSite(s, ss)
 	return s, nil
 }
 
@@ -764,26 +857,21 @@ func WithPollInterval(k int) SiteOption {
 
 // Site returns a running site by id.
 func (n *Node) Site(id uint32) (*site.Site, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s, ok := n.sites[id]
+	s, ok := n.table().sites[id]
 	return s, ok
 }
 
 // SiteByName returns a running site by source lexeme.
 func (n *Node) SiteByName(name string) (*site.Site, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	s, ok := n.byName[name]
+	s, ok := n.table().byName[name]
 	return s, ok
 }
 
 // Sites snapshots the running sites.
 func (n *Node) Sites() []*site.Site {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make([]*site.Site, 0, len(n.sites))
-	for _, s := range n.sites {
+	t := n.table()
+	out := make([]*site.Site, 0, len(t.sites))
+	for _, s := range t.sites {
 		out = append(out, s)
 	}
 	return out
@@ -801,17 +889,18 @@ func (n *Node) Stop() {
 	if intro != nil {
 		_ = intro.Close()
 	}
-	n.mu.Lock()
-	sites := make([]*site.Site, 0, len(n.sites))
-	for _, s := range n.sites {
-		sites = append(sites, s)
-	}
-	n.mu.Unlock()
+	sites := n.Sites()
 	for _, s := range sites {
 		s.Stop()
 	}
+	// Waiting needs live workers: a stopped site's final turn (the one
+	// that observes stop and closes Done) still runs on the pool, so
+	// the scheduler shuts down only after every site has finished.
 	for _, s := range sites {
 		<-s.Done()
+	}
+	if n.sched != nil {
+		n.sched.close()
 	}
 	n.coal.close()
 	select {
@@ -820,12 +909,14 @@ func (n *Node) Stop() {
 		close(n.stop)
 	}
 	<-n.done
+	var journals []*site.Journal
 	n.mu.Lock()
-	journals := make([]*site.Journal, 0, len(n.journals))
-	for id, jl := range n.journals {
-		journals = append(journals, jl)
-		delete(n.journals, id)
-	}
+	n.mutateTables(func(t *siteTable) {
+		for id, jl := range t.journals {
+			journals = append(journals, jl)
+			delete(t.journals, id)
+		}
+	})
 	n.mu.Unlock()
 	for _, jl := range journals {
 		_ = jl.Close()
@@ -949,10 +1040,9 @@ func (n *Node) dispatchEnvelope(env *wire.Envelope) error {
 
 // toSite delivers to a local site's incoming queue.
 func (n *Node) toSite(siteID uint32, d site.Delivery) error {
-	n.mu.Lock()
-	s, ok := n.sites[siteID]
-	jl := n.journals[siteID]
-	n.mu.Unlock()
+	t := n.table()
+	s, ok := t.sites[siteID]
+	jl := t.journals[siteID]
 	if !ok {
 		if jl != nil && !d.Op.IsZero() {
 			// The site is down but its journal already holds the
@@ -982,10 +1072,9 @@ func (n *Node) toSite(siteID uint32, d site.Delivery) error {
 // ablation round-trips (messages and objects; fetch traffic is exempt,
 // matching the paper's measurement).
 func (n *Node) toLocal(siteID uint32, d site.Delivery, t wire.FrameType, payload func() []byte, reencode bool) error {
-	n.mu.Lock()
-	s, ok := n.sites[siteID]
-	jl := n.journals[siteID]
-	n.mu.Unlock()
+	tab := n.table()
+	s, ok := tab.sites[siteID]
+	jl := tab.journals[siteID]
 	var encoded []byte
 	if jl != nil && !d.Op.IsZero() && payload != nil {
 		// Same append-before-apply contract as the remote path: once
@@ -1012,5 +1101,16 @@ func (n *Node) toLocal(siteID uint32, d site.Delivery, t wire.FrameType, payload
 	}
 	d.Src = n.cfg.ID
 	n.localDeliveries.Add(1)
+	if n.sched == nil {
+		return s.Deliver(d)
+	}
+	// Local mobility runs on a pool worker. A full destination inbox
+	// turns the delivery into a blocking handoff, so cover the worker
+	// first: a parked sibling (or a spare) keeps draining deques —
+	// including the destination's — while this one waits.
+	if done, err := s.TryDeliver(d); done || err != nil {
+		return err
+	}
+	n.sched.coverBlocking()
 	return s.Deliver(d)
 }

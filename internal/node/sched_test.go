@@ -1,0 +1,112 @@
+package node_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/nameservice"
+	"repro/internal/node"
+	"repro/internal/testutil"
+	"repro/internal/transport"
+)
+
+// oneNode builds a single node on an in-memory fabric, with cfg free
+// to adjust the node configuration before construction.
+func oneNode(t *testing.T, cfg func(*node.Config)) (*node.Node, func()) {
+	t.Helper()
+	ns := nameservice.NewCentral()
+	fabric := transport.NewFabric(transport.Ideal)
+	tr, err := fabric.Attach(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := node.Config{ID: 1, NS: ns, Transport: tr}
+	if cfg != nil {
+		cfg(&c)
+	}
+	n := node.New(c)
+	return n, func() {
+		n.Stop()
+		fabric.Close()
+	}
+}
+
+// The work-stealing scheduler must run every site to completion and
+// expose its pool shape through Status().Sched: the configured worker
+// count, one queue gauge per worker, and the steal counter.
+func TestSchedulerRunsSitesAndReportsStats(t *testing.T) {
+	n, stop := oneNode(t, func(c *node.Config) {
+		c.Sched = node.SchedConfig{Workers: 4, Seed: 7}
+	})
+	defer stop()
+	const sites = 8
+	outs := make([]*testutil.Buf, sites)
+	for i := range outs {
+		outs[i] = &testutil.Buf{}
+		submit(t, n, fmt.Sprintf("s%d", i), `println("done")`, outs[i])
+	}
+	for _, out := range outs {
+		out := out
+		waitFor(t, func() bool { return strings.Contains(out.String(), "done") })
+	}
+	st := n.Status()
+	if st.Sched == nil {
+		t.Fatal("Status().Sched is nil with the scheduler enabled")
+	}
+	if st.Sched.Workers != 4 {
+		t.Fatalf("Workers = %d, want 4", st.Sched.Workers)
+	}
+	if len(st.Sched.Queues) != 4 {
+		t.Fatalf("len(Queues) = %d, want 4", len(st.Sched.Queues))
+	}
+	// All sites terminated, so the ready backlog must drain to zero.
+	waitFor(t, func() bool { return n.Status().Sched.RunQueueDepth() == 0 })
+}
+
+// Sched.Serial restores the goroutine-per-site legacy runtime: no
+// scheduler section in the status document, same observable behaviour.
+func TestSchedulerSerialFallback(t *testing.T) {
+	n, stop := oneNode(t, func(c *node.Config) {
+		c.Sched = node.SchedConfig{Serial: true}
+	})
+	defer stop()
+	out := &testutil.Buf{}
+	submit(t, n, "s", `println("done")`, out)
+	waitFor(t, func() bool { return strings.Contains(out.String(), "done") })
+	if n.Status().Sched != nil {
+		t.Fatal("Status().Sched non-nil in serial mode")
+	}
+}
+
+// Local cross-site traffic must work under the scheduler: the sender's
+// worker hands the delivery to the receiver site via its inbox and
+// wake hook, never by running the receiver inline.
+func TestSchedulerLocalPingPong(t *testing.T) {
+	n, stop := oneNode(t, func(c *node.Config) {
+		c.Sched = node.SchedConfig{Workers: 2}
+	})
+	defer stop()
+	out := &testutil.Buf{}
+	submit(t, n, "server",
+		`def Serve(p) = p?(x, r) = (r![x + 1] | Serve[p]) in export new p Serve[p]`,
+		&testutil.Buf{})
+	submit(t, n, "client", `
+import p from server in
+def Call(n) = if n == 0 then println("sum done") else let y = p![n] in Call[n - 1]
+in Call[50]`, out)
+	waitFor(t, func() bool { return strings.Contains(out.String(), "sum done") })
+}
+
+// Worker count 0 defaults to GOMAXPROCS (at least one worker).
+func TestSchedulerDefaultWorkerCount(t *testing.T) {
+	n, stop := oneNode(t, nil)
+	defer stop()
+	st := n.Status()
+	if st.Sched == nil {
+		t.Fatal("Status().Sched is nil with the default config")
+	}
+	if st.Sched.Workers < 1 {
+		t.Fatalf("Workers = %d, want >= 1", st.Sched.Workers)
+	}
+}

@@ -16,9 +16,13 @@
 //     daemon (TyCOd);
 //   - an I/O port (the site's print output).
 //
-// A site runs as one goroutine; everything that touches the machine
-// happens on that goroutine. The node feeds the incoming queue and
-// drains the outgoing queue concurrently.
+// A site is internally sequential: everything that touches the
+// machine happens on whichever goroutine currently owns the site. In
+// the legacy mode that is one dedicated goroutine (Run); under the
+// node's work-stealing scheduler (DESIGN.md §15) workers take turns
+// owning the site, one at a time, driving Turn. The node feeds the
+// incoming queue and drains the outgoing queue concurrently either
+// way.
 package site
 
 import (
@@ -247,6 +251,17 @@ type Site struct {
 	stop chan struct{}
 	done chan struct{}
 
+	// wake, when the site runs under a turn scheduler, notifies it
+	// that new input arrived (SetWake). Nil in legacy Run mode. Set
+	// once before the site starts; read by Deliver/Stop from any
+	// goroutine afterwards.
+	wake func()
+	// began flips on the first Turn (owner goroutine only): lease
+	// keep-alive launch and journal restore happen there, not in New,
+	// so recovery replay runs on whichever goroutine owns the site.
+	began      bool
+	finishOnce sync.Once
+
 	// flushOut, when the router coalesces outbound frames, forces them
 	// onto the wire; the run loop calls it before parking idle so a
 	// lone message never waits out the router's batch deadline.
@@ -450,11 +465,49 @@ func (s *Site) Deliver(d Delivery) error {
 	}
 	select {
 	case s.in <- d:
+		s.noteInput()
 		return nil
 	case <-s.done:
 		return fmt.Errorf("site %s: stopped", s.cfg.Name)
 	}
 }
+
+// TryDeliver is Deliver's non-blocking form: it reports false (with a
+// nil error) when the incoming queue is full, so a scheduler worker
+// can arrange a blocking handoff instead of stalling its whole run
+// queue on one congested site.
+func (s *Site) TryDeliver(d Delivery) (bool, error) {
+	if s.cfg.OnSojourn != nil && d.At.IsZero() {
+		d.At = time.Now()
+	}
+	select {
+	case <-s.done:
+		return false, fmt.Errorf("site %s: stopped", s.cfg.Name)
+	default:
+	}
+	select {
+	case s.in <- d:
+		s.noteInput()
+		return true, nil
+	default:
+		return false, nil
+	}
+}
+
+// noteInput runs after every successful enqueue: it clears the parked
+// mirror — a site with queued input is by definition not waiting for
+// any (the stall detector relies on that, see probe.go) — and rings
+// the scheduler wake.
+func (s *Site) noteInput() {
+	s.probePark(false)
+	if s.wake != nil {
+		s.wake()
+	}
+}
+
+// SetWake installs the turn scheduler's wake callback. It must be
+// called before the site is started (Load/Run/first Deliver).
+func (s *Site) SetWake(fn func()) { s.wake = fn }
 
 // InboxOccupancy reports the incoming queue's fill fraction (0..1) —
 // the admission controller's occupancy watermark input. Safe from any
@@ -537,6 +590,11 @@ func (s *Site) Stop() {
 	case <-s.stop:
 	default:
 		close(s.stop)
+	}
+	// Under a turn scheduler an idle site only runs when woken — ring
+	// it so the final Turn observes stop and closes done.
+	if s.wake != nil {
+		s.wake()
 	}
 }
 
@@ -685,79 +743,141 @@ func (s *Site) resolveImport(imp asm.ImportRef, constIdx int, requiredSig string
 	_ = s.Deliver(Delivery{Resolved: &ResolvedImport{ConstIdx: constIdx, Value: v, ClassSig: classSig, Err: err}})
 }
 
-// Run is the site's scheduler loop: drain the incoming queue, run a
-// slice of threads, and block when idle. It returns when Stop is
-// called or the machine faults. A panic on the site goroutine is
-// converted into a site error, so a supervisor watching Done/Err can
-// restart the site instead of losing the process.
+// TurnResult is what one scheduler turn concluded about the site.
+type TurnResult int
+
+const (
+	// TurnMore: runnable work remains — run another turn soon.
+	TurnMore TurnResult = iota
+	// TurnYield: no runnable work, but a checkpoint is gated on
+	// outbound frames still in flight. Re-poll after a short delay
+	// rather than parking until the next delivery (the ack that opens
+	// the gate arrives without waking the site).
+	TurnYield
+	// TurnIdle: no runnable work and no queued input — park until the
+	// wake callback rings.
+	TurnIdle
+	// TurnStopped: the site stopped (Stop, machine fault, or panic);
+	// done is closed and the site must never be scheduled again.
+	TurnStopped
+)
+
+// Turn executes one scheduler turn without blocking: drain a bounded
+// batch of queued deliveries, run a slice of VM threads, and report
+// whether the site has more work, wants a delayed re-poll, or can
+// park. Exactly one goroutine may call Turn at a time (the site's
+// current owner); the work-stealing scheduler's site state machine
+// enforces that. The first Turn performs the deferred start work
+// (lease keep-alive, journal restore). A panic is converted into a
+// site error so a supervisor watching Done/Err can restart the site
+// instead of losing the process.
+func (s *Site) Turn() (res TurnResult) {
+	defer func() {
+		if p := recover(); p != nil {
+			s.setErr(fmt.Errorf("site %s: panic: %v", s.cfg.Name, p))
+			s.finish()
+			res = TurnStopped
+		}
+	}()
+	if !s.began {
+		s.began = true
+		if s.cfg.LeaseRefresh > 0 {
+			go s.keepAlive()
+		}
+		if l := s.restoreLog; l != nil {
+			s.restoreLog = nil
+			if err := s.restore(l); err != nil {
+				s.setErr(fmt.Errorf("site %s: recovery: %w", s.cfg.Name, err))
+				s.finish()
+				return TurnStopped
+			}
+		}
+	}
+	select {
+	case <-s.stop:
+		s.finish()
+		return TurnStopped
+	default:
+	}
+	s.probeTick()
+	// Drain a bounded batch of queued deliveries: a burst (e.g. an
+	// unpacked FBatch) is handled in bulk rather than one delivery
+	// per VM slice, but cannot starve the VM either.
+	got := 0
+	for drained := 0; drained < s.cfg.InboxBatch; drained++ {
+		var d Delivery
+		select {
+		case d = <-s.in:
+		default:
+			drained = s.cfg.InboxBatch
+			continue
+		}
+		got++
+		s.idle.Store(false)
+		if err := s.handle(d); err != nil {
+			s.setErr(err)
+			s.finish()
+			return TurnStopped
+		}
+	}
+	s.tel.ObserveInboxDepth(got)
+	// Run a slice of threads.
+	n, err := s.m.RunSlice(s.cfg.PollInterval)
+	if err != nil {
+		s.setErr(err)
+		s.finish()
+		return TurnStopped
+	}
+	if n > 0 || len(s.in) > 0 {
+		return TurnMore
+	}
+	// Nothing runnable. "Idle" for the termination detector
+	// additionally means no thread is parked on an import and no
+	// fetch is in flight.
+	s.idle.Store(len(s.waiting) == 0 && len(s.pendingFetch) == 0)
+	// About to park: anything this site routed out must hit the
+	// wire now — replies we are waiting for may depend on it, and
+	// the checkpoint gate below counts coalesced frames as unacked.
+	if s.flushOut != nil {
+		s.flushOut()
+	}
+	if s.maybeCheckpoint() {
+		return TurnYield
+	}
+	if len(s.in) > 0 {
+		return TurnMore
+	}
+	s.probePark(true)
+	return TurnIdle
+}
+
+// finish closes done exactly once; the site is terminal afterwards.
+func (s *Site) finish() {
+	s.finishOnce.Do(func() { close(s.done) })
+}
+
+// Run is the legacy dedicated-goroutine scheduler loop (node
+// SchedConfig.Serial, direct embedders, and the site unit tests):
+// turns run back-to-back, and the goroutine itself blocks on the
+// incoming queue when a turn parks. It returns when Stop is called or
+// the machine faults.
 func (s *Site) Run() {
-	defer close(s.done)
+	defer s.finish()
 	defer func() {
 		if p := recover(); p != nil {
 			s.setErr(fmt.Errorf("site %s: panic: %v", s.cfg.Name, p))
 		}
 	}()
-	if s.cfg.LeaseRefresh > 0 {
-		go s.keepAlive()
-	}
-	if l := s.restoreLog; l != nil {
-		s.restoreLog = nil
-		if err := s.restore(l); err != nil {
-			s.setErr(fmt.Errorf("site %s: recovery: %w", s.cfg.Name, err))
-			return
-		}
-	}
 	for {
-		s.probeTick()
-		// Drain a bounded batch of queued deliveries: a burst (e.g. an
-		// unpacked FBatch) is handled in bulk rather than one delivery
-		// per VM slice, but cannot starve the VM either.
-		got := 0
-		for drained := 0; drained < s.cfg.InboxBatch; drained++ {
-			var d Delivery
-			select {
-			case d = <-s.in:
-			default:
-				drained = s.cfg.InboxBatch
-				continue
-			}
-			got++
-			if err := s.handle(d); err != nil {
-				s.setErr(err)
-				return
-			}
-		}
-		s.tel.ObserveInboxDepth(got)
-		// Run a slice of threads.
-		n, err := s.m.RunSlice(s.cfg.PollInterval)
-		if err != nil {
-			s.setErr(err)
-			return
-		}
-		if n > 0 {
-			continue
-		}
-		// Nothing runnable: block until input or stop. "Idle" for
-		// the termination detector additionally means no thread is
-		// parked on an import and no fetch is in flight.
-		s.idle.Store(len(s.waiting) == 0 && len(s.pendingFetch) == 0)
-		// About to park: anything this site routed out must hit the
-		// wire now — replies we are waiting for may depend on it, and
-		// the checkpoint gate below counts coalesced frames as unacked.
-		if s.flushOut != nil {
-			s.flushOut()
-		}
-		if s.maybeCheckpoint() {
-			// A checkpoint is due but the transport still holds
-			// unacked outbound frames. The ack that opens the gate
-			// arrives without waking this site, so wait with a short
-			// timeout and re-evaluate rather than parking until the
-			// next delivery.
+		switch s.Turn() {
+		case TurnMore:
+		case TurnYield:
 			t := time.NewTimer(time.Millisecond)
 			s.probePark(true)
 			select {
 			case d := <-s.in:
 				t.Stop()
+				s.probePark(false)
 				s.idle.Store(false)
 				if err := s.handle(d); err != nil {
 					s.setErr(err)
@@ -768,18 +888,19 @@ func (s *Site) Run() {
 				t.Stop()
 				return
 			}
-			continue
-		}
-		s.probePark(true)
-		select {
-		case d := <-s.in:
-			s.probePark(false)
-			s.idle.Store(false)
-			if err := s.handle(d); err != nil {
-				s.setErr(err)
+		case TurnIdle:
+			select {
+			case d := <-s.in:
+				s.probePark(false)
+				s.idle.Store(false)
+				if err := s.handle(d); err != nil {
+					s.setErr(err)
+					return
+				}
+			case <-s.stop:
 				return
 			}
-		case <-s.stop:
+		case TurnStopped:
 			return
 		}
 	}

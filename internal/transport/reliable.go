@@ -130,11 +130,20 @@ type Reliable struct {
 	cfg   ReliableConfig
 	recv  chan []byte
 
-	mu     sync.Mutex
-	sends  map[NodeID]*sendPeer
-	rcvs   map[NodeID]*recvPeer
-	rng    uint64 // backoff jitter; determinism is not needed here
-	closed bool
+	// The peer directory is sharded (DESIGN.md §15): dirMu guards only
+	// the two maps, and each sendPeer/recvPeer carries its own mutex.
+	// Concurrent sends from different scheduler workers to different
+	// peers share nothing but a read-lock on the directory; the old
+	// layer-wide mutex made every worker convoy on every ack scan.
+	// Lock order where both sides meet: sendPeer.mu → recvPeer.mu (the
+	// outbound piggyback path); no path locks them in reverse.
+	dirMu sync.RWMutex
+	sends map[NodeID]*sendPeer
+	rcvs  map[NodeID]*recvPeer
+
+	// rng feeds backoff jitter; only the retransmit goroutine steps it.
+	rng    uint64
+	closed atomic.Bool
 
 	stop     chan struct{}
 	loopDone chan struct{}
@@ -157,14 +166,16 @@ type Reliable struct {
 
 var _ Transport = (*Reliable)(nil)
 
-// sendPeer is the send-side state for one destination.
+// sendPeer is the send-side state for one destination, with its own
+// lock so sends to different peers never serialize on each other.
 type sendPeer struct {
+	mu        sync.Mutex
 	nextSeq   uint64
 	inflight  map[uint64]*unacked
 	parked    []*unacked // held while down (Park mode), seq order
 	down      bool
 	downSince time.Time  // when down last flipped true
-	space     *sync.Cond // signaled when window space frees or state flips
+	space     *sync.Cond // on mu; signaled when window space frees or state flips
 	// budget token-gates this peer's retransmissions (nil = unlimited).
 	budget *backoff.Budget
 }
@@ -193,6 +204,7 @@ type unacked struct {
 // still acks every ackFlushEvery frames even though the dedicated-ack
 // flush normally waits for the input stream to go momentarily idle.
 type recvPeer struct {
+	mu       sync.Mutex
 	epoch    uint32
 	floor    uint64
 	seen     map[uint64]bool
@@ -275,13 +287,25 @@ func (r *Reliable) Stats() ReliableStats {
 // receiver journals), so a sender crashing with Unacked()==0 loses no
 // sends — site checkpointing gates on this.
 func (r *Reliable) Unacked() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := 0
-	for _, p := range r.sends {
+	for _, p := range r.sendSnapshot() {
+		p.mu.Lock()
 		n += len(p.inflight) + len(p.parked)
+		p.mu.Unlock()
 	}
 	return n
+}
+
+// sendSnapshot copies the send-peer directory under the read lock so
+// scans walk peers without holding it.
+func (r *Reliable) sendSnapshot() []*sendPeer {
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
+	out := make([]*sendPeer, 0, len(r.sends))
+	for _, p := range r.sends {
+		out = append(out, p)
+	}
+	return out
 }
 
 // WindowOccupancy reports the fullest per-peer send window's fill
@@ -289,11 +313,12 @@ func (r *Reliable) Unacked() int {
 // watermark. Parked frames are excluded: a down peer's backlog is the
 // failure detector's business, not an overload signal.
 func (r *Reliable) WindowOccupancy() float64 {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	worst := 0.0
-	for _, p := range r.sends {
-		if f := float64(len(p.inflight)) / float64(r.cfg.Window); f > worst {
+	for _, p := range r.sendSnapshot() {
+		p.mu.Lock()
+		f := float64(len(p.inflight)) / float64(r.cfg.Window)
+		p.mu.Unlock()
+		if f > worst {
 			worst = f
 		}
 	}
@@ -305,26 +330,66 @@ func (r *Reliable) WindowOccupancy() float64 {
 // telemetry fabric samples it as a gauge. A steadily high debt means
 // the ack-delay grace window never finds a piggyback ride.
 func (r *Reliable) AckDebt() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := 0
-	for _, rp := range r.rcvs {
+	for _, rp := range r.recvSnapshot() {
+		rp.mu.Lock()
 		if rp.ackDirty {
 			n += rp.ackFresh
 		}
+		rp.mu.Unlock()
 	}
 	return n
 }
 
-func (r *Reliable) sendPeerLocked(dst NodeID) *sendPeer {
-	p, ok := r.sends[dst]
-	if !ok {
-		p = &sendPeer{inflight: map[uint64]*unacked{}}
-		p.space = sync.NewCond(&r.mu)
-		p.budget = backoff.NewBudget(r.cfg.RetryBudgetRate, r.cfg.RetryBudgetBurst)
-		r.sends[dst] = p
+// recvSnapshot copies the recv-peer directory under the read lock.
+func (r *Reliable) recvSnapshot() map[NodeID]*recvPeer {
+	r.dirMu.RLock()
+	defer r.dirMu.RUnlock()
+	out := make(map[NodeID]*recvPeer, len(r.rcvs))
+	for id, rp := range r.rcvs {
+		out[id] = rp
 	}
+	return out
+}
+
+// sendPeerFor returns dst's send-side state, creating it on first use.
+// Read-locked fast path; the write lock is taken once per new peer.
+func (r *Reliable) sendPeerFor(dst NodeID) *sendPeer {
+	r.dirMu.RLock()
+	p, ok := r.sends[dst]
+	r.dirMu.RUnlock()
+	if ok {
+		return p
+	}
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	if p, ok = r.sends[dst]; ok {
+		return p
+	}
+	p = &sendPeer{inflight: map[uint64]*unacked{}}
+	p.space = sync.NewCond(&p.mu)
+	p.budget = backoff.NewBudget(r.cfg.RetryBudgetRate, r.cfg.RetryBudgetBurst)
+	r.sends[dst] = p
 	return p
+}
+
+// recvPeerFor returns src's dedup window, creating it with the given
+// initial epoch on first contact.
+func (r *Reliable) recvPeerFor(src NodeID, epoch uint32) *recvPeer {
+	r.dirMu.RLock()
+	rp, ok := r.rcvs[src]
+	r.dirMu.RUnlock()
+	if ok {
+		return rp
+	}
+	r.dirMu.Lock()
+	defer r.dirMu.Unlock()
+	if rp, ok = r.rcvs[src]; ok {
+		return rp
+	}
+	rp = &recvPeer{epoch: epoch, seen: map[uint64]bool{}}
+	r.rcvs[src] = rp
+	return rp
 }
 
 // Send transmits a frame with delivery tracking: it is retransmitted
@@ -348,23 +413,25 @@ func (r *Reliable) SendWithDeadline(dst NodeID, frame []byte, expiry time.Time) 
 		}
 		return ErrDeadlineExpired
 	}
-	r.mu.Lock()
-	p := r.sendPeerLocked(dst)
-	for !p.down && !r.closed && len(p.inflight) >= r.cfg.Window {
+	p := r.sendPeerFor(dst)
+	p.mu.Lock()
+	for !p.down && !r.closed.Load() && len(p.inflight) >= r.cfg.Window {
 		p.space.Wait()
 	}
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Load() {
+		p.mu.Unlock()
 		return errClosed
 	}
 	if p.down && !r.cfg.Park {
-		r.mu.Unlock()
+		p.mu.Unlock()
 		r.failFasts.Add(1)
 		return ErrPeerDown
 	}
 	p.nextSeq++
 	out := wire.Packet{Type: wire.FData, Src: r.Self(), Epoch: r.cfg.Epoch, Seq: p.nextSeq, Payload: frame}
-	if r.piggybackLocked(dst, &out) {
+	// Piggyback locks the recv side while the send side is held —
+	// the one place both shards meet (lock order sendPeer → recvPeer).
+	if r.piggyback(dst, &out) {
 		r.ackPiggy.Add(1)
 	}
 	pkt := out.Encode()
@@ -379,12 +446,12 @@ func (r *Reliable) SendWithDeadline(dst NodeID, frame []byte, expiry time.Time) 
 		// Park mode: hold the frame until the peer is revived; its
 		// sequence number is claimed now so re-injection keeps order.
 		p.parked = append(p.parked, u)
-		r.mu.Unlock()
+		p.mu.Unlock()
 		r.parked.Add(1)
 		return nil
 	}
-	p.inflight[p.nextSeq] = u
-	r.mu.Unlock()
+	p.inflight[u.seq] = u
+	p.mu.Unlock()
 	r.dataSent.Add(1)
 	// Transmission failures are treated as loss: the retransmitter owns
 	// recovery, and the failure detector owns giving up.
@@ -397,27 +464,30 @@ func (r *Reliable) SendWithDeadline(dst NodeID, frame []byte, expiry time.Time) 
 // the signal the failure detector exists to observe, and retransmitting
 // them to a dead peer would be self-defeating.
 func (r *Reliable) SendBestEffort(dst NodeID, frame []byte) error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Load() {
 		return errClosed
 	}
 	out := wire.Packet{Type: wire.FRaw, Src: r.Self(), Epoch: r.cfg.Epoch, Payload: frame}
-	piggy := r.piggybackLocked(dst, &out)
-	r.mu.Unlock()
-	if piggy {
+	if r.piggyback(dst, &out) {
 		r.ackPiggy.Add(1)
 	}
 	r.rawSent.Add(1)
 	return r.inner.Send(dst, out.Encode())
 }
 
-// piggybackLocked folds any ack owed to dst into an outbound packet,
+// piggyback folds any ack owed to dst into an outbound packet,
 // settling the debt: a batch of N inbound data frames answered by one
 // outbound packet costs zero dedicated ack frames.
-func (r *Reliable) piggybackLocked(dst NodeID, out *wire.Packet) bool {
+func (r *Reliable) piggyback(dst NodeID, out *wire.Packet) bool {
+	r.dirMu.RLock()
 	rp, ok := r.rcvs[dst]
-	if !ok || !rp.ackDirty {
+	r.dirMu.RUnlock()
+	if !ok {
+		return false
+	}
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	if !rp.ackDirty {
 		return false
 	}
 	out.AckEpoch = rp.epoch
@@ -456,28 +526,32 @@ func (r *Reliable) applyAck(src NodeID, ackEpoch uint32, floor uint64, sel []uin
 		r.staleDrops.Add(1)
 		return
 	}
+	r.dirMu.RLock()
+	p, ok := r.sends[src]
+	r.dirMu.RUnlock()
+	if !ok {
+		return
+	}
 	cleared := 0
-	r.mu.Lock()
-	if p, ok := r.sends[src]; ok {
-		if floor > 0 {
-			for seq := range p.inflight {
-				if seq <= floor {
-					delete(p.inflight, seq)
-					cleared++
-				}
-			}
-		}
-		for _, s := range sel {
-			if _, inflight := p.inflight[s]; inflight {
-				delete(p.inflight, s)
+	p.mu.Lock()
+	if floor > 0 {
+		for seq := range p.inflight {
+			if seq <= floor {
+				delete(p.inflight, seq)
 				cleared++
 			}
 		}
-		if cleared > 0 {
-			p.space.Broadcast()
+	}
+	for _, s := range sel {
+		if _, inflight := p.inflight[s]; inflight {
+			delete(p.inflight, s)
+			cleared++
 		}
 	}
-	r.mu.Unlock()
+	if cleared > 0 {
+		p.space.Broadcast()
+	}
+	p.mu.Unlock()
 	if cleared > 0 {
 		r.acksRecv.Add(uint64(cleared))
 	}
@@ -494,17 +568,18 @@ func (r *Reliable) flushAcks() {
 		pkt []byte
 	}
 	var out []owed
-	r.mu.Lock()
-	for src, rp := range r.rcvs {
+	for src, rp := range r.recvSnapshot() {
+		rp.mu.Lock()
 		if !rp.ackDirty {
+			rp.mu.Unlock()
 			continue
 		}
 		rp.ackDirty = false
 		rp.ackFresh = 0
 		pkt := wire.Packet{Type: wire.FAck, Src: r.Self(), Epoch: rp.epoch, AckEpoch: rp.epoch, AckFloor: rp.floor, AckSeqs: selAcksLocked(rp)}
+		rp.mu.Unlock()
 		out = append(out, owed{dst: src, pkt: pkt.Encode()})
 	}
-	r.mu.Unlock()
 	for _, a := range out {
 		r.acksSent.Add(1)
 		_ = r.inner.Send(a.dst, a.pkt)
@@ -515,10 +590,10 @@ func (r *Reliable) flushAcks() {
 // (reported through OnDrop) and subsequent Sends fail fast with
 // ErrPeerDown. The node's failure detector calls this on suspicion.
 func (r *Reliable) SetPeerDown(dst NodeID) {
-	r.mu.Lock()
-	p := r.sendPeerLocked(dst)
+	p := r.sendPeerFor(dst)
+	p.mu.Lock()
 	failed := r.markDownLocked(p)
-	r.mu.Unlock()
+	p.mu.Unlock()
 	r.reportDrops(dst, failed)
 }
 
@@ -528,8 +603,8 @@ func (r *Reliable) SetPeerDown(dst NodeID) {
 // re-injected into the in-flight window and transmitted.
 func (r *Reliable) SetPeerUp(dst NodeID) {
 	now := time.Now()
-	r.mu.Lock()
-	p := r.sendPeerLocked(dst)
+	p := r.sendPeerFor(dst)
+	p.mu.Lock()
 	p.down = false
 	parked := p.parked
 	p.parked = nil
@@ -549,7 +624,7 @@ func (r *Reliable) SetPeerUp(dst NodeID) {
 		revived = append(revived, u)
 	}
 	p.space.Broadcast()
-	r.mu.Unlock()
+	p.mu.Unlock()
 	r.reportExpired(dst, dead)
 	for _, u := range revived {
 		r.dataSent.Add(1)
@@ -559,10 +634,15 @@ func (r *Reliable) SetPeerUp(dst NodeID) {
 
 // PeerDown reports whether dst is currently declared down.
 func (r *Reliable) PeerDown(dst NodeID) bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.dirMu.RLock()
 	p, ok := r.sends[dst]
-	return ok && p.down
+	r.dirMu.RUnlock()
+	if !ok {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.down
 }
 
 // DownPeers reports every peer currently declared down, with the time
@@ -570,23 +650,32 @@ func (r *Reliable) PeerDown(dst NodeID) bool {
 // positives (a site wedged on a partitioned peer is the partition's
 // fault, not a scheduler stall) and /statusz lists the keys.
 func (r *Reliable) DownPeers() map[NodeID]time.Time {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	var out map[NodeID]time.Time
+	r.dirMu.RLock()
+	ids := make([]NodeID, 0, len(r.sends))
+	peers := make([]*sendPeer, 0, len(r.sends))
 	for id, p := range r.sends {
-		if p.down {
+		ids = append(ids, id)
+		peers = append(peers, p)
+	}
+	r.dirMu.RUnlock()
+	var out map[NodeID]time.Time
+	for i, p := range peers {
+		p.mu.Lock()
+		down, since := p.down, p.downSince
+		p.mu.Unlock()
+		if down {
 			if out == nil {
 				out = map[NodeID]time.Time{}
 			}
-			out[id] = p.downSince
+			out[ids[i]] = since
 		}
 	}
 	return out
 }
 
-// markDownLocked flips a peer down and strips its in-flight frames:
-// parked for later re-injection in Park mode, returned for OnDrop
-// reporting otherwise.
+// markDownLocked (p.mu held) flips a peer down and strips its
+// in-flight frames: parked for later re-injection in Park mode,
+// returned for OnDrop reporting otherwise.
 func (r *Reliable) markDownLocked(p *sendPeer) []*unacked {
 	if !p.down {
 		p.downSince = time.Now()
@@ -653,9 +742,19 @@ func (r *Reliable) retransmitLoop() {
 		}
 		var expiries []expiry
 		deferred := 0
-		r.mu.Lock()
-		for dst, p := range r.sends {
+		r.dirMu.RLock()
+		ids := make([]NodeID, 0, len(r.sends))
+		peers := make([]*sendPeer, 0, len(r.sends))
+		for id, p := range r.sends {
+			ids = append(ids, id)
+			peers = append(peers, p)
+		}
+		r.dirMu.RUnlock()
+		for i, p := range peers {
+			dst := ids[i]
+			p.mu.Lock()
 			if p.down {
+				p.mu.Unlock()
 				continue
 			}
 			exhausted := false
@@ -703,8 +802,8 @@ func (r *Reliable) retransmitLoop() {
 			if exhausted {
 				failures = append(failures, failure{dst: dst, failed: r.markDownLocked(p)})
 			}
+			p.mu.Unlock()
 		}
-		r.mu.Unlock()
 		if deferred > 0 {
 			r.budgetDefer.Add(uint64(deferred))
 		}
@@ -809,10 +908,11 @@ func (r *Reliable) recvLoop() {
 
 // ackDebt reports whether any peer has unflushed ack state.
 func (r *Reliable) ackDebt() bool {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for _, rp := range r.rcvs {
-		if rp.ackDirty {
+	for _, rp := range r.recvSnapshot() {
+		rp.mu.Lock()
+		dirty := rp.ackDirty
+		rp.mu.Unlock()
+		if dirty {
 			return true
 		}
 	}
@@ -836,17 +936,13 @@ func (r *Reliable) handleFrame(frame []byte) bool {
 	}
 	switch pkt.Type {
 	case wire.FData:
-		r.mu.Lock()
-		rp, okPeer := r.rcvs[pkt.Src]
-		if !okPeer {
-			rp = &recvPeer{epoch: pkt.Epoch, seen: map[uint64]bool{}}
-			r.rcvs[pkt.Src] = rp
-		}
+		rp := r.recvPeerFor(pkt.Src, pkt.Epoch)
+		rp.mu.Lock()
 		if pkt.Epoch < rp.epoch {
 			// Straggler from a dead incarnation: drop it unacked —
 			// the current incarnation must not see pre-crash ops,
 			// and there is no sender left to ack to.
-			r.mu.Unlock()
+			rp.mu.Unlock()
 			r.staleDrops.Add(1)
 			return true
 		}
@@ -860,7 +956,7 @@ func (r *Reliable) handleFrame(frame []byte) bool {
 			rp.ackFresh = 0
 		}
 		dup := pkt.Seq <= rp.floor || rp.seen[pkt.Seq]
-		r.mu.Unlock()
+		rp.mu.Unlock()
 		// Write-ahead discipline: a fresh frame is journaled
 		// (OnAccept) before any ack state covering it can exist, so
 		// acked ⇒ journaled. On error nothing is recorded — the seq
@@ -873,7 +969,7 @@ func (r *Reliable) handleFrame(frame []byte) bool {
 				return true
 			}
 		}
-		r.mu.Lock()
+		rp.mu.Lock()
 		if !dup {
 			rp.seen[pkt.Seq] = true
 			for rp.seen[rp.floor+1] {
@@ -905,7 +1001,7 @@ func (r *Reliable) handleFrame(frame []byte) bool {
 		rp.ackDirty = true
 		rp.ackFresh++
 		forceFlush := rp.ackFresh >= ackFlushEvery
-		r.mu.Unlock()
+		rp.mu.Unlock()
 		if forceFlush {
 			r.flushAcks()
 		}
@@ -936,16 +1032,16 @@ func (r *Reliable) push(frame []byte) bool {
 // Close stops the layer's goroutines and closes the delivered-frame
 // stream. The wrapped transport is closed too: the layer owns it.
 func (r *Reliable) Close() error {
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	if r.closed.Swap(true) {
 		return nil
 	}
-	r.closed = true
-	for _, p := range r.sends {
+	// Senders blocked on window space re-check closed under their
+	// peer's lock, so broadcasting under it cannot miss a waiter.
+	for _, p := range r.sendSnapshot() {
+		p.mu.Lock()
 		p.space.Broadcast()
+		p.mu.Unlock()
 	}
-	r.mu.Unlock()
 	close(r.stop)
 	err := r.inner.Close()
 	<-r.loopDone
