@@ -177,19 +177,31 @@ func (c *Controller) Tick(now time.Time) {
 		return
 	}
 	c.mu.Lock()
-	if m := c.sojMin.Load(); m != noSample {
+	if c.winStart.IsZero() {
+		c.winStart = now
+	}
+	roll := now.Sub(c.winStart) >= c.cfg.Window
+	var m int64
+	if roll {
+		// Swap, not load-then-store: a sample CASed in between a
+		// separate load and the reset would be erased, losing the
+		// first observation of the new window. The swapped value
+		// folds into the window being closed — a sample racing the
+		// roll belongs to either side, and the closing window is the
+		// one its CAS beat the reset into.
+		m = c.sojMin.Swap(noSample)
+	} else {
+		m = c.sojMin.Load()
+	}
+	if m != noSample {
 		d := time.Duration(m)
 		if !c.sampled || d < c.minSoj {
 			c.minSoj = d
 			c.sampled = true
 		}
 	}
-	if c.winStart.IsZero() {
-		c.winStart = now
-	}
-	if now.Sub(c.winStart) >= c.cfg.Window {
+	if roll {
 		c.rollWindowLocked(now)
-		c.sojMin.Store(noSample)
 	}
 	c.recomputeLocked()
 	c.mu.Unlock()

@@ -25,6 +25,13 @@ type BatchConfig struct {
 	// explicitly before parking idle, so this deadline is a backstop
 	// for steadily-busy sites, not the idle-latency path.
 	MaxDelay time.Duration
+	// MaxQueueBytes caps one peer's outbound ring by encoded payload
+	// size (default 1MB). A producer hitting the cap blocks until the
+	// flusher drains — the same natural backpressure the pre-ring
+	// design applied by blocking the sending site on reliable-window
+	// space, so a site outrunning a congested peer cannot grow the
+	// ring without bound.
+	MaxQueueBytes int
 }
 
 func (c BatchConfig) withDefaults() BatchConfig {
@@ -34,6 +41,9 @@ func (c BatchConfig) withDefaults() BatchConfig {
 	if c.MaxDelay <= 0 {
 		c.MaxDelay = 200 * time.Microsecond
 	}
+	if c.MaxQueueBytes <= 0 {
+		c.MaxQueueBytes = 1 << 20
+	}
 	return c
 }
 
@@ -42,8 +52,11 @@ func (c BatchConfig) withDefaults() BatchConfig {
 // turns running on any scheduler worker — encode their payload into a
 // pooled writer outside every lock, append the bytes to the peer's
 // ring, and return; only the flusher touches the BatchBuilder and the
-// transport, so site execution never contends with wire encoding or
-// blocks on window backpressure. The flusher ships the accumulated
+// transport, so site execution never contends with wire encoding and
+// only blocks on window backpressure indirectly, through the ring's
+// MaxQueueBytes cap — a producer outrunning a congested peer waits for
+// the flusher to drain rather than growing the ring without bound.
+// The flusher ships the accumulated
 // frame on the first of: size threshold, delay deadline, explicit
 // flush request (site parking idle, control traffic), or shutdown.
 //
@@ -89,9 +102,11 @@ type peerRing struct {
 	c   *coalescer
 	dst uint32
 
-	mu   sync.Mutex
-	q    []outMsg
-	dead bool // flusher exited; late producers send synchronously
+	mu     sync.Mutex
+	q      []outMsg
+	qBytes int        // encoded payload bytes in q, vs. MaxQueueBytes
+	space  *sync.Cond // on mu: signalled when the flusher drains q
+	dead   bool       // flusher exited; late producers send synchronously
 
 	kick     chan struct{} // cap 1: "the ring is non-empty"
 	flushReq atomic.Bool   // ship everything on the next wakeup
@@ -139,11 +154,29 @@ func (c *coalescer) add(dst uint32, t wire.FrameType, trace, deadline uint64, pa
 		return c.sendSync(dst, t, trace, deadline, func(w *wire.Writer) { w.Raw(msg.payload) })
 	}
 	p.mu.Lock()
+	if !p.dead && p.qBytes >= c.cfg.MaxQueueBytes {
+		// Ring full: the flusher is behind (blocked on window
+		// backpressure or a down peer), so block the producer — the
+		// cap turns a runaway sender back into the pre-ring blocking
+		// semantics instead of unbounded memory. The producer is
+		// usually a scheduler worker mid-turn, so cover it first: a
+		// parked sibling (or a spare) keeps the pool draining while
+		// this one waits.
+		p.mu.Unlock()
+		if c.n.sched != nil {
+			c.n.sched.coverBlocking()
+		}
+		p.mu.Lock()
+		for !p.dead && p.qBytes >= c.cfg.MaxQueueBytes {
+			p.space.Wait()
+		}
+	}
 	if p.dead {
 		p.mu.Unlock()
 		return c.sendSync(dst, t, trace, deadline, func(w *wire.Writer) { w.Raw(msg.payload) })
 	}
 	p.q = append(p.q, msg)
+	p.qBytes += len(msg.payload)
 	c.pend.Add(1)
 	p.mu.Unlock()
 	if flush {
@@ -167,6 +200,7 @@ func (c *coalescer) ring(dst uint32) *peerRing {
 	p := c.peers[dst]
 	if p == nil {
 		p = &peerRing{c: c, dst: dst, kick: make(chan struct{}, 1)}
+		p.space = sync.NewCond(&p.mu)
 		c.peers[dst] = p
 		c.wg.Add(1)
 		go p.loop()
@@ -238,6 +272,8 @@ func (p *peerRing) loop() {
 	take := func() (batch []outMsg) {
 		p.mu.Lock()
 		batch, p.q = p.q, nil
+		p.qBytes = 0
+		p.space.Broadcast() // producers blocked on the cap may proceed
 		p.mu.Unlock()
 		return batch
 	}
@@ -277,13 +313,19 @@ func (p *peerRing) loop() {
 			flushNow()
 			p.mu.Lock()
 			p.dead = true
-			leftover := len(p.q) // racing producers between take and here
+			leftover := p.q // racing producers between take and here
 			p.q = nil
+			p.qBytes = 0
+			p.space.Broadcast() // blocked producers fall to sendSync
 			p.mu.Unlock()
-			if leftover > 0 {
-				// Shouldn't happen (producers check dead under p.mu
-				// before appending), but never strand the gate.
-				c.pend.Add(int64(-leftover))
+			// Ship stragglers synchronously rather than dropping them:
+			// an entry appended between the final take and the dead
+			// store is a real envelope the caller was promised would
+			// go out, exactly like a post-close enqueue.
+			for _, m := range leftover {
+				payload := m.payload
+				_ = c.sendSync(p.dst, m.t, m.trace, m.deadline, func(w *wire.Writer) { w.Raw(payload) })
+				c.pend.Add(-1)
 			}
 			if !armed && !timer.Stop() {
 				select {

@@ -101,10 +101,13 @@ type scheduler struct {
 	closed bool
 	spares int
 
-	// parked mirrors the count of workers waiting on cond. Written
-	// under mu; read lock-free by pushers to skip the signal when
-	// everyone is busy (the seqcst pairing of depth-increment vs
-	// parked-check makes the skip safe).
+	// parked mirrors the count of workers waiting (or committed to
+	// waiting) on cond. Written under mu; read lock-free by pushers to
+	// skip the signal when everyone is busy. The skip is safe only
+	// because parkers announce here BEFORE their final work re-check
+	// (see take): seqcst orders the pusher's depth-increment/parked-load
+	// against the parker's parked-increment/depth-scan, so one side
+	// always observes the other.
 	parked atomic.Int32
 
 	nextHome   atomic.Uint32
@@ -295,15 +298,28 @@ func (w *worker) take(spare bool) *schedSite {
 				sch.mu.Unlock()
 				return nil
 			}
-			if sch.anyWork() {
-				break
-			}
 			if spare {
+				if sch.anyWork() {
+					break
+				}
 				sch.spares--
 				sch.mu.Unlock()
 				return nil
 			}
+			// Announce parking BEFORE the work re-check. push does
+			// depth.Add(1) then reads parked to decide whether to
+			// signal; with both seqcst, a pusher that read parked==0
+			// (and skipped the signal) ordered its depth increment
+			// before our anyWork scan, so we see the work and do not
+			// wait. Checking first reopens the lost-wakeup window: work
+			// arrives and parked==0 is read between our scan and our
+			// announce, and the site sits queued with every worker
+			// parked.
 			sch.parked.Add(1)
+			if sch.anyWork() {
+				sch.parked.Add(-1)
+				break
+			}
 			sch.cond.Wait()
 			sch.parked.Add(-1)
 		}
