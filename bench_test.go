@@ -18,6 +18,7 @@ import (
 	"repro/internal/asm"
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/nameservice"
 	"repro/internal/node"
 	"repro/internal/syntax"
 	"repro/internal/transport"
@@ -443,6 +444,46 @@ func BenchmarkE16Scaling(b *testing.B) {
 			b.ReportMetric(float64(2*sites*callers*perCaller)/b.Elapsed().Seconds(), "msgs/s")
 		})
 	}
+}
+
+// BenchmarkE17NameService reports the sharded name service's two hot
+// paths (EXPERIMENTS.md E17): registrations routed by consistent hash
+// onto per-member lease tables, and skewed lookups absorbed by a
+// client lease cache in front of the ring.
+func BenchmarkE17NameService(b *testing.B) {
+	ctx := context.Background()
+	members := []uint32{1, 2, 3, 4}
+	b.Run("register", func(b *testing.B) {
+		shard := nameservice.NewSharded(nameservice.ShardedConfig{Members: members})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := shard.RegisterSite(ctx, fmt.Sprintf("site-%d", i), uint32(i), 100, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	})
+	b.Run("cached-lookup", func(b *testing.B) {
+		const hot = 1024
+		shard := nameservice.NewSharded(nameservice.ShardedConfig{Members: members})
+		cache := nameservice.NewCache(shard, nameservice.CacheConfig{TTL: time.Hour})
+		for i := 0; i < hot; i++ {
+			site := fmt.Sprintf("site-%d", i)
+			if err := shard.RegisterSite(ctx, site, uint32(i), 100, 1); err != nil {
+				b.Fatal(err)
+			}
+			if err := shard.RegisterName(ctx, site, "n", uint32(i)+1, ""); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := cache.LookupName(ctx, fmt.Sprintf("site-%d", i%hot), "n"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msgs/s")
+	})
 }
 
 // BenchmarkAblationPollInterval sweeps the site scheduler's

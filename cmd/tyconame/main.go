@@ -1,9 +1,12 @@
-// Command tyconame runs the centralized Network Name Service (paper
-// section 5: "the network name service is centralized and all sites
-// know its location in advance"). DiTyCO nodes connect to it to
-// register sites and resolve export/import identifiers.
+// Command tyconame runs the Network Name Service (paper section 5:
+// "the network name service is centralized and all sites know its
+// location in advance"). DiTyCO nodes connect to it to register sites
+// and resolve export/import identifiers. With -shards > 1 the
+// namespace is partitioned by consistent hashing under a versioned
+// shard map (DESIGN.md §16) while clients keep the same address.
 //
 //	tyconame -listen :7070
+//	tyconame -listen :7070 -shards 4 -lease 5s
 package main
 
 import (
@@ -18,9 +21,28 @@ import (
 
 func main() {
 	listen := flag.String("listen", ":7070", "address to serve the name service on")
+	shards := flag.Int("shards", 1, "consistent-hash shard count (>1 partitions the namespace under a versioned shard map, DESIGN.md §16)")
+	vnodes := flag.Int("vnodes", 0, "virtual nodes per shard-ring member (0 = default)")
+	lease := flag.Duration("lease", 0, "lease TTL for registrations (0 = no leases)")
 	flag.Parse()
 
-	svc := nameservice.NewCentral()
+	var svc nameservice.Service
+	switch {
+	case *shards > 1:
+		members := make([]uint32, *shards)
+		for i := range members {
+			members[i] = uint32(i + 1)
+		}
+		svc = nameservice.NewSharded(nameservice.ShardedConfig{
+			Members:  members,
+			Vnodes:   *vnodes,
+			LeaseTTL: *lease,
+		})
+	case *lease > 0:
+		svc = nameservice.NewCentralWithLeases(*lease)
+	default:
+		svc = nameservice.NewCentral()
+	}
 	srv, err := nameservice.NewServer(svc, *listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tyconame:", err)
@@ -32,6 +54,8 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\ntyconame: shutting down")
-	fmt.Print(svc.Dump())
+	if d, ok := svc.(interface{ Dump() string }); ok {
+		fmt.Print(d.Dump())
+	}
 	srv.Close()
 }

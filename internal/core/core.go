@@ -150,6 +150,27 @@ type ClusterConfig struct {
 	// dead site's names fail fast instead of blocking importers forever.
 	// Sites refresh at LeaseTTL/3.
 	LeaseTTL time.Duration
+	// NSShards, when > 1 and NS is unset, shards the built-in name
+	// service by consistent hashing (DESIGN.md §16): the namespace is
+	// partitioned across ring members 1..NSShards under a versioned
+	// shard map, and membership convictions (Detect) evict members from
+	// the ring with their keys migrated to the survivors. LeaseTTL
+	// applies per shard.
+	NSShards int
+	// NSVnodes overrides the virtual nodes per ring member (default
+	// nameservice.DefaultVnodes; only meaningful with NSShards).
+	NSVnodes int
+	// NSCache, when non-nil, gives every node a private client lease
+	// cache in front of the shared name service: positive and negative
+	// entries under a TTL, flushed selectively (moved key ranges only)
+	// when the shard-map version bumps. Fencing a dead node hits the
+	// authority immediately; another node's cached entries for it can
+	// persist up to the cache TTL, so keep TTL at or below LeaseTTL.
+	NSCache *nameservice.CacheConfig
+	// NSBreaker, when non-nil, interposes a per-shard circuit breaker
+	// between every node and the name service, so one wedged shard
+	// fails fast without blinding lookups routed to healthy shards.
+	NSBreaker *nameservice.BreakerConfig
 	// Supervise makes every node restart its crashed sites from their
 	// journals (requires Journal).
 	Supervise bool
@@ -238,9 +259,20 @@ func NewCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	ns := cfg.NS
 	if ns == nil {
-		if cfg.LeaseTTL > 0 {
+		switch {
+		case cfg.NSShards > 1:
+			members := make([]uint32, cfg.NSShards)
+			for i := range members {
+				members[i] = uint32(i + 1)
+			}
+			ns = nameservice.NewSharded(nameservice.ShardedConfig{
+				Members:  members,
+				Vnodes:   cfg.NSVnodes,
+				LeaseTTL: cfg.LeaseTTL,
+			})
+		case cfg.LeaseTTL > 0:
 			ns = nameservice.NewCentralWithLeases(cfg.LeaseTTL)
-		} else {
+		default:
 			ns = nameservice.NewCentral()
 		}
 	}
@@ -301,9 +333,19 @@ func (c *Cluster) newNode(id uint32, epoch uint32) (*node.Node, *transport.Mem, 
 		ic := *c.cfg.Introspection
 		intro = &ic
 	}
+	// Per-node NS stack: the authority (c.ns) is shared; the breaker
+	// and the lease cache are private to the node, so one node's
+	// failures or cached entries never leak into another's view.
+	nodeNS := c.ns
+	if c.cfg.NSBreaker != nil {
+		nodeNS = nameservice.NewShardBreaker(nodeNS, *c.cfg.NSBreaker)
+	}
+	if c.cfg.NSCache != nil {
+		nodeNS = nameservice.NewCache(nodeNS, *c.cfg.NSCache)
+	}
 	n := node.New(node.Config{
 		ID:                id,
-		NS:                c.ns,
+		NS:                nodeNS,
 		Transport:         t,
 		Out:               c.cfg.Out,
 		ForceMarshalLocal: c.cfg.ForceMarshalLocal,

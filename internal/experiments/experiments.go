@@ -140,6 +140,7 @@ func All() []Runner {
 		{"e14", "gossip membership: detection latency, FP rate, traffic, drain", E14},
 		{"e15", "overload: open-loop overdrive, shedding, goodput plateau", E15},
 		{"e16", "work-stealing runtime: multi-core scaling sweep", E16},
+		{"e17", "sharded name service: million-name churn, lease caches, ring transitions", E17},
 	}
 }
 

@@ -87,6 +87,9 @@ func NewBreaker(svc Service, cfg BreakerConfig) *Breaker {
 	return &Breaker{inner: svc, cfg: cfg.withDefaults(), now: time.Now}
 }
 
+// Unwrap returns the wrapped service (introspection walks the chain).
+func (b *Breaker) Unwrap() Service { return b.inner }
+
 // State reports the current breaker state (BreakerClosed/HalfOpen/Open).
 func (b *Breaker) State() int {
 	b.mu.Lock()
@@ -268,6 +271,211 @@ func (b *Breaker) RegisterEndpoint(ctx context.Context, node uint32, kind, addr 
 	return b.inner.RegisterEndpoint(ctx, node, kind, addr)
 }
 
+// ShardBreaker is the sharded evolution of Breaker: one circuit per
+// shard owner, routed by the same key → owner mapping the sharded
+// service uses. A hot or dead shard opens only its own circuit —
+// lookups under every other key range keep flowing, where the single
+// Breaker would have opened for the whole namespace. Keys that cannot
+// be routed (no shard map yet, map fetch failed) share one fallback
+// circuit, which also makes ShardBreaker a drop-in Breaker for an
+// unsharded service.
+type ShardBreaker struct {
+	inner Service
+	src   MapSource // nil when the wrapped service carries no map
+	cfg   BreakerConfig
+
+	mu       sync.Mutex
+	breakers map[uint32]*Breaker // keyed by shard owner; 0 = fallback
+}
+
+var _ Service = (*ShardBreaker)(nil)
+
+// NewShardBreaker wraps svc in per-shard circuit breakers.
+func NewShardBreaker(svc Service, cfg BreakerConfig) *ShardBreaker {
+	b := &ShardBreaker{inner: svc, cfg: cfg.withDefaults(), breakers: map[uint32]*Breaker{}}
+	if src, ok := svc.(MapSource); ok {
+		b.src = src
+	}
+	return b
+}
+
+// Unwrap returns the wrapped service (introspection walks the chain).
+func (b *ShardBreaker) Unwrap() Service { return b.inner }
+
+// breakerFor resolves the circuit guarding key's shard. The map read
+// is cheap: sharded services answer from memory and the TCP client
+// caches the map by version.
+func (b *ShardBreaker) breakerFor(ctx context.Context, key string) *Breaker {
+	owner := uint32(0)
+	if b.src != nil {
+		if m, err := b.src.ShardMap(ctx); err == nil {
+			if o, ok := m.Owner(key); ok {
+				owner = o
+			}
+		}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	br := b.breakers[owner]
+	if br == nil {
+		br = NewBreaker(nil, b.cfg)
+		b.breakers[owner] = br
+	}
+	return br
+}
+
+// gate runs one lookup through its shard's circuit.
+func (b *ShardBreaker) gate(ctx context.Context, key string, call func() error) error {
+	br := b.breakerFor(ctx, key)
+	done, err := br.admit()
+	if err != nil {
+		return err
+	}
+	err = call()
+	done(err)
+	return err
+}
+
+// State reports the worst state across all shard circuits — the
+// single-gauge summary for telemetry (a namespace with one open shard
+// reads open there, and the per-shard detail lives in ShardStates).
+func (b *ShardBreaker) State() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	worst := BreakerClosed
+	for _, br := range b.breakers {
+		if s := br.State(); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Trips sums closed→open transitions across all shard circuits.
+func (b *ShardBreaker) Trips() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n uint64
+	for _, br := range b.breakers {
+		n += br.Trips()
+	}
+	return n
+}
+
+// FastFails sums rejected calls across all shard circuits.
+func (b *ShardBreaker) FastFails() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var n uint64
+	for _, br := range b.breakers {
+		n += br.FastFails()
+	}
+	return n
+}
+
+// ShardStates snapshots each shard circuit's state by owner.
+func (b *ShardBreaker) ShardStates() map[uint32]int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[uint32]int, len(b.breakers))
+	for owner, br := range b.breakers {
+		out[owner] = br.State()
+	}
+	return out
+}
+
+// MapVersion implements MapSource (pass-through).
+func (b *ShardBreaker) MapVersion() uint64 {
+	if b.src == nil {
+		return 0
+	}
+	return b.src.MapVersion()
+}
+
+// ShardMap implements MapSource (pass-through).
+func (b *ShardBreaker) ShardMap(ctx context.Context) (*ShardMap, error) {
+	if b.src == nil {
+		return nil, errors.New("nameservice: no shard map source")
+	}
+	return b.src.ShardMap(ctx)
+}
+
+// FenceNode implements NodeFencer when the wrapped service does.
+func (b *ShardBreaker) FenceNode(node uint32) {
+	if f, ok := b.inner.(NodeFencer); ok {
+		f.FenceNode(node)
+	}
+}
+
+// UnfenceNode implements NodeFencer when the wrapped service does.
+func (b *ShardBreaker) UnfenceNode(node uint32) {
+	if f, ok := b.inner.(NodeFencer); ok {
+		f.UnfenceNode(node)
+	}
+}
+
+// LookupSite implements Service (gated per shard).
+func (b *ShardBreaker) LookupSite(ctx context.Context, name string) (site, node uint32, err error) {
+	err = b.gate(ctx, name, func() error {
+		site, node, err = b.inner.LookupSite(ctx, name)
+		return err
+	})
+	return
+}
+
+// LookupName implements Service (gated per shard).
+func (b *ShardBreaker) LookupName(ctx context.Context, siteName, id string) (ref vm.NetRef, sig string, err error) {
+	err = b.gate(ctx, siteName, func() error {
+		ref, sig, err = b.inner.LookupName(ctx, siteName, id)
+		return err
+	})
+	return
+}
+
+// LookupClass implements Service (gated per shard).
+func (b *ShardBreaker) LookupClass(ctx context.Context, siteName, class string) (nc vm.NetClass, sig string, err error) {
+	err = b.gate(ctx, siteName, func() error {
+		nc, sig, err = b.inner.LookupClass(ctx, siteName, class)
+		return err
+	})
+	return
+}
+
+// Endpoints implements Service (gated on the fallback circuit:
+// enumeration has no shard key).
+func (b *ShardBreaker) Endpoints(ctx context.Context, kind string) (eps map[uint32]string, err error) {
+	err = b.gate(ctx, "", func() error {
+		eps, err = b.inner.Endpoints(ctx, kind)
+		return err
+	})
+	return
+}
+
+// RegisterSite implements Service (control traffic; not gated).
+func (b *ShardBreaker) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	return b.inner.RegisterSite(ctx, name, site, node, epoch)
+}
+
+// RegisterName implements Service (control traffic; not gated).
+func (b *ShardBreaker) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	return b.inner.RegisterName(ctx, siteName, id, heap, sig)
+}
+
+// RegisterClass implements Service (control traffic; not gated).
+func (b *ShardBreaker) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	return b.inner.RegisterClass(ctx, siteName, class, sig)
+}
+
+// KeepAlive implements Service (control traffic; not gated).
+func (b *ShardBreaker) KeepAlive(ctx context.Context, siteName string, epoch uint32) error {
+	return b.inner.KeepAlive(ctx, siteName, epoch)
+}
+
+// RegisterEndpoint implements Service (control traffic; not gated).
+func (b *ShardBreaker) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
+	return b.inner.RegisterEndpoint(ctx, node, kind, addr)
+}
+
 // WithAdmission wraps a Service (normally the server-side Central) so
 // that blocking lookups are rejected with admission.ErrOverloaded while
 // the controller sheds. Registrations and KeepAlive pass through: a
@@ -333,3 +541,23 @@ func (a *admitted) KeepAlive(ctx context.Context, siteName string, epoch uint32)
 func (a *admitted) RegisterEndpoint(ctx context.Context, node uint32, kind, addr string) error {
 	return a.inner.RegisterEndpoint(ctx, node, kind, addr)
 }
+
+// MapVersion implements MapSource (pass-through; 0 when the wrapped
+// service carries no map, which reads as "unsharded" on the wire).
+func (a *admitted) MapVersion() uint64 {
+	if src, ok := a.inner.(MapSource); ok {
+		return src.MapVersion()
+	}
+	return 0
+}
+
+// ShardMap implements MapSource (pass-through).
+func (a *admitted) ShardMap(ctx context.Context) (*ShardMap, error) {
+	if src, ok := a.inner.(MapSource); ok {
+		return src.ShardMap(ctx)
+	}
+	return nil, errors.New("nameservice: service has no shard map")
+}
+
+// Unwrap returns the wrapped service.
+func (a *admitted) Unwrap() Service { return a.inner }

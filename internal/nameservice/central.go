@@ -171,8 +171,20 @@ func NewCentralWithLeases(ttl time.Duration) *Central {
 	return c
 }
 
+// Clock abstracts time for deterministic lease tests — the same
+// injected-clock pattern as internal/membership. Production services
+// run on the real clock; tests advance a fake one instead of sleeping
+// out lease TTLs on the wall clock.
+type Clock interface {
+	Now() time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
 // SetClock overrides the lease clock (tests).
-func (c *Central) SetClock(now func() time.Time) { c.now = now }
+func (c *Central) SetClock(clk Clock) { c.now = clk.Now }
 
 // bump wakes all blocked lookups so they can re-check.
 func (c *Central) bump() {
@@ -381,6 +393,147 @@ func (c *Central) SiteEpoch(name string) (uint32, bool) {
 	defer c.mu.Unlock()
 	e, ok := c.sites[name]
 	return e.epoch, ok
+}
+
+// Peek verdicts for the sharded router's non-blocking fast path.
+type peekState int
+
+const (
+	peekMiss    peekState = iota // not registered: caller may block or forward
+	peekHit                      // registered and live
+	peekExpired                  // registered but lease lapsed / node fenced
+)
+
+// peekSite is LookupSite without the blocking tail: one locked check,
+// three-way verdict. The sharded service peeks the owning shard (and,
+// on miss, the previous owner — one-hop forwarding) before committing
+// a goroutine to a blocking wait.
+func (c *Central) peekSite(name string) (site, node uint32, st peekState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.sites[name]
+	if !ok {
+		return 0, 0, peekMiss
+	}
+	if c.expiredLocked(e) {
+		return 0, 0, peekExpired
+	}
+	return e.site, e.node, peekHit
+}
+
+// peekName is LookupName without the blocking tail.
+func (c *Central) peekName(siteName, id string) (ref vm.NetRef, sig string, st peekState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, okName := c.names[idKey{site: siteName, id: id}]
+	s, okSite := c.sites[siteName]
+	if okSite && c.expiredLocked(s) {
+		return vm.NetRef{}, "", peekExpired
+	}
+	if !okName || !okSite {
+		return vm.NetRef{}, "", peekMiss
+	}
+	return vm.NetRef{Heap: e.heap, Site: s.site, Node: s.node}, e.sig, peekHit
+}
+
+// peekClass is LookupClass without the blocking tail.
+func (c *Central) peekClass(siteName, class string) (nc vm.NetClass, sig string, st peekState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, okClass := c.classes[idKey{site: siteName, id: class}]
+	s, okSite := c.sites[siteName]
+	if okSite && c.expiredLocked(s) {
+		return vm.NetClass{}, "", peekExpired
+	}
+	if !okClass || !okSite {
+		return vm.NetClass{}, "", peekMiss
+	}
+	return vm.NetClass{Name: class, Site: s.site, Node: s.node}, e.sig, peekHit
+}
+
+// shardEntries is one shard's share of the namespace in transit
+// between shards during a map transition.
+type shardEntries struct {
+	sites   map[string]siteEntry
+	names   map[idKey]nameEntry
+	classes map[idKey]classEntry
+}
+
+func (e *shardEntries) empty() bool {
+	return len(e.sites) == 0 && len(e.names) == 0 && len(e.classes) == 0
+}
+
+// extract removes and returns every entry whose site name satisfies
+// pred — the donor half of a shard-map rebalance. The site name is the
+// sharding key, so a site's entry, exported identifiers, and classes
+// always travel together and the lease/epoch invariants move with them.
+func (c *Central) extract(pred func(site string) bool) shardEntries {
+	out := shardEntries{
+		sites:   map[string]siteEntry{},
+		names:   map[idKey]nameEntry{},
+		classes: map[idKey]classEntry{},
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, e := range c.sites {
+		if pred(name) {
+			out.sites[name] = e
+			delete(c.sites, name)
+		}
+	}
+	for k, e := range c.names {
+		if pred(k.site) {
+			out.names[k] = e
+			delete(c.names, k)
+		}
+	}
+	for k, e := range c.classes {
+		if pred(k.site) {
+			out.classes[k] = e
+			delete(c.classes, k)
+		}
+	}
+	return out
+}
+
+// absorb merges migrated entries into this shard — the recipient half
+// of a rebalance. A site already present at an equal-or-higher epoch
+// wins over the migrated copy (it re-registered at the new owner while
+// the batch was in transit); otherwise the migrated entry (and its
+// names and classes) lands verbatim. Blocked lookups are woken so they
+// re-check against the absorbed keys.
+func (c *Central) absorb(in shardEntries) {
+	if in.empty() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for name, e := range in.sites {
+		if cur, dup := c.sites[name]; dup && cur.epoch >= e.epoch {
+			continue
+		}
+		c.sites[name] = e
+	}
+	for k, e := range in.names {
+		if _, dup := c.names[k]; dup {
+			continue
+		}
+		c.names[k] = e
+	}
+	for k, e := range in.classes {
+		if _, dup := c.classes[k]; dup {
+			continue
+		}
+		c.classes[k] = e
+	}
+	c.bump()
+}
+
+// counts reports table sizes (per-shard key counts for introspection).
+func (c *Central) counts() (sites, names, classes int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.sites), len(c.names), len(c.classes)
 }
 
 // Dump returns a human-readable table listing (for tycosh and tests).

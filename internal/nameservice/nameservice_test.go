@@ -309,7 +309,10 @@ func (downError) Error() string { return "replica down" }
 
 var errDown = downError{}
 
-// leaseClock is a manually advanced clock for lease tests.
+// leaseClock is a manually advanced nameservice.Clock for lease tests
+// (the injected-clock pattern from internal/membership): expiry is
+// driven by Advance, never by wall-clock sleeps, so the suite stays
+// deterministic under -race on slow runners.
 type leaseClock struct {
 	mu  sync.Mutex
 	now time.Time
@@ -330,7 +333,7 @@ func (c *leaseClock) Advance(d time.Duration) {
 func TestLeaseExpiryFailsFast(t *testing.T) {
 	clk := &leaseClock{now: time.Unix(1000, 0)}
 	ns := nameservice.NewCentralWithLeases(time.Minute)
-	ns.SetClock(clk.Now)
+	ns.SetClock(clk)
 	ctx := context.Background()
 	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err != nil {
 		t.Fatal(err)
@@ -355,7 +358,7 @@ func TestLeaseExpiryFailsFast(t *testing.T) {
 func TestLeaseKeepAliveRefreshes(t *testing.T) {
 	clk := &leaseClock{now: time.Unix(1000, 0)}
 	ns := nameservice.NewCentralWithLeases(time.Minute)
-	ns.SetClock(clk.Now)
+	ns.SetClock(clk)
 	ctx := context.Background()
 	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err != nil {
 		t.Fatal(err)
@@ -383,7 +386,7 @@ func TestLeaseKeepAliveRefreshes(t *testing.T) {
 func TestLeaseSupersededByRecoveredEpoch(t *testing.T) {
 	clk := &leaseClock{now: time.Unix(1000, 0)}
 	ns := nameservice.NewCentralWithLeases(time.Minute)
-	ns.SetClock(clk.Now)
+	ns.SetClock(clk)
 	ctx := context.Background()
 	if err := ns.RegisterSite(ctx, "server", 7, 2, 1); err != nil {
 		t.Fatal(err)

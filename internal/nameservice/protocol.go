@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/admission"
@@ -36,6 +37,7 @@ const (
 	opKeepAlive
 	opRegisterEndpoint
 	opEndpoints
+	opShardMap // fetch the current shard map (version + members)
 )
 
 const maxNSFrame = 1 << 20
@@ -68,9 +70,10 @@ func readFrame(conn net.Conn) ([]byte, error) {
 	return buf, nil
 }
 
-// Server exposes a Service (normally a Central) over TCP.
+// Server exposes a Service (normally a Central or Sharded) over TCP.
 type Server struct {
 	svc Service
+	src MapSource // non-nil when svc carries a shard map
 	ln  net.Listener
 	wg  sync.WaitGroup
 
@@ -85,6 +88,9 @@ func NewServer(svc Service, addr string) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{svc: svc, ln: ln}
+	if src, ok := svc.(MapSource); ok {
+		s.src = src
+	}
 	s.wg.Add(1)
 	go s.accept()
 	return s, nil
@@ -146,6 +152,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			var w wire.Writer
 			w.Byte(byte(opReply))
 			w.U(id)
+			// Every reply carries the server's shard-map version (0 =
+			// unsharded): it is how client lease caches learn a
+			// transition happened without polling.
+			if s.src != nil {
+				w.U(s.src.MapVersion())
+			} else {
+				w.U(0)
+			}
 			if rpcErr != nil {
 				w.S(rpcErr.Error())
 			} else {
@@ -218,6 +232,15 @@ func (s *Server) serveConn(conn net.Conn) {
 				return
 			}
 			reply(nil, s.svc.RegisterClass(ctx, siteName, class, sig))
+		case opShardMap:
+			if s.src == nil {
+				reply(nil, errors.New("nameservice: service has no shard map"))
+				break
+			}
+			m, err3 := s.src.ShardMap(ctx)
+			reply(func(w *wire.Writer) {
+				w.B(EncodeShardMap(m))
+			}, err3)
 		case opLookupSite:
 			name, err2 := r.S()
 			if err2 != nil {
@@ -288,6 +311,13 @@ type Client struct {
 	pending   map[uint64]chan *wire.Reader
 	closed    bool
 	done      chan struct{} // closed by Close; unblocks the redial loop's sleep
+
+	// Shard-map tracking: every reply carries the server's map version
+	// (0 = unsharded); the full map is fetched lazily and cached until
+	// the version moves past it.
+	mapVer    atomic.Uint64
+	mapMu     sync.Mutex
+	cachedMap *ShardMap
 }
 
 // Transient call failures — safe to retry because the request either
@@ -463,6 +493,11 @@ func (c *Client) callOnce(ctx context.Context, build func(w *wire.Writer, id uin
 		if !ok {
 			return nil, errConnLost
 		}
+		ver, err := r.U()
+		if err != nil {
+			return nil, err
+		}
+		c.noteMapVersion(ver)
 		msg, err := r.S()
 		if err != nil {
 			return nil, err
@@ -477,6 +512,58 @@ func (c *Client) callOnce(ctx context.Context, build func(w *wire.Writer, id uin
 		c.mu.Unlock()
 		return nil, ctx.Err()
 	}
+}
+
+// noteMapVersion folds a reply's shard-map version into the client's
+// monotonic view.
+func (c *Client) noteMapVersion(ver uint64) {
+	for {
+		cur := c.mapVer.Load()
+		if ver <= cur || c.mapVer.CompareAndSwap(cur, ver) {
+			return
+		}
+	}
+}
+
+// MapVersion implements MapSource: the latest shard-map version
+// observed on any reply (0 until the first reply, or forever against
+// an unsharded server).
+func (c *Client) MapVersion() uint64 { return c.mapVer.Load() }
+
+// ShardMap implements MapSource: fetch the server's current map,
+// cached until the observed version moves past it — so per-lookup map
+// reads (the shard breaker's routing) stay local.
+func (c *Client) ShardMap(ctx context.Context) (*ShardMap, error) {
+	c.mapMu.Lock()
+	if m := c.cachedMap; m != nil && m.Version >= c.mapVer.Load() {
+		c.mapMu.Unlock()
+		return m, nil
+	}
+	c.mapMu.Unlock()
+	r, err := c.call(ctx, func(w *wire.Writer, id uint64) {
+		w.Byte(byte(opShardMap))
+		w.U(id)
+	})
+	if err != nil {
+		return nil, err
+	}
+	raw, err := r.B()
+	if err != nil {
+		return nil, err
+	}
+	m, err := DecodeShardMap(raw)
+	if err != nil {
+		return nil, err
+	}
+	c.noteMapVersion(m.Version)
+	c.mapMu.Lock()
+	if c.cachedMap == nil || m.Version > c.cachedMap.Version {
+		c.cachedMap = m
+	} else {
+		m = c.cachedMap
+	}
+	c.mapMu.Unlock()
+	return m, nil
 }
 
 // remoteError rehydrates typed errors that crossed the wire as

@@ -1,0 +1,583 @@
+package nameservice
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/vm"
+)
+
+// Sharded partitions the namespace across per-member lease tables by
+// consistent hashing (DESIGN.md §16). Each live member of the ring
+// owns one *Central — the existing TTL/epoch machinery, unchanged —
+// and every call routes by the site name's position on the hash
+// circle. Membership feeds the ring: when gossip convicts a node
+// (FenceNode), the member is evicted, the map version bumps, and its
+// key ranges migrate synchronously to the surviving owners under the
+// transition lock, so a rebalance can never lose or duplicate a
+// registration. Lookups additionally peek the key's previous owner on
+// a current-owner miss (one-hop forwarding): during a map transition
+// an entry is reachable wherever it last lived.
+//
+// The whole structure is location-transparent to callers — it is a
+// plain Service — which is what lets the shard map change underneath
+// running imports without an API change.
+
+// ErrNoShards is returned when the ring has no live member to route
+// to. It cannot happen in a correctly configured service (the last
+// live member is never evicted) and exists as a defensive verdict.
+var ErrNoShards = errors.New("nameservice: no live shard members")
+
+// MapSource is implemented by services that carry a shard map: the
+// sharded service itself, and the TCP client, which learns the map
+// version from every reply and fetches the full map on demand. The
+// client-side cache uses it to flush exactly the key ranges a new map
+// version moved.
+type MapSource interface {
+	// MapVersion returns the latest shard-map version observed.
+	MapVersion() uint64
+	// ShardMap returns the current shard map.
+	ShardMap(ctx context.Context) (*ShardMap, error)
+}
+
+// ShardedConfig configures a sharded name service. The zero value of
+// any field selects its default.
+type ShardedConfig struct {
+	// Members are the shard-owning node ids (default: a single member,
+	// id 1 — a degenerate ring equivalent to Central).
+	Members []uint32
+	// Vnodes is the virtual-node count per member (default DefaultVnodes).
+	Vnodes int
+	// LeaseTTL enables lease expiry on every shard (0 = no expiry,
+	// like NewCentral).
+	LeaseTTL time.Duration
+	// Clock overrides the lease clock (tests).
+	Clock Clock
+}
+
+// ShardKeyCounts is one shard's table sizes.
+type ShardKeyCounts struct {
+	Sites, Names, Classes int
+}
+
+// Total returns the shard's key count across all tables.
+func (c ShardKeyCounts) Total() int { return c.Sites + c.Names + c.Classes }
+
+// ShardedStats is an introspection snapshot of the sharded service.
+type ShardedStats struct {
+	MapVersion  uint64
+	Members     []uint32 // live ring members
+	Transitions uint64   // shard-map version bumps
+	Forwards    uint64   // lookups served by the previous owner (one-hop)
+	Migrated    uint64   // entries moved between shards by rebalances
+	ShardKeys   map[uint32]ShardKeyCounts
+}
+
+// Sharded is a consistent-hash-sharded Service.
+type Sharded struct {
+	vnodes   int
+	leaseTTL time.Duration
+	clock    Clock
+
+	mu      sync.RWMutex
+	cur     *ShardMap
+	prev    *ShardMap     // retained one transition for forwarding
+	gen     chan struct{} // closed and replaced on every map change
+	shards  map[uint32]*Central
+	members []uint32 // configured member set; ring = members − fenced
+	fenced  map[uint32]bool
+
+	epMu      sync.Mutex
+	endpoints map[endpointKey]string
+
+	transitions atomic.Uint64
+	forwards    atomic.Uint64
+	migrated    atomic.Uint64
+}
+
+var (
+	_ Service    = (*Sharded)(nil)
+	_ NodeFencer = (*Sharded)(nil)
+	_ MapSource  = (*Sharded)(nil)
+)
+
+// NewSharded builds a sharded name service.
+func NewSharded(cfg ShardedConfig) *Sharded {
+	if len(cfg.Members) == 0 {
+		cfg.Members = []uint32{1}
+	}
+	if cfg.Vnodes <= 0 {
+		cfg.Vnodes = DefaultVnodes
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	s := &Sharded{
+		vnodes:    cfg.Vnodes,
+		leaseTTL:  cfg.LeaseTTL,
+		clock:     cfg.Clock,
+		gen:       make(chan struct{}),
+		shards:    map[uint32]*Central{},
+		fenced:    map[uint32]bool{},
+		endpoints: map[endpointKey]string{},
+	}
+	s.cur = NewShardMap(1, cfg.Members, cfg.Vnodes)
+	s.members = append([]uint32(nil), s.cur.Members...)
+	for _, m := range s.cur.Members {
+		s.shards[m] = s.newShard()
+	}
+	return s
+}
+
+func (s *Sharded) newShard() *Central {
+	c := NewCentral()
+	c.leaseTTL = s.leaseTTL
+	c.now = s.clock.Now
+	// A shard created mid-life (member join) inherits the node fences
+	// already in force.
+	for node := range s.fenced {
+		c.FenceNode(node)
+	}
+	return c
+}
+
+// SetClock overrides the lease clock on the router and every shard
+// (tests). Call before concurrent use.
+func (s *Sharded) SetClock(clk Clock) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.clock = clk
+	for _, sh := range s.shards {
+		sh.SetClock(clk)
+	}
+}
+
+// MapVersion implements MapSource.
+func (s *Sharded) MapVersion() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur.Version
+}
+
+// ShardMap implements MapSource.
+func (s *Sharded) ShardMap(context.Context) (*ShardMap, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.cur, nil
+}
+
+// Stats returns an introspection snapshot.
+func (s *Sharded) Stats() ShardedStats {
+	s.mu.RLock()
+	st := ShardedStats{
+		MapVersion:  s.cur.Version,
+		Members:     append([]uint32(nil), s.cur.Members...),
+		Transitions: s.transitions.Load(),
+		Forwards:    s.forwards.Load(),
+		Migrated:    s.migrated.Load(),
+		ShardKeys:   make(map[uint32]ShardKeyCounts, len(s.shards)),
+	}
+	shards := make(map[uint32]*Central, len(s.shards))
+	for m, sh := range s.shards {
+		shards[m] = sh
+	}
+	s.mu.RUnlock()
+	for m, sh := range shards {
+		sites, names, classes := sh.counts()
+		st.ShardKeys[m] = ShardKeyCounts{Sites: sites, Names: names, Classes: classes}
+	}
+	return st
+}
+
+// SetMembers resizes the ring to the given member set (operator
+// resize, E17's join/leave phases). Key ranges whose owner changes
+// migrate synchronously before the new map is published.
+func (s *Sharded) SetMembers(members []uint32) error {
+	if len(members) == 0 {
+		return fmt.Errorf("nameservice: sharded member set must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := map[uint32]bool{}
+	ms := make([]uint32, 0, len(members))
+	for _, m := range members {
+		if !seen[m] {
+			seen[m] = true
+			ms = append(ms, m)
+		}
+	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i] < ms[j] })
+	s.members = ms
+	s.retargetLocked()
+	return nil
+}
+
+// FenceNode implements NodeFencer. Beyond fencing the node's
+// registrations in every shard (as Central does), a fenced ring
+// member is evicted from the shard map: the membership layer's
+// conviction is what feeds the ring (ISSUE: "convicted nodes are
+// evicted from the ring"). The last live member is never evicted —
+// an empty ring serves nobody, and the per-shard fences already make
+// the dead node's entries read expired.
+func (s *Sharded) FenceNode(node uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fenced[node] {
+		return
+	}
+	s.fenced[node] = true
+	for _, sh := range s.shards {
+		sh.FenceNode(node)
+	}
+	s.retargetLocked()
+}
+
+// UnfenceNode implements NodeFencer (refuted suspicion or rejoin). A
+// configured member rejoins the ring and reclaims its key ranges.
+func (s *Sharded) UnfenceNode(node uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.fenced[node] {
+		return
+	}
+	delete(s.fenced, node)
+	for _, sh := range s.shards {
+		sh.UnfenceNode(node)
+	}
+	s.retargetLocked()
+}
+
+// retargetLocked rebuilds the ring over the live (unfenced) members
+// and rebalances if ownership changed. Caller holds s.mu.
+func (s *Sharded) retargetLocked() {
+	live := make([]uint32, 0, len(s.members))
+	for _, m := range s.members {
+		if !s.fenced[m] {
+			live = append(live, m)
+		}
+	}
+	if len(live) == 0 {
+		// Keep the last map rather than publish an unroutable ring;
+		// every entry already reads expired through the node fences.
+		return
+	}
+	if sameMembers(live, s.cur.Members) {
+		return
+	}
+	s.rebalanceLocked(NewShardMap(s.cur.Version+1, live, s.vnodes))
+}
+
+func sameMembers(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebalanceLocked migrates every entry whose owner changes under next
+// and publishes it. Running under the write lock means no
+// registration can race the move (writes hold the read lock across
+// their shard write): the transition is atomic with respect to the
+// namespace — zero lost, zero duplicated registrations. Caller holds
+// s.mu.
+func (s *Sharded) rebalanceLocked(next *ShardMap) {
+	for _, m := range next.Members {
+		if s.shards[m] == nil {
+			s.shards[m] = s.newShard()
+		}
+	}
+	inbound := map[uint32]shardEntries{}
+	for owner, shard := range s.shards {
+		out := shard.extract(func(site string) bool {
+			no, ok := next.Owner(site)
+			return !ok || no != owner
+		})
+		if out.empty() {
+			continue
+		}
+		for name, e := range out.sites {
+			no, _ := next.Owner(name)
+			batchFor(inbound, no).sites[name] = e
+		}
+		for k, e := range out.names {
+			no, _ := next.Owner(k.site)
+			batchFor(inbound, no).names[k] = e
+		}
+		for k, e := range out.classes {
+			no, _ := next.Owner(k.site)
+			batchFor(inbound, no).classes[k] = e
+		}
+	}
+	var moved uint64
+	for owner, batch := range inbound {
+		moved += uint64(len(batch.sites) + len(batch.names) + len(batch.classes))
+		s.shards[owner].absorb(batch)
+	}
+	s.migrated.Add(moved)
+	s.prev = s.cur
+	s.cur = next
+	s.transitions.Add(1)
+	close(s.gen)
+	s.gen = make(chan struct{})
+}
+
+func batchFor(m map[uint32]shardEntries, owner uint32) shardEntries {
+	b, ok := m[owner]
+	if !ok {
+		b = shardEntries{
+			sites:   map[string]siteEntry{},
+			names:   map[idKey]nameEntry{},
+			classes: map[idKey]classEntry{},
+		}
+		m[owner] = b
+	}
+	return b
+}
+
+// withOwner routes a write to the key's current owner. Holding the
+// read lock across the shard write is what makes rebalances atomic:
+// a transition (write lock) cannot interleave with a half-applied
+// registration.
+func (s *Sharded) withOwner(key string, f func(*Central) error) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	owner, ok := s.cur.Owner(key)
+	if !ok {
+		return ErrNoShards
+	}
+	return f(s.shards[owner])
+}
+
+// RegisterSite implements Service (routed by site name).
+func (s *Sharded) RegisterSite(ctx context.Context, name string, site, node, epoch uint32) error {
+	return s.withOwner(name, func(c *Central) error {
+		return c.RegisterSite(ctx, name, site, node, epoch)
+	})
+}
+
+// RegisterName implements Service (routed by site name).
+func (s *Sharded) RegisterName(ctx context.Context, siteName, id string, heap uint32, sig string) error {
+	return s.withOwner(siteName, func(c *Central) error {
+		return c.RegisterName(ctx, siteName, id, heap, sig)
+	})
+}
+
+// RegisterClass implements Service (routed by site name).
+func (s *Sharded) RegisterClass(ctx context.Context, siteName, class string, sig string) error {
+	return s.withOwner(siteName, func(c *Central) error {
+		return c.RegisterClass(ctx, siteName, class, sig)
+	})
+}
+
+// KeepAlive implements Service (routed by site name).
+func (s *Sharded) KeepAlive(ctx context.Context, siteName string, epoch uint32) error {
+	return s.withOwner(siteName, func(c *Central) error {
+		return c.KeepAlive(ctx, siteName, epoch)
+	})
+}
+
+// RegisterEndpoint implements Service. Endpoints are node-level
+// metadata, a handful of entries per cluster — they stay unsharded.
+func (s *Sharded) RegisterEndpoint(_ context.Context, node uint32, kind, addr string) error {
+	if kind == "" {
+		return fmt.Errorf("nameservice: endpoint registration with empty kind")
+	}
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	s.endpoints[endpointKey{kind: kind, node: node}] = addr
+	return nil
+}
+
+// Endpoints implements Service.
+func (s *Sharded) Endpoints(_ context.Context, kind string) (map[uint32]string, error) {
+	s.epMu.Lock()
+	defer s.epMu.Unlock()
+	out := map[uint32]string{}
+	for k, addr := range s.endpoints {
+		if k.kind == kind {
+			out[k.node] = addr
+		}
+	}
+	return out, nil
+}
+
+// route resolves a key to its current shard, the previous owner's
+// shard when it differs (forwarding target), and the generation
+// channel that fires on the next map change.
+func (s *Sharded) route(key string) (shard, prevShard *Central, gen chan struct{}, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	owner, ok := s.cur.Owner(key)
+	if !ok {
+		return nil, nil, nil, ErrNoShards
+	}
+	shard = s.shards[owner]
+	if s.prev != nil {
+		if po, pok := s.prev.Owner(key); pok && po != owner {
+			prevShard = s.shards[po] // may be nil if the member is gone
+		}
+	}
+	return shard, prevShard, s.gen, nil
+}
+
+type lookupResult[T any] struct {
+	v   T
+	err error
+}
+
+// shardedLookup runs one blocking lookup against the key's owner with
+// the transition-safe protocol: peek the owner, peek the previous
+// owner on miss (one-hop forwarding), then block on the owner in a
+// goroutine that is cancelled and re-routed when a map transition
+// moves the key mid-wait — a blocked import must not hang on a shard
+// that no longer owns its name.
+func shardedLookup[T any](
+	ctx context.Context, s *Sharded, key string,
+	peek func(*Central) (T, peekState),
+	block func(context.Context, *Central) (T, error),
+	expired func() error,
+) (T, error) {
+	var zero T
+	for {
+		shard, prevShard, gen, err := s.route(key)
+		if err != nil {
+			return zero, err
+		}
+		if v, st := peek(shard); st == peekHit {
+			return v, nil
+		} else if st == peekExpired {
+			return zero, expired()
+		}
+		if prevShard != nil {
+			if v, st := peek(prevShard); st == peekHit {
+				s.forwards.Add(1)
+				return v, nil
+			} else if st == peekExpired {
+				return zero, expired()
+			}
+		}
+		bctx, cancel := context.WithCancel(ctx)
+		ch := make(chan lookupResult[T], 1)
+		go func() {
+			v, err := block(bctx, shard)
+			ch <- lookupResult[T]{v: v, err: err}
+		}()
+		select {
+		case r := <-ch:
+			cancel()
+			return r.v, r.err
+		case <-gen:
+			// The map changed under the wait. Cancel, reap, and —
+			// unless the lookup beat the cancellation with a real
+			// verdict — re-route under the new map.
+			cancel()
+			r := <-ch
+			if r.err == nil || !errors.Is(r.err, context.Canceled) || ctx.Err() != nil {
+				return r.v, r.err
+			}
+		case <-ctx.Done():
+			cancel()
+			r := <-ch
+			return r.v, r.err
+		}
+	}
+}
+
+// LookupSite implements Service.
+func (s *Sharded) LookupSite(ctx context.Context, name string) (uint32, uint32, error) {
+	type pair struct{ site, node uint32 }
+	p, err := shardedLookup(ctx, s, name,
+		func(c *Central) (pair, peekState) {
+			site, node, st := c.peekSite(name)
+			return pair{site, node}, st
+		},
+		func(ctx context.Context, c *Central) (pair, error) {
+			site, node, err := c.LookupSite(ctx, name)
+			return pair{site, node}, err
+		},
+		func() error { return fmt.Errorf("%w: site %q", ErrNameExpired, name) },
+	)
+	return p.site, p.node, err
+}
+
+// LookupName implements Service.
+func (s *Sharded) LookupName(ctx context.Context, siteName, id string) (vm.NetRef, string, error) {
+	type res struct {
+		ref vm.NetRef
+		sig string
+	}
+	r, err := shardedLookup(ctx, s, siteName,
+		func(c *Central) (res, peekState) {
+			ref, sig, st := c.peekName(siteName, id)
+			return res{ref, sig}, st
+		},
+		func(ctx context.Context, c *Central) (res, error) {
+			ref, sig, err := c.LookupName(ctx, siteName, id)
+			return res{ref, sig}, err
+		},
+		func() error { return fmt.Errorf("%w: %s.%s", ErrNameExpired, siteName, id) },
+	)
+	return r.ref, r.sig, err
+}
+
+// LookupClass implements Service.
+func (s *Sharded) LookupClass(ctx context.Context, siteName, class string) (vm.NetClass, string, error) {
+	type res struct {
+		nc  vm.NetClass
+		sig string
+	}
+	r, err := shardedLookup(ctx, s, siteName,
+		func(c *Central) (res, peekState) {
+			nc, sig, st := c.peekClass(siteName, class)
+			return res{nc, sig}, st
+		},
+		func(ctx context.Context, c *Central) (res, error) {
+			nc, sig, err := c.LookupClass(ctx, siteName, class)
+			return res{nc, sig}, err
+		},
+		func() error { return fmt.Errorf("%w: class %s.%s", ErrNameExpired, siteName, class) },
+	)
+	return r.nc, r.sig, err
+}
+
+// SiteEpoch returns the registered epoch of a site, routed to its
+// owner (parity with Central's test witness).
+func (s *Sharded) SiteEpoch(name string) (uint32, bool) {
+	s.mu.RLock()
+	owner, ok := s.cur.Owner(name)
+	sh := s.shards[owner]
+	s.mu.RUnlock()
+	if !ok || sh == nil {
+		return 0, false
+	}
+	return sh.SiteEpoch(name)
+}
+
+// Dump lists every shard's tables (tyconame -shards, tests).
+func (s *Sharded) Dump() string {
+	s.mu.RLock()
+	version := s.cur.Version
+	members := append([]uint32(nil), s.cur.Members...)
+	shards := make(map[uint32]*Central, len(s.shards))
+	for m, sh := range s.shards {
+		shards[m] = sh
+	}
+	s.mu.RUnlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "shard map v%d members %v\n", version, members)
+	for _, m := range members {
+		fmt.Fprintf(&b, "-- shard %d --\n%s", m, shards[m].Dump())
+	}
+	return b.String()
+}

@@ -1,0 +1,139 @@
+package nameservice
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestShardMapDeterministicAndBalanced(t *testing.T) {
+	members := []uint32{1, 2, 3, 4}
+	a := NewShardMap(7, members, 64)
+	b := NewShardMap(7, []uint32{4, 3, 2, 1, 2}, 64) // dup + order must not matter
+	counts := map[uint32]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("site-%d", i)
+		oa, ok := a.Owner(key)
+		if !ok {
+			t.Fatalf("no owner for %q", key)
+		}
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("owner(%q) differs between identical maps: %d vs %d", key, oa, ob)
+		}
+		counts[oa]++
+	}
+	// With 64 vnodes the ring balances within a factor of ~2 of the
+	// fair share — the bound is loose on purpose (hash variance), what
+	// it catches is a broken ring where one member owns everything.
+	fair := n / len(members)
+	for _, m := range members {
+		if counts[m] < fair/2 || counts[m] > fair*2 {
+			t.Fatalf("member %d owns %d of %d keys (fair share %d): ring unbalanced %v", m, counts[m], n, fair, counts)
+		}
+	}
+}
+
+func TestShardMapMovedOnlyAffectedRanges(t *testing.T) {
+	old := NewShardMap(1, []uint32{1, 2, 3}, 64)
+	next := NewShardMap(2, []uint32{1, 2, 3, 4}, 64)
+	moved, stayed := 0, 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("k%d", i)
+		oo, _ := old.Owner(key)
+		no, _ := next.Owner(key)
+		if Moved(old, next, key) {
+			moved++
+			if no != 4 {
+				// Consistent hashing: a join only steals ranges for the
+				// new member; no key moves between surviving members.
+				t.Fatalf("key %q moved %d→%d, not to the joining member", key, oo, no)
+			}
+		} else {
+			stayed++
+			if oo != no {
+				t.Fatalf("Moved=false but owner changed for %q", key)
+			}
+		}
+	}
+	if moved == 0 || stayed == 0 {
+		t.Fatalf("degenerate split: moved=%d stayed=%d", moved, stayed)
+	}
+	// The new member's fair share is 1/4 — allow wide variance but the
+	// move set must be a minority of the keyspace.
+	if moved > n/2 {
+		t.Fatalf("join moved %d/%d keys — not a minimal-disruption transition", moved, n)
+	}
+}
+
+func TestShardMapCodecRoundTrip(t *testing.T) {
+	m := NewShardMap(42, []uint32{5, 9, 100, 4096}, 32)
+	got, err := DecodeShardMap(EncodeShardMap(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || got.Vnodes != m.Vnodes || len(got.Members) != len(m.Members) {
+		t.Fatalf("round trip: %+v vs %+v", got, m)
+	}
+	for i := range m.Members {
+		if got.Members[i] != m.Members[i] {
+			t.Fatalf("members differ: %v vs %v", got.Members, m.Members)
+		}
+	}
+	for _, k := range []string{"a", "server", "site-123"} {
+		oa, _ := m.Owner(k)
+		ob, _ := got.Owner(k)
+		if oa != ob {
+			t.Fatalf("decoded map routes %q differently: %d vs %d", k, oa, ob)
+		}
+	}
+}
+
+func TestShardMapDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0xff},
+		EncodeShardMap(&ShardMap{Version: 1, Vnodes: 100000, Members: []uint32{1}}),           // vnodes over bound
+		EncodeShardMap(&ShardMap{Version: 1, Vnodes: 1, Members: make([]uint32, 5000)}),       // member count over bound
+		append(EncodeShardMap(NewShardMap(1, []uint32{1, 2}, 8)), 0x01),                       // trailing bytes
+		EncodeShardMap(&ShardMap{Version: 1, Vnodes: 8, Members: []uint32{2, 1}}),             // unsorted
+		EncodeShardMap(&ShardMap{Version: 1, Vnodes: 8, Members: []uint32{3, 3}}),             // duplicate
+		EncodeShardMap(&ShardMap{Version: 1, Vnodes: 0, Members: []uint32{1}}),                // zero vnodes
+		func() []byte { b := EncodeShardMap(NewShardMap(1, []uint32{7}, 8)); return b[:2] }(), // truncated
+	}
+	for i, raw := range cases {
+		if _, err := DecodeShardMap(raw); err == nil {
+			t.Errorf("case %d: garbage decoded without error", i)
+		}
+	}
+}
+
+// FuzzShardMap fuzzes the NS shard-map codec like the wire decoders
+// (ROADMAP item 3's idiom): arbitrary bytes must never panic, and
+// anything that decodes must re-encode to a map that decodes to the
+// same ring.
+func FuzzShardMap(f *testing.F) {
+	f.Add(EncodeShardMap(NewShardMap(1, []uint32{1}, 1)))
+	f.Add(EncodeShardMap(NewShardMap(9, []uint32{1, 2, 3, 4, 5}, 64)))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x02, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeShardMap(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeShardMap(EncodeShardMap(m))
+		if err != nil {
+			t.Fatalf("re-decode of valid map failed: %v", err)
+		}
+		if again.Version != m.Version || len(again.ring) != len(m.ring) {
+			t.Fatalf("unstable round trip: %+v vs %+v", again, m)
+		}
+		for i := range m.ring {
+			if m.ring[i] != again.ring[i] {
+				t.Fatalf("ring differs at %d", i)
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/admission"
+	"repro/internal/nameservice"
 	"repro/internal/telemetry"
 )
 
@@ -192,6 +193,34 @@ func (n *Node) Status() telemetry.NodeStatus {
 			ov.FetchRetries += s.FetchRetries()
 		}
 		st.Overload = ov
+	}
+	if n.cfg.NS != nil {
+		if in := nameservice.Inspect(n.cfg.NS); in.HasMap || in.HasCache || in.HasBreaker {
+			ns := &telemetry.NSStatus{
+				MapVersion:       in.MapVersion,
+				Transitions:      in.Transitions,
+				Forwards:         in.Forwards,
+				Migrated:         in.Migrated,
+				BreakerState:     in.BreakerState,
+				BreakerTrips:     in.BreakerTrips,
+				BreakerFastFails: in.BreakerFastFails,
+			}
+			if len(in.ShardKeys) > 0 {
+				ns.ShardKeys = make(map[uint32]int, len(in.ShardKeys))
+				for shard, keys := range in.ShardKeys {
+					ns.ShardKeys[shard] = keys.Total()
+				}
+			}
+			if in.HasCache {
+				ns.CacheHits = in.Cache.Hits
+				ns.CacheNegHits = in.Cache.NegHits
+				ns.CacheMisses = in.Cache.Misses
+				ns.CacheFlushed = in.Cache.Flushed
+				ns.CacheEntries = in.Cache.Entries
+				ns.CacheHitRatio = in.Cache.HitRatio()
+			}
+			st.NS = ns
+		}
 	}
 	st.Draining = n.Draining()
 	n.stallMu.Lock()

@@ -422,10 +422,35 @@ func (n *Node) refreshTelemetryGauges() {
 		n.tel.SetGauge("admission.shed_total", int64(n.adm.Sheds()))
 		n.tel.SetGauge("deadline.expired_total", int64(n.ExpiredDrops()))
 	}
-	if b, ok := n.cfg.NS.(*nameservice.Breaker); ok {
-		n.tel.SetGauge("ns.breaker_state", int64(b.State()))
-		n.tel.SetGauge("ns.breaker_trips", int64(b.Trips()))
-		n.tel.SetGauge("ns.breaker_fast_fails", int64(b.FastFails()))
+	if n.cfg.NS != nil {
+		// Inspect flattens whatever decorator chain this node's NS is
+		// built from (cache → breaker → sharded/client); absent layers
+		// simply export no gauges.
+		in := nameservice.Inspect(n.cfg.NS)
+		if in.HasBreaker {
+			n.tel.SetGauge("ns.breaker_state", int64(in.BreakerState))
+			n.tel.SetGauge("ns.breaker_trips", int64(in.BreakerTrips))
+			n.tel.SetGauge("ns.breaker_fast_fails", int64(in.BreakerFastFails))
+		}
+		if in.HasMap {
+			n.tel.SetGauge("ns.map_version", int64(in.MapVersion))
+			n.tel.SetGauge("ns.transitions", int64(in.Transitions))
+			n.tel.SetGauge("ns.forwards", int64(in.Forwards))
+			n.tel.SetGauge("ns.migrated", int64(in.Migrated))
+			for shard, keys := range in.ShardKeys {
+				n.tel.SetGauge(fmt.Sprintf("ns.shard.%d.keys", shard), int64(keys.Total()))
+			}
+		}
+		if in.HasCache {
+			n.tel.SetGauge("ns.cache_hits", int64(in.Cache.Hits))
+			n.tel.SetGauge("ns.cache_neg_hits", int64(in.Cache.NegHits))
+			n.tel.SetGauge("ns.cache_misses", int64(in.Cache.Misses))
+			n.tel.SetGauge("ns.cache_flushed", int64(in.Cache.Flushed))
+			n.tel.SetGauge("ns.cache_entries", int64(in.Cache.Entries))
+			// The registry holds integers; export the ratio in basis
+			// points (9000 = 90%).
+			n.tel.SetGauge("ns.cache_hit_bp", int64(in.Cache.HitRatio()*10000))
+		}
 	}
 	if m := n.mem.Load(); m != nil {
 		var alive, suspect, dead, left int64

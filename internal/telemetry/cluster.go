@@ -193,6 +193,9 @@ func (cv ClusterView) RenderTable() string {
 		for _, r := range v.Health.Reasons {
 			fmt.Fprintf(&b, "health: node %d: %s\n", v.Node, r)
 		}
+		if ns := v.Status.NS; ns != nil {
+			fmt.Fprintf(&b, "ns: node %d %s\n", v.Node, nsSummary(ns))
+		}
 		for _, m := range v.Status.Members {
 			if m.State == "alive" {
 				continue // only trouble earns a detail line
@@ -222,6 +225,41 @@ func shedTotal(st NodeStatus) uint64 {
 		return 0
 	}
 	return st.Overload.AdmissionSheds + st.Overload.ExpiredDrops + st.Overload.RelExpired
+}
+
+// nsSummary renders a node's name-service detail line: routing map
+// version and per-shard key counts (when the node sees the sharded
+// authority), client cache effectiveness, and the breaker verdict.
+func nsSummary(ns *NSStatus) string {
+	var parts []string
+	if ns.MapVersion > 0 {
+		parts = append(parts, fmt.Sprintf("map v%d (%d transitions, %d forwards, %d migrated)",
+			ns.MapVersion, ns.Transitions, ns.Forwards, ns.Migrated))
+	}
+	if len(ns.ShardKeys) > 0 {
+		shards := make([]uint32, 0, len(ns.ShardKeys))
+		for s := range ns.ShardKeys {
+			shards = append(shards, s)
+		}
+		sort.Slice(shards, func(i, j int) bool { return shards[i] < shards[j] })
+		kv := make([]string, 0, len(shards))
+		for _, s := range shards {
+			kv = append(kv, fmt.Sprintf("%d:%d", s, ns.ShardKeys[s]))
+		}
+		parts = append(parts, "shard keys "+strings.Join(kv, " "))
+	}
+	if ns.CacheHits+ns.CacheNegHits+ns.CacheMisses > 0 || ns.CacheEntries > 0 {
+		parts = append(parts, fmt.Sprintf("cache %.1f%% hit (%d hits, %d neg, %d misses, %d entries)",
+			ns.CacheHitRatio*100, ns.CacheHits, ns.CacheNegHits, ns.CacheMisses, ns.CacheEntries))
+	}
+	if ns.BreakerState > 0 || ns.BreakerTrips > 0 {
+		parts = append(parts, fmt.Sprintf("breaker state %d (%d trips, %d fast-fails)",
+			ns.BreakerState, ns.BreakerTrips, ns.BreakerFastFails))
+	}
+	if len(parts) == 0 {
+		return "idle"
+	}
+	return strings.Join(parts, "; ")
 }
 
 // memberSummary compresses a node's membership table into the MEMB

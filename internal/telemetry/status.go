@@ -144,6 +144,33 @@ func (s *SchedStatus) RunQueueDepth() int {
 	return n
 }
 
+// NSStatus is the name-service section of /statusz (DESIGN.md §16):
+// the node's view of the shard map, its client lease cache, and the
+// NS circuit breaker. Layers the node runs without stay at their zero
+// value and are omitted from the JSON.
+type NSStatus struct {
+	// MapVersion is the routing snapshot this node last observed; 0
+	// means the service is unsharded.
+	MapVersion  uint64 `json:"map_version,omitempty"`
+	Transitions uint64 `json:"transitions,omitempty"`
+	Forwards    uint64 `json:"forwards,omitempty"`
+	Migrated    uint64 `json:"migrated,omitempty"`
+	// ShardKeys is each shard's live key count (sites+names+classes),
+	// present only on a node hosting the sharded authority.
+	ShardKeys map[uint32]int `json:"shard_keys,omitempty"`
+
+	CacheHits     uint64  `json:"cache_hits,omitempty"`
+	CacheNegHits  uint64  `json:"cache_neg_hits,omitempty"`
+	CacheMisses   uint64  `json:"cache_misses,omitempty"`
+	CacheFlushed  uint64  `json:"cache_flushed,omitempty"`
+	CacheEntries  int     `json:"cache_entries,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+
+	BreakerState     int    `json:"breaker_state,omitempty"`
+	BreakerTrips     uint64 `json:"breaker_trips,omitempty"`
+	BreakerFastFails uint64 `json:"breaker_fast_fails,omitempty"`
+}
+
 // NodeStatus is the /statusz document: one node's full introspection
 // snapshot.
 type NodeStatus struct {
@@ -156,6 +183,7 @@ type NodeStatus struct {
 	Sites            []SiteStatus    `json:"sites"`
 	Rel              *RelStatus      `json:"rel,omitempty"`
 	Overload         *OverloadStatus `json:"overload,omitempty"`
+	NS               *NSStatus       `json:"ns,omitempty"`
 	Stalls           []StallReport   `json:"stalls,omitempty"`
 	Strikes          map[string]int  `json:"strikes,omitempty"`
 	Members          []MemberStatus  `json:"members,omitempty"`

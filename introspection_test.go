@@ -307,3 +307,89 @@ func TestStallDetectorSuppressedDuringPartition(t *testing.T) {
 	})
 	t.Logf("fetch completed after heal; no stall was ever flagged during the partition")
 }
+
+// TestShardedNSClusterIntrospection boots a cluster on the full
+// sharded name-service stack (DESIGN.md §16) — consistent-hash shards
+// as the shared authority, a per-node circuit breaker and client
+// lease cache in front — runs real import/export traffic through it,
+// and asserts the NS plane surfaces everywhere an operator looks:
+// /statusz NS section, dityco_ns_* gauges, and the tycotop table.
+func TestShardedNSClusterIntrospection(t *testing.T) {
+	cl, err := core.NewCluster(core.ClusterConfig{
+		Nodes:         3,
+		NSShards:      3,
+		NSCache:       &nameservice.CacheConfig{TTL: 2 * time.Second},
+		NSBreaker:     &nameservice.BreakerConfig{},
+		Reliability:   &transport.ReliableConfig{},
+		Introspection: &node.IntrospectConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	hubOut := &lockedWriter{}
+	if _, err := cl.Submit(0, "hub", `export new bus (def Pump(self) = self?(v) = (println("hub", v) | Pump[self]) in Pump[bus])`, hubOut); err != nil {
+		t.Fatal(err)
+	}
+	outs := make([]*lockedWriter, 2)
+	for i := range outs {
+		outs[i] = &lockedWriter{}
+		src := fmt.Sprintf(`import bus from hub in bus![%d]`, i+1)
+		if _, err := cl.Submit(1+i, fmt.Sprintf("spoke%d", i), src, outs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := cl.Wait(ctx); err != nil {
+		t.Fatalf("cluster never terminated: %v", err)
+	}
+
+	view := telemetry.ScrapeCluster(cl.IntrospectionAddrs(), 5*time.Second)
+	if len(view.Nodes) != 3 {
+		t.Fatalf("cluster view has %d nodes, want 3", len(view.Nodes))
+	}
+	var cacheTraffic uint64
+	for _, v := range view.Nodes {
+		if v.Err != "" {
+			t.Fatalf("node %d scrape failed: %s", v.Node, v.Err)
+		}
+		ns := v.Status.NS
+		if ns == nil {
+			t.Fatalf("node %d /statusz has no ns section", v.Node)
+		}
+		if ns.MapVersion == 0 {
+			t.Errorf("node %d sees map version 0, want the sharded map", v.Node)
+		}
+		if len(ns.ShardKeys) == 0 {
+			t.Errorf("node %d reports no shard key counts", v.Node)
+		}
+		cacheTraffic += ns.CacheHits + ns.CacheNegHits + ns.CacheMisses
+		if got := v.Metrics["dityco_ns_map_version"]; got == 0 {
+			t.Errorf("node %d dityco_ns_map_version = %v, want > 0", v.Node, got)
+		}
+		if _, ok := v.Metrics["dityco_ns_cache_hit_bp"]; !ok {
+			t.Errorf("node %d /metrics missing dityco_ns_cache_hit_bp", v.Node)
+		}
+		if _, ok := v.Metrics["dityco_ns_breaker_state"]; !ok {
+			t.Errorf("node %d /metrics missing dityco_ns_breaker_state", v.Node)
+		}
+	}
+	if cacheTraffic == 0 {
+		t.Error("no node's lease cache saw any lookup traffic")
+	}
+	// Every shard's key count, summed across any node's view, covers
+	// the three registered sites (plus the exported bus name).
+	total := 0
+	for _, keys := range view.Nodes[0].Status.NS.ShardKeys {
+		total += keys
+	}
+	if total < 3 {
+		t.Errorf("shard key counts sum to %d, want >= 3 registered sites", total)
+	}
+	table := view.RenderTable()
+	if !strings.Contains(table, "ns: node") {
+		t.Errorf("table missing ns detail lines:\n%s", table)
+	}
+}
