@@ -3,6 +3,7 @@
 //
 //	benchdiff baseline.json current.json
 //	benchdiff -threshold 0.3 -gate msgs_per_sec baseline.json current.json
+//	benchdiff -lat-gate p999 -lat-threshold 0.1 baseline.json current.json
 //
 // It prints a markdown delta table of every shared metric (pipe it
 // into $GITHUB_STEP_SUMMARY) and exits nonzero only when a gating
@@ -10,6 +11,13 @@
 // drops by more than the threshold (default 30%). Other metrics are
 // informational: allocation counts and ack ratios drift with the Go
 // runtime, and a hard gate on them would flake.
+//
+// Latency metrics gate in the opposite direction: any metric whose
+// name contains -lat-gate (default "p999") fails when it RISES by more
+// than -lat-threshold (default 10%). The default matches E18's seeded
+// synthetic tail metric (e18/p999_ns), which is deterministic — same
+// seed, same buckets, same value — so the tight threshold does not
+// flake the way wall-clock latency would.
 //
 // Scaling sweeps get a second, relative gate: for metric families of
 // the form "<prefix>/gmp=P/msgs_per_sec" (E16's GOMAXPROCS sweep),
@@ -62,9 +70,12 @@ type delta struct {
 	Regression bool
 }
 
-// compare pairs up shared metrics and flags gating regressions:
-// metrics matching gate that fell more than threshold below baseline.
-func compare(base, cur map[string]float64, gate string, threshold float64) []delta {
+// compare pairs up shared metrics and flags gating regressions.
+// Throughput-style metrics (name contains gate) fail when they FALL
+// more than threshold below baseline; latency-style metrics (name
+// contains latGate) fail when they RISE more than latThreshold above
+// it — a latency increase is the regression.
+func compare(base, cur map[string]float64, gate string, threshold float64, latGate string, latThreshold float64) []delta {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		if _, ok := cur[name]; ok {
@@ -74,11 +85,18 @@ func compare(base, cur map[string]float64, gate string, threshold float64) []del
 	sort.Strings(names)
 	out := make([]delta, 0, len(names))
 	for _, name := range names {
-		d := delta{Name: name, Base: base[name], Cur: cur[name], Gating: strings.Contains(name, gate)}
+		d := delta{Name: name, Base: base[name], Cur: cur[name]}
 		if d.Base != 0 {
 			d.Pct = (d.Cur - d.Base) / d.Base
 		}
-		d.Regression = d.Gating && d.Base > 0 && d.Pct < -threshold
+		switch {
+		case latGate != "" && strings.Contains(name, latGate):
+			d.Gating = true
+			d.Regression = d.Base > 0 && d.Pct > latThreshold
+		case strings.Contains(name, gate):
+			d.Gating = true
+			d.Regression = d.Base > 0 && d.Pct < -threshold
+		}
 		out = append(out, d)
 	}
 	return out
@@ -177,6 +195,8 @@ func main() {
 		threshold    = flag.Float64("threshold", 0.30, "max allowed fractional drop in a gated metric")
 		gate         = flag.String("gate", "msgs_per_sec", "substring selecting the gated metrics")
 		effThreshold = flag.Float64("eff-threshold", 0.10, "max allowed relative drop in scaling efficiency (gmp sweep metrics)")
+		latGate      = flag.String("lat-gate", "p999", "substring selecting latency metrics, which gate on INCREASE ('' disables)")
+		latThreshold = flag.Float64("lat-threshold", 0.10, "max allowed fractional rise in a latency-gated metric")
 	)
 	flag.Parse()
 	if flag.NArg() != 2 {
@@ -196,7 +216,7 @@ func main() {
 			fmt.Printf("note: meta %q differs: baseline %v, current %v\n\n", key, b, c)
 		}
 	}
-	deltas := compare(base.Metrics, cur.Metrics, *gate, *threshold)
+	deltas := compare(base.Metrics, cur.Metrics, *gate, *threshold, *latGate, *latThreshold)
 	if len(deltas) == 0 {
 		fatal(fmt.Errorf("no shared metrics between %s and %s", flag.Arg(0), flag.Arg(1)))
 	}

@@ -19,7 +19,7 @@ func TestCompareFlagsLargeThroughputRegression(t *testing.T) {
 		"e11/fastether/batch=32KB/msgs_per_sec":   5000, // -50%
 		"e11/fastether/batch=32KB/allocs_per_msg": 24,   // -50% "worse", not gated
 	}
-	deltas := compare(base, cur, "msgs_per_sec", 0.30)
+	deltas := compare(base, cur, "msgs_per_sec", 0.30, "p999", 0.10)
 	var failed []string
 	for _, d := range deltas {
 		if d.Regression {
@@ -47,7 +47,7 @@ func TestCompareAllowsSmallDipAndImprovement(t *testing.T) {
 		"e11/fastether/batch=off/msgs_per_sec":  8000,  // -20%: inside threshold
 		"e11/fastether/batch=32KB/msgs_per_sec": 26000, // +30%: improvement
 	}
-	for _, d := range compare(base, cur, "msgs_per_sec", 0.30) {
+	for _, d := range compare(base, cur, "msgs_per_sec", 0.30, "p999", 0.10) {
 		if d.Regression {
 			t.Fatalf("unexpected regression flag on %s (%.1f%%)", d.Name, d.Pct*100)
 		}
@@ -59,7 +59,7 @@ func TestCompareAllowsSmallDipAndImprovement(t *testing.T) {
 func TestCompareIgnoresUnsharedMetrics(t *testing.T) {
 	base := map[string]float64{"old/msgs_per_sec": 100}
 	cur := map[string]float64{"new/msgs_per_sec": 1}
-	if got := compare(base, cur, "msgs_per_sec", 0.30); len(got) != 0 {
+	if got := compare(base, cur, "msgs_per_sec", 0.30, "p999", 0.10); len(got) != 0 {
 		t.Fatalf("expected no shared metrics, got %v", got)
 	}
 }
@@ -138,5 +138,41 @@ func TestEfficiencyGateNeedsAnchor(t *testing.T) {
 	}
 	if got := efficiencyDeltas(m, m, 0.10); len(got) != 0 {
 		t.Fatalf("expected no efficiency rows without gmp=1, got %v", got)
+	}
+}
+
+// Latency metrics gate in the opposite direction: a p999 RISE beyond
+// the latency threshold fails, a fall (improvement) passes, and the
+// same rise in a non-latency metric stays informational.
+func TestLatencyGateFailsOnIncrease(t *testing.T) {
+	base := map[string]float64{
+		"e18/p999_ns":           40e6,
+		"e18/merge_rel_err_pct": 0.3,
+	}
+	cur := map[string]float64{
+		"e18/p999_ns":           48e6, // +20%: latency regression
+		"e18/merge_rel_err_pct": 0.6,  // +100%, but not gated
+	}
+	var failed []string
+	for _, d := range compare(base, cur, "msgs_per_sec", 0.30, "p999", 0.10) {
+		if d.Regression {
+			failed = append(failed, d.Name)
+		}
+	}
+	if len(failed) != 1 || failed[0] != "e18/p999_ns" {
+		t.Fatalf("expected exactly e18/p999_ns to fail, got %v", failed)
+	}
+	// An improvement (p999 fell) must pass.
+	better := map[string]float64{"e18/p999_ns": 30e6, "e18/merge_rel_err_pct": 0.3}
+	for _, d := range compare(base, better, "msgs_per_sec", 0.30, "p999", 0.10) {
+		if d.Regression {
+			t.Fatalf("latency improvement flagged as regression: %s", d.Name)
+		}
+	}
+	// Disabling the latency gate ('' substring) leaves the rise alone.
+	for _, d := range compare(base, cur, "msgs_per_sec", 0.30, "", 0.10) {
+		if d.Regression {
+			t.Fatalf("latency gate disabled but %s still failed", d.Name)
+		}
 	}
 }

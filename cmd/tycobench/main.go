@@ -10,6 +10,7 @@
 //	tycobench -seed 7              # override seeded components
 //	tycobench -telemetry dump.json # telemetry capture run: write a flight-recorder dump
 //	tycobench -openloop 1,2,5      # overload drill (E15) at these multiples of wire capacity
+//	tycobench -slo 'p99(deliver.sojourn_nanos)<5ms' # open-loop SLO drill; -json adds a verdict block
 //	tycobench -parallel 1,2,4,8    # GOMAXPROCS sweep for the scaling experiments (E16)
 //	tycobench -scrape 127.0.0.1:9101  # strict-validate a node's /metrics endpoint
 //	tycobench -cpuprofile cpu.pb   # pprof CPU profile of the run
@@ -60,6 +61,7 @@ func main() {
 		seed     = flag.Int64("seed", 0, "override seeded components (0 = per-experiment defaults)")
 		telPath  = flag.String("telemetry", "", "run a telemetry capture workload and write the flight-recorder dump to this file")
 		openloop = flag.String("openloop", "", "drive the open-loop overdrive drill (E15) at these comma-separated multiples of wire capacity, e.g. 1,2,5")
+		sloSpecs = flag.String("slo", "", "comma-separated SLO specs (e.g. 'p99(deliver.sojourn_nanos)<5ms@2s'); drives the open-loop drill with burn-rate tracking on (-openloop sets the load levels, default 1x) and reports verdicts; with -json the doc gains an slo block")
 		scrape   = flag.String("scrape", "", "scrape host:port/metrics, strict-validate the OpenMetrics text, and print each family (exit 1 on parse failure)")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
@@ -111,8 +113,8 @@ func main() {
 			opts.Parallel = append(opts.Parallel, p)
 		}
 	}
+	var mults []int
 	if *openloop != "" {
-		var mults []int
 		for _, s := range strings.Split(*openloop, ",") {
 			m, err := strconv.Atoi(strings.TrimSpace(s))
 			if err != nil || m < 1 {
@@ -121,6 +123,37 @@ func main() {
 			}
 			mults = append(mults, m)
 		}
+	}
+	meta := benchMeta{
+		Seed:       *seed,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+		Cpus:       runtime.NumCPU(),
+		Parallel:   *parallel,
+	}
+	if *sloSpecs != "" {
+		var specs []string
+		for _, s := range strings.Split(*sloSpecs, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				specs = append(specs, s)
+			}
+		}
+		table, verdicts, err := experiments.SLODrill(opts, specs, mults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "slo: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(table.Render())
+		if *jsonPath != "" {
+			if err := writeBenchJSON(*jsonPath, meta, table.Metrics, verdicts); err != nil {
+				fmt.Fprintf(os.Stderr, "json: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if *openloop != "" {
 		table, err := experiments.OpenLoopDrill(opts, mults)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "openloop: %v\n", err)
@@ -163,25 +196,7 @@ func main() {
 		}
 	}
 	if *jsonPath != "" {
-		doc := struct {
-			Meta    benchMeta          `json:"meta"`
-			Metrics map[string]float64 `json:"metrics"`
-		}{
-			Meta: benchMeta{
-				Seed:       *seed,
-				GoVersion:  runtime.Version(),
-				GOMAXPROCS: runtime.GOMAXPROCS(0),
-				Quick:      *quick,
-				Cpus:       runtime.NumCPU(),
-				Parallel:   *parallel,
-			},
-			Metrics: metrics,
-		}
-		out, err := json.MarshalIndent(doc, "", "  ")
-		if err == nil {
-			err = os.WriteFile(*jsonPath, append(out, '\n'), 0o644)
-		}
-		if err != nil {
+		if err := writeBenchJSON(*jsonPath, meta, metrics, nil); err != nil {
 			fmt.Fprintf(os.Stderr, "json: %v\n", err)
 			failed = true
 		}
@@ -201,6 +216,23 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// writeBenchJSON writes the {meta, metrics[, slo]} document benchdiff
+// and the CI lanes consume. The slo block (from `-slo` runs) carries
+// each objective's full verdict — observed value, target, windows,
+// burn rates, state — as a machine-readable go/no-go artifact.
+func writeBenchJSON(path string, meta benchMeta, metrics map[string]float64, verdicts []telemetry.SLOVerdict) error {
+	doc := struct {
+		Meta    benchMeta              `json:"meta"`
+		Metrics map[string]float64     `json:"metrics"`
+		SLO     []telemetry.SLOVerdict `json:"slo,omitempty"`
+	}{Meta: meta, Metrics: metrics, SLO: verdicts}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 // scrapeMetrics pulls one node's OpenMetrics exposition through the

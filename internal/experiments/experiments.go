@@ -141,6 +141,7 @@ func All() []Runner {
 		{"e15", "overload: open-loop overdrive, shedding, goodput plateau", E15},
 		{"e16", "work-stealing runtime: multi-core scaling sweep", E16},
 		{"e17", "sharded name service: million-name churn, lease caches, ring transitions", E17},
+		{"e18", "SLO analytics: burn-rate regression detection, exact cluster merge, overhead", E18},
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/admission"
 	"repro/internal/nameservice"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -53,6 +54,15 @@ type IntrospectConfig struct {
 	Listen string
 	// Stall tunes the stall detector (zero value: defaults).
 	Stall StallConfig
+	// TimeSeries tunes the retained metric history served at
+	// /timeseries (DESIGN.md §17). The zero value samples every second
+	// into a 120-window ring; set Disable to opt out. Retention needs
+	// telemetry: with ClusterConfig.Telemetry unset there is no
+	// registry to sample and the store stays off.
+	TimeSeries telemetry.TSConfig
+	// SLO declares burn-rate objectives evaluated every analytics tick
+	// against the retained time series; nil disables SLO tracking.
+	SLO *slo.Config
 }
 
 // stallKey identifies one stall condition for edge detection: the
@@ -63,26 +73,82 @@ type stallKey struct {
 }
 
 // startIntrospection binds the HTTP server and starts the stall
-// detector. Runs once from New when Config.Introspect is set.
+// detector plus (when telemetry is on) the analytics ticker that
+// samples the time-series store and evaluates SLO objectives. Runs
+// once from New when Config.Introspect is set.
 func (n *Node) startIntrospection(cfg IntrospectConfig) error {
 	if cfg.Listen == "" {
 		cfg.Listen = "127.0.0.1:0"
 	}
+	var ts *telemetry.TimeSeries
+	if !cfg.TimeSeries.Disable && n.tel != nil {
+		ts = telemetry.NewTimeSeries(n.tel.Registry(), n.cfg.ID, cfg.TimeSeries)
+	}
+	var tracker *slo.Tracker
+	if cfg.SLO != nil && ts != nil {
+		var err error
+		tracker, err = slo.NewTracker(*cfg.SLO, ts, n.tel.Registry())
+		if err != nil {
+			return err
+		}
+	}
 	srv, err := telemetry.ServeIntrospection(cfg.Listen, telemetry.HTTPConfig{
-		Registry: n.tel.Registry(),
-		Recorder: n.tel.Recorder(),
-		Status:   n.Status,
-		Health:   n.Health,
-		Refresh:  n.refreshTelemetryGauges,
+		Registry:   n.tel.Registry(),
+		Recorder:   n.tel.Recorder(),
+		Status:     n.Status,
+		Health:     n.Health,
+		Refresh:    n.refreshTelemetryGauges,
+		TimeSeries: ts,
 	})
 	if err != nil {
 		return err
 	}
 	n.mu.Lock()
 	n.intro = srv
+	n.ts = ts
+	n.sloTracker = tracker
 	n.mu.Unlock()
 	go n.stallLoop(cfg.Stall.withDefaults())
+	if ts != nil {
+		go n.analyticsLoop(ts, tracker)
+	}
 	return nil
+}
+
+// analyticsLoop drives the time-series sampler and SLO evaluation at
+// the store's interval until the node stops. Gauges are refreshed
+// first so retained scalar series carry pull-time state (rel/sched/
+// admission mirrors), not whatever the last /metrics scrape left.
+func (n *Node) analyticsLoop(ts *telemetry.TimeSeries, tracker *slo.Tracker) {
+	t := time.NewTicker(ts.Interval())
+	defer t.Stop()
+	for {
+		select {
+		case now := <-t.C:
+			n.refreshTelemetryGauges()
+			ts.Sample(now)
+			tracker.Evaluate(now)
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// TimeSeries returns the node's retained metric history (nil when
+// retention is off).
+func (n *Node) TimeSeries() *telemetry.TimeSeries {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.ts
+}
+
+// SLOVerdicts returns the latest objective evaluations (nil when SLO
+// tracking is off or nothing has been evaluated yet).
+func (n *Node) SLOVerdicts() []telemetry.SLOVerdict {
+	n.mu.Lock()
+	tracker := n.sloTracker
+	n.mu.Unlock()
+	return tracker.Verdicts()
 }
 
 // IntrospectionAddr returns the observability server's bound address
@@ -222,6 +288,7 @@ func (n *Node) Status() telemetry.NodeStatus {
 			st.NS = ns
 		}
 	}
+	st.SLO = n.SLOVerdicts()
 	st.Draining = n.Draining()
 	n.stallMu.Lock()
 	st.Stalls = append([]telemetry.StallReport(nil), n.stalls...)

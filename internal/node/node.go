@@ -34,6 +34,7 @@ import (
 	"repro/internal/membership"
 	"repro/internal/nameservice"
 	"repro/internal/site"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 	"repro/internal/wire"
@@ -187,6 +188,12 @@ type Node struct {
 	stallMu   sync.Mutex
 	stalls    []telemetry.StallReport
 	stallSeen map[stallKey]bool
+
+	// Analytics plane (introspect.go, DESIGN.md §17): the time-series
+	// ring and the SLO tracker its ticker evaluates. Guarded by mu;
+	// nil when introspection or telemetry is off.
+	ts         *telemetry.TimeSeries
+	sloTracker *slo.Tracker
 }
 
 // siteTable is one immutable snapshot of the node's site directory.
@@ -857,14 +864,27 @@ func (n *Node) RecoverSite(siteName string, out io.Writer, opts ...SiteOption) (
 }
 
 // admissionHooks wires a spawning site into the overload-protection
-// plane: sojourn samples feed the controller, and the site answers
-// fetches with retryable pushback while the node sheds.
+// and analytics planes: sojourn samples feed the admission controller
+// and the deliver.sojourn_nanos histogram (the SLO plane's latency
+// signal), and the site answers fetches with retryable pushback while
+// the node sheds. Both observers are lock-free, so enabling telemetry
+// alone keeps the deliver path contention-free.
 func (n *Node) admissionHooks(cfg *site.Config) {
-	if n.adm == nil {
-		return
+	switch {
+	case n.adm != nil && n.tel != nil:
+		adm, tel := n.adm, n.tel
+		cfg.OnSojourn = func(d time.Duration) {
+			adm.ObserveSojourn(d)
+			tel.ObserveSojourn(d)
+		}
+	case n.adm != nil:
+		cfg.OnSojourn = n.adm.ObserveSojourn
+	case n.tel != nil:
+		cfg.OnSojourn = n.tel.ObserveSojourn
 	}
-	cfg.OnSojourn = n.adm.ObserveSojourn
-	cfg.Overloaded = func() bool { return n.adm.State() == admission.Shed }
+	if n.adm != nil {
+		cfg.Overloaded = func() bool { return n.adm.State() == admission.Shed }
+	}
 }
 
 // SiteOption tweaks a spawned site's configuration.

@@ -1,0 +1,223 @@
+package slo
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec     string
+		wantName string
+		wantErr  bool
+	}{
+		{"p99(deliver.sojourn_nanos) < 5ms @ 60s", "p99-deliver.sojourn_nanos", false},
+		{"p999(deliver.sojourn_nanos)<20ms", "p999-deliver.sojourn_nanos", false},
+		{"p50(batch.bytes)<1us@2s", "p50-batch.bytes", false},
+		{"ratio(rel.expired, deliver.local) < 0.1%", "ratio-rel.expired", false},
+		{"ratio(a,b)<0.001", "ratio-a", false},
+		{"p99(x)<0ms", "", true},
+		{"p0(x)<5ms", "", true},
+		{"p100(x)<5ms", "", true},
+		{"ratio(a,b)<150%", "", true},
+		{"gibberish", "", true},
+		{"p99(x)<5ms@-1s", "", true},
+	}
+	for _, tc := range cases {
+		o, err := Parse(tc.spec)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("Parse(%q) accepted", tc.spec)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("Parse(%q): %v", tc.spec, err)
+			continue
+		}
+		if o.Name != tc.wantName {
+			t.Errorf("Parse(%q).Name = %q want %q", tc.spec, o.Name, tc.wantName)
+		}
+	}
+
+	// Spot-check parsed fields.
+	o, err := Parse("p99(lat)<5ms@30s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.target != 5e6 || math.Abs(o.budget-0.01) > 1e-12 || o.Window(time.Minute) != 30*time.Second {
+		t.Fatalf("parsed objective %+v", o)
+	}
+	r, err := Parse("ratio(bad,total)<0.1%")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.target-0.001) > 1e-12 || r.Window(time.Minute) != time.Minute {
+		t.Fatalf("parsed ratio %+v", r)
+	}
+}
+
+// seedLatency fills w windows of the lat histogram: goodShare of
+// samples at 1ms, the rest at 20ms.
+func seedLatency(reg *telemetry.Registry, ts *telemetry.TimeSeries, base time.Time, windows int, perWindow int, badPer int) time.Time {
+	h := reg.Histogram("lat")
+	now := base
+	for w := 0; w < windows; w++ {
+		for i := 0; i < perWindow-badPer; i++ {
+			h.Observe(1e6) // 1ms
+		}
+		for i := 0; i < badPer; i++ {
+			h.Observe(20e6) // 20ms
+		}
+		now = now.Add(time.Second)
+		ts.Sample(now)
+	}
+	return now
+}
+
+func TestLatencyObjectiveLifecycle(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts := telemetry.NewTimeSeries(reg, 0, telemetry.TSConfig{Interval: time.Second, Capacity: 64})
+	tr, err := NewTracker(Config{
+		Objectives: []string{"p99(lat)<5ms"},
+		FastWindow: 2 * time.Second,
+		SlowWindow: 10 * time.Second,
+	}, ts, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.UnixMilli(10_000_000)
+
+	// Healthy phase: 0.1% of samples above 5ms — a tenth of the 1%
+	// budget, burn ≈ 0.1 in both windows.
+	now := seedLatency(reg, ts, base, 12, 1000, 1)
+	vs := tr.Evaluate(now)
+	if len(vs) != 1 {
+		t.Fatalf("got %d verdicts", len(vs))
+	}
+	v := vs[0]
+	if v.State != "ok" || v.BurnSlow >= 1 || v.BurnFast >= 1 {
+		t.Fatalf("healthy phase verdict %+v", v)
+	}
+	if math.Abs(v.BurnSlow-0.1) > 0.02 {
+		t.Fatalf("healthy burn %v want ~0.1", v.BurnSlow)
+	}
+
+	// Regression: 5% of samples above threshold — 5× the budget.
+	now = seedLatency(reg, ts, now, 12, 1000, 50)
+	vs = tr.Evaluate(now)
+	v = vs[0]
+	if v.State != "breach" {
+		t.Fatalf("regressed phase state %q (verdict %+v)", v.State, v)
+	}
+	if v.BurnSlow < 2 || v.BurnFast < 2 {
+		t.Fatalf("regressed burns fast=%v slow=%v want ≥2", v.BurnFast, v.BurnSlow)
+	}
+	if v.Observed < 5e6 {
+		t.Fatalf("observed p99 %v should exceed the 5ms target", v.Observed)
+	}
+
+	// Verdict gauges published into the registry.
+	snap := reg.Snapshot()
+	if snap["slo.p99-lat.state"] != 2 {
+		t.Fatalf("state gauge %v want 2 (breach)", snap["slo.p99-lat.state"])
+	}
+	if snap["slo.p99-lat.burn_slow_milli"] < 2000 {
+		t.Fatalf("burn gauge %v want ≥2000", snap["slo.p99-lat.burn_slow_milli"])
+	}
+
+	// Recovery: fast window clears before the slow one → warn, not ok.
+	now = seedLatency(reg, ts, now, 3, 1000, 0)
+	vs = tr.Evaluate(now)
+	if v := vs[0]; v.State != "warn" {
+		t.Fatalf("recovering state %q want warn (fast clear, slow still burning): %+v", v.State, v)
+	}
+	// Full recovery once the slow window drains.
+	now = seedLatency(reg, ts, now, 10, 1000, 0)
+	vs = tr.Evaluate(now)
+	if v := vs[0]; v.State != "ok" {
+		t.Fatalf("recovered state %q: %+v", v.State, v)
+	}
+	if len(vs[0].Trend) == 0 {
+		t.Fatalf("no trend retained")
+	}
+}
+
+func TestRatioObjective(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ts := telemetry.NewTimeSeries(reg, 0, telemetry.TSConfig{Interval: time.Second, Capacity: 64})
+	tr, err := NewTracker(Config{
+		Objectives: []string{"ratio(errs,ops)<1%"},
+		FastWindow: 2 * time.Second,
+		SlowWindow: 8 * time.Second,
+	}, ts, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs, ops := reg.Counter("errs"), reg.Counter("ops")
+	base := time.UnixMilli(20_000_000)
+	now := base
+	for i := 0; i < 10; i++ {
+		ops.Add(1000)
+		errs.Add(2) // 0.2% error rate, a fifth of budget
+		now = now.Add(time.Second)
+		ts.Sample(now)
+	}
+	v := tr.Evaluate(now)[0]
+	if v.State != "ok" || math.Abs(v.BurnSlow-0.2) > 0.05 {
+		t.Fatalf("healthy ratio verdict %+v", v)
+	}
+	for i := 0; i < 10; i++ {
+		ops.Add(1000)
+		errs.Add(50) // 5% error rate — 5× budget
+		now = now.Add(time.Second)
+		ts.Sample(now)
+	}
+	v = tr.Evaluate(now)[0]
+	if v.State != "breach" || v.BurnSlow < 2 {
+		t.Fatalf("regressed ratio verdict %+v", v)
+	}
+	if math.Abs(v.Observed-0.05) > 0.01 {
+		t.Fatalf("observed error rate %v want ~0.05", v.Observed)
+	}
+}
+
+func TestTrackerErrors(t *testing.T) {
+	if _, err := NewTracker(Config{}, nil, nil); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := NewTracker(Config{Objectives: []string{"nope"}}, nil, nil); err == nil {
+		t.Fatal("bad objective accepted")
+	}
+}
+
+func TestFoldsAndSparkline(t *testing.T) {
+	vs := []telemetry.SLOVerdict{
+		{State: "ok", BurnSlow: 0.2},
+		{State: "breach", BurnSlow: 3.5},
+		{State: "warn", BurnSlow: 1.1},
+	}
+	if got := WorstState(vs); got != "breach" {
+		t.Fatalf("WorstState %q", got)
+	}
+	if got := MaxBurn(vs); got != 3.5 {
+		t.Fatalf("MaxBurn %v", got)
+	}
+	if got := WorstState(nil); got != "" {
+		t.Fatalf("WorstState(nil) %q", got)
+	}
+	sp := Sparkline([]float64{0, 0.5, 1, 2, 10})
+	if sp == "" || len([]rune(sp)) != 5 {
+		t.Fatalf("sparkline %q", sp)
+	}
+	if !strings.HasSuffix(sp, "█") {
+		t.Fatalf("saturated burn should render full block: %q", sp)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty trend should render empty")
+	}
+}

@@ -1,0 +1,438 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// BucketHistogram is the mergeable, lock-free histogram behind the SLO
+// analytics plane (DESIGN.md §17). Values are rounded to non-negative
+// integers (the runtime observes nanoseconds and byte counts) and
+// binned into log-spaced buckets: each power-of-two octave is split
+// into 2^subBits linear sub-buckets, so the relative width of any
+// bucket is at most 1/2^subBits ≈ 0.8% and a quantile read off bucket
+// midpoints is within ~0.4% of the true sample. Bucket boundaries are
+// FIXED — the same value always lands in the same bucket on every node
+// — which is what makes Merge exact: the cluster-wide histogram is the
+// element-wise sum of the per-node ones, and any quantile of the merge
+// equals the quantile of the union stream (quantiles depend only on
+// bucket totals). Observe is wait-free: one bits.Len64, one atomic
+// add, plus CAS loops for min/max that almost always exit on the first
+// load.
+//
+// The zero value is ready to use. A nil receiver no-ops on writes and
+// reads as empty, matching the telemetry fabric's nil-safety contract.
+type BucketHistogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64 // sum of rounded values
+	min     atomic.Uint64 // math.MaxUint64 until first observation
+	max     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+const (
+	// subBits sub-divides each power-of-two octave into 2^subBits
+	// linear buckets (128), bounding relative error at 1/128.
+	subBits  = 7
+	subCount = 1 << subBits
+
+	// maxShift caps the tracked range: the top regular bucket ends at
+	// (2*subCount<<maxShift)-1 ≈ 1.76e13 (≈4.9 hours in nanoseconds).
+	// Larger values land in one overflow bucket.
+	maxShift = 36
+
+	// NumBuckets counts the regular buckets plus the overflow bucket.
+	// Values < subCount get exact unit buckets [0..subCount);
+	// each shift s in [0..maxShift] contributes subCount buckets.
+	NumBuckets = subCount + (maxShift+1)*subCount + 1
+
+	overflowBucket = NumBuckets - 1
+
+	// maxTrackable is the largest value that lands in a regular bucket.
+	maxTrackable = (uint64(2*subCount) << maxShift) - 1
+)
+
+// bucketIndex maps a rounded value onto its bucket.
+func bucketIndex(u uint64) int {
+	if u < subCount {
+		return int(u)
+	}
+	e := bits.Len64(u) - 1 // position of the top set bit, ≥ subBits
+	s := e - subBits
+	if s > maxShift {
+		return overflowBucket
+	}
+	m := (u >> uint(s)) - subCount // sub-bucket within the octave
+	return subCount + s*subCount + int(m)
+}
+
+// bucketBounds returns the inclusive [lo, hi] value range of bucket i.
+func bucketBounds(i int) (lo, hi uint64) {
+	if i < subCount {
+		return uint64(i), uint64(i)
+	}
+	if i >= overflowBucket {
+		return maxTrackable + 1, math.MaxUint64
+	}
+	s := uint((i - subCount) / subCount)
+	m := uint64((i-subCount)%subCount) + subCount
+	lo = m << s
+	hi = ((m + 1) << s) - 1
+	return lo, hi
+}
+
+// bucketMid is the representative value quantiles report for bucket i.
+func bucketMid(i int) float64 {
+	lo, hi := bucketBounds(i)
+	if i >= overflowBucket {
+		return float64(lo) // no meaningful midpoint past the range
+	}
+	return float64(lo)/2 + float64(hi)/2
+}
+
+// roundValue maps an observed float onto the integer bucket domain.
+func roundValue(v float64) uint64 {
+	if !(v > 0) { // negatives and NaN clamp to the zero bucket
+		return 0
+	}
+	if v >= math.MaxUint64/2 {
+		return math.MaxUint64 / 2
+	}
+	return uint64(v + 0.5)
+}
+
+// Observe records one value. Wait-free except for the min/max CAS
+// loops, which only retry under a concurrent improvement.
+func (h *BucketHistogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	u := roundValue(v)
+	h.buckets[bucketIndex(u)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(u)
+	for {
+		cur := h.min.Load()
+		if cur&minInitBit != 0 && cur&^minInitBit <= u {
+			break
+		}
+		if h.min.CompareAndSwap(cur, u|minInitBit) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if u <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, u) {
+			break
+		}
+	}
+}
+
+// minInitBit marks the min cell as written; observed values are ≤
+// maxTrackable+ε, far below bit 63, so the flag never collides.
+const minInitBit = uint64(1) << 63
+
+func (h *BucketHistogram) minInitialized() bool {
+	return h.min.Load()&minInitBit != 0
+}
+
+// ObserveDuration records a duration in nanoseconds.
+// (Callers pass time.Duration's Nanoseconds directly as float64.)
+func (h *BucketHistogram) ObserveDuration(ns int64) {
+	h.Observe(float64(ns))
+}
+
+// Count returns the number of observations.
+func (h *BucketHistogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of (rounded) observations.
+func (h *BucketHistogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.sum.Load())
+}
+
+// Mean returns the average observation (0 when empty).
+func (h *BucketHistogram) Mean() float64 {
+	if h == nil {
+		return 0
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.sum.Load()) / float64(n)
+}
+
+// Min returns the smallest observation (0 when empty).
+func (h *BucketHistogram) Min() float64 {
+	if h == nil || !h.minInitialized() {
+		return 0
+	}
+	return float64(h.min.Load() &^ minInitBit)
+}
+
+// Max returns the largest observation (0 when empty).
+func (h *BucketHistogram) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return float64(h.max.Load())
+}
+
+// Percentile returns the p-th percentile off bucket midpoints.
+func (h *BucketHistogram) Percentile(p float64) float64 {
+	return h.Snapshot().Quantile(p)
+}
+
+// Merge adds every bucket of o into h. Exact: bucket boundaries are
+// global constants, so merge-then-quantile equals quantile-of-union.
+func (h *BucketHistogram) Merge(o *BucketHistogram) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.buckets {
+		if n := o.buckets[i].Load(); n > 0 {
+			h.buckets[i].Add(n)
+		}
+	}
+	h.count.Add(o.count.Load())
+	h.sum.Add(o.sum.Load())
+	if o.minInitialized() {
+		ov := o.min.Load() &^ minInitBit
+		for {
+			cur := h.min.Load()
+			if cur&minInitBit != 0 && cur&^minInitBit <= ov {
+				break
+			}
+			if h.min.CompareAndSwap(cur, ov|minInitBit) {
+				break
+			}
+		}
+	}
+	for {
+		cur := h.max.Load()
+		om := o.max.Load()
+		if om <= cur {
+			break
+		}
+		if h.max.CompareAndSwap(cur, om) {
+			break
+		}
+	}
+}
+
+// Snapshot captures the histogram as a sparse immutable Dist. Under
+// concurrent Observe the snapshot is a consistent-enough cut: bucket
+// counts are read once each, and the Dist derives its total from the
+// buckets themselves so count and buckets never disagree.
+func (h *BucketHistogram) Snapshot() *Dist {
+	d := &Dist{}
+	if h == nil {
+		return d
+	}
+	for i := 0; i < NumBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			d.Buckets = append(d.Buckets, BucketCount{B: uint32(i), C: n})
+		}
+	}
+	d.Sum = float64(h.sum.Load())
+	d.Min = h.Min()
+	d.Max = h.Max()
+	return d
+}
+
+// BucketCount is one non-empty bucket of a Dist.
+type BucketCount struct {
+	B uint32 `json:"b"` // bucket index
+	C uint64 `json:"c"` // observation count
+}
+
+// Dist is a sparse, serializable histogram snapshot — the wire/JSON
+// form time-series windows and cluster scrapes carry. Buckets are
+// sorted by index. Min/Max are carried for cumulative snapshots; a
+// windowed Delta cannot know them and leaves them zero.
+type Dist struct {
+	Buckets []BucketCount `json:"buckets,omitempty"`
+	Sum     float64       `json:"sum,omitempty"`
+	Min     float64       `json:"min,omitempty"`
+	Max     float64       `json:"max,omitempty"`
+}
+
+// Total sums the bucket counts.
+func (d *Dist) Total() uint64 {
+	if d == nil {
+		return 0
+	}
+	var n uint64
+	for _, bc := range d.Buckets {
+		n += bc.C
+	}
+	return n
+}
+
+// Clone deep-copies the Dist.
+func (d *Dist) Clone() *Dist {
+	if d == nil {
+		return &Dist{}
+	}
+	out := *d
+	out.Buckets = append([]BucketCount(nil), d.Buckets...)
+	return &out
+}
+
+// Merge adds o's buckets into d (sorted merge-join). Exact for
+// quantiles, additive for Sum; Min/Max combine when both sides carry
+// them.
+func (d *Dist) Merge(o *Dist) {
+	if d == nil || o == nil || len(o.Buckets) == 0 {
+		if d != nil && o != nil {
+			d.Sum += o.Sum
+		}
+		return
+	}
+	merged := make([]BucketCount, 0, len(d.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(d.Buckets) && j < len(o.Buckets) {
+		a, b := d.Buckets[i], o.Buckets[j]
+		switch {
+		case a.B < b.B:
+			merged = append(merged, a)
+			i++
+		case a.B > b.B:
+			merged = append(merged, b)
+			j++
+		default:
+			merged = append(merged, BucketCount{B: a.B, C: a.C + b.C})
+			i, j = i+1, j+1
+		}
+	}
+	merged = append(merged, d.Buckets[i:]...)
+	merged = append(merged, o.Buckets[j:]...)
+	dEmpty := len(d.Buckets) == 0
+	d.Buckets = merged
+	d.Sum += o.Sum
+	if dEmpty {
+		d.Min, d.Max = o.Min, o.Max
+	} else {
+		if o.Min > 0 && (d.Min == 0 || o.Min < d.Min) {
+			d.Min = o.Min
+		}
+		if o.Max > d.Max {
+			d.Max = o.Max
+		}
+	}
+}
+
+// Sub returns d − prev per bucket (clamped at zero): the windowed
+// delta between two cumulative snapshots of the same histogram.
+// Min/Max are meaningless for a window and left zero.
+func (d *Dist) Sub(prev *Dist) *Dist {
+	if d == nil {
+		return &Dist{}
+	}
+	if prev == nil || len(prev.Buckets) == 0 {
+		out := d.Clone()
+		out.Min, out.Max = 0, 0
+		return out
+	}
+	out := &Dist{Sum: d.Sum - prev.Sum}
+	if out.Sum < 0 {
+		out.Sum = 0
+	}
+	j := 0
+	for _, bc := range d.Buckets {
+		for j < len(prev.Buckets) && prev.Buckets[j].B < bc.B {
+			j++
+		}
+		c := bc.C
+		if j < len(prev.Buckets) && prev.Buckets[j].B == bc.B {
+			if prev.Buckets[j].C >= c {
+				continue
+			}
+			c -= prev.Buckets[j].C
+		}
+		out.Buckets = append(out.Buckets, BucketCount{B: bc.B, C: c})
+	}
+	return out
+}
+
+// Quantile returns the p-th percentile (p in [0,100]) as the midpoint
+// of the bucket holding the rank-⌈p/100·n⌉ observation. Pure bucket
+// arithmetic: two Dists with equal bucket totals return identical
+// quantiles, which is the property the cluster merge relies on.
+func (d *Dist) Quantile(p float64) float64 {
+	total := d.Total()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(p / 100 * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > total {
+		rank = total
+	}
+	var cum uint64
+	for _, bc := range d.Buckets {
+		cum += bc.C
+		if cum >= rank {
+			return bucketMid(int(bc.B))
+		}
+	}
+	return bucketMid(int(d.Buckets[len(d.Buckets)-1].B))
+}
+
+// CountAtOrBelow returns how many observations are ≤ v, resolved at
+// bucket granularity (v is mapped to its bucket; whole buckets count).
+// Exact when v is a bucket upper bound — which the OpenMetrics `le`
+// ladder guarantees by construction.
+func (d *Dist) CountAtOrBelow(v uint64) uint64 {
+	if d == nil {
+		return 0
+	}
+	idx := uint32(bucketIndex(v))
+	var n uint64
+	for _, bc := range d.Buckets {
+		if bc.B > idx {
+			break
+		}
+		n += bc.C
+	}
+	return n
+}
+
+// FractionAbove returns the fraction of observations strictly above
+// v's bucket — the "bad fraction" of a latency SLO. Resolution is one
+// bucket (≤0.8% relative), which is inside any burn-rate tolerance.
+func (d *Dist) FractionAbove(v float64) float64 {
+	total := d.Total()
+	if total == 0 {
+		return 0
+	}
+	below := d.CountAtOrBelow(roundValue(v))
+	return float64(total-below) / float64(total)
+}
+
+// BucketUpperBound exposes the inclusive upper edge of bucket i — the
+// OpenMetrics exporter's `le` values come from here.
+func BucketUpperBound(i int) uint64 {
+	_, hi := bucketBounds(i)
+	return hi
+}
+
+// BucketIndexOf exposes the bucket a value maps to (for exporters and
+// tests that align ladders with bucket edges).
+func BucketIndexOf(v float64) int {
+	return bucketIndex(roundValue(v))
+}

@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // Cluster scraping: the client half of the introspection plane.
@@ -24,11 +26,34 @@ type NodeView struct {
 	Health  Health             `json:"health"`
 	Status  NodeStatus         `json:"status"`
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// TS is the node's retained time series (/timeseries), nil when the
+	// node predates retention or runs with it disabled — the scrape
+	// tolerates its absence.
+	TS *TSDoc `json:"ts,omitempty"`
 }
 
 // ClusterView aggregates every node's scrape, ordered by node ID.
 type ClusterView struct {
 	Nodes []NodeView `json:"nodes"`
+}
+
+// WindowDist merges one histogram's retained windows across every
+// scraped node: the cluster-wide distribution of the last `window` of
+// traffic. Bucketed merging is exact (DESIGN.md §17), so quantiles of
+// the merged Dist equal quantiles of the union sample stream to within
+// bucket resolution — no quantile-of-quantiles averaging. Nodes
+// without retention contribute nothing.
+func (cv ClusterView) WindowDist(name string, window time.Duration) *stats.Dist {
+	merged := &stats.Dist{}
+	for _, v := range cv.Nodes {
+		if v.TS == nil {
+			continue
+		}
+		if d := v.TS.WindowDist(name, window); d != nil {
+			merged.Merge(d)
+		}
+	}
+	return merged
 }
 
 // scrapeJSON fetches one JSON endpoint into v. A non-2xx status is
@@ -90,6 +115,12 @@ func ScrapeNode(client *http.Client, node uint32, addr string) NodeView {
 		return v
 	}
 	v.Metrics = OMValues(fams)
+	// Time-series retention is optional and newer than the rest of the
+	// plane: a node without /timeseries is still a healthy scrape.
+	var ts TSDoc
+	if err := scrapeJSON(client, addr, "/timeseries", &ts); err == nil && ts.IntervalMs > 0 {
+		v.TS = &ts
+	}
 	return v
 }
 
@@ -134,8 +165,8 @@ func (cv ClusterView) JSON() []byte {
 // /healthz.
 func (cv ClusterView) RenderTable() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6s %-6s %-7s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %-5s %-7s %s\n",
-		"NODE", "HEALTH", "MEMB", "SITES", "RUNQ", "STEAL", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "OVLD", "SHED", "ADDR")
+	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6s %-6s %-7s %-6s %-8s %-8s %-10s %-10s %-8s %-7s %-5s %-7s %-7s %-5s %s\n",
+		"NODE", "HEALTH", "MEMB", "SITES", "RUNQ", "STEAL", "INBOX", "WAITIMP", "STALLS", "SENT", "RECV", "UNACKED", "FAILED", "OVLD", "SHED", "SLO", "BURN", "ADDR")
 	var totSites, totRunq, totInbox, totWait, totStalls, totUnacked int
 	var totSent, totRecv, totFailed, totShed, totSteals uint64
 	for _, v := range cv.Nodes {
@@ -163,10 +194,10 @@ func (cv ClusterView) RenderTable() string {
 		if v.Status.Rel != nil {
 			unacked = v.Status.Rel.Unacked
 		}
-		fmt.Fprintf(&b, "%-5d %-9s %-9s %-6d %-6d %-7d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %-5s %-7d %s\n",
+		fmt.Fprintf(&b, "%-5d %-9s %-9s %-6d %-6d %-7d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %-5s %-7d %-7s %-5s %s\n",
 			v.Node, v.Health.Status, memberSummary(v.Status), len(v.Status.Sites), runq, steals, inbox, wait,
 			len(v.Status.Stalls), sent, recv, unacked, v.Status.DeliveryFailures,
-			overloadState(v.Status), shedTotal(v.Status), v.Addr)
+			overloadState(v.Status), shedTotal(v.Status), sloSummary(v.Status), burnSummary(v.Status), v.Addr)
 		totSites += len(v.Status.Sites)
 		totRunq += runq
 		totSteals += steals
@@ -182,6 +213,14 @@ func (cv ClusterView) RenderTable() string {
 	fmt.Fprintf(&b, "%-5s %-9s %-9s %-6d %-6d %-7d %-6d %-8d %-8d %-10d %-10d %-8d %-7d %-5s %-7d\n",
 		"all", "", "", totSites, totRunq, totSteals, totInbox, totWait, totStalls, totSent, totRecv, totUnacked, totFailed, "", totShed)
 	for _, v := range cv.Nodes {
+		for _, sv := range v.Status.SLO {
+			if sv.State == "ok" || sv.State == "" {
+				continue // only burning objectives earn a detail line
+			}
+			fmt.Fprintf(&b, "slo: node %d %s %s: observed %s target %s, burn fast %.1f slow %.1f %s\n",
+				v.Node, sv.Name, sv.State, sloValue(sv, sv.Observed), sloValue(sv, sv.Target),
+				sv.BurnFast, sv.BurnSlow, BurnSparkline(sv.Trend))
+		}
 		if ov := v.Status.Overload; ov != nil && ov.State == "shed" {
 			fmt.Fprintf(&b, "overload: node %d shedding (admission %d, expired %d, rel %d, fetch retries %d)\n",
 				v.Node, ov.AdmissionSheds, ov.ExpiredDrops, ov.RelExpired, ov.FetchRetries)
@@ -205,6 +244,34 @@ func (cv ClusterView) RenderTable() string {
 		}
 	}
 	return b.String()
+}
+
+// sloSummary compresses a node's SLO verdicts into the SLO column:
+// the worst objective state, or "-" when the node tracks none.
+func sloSummary(st NodeStatus) string {
+	if len(st.SLO) == 0 {
+		return "-"
+	}
+	return WorstSLOState(st.SLO)
+}
+
+// burnSummary is the BURN column: the highest slow-window burn rate
+// across the node's objectives (1.0 = burning exactly the budget).
+func burnSummary(st NodeStatus) string {
+	if len(st.SLO) == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f", MaxSLOBurn(st.SLO))
+}
+
+// sloValue formats an observed/target value in the objective's native
+// unit: latency objectives carry nanoseconds, ratio objectives a
+// fraction.
+func sloValue(v SLOVerdict, x float64) string {
+	if strings.HasPrefix(v.Objective, "ratio") {
+		return fmt.Sprintf("%.3f%%", x*100)
+	}
+	return time.Duration(x).Round(time.Microsecond).String()
 }
 
 // overloadState compresses the overload section into the OVLD column:

@@ -14,6 +14,7 @@ import (
 //	/metrics              OpenMetrics rendering of the registry
 //	/healthz              liveness verdict (200 ok/degraded, 503 down)
 //	/statusz              NodeStatus JSON (sites, queues, positions)
+//	/timeseries           retained metric history (TSDoc JSON)
 //	/debug/flightrecorder ring dump of retained trace events
 //	/debug/pprof/…        the standard Go profiling endpoints
 //
@@ -37,6 +38,9 @@ type HTTPConfig struct {
 	// hook for mirroring pull-time gauges (reliable-layer counters,
 	// daemon totals) into the registry.
 	Refresh func()
+	// TimeSeries, when non-nil, serves the node's retained metric
+	// history at /timeseries (DESIGN.md §17).
+	TimeSeries *TimeSeries
 }
 
 // ContentTypeOpenMetrics is the exposition content type /metrics
@@ -78,6 +82,10 @@ func ServeIntrospection(addr string, cfg HTTPConfig) (*HTTPServer, error) {
 		}
 		w.Header().Set("Content-Type", "application/json")
 		writeJSON(w, st)
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, cfg.TimeSeries.Doc())
 	})
 	mux.HandleFunc("/debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

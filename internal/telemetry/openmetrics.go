@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -14,8 +15,18 @@ import (
 //
 //	counter  ship.msg          → dityco_ship_msg_total
 //	gauge    rel.unacked       → dityco_rel_unacked
-//	histogram batch.bytes      → dityco_batch_bytes{quantile="…"} summary
+//	histogram batch.bytes      → dityco_batch_bytes histogram
+//	                             (_bucket{le="…"}/_count/_sum)
+//	                             + dityco_batch_bytes_quantiles summary
 //	                             + dityco_batch_bytes_max gauge
+//
+// Histograms export REAL cumulative buckets: the registry's
+// BucketHistogram has fixed log-spaced boundaries, and the `le` ladder
+// below (2^k−1) lands exactly on bucket upper edges, so every
+// cumulative count is exact, and sums of per-node buckets merge into
+// correct cluster quantiles. The sibling _quantiles summary keeps
+// `tycosh stats` and the tycotop columns cheap to read without
+// re-deriving quantiles from buckets.
 //
 // The renderer sorts families by name, so output is byte-stable for a
 // fixed set of instrument values — goldens and scrape diffing rely on
@@ -65,19 +76,56 @@ func RenderOpenMetrics(reg *Registry) []byte {
 			fmt.Fprintf(&b, "# TYPE %s gauge\n", name)
 			fmt.Fprintf(&b, "%s %s\n", name, formatOMValue(m.Value))
 		case KindHistogram:
-			fmt.Fprintf(&b, "# TYPE %s summary\n", name)
-			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", name, formatOMValue(m.Hist.P50))
-			fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %s\n", name, formatOMValue(m.Hist.P95))
-			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", name, formatOMValue(m.Hist.P99))
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+			emitBuckets(&b, name, m)
 			fmt.Fprintf(&b, "%s_count %d\n", name, m.Hist.Count)
 			fmt.Fprintf(&b, "%s_sum %s\n", name, formatOMValue(m.Hist.Sum))
-			// Summaries have no max sample; expose it as a sibling gauge.
+			// Pre-computed quantiles ride as a sibling summary so scrape
+			// consumers need not re-derive them from buckets.
+			qn := name + "_quantiles"
+			fmt.Fprintf(&b, "# TYPE %s summary\n", qn)
+			fmt.Fprintf(&b, "%s{quantile=\"0.5\"} %s\n", qn, formatOMValue(m.Hist.P50))
+			fmt.Fprintf(&b, "%s{quantile=\"0.95\"} %s\n", qn, formatOMValue(m.Hist.P95))
+			fmt.Fprintf(&b, "%s{quantile=\"0.99\"} %s\n", qn, formatOMValue(m.Hist.P99))
+			fmt.Fprintf(&b, "%s{quantile=\"0.999\"} %s\n", qn, formatOMValue(m.Hist.P999))
+			fmt.Fprintf(&b, "%s_count %d\n", qn, m.Hist.Count)
+			fmt.Fprintf(&b, "%s_sum %s\n", qn, formatOMValue(m.Hist.Sum))
+			// Histograms have no max sample; expose it as a sibling gauge.
 			fmt.Fprintf(&b, "# TYPE %s_max gauge\n", name)
 			fmt.Fprintf(&b, "%s_max %s\n", name, formatOMValue(m.Hist.Max))
 		}
 	}
 	b.WriteString("# EOF\n")
 	return []byte(b.String())
+}
+
+// bucketLadderBits caps the exported le ladder: le = 2^k−1 for
+// k in [1, bucketLadderBits]. 2^44−1 ns ≈ 4.9h, the histogram's own
+// trackable range; anything above lands only in the +Inf bucket.
+const bucketLadderBits = 44
+
+// emitBuckets renders the cumulative _bucket series. The ladder
+// boundaries 2^k−1 are exact BucketHistogram bucket upper edges
+// (verified by TestCountAtOrBelowLadder), so each cumulative count is
+// exact, not interpolated. Boundaries that add no count over their
+// predecessor are elided to keep expositions small; le="+Inf" always
+// closes the series and always equals _count.
+func emitBuckets(b *strings.Builder, name string, m Metric) {
+	var prev uint64
+	if d := m.Dist; d != nil {
+		for k := 1; k <= bucketLadderBits; k++ {
+			le := uint64(1)<<k - 1
+			c := d.CountAtOrBelow(le)
+			if c > prev {
+				fmt.Fprintf(b, "%s_bucket{le=\"%d\"} %d\n", name, le, c)
+				prev = c
+			}
+			if c == m.Hist.Count {
+				break
+			}
+		}
+	}
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, m.Hist.Count)
 }
 
 // OMSample is one parsed sample line.
@@ -218,7 +266,62 @@ func ParseOpenMetrics(data []byte) ([]OMFamily, error) {
 		}
 		fams[idx].Samples = append(fams[idx].Samples, sample)
 	}
+	for _, f := range fams {
+		if f.Type == "histogram" {
+			if err := validateHistogramFamily(f); err != nil {
+				return nil, fmt.Errorf("openmetrics: %w", err)
+			}
+		}
+	}
 	return fams, nil
+}
+
+// validateHistogramFamily enforces the histogram semantics a real
+// ingester checks: every _bucket carries an `le` label, boundaries
+// strictly ascend, cumulative counts never decrease, the series closes
+// with le="+Inf", and that terminal bucket equals _count.
+func validateHistogramFamily(f OMFamily) error {
+	prevLe := math.Inf(-1)
+	prevCount := -1.0
+	infCount := -1.0
+	sawBucket := false
+	var totalCount float64
+	sawCount := false
+	for _, s := range f.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_bucket"):
+			sawBucket = true
+			leStr, ok := s.Labels["le"]
+			if !ok {
+				return fmt.Errorf("histogram %q: _bucket sample without le label", f.Name)
+			}
+			le, err := strconv.ParseFloat(leStr, 64)
+			if err != nil {
+				return fmt.Errorf("histogram %q: bad le value %q", f.Name, leStr)
+			}
+			if le <= prevLe {
+				return fmt.Errorf("histogram %q: le boundaries not ascending (%v after %v)", f.Name, le, prevLe)
+			}
+			prevLe = le
+			if s.Value < prevCount {
+				return fmt.Errorf("histogram %q: cumulative bucket counts decrease at le=%q", f.Name, leStr)
+			}
+			prevCount = s.Value
+			if math.IsInf(le, 1) {
+				infCount = s.Value
+			}
+		case strings.HasSuffix(s.Name, "_count"):
+			totalCount = s.Value
+			sawCount = true
+		}
+	}
+	if sawBucket && infCount < 0 {
+		return fmt.Errorf("histogram %q: missing le=\"+Inf\" bucket", f.Name)
+	}
+	if sawCount && sawBucket && infCount != totalCount {
+		return fmt.Errorf("histogram %q: le=\"+Inf\" bucket %v != _count %v", f.Name, infCount, totalCount)
+	}
+	return nil
 }
 
 // matchFamily finds the declared family a sample name belongs to,

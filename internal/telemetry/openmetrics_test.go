@@ -79,8 +79,8 @@ func TestOpenMetricsRoundTrip(t *testing.T) {
 				t.Errorf("%s = %v, want %v", name, got, m.Value)
 			}
 		case KindHistogram:
-			if fam.Type != "summary" {
-				t.Errorf("%s: got type %q, want summary", name, fam.Type)
+			if fam.Type != "histogram" {
+				t.Errorf("%s: got type %q, want histogram", name, fam.Type)
 			}
 			if got := vals[name+"_count"]; got != float64(m.Hist.Count) {
 				t.Errorf("%s_count = %v, want %d", name, got, m.Hist.Count)
@@ -88,13 +88,34 @@ func TestOpenMetricsRoundTrip(t *testing.T) {
 			if got := vals[name+"_sum"]; got != m.Hist.Sum {
 				t.Errorf("%s_sum = %v, want %v", name, got, m.Hist.Sum)
 			}
-			for q, want := range map[string]float64{"0.5": m.Hist.P50, "0.95": m.Hist.P95, "0.99": m.Hist.P99} {
-				key := name + `{quantile="` + q + `"}`
+			// Real cumulative buckets: the +Inf bucket must exist and
+			// equal _count (the parser enforces monotonicity and the le
+			// ladder shape; here we pin the terminal invariant).
+			infKey := name + `_bucket{le="+Inf"}`
+			if got, ok := vals[infKey]; !ok || got != float64(m.Hist.Count) {
+				t.Errorf("%s = %v (present=%v), want %d", infKey, got, ok, m.Hist.Count)
+			}
+			var buckets int
+			for _, s := range fam.Samples {
+				if strings.HasSuffix(s.Name, "_bucket") {
+					buckets++
+				}
+			}
+			if m.Hist.Count > 0 && buckets < 2 {
+				t.Errorf("%s: only %d bucket lines for %d observations", name, buckets, m.Hist.Count)
+			}
+			// Quantiles ride as a sibling summary for cheap consumers.
+			qFam, ok := byName[name+"_quantiles"]
+			if !ok || qFam.Type != "summary" {
+				t.Errorf("%s_quantiles sibling summary missing (family %+v)", name, qFam)
+			}
+			for q, want := range map[string]float64{"0.5": m.Hist.P50, "0.95": m.Hist.P95, "0.99": m.Hist.P99, "0.999": m.Hist.P999} {
+				key := name + `_quantiles{quantile="` + q + `"}`
 				if got := vals[key]; got != want {
 					t.Errorf("%s = %v, want %v", key, got, want)
 				}
 			}
-			// The max rides as a sibling gauge (summaries have no max sample).
+			// The max rides as a sibling gauge (histograms have no max sample).
 			maxFam, ok := byName[name+"_max"]
 			if !ok || maxFam.Type != "gauge" {
 				t.Errorf("%s_max sibling gauge missing (family %+v)", name, maxFam)
@@ -165,6 +186,14 @@ func TestParseOpenMetricsRejects(t *testing.T) {
 		{"duplicate label", "# TYPE a gauge\na{x=\"1\",x=\"2\"} 1\n# EOF\n", "duplicate label"},
 		{"bad escape", `# TYPE a gauge` + "\n" + `a{x="\q"} 1` + "\n# EOF\n", "bad escape"},
 		{"unknown directive", "# FOO a bar\n# EOF\n", "unknown comment directive"},
+		// Histogram semantics (the export/parse asymmetry fix): buckets
+		// must be labelled, cumulative, ascending, and +Inf-terminated.
+		{"bucket without le", "# TYPE a histogram\na_bucket 1\n# EOF\n", "without le label"},
+		{"bad le value", "# TYPE a histogram\na_bucket{le=\"wide\"} 1\n# EOF\n", "bad le value"},
+		{"non-ascending le", "# TYPE a histogram\na_bucket{le=\"3\"} 1\na_bucket{le=\"1\"} 2\na_bucket{le=\"+Inf\"} 2\n# EOF\n", "not ascending"},
+		{"decreasing cumulative", "# TYPE a histogram\na_bucket{le=\"1\"} 5\na_bucket{le=\"3\"} 4\na_bucket{le=\"+Inf\"} 5\n# EOF\n", "decrease"},
+		{"missing +Inf bucket", "# TYPE a histogram\na_bucket{le=\"1\"} 1\n# EOF\n", "missing le=\"+Inf\""},
+		{"+Inf disagrees with count", "# TYPE a histogram\na_bucket{le=\"+Inf\"} 5\na_count 6\n# EOF\n", "!= _count"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -80,7 +80,7 @@ type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
-	hists    map[string]*stats.Histogram
+	hists    map[string]*stats.BucketHistogram
 }
 
 // NewRegistry creates an empty registry.
@@ -88,7 +88,7 @@ func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
-		hists:    map[string]*stats.Histogram{},
+		hists:    map[string]*stats.BucketHistogram{},
 	}
 }
 
@@ -122,16 +122,12 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
-// histCap bounds retained histogram samples: telemetry histograms are
-// long-lived per-node instruments, not per-experiment scratch, so they
-// keep a smaller reservoir than the stats default.
-const histCap = 4096
-
-// Histogram returns (creating if needed) the named histogram. Nil
-// registries return nil; stats.Histogram tolerates nil receivers on
-// none of its methods, so instrumented code guards with Observe helpers
-// (see Telemetry) or checks the handle once at setup.
-func (r *Registry) Histogram(name string) *stats.Histogram {
+// Histogram returns (creating if needed) the named histogram —
+// a mergeable log-bucketed stats.BucketHistogram whose Observe is
+// lock-free (DESIGN.md §17), so scheduler-scale hot paths can observe
+// without contending. Nil registries return nil; BucketHistogram
+// no-ops on nil receivers, matching the Counter/Gauge contract.
+func (r *Registry) Histogram(name string) *stats.BucketHistogram {
 	if r == nil {
 		return nil
 	}
@@ -139,48 +135,75 @@ func (r *Registry) Histogram(name string) *stats.Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
-		h = stats.NewHistogram(histCap)
+		h = &stats.BucketHistogram{}
 		r.hists[name] = h
 	}
 	return h
 }
 
 // Snapshot flattens every instrument into metric name → value.
-// Histograms expand into .count/.mean/.p95/.max. Keys are sorted by
-// the consumers that render them; the map itself is unordered.
+// Histograms expand into .count/.mean/.p50/.p95/.p99/.p999/.max.
+// Keys are sorted by the consumers that render them; the map itself is
+// unordered.
 func (r *Registry) Snapshot() map[string]float64 {
 	out := map[string]float64{}
 	if r == nil {
 		return out
 	}
-	r.mu.Lock()
-	counters := make(map[string]*Counter, len(r.counters))
-	for k, v := range r.counters {
-		counters[k] = v
+	for k, c := range r.scalarHandles() {
+		out[k] = c
 	}
-	gauges := make(map[string]*Gauge, len(r.gauges))
-	for k, v := range r.gauges {
-		gauges[k] = v
-	}
-	hists := make(map[string]*stats.Histogram, len(r.hists))
-	for k, v := range r.hists {
-		hists[k] = v
-	}
-	r.mu.Unlock()
-	for k, c := range counters {
-		out[k] = float64(c.Load())
-	}
-	for k, g := range gauges {
-		out[k] = float64(g.Load())
-	}
-	for k, h := range hists {
+	for k, h := range r.histHandles() {
+		d := h.Snapshot()
 		out[k+".count"] = float64(h.Count())
 		out[k+".mean"] = h.Mean()
-		out[k+".p95"] = h.Percentile(95)
+		out[k+".p50"] = d.Quantile(50)
+		out[k+".p95"] = d.Quantile(95)
+		out[k+".p99"] = d.Quantile(99)
+		out[k+".p999"] = d.Quantile(99.9)
 		out[k+".max"] = h.Max()
 	}
 	return out
 }
+
+// scalarHandles snapshots the counter and gauge values under the lock.
+func (r *Registry) scalarHandles() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges))
+	for k, c := range r.counters {
+		out[k] = float64(c.Load())
+	}
+	for k, g := range r.gauges {
+		out[k] = float64(g.Load())
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// histHandles copies the histogram handle table out from the lock.
+func (r *Registry) histHandles() map[string]*stats.BucketHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	out := make(map[string]*stats.BucketHistogram, len(r.hists))
+	for k, h := range r.hists {
+		out[k] = h
+	}
+	r.mu.Unlock()
+	return out
+}
+
+// Scalars returns every counter and gauge value — the flat series the
+// time-series sampler retains.
+func (r *Registry) Scalars() map[string]float64 { return r.scalarHandles() }
+
+// Histograms returns the live histogram handles (shared, lock-free to
+// read) — the time-series sampler snapshots these per tick.
+func (r *Registry) Histograms() map[string]*stats.BucketHistogram { return r.histHandles() }
 
 // MetricKind distinguishes the instrument classes a Registry holds —
 // the OpenMetrics renderer needs the type, which the flat Snapshot
@@ -201,16 +224,19 @@ type HistSummary struct {
 	P50   float64
 	P95   float64
 	P99   float64
+	P999  float64
 	Max   float64
 }
 
 // Metric is one typed instrument reading. Value holds counters and
-// gauges; Hist holds histograms.
+// gauges; Hist and Dist hold histograms (summary + the sparse bucket
+// snapshot the OpenMetrics _bucket series render from).
 type Metric struct {
 	Name  string
 	Kind  MetricKind
 	Value float64
 	Hist  HistSummary
+	Dist  *stats.Dist
 }
 
 // Export snapshots every instrument with its type, sorted by name —
@@ -227,20 +253,25 @@ func (r *Registry) Export() []Metric {
 	for k, g := range r.gauges {
 		out = append(out, Metric{Name: k, Kind: KindGauge, Value: float64(g.Load())})
 	}
-	hists := make(map[string]*stats.Histogram, len(r.hists))
+	hists := make(map[string]*stats.BucketHistogram, len(r.hists))
 	for k, h := range r.hists {
 		hists[k] = h
 	}
 	r.mu.Unlock()
-	// Histogram reads take the histogram's own lock; do them outside
-	// the registry lock.
+	// Bucket reads are lock-free; still done outside the registry lock
+	// so Export never holds it across O(buckets) work.
 	for k, h := range hists {
-		out = append(out, Metric{Name: k, Kind: KindHistogram, Hist: HistSummary{
-			Count: h.Count(),
-			Sum:   h.Sum(),
-			P50:   h.Percentile(50),
-			P95:   h.Percentile(95),
-			P99:   h.Percentile(99),
+		d := h.Snapshot()
+		// Count/Sum come from the Dist, not the live histogram, so the
+		// exported _count always equals the +Inf bucket even while
+		// observers race the snapshot.
+		out = append(out, Metric{Name: k, Kind: KindHistogram, Dist: d, Hist: HistSummary{
+			Count: d.Total(),
+			Sum:   d.Sum,
+			P50:   d.Quantile(50),
+			P95:   d.Quantile(95),
+			P99:   d.Quantile(99),
+			P999:  d.Quantile(99.9),
 			Max:   h.Max(),
 		}})
 	}

@@ -171,6 +171,92 @@ type NSStatus struct {
 	BreakerFastFails uint64 `json:"breaker_fast_fails,omitempty"`
 }
 
+// SLOVerdict is one objective's current evaluation (DESIGN.md §17):
+// the burn rates of the fast and slow windows, the observed value
+// against the target, and the resulting state. It lives in telemetry
+// — not slo — because both ends of the scrape speak it: the node
+// renders verdicts into /statusz, tycotop and tycobench unmarshal
+// them back.
+type SLOVerdict struct {
+	// Name identifies the objective ("deliver-p99", "error-rate").
+	Name string `json:"name"`
+	// Objective is the declarative spec the tracker parsed.
+	Objective string `json:"objective"`
+	// WindowMs is the slow (authoritative) evaluation window.
+	WindowMs int64 `json:"window_ms"`
+	// Observed is the measured value over the slow window: nanoseconds
+	// for latency objectives, a fraction for error rates.
+	Observed float64 `json:"observed"`
+	// Target is the objective's threshold in the same unit.
+	Target float64 `json:"target"`
+	// BurnFast/BurnSlow are the error-budget burn rates of the two
+	// windows (1.0 = burning exactly the budget).
+	BurnFast float64 `json:"burn_fast"`
+	BurnSlow float64 `json:"burn_slow"`
+	// State: "ok", "warn" (one window burning) or "breach" (both).
+	State string `json:"state"`
+	// Trend is the recent fast-window burn history, oldest first —
+	// the tycotop sparkline input.
+	Trend []float64 `json:"trend,omitempty"`
+}
+
+// WorstSLOState folds a verdict set to its most severe state (""
+// when empty): ok < warn < breach.
+func WorstSLOState(vs []SLOVerdict) string {
+	worst, rank := "", -1
+	for _, v := range vs {
+		if c := sloStateCode(v.State); c > rank {
+			rank, worst = c, v.State
+		}
+	}
+	return worst
+}
+
+// MaxSLOBurn folds a verdict set to its highest slow-window burn.
+func MaxSLOBurn(vs []SLOVerdict) float64 {
+	m := 0.0
+	for _, v := range vs {
+		if v.BurnSlow > m {
+			m = v.BurnSlow
+		}
+	}
+	return m
+}
+
+func sloStateCode(s string) int {
+	switch s {
+	case "ok":
+		return 0
+	case "warn":
+		return 1
+	case "breach":
+		return 2
+	}
+	return -1
+}
+
+// BurnSparkline renders a burn-rate history as unicode block glyphs,
+// scaled so burn 1.0 (budget exactly spent) sits mid-ramp and ≥2
+// saturates — the tycotop trend column.
+func BurnSparkline(trend []float64) string {
+	if len(trend) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	out := make([]rune, 0, len(trend))
+	for _, v := range trend {
+		idx := int(v / 2 * float64(len(glyphs)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(glyphs) {
+			idx = len(glyphs) - 1
+		}
+		out = append(out, glyphs[idx])
+	}
+	return string(out)
+}
+
 // NodeStatus is the /statusz document: one node's full introspection
 // snapshot.
 type NodeStatus struct {
@@ -184,6 +270,7 @@ type NodeStatus struct {
 	Rel              *RelStatus      `json:"rel,omitempty"`
 	Overload         *OverloadStatus `json:"overload,omitempty"`
 	NS               *NSStatus       `json:"ns,omitempty"`
+	SLO              []SLOVerdict    `json:"slo,omitempty"`
 	Stalls           []StallReport   `json:"stalls,omitempty"`
 	Strikes          map[string]int  `json:"strikes,omitempty"`
 	Members          []MemberStatus  `json:"members,omitempty"`

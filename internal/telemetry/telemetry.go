@@ -45,10 +45,11 @@ type Telemetry struct {
 	deliverRemote  *Counter
 	journalAppends *Counter
 	traces         *Counter
-	batchBytes     *stats.Histogram
-	batchEntries   *stats.Histogram
-	inboxDepth     *stats.Histogram
-	ckptNanos      *stats.Histogram
+	batchBytes     *stats.BucketHistogram
+	batchEntries   *stats.BucketHistogram
+	inboxDepth     *stats.BucketHistogram
+	ckptNanos      *stats.BucketHistogram
+	deliverSojourn *stats.BucketHistogram
 
 	// Per-peer ship counters. Small node IDs (the common case) take
 	// the lock-free array; the map is the spillover for exotic IDs.
@@ -74,6 +75,7 @@ func New(node uint32, cfg Config) *Telemetry {
 		batchEntries:   reg.Histogram("batch.entries"),
 		inboxDepth:     reg.Histogram("inbox.depth"),
 		ckptNanos:      reg.Histogram("checkpoint.nanos"),
+		deliverSojourn: reg.Histogram("deliver.sojourn_nanos"),
 		peers:          map[uint32]*Counter{},
 	}
 	t.ship[wire.FMsg] = reg.Counter("ship.msg")
@@ -205,6 +207,17 @@ func (t *Telemetry) ObserveInboxDepth(n int) {
 		return
 	}
 	t.inboxDepth.Observe(float64(n))
+}
+
+// ObserveSojourn records one delivery's inbox sojourn (stamp-at-accept
+// to handled-at-site) — the latency signal SLO objectives evaluate
+// (DESIGN.md §17). Lock-free: one bucket add on the scheduler's
+// deliver path.
+func (t *Telemetry) ObserveSojourn(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.deliverSojourn.Observe(float64(d.Nanoseconds()))
 }
 
 // ObserveCheckpoint records one journal compaction's duration.

@@ -1,0 +1,309 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Time-series retention (DESIGN.md §17): every node keeps a bounded
+// ring of samples of its own registry so scrapes can see trends, not
+// just points. Scalars (counters and gauges) retain (timestamp, value)
+// points; histograms retain WINDOWED DELTAS — the sparse bucket
+// difference between consecutive cumulative snapshots — so any time
+// window's distribution is the exact sum of its windows, per node and
+// (because bucket boundaries are global constants) across the cluster.
+//
+// Memory math: Capacity windows × (8B scalar points + sparse hist
+// deltas). At the 1s/120-window default a node retains two minutes of
+// every metric in roughly 100KB — bounded regardless of uptime.
+
+// TSConfig tunes the per-node time-series store.
+type TSConfig struct {
+	// Interval between samples (default 1s).
+	Interval time.Duration
+	// Capacity is the ring length in samples (default 120 → two
+	// minutes of retention at the default interval).
+	Capacity int
+	// Scalars optionally restricts which counter/gauge names are
+	// retained (nil = all). Histograms are always retained; they are
+	// the SLO plane's input.
+	Scalars []string
+	// Disable turns retention off (no ring, no /timeseries data).
+	Disable bool
+}
+
+func (c TSConfig) interval() time.Duration {
+	if c.Interval <= 0 {
+		return time.Second
+	}
+	return c.Interval
+}
+
+func (c TSConfig) capacity() int {
+	if c.Capacity <= 0 {
+		return 120
+	}
+	return c.Capacity
+}
+
+// TSPoint is one scalar sample.
+type TSPoint struct {
+	T int64   `json:"t"` // unix milliseconds
+	V float64 `json:"v"`
+}
+
+// TSSeries is one scalar metric's retained window.
+type TSSeries struct {
+	Name   string    `json:"name"`
+	Points []TSPoint `json:"points"`
+}
+
+// HistWindow is one histogram sampling interval: the sparse bucket
+// delta observed between the previous sample and T.
+type HistWindow struct {
+	T    int64       `json:"t"` // unix milliseconds (window end)
+	Dist *stats.Dist `json:"dist"`
+}
+
+// HistSeries is one histogram's retained windows.
+type HistSeries struct {
+	Name    string       `json:"name"`
+	Windows []HistWindow `json:"windows"`
+}
+
+// TSDoc is the JSON the /timeseries endpoint serves and ScrapeCluster
+// merges.
+type TSDoc struct {
+	Node       uint32       `json:"node"`
+	IntervalMs int64        `json:"interval_ms"`
+	Scalars    []TSSeries   `json:"scalars,omitempty"`
+	Hists      []HistSeries `json:"hists,omitempty"`
+}
+
+// TimeSeries is the per-node ring-buffer store. It is passive: the
+// owning node drives Sample from its analytics ticker, so a node
+// without the loop (or a test) can sample on demand.
+type TimeSeries struct {
+	reg  *Registry
+	node uint32
+	cfg  TSConfig
+
+	mu      sync.Mutex
+	scalars map[string]*scalarRing
+	hists   map[string]*histRing
+	filter  map[string]bool // nil = keep all scalars
+}
+
+type scalarRing struct {
+	pts  []TSPoint // ring storage, len == capacity once warm
+	head int       // next write position
+	n    int       // valid entries
+}
+
+type histRing struct {
+	prev *stats.Dist // last cumulative snapshot (delta base)
+	wins []HistWindow
+	head int
+	n    int
+}
+
+// NewTimeSeries builds a store over reg. Nil-safe: a nil registry
+// yields a store that samples nothing.
+func NewTimeSeries(reg *Registry, node uint32, cfg TSConfig) *TimeSeries {
+	ts := &TimeSeries{
+		reg:     reg,
+		node:    node,
+		cfg:     cfg,
+		scalars: map[string]*scalarRing{},
+		hists:   map[string]*histRing{},
+	}
+	if len(cfg.Scalars) > 0 {
+		ts.filter = map[string]bool{}
+		for _, name := range cfg.Scalars {
+			ts.filter[name] = true
+		}
+	}
+	return ts
+}
+
+// Interval returns the configured sampling interval.
+func (ts *TimeSeries) Interval() time.Duration {
+	if ts == nil {
+		return 0
+	}
+	return ts.cfg.interval()
+}
+
+// Sample takes one sample of every retained metric at now. Safe to
+// call concurrently (the analytics ticker and a test forcing a flush).
+func (ts *TimeSeries) Sample(now time.Time) {
+	if ts == nil || ts.reg == nil {
+		return
+	}
+	t := now.UnixMilli()
+	scalars := ts.reg.Scalars()
+	hists := ts.reg.Histograms()
+	capN := ts.cfg.capacity()
+
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for name, v := range scalars {
+		if ts.filter != nil && !ts.filter[name] {
+			continue
+		}
+		r := ts.scalars[name]
+		if r == nil {
+			r = &scalarRing{pts: make([]TSPoint, capN)}
+			ts.scalars[name] = r
+		}
+		r.pts[r.head] = TSPoint{T: t, V: v}
+		r.head = (r.head + 1) % capN
+		if r.n < capN {
+			r.n++
+		}
+	}
+	for name, h := range hists {
+		r := ts.hists[name]
+		if r == nil {
+			r = &histRing{wins: make([]HistWindow, capN)}
+			ts.hists[name] = r
+		}
+		cur := h.Snapshot()
+		delta := cur.Sub(r.prev)
+		r.prev = cur
+		if delta.Total() == 0 {
+			continue // idle window: retain nothing, queries just see a gap
+		}
+		r.wins[r.head] = HistWindow{T: t, Dist: delta}
+		r.head = (r.head + 1) % capN
+		if r.n < capN {
+			r.n++
+		}
+	}
+}
+
+// ordered returns a ring's valid entries oldest-first.
+func (r *scalarRing) ordered() []TSPoint {
+	out := make([]TSPoint, 0, r.n)
+	start := r.head - r.n
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.pts[((start+i)%len(r.pts)+len(r.pts))%len(r.pts)])
+	}
+	return out
+}
+
+func (r *histRing) ordered() []HistWindow {
+	out := make([]HistWindow, 0, r.n)
+	start := r.head - r.n
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.wins[((start+i)%len(r.wins)+len(r.wins))%len(r.wins)])
+	}
+	return out
+}
+
+// Doc renders the full retained state, series sorted by name — the
+// /timeseries endpoint body.
+func (ts *TimeSeries) Doc() TSDoc {
+	doc := TSDoc{}
+	if ts == nil {
+		return doc
+	}
+	doc.Node = ts.node
+	doc.IntervalMs = ts.cfg.interval().Milliseconds()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	for name, r := range ts.scalars {
+		doc.Scalars = append(doc.Scalars, TSSeries{Name: name, Points: r.ordered()})
+	}
+	for name, r := range ts.hists {
+		doc.Hists = append(doc.Hists, HistSeries{Name: name, Windows: r.ordered()})
+	}
+	sort.Slice(doc.Scalars, func(i, j int) bool { return doc.Scalars[i].Name < doc.Scalars[j].Name })
+	sort.Slice(doc.Hists, func(i, j int) bool { return doc.Hists[i].Name < doc.Hists[j].Name })
+	return doc
+}
+
+// WindowDist merges the named histogram's deltas inside (now−window,
+// now] into one distribution. Exact: windows are disjoint bucket
+// deltas of the same histogram.
+func (ts *TimeSeries) WindowDist(name string, window time.Duration, now time.Time) *stats.Dist {
+	out := &stats.Dist{}
+	if ts == nil {
+		return out
+	}
+	cut := now.Add(-window).UnixMilli()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r := ts.hists[name]
+	if r == nil {
+		return out
+	}
+	for _, w := range r.ordered() {
+		if w.T > cut {
+			out.Merge(w.Dist)
+		}
+	}
+	return out
+}
+
+// ScalarDelta returns the change of a scalar over the trailing window
+// (last − first retained point inside it). ok is false when fewer
+// than two points fall inside the window.
+func (ts *TimeSeries) ScalarDelta(name string, window time.Duration, now time.Time) (float64, bool) {
+	if ts == nil {
+		return 0, false
+	}
+	cut := now.Add(-window).UnixMilli()
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	r := ts.scalars[name]
+	if r == nil {
+		return 0, false
+	}
+	var first, last *TSPoint
+	for _, p := range r.ordered() {
+		if p.T <= cut {
+			continue
+		}
+		p := p
+		if first == nil {
+			first = &p
+		}
+		last = &p
+	}
+	if first == nil || last == nil || first.T == last.T {
+		return 0, false
+	}
+	return last.V - first.V, true
+}
+
+// WindowDist merges the named histogram's windows inside (latest−window,
+// latest] of a scraped doc — the consumer-side counterpart of
+// TimeSeries.WindowDist for merged cluster views.
+func (doc *TSDoc) WindowDist(name string, window time.Duration) *stats.Dist {
+	out := &stats.Dist{}
+	if doc == nil {
+		return out
+	}
+	for _, hs := range doc.Hists {
+		if hs.Name != name {
+			continue
+		}
+		var latest int64
+		for _, w := range hs.Windows {
+			if w.T > latest {
+				latest = w.T
+			}
+		}
+		cut := latest - window.Milliseconds()
+		for _, w := range hs.Windows {
+			if w.T > cut {
+				out.Merge(w.Dist)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestTimeSeriesScalarRetention(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("load")
+	ts := NewTimeSeries(reg, 3, TSConfig{Interval: time.Second, Capacity: 4})
+	base := time.UnixMilli(1_000_000)
+	for i := 0; i < 6; i++ {
+		g.Set(int64(i * 10))
+		ts.Sample(base.Add(time.Duration(i) * time.Second))
+	}
+	doc := ts.Doc()
+	if doc.Node != 3 || doc.IntervalMs != 1000 {
+		t.Fatalf("doc header %+v", doc)
+	}
+	var series *TSSeries
+	for i := range doc.Scalars {
+		if doc.Scalars[i].Name == "load" {
+			series = &doc.Scalars[i]
+		}
+	}
+	if series == nil {
+		t.Fatalf("no load series in %+v", doc.Scalars)
+	}
+	// Capacity 4: the 6 samples wrapped, oldest two evicted.
+	if len(series.Points) != 4 {
+		t.Fatalf("retained %d points, want 4", len(series.Points))
+	}
+	if series.Points[0].V != 20 || series.Points[3].V != 50 {
+		t.Fatalf("ring order wrong: %+v", series.Points)
+	}
+	for i := 1; i < len(series.Points); i++ {
+		if series.Points[i].T <= series.Points[i-1].T {
+			t.Fatalf("points not time-ordered: %+v", series.Points)
+		}
+	}
+	// ScalarDelta over the last 2.5 windows: 50 − 30.
+	d, ok := ts.ScalarDelta("load", 2500*time.Millisecond, base.Add(5*time.Second))
+	if !ok || d != 20 {
+		t.Fatalf("ScalarDelta = %v,%v want 20,true", d, ok)
+	}
+}
+
+func TestTimeSeriesHistWindows(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat")
+	ts := NewTimeSeries(reg, 1, TSConfig{Interval: time.Second, Capacity: 8})
+	base := time.UnixMilli(2_000_000)
+
+	for i := 0; i < 100; i++ {
+		h.Observe(1000)
+	}
+	ts.Sample(base)
+	for i := 0; i < 50; i++ {
+		h.Observe(8000)
+	}
+	ts.Sample(base.Add(time.Second))
+	ts.Sample(base.Add(2 * time.Second)) // idle window → no entry
+
+	// Window covering only the second sample sees just the 8000s.
+	d := ts.WindowDist("lat", 500*time.Millisecond, base.Add(time.Second))
+	if d.Total() != 50 {
+		t.Fatalf("0.5s window total %d want 50", d.Total())
+	}
+	if got := d.Quantile(50); math.Abs(got-8000) > 8000/128 {
+		t.Fatalf("window p50 %v want ~8000", got)
+	}
+	// Window covering both samples sees the union.
+	d = ts.WindowDist("lat", time.Hour, base.Add(2*time.Second))
+	if d.Total() != 150 {
+		t.Fatalf("wide window total %d want 150", d.Total())
+	}
+
+	// The doc round-trips through JSON (the /timeseries wire form) and
+	// its windows merge to the same distribution.
+	doc := ts.Doc()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back TSDoc
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	merged := back.WindowDist("lat", time.Hour)
+	if merged.Total() != 150 {
+		t.Fatalf("scraped doc window total %d want 150", merged.Total())
+	}
+	if got, want := merged.Quantile(99), ts.WindowDist("lat", time.Hour, base.Add(2*time.Second)).Quantile(99); got != want {
+		t.Fatalf("scraped p99 %v != live p99 %v", got, want)
+	}
+	// Idle third window retained nothing.
+	for _, hs := range doc.Hists {
+		if hs.Name == "lat" && len(hs.Windows) != 2 {
+			t.Fatalf("retained %d windows, want 2 (idle window elided)", len(hs.Windows))
+		}
+	}
+}
+
+func TestTimeSeriesScalarFilter(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("keep").Set(1)
+	reg.Gauge("drop").Set(2)
+	ts := NewTimeSeries(reg, 0, TSConfig{Scalars: []string{"keep"}})
+	ts.Sample(time.UnixMilli(1))
+	doc := ts.Doc()
+	if len(doc.Scalars) != 1 || doc.Scalars[0].Name != "keep" {
+		t.Fatalf("filter not applied: %+v", doc.Scalars)
+	}
+}
+
+func TestTimeSeriesNil(t *testing.T) {
+	var ts *TimeSeries
+	ts.Sample(time.Now()) // must not panic
+	if doc := ts.Doc(); len(doc.Scalars)+len(doc.Hists) != 0 {
+		t.Fatalf("nil store has data")
+	}
+	if d := ts.WindowDist("x", time.Second, time.Now()); d.Total() != 0 {
+		t.Fatalf("nil WindowDist non-empty")
+	}
+	if _, ok := ts.ScalarDelta("x", time.Second, time.Now()); ok {
+		t.Fatalf("nil ScalarDelta ok")
+	}
+}

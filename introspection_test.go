@@ -8,6 +8,7 @@ package repro
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/nameservice"
 	"repro/internal/node"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/transport"
 )
@@ -48,6 +50,34 @@ func saveStatuszArtifact(t *testing.T, cl *core.Cluster) {
 			return
 		}
 		t.Logf("statusz artifact written to %s", path)
+		// When the cluster runs the analytics plane, split the retained
+		// time series and SLO verdicts into their own artifacts so the
+		// soak uploads a browsable trend/verdict history.
+		type analytics struct {
+			Node uint32                 `json:"node"`
+			TS   *telemetry.TSDoc       `json:"ts,omitempty"`
+			SLO  []telemetry.SLOVerdict `json:"slo,omitempty"`
+		}
+		var docs []analytics
+		for _, v := range view.Nodes {
+			if v.TS != nil || len(v.Status.SLO) > 0 {
+				docs = append(docs, analytics{Node: v.Node, TS: v.TS, SLO: v.Status.SLO})
+			}
+		}
+		if len(docs) == 0 {
+			return
+		}
+		data, err := json.MarshalIndent(docs, "", "  ")
+		if err != nil {
+			t.Logf("analytics artifact: %v", err)
+			return
+		}
+		apath := filepath.Join(base, strings.ReplaceAll(t.Name(), "/", "_")+"-analytics.json")
+		if err := os.WriteFile(apath, append(data, '\n'), 0o644); err != nil {
+			t.Logf("analytics artifact: %v", err)
+			return
+		}
+		t.Logf("analytics artifact written to %s", apath)
 	})
 }
 
@@ -58,14 +88,23 @@ func saveStatuszArtifact(t *testing.T, cl *core.Cluster) {
 // render the aggregated table.
 func TestIntrospectionClusterView(t *testing.T) {
 	cl, err := core.NewCluster(core.ClusterConfig{
-		Nodes:         3,
-		Reliability:   &transport.ReliableConfig{},
-		Introspection: &node.IntrospectConfig{},
+		Nodes:       3,
+		Reliability: &transport.ReliableConfig{},
+		Introspection: &node.IntrospectConfig{
+			TimeSeries: telemetry.TSConfig{Interval: 50 * time.Millisecond, Capacity: 64},
+			SLO: &slo.Config{
+				Objectives: []string{"p99(deliver.sojourn_nanos)<50ms"},
+				FastWindow: 200 * time.Millisecond,
+				SlowWindow: time.Second,
+			},
+		},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cl.Stop()
+	t.Cleanup(cl.Stop)
+	// Registered after cl.Stop so the LIFO cleanup order scrapes the
+	// still-live cluster before it is torn down.
 	saveStatuszArtifact(t, cl)
 
 	hubOut := &lockedWriter{}
@@ -137,8 +176,36 @@ func TestIntrospectionClusterView(t *testing.T) {
 		t.Errorf("hub recv counter = 0, want > 0")
 	}
 
+	// The analytics plane end to end: every node retains time series,
+	// serves them over /timeseries, and evaluates its SLO objective.
+	// The hub delivered real traffic, so node 1's retained sojourn
+	// histogram must merge into a non-empty cluster distribution.
+	waitCond(t, 10*time.Second, func() bool {
+		view = telemetry.ScrapeCluster(eps, 5*time.Second)
+		for _, v := range view.Nodes {
+			if v.Err != "" || v.TS == nil || len(v.Status.SLO) == 0 {
+				return false
+			}
+		}
+		return view.WindowDist("deliver.sojourn_nanos", time.Minute).Total() > 0
+	})
+	for _, v := range view.Nodes {
+		if v.TS.IntervalMs != 50 {
+			t.Errorf("node %d /timeseries interval %dms, want 50", v.Node, v.TS.IntervalMs)
+		}
+		for _, sv := range v.Status.SLO {
+			if sv.Name != "p99-deliver.sojourn_nanos" || sv.State == "" {
+				t.Errorf("node %d verdict %+v", v.Node, sv)
+			}
+		}
+	}
+	merged := view.WindowDist("deliver.sojourn_nanos", time.Minute)
+	if merged.Total() == 0 || merged.Quantile(99) <= 0 {
+		t.Errorf("cluster-merged sojourn distribution empty: total %d", merged.Total())
+	}
+
 	table := view.RenderTable()
-	for _, want := range []string{"NODE", "HEALTH", "all"} {
+	for _, want := range []string{"NODE", "HEALTH", "SLO", "BURN", "all"} {
 		if !strings.Contains(table, want) {
 			t.Errorf("table missing %q:\n%s", want, table)
 		}
@@ -173,7 +240,9 @@ func TestStallDetectorFlagsCrashedExporter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cl.Stop()
+	t.Cleanup(cl.Stop)
+	// Registered after cl.Stop so the LIFO cleanup order scrapes the
+	// still-live cluster before it is torn down.
 	saveStatuszArtifact(t, cl)
 
 	serverOut := &lockedWriter{}
@@ -268,7 +337,9 @@ func TestStallDetectorSuppressedDuringPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer cl.Stop()
+	t.Cleanup(cl.Stop)
+	// Registered after cl.Stop so the LIFO cleanup order scrapes the
+	// still-live cluster before it is torn down.
 	saveStatuszArtifact(t, cl)
 
 	serverOut := &lockedWriter{}
